@@ -1,0 +1,269 @@
+//! Criterion micro-benchmarks: real wall-clock time of the core data
+//! structures and code paths, at laptop scale (the virtual-clock
+//! experiments live in the `repro` binary).
+//!
+//! Includes the ablations called out in DESIGN.md §5:
+//! * time-window width sweep for the coarse-grain time index,
+//! * distributor thread count sweep for the data organizer,
+//! * persisted vs rebuilt tag table (Table I's design question),
+//! * baseline-vs-BORA open and query at equal workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bora::{BoraBag, OrganizerOptions, TagManager, TimeIndex, TopicIndexEntry};
+use dbsim::{InsertEngine, KvStore, SqlStore, TsdbStore};
+use ros_msgs::Time;
+use rosbag::{BagReader, BagWriterOptions};
+use simfs::{IoCtx, MemStorage, Storage};
+use std::sync::Arc;
+use workloads::tum::{fig2_tf_messages, generate_bag, topic, GenOptions};
+
+fn small_gen_opts() -> GenOptions {
+    GenOptions {
+        count_scale: 0.05,
+        payload_scale: 0.004,
+        seed: 0xBE9C,
+        writer: BagWriterOptions { chunk_size: 128 * 1024, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// A generated bag + BORA container on shared in-memory storage.
+fn prepared_env() -> (Arc<MemStorage>, &'static str, &'static str) {
+    let fs = Arc::new(MemStorage::new());
+    let mut ctx = IoCtx::new();
+    generate_bag(fs.as_ref(), "/hs.bag", &small_gen_opts(), &mut ctx).unwrap();
+    bora::organizer::duplicate(
+        fs.as_ref(),
+        "/hs.bag",
+        fs.as_ref(),
+        "/c",
+        &OrganizerOptions::default(),
+        &mut ctx,
+    )
+    .unwrap();
+    (fs, "/hs.bag", "/c")
+}
+
+fn bench_open(c: &mut Criterion) {
+    let (fs, bag_path, root) = prepared_env();
+    let mut group = c.benchmark_group("open");
+    group.sample_size(20);
+    group.bench_function("baseline_full_scan", |b| {
+        b.iter(|| {
+            let mut ctx = IoCtx::new();
+            black_box(BagReader::open(fs.as_ref(), bag_path, &mut ctx).unwrap());
+        })
+    });
+    group.bench_function("bora_tag_manager", |b| {
+        b.iter(|| {
+            let mut ctx = IoCtx::new();
+            black_box(BoraBag::open(fs.as_ref(), root, &mut ctx).unwrap());
+        })
+    });
+    group.finish();
+}
+
+fn bench_query_by_topic(c: &mut Criterion) {
+    let (fs, bag_path, root) = prepared_env();
+    let mut ctx = IoCtx::new();
+    let reader = BagReader::open(fs.as_ref(), bag_path, &mut ctx).unwrap();
+    let bag = BoraBag::open(fs.as_ref(), root, &mut ctx).unwrap();
+
+    let mut group = c.benchmark_group("query_topic_imu");
+    group.sample_size(20);
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut ctx = IoCtx::new();
+            black_box(reader.read_messages(&[topic::IMU], &mut ctx).unwrap());
+        })
+    });
+    group.bench_function("bora", |b| {
+        b.iter(|| {
+            let mut ctx = IoCtx::new();
+            black_box(bag.read_topic(topic::IMU, &mut ctx).unwrap());
+        })
+    });
+    group.finish();
+}
+
+fn bench_query_time_window(c: &mut Criterion) {
+    let (fs, bag_path, root) = prepared_env();
+    let mut ctx = IoCtx::new();
+    let reader = BagReader::open(fs.as_ref(), bag_path, &mut ctx).unwrap();
+    let bag = BoraBag::open(fs.as_ref(), root, &mut ctx).unwrap();
+    let (start, _) = bag.time_range();
+    let end = start + ros_msgs::RosDuration::from_sec_f64(0.5);
+
+    let mut group = c.benchmark_group("query_time_window");
+    group.sample_size(20);
+    group.bench_function("baseline_merge_sort", |b| {
+        b.iter(|| {
+            let mut ctx = IoCtx::new();
+            black_box(
+                reader
+                    .read_messages_time(&[topic::IMU, topic::TF], start, end, &mut ctx)
+                    .unwrap(),
+            );
+        })
+    });
+    group.bench_function("bora_coarse_index", |b| {
+        b.iter(|| {
+            let mut ctx = IoCtx::new();
+            black_box(
+                bag.read_topics_time(&[topic::IMU, topic::TF], start, end, &mut ctx)
+                    .unwrap(),
+            );
+        })
+    });
+    group.finish();
+}
+
+fn bench_tag_build(c: &mut Criterion) {
+    // Table I at Criterion precision, plus the persisted-table ablation.
+    let mut group = c.benchmark_group("tag_manager");
+    group.sample_size(10);
+    for n in [10usize, 100, 1_000, 10_000] {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        fs.append("/c/.bora", b"m", &mut ctx).unwrap();
+        let topics: Vec<String> = (0..n).map(|i| format!("/dev/sensor_{i:06}")).collect();
+        for t in &topics {
+            fs.mkdir_all(&format!("/c/{}", bora::layout::encode_topic(t)), &mut ctx).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("rebuild_from_listing", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = IoCtx::new();
+                black_box(TagManager::build(&fs, "/c", &mut ctx).unwrap());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("from_persisted_list", n), &n, |b, _| {
+            b.iter(|| black_box(TagManager::from_topics("/c", &topics)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_time_index_ablation(c: &mut Criterion) {
+    // Window-width sweep: build + query cost of the coarse index.
+    let entries: Vec<TopicIndexEntry> = (0..100_000u64)
+        .map(|i| TopicIndexEntry {
+            time: Time::from_nanos(i * 2_000_000),
+            offset: i * 64,
+            len: 64,
+        })
+        .collect();
+    let mut group = c.benchmark_group("time_index_window");
+    group.sample_size(20);
+    for window_s in [1u64, 5, 10, 60] {
+        let w = window_s * 1_000_000_000;
+        group.bench_with_input(BenchmarkId::new("build", window_s), &w, |b, &w| {
+            b.iter(|| black_box(TimeIndex::build(&entries, w)))
+        });
+        let ti = TimeIndex::build(&entries, w);
+        let start = Time::from_sec_f64(30.0);
+        let end = Time::from_sec_f64(42.0);
+        group.bench_with_input(BenchmarkId::new("lookup", window_s), &w, |b, _| {
+            b.iter(|| black_box(ti.candidate_entries(start, end)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_organizer_threads(c: &mut Criterion) {
+    // Distributor thread-count ablation (DESIGN.md §5.2).
+    let fs = Arc::new(MemStorage::new());
+    let mut ctx = IoCtx::new();
+    generate_bag(fs.as_ref(), "/hs.bag", &small_gen_opts(), &mut ctx).unwrap();
+
+    let mut group = c.benchmark_group("organizer_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let root = format!("/c_{threads}");
+                let mut ctx = IoCtx::new();
+                // Criterion re-enters this routine; clear the previous
+                // iteration's container (also bounds memory growth).
+                let _ = fs.remove_dir_all(&root, &mut ctx);
+                black_box(
+                    bora::organizer::duplicate(
+                        fs.as_ref(),
+                        "/hs.bag",
+                        fs.as_ref(),
+                        &root,
+                        &OrganizerOptions {
+                            distributor_threads: threads,
+                            ..OrganizerOptions::default()
+                        },
+                        &mut ctx,
+                    )
+                    .unwrap(),
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_db_insert(c: &mut Criterion) {
+    // Fig. 2's engines at wall-clock scale: real parse/index/WAL work.
+    let msgs = fig2_tf_messages(2_000, 0xD8);
+    let mut group = c.benchmark_group("db_insert_2k_tf");
+    group.sample_size(10);
+    group.bench_function("kv", |b| {
+        b.iter(|| {
+            let fs = Arc::new(MemStorage::new());
+            let mut ctx = IoCtx::new();
+            let mut kv = KvStore::create(Arc::clone(&fs), "/kv", &mut ctx).unwrap();
+            for m in &msgs {
+                kv.insert_tf(m, &mut ctx).unwrap();
+            }
+            black_box(kv.record_count())
+        })
+    });
+    group.bench_function("sql", |b| {
+        b.iter(|| {
+            let fs = Arc::new(MemStorage::new());
+            let mut ctx = IoCtx::new();
+            let mut db = SqlStore::create(Arc::clone(&fs), "/pg", &mut ctx).unwrap();
+            for m in &msgs {
+                db.insert_tf(m, &mut ctx).unwrap();
+            }
+            black_box(db.record_count())
+        })
+    });
+    group.bench_function("tsdb", |b| {
+        b.iter(|| {
+            let fs = Arc::new(MemStorage::new());
+            let mut ctx = IoCtx::new();
+            let mut db = TsdbStore::create(Arc::clone(&fs), "/ts", &mut ctx).unwrap();
+            for m in &msgs {
+                db.insert_tf(m, &mut ctx).unwrap();
+            }
+            black_box(db.record_count())
+        })
+    });
+    group.finish();
+}
+
+fn bench_md5(c: &mut Criterion) {
+    let data = vec![0xABu8; 64 * 1024];
+    c.bench_function("md5_64k", |b| {
+        b.iter(|| black_box(ros_msgs::md5::hex_digest(&data)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_open,
+    bench_query_by_topic,
+    bench_query_time_window,
+    bench_tag_build,
+    bench_time_index_ablation,
+    bench_organizer_threads,
+    bench_db_insert,
+    bench_md5,
+);
+criterion_main!(benches);

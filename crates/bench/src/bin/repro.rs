@@ -1,0 +1,136 @@
+//! `repro` — regenerate the BORA paper's tables and figures.
+//!
+//! ```text
+//! repro list                       # show available experiments
+//! repro all [options]              # run everything, in paper order
+//! repro fig10 fig13 [options]      # run specific experiments
+//!
+//! options:
+//!   --scale-small  F    image payload scale for 2.9 GB-class bags  (default 1/32)
+//!   --scale-large  F    image payload scale for 21 GB-class bags   (default 1/128)
+//!   --scale-swarm  F    image payload scale for 42 GB swarm bags   (default 1/512)
+//!   --distinct-bags N   materialized bags per swarm                (default 2)
+//!   --seed N            workload seed                              (default 0xB04A)
+//!   --out DIR           CSV output directory                       (default results/)
+//!   --tiny              preset: very small scales for smoke runs
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bench::env::ScaleConfig;
+use bench::experiments::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+
+    let mut scales = ScaleConfig::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+    let mut run_all = false;
+
+    let mut it = args.into_iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "list" => {
+                for e in registry() {
+                    println!("{:10} {:10} {}", e.id, e.paper_ref, e.description);
+                }
+                return;
+            }
+            "all" => run_all = true,
+            "--tiny" => scales = ScaleConfig::tiny(),
+            "--scale-small" => scales.small = take_f64(&mut it, "--scale-small"),
+            "--scale-large" => scales.large = take_f64(&mut it, "--scale-large"),
+            "--scale-swarm" => scales.swarm = take_f64(&mut it, "--scale-swarm"),
+            "--distinct-bags" => {
+                scales.swarm_distinct_bags = take_f64(&mut it, "--distinct-bags") as usize
+            }
+            "--seed" => scales.seed = take_f64(&mut it, "--seed") as u64,
+            "--out" => {
+                out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            id if !id.starts_with('-') => wanted.push(id.to_owned()),
+            other => {
+                eprintln!("unknown option: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let all = registry();
+    let selected: Vec<_> = if run_all {
+        all.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for id in &wanted {
+            match all.iter().find(|e| e.id == *id) {
+                Some(e) => sel.push(e),
+                None => {
+                    eprintln!("unknown experiment '{id}' — try `repro list`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        sel
+    };
+    if selected.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+
+    println!(
+        "# BORA reproduction — scales: small={:.5} large={:.5} swarm={:.5} seed={:#x}",
+        scales.small, scales.large, scales.swarm, scales.seed
+    );
+    for exp in selected {
+        let started = Instant::now();
+        println!("\n### {} ({}) — {}", exp.id, exp.paper_ref, exp.description);
+        let tables = (exp.run)(&scales);
+        for t in &tables {
+            println!("\n{}", t.render());
+            if let Err(e) = t.save_csv(&out_dir) {
+                eprintln!("warning: could not save {}.csv: {e}", t.id);
+            }
+        }
+        println!("[{} finished in {:.1}s]", exp.id, started.elapsed().as_secs_f64());
+    }
+    println!("\nCSV results in {}", out_dir.display());
+}
+
+fn take_f64(it: &mut std::iter::Peekable<std::vec::IntoIter<String>>, flag: &str) -> f64 {
+    let v = it.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    });
+    // Accept "1/128" fractions for convenience.
+    if let Some((a, b)) = v.split_once('/') {
+        let a: f64 = a.trim().parse().unwrap_or_else(|_| bad_value(flag, &v));
+        let b: f64 = b.trim().parse().unwrap_or_else(|_| bad_value(flag, &v));
+        return a / b;
+    }
+    v.parse().unwrap_or_else(|_| bad_value(flag, &v))
+}
+
+fn bad_value(flag: &str, v: &str) -> f64 {
+    eprintln!("bad value for {flag}: {v}");
+    std::process::exit(2);
+}
+
+fn usage() {
+    println!(
+        "usage: repro <list | all | EXPERIMENT...> [--tiny] [--scale-small F] \
+         [--scale-large F] [--scale-swarm F] [--distinct-bags N] [--seed N] [--out DIR]"
+    );
+}

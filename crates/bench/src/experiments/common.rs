@@ -1,0 +1,91 @@
+//! Shared measurement helpers: run one query both ways and report the
+//! virtual-clock split between open and query.
+
+use bora::BoraBag;
+use ros_msgs::Time;
+use rosbag::BagReader;
+use simfs::IoCtx;
+
+use crate::env::BagEnv;
+
+/// Timings of one measured operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    pub open_ns: u64,
+    pub query_ns: u64,
+    pub messages: u64,
+}
+
+impl Timing {
+    pub fn total_ns(&self) -> u64 {
+        self.open_ns + self.query_ns
+    }
+}
+
+/// Baseline: traditional `rosbag` open + `read_messages(topics)`.
+pub fn baseline_query(env: &BagEnv, topics: &[&str], concurrency: u32) -> Timing {
+    let storage = &env.platform.storage;
+    let mut ctx = IoCtx::with_concurrency(concurrency);
+    let reader = BagReader::open(storage, &env.bag_path, &mut ctx).expect("baseline open");
+    let open_ns = ctx.elapsed_ns();
+    let msgs = reader.read_messages(topics, &mut ctx).expect("baseline query");
+    Timing {
+        open_ns,
+        query_ns: ctx.elapsed_ns() - open_ns,
+        messages: msgs.len() as u64,
+    }
+}
+
+/// BORA: tag-manager open + `read_topics`.
+pub fn bora_query(env: &BagEnv, topics: &[&str], concurrency: u32) -> Timing {
+    let storage = &env.platform.storage;
+    let mut ctx = IoCtx::with_concurrency(concurrency);
+    let bag = BoraBag::open(storage, &env.container_root, &mut ctx).expect("bora open");
+    let open_ns = ctx.elapsed_ns();
+    let msgs = bag.read_topics(topics, &mut ctx).expect("bora query");
+    Timing {
+        open_ns,
+        query_ns: ctx.elapsed_ns() - open_ns,
+        messages: msgs.len() as u64,
+    }
+}
+
+/// Baseline time-range query (merge-sort of all topic entries, then read).
+pub fn baseline_query_time(env: &BagEnv, topics: &[&str], start: Time, end: Time) -> Timing {
+    let storage = &env.platform.storage;
+    let mut ctx = IoCtx::new();
+    let reader = BagReader::open(storage, &env.bag_path, &mut ctx).expect("baseline open");
+    let open_ns = ctx.elapsed_ns();
+    let msgs = reader
+        .read_messages_time(topics, start, end, &mut ctx)
+        .expect("baseline time query");
+    Timing {
+        open_ns,
+        query_ns: ctx.elapsed_ns() - open_ns,
+        messages: msgs.len() as u64,
+    }
+}
+
+/// BORA time-range query through the coarse-grain time index.
+pub fn bora_query_time(env: &BagEnv, topics: &[&str], start: Time, end: Time) -> Timing {
+    let storage = &env.platform.storage;
+    let mut ctx = IoCtx::new();
+    let bag = BoraBag::open(storage, &env.container_root, &mut ctx).expect("bora open");
+    let open_ns = ctx.elapsed_ns();
+    let msgs = bag
+        .read_topics_time(topics, start, end, &mut ctx)
+        .expect("bora time query");
+    Timing {
+        open_ns,
+        query_ns: ctx.elapsed_ns() - open_ns,
+        messages: msgs.len() as u64,
+    }
+}
+
+/// The time span actually covered by a generated bag.
+pub fn bag_time_range(env: &BagEnv) -> (Time, Time) {
+    let mut ctx = IoCtx::new();
+    let bag = BoraBag::open(&env.platform.storage, &env.container_root, &mut ctx)
+        .expect("open for range");
+    bag.time_range()
+}

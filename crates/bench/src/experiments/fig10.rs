@@ -1,0 +1,67 @@
+//! Fig. 10 — query time by topic, Handheld-SLAM bags of growing size, on
+//! the single-node server (Ext4 and XFS, with and without BORA).
+//!
+//! Paper: ~50% average improvement; ~5x on the small structured topic C
+//! (`/camera/rgb/camera_info`) where the baseline's open dominates.
+
+use workloads::tum::spec;
+
+use crate::env::{setup_bag, Platform, ScaleConfig};
+use crate::experiments::common::{baseline_query, bora_query};
+use crate::report::{ms, speedup, Table};
+
+/// Table II topic ids measured by the figure.
+pub const FIG10_TOPICS: [char; 5] = ['A', 'B', 'C', 'E', 'F'];
+
+/// Bag sizes of the four sub-figures (GB).
+pub const FIG10_SIZES: [f64; 4] = [2.9, 5.8, 10.8, 20.3];
+
+pub fn run(scales: &ScaleConfig) -> Vec<Table> {
+    FIG10_SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, &gb)| run_one_size(scales, gb, (b'a' + i as u8) as char))
+        .collect()
+}
+
+pub fn run_one_size(scales: &ScaleConfig, gb: f64, sub: char) -> Table {
+    let mut table = Table::new(
+        &format!("fig10{sub}"),
+        &format!("Query by topic, Handheld SLAM, {gb:.1} GB bag (paper Fig. 10{sub})"),
+        &[
+            "topic",
+            "system",
+            "open (ms)",
+            "query (ms)",
+            "total (ms)",
+            "BORA speedup",
+        ],
+    );
+    for (fs_name, platform) in [("Ext4", Platform::ext4()), ("XFS", Platform::xfs())] {
+        let env = setup_bag(platform, gb, scales);
+        for id in FIG10_TOPICS {
+            let topic = spec(id).name;
+            let base = baseline_query(&env, &[topic], 1);
+            let ours = bora_query(&env, &[topic], 1);
+            assert_eq!(base.messages, ours.messages, "result mismatch on {topic}");
+            table.row(vec![
+                format!("{id} {topic}"),
+                fs_name.into(),
+                ms(base.open_ns),
+                ms(base.query_ns),
+                ms(base.total_ns()),
+                String::new(),
+            ]);
+            table.row(vec![
+                format!("{id} {topic}"),
+                format!("BORA on {fs_name}"),
+                ms(ours.open_ns),
+                ms(ours.query_ns),
+                ms(ours.total_ns()),
+                speedup(base.total_ns(), ours.total_ns()),
+            ]);
+        }
+    }
+    table.note("paper: ~50% avg improvement; ~5x on topic C; BORA open time negligible");
+    table
+}

@@ -1,0 +1,86 @@
+//! Figs. 11 & 12 — query time by topics for the four real-world
+//! applications (HS, RS, DO, PA) on the single-node server, with small
+//! (2.9 GB, Fig. 11) and large (21 GB, Fig. 12) bags.
+//!
+//! Paper: BORA improves query time by >70% (small) and >50% (large) on
+//! average across applications.
+
+use workloads::apps::APPLICATIONS;
+
+use crate::env::{setup_bag, BagEnv, Platform, ScaleConfig};
+use crate::experiments::common::{baseline_query, bora_query, Timing};
+use crate::report::{ms, speedup, Table};
+
+pub fn run_small(scales: &ScaleConfig) -> Vec<Table> {
+    vec![run_apps(scales, 2.9, "fig11", "small bags (2.9 GB)")]
+}
+
+pub fn run_large(scales: &ScaleConfig) -> Vec<Table> {
+    vec![run_apps(scales, 21.0, "fig12", "large bags (21 GB)")]
+}
+
+/// Run an application: PA executes three stages with different topic
+/// picks; the others one query. Returns summed timings.
+fn run_app(
+    env: &BagEnv,
+    app: workloads::Application,
+    f: impl Fn(&BagEnv, &[&str]) -> Timing,
+) -> Timing {
+    let stages: Vec<Vec<&'static str>> = match app {
+        workloads::Application::PreAnalysis => (0..3).map(|s| app.topics(s)).collect(),
+        _ => vec![app.topics(0)],
+    };
+    let mut total = Timing {
+        open_ns: 0,
+        query_ns: 0,
+        messages: 0,
+    };
+    for stage_topics in stages {
+        let t = f(env, &stage_topics);
+        total.open_ns += t.open_ns;
+        total.query_ns += t.query_ns;
+        total.messages += t.messages;
+    }
+    total
+}
+
+fn run_apps(scales: &ScaleConfig, gb: f64, id: &str, what: &str) -> Table {
+    let mut table = Table::new(
+        id,
+        &format!("Query by topics, four applications, {what} (paper {id})"),
+        &[
+            "application",
+            "system",
+            "open (ms)",
+            "query (ms)",
+            "total (ms)",
+            "BORA speedup",
+        ],
+    );
+    for (fs_name, platform) in [("Ext4", Platform::ext4()), ("XFS", Platform::xfs())] {
+        let env = setup_bag(platform, gb, scales);
+        for app in APPLICATIONS {
+            let base = run_app(&env, app, |e, t| baseline_query(e, t, 1));
+            let ours = run_app(&env, app, |e, t| bora_query(e, t, 1));
+            assert_eq!(base.messages, ours.messages, "result mismatch for {}", app.abbrev());
+            table.row(vec![
+                app.abbrev().into(),
+                fs_name.into(),
+                ms(base.open_ns),
+                ms(base.query_ns),
+                ms(base.total_ns()),
+                String::new(),
+            ]);
+            table.row(vec![
+                app.abbrev().into(),
+                format!("BORA on {fs_name}"),
+                ms(ours.open_ns),
+                ms(ours.query_ns),
+                ms(ours.total_ns()),
+                speedup(base.total_ns(), ours.total_ns()),
+            ]);
+        }
+    }
+    table.note("paper: >70% avg improvement at 2.9 GB (Fig. 11), >50% at 21 GB (Fig. 12)");
+    table
+}

@@ -1,0 +1,85 @@
+//! Fig. 3 — why existing I/O middleware doesn't help bags: PLFS vs
+//! Ext4/XFS for (a) bag write and (b) topic read.
+//!
+//! Paper: PLFS takes ~2x longer to write a 3.9 GB bag and ~1x longer
+//! (i.e. about double) to retrieve a topic from a 2.9 GB bag.
+
+use plfs_lite::PlfsStorage;
+use rosbag::BagReader;
+use simfs::{DeviceModel, IoCtx, MemStorage, Storage, TimedStorage};
+use workloads::tum::{generate_bag, topic};
+
+use crate::env::ScaleConfig;
+use crate::report::{ms, speedup, Table};
+
+pub fn run(scales: &ScaleConfig) -> Vec<Table> {
+    vec![run_write(scales), run_read(scales)]
+}
+
+/// Fig. 3a: write a 3.9 GB-class bag through PLFS vs directly.
+pub fn run_write(scales: &ScaleConfig) -> Table {
+    let mut table = Table::new(
+        "fig3a",
+        "Bag write: plain filesystem vs PLFS-backed (paper: PLFS ~2x slower at 3.9 GB)",
+        &["filesystem", "bag", "write time (ms)", "slowdown vs plain"],
+    );
+    for (fs_name, device) in [("Ext4", DeviceModel::nvme_ext4()), ("XFS", DeviceModel::nvme_xfs())] {
+        let opts = scales.gen_for_gb(3.9);
+
+        let plain = TimedStorage::new(MemStorage::new(), device);
+        let mut ctx = IoCtx::new();
+        generate_bag(&plain, "/b.bag", &opts, &mut ctx).unwrap();
+        let plain_ns = ctx.elapsed_ns();
+
+        let plfs = PlfsStorage::new(TimedStorage::new(MemStorage::new(), device));
+        let mut pctx = IoCtx::new();
+        generate_bag(&plfs, "/b.bag", &opts, &mut pctx).unwrap();
+        let plfs_ns = pctx.elapsed_ns();
+
+        table.row(vec![fs_name.into(), "3.9 GB class".into(), ms(plain_ns), "1.00x".into()]);
+        table.row(vec![
+            format!("PLFS on {fs_name}"),
+            "3.9 GB class".into(),
+            ms(plfs_ns),
+            speedup(plfs_ns, plain_ns),
+        ]);
+    }
+    table
+}
+
+/// Fig. 3b: read one topic from a 2.9 GB-class bag.
+pub fn run_read(scales: &ScaleConfig) -> Table {
+    let mut table = Table::new(
+        "fig3b",
+        "Topic read from a 2.9 GB bag: plain vs PLFS-backed (paper: PLFS ~2x)",
+        &["filesystem", "topic", "read time (ms)", "slowdown vs plain"],
+    );
+    let opts = scales.gen_for_gb(2.9);
+    for (fs_name, device) in [("Ext4", DeviceModel::nvme_ext4()), ("XFS", DeviceModel::nvme_xfs())] {
+        let plain = TimedStorage::new(MemStorage::new(), device);
+        let mut ctx = IoCtx::new();
+        generate_bag(&plain, "/b.bag", &opts, &mut ctx).unwrap();
+        let plain_ns = read_topic_ns(&plain, topic::RGB_IMAGE);
+
+        let plfs = PlfsStorage::new(TimedStorage::new(MemStorage::new(), device));
+        let mut pctx = IoCtx::new();
+        generate_bag(&plfs, "/b.bag", &opts, &mut pctx).unwrap();
+        let plfs_ns = read_topic_ns(&plfs, topic::RGB_IMAGE);
+
+        table.row(vec![fs_name.into(), topic::RGB_IMAGE.into(), ms(plain_ns), "1.00x".into()]);
+        table.row(vec![
+            format!("PLFS on {fs_name}"),
+            topic::RGB_IMAGE.into(),
+            ms(plfs_ns),
+            speedup(plfs_ns, plain_ns),
+        ]);
+    }
+    table
+}
+
+fn read_topic_ns<S: Storage>(storage: &S, t: &str) -> u64 {
+    let mut ctx = IoCtx::new();
+    let reader = BagReader::open(storage, "/b.bag", &mut ctx).unwrap();
+    reader.read_messages(&[t], &mut ctx).unwrap();
+    ctx.elapsed_ns()
+}

@@ -1,0 +1,63 @@
+//! Table I — cost of building the tag manager's hash table on the fly.
+//!
+//! Paper: 10 topics → 0.163 ms / 0.11 KB; 100,000 topics → 35.84 ms /
+//! 1.5 MB. The point is that the rebuild-at-open design is essentially
+//! free, so the table never needs persisting.
+
+use std::time::Instant;
+
+use bora::TagManager;
+use simfs::{IoCtx, MemStorage, Storage};
+
+use crate::env::ScaleConfig;
+use crate::report::Table;
+
+pub fn run(scales: &ScaleConfig) -> Vec<Table> {
+    let max = if scales.swarm < 1.0 / 1024.0 { 10_000 } else { 100_000 };
+    vec![run_up_to(max)]
+}
+
+pub fn run_up_to(max_topics: usize) -> Table {
+    let mut table = Table::new(
+        "table1",
+        "Tag-manager hash table construction (paper Table I)",
+        &[
+            "topics",
+            "table size (KB)",
+            "build time real (ms)",
+            "paper time (ms)",
+            "paper size (KB)",
+        ],
+    );
+    let paper: &[(usize, &str, &str)] = &[
+        (10, "0.163", "0.11"),
+        (100, "0.476", "1.2"),
+        (1_000, "3.949", "13"),
+        (10_000, "29.883", "136"),
+        (100_000, "35.840", "1500"),
+    ];
+    for &(n, paper_ms, paper_kb) in paper.iter().filter(|(n, _, _)| *n <= max_topics) {
+        // Build a container with n topic directories.
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        fs.append("/c/.bora", b"m", &mut ctx).unwrap();
+        for i in 0..n {
+            fs.mkdir_all(&format!("/c/sensors%device_{i:06}"), &mut ctx).unwrap();
+        }
+
+        let started = Instant::now();
+        let tm = TagManager::build(&fs, "/c", &mut ctx).unwrap();
+        let real_ms = started.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(tm.len(), n);
+
+        table.row(vec![
+            n.to_string(),
+            format!("{:.2}", tm.approx_size_bytes() as f64 / 1024.0),
+            format!("{real_ms:.3}"),
+            paper_ms.into(),
+            paper_kb.into(),
+        ]);
+    }
+    table.note("build time is wall-clock of the real hash construction (paper measured the same)");
+    table
+}

@@ -1,0 +1,168 @@
+//! `bora-tool` — operate on real bags and containers on the local disk.
+//!
+//! ```text
+//! bora-tool import  <src.bag> <container-dir>    duplicate a bag into a container
+//! bora-tool record? (see `rosbag-tool` for bag-side operations)
+//! bora-tool info    <container-dir>              container metadata summary
+//! bora-tool topics  <container-dir>              list topics
+//! bora-tool query   <container-dir> <topic> [start_s end_s]
+//! bora-tool export  <container-dir> <out.bag>    rebag a container
+//! bora-tool verify  <container-dir>              consistency self-check
+//! ```
+//!
+//! All storage goes through `simfs::LocalStorage`, i.e. real files.
+
+use std::path::Path;
+use std::process::exit;
+
+use bora::{BoraBag, OrganizerOptions};
+use ros_msgs::Time;
+use simfs::{IoCtx, LocalStorage};
+
+/// Split a host path into (LocalStorage rooted at its parent, "/name").
+fn split(path: &str) -> (LocalStorage, String) {
+    let p = Path::new(path);
+    let parent = p.parent().filter(|q| !q.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let name = p
+        .file_name()
+        .unwrap_or_else(|| {
+            eprintln!("bad path: {path}");
+            exit(2);
+        })
+        .to_string_lossy()
+        .into_owned();
+    let fs = LocalStorage::new(parent).unwrap_or_else(|e| {
+        eprintln!("cannot open {parent:?}: {e}");
+        exit(2);
+    });
+    (fs, format!("/{name}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = IoCtx::new();
+    match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        ["import", src, dst] => {
+            let (sfs, spath) = split(src);
+            let (dfs, dpath) = split(dst);
+            let report = bora::organizer::duplicate(
+                &sfs,
+                &spath,
+                &dfs,
+                &dpath,
+                &OrganizerOptions::default(),
+                &mut ctx,
+            )
+            .unwrap_or_else(die);
+            println!(
+                "imported {} messages across {} topics ({} payload bytes) into {dst}",
+                report.messages, report.topics, report.payload_bytes
+            );
+        }
+        ["info", dir] => {
+            let (fs, path) = split(dir);
+            let bag = BoraBag::open(&fs, &path, &mut ctx).unwrap_or_else(die);
+            let m = bag.meta();
+            println!("container:    {dir}");
+            println!("messages:     {}", m.message_count());
+            println!("payload:      {} bytes", m.data_bytes());
+            println!("time range:   [{}, {}]", m.start_time, m.end_time);
+            println!("time window:  {} s", m.window_ns as f64 / 1e9);
+            println!("topics:");
+            for t in &m.topics {
+                println!(
+                    "  {:40} {:28} {:>9} msgs  {:>12} bytes",
+                    t.topic, t.datatype, t.message_count, t.bytes
+                );
+            }
+        }
+        ["topics", dir] => {
+            let (fs, path) = split(dir);
+            let bag = BoraBag::open(&fs, &path, &mut ctx).unwrap_or_else(die);
+            for t in bag.topics() {
+                println!("{t}");
+            }
+        }
+        ["query", dir, topic, rest @ ..] => {
+            let (fs, path) = split(dir);
+            let bag = BoraBag::open(&fs, &path, &mut ctx).unwrap_or_else(die);
+            let msgs = match rest {
+                [] => bag.read_topic(topic, &mut ctx).unwrap_or_else(die),
+                [start, end] => {
+                    let s: f64 = start.parse().unwrap_or_else(|_| badnum(start));
+                    let e: f64 = end.parse().unwrap_or_else(|_| badnum(end));
+                    bag.read_topic_time(topic, Time::from_sec_f64(s), Time::from_sec_f64(e), &mut ctx)
+                        .unwrap_or_else(die)
+                }
+                _ => usage(),
+            };
+            println!("{} messages", msgs.len());
+            for m in msgs.iter().take(5) {
+                println!("  t={} {} bytes", m.time, m.data.len());
+            }
+            if msgs.len() > 5 {
+                println!("  ... ({} more)", msgs.len() - 5);
+            }
+        }
+        ["export", dir, out] => {
+            let (fs, path) = split(dir);
+            let (ofs, opath) = split(out);
+            let bag = BoraBag::open(&fs, &path, &mut ctx).unwrap_or_else(die);
+            let topics: Vec<String> = bag.topics().into_iter().map(str::to_owned).collect();
+            let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
+            let msgs = bag.read_topics(&refs, &mut ctx).unwrap_or_else(die);
+            let mut w = rosbag::BagWriter::create(
+                &ofs,
+                &opath,
+                rosbag::BagWriterOptions::default(),
+                &mut ctx,
+            )
+            .unwrap_or_else(die);
+            let mut conn_ids = std::collections::HashMap::new();
+            for tm in &bag.meta().topics {
+                let desc = ros_msgs::MessageDescriptor {
+                    datatype: tm.datatype.clone(),
+                    md5sum: tm.md5sum.clone(),
+                    definition: tm.definition.clone(),
+                };
+                conn_ids.insert(tm.topic.clone(), w.add_connection(&tm.topic, &desc));
+            }
+            for m in &msgs {
+                w.write_message(conn_ids[&m.topic], m.time, &m.data, &mut ctx)
+                    .unwrap_or_else(die);
+            }
+            let s = w.close(&mut ctx).unwrap_or_else(die);
+            println!("exported {} messages to {out} ({} bytes)", s.message_count, s.file_len);
+        }
+        ["verify", dir] => {
+            let (fs, path) = split(dir);
+            let bag = BoraBag::open(&fs, &path, &mut ctx).unwrap_or_else(die);
+            match bag.verify(&mut ctx) {
+                Ok(n) => println!("OK: {n} messages verified"),
+                Err(e) => {
+                    eprintln!("CORRUPT: {e}");
+                    exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn die<E: std::fmt::Display, T>(e: E) -> T {
+    eprintln!("error: {e}");
+    exit(1);
+}
+
+fn badnum(s: &str) -> f64 {
+    eprintln!("bad number: {s}");
+    exit(2);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bora-tool <import <src.bag> <dir> | info <dir> | topics <dir> | \
+         query <dir> <topic> [start_s end_s] | export <dir> <out.bag> | verify <dir>>"
+    );
+    exit(2);
+}

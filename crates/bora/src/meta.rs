@@ -1,0 +1,172 @@
+//! Container metadata (`.bora` file).
+//!
+//! Holds what the source bag's connection records held — topic names,
+//! datatypes, md5sums, full message definitions — plus per-topic counts and
+//! the bag's time range. Reading it is a single small sequential read;
+//! BORA's open never scans message data.
+
+use ros_msgs::wire::{WireRead, WireWrite};
+use ros_msgs::Time;
+
+use crate::error::{BoraError, BoraResult};
+
+const META_MAGIC: u32 = 0x42_4F_52_41; // "BORA"
+const META_VERSION: u32 = 1;
+
+/// Metadata for one topic stored in the container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicMeta {
+    pub topic: String,
+    pub datatype: String,
+    pub md5sum: String,
+    pub definition: String,
+    pub message_count: u64,
+    pub bytes: u64,
+}
+
+/// Container-level metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ContainerMeta {
+    pub topics: Vec<TopicMeta>,
+    pub start_time: Time,
+    pub end_time: Time,
+    /// Coarse time-index window width used by every topic's `tindex`.
+    pub window_ns: u64,
+    /// Size of the source bag file, for reporting.
+    pub source_bag_len: u64,
+}
+
+impl ContainerMeta {
+    pub fn message_count(&self) -> u64 {
+        self.topics.iter().map(|t| t.message_count).sum()
+    }
+
+    pub fn data_bytes(&self) -> u64 {
+        self.topics.iter().map(|t| t.bytes).sum()
+    }
+
+    pub fn topic(&self, name: &str) -> Option<&TopicMeta> {
+        self.topics.iter().find(|t| t.topic == name)
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.put_u32(META_MAGIC);
+        out.put_u32(META_VERSION);
+        out.put_time(self.start_time);
+        out.put_time(self.end_time);
+        out.put_u64(self.window_ns);
+        out.put_u64(self.source_bag_len);
+        out.put_u32(self.topics.len() as u32);
+        for t in &self.topics {
+            out.put_string(&t.topic);
+            out.put_string(&t.datatype);
+            out.put_string(&t.md5sum);
+            out.put_string(&t.definition);
+            out.put_u64(t.message_count);
+            out.put_u64(t.bytes);
+        }
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> BoraResult<Self> {
+        let mut cur = bytes;
+        if cur.get_u32()? != META_MAGIC {
+            return Err(BoraError::Corrupt("metadata magic mismatch".into()));
+        }
+        let ver = cur.get_u32()?;
+        if ver != META_VERSION {
+            return Err(BoraError::Corrupt(format!("unsupported metadata version {ver}")));
+        }
+        let start_time = cur.get_time()?;
+        let end_time = cur.get_time()?;
+        let window_ns = cur.get_u64()?;
+        let source_bag_len = cur.get_u64()?;
+        let n = cur.get_u32()? as usize;
+        let mut topics = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            topics.push(TopicMeta {
+                topic: cur.get_string()?,
+                datatype: cur.get_string()?,
+                md5sum: cur.get_string()?,
+                definition: cur.get_string()?,
+                message_count: cur.get_u64()?,
+                bytes: cur.get_u64()?,
+            });
+        }
+        if cur.remaining() != 0 {
+            return Err(BoraError::Corrupt("trailing bytes in metadata".into()));
+        }
+        Ok(ContainerMeta {
+            topics,
+            start_time,
+            end_time,
+            window_ns,
+            source_bag_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ContainerMeta {
+        ContainerMeta {
+            topics: vec![
+                TopicMeta {
+                    topic: "/imu".into(),
+                    datatype: "sensor_msgs/Imu".into(),
+                    md5sum: "ff".into(),
+                    definition: "def".into(),
+                    message_count: 24367,
+                    bytes: 8_400_000,
+                },
+                TopicMeta {
+                    topic: "/camera/depth/image".into(),
+                    datatype: "sensor_msgs/Image".into(),
+                    md5sum: "aa".into(),
+                    definition: "def2".into(),
+                    message_count: 1429,
+                    bytes: 1_640_000_000,
+                },
+            ],
+            start_time: Time::new(100, 0),
+            end_time: Time::new(187, 500),
+            window_ns: 5_000_000_000,
+            source_bag_len: 2_900_000_000,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample();
+        assert_eq!(ContainerMeta::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = sample();
+        assert_eq!(m.message_count(), 24367 + 1429);
+        assert_eq!(m.data_bytes(), 8_400_000 + 1_640_000_000);
+        assert!(m.topic("/imu").is_some());
+        assert!(m.topic("/nope").is_none());
+    }
+
+    #[test]
+    fn corrupt_rejected() {
+        let m = sample();
+        let mut bytes = m.encode();
+        bytes[0] ^= 1;
+        assert!(ContainerMeta::decode(&bytes).is_err());
+        let mut bytes2 = m.encode();
+        bytes2.push(0);
+        assert!(ContainerMeta::decode(&bytes2).is_err());
+    }
+
+    #[test]
+    fn empty_meta_round_trips() {
+        let m = ContainerMeta::default();
+        assert_eq!(ContainerMeta::decode(&m.encode()).unwrap(), m);
+    }
+}

@@ -1,0 +1,203 @@
+//! Multi-bag (swarm) queries — the paper's §IV.E scenario as a library
+//! API instead of a hand-rolled harness.
+//!
+//! A swarm analysis opens one container per robot and pulls the same
+//! topic (and often the same time window) from all of them — the paper's
+//! "Bullet Time" multi-angle reconstruction. [`SwarmQuery`] opens the
+//! containers, fans the per-robot queries out over scoped threads, and
+//! returns per-robot results plus the virtual makespan under the declared
+//! concurrency.
+
+use ros_msgs::Time;
+use rosbag::MessageRecord;
+use simfs::{IoCtx, Storage};
+
+use crate::container::BoraBag;
+use crate::error::{BoraError, BoraResult};
+
+/// Result of one swarm-wide query.
+pub struct SwarmResult {
+    /// Per-robot messages, indexed like the container list.
+    pub per_robot: Vec<Vec<MessageRecord>>,
+    /// Virtual makespan across robots (max of per-robot clocks).
+    pub makespan_ns: u64,
+    /// Sum of all robots' virtual time (aggregate storage seconds).
+    pub total_ns: u64,
+}
+
+impl SwarmResult {
+    pub fn message_count(&self) -> u64 {
+        self.per_robot.iter().map(|v| v.len() as u64).sum()
+    }
+}
+
+/// An opened swarm: one BORA container per robot.
+pub struct SwarmQuery<'s, S> {
+    storage: &'s S,
+    roots: Vec<String>,
+}
+
+impl<'s, S: Storage> SwarmQuery<'s, S> {
+    /// Validate that every root is an openable container (cheap: tag
+    /// listing + metadata) and build the query handle.
+    pub fn open(storage: &'s S, roots: &[String], ctx: &mut IoCtx) -> BoraResult<Self> {
+        if roots.is_empty() {
+            return Err(BoraError::Corrupt("swarm with zero robots".into()));
+        }
+        for r in roots {
+            BoraBag::open(storage, r, ctx)?;
+        }
+        Ok(SwarmQuery {
+            storage,
+            roots: roots.to_vec(),
+        })
+    }
+
+    pub fn robots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Run `query` for every robot concurrently. Each robot's `IoCtx`
+    /// declares the whole swarm as its concurrency, so cost models apply
+    /// the paper's contention regime.
+    fn fan_out<F>(&self, query: F) -> BoraResult<SwarmResult>
+    where
+        F: Fn(&BoraBag<&'s S>, &mut IoCtx) -> BoraResult<Vec<MessageRecord>> + Sync,
+    {
+        let n = self.roots.len();
+        let mut slots: Vec<BoraResult<(Vec<MessageRecord>, u64)>> =
+            (0..n).map(|_| Ok((Vec::new(), 0))).collect();
+        crossbeam::thread::scope(|scope| {
+            let query = &query;
+            let mut handles = Vec::with_capacity(n);
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let root = &self.roots[i];
+                let storage = self.storage;
+                handles.push(scope.spawn(move |_| {
+                    let mut ctx = IoCtx::with_concurrency(n as u32);
+                    *slot = (|| {
+                        let bag = BoraBag::open(storage, root, &mut ctx)?;
+                        let msgs = query(&bag, &mut ctx)?;
+                        Ok((msgs, ctx.elapsed_ns()))
+                    })();
+                }));
+            }
+            for h in handles {
+                h.join().expect("swarm worker panicked");
+            }
+        })
+        .expect("swarm scope failed");
+
+        let mut per_robot = Vec::with_capacity(n);
+        let mut makespan = 0u64;
+        let mut total = 0u64;
+        for slot in slots {
+            let (msgs, ns) = slot?;
+            makespan = makespan.max(ns);
+            total += ns;
+            per_robot.push(msgs);
+        }
+        Ok(SwarmResult {
+            per_robot,
+            makespan_ns: makespan,
+            total_ns: total,
+        })
+    }
+
+    /// Same topics from every robot (the multi-angle extraction).
+    pub fn read_topics(&self, topics: &[&str]) -> BoraResult<SwarmResult> {
+        self.fan_out(|bag, ctx| bag.read_topics(topics, ctx))
+    }
+
+    /// Same topics and time window from every robot ("Bullet Time").
+    pub fn read_topics_time(
+        &self,
+        topics: &[&str],
+        start: Time,
+        end: Time,
+    ) -> BoraResult<SwarmResult> {
+        self.fan_out(move |bag, ctx| bag.read_topics_time(topics, start, end, ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organizer::{duplicate, OrganizerOptions};
+    use ros_msgs::sensor_msgs::Imu;
+    use ros_msgs::RosMessage;
+    use rosbag::{BagWriter, BagWriterOptions};
+    use simfs::MemStorage;
+
+    fn setup_swarm(n: usize) -> (MemStorage, Vec<String>) {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let mut roots = Vec::new();
+        for r in 0..n {
+            let bag_path = format!("/r{r}.bag");
+            let mut w = BagWriter::create(
+                &fs,
+                &bag_path,
+                BagWriterOptions { chunk_size: 2048, ..Default::default() },
+                &mut ctx,
+            )
+            .unwrap();
+            for i in 0..100u32 {
+                let mut imu = Imu::default();
+                imu.header.seq = i;
+                imu.header.stamp = Time::new(i, 0);
+                imu.linear_acceleration.x = r as f64; // robot signature
+                w.write_ros_message("/imu", Time::new(i, 0), &imu, &mut ctx).unwrap();
+            }
+            w.close(&mut ctx).unwrap();
+            let root = format!("/c{r}");
+            duplicate(&fs, &bag_path, &fs, &root, &OrganizerOptions::default(), &mut ctx).unwrap();
+            roots.push(root);
+        }
+        (fs, roots)
+    }
+
+    #[test]
+    fn swarm_reads_every_robot() {
+        let (fs, roots) = setup_swarm(5);
+        let mut ctx = IoCtx::new();
+        let sq = SwarmQuery::open(&fs, &roots, &mut ctx).unwrap();
+        assert_eq!(sq.robots(), 5);
+        let res = sq.read_topics(&["/imu"]).unwrap();
+        assert_eq!(res.message_count(), 500);
+        // Robots are distinguishable (each kept its own payload stream).
+        for (r, msgs) in res.per_robot.iter().enumerate() {
+            let imu = Imu::from_bytes(&msgs[0].data).unwrap();
+            assert_eq!(imu.linear_acceleration.x, r as f64);
+        }
+        assert!(res.makespan_ns <= res.total_ns);
+    }
+
+    #[test]
+    fn bullet_time_window() {
+        let (fs, roots) = setup_swarm(4);
+        let mut ctx = IoCtx::new();
+        let sq = SwarmQuery::open(&fs, &roots, &mut ctx).unwrap();
+        let res = sq
+            .read_topics_time(&["/imu"], Time::new(10, 0), Time::new(20, 0))
+            .unwrap();
+        for msgs in &res.per_robot {
+            assert_eq!(msgs.len(), 10, "every robot contributes the same instant");
+        }
+    }
+
+    #[test]
+    fn empty_swarm_rejected() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        assert!(SwarmQuery::open(&fs, &[], &mut ctx).is_err());
+    }
+
+    #[test]
+    fn broken_robot_surfaces_as_error() {
+        let (fs, mut roots) = setup_swarm(2);
+        roots.push("/missing".to_owned());
+        let mut ctx = IoCtx::new();
+        assert!(SwarmQuery::open(&fs, &roots, &mut ctx).is_err());
+    }
+}

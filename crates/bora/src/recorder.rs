@@ -1,0 +1,308 @@
+//! Online recording — the paper's future-work mode (§III.C: "BORA could
+//! be integrated into a file system running on a robot so that it can
+//! manipulate bag data in an online way").
+//!
+//! [`BoraRecorder`] subscribes like `rosbag record` but writes *directly*
+//! into a container: per-topic appends, fine-grain index entries, and
+//! incremental coarse time windows, with no bag-to-container duplication
+//! step afterwards. The resulting container is indistinguishable from one
+//! produced by the offline organizer (tested below), so all of BORA-Lib
+//! works on it unchanged.
+//!
+//! The trade-off the paper anticipates is write-side: recording scatters
+//! appends across topic files instead of one log, so the recorder keeps
+//! per-topic write buffers to preserve recording throughput.
+
+use std::collections::HashMap;
+
+use ros_msgs::{MessageDescriptor, RosMessage, Time};
+use simfs::device::cpu;
+use simfs::{IoCtx, Storage};
+
+use crate::error::{BoraError, BoraResult};
+use crate::layout::{meta_path, TopicPaths};
+use crate::meta::{ContainerMeta, TopicMeta};
+use crate::time_index::{TimeIndex, DEFAULT_WINDOW_NS};
+use crate::topic_index::{encode_entries, TopicIndexEntry};
+
+/// Options for online recording.
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderOptions {
+    pub window_ns: u64,
+    /// Per-topic write-buffer size.
+    pub write_buffer: usize,
+}
+
+impl Default for RecorderOptions {
+    fn default() -> Self {
+        RecorderOptions {
+            window_ns: DEFAULT_WINDOW_NS,
+            write_buffer: 256 * 1024,
+        }
+    }
+}
+
+struct TopicState {
+    meta: TopicMeta,
+    paths: TopicPaths,
+    entries: Vec<TopicIndexEntry>,
+    buffer: Vec<u8>,
+    written: u64,
+}
+
+/// Records messages straight into a BORA container.
+pub struct BoraRecorder<S> {
+    storage: S,
+    root: String,
+    opts: RecorderOptions,
+    topics: HashMap<String, TopicState>,
+    start: Time,
+    end: Time,
+    messages: u64,
+    closed: bool,
+}
+
+impl<S: Storage> BoraRecorder<S> {
+    /// Start recording into a new container at `root`.
+    pub fn create(storage: S, root: &str, opts: RecorderOptions, ctx: &mut IoCtx) -> BoraResult<Self> {
+        if storage.exists(root, ctx) {
+            return Err(BoraError::Fs(simfs::FsError::AlreadyExists(root.to_owned())));
+        }
+        storage.mkdir_all(root, ctx)?;
+        Ok(BoraRecorder {
+            storage,
+            root: root.to_owned(),
+            opts,
+            topics: HashMap::new(),
+            start: Time::MAX,
+            end: Time::ZERO,
+            messages: 0,
+            closed: false,
+        })
+    }
+
+    /// Subscribe a topic (idempotent).
+    pub fn subscribe(&mut self, topic: &str, desc: &MessageDescriptor, ctx: &mut IoCtx) -> BoraResult<()> {
+        if self.topics.contains_key(topic) {
+            return Ok(());
+        }
+        let paths = TopicPaths::new(&self.root, topic);
+        self.storage.mkdir_all(&paths.dir, ctx)?;
+        self.topics.insert(
+            topic.to_owned(),
+            TopicState {
+                meta: TopicMeta {
+                    topic: topic.to_owned(),
+                    datatype: desc.datatype.clone(),
+                    md5sum: desc.md5sum.clone(),
+                    definition: desc.definition.clone(),
+                    message_count: 0,
+                    bytes: 0,
+                },
+                paths,
+                entries: Vec::new(),
+                buffer: Vec::new(),
+                written: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Record one serialized message. Messages must arrive chronologically
+    /// per topic (as a subscriber receives them).
+    pub fn record(&mut self, topic: &str, time: Time, payload: &[u8], ctx: &mut IoCtx) -> BoraResult<()> {
+        if self.closed {
+            return Err(BoraError::Corrupt("recorder already closed".into()));
+        }
+        let st = self
+            .topics
+            .get_mut(topic)
+            .ok_or_else(|| BoraError::UnknownTopic(topic.to_owned()))?;
+        if let Some(last) = st.entries.last() {
+            if time < last.time {
+                return Err(BoraError::Corrupt(format!(
+                    "{topic}: out-of-order stamp {time} after {}",
+                    last.time
+                )));
+            }
+        }
+        st.entries.push(TopicIndexEntry {
+            time,
+            offset: st.written + st.buffer.len() as u64,
+            len: payload.len() as u32,
+        });
+        st.buffer.extend_from_slice(payload);
+        st.meta.message_count += 1;
+        st.meta.bytes += payload.len() as u64;
+        ctx.charge_ns(cpu::INDEX_ENTRY_NS);
+        if st.buffer.len() >= self.opts.write_buffer {
+            st.written += st.buffer.len() as u64;
+            self.storage.append(&st.paths.data, &st.buffer, ctx)?;
+            st.buffer.clear();
+        }
+        self.start = self.start.min(time);
+        self.end = self.end.max(time);
+        self.messages += 1;
+        Ok(())
+    }
+
+    /// Typed convenience: subscribe-if-needed and record.
+    pub fn record_ros_message<M: RosMessage>(
+        &mut self,
+        topic: &str,
+        time: Time,
+        msg: &M,
+        ctx: &mut IoCtx,
+    ) -> BoraResult<()> {
+        if !self.topics.contains_key(topic) {
+            self.subscribe(topic, &MessageDescriptor::of::<M>(), ctx)?;
+        }
+        self.record(topic, time, &msg.to_bytes(), ctx)
+    }
+
+    pub fn message_count(&self) -> u64 {
+        self.messages
+    }
+
+    /// Finish: flush buffers, write per-topic indices and the container
+    /// metadata. The container is then openable by [`crate::BoraBag`].
+    pub fn close(mut self, ctx: &mut IoCtx) -> BoraResult<ContainerMeta> {
+        if self.closed {
+            return Err(BoraError::Corrupt("recorder already closed".into()));
+        }
+        self.closed = true;
+        let mut topics: Vec<&mut TopicState> = self.topics.values_mut().collect();
+        topics.sort_by(|a, b| a.meta.topic.cmp(&b.meta.topic));
+        let mut metas = Vec::with_capacity(topics.len());
+        for st in topics {
+            // Flush data remainder (also materializes empty topics).
+            self.storage.append(&st.paths.data, &st.buffer, ctx)?;
+            st.written += st.buffer.len() as u64;
+            st.buffer.clear();
+            self.storage.append(&st.paths.index, &encode_entries(&st.entries), ctx)?;
+            let tindex = TimeIndex::build(&st.entries, self.opts.window_ns);
+            self.storage.append(&st.paths.tindex, &tindex.encode(), ctx)?;
+            metas.push(st.meta.clone());
+        }
+        let meta = ContainerMeta {
+            topics: metas,
+            start_time: if self.messages > 0 { self.start } else { Time::ZERO },
+            end_time: if self.messages > 0 { self.end } else { Time::ZERO },
+            window_ns: self.opts.window_ns,
+            source_bag_len: 0, // no source bag: recorded online
+        };
+        self.storage.append(&meta_path(&self.root), &meta.encode(), ctx)?;
+        self.storage.flush(&meta_path(&self.root), ctx)?;
+        Ok(meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::BoraBag;
+    use crate::organizer::{duplicate, OrganizerOptions};
+    use ros_msgs::sensor_msgs::Imu;
+    use rosbag::{BagWriter, BagWriterOptions};
+    use simfs::MemStorage;
+
+    fn imu_at(i: u32) -> (Time, Imu) {
+        let t = Time::new(100 + i / 10, (i % 10) * 100_000_000);
+        let mut imu = Imu::default();
+        imu.header.seq = i;
+        imu.header.stamp = t;
+        (t, imu)
+    }
+
+    #[test]
+    fn record_then_query() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let mut rec = BoraRecorder::create(&fs, "/c", RecorderOptions::default(), &mut ctx).unwrap();
+        for i in 0..500 {
+            let (t, imu) = imu_at(i);
+            rec.record_ros_message("/imu", t, &imu, &mut ctx).unwrap();
+        }
+        let meta = rec.close(&mut ctx).unwrap();
+        assert_eq!(meta.message_count(), 500);
+
+        let bag = BoraBag::open(&fs, "/c", &mut ctx).unwrap();
+        assert_eq!(bag.verify(&mut ctx).unwrap(), 500);
+        let msgs = bag
+            .read_topic_time("/imu", Time::new(110, 0), Time::new(120, 0), &mut ctx)
+            .unwrap();
+        assert_eq!(msgs.len(), 100);
+    }
+
+    #[test]
+    fn online_equals_offline_container() {
+        // Record the same stream online and via bag+organizer; the
+        // resulting containers must answer queries identically.
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+
+        let mut rec =
+            BoraRecorder::create(&fs, "/online", RecorderOptions::default(), &mut ctx).unwrap();
+        let mut w = BagWriter::create(&fs, "/b.bag", BagWriterOptions { chunk_size: 2048, ..Default::default() }, &mut ctx)
+            .unwrap();
+        for i in 0..300 {
+            let (t, imu) = imu_at(i);
+            rec.record_ros_message("/imu", t, &imu, &mut ctx).unwrap();
+            w.write_ros_message("/imu", t, &imu, &mut ctx).unwrap();
+        }
+        rec.close(&mut ctx).unwrap();
+        w.close(&mut ctx).unwrap();
+        duplicate(&fs, "/b.bag", &fs, "/offline", &OrganizerOptions::default(), &mut ctx).unwrap();
+
+        let online = BoraBag::open(&fs, "/online", &mut ctx).unwrap();
+        let offline = BoraBag::open(&fs, "/offline", &mut ctx).unwrap();
+        let a = online.read_topic("/imu", &mut ctx).unwrap();
+        let b = offline.read_topic("/imu", &mut ctx).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.data, y.data);
+        }
+        // Byte-identical topic files too.
+        assert_eq!(
+            fs.read_all("/online/imu/data", &mut ctx).unwrap(),
+            fs.read_all("/offline/imu/data", &mut ctx).unwrap()
+        );
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let mut rec = BoraRecorder::create(&fs, "/c", RecorderOptions::default(), &mut ctx).unwrap();
+        let (_, imu) = imu_at(0);
+        rec.record_ros_message("/imu", Time::new(200, 0), &imu, &mut ctx).unwrap();
+        assert!(matches!(
+            rec.record_ros_message("/imu", Time::new(100, 0), &imu, &mut ctx),
+            Err(BoraError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unsubscribed_topic_rejected() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let mut rec = BoraRecorder::create(&fs, "/c", RecorderOptions::default(), &mut ctx).unwrap();
+        assert!(matches!(
+            rec.record("/ghost", Time::ZERO, b"x", &mut ctx),
+            Err(BoraError::UnknownTopic(_))
+        ));
+    }
+
+    #[test]
+    fn empty_subscription_still_materializes() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let mut rec = BoraRecorder::create(&fs, "/c", RecorderOptions::default(), &mut ctx).unwrap();
+        rec.subscribe("/quiet", &MessageDescriptor::of::<Imu>(), &mut ctx).unwrap();
+        rec.close(&mut ctx).unwrap();
+        let bag = BoraBag::open(&fs, "/c", &mut ctx).unwrap();
+        assert_eq!(bag.topics(), vec!["/quiet"]);
+        assert!(bag.read_topic("/quiet", &mut ctx).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! The tag manager: a hash table mapping topic names to back-end paths.
+//!
+//! BORA does **not** persist this table; it is rebuilt from a directory
+//! listing whenever a container is opened (paper §III.B, Table I — the
+//! rebuild stays under ~36 ms even at 100,000 topics, negligible next to
+//! query time). Keys are topic names, values the per-topic path bundle.
+
+use std::collections::HashMap;
+
+use simfs::device::cpu;
+use simfs::{EntryKind, IoCtx, Storage};
+
+use crate::error::{BoraError, BoraResult};
+use crate::layout::{decode_topic, TopicPaths, META_FILE};
+
+/// Hash table topic → back-end paths for one container.
+#[derive(Debug, Clone)]
+pub struct TagManager {
+    root: String,
+    map: HashMap<String, TopicPaths>,
+}
+
+impl TagManager {
+    /// Build the table from the container's directory listing — the
+    /// entirety of BORA's open-time index work (Fig. 4b).
+    pub fn build<S: Storage>(storage: &S, container_root: &str, ctx: &mut IoCtx) -> BoraResult<Self> {
+        let entries = storage.read_dir(container_root, ctx)?;
+        let mut map = HashMap::with_capacity(entries.len());
+        for e in entries {
+            if e.kind != EntryKind::Dir {
+                continue; // `.bora` metadata file and any stray files
+            }
+            let topic = decode_topic(&e.name);
+            ctx.charge_ns(cpu::HASH_OP_NS);
+            map.insert(topic, TopicPaths::from_dir(container_root, &e.name));
+        }
+        if map.is_empty() && !entries_has_meta(storage, container_root, ctx) {
+            return Err(BoraError::NotAContainer(container_root.to_owned()));
+        }
+        Ok(TagManager {
+            root: container_root.to_owned(),
+            map,
+        })
+    }
+
+    /// Build from an in-memory topic list (used by the organizer right
+    /// after it created the container, avoiding a redundant listing).
+    pub fn from_topics(container_root: &str, topics: &[String]) -> Self {
+        let map = topics
+            .iter()
+            .map(|t| (t.clone(), TopicPaths::new(container_root, t)))
+            .collect();
+        TagManager {
+            root: container_root.to_owned(),
+            map,
+        }
+    }
+
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Hash lookup of a topic's back-end paths (charged like a hash op).
+    pub fn lookup(&self, topic: &str, ctx: &mut IoCtx) -> BoraResult<&TopicPaths> {
+        ctx.charge_ns(cpu::HASH_OP_NS);
+        self.map
+            .get(topic)
+            .ok_or_else(|| BoraError::UnknownTopic(topic.to_owned()))
+    }
+
+    pub fn topics(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.map.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate resident size of the table in bytes (Table I's "Hash
+    /// Table Size" column): key + value strings plus per-entry overhead.
+    pub fn approx_size_bytes(&self) -> usize {
+        self.map
+            .iter()
+            .map(|(k, v)| {
+                k.len() + v.dir.len() + v.data.len() + v.index.len() + v.tindex.len() + 48
+            })
+            .sum()
+    }
+}
+
+fn entries_has_meta<S: Storage>(storage: &S, root: &str, ctx: &mut IoCtx) -> bool {
+    storage.exists(&crate::layout::meta_path(root), ctx) || {
+        // A container with zero topics still has its meta file; anything
+        // else is not a container.
+        let _ = META_FILE;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfs::MemStorage;
+
+    fn make_container(fs: &MemStorage, root: &str, topics: &[&str]) {
+        let mut ctx = IoCtx::new();
+        fs.append(&crate::layout::meta_path(root), b"m", &mut ctx).unwrap();
+        for t in topics {
+            let p = TopicPaths::new(root, t);
+            fs.append(&p.data, b"d", &mut ctx).unwrap();
+            fs.append(&p.index, b"i", &mut ctx).unwrap();
+        }
+    }
+
+    #[test]
+    fn build_discovers_topics_from_listing() {
+        let fs = MemStorage::new();
+        make_container(&fs, "/c", &["/imu", "/camera/rgb/image_color"]);
+        let mut ctx = IoCtx::new();
+        let tm = TagManager::build(&fs, "/c", &mut ctx).unwrap();
+        assert_eq!(tm.len(), 2);
+        assert_eq!(tm.topics(), vec!["/camera/rgb/image_color", "/imu"]);
+        let p = tm.lookup("/imu", &mut ctx).unwrap();
+        assert_eq!(p.data, "/c/imu/data");
+    }
+
+    #[test]
+    fn lookup_unknown_topic_fails() {
+        let fs = MemStorage::new();
+        make_container(&fs, "/c", &["/imu"]);
+        let mut ctx = IoCtx::new();
+        let tm = TagManager::build(&fs, "/c", &mut ctx).unwrap();
+        assert!(matches!(
+            tm.lookup("/gps", &mut ctx),
+            Err(BoraError::UnknownTopic(_))
+        ));
+    }
+
+    #[test]
+    fn non_container_rejected() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        fs.mkdir_all("/empty", &mut ctx).unwrap();
+        assert!(matches!(
+            TagManager::build(&fs, "/empty", &mut ctx),
+            Err(BoraError::NotAContainer(_))
+        ));
+    }
+
+    #[test]
+    fn meta_file_ignored_in_listing() {
+        let fs = MemStorage::new();
+        make_container(&fs, "/c", &["/tf"]);
+        let mut ctx = IoCtx::new();
+        let tm = TagManager::build(&fs, "/c", &mut ctx).unwrap();
+        assert_eq!(tm.topics(), vec!["/tf"]);
+    }
+
+    #[test]
+    fn from_topics_matches_build() {
+        let fs = MemStorage::new();
+        make_container(&fs, "/c", &["/a", "/b"]);
+        let mut ctx = IoCtx::new();
+        let built = TagManager::build(&fs, "/c", &mut ctx).unwrap();
+        let direct = TagManager::from_topics("/c", &["/a".to_owned(), "/b".to_owned()]);
+        assert_eq!(built.topics(), direct.topics());
+        assert_eq!(
+            built.lookup("/a", &mut ctx).unwrap(),
+            direct.lookup("/a", &mut ctx).unwrap()
+        );
+    }
+
+    #[test]
+    fn size_grows_with_topics() {
+        let few = TagManager::from_topics("/c", &["/a".to_owned()]);
+        let many = TagManager::from_topics(
+            "/c",
+            &(0..100).map(|i| format!("/topic_{i}")).collect::<Vec<_>>(),
+        );
+        assert!(many.approx_size_bytes() > few.approx_size_bytes() * 50);
+    }
+}

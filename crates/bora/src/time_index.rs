@@ -1,0 +1,251 @@
+//! The coarse-grain time index (paper Fig. 8).
+//!
+//! Each topic's messages are chronological in its `data`/`index` files, so
+//! a fixed time window `W` maps to a *contiguous range* of index entries.
+//! The time index stores, per non-empty window, the window's start slot and
+//! the entry range `[first, first+count)`.
+//!
+//! A query `(start, end)` computes `⌊start/W⌋` and `⌈end/W⌉` — the paper's
+//! arithmetic — selects the windows in that slot range, and hands back the
+//! covered entry range. The caller then fine-filters the (few) candidate
+//! entries by exact timestamp, instead of merge-sorting every message of
+//! the topic as the baseline does.
+
+use ros_msgs::wire::{WireRead, WireWrite};
+use ros_msgs::Time;
+
+use crate::error::{BoraError, BoraResult};
+use crate::topic_index::TopicIndexEntry;
+
+/// Default window width: 5 seconds, the paper's example granularity
+/// (Fig. 8 uses 5 time units; §III.C notes the value is configurable).
+pub const DEFAULT_WINDOW_NS: u64 = 5_000_000_000;
+
+/// Magic + version guarding the `tindex` file.
+const TINDEX_MAGIC: u32 = 0x42_54_49_31; // "BTI1"
+
+/// One non-empty window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Window slot number (`time_ns / window_ns`).
+    pub slot: u64,
+    /// Index of the first entry belonging to this window.
+    pub first_entry: u32,
+    /// Number of entries in this window.
+    pub count: u32,
+}
+
+/// Coarse-grain time index for one topic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeIndex {
+    pub window_ns: u64,
+    /// Non-empty windows, ascending by slot.
+    pub windows: Vec<Window>,
+}
+
+impl TimeIndex {
+    /// Build from a chronological entry list.
+    pub fn build(entries: &[TopicIndexEntry], window_ns: u64) -> Self {
+        assert!(window_ns > 0, "window width must be positive");
+        let mut windows: Vec<Window> = Vec::new();
+        for (i, e) in entries.iter().enumerate() {
+            let slot = e.time.as_nanos() / window_ns;
+            match windows.last_mut() {
+                Some(w) if w.slot == slot => w.count += 1,
+                _ => windows.push(Window {
+                    slot,
+                    first_entry: i as u32,
+                    count: 1,
+                }),
+            }
+        }
+        TimeIndex { window_ns, windows }
+    }
+
+    /// The paper's window arithmetic: for a query `[start, end)`, the slot
+    /// range to inspect is `⌊start/W⌋ ..= ⌈end/W⌉`.
+    pub fn slot_range(&self, start: Time, end: Time) -> (u64, u64) {
+        let lo = start.as_nanos() / self.window_ns;
+        let hi = end.as_nanos().div_ceil(self.window_ns);
+        (lo, hi)
+    }
+
+    /// Entry range `[first, last)` covering all windows that intersect
+    /// `[start, end)`. Returns `None` when no window intersects.
+    pub fn candidate_entries(&self, start: Time, end: Time) -> Option<(u32, u32)> {
+        if start >= end {
+            return None;
+        }
+        let (lo_slot, hi_slot) = self.slot_range(start, end);
+        let lo = self.windows.partition_point(|w| w.slot < lo_slot);
+        let hi = self.windows.partition_point(|w| w.slot < hi_slot);
+        if lo >= hi {
+            return None;
+        }
+        let first = self.windows[lo].first_entry;
+        let last = self.windows[hi - 1].first_entry + self.windows[hi - 1].count;
+        Some((first, last))
+    }
+
+    /// Number of non-empty windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Serialize into the `tindex` file format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.windows.len() * 16);
+        out.put_u32(TINDEX_MAGIC);
+        out.put_u64(self.window_ns);
+        out.put_u32(self.windows.len() as u32);
+        for w in &self.windows {
+            out.put_u64(w.slot);
+            out.put_u32(w.first_entry);
+            out.put_u32(w.count);
+        }
+        out
+    }
+
+    /// Parse a `tindex` file.
+    pub fn decode(bytes: &[u8]) -> BoraResult<Self> {
+        let mut cur = bytes;
+        let magic = cur.get_u32()?;
+        if magic != TINDEX_MAGIC {
+            return Err(BoraError::Corrupt("tindex magic mismatch".into()));
+        }
+        let window_ns = cur.get_u64()?;
+        if window_ns == 0 {
+            return Err(BoraError::Corrupt("tindex window width is zero".into()));
+        }
+        let n = cur.get_u32()? as usize;
+        if cur.remaining() != n * 16 {
+            return Err(BoraError::Corrupt(format!(
+                "tindex claims {n} windows but has {} payload bytes",
+                cur.remaining()
+            )));
+        }
+        let mut windows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let slot = cur.get_u64()?;
+            let first_entry = cur.get_u32()?;
+            let count = cur.get_u32()?;
+            windows.push(Window {
+                slot,
+                first_entry,
+                count,
+            });
+        }
+        Ok(TimeIndex { window_ns, windows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries_at_seconds(secs: &[f64]) -> Vec<TopicIndexEntry> {
+        secs.iter()
+            .enumerate()
+            .map(|(i, &s)| TopicIndexEntry {
+                time: Time::from_sec_f64(s),
+                offset: i as u64 * 10,
+                len: 10,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_groups_into_windows() {
+        // Window = 5 s, like the paper's Fig. 8.
+        let entries = entries_at_seconds(&[0.0, 1.0, 4.9, 5.0, 9.0, 31.0, 33.0]);
+        let ti = TimeIndex::build(&entries, DEFAULT_WINDOW_NS);
+        assert_eq!(ti.len(), 3);
+        assert_eq!(ti.windows[0], Window { slot: 0, first_entry: 0, count: 3 });
+        assert_eq!(ti.windows[1], Window { slot: 1, first_entry: 3, count: 2 });
+        assert_eq!(ti.windows[2], Window { slot: 6, first_entry: 5, count: 2 });
+    }
+
+    #[test]
+    fn paper_example_window_31_to_36() {
+        // Fig. 8: pair (31, [offsets]) holds topic1 messages in [31, 36)
+        // with a 5-unit window... slot 6 covers [30, 35). A query for
+        // [31, 36) must inspect slots 6 and 7.
+        let entries = entries_at_seconds(&[31.0, 32.0, 34.9, 35.5]);
+        let ti = TimeIndex::build(&entries, DEFAULT_WINDOW_NS);
+        let (lo, hi) = ti.slot_range(Time::from_sec_f64(31.0), Time::from_sec_f64(36.0));
+        assert_eq!((lo, hi), (6, 8));
+        let (first, last) = ti
+            .candidate_entries(Time::from_sec_f64(31.0), Time::from_sec_f64(36.0))
+            .unwrap();
+        assert_eq!((first, last), (0, 4));
+    }
+
+    #[test]
+    fn candidate_entries_narrow_window() {
+        let entries = entries_at_seconds(&[0.0, 10.0, 20.0, 30.0, 40.0, 50.0]);
+        let ti = TimeIndex::build(&entries, DEFAULT_WINDOW_NS);
+        // Query [20, 21): only slot 4 (covering [20, 25)) intersects.
+        let (first, last) = ti
+            .candidate_entries(Time::from_sec_f64(20.0), Time::from_sec_f64(21.0))
+            .unwrap();
+        assert_eq!((first, last), (2, 3));
+    }
+
+    #[test]
+    fn candidate_entries_no_match() {
+        let entries = entries_at_seconds(&[0.0, 100.0]);
+        let ti = TimeIndex::build(&entries, DEFAULT_WINDOW_NS);
+        assert!(ti
+            .candidate_entries(Time::from_sec_f64(40.0), Time::from_sec_f64(50.0))
+            .is_none());
+        assert!(ti
+            .candidate_entries(Time::from_sec_f64(10.0), Time::from_sec_f64(10.0))
+            .is_none(), "empty range");
+    }
+
+    #[test]
+    fn candidates_superset_of_exact_range() {
+        // The coarse index may over-approximate but must never miss.
+        let secs: Vec<f64> = (0..1000).map(|i| i as f64 * 0.173).collect();
+        let entries = entries_at_seconds(&secs);
+        let ti = TimeIndex::build(&entries, DEFAULT_WINDOW_NS);
+        let (start, end) = (Time::from_sec_f64(31.0), Time::from_sec_f64(77.0));
+        let (first, last) = ti.candidate_entries(start, end).unwrap();
+        for (i, e) in entries.iter().enumerate() {
+            if e.time >= start && e.time < end {
+                assert!((first as usize..last as usize).contains(&i), "entry {i} missed");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let entries = entries_at_seconds(&[0.0, 3.0, 12.0, 31.0]);
+        let ti = TimeIndex::build(&entries, 2_000_000_000);
+        let bytes = ti.encode();
+        assert_eq!(TimeIndex::decode(&bytes).unwrap(), ti);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let ti = TimeIndex::build(&entries_at_seconds(&[1.0]), DEFAULT_WINDOW_NS);
+        let mut bytes = ti.encode();
+        bytes[0] ^= 0xFF; // magic
+        assert!(TimeIndex::decode(&bytes).is_err());
+        let mut bytes2 = ti.encode();
+        bytes2.truncate(bytes2.len() - 1);
+        assert!(TimeIndex::decode(&bytes2).is_err());
+    }
+
+    #[test]
+    fn empty_topic_is_fine() {
+        let ti = TimeIndex::build(&[], DEFAULT_WINDOW_NS);
+        assert!(ti.is_empty());
+        assert!(ti.candidate_entries(Time::ZERO, Time::MAX).is_none());
+        assert_eq!(TimeIndex::decode(&ti.encode()).unwrap(), ti);
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-topic fine-grain index: one fixed-size entry per message.
+//!
+//! The paper (§III.B): *"the index entry contains the timestamp of the
+//! write, its logical offset, its length, and a pointer to its physical
+//! location."* In this layout the physical location is
+//! `<topic dir>/data` at `offset`, so the entry stores
+//! `(time, offset, len)` in 20 bytes.
+
+use ros_msgs::wire::{WireRead, WireWrite};
+use ros_msgs::Time;
+
+use crate::error::{BoraError, BoraResult};
+
+/// Size of one serialized entry in the `index` file.
+pub const ENTRY_SIZE: usize = 20;
+
+/// One message's location within its topic `data` file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopicIndexEntry {
+    pub time: Time,
+    /// Byte offset of the payload in the topic's `data` file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+impl TopicIndexEntry {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u64(self.time.as_nanos());
+        out.put_u64(self.offset);
+        out.put_u32(self.len);
+    }
+
+    pub fn decode(cur: &mut &[u8]) -> BoraResult<Self> {
+        let ns = cur.get_u64()?;
+        let offset = cur.get_u64()?;
+        let len = cur.get_u32()?;
+        Ok(TopicIndexEntry {
+            time: Time::from_nanos(ns),
+            offset,
+            len,
+        })
+    }
+
+    /// End offset of the payload (`offset + len`).
+    pub fn end(&self) -> u64 {
+        self.offset + self.len as u64
+    }
+}
+
+/// Serialize a slice of entries.
+pub fn encode_entries(entries: &[TopicIndexEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * ENTRY_SIZE);
+    for e in entries {
+        e.encode(&mut out);
+    }
+    out
+}
+
+/// Parse a whole `index` file.
+pub fn decode_entries(bytes: &[u8]) -> BoraResult<Vec<TopicIndexEntry>> {
+    if !bytes.len().is_multiple_of(ENTRY_SIZE) {
+        return Err(BoraError::Corrupt(format!(
+            "index file size {} not a multiple of {ENTRY_SIZE}",
+            bytes.len()
+        )));
+    }
+    let mut cur = bytes;
+    let mut out = Vec::with_capacity(bytes.len() / ENTRY_SIZE);
+    while cur.remaining() > 0 {
+        out.push(TopicIndexEntry::decode(&mut cur)?);
+    }
+    Ok(out)
+}
+
+/// Index entries must be chronological (the organizer writes them in bag
+/// order, and bags are recorded chronologically per topic). Verified by
+/// the container's consistency check.
+pub fn is_chronological(entries: &[TopicIndexEntry]) -> bool {
+    entries.windows(2).all(|w| w[0].time <= w[1].time)
+}
+
+/// Binary-search a chronological entry list down to `[start, end)`.
+pub fn slice_time_range(entries: &[TopicIndexEntry], start: Time, end: Time) -> &[TopicIndexEntry] {
+    let lo = entries.partition_point(|e| e.time < start);
+    let hi = entries.partition_point(|e| e.time < end);
+    &entries[lo..hi]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(sec: u32, offset: u64, len: u32) -> TopicIndexEntry {
+        TopicIndexEntry {
+            time: Time::new(sec, 0),
+            offset,
+            len,
+        }
+    }
+
+    #[test]
+    fn entry_round_trip() {
+        let entry = TopicIndexEntry {
+            time: Time::new(123, 456),
+            offset: 789,
+            len: 1011,
+        };
+        let mut buf = Vec::new();
+        entry.encode(&mut buf);
+        assert_eq!(buf.len(), ENTRY_SIZE);
+        let mut cur: &[u8] = &buf;
+        assert_eq!(TopicIndexEntry::decode(&mut cur).unwrap(), entry);
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let entries = vec![e(1, 0, 10), e(2, 10, 20), e(3, 30, 5)];
+        let bytes = encode_entries(&entries);
+        assert_eq!(decode_entries(&bytes).unwrap(), entries);
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let entries = vec![e(1, 0, 10)];
+        let mut bytes = encode_entries(&entries);
+        bytes.pop();
+        assert!(matches!(decode_entries(&bytes), Err(BoraError::Corrupt(_))));
+    }
+
+    #[test]
+    fn chronology_check() {
+        assert!(is_chronological(&[e(1, 0, 1), e(1, 1, 1), e(2, 2, 1)]));
+        assert!(!is_chronological(&[e(2, 0, 1), e(1, 1, 1)]));
+        assert!(is_chronological(&[]));
+    }
+
+    #[test]
+    fn time_slice_half_open() {
+        let entries = vec![e(1, 0, 1), e(2, 1, 1), e(3, 2, 1), e(4, 3, 1)];
+        let sl = slice_time_range(&entries, Time::new(2, 0), Time::new(4, 0));
+        assert_eq!(sl.len(), 2);
+        assert_eq!(sl[0].time.sec, 2);
+        assert_eq!(sl[1].time.sec, 3);
+    }
+
+    #[test]
+    fn end_offset() {
+        assert_eq!(e(1, 100, 50).end(), 150);
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end test of the `bora-tool` binary against real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use ros_msgs::sensor_msgs::Imu;
+use ros_msgs::tf2_msgs::TfMessage;
+use ros_msgs::Time;
+use rosbag::{BagWriter, BagWriterOptions};
+use simfs::{IoCtx, LocalStorage};
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bora-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_demo_bag(dir: &PathBuf, n: u32) {
+    let fs = LocalStorage::new(dir).unwrap();
+    let mut ctx = IoCtx::new();
+    let mut w =
+        BagWriter::create(&fs, "/demo.bag", BagWriterOptions { chunk_size: 4096, ..Default::default() }, &mut ctx)
+            .unwrap();
+    for i in 0..n {
+        let t = Time::new(100 + i, 0);
+        let mut imu = Imu::default();
+        imu.header.seq = i;
+        imu.header.stamp = t;
+        w.write_ros_message("/imu", t, &imu, &mut ctx).unwrap();
+        if i % 4 == 0 {
+            w.write_ros_message("/tf", t, &TfMessage::default(), &mut ctx).unwrap();
+        }
+    }
+    w.close(&mut ctx).unwrap();
+}
+
+fn tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bora-tool"))
+}
+
+#[test]
+fn full_cli_lifecycle_on_disk() {
+    let dir = workdir("life");
+    write_demo_bag(&dir, 80);
+    let bag = dir.join("demo.bag");
+    let container = dir.join("demo_container");
+
+    // import
+    let out = tool().arg("import").arg(&bag).arg(&container).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("imported 100 messages"));
+    assert!(container.join("imu").join("data").exists());
+    assert!(container.join(".bora").exists());
+
+    // info + topics
+    let out = tool().arg("info").arg(&container).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("messages:     100"), "{text}");
+    assert!(text.contains("/imu"));
+    let out = tool().arg("topics").arg(&container).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.trim().lines().collect::<Vec<_>>(), vec!["/imu", "/tf"]);
+
+    // query all + windowed
+    let out = tool().arg("query").arg(&container).arg("/imu").output().unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("80 messages"));
+    let out = tool()
+        .arg("query")
+        .arg(&container)
+        .args(["/imu", "110", "120"])
+        .output()
+        .unwrap();
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("10 messages"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // verify
+    let out = tool().arg("verify").arg(&container).output().unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK: 100 messages"));
+
+    // export, and the exported bag imports again losslessly
+    let rebag = dir.join("rebag.bag");
+    let out = tool().arg("export").arg(&container).arg(&rebag).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("exported 100 messages"));
+    let container2 = dir.join("round2");
+    let out = tool().arg("import").arg(&rebag).arg(&container2).output().unwrap();
+    assert!(out.status.success());
+    let out = tool().arg("verify").arg(&container2).output().unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK: 100 messages"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_detects_tampering() {
+    let dir = workdir("tamper");
+    write_demo_bag(&dir, 20);
+    let container = dir.join("c");
+    assert!(tool()
+        .arg("import")
+        .arg(dir.join("demo.bag"))
+        .arg(&container)
+        .status()
+        .unwrap()
+        .success());
+
+    // Chop bytes off a topic data file.
+    let data = container.join("imu").join("data");
+    let bytes = std::fs::read(&data).unwrap();
+    std::fs::write(&data, &bytes[..bytes.len() - 8]).unwrap();
+
+    let out = tool().arg("verify").arg(&container).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("CORRUPT"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn import_refuses_garbage() {
+    let dir = workdir("garbage");
+    std::fs::write(dir.join("junk.bag"), vec![0u8; 9000]).unwrap();
+    let out = tool()
+        .arg("import")
+        .arg(dir.join("junk.bag"))
+        .arg(dir.join("c"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

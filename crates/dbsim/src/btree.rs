@@ -1,0 +1,303 @@
+//! An in-memory B-tree, from scratch — the SQL engine's primary index.
+//!
+//! Order-32 (max 31 keys per node), `u64` keys, `u64` values (row ids →
+//! heap offsets). Supports insert, point lookup, ordered range scans, and
+//! exposes node statistics so tests can check structural invariants.
+
+const MAX_KEYS: usize = 31;
+const MIN_KEYS: usize = MAX_KEYS / 2;
+
+#[derive(Debug, Clone)]
+struct Node {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    /// Empty for leaves; `keys.len() + 1` children for internal nodes.
+    children: Vec<Box<Node>>,
+}
+
+impl Node {
+    fn leaf() -> Self {
+        Node {
+            keys: Vec::with_capacity(MAX_KEYS),
+            vals: Vec::with_capacity(MAX_KEYS),
+            children: Vec::new(),
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    fn is_full(&self) -> bool {
+        self.keys.len() == MAX_KEYS
+    }
+}
+
+/// The B-tree.
+pub struct BTree {
+    root: Box<Node>,
+    len: u64,
+    height: u32,
+}
+
+impl Default for BTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTree {
+    pub fn new() -> Self {
+        BTree {
+            root: Box::new(Node::leaf()),
+            len: 0,
+            height: 1,
+        }
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Insert (or overwrite) `key → val`. Returns the previous value.
+    pub fn insert(&mut self, key: u64, val: u64) -> Option<u64> {
+        if self.root.is_full() {
+            // Split the root: standard preemptive-split B-tree insert.
+            let mut new_root = Box::new(Node::leaf());
+            std::mem::swap(&mut self.root, &mut new_root);
+            let old_root = new_root;
+            self.root.children.push(old_root);
+            Self::split_child(&mut self.root, 0);
+            self.height += 1;
+        }
+        let prev = Self::insert_nonfull(&mut self.root, key, val);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut node = &*self.root;
+        loop {
+            match node.keys.binary_search(&key) {
+                Ok(i) => return Some(node.vals[i]),
+                Err(i) => {
+                    if node.is_leaf() {
+                        return None;
+                    }
+                    node = &node.children[i];
+                }
+            }
+        }
+    }
+
+    /// Ordered `(key, val)` pairs with `lo <= key < hi`.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        Self::range_walk(&self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn range_walk(node: &Node, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+        let start = node.keys.partition_point(|&k| k < lo);
+        if node.is_leaf() {
+            for i in start..node.keys.len() {
+                if node.keys[i] >= hi {
+                    break;
+                }
+                out.push((node.keys[i], node.vals[i]));
+            }
+            return;
+        }
+        for i in start..=node.keys.len() {
+            Self::range_walk(&node.children[i], lo, hi, out);
+            if i < node.keys.len() {
+                let k = node.keys[i];
+                if k >= hi {
+                    break;
+                }
+                if k >= lo {
+                    out.push((k, node.vals[i]));
+                }
+            }
+        }
+    }
+
+    fn split_child(parent: &mut Node, idx: usize) {
+        let child = &mut parent.children[idx];
+        let mid = MAX_KEYS / 2;
+        let mut right = Box::new(Node::leaf());
+        right.keys = child.keys.split_off(mid + 1);
+        right.vals = child.vals.split_off(mid + 1);
+        if !child.is_leaf() {
+            right.children = child.children.split_off(mid + 1);
+        }
+        let up_key = child.keys.pop().unwrap();
+        let up_val = child.vals.pop().unwrap();
+        parent.keys.insert(idx, up_key);
+        parent.vals.insert(idx, up_val);
+        parent.children.insert(idx + 1, right);
+    }
+
+    fn insert_nonfull(node: &mut Node, key: u64, val: u64) -> Option<u64> {
+        loop {
+            match node.keys.binary_search(&key) {
+                Ok(i) => {
+                    return Some(std::mem::replace(&mut node.vals[i], val));
+                }
+                Err(i) => {
+                    if node.is_leaf() {
+                        node.keys.insert(i, key);
+                        node.vals.insert(i, val);
+                        return None;
+                    }
+                    if node.children[i].is_full() {
+                        Self::split_child(node, i);
+                        // Re-dispatch against the promoted key.
+                        continue;
+                    }
+                    return Self::insert_nonfull(&mut node.children[i], key, val);
+                }
+            }
+        }
+    }
+
+    /// Structural invariant check for tests: sorted keys, child counts,
+    /// minimum occupancy (except root), uniform leaf depth.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut leaf_depths = Vec::new();
+        Self::check_node(&self.root, true, None, None, 1, &mut leaf_depths)?;
+        if leaf_depths.windows(2).any(|w| w[0] != w[1]) {
+            return Err("leaves at different depths".into());
+        }
+        if let Some(&d) = leaf_depths.first() {
+            if d != self.height {
+                return Err(format!("height {} != leaf depth {d}", self.height));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        node: &Node,
+        is_root: bool,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        depth: u32,
+        leaf_depths: &mut Vec<u32>,
+    ) -> Result<(), String> {
+        if node.keys.len() != node.vals.len() {
+            return Err("keys/vals length mismatch".into());
+        }
+        if !is_root && node.keys.len() < MIN_KEYS {
+            return Err(format!("underfull node: {} keys", node.keys.len()));
+        }
+        if node.keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("unsorted or duplicate keys in node".into());
+        }
+        if let (Some(lo), Some(&first)) = (lo, node.keys.first()) {
+            if first <= lo {
+                return Err("key below subtree bound".into());
+            }
+        }
+        if let (Some(hi), Some(&last)) = (hi, node.keys.last()) {
+            if last >= hi {
+                return Err("key above subtree bound".into());
+            }
+        }
+        if node.is_leaf() {
+            leaf_depths.push(depth);
+            return Ok(());
+        }
+        if node.children.len() != node.keys.len() + 1 {
+            return Err("child count mismatch".into());
+        }
+        for i in 0..node.children.len() {
+            let clo = if i == 0 { lo } else { Some(node.keys[i - 1]) };
+            let chi = if i == node.keys.len() { hi } else { Some(node.keys[i]) };
+            Self::check_node(&node.children[i], false, clo, chi, depth + 1, leaf_depths)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BTree::new();
+        assert!(t.insert(5, 50).is_none());
+        assert!(t.insert(3, 30).is_none());
+        assert_eq!(t.insert(5, 55), Some(50));
+        assert_eq!(t.get(5), Some(55));
+        assert_eq!(t.get(3), Some(30));
+        assert_eq!(t.get(4), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn sequential_inserts_split_correctly() {
+        let mut t = BTree::new();
+        for i in 0..10_000u64 {
+            t.insert(i, i * 2);
+        }
+        assert_eq!(t.len(), 10_000);
+        assert!(t.height() > 1);
+        t.check_invariants().unwrap();
+        for i in (0..10_000).step_by(331) {
+            assert_eq!(t.get(i), Some(i * 2));
+        }
+    }
+
+    #[test]
+    fn pseudorandom_inserts_match_reference() {
+        let mut t = BTree::new();
+        let mut reference = BTreeMap::new();
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = x >> 20;
+            let val = x & 0xFFFF;
+            t.insert(key, val);
+            reference.insert(key, val);
+        }
+        assert_eq!(t.len(), reference.len() as u64);
+        t.check_invariants().unwrap();
+        let ours = t.range(0, u64::MAX);
+        let theirs: Vec<(u64, u64)> = reference.into_iter().collect();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn range_query_bounds() {
+        let mut t = BTree::new();
+        for i in 0..100u64 {
+            t.insert(i * 10, i);
+        }
+        let r = t.range(95, 305);
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200,
+                              210, 220, 230, 240, 250, 260, 270, 280, 290, 300]);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(1), None);
+        assert!(t.range(0, 100).is_empty());
+        t.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,97 @@
+//! Common engine interface and client RPC cost model.
+
+use std::fmt;
+
+use ros_msgs::geometry_msgs::TransformStamped;
+use simfs::{FsError, IoCtx};
+
+/// Errors from the miniature engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// SQL or line-protocol text failed to parse.
+    Parse(String),
+    /// Schema violation (wrong table, wrong field set, ...).
+    Schema(String),
+    Fs(FsError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::Fs(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<FsError> for DbError {
+    fn from(e: FsError) -> Self {
+        DbError::Fs(e)
+    }
+}
+
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Client↔server communication cost per statement. A local DBMS still
+/// costs a loopback round trip plus request marshalling; an HTTP API (the
+/// InfluxDB write path) costs far more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcModel {
+    pub per_request_ns: u64,
+}
+
+impl RpcModel {
+    /// Binary protocol over loopback TCP (Aerospike / PostgreSQL wire).
+    pub fn loopback_binary() -> Self {
+        RpcModel { per_request_ns: 100_000 }
+    }
+
+    /// HTTP/1.1 request per write (InfluxDB's `/write` endpoint). The
+    /// paper's client issued one HTTP request per point without keep-alive
+    /// — connection setup + headers dominate, hence milliseconds.
+    pub fn loopback_http() -> Self {
+        RpcModel {
+            per_request_ns: 5_000_000,
+        }
+    }
+
+    #[inline]
+    pub fn charge(&self, ctx: &mut IoCtx) {
+        ctx.charge_ns(self.per_request_ns);
+    }
+}
+
+/// A database engine capable of ingesting TF messages — the operation
+/// Fig. 2 measures.
+pub trait InsertEngine {
+    fn name(&self) -> &'static str;
+
+    /// Ingest one message (client serialization + server work + storage).
+    fn insert_tf(&mut self, msg: &TransformStamped, ctx: &mut IoCtx) -> DbResult<()>;
+
+    /// Make everything durable (end-of-ingest barrier).
+    fn flush(&mut self, ctx: &mut IoCtx) -> DbResult<()>;
+
+    /// Rows/records/points successfully ingested.
+    fn record_count(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_models_ordered() {
+        assert!(RpcModel::loopback_http().per_request_ns > RpcModel::loopback_binary().per_request_ns);
+    }
+
+    #[test]
+    fn charge_advances_clock() {
+        let mut ctx = IoCtx::new();
+        RpcModel::loopback_binary().charge(&mut ctx);
+        assert_eq!(ctx.elapsed_ns(), RpcModel::loopback_binary().per_request_ns);
+    }
+}

@@ -1,0 +1,160 @@
+//! Open-addressing hash index (linear probing), from scratch.
+//!
+//! The KV engine's primary index: maps a key digest to the record's
+//! location in the data log. Implemented rather than borrowed from `std`
+//! so the engine's index-maintenance work is explicit and measurable.
+
+/// Slot value: location of a record in the data log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    pub offset: u64,
+    pub len: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// 0 = empty (keys hashing to 0 are nudged to 1).
+    digest: u64,
+    loc: Location,
+}
+
+/// Linear-probing hash table keyed by a 64-bit key digest.
+///
+/// Resizes at 70% load. Deletion is not needed by the ingest workload and
+/// is intentionally unsupported (Aerospike-style ingest benchmarks don't
+/// delete either).
+pub struct OpenHash {
+    slots: Vec<Option<Slot>>,
+    mask: usize,
+    len: usize,
+}
+
+impl Default for OpenHash {
+    fn default() -> Self {
+        Self::with_capacity(16)
+    }
+}
+
+/// FNV-1a over the key bytes, nudged away from the empty sentinel.
+pub fn digest(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+impl OpenHash {
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(16);
+        OpenHash {
+            slots: vec![None; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert or overwrite; returns the previous location if the digest
+    /// was present.
+    pub fn insert(&mut self, digest: u64, loc: Location) -> Option<Location> {
+        if (self.len + 1) * 10 >= self.slots.len() * 7 {
+            self.grow();
+        }
+        let mut i = (digest as usize) & self.mask;
+        loop {
+            match &mut self.slots[i] {
+                Some(s) if s.digest == digest => {
+                    let old = s.loc;
+                    s.loc = loc;
+                    return Some(old);
+                }
+                Some(_) => i = (i + 1) & self.mask,
+                empty @ None => {
+                    *empty = Some(Slot { digest, loc });
+                    self.len += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
+    pub fn get(&self, digest: u64) -> Option<Location> {
+        let mut i = (digest as usize) & self.mask;
+        loop {
+            match &self.slots[i] {
+                Some(s) if s.digest == digest => return Some(s.loc),
+                Some(_) => i = (i + 1) & self.mask,
+                None => return None,
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![None; new_cap]);
+        self.mask = new_cap - 1;
+        self.len = 0;
+        for slot in old.into_iter().flatten() {
+            self.insert(slot.digest, slot.loc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get() {
+        let mut h = OpenHash::default();
+        let d = digest(b"tf:42");
+        assert!(h.insert(d, Location { offset: 100, len: 75 }).is_none());
+        assert_eq!(h.get(d), Some(Location { offset: 100, len: 75 }));
+        assert_eq!(h.get(digest(b"tf:43")), None);
+    }
+
+    #[test]
+    fn overwrite_returns_old() {
+        let mut h = OpenHash::default();
+        let d = digest(b"k");
+        h.insert(d, Location { offset: 0, len: 1 });
+        let old = h.insert(d, Location { offset: 9, len: 2 });
+        assert_eq!(old, Some(Location { offset: 0, len: 1 }));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut h = OpenHash::with_capacity(16);
+        for i in 0..10_000u64 {
+            let d = digest(format!("key-{i}").as_bytes());
+            h.insert(d, Location { offset: i, len: i as u32 });
+        }
+        assert_eq!(h.len(), 10_000);
+        for i in (0..10_000u64).step_by(97) {
+            let d = digest(format!("key-{i}").as_bytes());
+            assert_eq!(h.get(d), Some(Location { offset: i, len: i as u32 }), "key-{i}");
+        }
+    }
+
+    #[test]
+    fn digest_never_zero() {
+        // The empty sentinel must be unreachable.
+        for i in 0..1000 {
+            assert_ne!(digest(format!("{i}").as_bytes()), 0);
+        }
+    }
+}

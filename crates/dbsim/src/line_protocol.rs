@@ -1,0 +1,218 @@
+//! InfluxDB line-protocol codec:
+//! `measurement,tag=v,tag=v field=1.0,field=2.0 timestamp`.
+//!
+//! The client renders every TF message as text; the server parses it back.
+//! Note what the schema *loses*: a ROS IMU or TF message carries nested
+//! arrays (covariances) that line protocol cannot express — the paper's
+//! point about time-series databases being inadequate for rich ROS data.
+
+use std::collections::BTreeMap;
+
+use ros_msgs::geometry_msgs::TransformStamped;
+
+use crate::engine::{DbError, DbResult};
+
+/// One parsed line-protocol point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    pub measurement: String,
+    /// Tag set, sorted (the series key is measurement + sorted tags).
+    pub tags: BTreeMap<String, String>,
+    pub fields: BTreeMap<String, f64>,
+    pub timestamp_ns: u64,
+}
+
+impl Point {
+    /// Series key: measurement plus canonical tag set.
+    pub fn series_key(&self) -> String {
+        let mut key = self.measurement.clone();
+        for (k, v) in &self.tags {
+            key.push(',');
+            key.push_str(k);
+            key.push('=');
+            key.push_str(v);
+        }
+        key
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace(' ', "\\ ").replace(',', "\\,").replace('=', "\\=")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("\\ ", " ").replace("\\,", ",").replace("\\=", "=")
+}
+
+/// Split on a delimiter, honoring backslash escapes.
+fn split_unescaped(s: &str, delim: char) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut escaped = false;
+    for ch in s.chars() {
+        if escaped {
+            cur.push('\\');
+            cur.push(ch);
+            escaped = false;
+        } else if ch == '\\' {
+            escaped = true;
+        } else if ch == delim {
+            out.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(ch);
+        }
+    }
+    if escaped {
+        cur.push('\\');
+    }
+    out.push(cur);
+    out
+}
+
+/// Render one point as a line.
+pub fn encode(p: &Point) -> String {
+    let mut line = escape(&p.measurement);
+    for (k, v) in &p.tags {
+        line.push(',');
+        line.push_str(&escape(k));
+        line.push('=');
+        line.push_str(&escape(v));
+    }
+    line.push(' ');
+    let mut first = true;
+    for (k, v) in &p.fields {
+        if !first {
+            line.push(',');
+        }
+        first = false;
+        line.push_str(&escape(k));
+        line.push('=');
+        line.push_str(&format!("{v}"));
+    }
+    line.push(' ');
+    line.push_str(&p.timestamp_ns.to_string());
+    line
+}
+
+/// Parse one line.
+pub fn decode(line: &str) -> DbResult<Point> {
+    // Split into measurement+tags | fields | timestamp on unescaped spaces.
+    let parts = split_unescaped(line.trim(), ' ');
+    let parts: Vec<&String> = parts.iter().filter(|p| !p.is_empty()).collect();
+    if parts.len() != 3 {
+        return Err(DbError::Parse(format!(
+            "line must have 3 sections, found {}",
+            parts.len()
+        )));
+    }
+    let head = split_unescaped(parts[0], ',');
+    let measurement = unescape(&head[0]);
+    if measurement.is_empty() {
+        return Err(DbError::Parse("empty measurement".into()));
+    }
+    let mut tags = BTreeMap::new();
+    for kv in &head[1..] {
+        let kvp = split_unescaped(kv, '=');
+        if kvp.len() != 2 {
+            return Err(DbError::Parse(format!("bad tag '{kv}'")));
+        }
+        tags.insert(unescape(&kvp[0]), unescape(&kvp[1]));
+    }
+    let mut fields = BTreeMap::new();
+    for kv in split_unescaped(parts[1], ',') {
+        let kvp = split_unescaped(&kv, '=');
+        if kvp.len() != 2 {
+            return Err(DbError::Parse(format!("bad field '{kv}'")));
+        }
+        let v: f64 = kvp[1]
+            .parse()
+            .map_err(|_| DbError::Parse(format!("bad field value '{}'", kvp[1])))?;
+        fields.insert(unescape(&kvp[0]), v);
+    }
+    if fields.is_empty() {
+        return Err(DbError::Parse("point has no fields".into()));
+    }
+    let timestamp_ns: u64 = parts[2]
+        .parse()
+        .map_err(|_| DbError::Parse(format!("bad timestamp '{}'", parts[2])))?;
+    Ok(Point {
+        measurement,
+        tags,
+        fields,
+        timestamp_ns,
+    })
+}
+
+/// Flatten a TF message into a point (dropping everything line protocol
+/// cannot express).
+pub fn tf_to_point(msg: &TransformStamped) -> Point {
+    let mut tags = BTreeMap::new();
+    tags.insert("frame".to_owned(), msg.header.frame_id.clone());
+    tags.insert("child".to_owned(), msg.child_frame_id.clone());
+    let mut fields = BTreeMap::new();
+    fields.insert("tx".to_owned(), msg.transform.translation.x);
+    fields.insert("ty".to_owned(), msg.transform.translation.y);
+    fields.insert("tz".to_owned(), msg.transform.translation.z);
+    fields.insert("qx".to_owned(), msg.transform.rotation.x);
+    fields.insert("qy".to_owned(), msg.transform.rotation.y);
+    fields.insert("qz".to_owned(), msg.transform.rotation.z);
+    fields.insert("qw".to_owned(), msg.transform.rotation.w);
+    Point {
+        measurement: "tf".to_owned(),
+        tags,
+        fields,
+        timestamp_ns: msg.header.stamp.as_nanos(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ros_msgs::Time;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut msg = TransformStamped::default();
+        msg.header.stamp = Time::new(12, 34);
+        msg.header.frame_id = "odom".into();
+        msg.child_frame_id = "base_link".into();
+        msg.transform.translation.x = 1.25;
+        let p = tf_to_point(&msg);
+        let line = encode(&p);
+        let back = decode(&line).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn escaping_survives() {
+        let mut tags = BTreeMap::new();
+        tags.insert("robot name".to_owned(), "r2,d2=best".to_owned());
+        let mut fields = BTreeMap::new();
+        fields.insert("v".to_owned(), 1.0);
+        let p = Point {
+            measurement: "weird m".to_owned(),
+            tags,
+            fields,
+            timestamp_ns: 7,
+        };
+        assert_eq!(decode(&encode(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn series_key_is_canonical() {
+        let mut msg = TransformStamped::default();
+        msg.header.frame_id = "a".into();
+        msg.child_frame_id = "b".into();
+        let p = tf_to_point(&msg);
+        assert_eq!(p.series_key(), "tf,child=b,frame=a");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(decode("").is_err());
+        assert!(decode("m").is_err());
+        assert!(decode("m f 12").is_err()); // field without '='
+        assert!(decode("m f=x 12").is_err()); // non-numeric field
+        assert!(decode("m f=1 notatime").is_err());
+    }
+}

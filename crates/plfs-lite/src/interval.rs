@@ -1,0 +1,182 @@
+//! Logical→physical interval map with latest-wins overlay semantics.
+//!
+//! PLFS resolves a logical byte range by walking its index entries; later
+//! writes shadow earlier ones. This map keeps non-overlapping extents
+//! sorted by logical offset and resolves overlaps *at insert time*, so
+//! reads are a binary search plus a linear walk over only the extents they
+//! touch.
+
+/// One mapping: `len` logical bytes at `logical` live at `phys` in the
+/// data log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    pub logical: u64,
+    pub len: u64,
+    pub phys: u64,
+}
+
+impl Extent {
+    pub fn logical_end(&self) -> u64 {
+        self.logical + self.len
+    }
+}
+
+/// Sorted, non-overlapping extent list.
+#[derive(Debug, Default, Clone)]
+pub struct IntervalMap {
+    /// Invariant: sorted by `logical`, pairwise disjoint.
+    extents: Vec<Extent>,
+}
+
+impl IntervalMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Logical length: one past the last mapped byte (0 when empty).
+    pub fn logical_len(&self) -> u64 {
+        self.extents.last().map(|e| e.logical_end()).unwrap_or(0)
+    }
+
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Insert a new extent; it shadows any previously mapped bytes in its
+    /// range (overlapped older extents are trimmed or split).
+    pub fn insert(&mut self, new: Extent) {
+        if new.len == 0 {
+            return;
+        }
+        let start = new.logical;
+        let end = new.logical_end();
+
+        // Find the first extent that could overlap.
+        let mut i = self.extents.partition_point(|e| e.logical_end() <= start);
+        let mut patched: Vec<Extent> = Vec::with_capacity(2);
+        let mut remove_to = i;
+        while remove_to < self.extents.len() && self.extents[remove_to].logical < end {
+            let old = self.extents[remove_to];
+            // Left remainder of the old extent.
+            if old.logical < start {
+                patched.push(Extent {
+                    logical: old.logical,
+                    len: start - old.logical,
+                    phys: old.phys,
+                });
+            }
+            // Right remainder.
+            if old.logical_end() > end {
+                let cut = end - old.logical;
+                patched.push(Extent {
+                    logical: end,
+                    len: old.logical_end() - end,
+                    phys: old.phys + cut,
+                });
+            }
+            remove_to += 1;
+        }
+        patched.push(new);
+        patched.sort_by_key(|e| e.logical);
+        self.extents.splice(i..remove_to, patched);
+        // Fix ordering at the seam (left remainder sorts before `new`).
+        // splice preserved sortedness because `patched` is sorted and its
+        // range replaces exactly the overlapped region.
+        debug_assert!(self.check_invariants());
+        i = 0;
+        let _ = i;
+    }
+
+    /// Resolve `[offset, offset+len)` into the physical segments covering
+    /// it, in logical order. Panics in debug builds if the range is not
+    /// fully mapped (callers check `logical_len` first); unmapped holes
+    /// never occur for append-origin files.
+    pub fn resolve(&self, offset: u64, len: u64) -> Vec<Extent> {
+        let end = offset + len;
+        let mut out = Vec::new();
+        let mut i = self.extents.partition_point(|e| e.logical_end() <= offset);
+        while i < self.extents.len() && self.extents[i].logical < end {
+            let e = self.extents[i];
+            let lo = e.logical.max(offset);
+            let hi = e.logical_end().min(end);
+            out.push(Extent {
+                logical: lo,
+                len: hi - lo,
+                phys: e.phys + (lo - e.logical),
+            });
+            i += 1;
+        }
+        out
+    }
+
+    fn check_invariants(&self) -> bool {
+        self.extents
+            .windows(2)
+            .all(|w| w[0].logical_end() <= w[1].logical)
+            && self.extents.iter().all(|e| e.len > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(logical: u64, len: u64, phys: u64) -> Extent {
+        Extent { logical, len, phys }
+    }
+
+    #[test]
+    fn append_only_sequence() {
+        let mut m = IntervalMap::new();
+        m.insert(e(0, 10, 0));
+        m.insert(e(10, 5, 10));
+        assert_eq!(m.logical_len(), 15);
+        assert_eq!(m.extent_count(), 2);
+        let segs = m.resolve(8, 4);
+        assert_eq!(segs, vec![e(8, 2, 8), e(10, 2, 10)]);
+    }
+
+    #[test]
+    fn overwrite_middle_splits() {
+        let mut m = IntervalMap::new();
+        m.insert(e(0, 10, 0));
+        m.insert(e(3, 4, 100)); // shadows bytes 3..7
+        assert_eq!(m.extent_count(), 3);
+        let segs = m.resolve(0, 10);
+        assert_eq!(segs, vec![e(0, 3, 0), e(3, 4, 100), e(7, 3, 7)]);
+    }
+
+    #[test]
+    fn overwrite_spanning_multiple() {
+        let mut m = IntervalMap::new();
+        m.insert(e(0, 4, 0));
+        m.insert(e(4, 4, 4));
+        m.insert(e(8, 4, 8));
+        m.insert(e(2, 8, 50)); // covers tail of 1st, all of 2nd, head of 3rd
+        let segs = m.resolve(0, 12);
+        assert_eq!(segs, vec![e(0, 2, 0), e(2, 8, 50), e(10, 2, 10)]);
+    }
+
+    #[test]
+    fn exact_replacement() {
+        let mut m = IntervalMap::new();
+        m.insert(e(0, 8, 0));
+        m.insert(e(0, 8, 64));
+        assert_eq!(m.extent_count(), 1);
+        assert_eq!(m.resolve(0, 8), vec![e(0, 8, 64)]);
+    }
+
+    #[test]
+    fn zero_length_ignored() {
+        let mut m = IntervalMap::new();
+        m.insert(e(0, 0, 0));
+        assert_eq!(m.logical_len(), 0);
+    }
+
+    #[test]
+    fn resolve_subrange_offsets_phys() {
+        let mut m = IntervalMap::new();
+        m.insert(e(0, 100, 1000));
+        assert_eq!(m.resolve(30, 10), vec![e(30, 10, 1030)]);
+    }
+}

@@ -1,0 +1,153 @@
+//! `nav_msgs` types: `Odometry` (pose + twist with covariances).
+
+use crate::geometry_msgs::{Pose, Vector3};
+use crate::msg::RosMessage;
+use crate::std_msgs::Header;
+use crate::wire::{WireError, WireRead, WireWrite};
+
+/// `geometry_msgs/Twist` — linear + angular velocity (defined here as it
+/// is only used by `Odometry` in this workspace).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Twist {
+    pub linear: Vector3,
+    pub angular: Vector3,
+}
+
+impl RosMessage for Twist {
+    const DATATYPE: &'static str = "geometry_msgs/Twist";
+    const DEFINITION: &'static str = "\
+geometry_msgs/Vector3 linear
+geometry_msgs/Vector3 angular
+";
+
+    fn serialize(&self, buf: &mut Vec<u8>) {
+        self.linear.serialize(buf);
+        self.angular.serialize(buf);
+    }
+
+    fn deserialize(cur: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Twist {
+            linear: Vector3::deserialize(cur)?,
+            angular: Vector3::deserialize(cur)?,
+        })
+    }
+
+    fn wire_len(&self) -> usize {
+        48
+    }
+}
+
+/// `nav_msgs/Odometry` — estimated pose and twist in two frames, each
+/// with a 6x6 covariance (more nested arrays no flat store can hold).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Odometry {
+    pub header: Header,
+    pub child_frame_id: String,
+    pub pose: Pose,
+    pub pose_covariance: [f64; 36],
+    pub twist: Twist,
+    pub twist_covariance: [f64; 36],
+}
+
+impl Default for Odometry {
+    fn default() -> Self {
+        Odometry {
+            header: Header::default(),
+            child_frame_id: String::new(),
+            pose: Pose::default(),
+            pose_covariance: [0.0; 36],
+            twist: Twist::default(),
+            twist_covariance: [0.0; 36],
+        }
+    }
+}
+
+impl RosMessage for Odometry {
+    const DATATYPE: &'static str = "nav_msgs/Odometry";
+    const DEFINITION: &'static str = "\
+std_msgs/Header header
+string child_frame_id
+geometry_msgs/PoseWithCovariance pose
+geometry_msgs/TwistWithCovariance twist
+";
+
+    fn serialize(&self, buf: &mut Vec<u8>) {
+        self.header.serialize(buf);
+        buf.put_string(&self.child_frame_id);
+        self.pose.serialize(buf);
+        for v in &self.pose_covariance {
+            buf.put_f64(*v);
+        }
+        self.twist.serialize(buf);
+        for v in &self.twist_covariance {
+            buf.put_f64(*v);
+        }
+    }
+
+    fn deserialize(cur: &mut &[u8]) -> Result<Self, WireError> {
+        let header = Header::deserialize(cur)?;
+        let child_frame_id = cur.get_string()?;
+        let pose = Pose::deserialize(cur)?;
+        let mut pc = [0.0; 36];
+        for v in &mut pc {
+            *v = cur.get_f64()?;
+        }
+        let twist = Twist::deserialize(cur)?;
+        let mut tc = [0.0; 36];
+        for v in &mut tc {
+            *v = cur.get_f64()?;
+        }
+        Ok(Odometry {
+            header,
+            child_frame_id,
+            pose,
+            pose_covariance: pc,
+            twist,
+            twist_covariance: tc,
+        })
+    }
+
+    fn wire_len(&self) -> usize {
+        self.header.wire_len()
+            + 4
+            + self.child_frame_id.len()
+            + self.pose.wire_len()
+            + 288
+            + self.twist.wire_len()
+            + 288
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+
+    #[test]
+    fn odometry_round_trip() {
+        let mut o = Odometry::default();
+        o.header.stamp = Time::new(9, 1);
+        o.child_frame_id = "base_link".into();
+        o.pose.position.x = 1.5;
+        o.pose_covariance[0] = 0.01;
+        o.twist.linear.x = 0.4;
+        o.twist_covariance[35] = 0.2;
+        let bytes = o.to_bytes();
+        assert_eq!(bytes.len(), o.wire_len());
+        assert_eq!(Odometry::from_bytes(&bytes).unwrap(), o);
+    }
+
+    #[test]
+    fn twist_round_trip() {
+        let t = Twist {
+            linear: Vector3::new(1.0, 2.0, 3.0),
+            angular: Vector3::new(-0.1, 0.0, 0.1),
+        };
+        assert_eq!(Twist::from_bytes(&t.to_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn junk_rejected() {
+        assert!(Odometry::from_bytes(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! ROS1 time representation.
+//!
+//! ROS1 represents instants as `(u32 sec, u32 nsec)` since the Unix epoch
+//! and durations the same way (signed in real ROS; our workloads only need
+//! unsigned durations). Bags store both message *receive* timestamps (in
+//! record headers) and any stamps embedded in message bodies using this
+//! encoding.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+pub const NSEC_PER_SEC: u64 = 1_000_000_000;
+
+/// An instant in ROS1 time: seconds + nanoseconds since the epoch.
+///
+/// Ordering is chronological. The type is `Copy` and 8 bytes, so it is used
+/// pervasively in index entries.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time {
+    pub sec: u32,
+    pub nsec: u32,
+}
+
+impl Time {
+    pub const ZERO: Time = Time { sec: 0, nsec: 0 };
+    pub const MAX: Time = Time {
+        sec: u32::MAX,
+        nsec: (NSEC_PER_SEC - 1) as u32,
+    };
+
+    /// Construct from components, normalizing `nsec >= 1e9` overflow.
+    pub fn new(sec: u32, nsec: u32) -> Self {
+        let extra = nsec as u64 / NSEC_PER_SEC;
+        Time {
+            sec: sec + extra as u32,
+            nsec: (nsec as u64 % NSEC_PER_SEC) as u32,
+        }
+    }
+
+    /// Total nanoseconds since the epoch.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.sec as u64 * NSEC_PER_SEC + self.nsec as u64
+    }
+
+    /// Construct from total nanoseconds since the epoch.
+    #[inline]
+    pub fn from_nanos(ns: u64) -> Self {
+        Time {
+            sec: (ns / NSEC_PER_SEC) as u32,
+            nsec: (ns % NSEC_PER_SEC) as u32,
+        }
+    }
+
+    /// Construct from floating-point seconds (convenient in workloads).
+    pub fn from_sec_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0);
+        Self::from_nanos((s * NSEC_PER_SEC as f64).round() as u64)
+    }
+
+    /// Seconds as `f64` (lossy; for reporting only).
+    pub fn as_sec_f64(self) -> f64 {
+        self.sec as f64 + self.nsec as f64 / NSEC_PER_SEC as f64
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn saturating_duration_since(self, earlier: Time) -> RosDuration {
+        RosDuration::from_nanos(self.as_nanos().saturating_sub(earlier.as_nanos()))
+    }
+
+    /// True if `self` lies in the half-open range `[start, end)`.
+    pub fn in_range(self, start: Time, end: Time) -> bool {
+        self >= start && self < end
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Time({}.{:09})", self.sec, self.nsec)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:09}", self.sec, self.nsec)
+    }
+}
+
+/// A span of ROS1 time (unsigned; the reproduction never needs negative
+/// durations).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct RosDuration {
+    pub sec: u32,
+    pub nsec: u32,
+}
+
+impl RosDuration {
+    pub const ZERO: RosDuration = RosDuration { sec: 0, nsec: 0 };
+
+    pub fn from_nanos(ns: u64) -> Self {
+        RosDuration {
+            sec: (ns / NSEC_PER_SEC) as u32,
+            nsec: (ns % NSEC_PER_SEC) as u32,
+        }
+    }
+
+    pub fn from_sec_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0);
+        Self::from_nanos((s * NSEC_PER_SEC as f64).round() as u64)
+    }
+
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.sec as u64 * NSEC_PER_SEC + self.nsec as u64
+    }
+
+    pub fn as_sec_f64(self) -> f64 {
+        self.sec as f64 + self.nsec as f64 / NSEC_PER_SEC as f64
+    }
+}
+
+impl Add<RosDuration> for Time {
+    type Output = Time;
+    fn add(self, rhs: RosDuration) -> Time {
+        Time::from_nanos(self.as_nanos() + rhs.as_nanos())
+    }
+}
+
+impl AddAssign<RosDuration> for Time {
+    fn add_assign(&mut self, rhs: RosDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = RosDuration;
+    fn sub(self, rhs: Time) -> RosDuration {
+        self.saturating_duration_since(rhs)
+    }
+}
+
+impl Add for RosDuration {
+    type Output = RosDuration;
+    fn add(self, rhs: RosDuration) -> RosDuration {
+        RosDuration::from_nanos(self.as_nanos() + rhs.as_nanos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_round_trip() {
+        for ns in [0u64, 1, 999_999_999, 1_000_000_000, 1_234_567_891_234] {
+            assert_eq!(Time::from_nanos(ns).as_nanos(), ns);
+        }
+    }
+
+    #[test]
+    fn new_normalizes_nsec_overflow() {
+        let t = Time::new(1, 2_500_000_000);
+        assert_eq!(t.sec, 3);
+        assert_eq!(t.nsec, 500_000_000);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = Time::new(5, 10);
+        let b = Time::new(5, 11);
+        let c = Time::new(6, 0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::new(10, 500_000_000);
+        let d = RosDuration::from_sec_f64(1.75);
+        let u = t + d;
+        assert_eq!(u, Time::new(12, 250_000_000));
+        assert_eq!((u - t).as_nanos(), d.as_nanos());
+    }
+
+    #[test]
+    fn saturating_sub_does_not_underflow() {
+        let a = Time::new(1, 0);
+        let b = Time::new(2, 0);
+        assert_eq!((a - b).as_nanos(), 0);
+    }
+
+    #[test]
+    fn from_sec_f64_rounds() {
+        let t = Time::from_sec_f64(1.5);
+        assert_eq!(t.sec, 1);
+        assert_eq!(t.nsec, 500_000_000);
+    }
+
+    #[test]
+    fn in_range_is_half_open() {
+        let s = Time::new(10, 0);
+        let e = Time::new(20, 0);
+        assert!(Time::new(10, 0).in_range(s, e));
+        assert!(Time::new(19, 999_999_999).in_range(s, e));
+        assert!(!Time::new(20, 0).in_range(s, e));
+        assert!(!Time::new(9, 999_999_999).in_range(s, e));
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for bag parsing and I/O.
+
+use std::fmt;
+
+use ros_msgs::WireError;
+use simfs::FsError;
+
+/// Errors from reading or writing bags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BagError {
+    /// File does not start with `#ROSBAG V2.0\n`.
+    BadMagic,
+    /// Malformed record or field encoding.
+    Format(String),
+    /// A required header field is missing.
+    MissingField { record: &'static str, field: &'static str },
+    /// Wire-level decode failure.
+    Wire(WireError),
+    /// Underlying storage failure.
+    Fs(FsError),
+    /// Query referenced a topic the bag does not contain.
+    UnknownTopic(String),
+    /// The writer was used after `close()`.
+    Closed,
+}
+
+impl fmt::Display for BagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BagError::BadMagic => write!(f, "not a ROS bag (bad magic)"),
+            BagError::Format(m) => write!(f, "malformed bag: {m}"),
+            BagError::MissingField { record, field } => {
+                write!(f, "{record} record missing field '{field}'")
+            }
+            BagError::Wire(e) => write!(f, "wire error: {e}"),
+            BagError::Fs(e) => write!(f, "storage error: {e}"),
+            BagError::UnknownTopic(t) => write!(f, "unknown topic: {t}"),
+            BagError::Closed => write!(f, "bag writer already closed"),
+        }
+    }
+}
+
+impl std::error::Error for BagError {}
+
+impl From<WireError> for BagError {
+    fn from(e: WireError) -> Self {
+        BagError::Wire(e)
+    }
+}
+
+impl From<FsError> for BagError {
+    fn from(e: FsError) -> Self {
+        BagError::Fs(e)
+    }
+}
+
+pub type BagResult<T> = Result<T, BagError>;

@@ -1,0 +1,610 @@
+//! Bag v2.0 record grammar: record headers, field encoding, op codes, and
+//! the typed record structures.
+//!
+//! Every record is:
+//!
+//! ```text
+//! u32 header_len | header bytes | u32 data_len | data bytes
+//! ```
+//!
+//! and the header bytes are a sequence of fields, each:
+//!
+//! ```text
+//! u32 field_len | "name=" | value bytes
+//! ```
+//!
+//! Numeric field values are little-endian; time values are `u32 sec` +
+//! `u32 nsec` (8 bytes), matching ROS.
+
+use std::collections::HashMap;
+
+use ros_msgs::wire::{WireRead, WireWrite};
+use ros_msgs::Time;
+
+use crate::error::{BagError, BagResult};
+
+/// File magic for bag format 2.0.
+pub const MAGIC: &[u8] = b"#ROSBAG V2.0\n";
+
+/// Total on-disk size of the (padded) bag header record, including its
+/// length prefixes. Fixed so the writer can backpatch it on close, exactly
+/// as `rosbag` pads its header to 4 KiB.
+pub const BAG_HEADER_RECORD_SIZE: usize = 4096;
+
+/// Record op codes (values match the ROS bag 2.0 specification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Op {
+    MessageData = 0x02,
+    BagHeader = 0x03,
+    IndexData = 0x04,
+    Chunk = 0x05,
+    ChunkInfo = 0x06,
+    Connection = 0x07,
+}
+
+impl Op {
+    pub fn from_u8(v: u8) -> BagResult<Op> {
+        Ok(match v {
+            0x02 => Op::MessageData,
+            0x03 => Op::BagHeader,
+            0x04 => Op::IndexData,
+            0x05 => Op::Chunk,
+            0x06 => Op::ChunkInfo,
+            0x07 => Op::Connection,
+            other => return Err(BagError::Format(format!("unknown op code 0x{other:02x}"))),
+        })
+    }
+}
+
+/// A parsed record header: op + named fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordHeader {
+    pub op: Op,
+    fields: HashMap<String, Vec<u8>>,
+}
+
+impl RecordHeader {
+    pub fn new(op: Op) -> Self {
+        RecordHeader {
+            op,
+            fields: HashMap::new(),
+        }
+    }
+
+    pub fn with_u32(mut self, name: &str, v: u32) -> Self {
+        self.fields.insert(name.to_owned(), v.to_le_bytes().to_vec());
+        self
+    }
+
+    pub fn with_u64(mut self, name: &str, v: u64) -> Self {
+        self.fields.insert(name.to_owned(), v.to_le_bytes().to_vec());
+        self
+    }
+
+    pub fn with_time(mut self, name: &str, t: Time) -> Self {
+        let mut v = Vec::with_capacity(8);
+        v.put_time(t);
+        self.fields.insert(name.to_owned(), v);
+        self
+    }
+
+    pub fn with_str(mut self, name: &str, s: &str) -> Self {
+        self.fields.insert(name.to_owned(), s.as_bytes().to_vec());
+        self
+    }
+
+    pub fn get_u32(&self, record: &'static str, name: &'static str) -> BagResult<u32> {
+        let raw = self.get_raw(record, name)?;
+        raw.try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| BagError::Format(format!("field '{name}' is not 4 bytes")))
+    }
+
+    pub fn get_u64(&self, record: &'static str, name: &'static str) -> BagResult<u64> {
+        let raw = self.get_raw(record, name)?;
+        raw.try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| BagError::Format(format!("field '{name}' is not 8 bytes")))
+    }
+
+    pub fn get_time(&self, record: &'static str, name: &'static str) -> BagResult<Time> {
+        let raw = self.get_raw(record, name)?;
+        let mut cur: &[u8] = raw;
+        cur.get_time().map_err(BagError::from)
+    }
+
+    pub fn get_str(&self, record: &'static str, name: &'static str) -> BagResult<&str> {
+        let raw = self.get_raw(record, name)?;
+        std::str::from_utf8(raw).map_err(|_| BagError::Format(format!("field '{name}' not UTF-8")))
+    }
+
+    fn get_raw(&self, record: &'static str, field: &'static str) -> BagResult<&[u8]> {
+        self.fields
+            .get(field)
+            .map(|v| v.as_slice())
+            .ok_or(BagError::MissingField { record, field })
+    }
+
+    /// Encode the header bytes (fields only, without the outer length
+    /// prefix). Field order is deterministic (sorted by name, `op` first
+    /// is not required by the format; sorting keeps bags byte-stable).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut write_field = |name: &str, value: &[u8]| {
+            out.put_u32((name.len() + 1 + value.len()) as u32);
+            out.put_bytes(name.as_bytes());
+            out.put_u8(b'=');
+            out.put_bytes(value);
+        };
+        write_field("op", &[self.op as u8]);
+        let mut names: Vec<&String> = self.fields.keys().collect();
+        names.sort();
+        for name in names {
+            write_field(name, &self.fields[name]);
+        }
+        out
+    }
+
+    /// Parse header bytes (the contents between the two length prefixes).
+    pub fn decode(mut cur: &[u8]) -> BagResult<RecordHeader> {
+        let mut fields = HashMap::new();
+        let mut op = None;
+        while cur.remaining() > 0 {
+            let flen = cur.get_u32()? as usize;
+            let field = cur.take(flen)?;
+            let eq = field
+                .iter()
+                .position(|&b| b == b'=')
+                .ok_or_else(|| BagError::Format("header field without '='".into()))?;
+            let name = std::str::from_utf8(&field[..eq])
+                .map_err(|_| BagError::Format("non-UTF-8 field name".into()))?;
+            let value = &field[eq + 1..];
+            if name == "op" {
+                if value.len() != 1 {
+                    return Err(BagError::Format("op field must be 1 byte".into()));
+                }
+                op = Some(Op::from_u8(value[0])?);
+            } else {
+                fields.insert(name.to_owned(), value.to_vec());
+            }
+        }
+        let op = op.ok_or(BagError::MissingField {
+            record: "record",
+            field: "op",
+        })?;
+        Ok(RecordHeader { op, fields })
+    }
+}
+
+/// Serialize a full record (header + data, both length-prefixed) into `out`.
+pub fn write_record(out: &mut Vec<u8>, header: &RecordHeader, data: &[u8]) {
+    let h = header.encode();
+    out.put_u32(h.len() as u32);
+    out.put_bytes(&h);
+    out.put_u32(data.len() as u32);
+    out.put_bytes(data);
+}
+
+/// Parse one record from the front of `cur`: returns `(header, data)`.
+pub fn read_record<'a>(cur: &mut &'a [u8]) -> BagResult<(RecordHeader, &'a [u8])> {
+    let hlen = cur.get_u32()? as usize;
+    let hbytes = cur.take(hlen)?;
+    let header = RecordHeader::decode(hbytes)?;
+    let dlen = cur.get_u32()? as usize;
+    let data = cur.take(dlen)?;
+    Ok((header, data))
+}
+
+/// On-disk size of a record with the given header/data sizes.
+pub fn record_size(header: &RecordHeader, data_len: usize) -> usize {
+    4 + header.encode().len() + 4 + data_len
+}
+
+// ---------------------------------------------------------------------------
+// Typed records
+// ---------------------------------------------------------------------------
+
+/// Decoded bag header record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BagHeader {
+    /// Offset of the first record of the index section (connection records
+    /// followed by chunk infos).
+    pub index_pos: u64,
+    pub conn_count: u32,
+    pub chunk_count: u32,
+}
+
+impl BagHeader {
+    pub fn to_header(self) -> RecordHeader {
+        RecordHeader::new(Op::BagHeader)
+            .with_u64("index_pos", self.index_pos)
+            .with_u32("conn_count", self.conn_count)
+            .with_u32("chunk_count", self.chunk_count)
+    }
+
+    pub fn from_header(h: &RecordHeader) -> BagResult<Self> {
+        Ok(BagHeader {
+            index_pos: h.get_u64("bag header", "index_pos")?,
+            conn_count: h.get_u32("bag header", "conn_count")?,
+            chunk_count: h.get_u32("bag header", "chunk_count")?,
+        })
+    }
+
+    /// Encode as the fixed-size padded record that sits right after the
+    /// magic (padding lives in the data section, as `rosbag` does).
+    pub fn encode_padded(self) -> Vec<u8> {
+        let header = self.to_header();
+        let hbytes = header.encode();
+        let overhead = 4 + hbytes.len() + 4;
+        assert!(overhead <= BAG_HEADER_RECORD_SIZE, "bag header too large");
+        let pad = BAG_HEADER_RECORD_SIZE - overhead;
+        let mut out = Vec::with_capacity(BAG_HEADER_RECORD_SIZE);
+        write_record(&mut out, &header, &vec![b' '; pad]);
+        debug_assert_eq!(out.len(), BAG_HEADER_RECORD_SIZE);
+        out
+    }
+}
+
+/// Decoded connection record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionRecord {
+    pub conn_id: u32,
+    pub topic: String,
+    pub datatype: String,
+    pub md5sum: String,
+    pub definition: String,
+}
+
+impl ConnectionRecord {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let header = RecordHeader::new(Op::Connection)
+            .with_u32("conn", self.conn_id)
+            .with_str("topic", &self.topic);
+        // The data section carries the *connection header*: the same field
+        // encoding, holding the pub/sub negotiation fields.
+        let mut data = Vec::new();
+        for (name, value) in [
+            ("topic", self.topic.as_str()),
+            ("type", self.datatype.as_str()),
+            ("md5sum", self.md5sum.as_str()),
+            ("message_definition", self.definition.as_str()),
+        ] {
+            data.put_u32((name.len() + 1 + value.len()) as u32);
+            data.put_bytes(name.as_bytes());
+            data.put_u8(b'=');
+            data.put_bytes(value.as_bytes());
+        }
+        write_record(out, &header, &data);
+    }
+
+    pub fn decode(header: &RecordHeader, mut data: &[u8]) -> BagResult<Self> {
+        let conn_id = header.get_u32("connection", "conn")?;
+        let topic_outer = header.get_str("connection", "topic")?.to_owned();
+        let mut topic = topic_outer.clone();
+        let mut datatype = String::new();
+        let mut md5sum = String::new();
+        let mut definition = String::new();
+        while data.remaining() > 0 {
+            let flen = data.get_u32()? as usize;
+            let field = data.take(flen)?;
+            let eq = field
+                .iter()
+                .position(|&b| b == b'=')
+                .ok_or_else(|| BagError::Format("connection header field without '='".into()))?;
+            let name = &field[..eq];
+            let value = std::str::from_utf8(&field[eq + 1..])
+                .map_err(|_| BagError::Format("connection header value not UTF-8".into()))?;
+            match name {
+                b"topic" => topic = value.to_owned(),
+                b"type" => datatype = value.to_owned(),
+                b"md5sum" => md5sum = value.to_owned(),
+                b"message_definition" => definition = value.to_owned(),
+                _ => {} // ignore unknown negotiation fields
+            }
+        }
+        if datatype.is_empty() {
+            return Err(BagError::MissingField {
+                record: "connection",
+                field: "type",
+            });
+        }
+        Ok(ConnectionRecord {
+            conn_id,
+            topic,
+            datatype,
+            md5sum,
+            definition,
+        })
+    }
+}
+
+/// Header of a chunk record. The chunk's data section holds serialized
+/// message-data (and possibly connection) records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkHeader {
+    /// Compression algorithm. This reproduction writes `none` — the TUM
+    /// bags the paper uses are uncompressed — but the field is parsed and
+    /// validated so foreign bags fail loudly rather than silently.
+    pub compression: String,
+    /// Uncompressed size of the chunk data.
+    pub size: u32,
+}
+
+impl ChunkHeader {
+    pub fn to_header(&self) -> RecordHeader {
+        RecordHeader::new(Op::Chunk)
+            .with_str("compression", &self.compression)
+            .with_u32("size", self.size)
+    }
+
+    pub fn from_header(h: &RecordHeader) -> BagResult<Self> {
+        Ok(ChunkHeader {
+            compression: h.get_str("chunk", "compression")?.to_owned(),
+            size: h.get_u32("chunk", "size")?,
+        })
+    }
+}
+
+/// Message-data record header fields (payload is the serialized message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageDataHeader {
+    pub conn_id: u32,
+    pub time: Time,
+}
+
+impl MessageDataHeader {
+    pub fn to_header(self) -> RecordHeader {
+        RecordHeader::new(Op::MessageData)
+            .with_u32("conn", self.conn_id)
+            .with_time("time", self.time)
+    }
+
+    pub fn from_header(h: &RecordHeader) -> BagResult<Self> {
+        Ok(MessageDataHeader {
+            conn_id: h.get_u32("message data", "conn")?,
+            time: h.get_time("message data", "time")?,
+        })
+    }
+}
+
+/// Index-data record: for one connection within one chunk, the offsets and
+/// times of its messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDataRecord {
+    pub conn_id: u32,
+    /// `(receive time, offset of the message-data record within the
+    /// uncompressed chunk data)`.
+    pub entries: Vec<(Time, u32)>,
+}
+
+impl IndexDataRecord {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let header = RecordHeader::new(Op::IndexData)
+            .with_u32("ver", 1)
+            .with_u32("conn", self.conn_id)
+            .with_u32("count", self.entries.len() as u32);
+        let mut data = Vec::with_capacity(self.entries.len() * 12);
+        for (t, off) in &self.entries {
+            data.put_time(*t);
+            data.put_u32(*off);
+        }
+        write_record(out, &header, &data);
+    }
+
+    pub fn decode(header: &RecordHeader, mut data: &[u8]) -> BagResult<Self> {
+        let ver = header.get_u32("index data", "ver")?;
+        if ver != 1 {
+            return Err(BagError::Format(format!("unsupported index data ver {ver}")));
+        }
+        let conn_id = header.get_u32("index data", "conn")?;
+        let count = header.get_u32("index data", "count")? as usize;
+        if count * 12 != data.remaining() {
+            return Err(BagError::Format(format!(
+                "index data count {count} disagrees with payload size {}",
+                data.remaining()
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let t = data.get_time()?;
+            let off = data.get_u32()?;
+            entries.push((t, off));
+        }
+        Ok(IndexDataRecord { conn_id, entries })
+    }
+}
+
+/// Chunk-info record: position and summary of one chunk; all chunk infos
+/// are written at the end of the bag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkInfoRecord {
+    pub chunk_pos: u64,
+    pub start_time: Time,
+    pub end_time: Time,
+    /// `(conn_id, message count in this chunk)`.
+    pub counts: Vec<(u32, u32)>,
+}
+
+impl ChunkInfoRecord {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let header = RecordHeader::new(Op::ChunkInfo)
+            .with_u32("ver", 1)
+            .with_u64("chunk_pos", self.chunk_pos)
+            .with_time("start_time", self.start_time)
+            .with_time("end_time", self.end_time)
+            .with_u32("count", self.counts.len() as u32);
+        let mut data = Vec::with_capacity(self.counts.len() * 8);
+        for (conn, n) in &self.counts {
+            data.put_u32(*conn);
+            data.put_u32(*n);
+        }
+        write_record(out, &header, &data);
+    }
+
+    pub fn decode(header: &RecordHeader, mut data: &[u8]) -> BagResult<Self> {
+        let ver = header.get_u32("chunk info", "ver")?;
+        if ver != 1 {
+            return Err(BagError::Format(format!("unsupported chunk info ver {ver}")));
+        }
+        let chunk_pos = header.get_u64("chunk info", "chunk_pos")?;
+        let start_time = header.get_time("chunk info", "start_time")?;
+        let end_time = header.get_time("chunk info", "end_time")?;
+        let count = header.get_u32("chunk info", "count")? as usize;
+        if count * 8 != data.remaining() {
+            return Err(BagError::Format(
+                "chunk info count disagrees with payload size".into(),
+            ));
+        }
+        let mut counts = Vec::with_capacity(count);
+        for _ in 0..count {
+            let conn = data.get_u32()?;
+            let n = data.get_u32()?;
+            counts.push((conn, n));
+        }
+        Ok(ChunkInfoRecord {
+            chunk_pos,
+            start_time,
+            end_time,
+            counts,
+        })
+    }
+
+    /// Total messages across all connections in the chunk.
+    pub fn message_count(&self) -> u64 {
+        self.counts.iter().map(|(_, n)| *n as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_field_round_trip() {
+        let h = RecordHeader::new(Op::Chunk)
+            .with_u32("size", 1234)
+            .with_str("compression", "none")
+            .with_u64("big", u64::MAX)
+            .with_time("t", Time::new(7, 8));
+        let enc = h.encode();
+        let dec = RecordHeader::decode(&enc).unwrap();
+        assert_eq!(dec.op, Op::Chunk);
+        assert_eq!(dec.get_u32("c", "size").unwrap(), 1234);
+        assert_eq!(dec.get_str("c", "compression").unwrap(), "none");
+        assert_eq!(dec.get_u64("c", "big").unwrap(), u64::MAX);
+        assert_eq!(dec.get_time("c", "t").unwrap(), Time::new(7, 8));
+    }
+
+    #[test]
+    fn missing_field_reports_names() {
+        let h = RecordHeader::new(Op::Chunk);
+        match h.get_u32("chunk", "size") {
+            Err(BagError::MissingField { record, field }) => {
+                assert_eq!(record, "chunk");
+                assert_eq!(field, "size");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let mut out = Vec::new();
+        let h = RecordHeader::new(Op::MessageData)
+            .with_u32("conn", 3)
+            .with_time("time", Time::new(1, 2));
+        write_record(&mut out, &h, b"payload");
+        assert_eq!(out.len(), record_size(&h, 7));
+
+        let mut cur: &[u8] = &out;
+        let (dec, data) = read_record(&mut cur).unwrap();
+        assert_eq!(dec.op, Op::MessageData);
+        assert_eq!(data, b"payload");
+        assert_eq!(cur.len(), 0);
+    }
+
+    #[test]
+    fn bag_header_padded_fixed_size() {
+        let bh = BagHeader {
+            index_pos: 987654321,
+            conn_count: 7,
+            chunk_count: 42,
+        };
+        let bytes = bh.encode_padded();
+        assert_eq!(bytes.len(), BAG_HEADER_RECORD_SIZE);
+        let mut cur: &[u8] = &bytes;
+        let (h, _pad) = read_record(&mut cur).unwrap();
+        assert_eq!(BagHeader::from_header(&h).unwrap(), bh);
+    }
+
+    #[test]
+    fn connection_record_round_trip() {
+        let c = ConnectionRecord {
+            conn_id: 5,
+            topic: "/imu".into(),
+            datatype: "sensor_msgs/Imu".into(),
+            md5sum: "abc123".into(),
+            definition: "std_msgs/Header header\n...".into(),
+        };
+        let mut out = Vec::new();
+        c.encode(&mut out);
+        let mut cur: &[u8] = &out;
+        let (h, data) = read_record(&mut cur).unwrap();
+        assert_eq!(h.op, Op::Connection);
+        assert_eq!(ConnectionRecord::decode(&h, data).unwrap(), c);
+    }
+
+    #[test]
+    fn index_data_round_trip() {
+        let idx = IndexDataRecord {
+            conn_id: 2,
+            entries: vec![(Time::new(1, 0), 0), (Time::new(1, 500), 128)],
+        };
+        let mut out = Vec::new();
+        idx.encode(&mut out);
+        let mut cur: &[u8] = &out;
+        let (h, data) = read_record(&mut cur).unwrap();
+        assert_eq!(IndexDataRecord::decode(&h, data).unwrap(), idx);
+    }
+
+    #[test]
+    fn index_data_count_mismatch_rejected() {
+        let idx = IndexDataRecord {
+            conn_id: 2,
+            entries: vec![(Time::new(1, 0), 0)],
+        };
+        let mut out = Vec::new();
+        idx.encode(&mut out);
+        let mut cur: &[u8] = &out;
+        let (h, data) = read_record(&mut cur).unwrap();
+        // Claim 2 entries but provide 1.
+        let h2 = RecordHeader::new(Op::IndexData)
+            .with_u32("ver", 1)
+            .with_u32("conn", h.get_u32("i", "conn").unwrap())
+            .with_u32("count", 2);
+        assert!(IndexDataRecord::decode(&h2, data).is_err());
+    }
+
+    #[test]
+    fn chunk_info_round_trip() {
+        let ci = ChunkInfoRecord {
+            chunk_pos: 4096,
+            start_time: Time::new(10, 0),
+            end_time: Time::new(20, 0),
+            counts: vec![(0, 100), (1, 50)],
+        };
+        let mut out = Vec::new();
+        ci.encode(&mut out);
+        let mut cur: &[u8] = &out;
+        let (h, data) = read_record(&mut cur).unwrap();
+        let dec = ChunkInfoRecord::decode(&h, data).unwrap();
+        assert_eq!(dec, ci);
+        assert_eq!(dec.message_count(), 150);
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        assert!(Op::from_u8(0x7F).is_err());
+    }
+}

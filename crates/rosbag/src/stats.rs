@@ -1,0 +1,164 @@
+//! Per-topic bag statistics — the analytics behind `rosbag-tool info`
+//! and a common first step of the paper's "pre-analysis" workloads.
+
+use ros_msgs::Time;
+use simfs::{IoCtx, Storage};
+
+use crate::error::BagResult;
+use crate::reader::BagReader;
+
+/// Statistics for one topic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopicStats {
+    pub topic: String,
+    pub datatype: String,
+    pub message_count: u64,
+    pub first: Option<Time>,
+    pub last: Option<Time>,
+    /// Mean publish rate in Hz over [first, last] (None for <2 messages).
+    pub rate_hz: Option<f64>,
+    /// Largest gap between consecutive messages, seconds.
+    pub max_gap_s: Option<f64>,
+}
+
+/// Whole-bag statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BagStats {
+    pub message_count: u64,
+    pub chunk_count: usize,
+    pub start: Option<Time>,
+    pub end: Option<Time>,
+    pub topics: Vec<TopicStats>,
+}
+
+impl BagStats {
+    pub fn duration_s(&self) -> f64 {
+        match (self.start, self.end) {
+            (Some(s), Some(e)) => (e - s).as_sec_f64(),
+            _ => 0.0,
+        }
+    }
+
+    pub fn topic(&self, name: &str) -> Option<&TopicStats> {
+        self.topics.iter().find(|t| t.topic == name)
+    }
+}
+
+/// Compute statistics from an opened bag's index — no message payloads are
+/// read, so this is cheap even on the baseline path.
+pub fn bag_stats<S: Storage>(reader: &BagReader<S>, ctx: &mut IoCtx) -> BagResult<BagStats> {
+    let _ = ctx; // index-only: no further I/O needed
+    let idx = reader.index();
+    let mut topics = Vec::with_capacity(idx.connections.len());
+    for conn in &idx.connections {
+        let entries = idx.entries.get(&conn.conn_id).map(Vec::as_slice).unwrap_or(&[]);
+        let mut sorted: Vec<Time> = entries.iter().map(|e| e.time).collect();
+        sorted.sort_unstable();
+        let first = sorted.first().copied();
+        let last = sorted.last().copied();
+        let rate_hz = match (first, last) {
+            (Some(f), Some(l)) if sorted.len() >= 2 && l > f => {
+                Some((sorted.len() as f64 - 1.0) / (l - f).as_sec_f64())
+            }
+            _ => None,
+        };
+        let max_gap_s = sorted
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_sec_f64())
+            .fold(None, |acc: Option<f64>, g| Some(acc.map_or(g, |a| a.max(g))));
+        topics.push(TopicStats {
+            topic: conn.topic.clone(),
+            datatype: conn.datatype.clone(),
+            message_count: entries.len() as u64,
+            first,
+            last,
+            rate_hz,
+            max_gap_s,
+        });
+    }
+    let (start, end) = idx
+        .time_range()
+        .map(|(s, e)| (Some(s), Some(e)))
+        .unwrap_or((None, None));
+    Ok(BagStats {
+        message_count: idx.message_count(),
+        chunk_count: idx.chunk_infos.len(),
+        start,
+        end,
+        topics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{BagWriter, BagWriterOptions};
+    use ros_msgs::sensor_msgs::Imu;
+    use simfs::MemStorage;
+
+    fn build() -> (MemStorage, BagStats) {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let mut w =
+            BagWriter::create(&fs, "/b.bag", BagWriterOptions { chunk_size: 2048, ..Default::default() }, &mut ctx)
+                .unwrap();
+        // 10 Hz IMU for 10 s with one 2-second dropout.
+        for i in 0..100u32 {
+            if (30..50).contains(&i) {
+                continue;
+            }
+            let t = Time::from_nanos(i as u64 * 100_000_000);
+            let mut imu = Imu::default();
+            imu.header.seq = i;
+            w.write_ros_message("/imu", t, &imu, &mut ctx).unwrap();
+        }
+        w.close(&mut ctx).unwrap();
+        let r = BagReader::open(&fs, "/b.bag", &mut ctx).unwrap();
+        let stats = bag_stats(&r, &mut ctx).unwrap();
+        (fs, stats)
+    }
+
+    #[test]
+    fn counts_and_range() {
+        let (_, stats) = build();
+        assert_eq!(stats.message_count, 80);
+        let t = stats.topic("/imu").unwrap();
+        assert_eq!(t.message_count, 80);
+        assert_eq!(t.first.unwrap(), Time::ZERO);
+        assert_eq!(t.last.unwrap(), Time::from_nanos(99 * 100_000_000));
+        assert!((stats.duration_s() - 9.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_reflects_publishing() {
+        let (_, stats) = build();
+        let t = stats.topic("/imu").unwrap();
+        // 79 intervals over 9.9 s ≈ 7.98 Hz (dropout included).
+        let hz = t.rate_hz.unwrap();
+        assert!((hz - 79.0 / 9.9).abs() < 1e-6, "hz={hz}");
+    }
+
+    #[test]
+    fn dropout_shows_as_max_gap() {
+        let (_, stats) = build();
+        let t = stats.topic("/imu").unwrap();
+        // Messages jump from i=29 to i=50: gap of 2.1 s.
+        assert!((t.max_gap_s.unwrap() - 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_topic_stats() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let mut w = BagWriter::create(&fs, "/b.bag", BagWriterOptions::default(), &mut ctx).unwrap();
+        let mut imu = Imu::default();
+        imu.header.seq = 1;
+        w.write_ros_message("/imu", Time::new(1, 0), &imu, &mut ctx).unwrap();
+        w.close(&mut ctx).unwrap();
+        let r = BagReader::open(&fs, "/b.bag", &mut ctx).unwrap();
+        let stats = bag_stats(&r, &mut ctx).unwrap();
+        let t = stats.topic("/imu").unwrap();
+        assert!(t.rate_hz.is_none(), "single message has no rate");
+        assert!(t.max_gap_s.is_none());
+    }
+}

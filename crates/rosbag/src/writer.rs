@@ -1,0 +1,356 @@
+//! [`BagWriter`]: chunked bag recording, as the `rosbag record` tool does.
+//!
+//! Messages are buffered into a chunk; when the chunk reaches the
+//! configured size it is appended to the file followed by its index-data
+//! records (one per connection present in the chunk). On close the writer
+//! appends all connection records and chunk-info records, then backpatches
+//! the fixed-size bag header with `index_pos` and the counts.
+//!
+//! This log-structured layout is exactly why bags are fast to record and
+//! slow to analyze — the property BORA is built around.
+
+use std::collections::HashMap;
+
+use ros_msgs::{MessageDescriptor, RosMessage, Time};
+use simfs::{IoCtx, Storage};
+
+use crate::error::{BagError, BagResult};
+use crate::record::{
+    write_record, BagHeader, ChunkHeader, ChunkInfoRecord, ConnectionRecord, IndexDataRecord,
+    MessageDataHeader, MAGIC,
+};
+
+/// Chunk compression choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Store chunks raw (the TUM bags the paper uses are uncompressed).
+    #[default]
+    None,
+    /// From-scratch LZSS (see [`crate::compress`]).
+    Lzss,
+}
+
+impl Compression {
+    pub fn name(self) -> &'static str {
+        match self {
+            Compression::None => "none",
+            Compression::Lzss => crate::compress::LZSS,
+        }
+    }
+}
+
+/// Tuning knobs for the writer.
+#[derive(Debug, Clone, Copy)]
+pub struct BagWriterOptions {
+    /// Chunk flush threshold in bytes (uncompressed). `rosbag`'s default
+    /// is 768 KiB.
+    pub chunk_size: usize,
+    /// Chunk compression.
+    pub compression: Compression,
+}
+
+impl Default for BagWriterOptions {
+    fn default() -> Self {
+        BagWriterOptions {
+            chunk_size: 768 * 1024,
+            compression: Compression::None,
+        }
+    }
+}
+
+/// Summary returned by [`BagWriter::close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BagSummary {
+    pub file_len: u64,
+    pub chunk_count: u32,
+    pub conn_count: u32,
+    pub message_count: u64,
+    pub start_time: Time,
+    pub end_time: Time,
+}
+
+/// Streaming bag writer over any [`Storage`].
+pub struct BagWriter<S> {
+    storage: S,
+    path: String,
+    opts: BagWriterOptions,
+    /// Current end-of-file offset.
+    pos: u64,
+    connections: Vec<ConnectionRecord>,
+    topic_to_conn: HashMap<String, u32>,
+    chunk_buf: Vec<u8>,
+    /// conn_id → (time, offset-in-chunk) for the open chunk.
+    chunk_index: HashMap<u32, Vec<(Time, u32)>>,
+    /// Connections whose record has already been embedded in a chunk.
+    /// As `rosbag` does, each connection record is also written into the
+    /// chunk where its first message appears, so an interrupted bag can
+    /// be reindexed without the trailing index section.
+    conns_embedded: std::collections::HashSet<u32>,
+    chunk_start: Time,
+    chunk_end: Time,
+    chunk_infos: Vec<ChunkInfoRecord>,
+    message_count: u64,
+    bag_start: Time,
+    bag_end: Time,
+    closed: bool,
+}
+
+impl<S: Storage> BagWriter<S> {
+    /// Create a new bag at `path` (must not exist).
+    pub fn create(
+        storage: S,
+        path: &str,
+        opts: BagWriterOptions,
+        ctx: &mut IoCtx,
+    ) -> BagResult<Self> {
+        storage.create(path, ctx)?;
+        // Magic + placeholder bag header (backpatched on close).
+        storage.append(path, MAGIC, ctx)?;
+        let placeholder = BagHeader {
+            index_pos: 0,
+            conn_count: 0,
+            chunk_count: 0,
+        }
+        .encode_padded();
+        storage.append(path, &placeholder, ctx)?;
+        Ok(BagWriter {
+            storage,
+            path: path.to_owned(),
+            opts,
+            pos: (MAGIC.len() + placeholder.len()) as u64,
+            connections: Vec::new(),
+            topic_to_conn: HashMap::new(),
+            chunk_buf: Vec::with_capacity(opts.chunk_size + 4096),
+            chunk_index: HashMap::new(),
+            conns_embedded: std::collections::HashSet::new(),
+            chunk_start: Time::MAX,
+            chunk_end: Time::ZERO,
+            chunk_infos: Vec::new(),
+            message_count: 0,
+            bag_start: Time::MAX,
+            bag_end: Time::ZERO,
+            closed: false,
+        })
+    }
+
+    /// Register a connection (topic + type metadata); returns its id.
+    /// Registering the same topic twice returns the existing id.
+    pub fn add_connection(&mut self, topic: &str, desc: &MessageDescriptor) -> u32 {
+        if let Some(&id) = self.topic_to_conn.get(topic) {
+            return id;
+        }
+        let id = self.connections.len() as u32;
+        self.connections.push(ConnectionRecord {
+            conn_id: id,
+            topic: topic.to_owned(),
+            datatype: desc.datatype.clone(),
+            md5sum: desc.md5sum.clone(),
+            definition: desc.definition.clone(),
+        });
+        self.topic_to_conn.insert(topic.to_owned(), id);
+        id
+    }
+
+    /// Append one already-serialized message.
+    pub fn write_message(
+        &mut self,
+        conn_id: u32,
+        time: Time,
+        payload: &[u8],
+        ctx: &mut IoCtx,
+    ) -> BagResult<()> {
+        if self.closed {
+            return Err(BagError::Closed);
+        }
+        if conn_id as usize >= self.connections.len() {
+            return Err(BagError::Format(format!("unknown conn id {conn_id}")));
+        }
+        if self.conns_embedded.insert(conn_id) {
+            self.connections[conn_id as usize].encode(&mut self.chunk_buf);
+        }
+        let offset_in_chunk = self.chunk_buf.len() as u32;
+        write_record(
+            &mut self.chunk_buf,
+            &MessageDataHeader { conn_id, time }.to_header(),
+            payload,
+        );
+        self.chunk_index.entry(conn_id).or_default().push((time, offset_in_chunk));
+        self.chunk_start = self.chunk_start.min(time);
+        self.chunk_end = self.chunk_end.max(time);
+        self.bag_start = self.bag_start.min(time);
+        self.bag_end = self.bag_end.max(time);
+        self.message_count += 1;
+        if self.chunk_buf.len() >= self.opts.chunk_size {
+            self.flush_chunk(ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Serialize and append a typed message, auto-registering its topic.
+    pub fn write_ros_message<M: RosMessage>(
+        &mut self,
+        topic: &str,
+        time: Time,
+        msg: &M,
+        ctx: &mut IoCtx,
+    ) -> BagResult<()> {
+        let conn = self.add_connection(topic, &MessageDescriptor::of::<M>());
+        self.write_message(conn, time, &msg.to_bytes(), ctx)
+    }
+
+    /// Force out the open chunk (no-op if empty): chunk record, then its
+    /// index-data records, then update chunk infos.
+    pub fn flush_chunk(&mut self, ctx: &mut IoCtx) -> BagResult<()> {
+        if self.chunk_buf.is_empty() {
+            return Ok(());
+        }
+        let chunk_pos = self.pos;
+        let chunk_header = ChunkHeader {
+            compression: self.opts.compression.name().to_owned(),
+            size: self.chunk_buf.len() as u32,
+        };
+        let mut out = Vec::with_capacity(self.chunk_buf.len() + 1024);
+        match self.opts.compression {
+            Compression::None => write_record(&mut out, &chunk_header.to_header(), &self.chunk_buf),
+            Compression::Lzss => {
+                let compressed = crate::compress::compress(&self.chunk_buf);
+                write_record(&mut out, &chunk_header.to_header(), &compressed);
+            }
+        }
+
+        // Index-data records follow the chunk, sorted by conn for
+        // determinism.
+        let mut conn_ids: Vec<u32> = self.chunk_index.keys().copied().collect();
+        conn_ids.sort_unstable();
+        let mut counts = Vec::with_capacity(conn_ids.len());
+        for conn_id in conn_ids {
+            let entries = self.chunk_index.remove(&conn_id).unwrap();
+            counts.push((conn_id, entries.len() as u32));
+            IndexDataRecord { conn_id, entries }.encode(&mut out);
+        }
+        self.storage.append(&self.path, &out, ctx)?;
+        self.pos += out.len() as u64;
+
+        self.chunk_infos.push(ChunkInfoRecord {
+            chunk_pos,
+            start_time: self.chunk_start,
+            end_time: self.chunk_end,
+            counts,
+        });
+        self.chunk_buf.clear();
+        self.chunk_start = Time::MAX;
+        self.chunk_end = Time::ZERO;
+        Ok(())
+    }
+
+    /// Number of messages written so far.
+    pub fn message_count(&self) -> u64 {
+        self.message_count
+    }
+
+    /// Finish the bag: flush, write the index section (connections + chunk
+    /// infos), backpatch the bag header. Returns a summary.
+    pub fn close(mut self, ctx: &mut IoCtx) -> BagResult<BagSummary> {
+        if self.closed {
+            return Err(BagError::Closed);
+        }
+        self.flush_chunk(ctx)?;
+        let index_pos = self.pos;
+
+        let mut out = Vec::new();
+        for conn in &self.connections {
+            conn.encode(&mut out);
+        }
+        for ci in &self.chunk_infos {
+            ci.encode(&mut out);
+        }
+        self.storage.append(&self.path, &out, ctx)?;
+        self.pos += out.len() as u64;
+
+        let header = BagHeader {
+            index_pos,
+            conn_count: self.connections.len() as u32,
+            chunk_count: self.chunk_infos.len() as u32,
+        }
+        .encode_padded();
+        self.storage.write_at(&self.path, MAGIC.len() as u64, &header, ctx)?;
+        self.storage.flush(&self.path, ctx)?;
+        self.closed = true;
+
+        Ok(BagSummary {
+            file_len: self.pos,
+            chunk_count: self.chunk_infos.len() as u32,
+            conn_count: self.connections.len() as u32,
+            message_count: self.message_count,
+            start_time: if self.message_count > 0 { self.bag_start } else { Time::ZERO },
+            end_time: if self.message_count > 0 { self.bag_end } else { Time::ZERO },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ros_msgs::sensor_msgs::Imu;
+    use simfs::MemStorage;
+
+    #[test]
+    fn writes_magic_and_header() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let w = BagWriter::create(&fs, "/t.bag", BagWriterOptions::default(), &mut ctx).unwrap();
+        w.close(&mut ctx).unwrap();
+        let bytes = fs.read_all("/t.bag", &mut ctx).unwrap();
+        assert!(bytes.starts_with(MAGIC));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let mut w =
+            BagWriter::create(&fs, "/t.bag", BagWriterOptions { chunk_size: 512, ..Default::default() }, &mut ctx)
+                .unwrap();
+        let mut imu = Imu::default();
+        for i in 0..50u32 {
+            imu.header.seq = i;
+            w.write_ros_message("/imu", Time::new(i, 0), &imu, &mut ctx).unwrap();
+        }
+        let summary = w.close(&mut ctx).unwrap();
+        assert_eq!(summary.message_count, 50);
+        assert_eq!(summary.conn_count, 1);
+        assert!(summary.chunk_count > 1, "small chunk size must force multiple chunks");
+        assert_eq!(summary.start_time, Time::new(0, 0));
+        assert_eq!(summary.end_time, Time::new(49, 0));
+        assert_eq!(fs.len("/t.bag", &mut ctx).unwrap(), summary.file_len);
+    }
+
+    #[test]
+    fn duplicate_topic_reuses_connection() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let mut w =
+            BagWriter::create(&fs, "/t.bag", BagWriterOptions::default(), &mut ctx).unwrap();
+        let d = MessageDescriptor::of::<Imu>();
+        let a = w.add_connection("/imu", &d);
+        let b = w.add_connection("/imu", &d);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_conn_rejected() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let mut w =
+            BagWriter::create(&fs, "/t.bag", BagWriterOptions::default(), &mut ctx).unwrap();
+        assert!(w.write_message(9, Time::ZERO, b"x", &mut ctx).is_err());
+    }
+
+    #[test]
+    fn create_existing_fails() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        fs.append("/t.bag", b"occupied", &mut ctx).unwrap();
+        assert!(BagWriter::create(&fs, "/t.bag", BagWriterOptions::default(), &mut ctx).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end test of the `rosbag-tool` binary against real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use ros_msgs::sensor_msgs::Imu;
+use ros_msgs::Time;
+use rosbag::{BagWriter, BagWriterOptions};
+use simfs::{IoCtx, LocalStorage, Storage};
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rosbag-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_demo_bag(dir: &PathBuf, n: u32) {
+    let fs = LocalStorage::new(dir).unwrap();
+    let mut ctx = IoCtx::new();
+    let mut w =
+        BagWriter::create(&fs, "/demo.bag", BagWriterOptions { chunk_size: 4096, ..Default::default() }, &mut ctx)
+            .unwrap();
+    for i in 0..n {
+        let mut imu = Imu::default();
+        imu.header.seq = i;
+        imu.header.stamp = Time::new(i, 0);
+        w.write_ros_message("/imu", Time::new(i, 0), &imu, &mut ctx).unwrap();
+    }
+    w.close(&mut ctx).unwrap();
+}
+
+fn tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rosbag-tool"))
+}
+
+#[test]
+fn info_topics_echo() {
+    let dir = workdir("info");
+    write_demo_bag(&dir, 40);
+    let bag = dir.join("demo.bag");
+
+    let out = tool().arg("info").arg(&bag).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("messages:  40"), "{text}");
+    assert!(text.contains("/imu"));
+    assert!(text.contains("sensor_msgs/Imu"));
+
+    let out = tool().arg("topics").arg(&bag).output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "/imu");
+
+    let out = tool().args(["echo"]).arg(&bag).args(["/imu", "3"]).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("(3 of 40 messages)"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reindex_repairs_truncated_bag() {
+    let dir = workdir("reindex");
+    write_demo_bag(&dir, 60);
+    let bag = dir.join("demo.bag");
+
+    // Damage it: cut off the index section (keep ~70% of the file).
+    let bytes = std::fs::read(&bag).unwrap();
+    // Find where the index section begins by reading the header.
+    let fs = LocalStorage::new(&dir).unwrap();
+    let mut ctx = IoCtx::new();
+    let full = fs.read_all("/demo.bag", &mut ctx).unwrap();
+    assert_eq!(full, bytes);
+    let mut cur: &[u8] = &bytes[rosbag::MAGIC.len()..];
+    let (h, _) = rosbag::record::read_record(&mut cur).unwrap();
+    let bh = rosbag::record::BagHeader::from_header(&h).unwrap();
+    std::fs::write(&bag, &bytes[..bh.index_pos as usize]).unwrap();
+
+    // Damaged bag fails to open...
+    let out = tool().arg("info").arg(&bag).output().unwrap();
+    assert!(!out.status.success());
+
+    // ...reindex recovers it...
+    let out = tool().arg("reindex").arg(&bag).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recovered 60 messages"), "{text}");
+
+    // ...and info works again.
+    let out = tool().arg("info").arg(&bag).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("messages:  60"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_on_bad_args() {
+    let out = tool().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn compress_roundtrip_via_cli() {
+    let dir = workdir("compress");
+    write_demo_bag(&dir, 120);
+    let bag = dir.join("demo.bag");
+    let lz = dir.join("demo.lzss.bag");
+    let back = dir.join("demo.back.bag");
+
+    let out = tool().arg("compress").arg(&bag).arg(&lz).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("rewrote 120 messages"));
+    // IMU payloads are repetitive: the compressed bag must be smaller.
+    let orig_len = std::fs::metadata(&bag).unwrap().len();
+    let lz_len = std::fs::metadata(&lz).unwrap().len();
+    assert!(lz_len < orig_len, "lzss {lz_len} vs {orig_len}");
+
+    let out = tool().arg("decompress").arg(&lz).arg(&back).output().unwrap();
+    assert!(out.status.success());
+    // Round-tripped bag serves the same messages.
+    let out = tool().arg("info").arg(&back).output().unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("messages:  120"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,180 @@
+//! Per-session virtual clock and I/O statistics.
+//!
+//! Every storage operation takes an `&mut IoCtx`. Cost-model backends
+//! ([`crate::TimedStorage`], [`crate::ClusterStorage`]) advance the
+//! session's virtual clock; plain backends leave it untouched. The clock is
+//! what the experiment harness reports as "query time" — it is
+//! deterministic, independent of host speed, and can represent terabyte
+//! workloads without terabyte waits.
+
+use std::time::Duration;
+
+/// Cumulative I/O statistics for a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    /// Reads/writes that were *not* sequential with the previous access to
+    /// the same file (each one costs a seek in seek-sensitive models).
+    pub seeks: u64,
+    /// Metadata operations (create/stat/readdir/mkdir/exists/remove).
+    pub meta_ops: u64,
+    /// Explicit flush/fsync calls.
+    pub flushes: u64,
+}
+
+/// Per-session I/O context: virtual clock + stats + concurrency declaration.
+#[derive(Debug, Clone)]
+pub struct IoCtx {
+    /// Virtual nanoseconds accumulated by cost-model backends.
+    elapsed_ns: u64,
+    /// Number of processes the experiment declares as concurrently active
+    /// (including this one). Cost models divide shared bandwidth by the
+    /// portion of this that lands on each resource. `1` = no contention.
+    pub concurrency: u32,
+    pub stats: IoStats,
+    /// Sequentiality tracker: hash of last touched path + next expected
+    /// offset. A read/write is sequential iff it continues where the
+    /// previous access on the same file ended.
+    last_file: u64,
+    next_offset: u64,
+}
+
+impl Default for IoCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IoCtx {
+    pub fn new() -> Self {
+        IoCtx {
+            elapsed_ns: 0,
+            concurrency: 1,
+            stats: IoStats::default(),
+            last_file: 0,
+            next_offset: u64::MAX,
+        }
+    }
+
+    /// A context declaring `concurrency` concurrently active processes.
+    pub fn with_concurrency(concurrency: u32) -> Self {
+        let mut ctx = Self::new();
+        ctx.concurrency = concurrency.max(1);
+        ctx
+    }
+
+    /// Advance the virtual clock.
+    #[inline]
+    pub fn charge_ns(&mut self, ns: u64) {
+        self.elapsed_ns += ns;
+    }
+
+    #[inline]
+    pub fn charge(&mut self, d: Duration) {
+        self.elapsed_ns += d.as_nanos() as u64;
+    }
+
+    /// Virtual time elapsed in this session.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.elapsed_ns
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.elapsed_ns)
+    }
+
+    /// Reset clock and stats (keeps concurrency).
+    pub fn reset(&mut self) {
+        let c = self.concurrency;
+        *self = Self::with_concurrency(c);
+    }
+
+    /// Record an access to `(file, offset..offset+len)` and report whether
+    /// it required a seek. Used by seek-sensitive device models.
+    pub fn note_access(&mut self, file_key: u64, offset: u64, len: u64) -> bool {
+        let sequential = self.last_file == file_key && self.next_offset == offset;
+        self.last_file = file_key;
+        self.next_offset = offset + len;
+        if !sequential {
+            self.stats.seeks += 1;
+        }
+        !sequential
+    }
+
+    /// Fold another session's clock into this one as if it ran *after* it
+    /// (sequential composition).
+    pub fn absorb_sequential(&mut self, other: &IoCtx) {
+        self.elapsed_ns += other.elapsed_ns;
+        self.stats.reads += other.stats.reads;
+        self.stats.writes += other.stats.writes;
+        self.stats.bytes_read += other.stats.bytes_read;
+        self.stats.bytes_written += other.stats.bytes_written;
+        self.stats.seeks += other.stats.seeks;
+        self.stats.meta_ops += other.stats.meta_ops;
+        self.stats.flushes += other.stats.flushes;
+    }
+}
+
+/// Stable 64-bit key for a path, used by the sequentiality tracker.
+/// FNV-1a: tiny, deterministic, good enough for distinguishing files.
+#[inline]
+pub fn path_key(path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut ctx = IoCtx::new();
+        ctx.charge_ns(10);
+        ctx.charge(Duration::from_nanos(5));
+        assert_eq!(ctx.elapsed_ns(), 15);
+    }
+
+    #[test]
+    fn sequential_detection() {
+        let mut ctx = IoCtx::new();
+        let f = path_key("/a");
+        assert!(ctx.note_access(f, 0, 100), "first access seeks");
+        assert!(!ctx.note_access(f, 100, 50), "continuation is sequential");
+        assert!(ctx.note_access(f, 0, 10), "rewind seeks");
+        assert!(ctx.note_access(path_key("/b"), 10, 10), "other file seeks");
+        assert_eq!(ctx.stats.seeks, 3);
+    }
+
+    #[test]
+    fn concurrency_clamped_to_one() {
+        assert_eq!(IoCtx::with_concurrency(0).concurrency, 1);
+    }
+
+    #[test]
+    fn absorb_sequential_sums() {
+        let mut a = IoCtx::new();
+        a.charge_ns(100);
+        a.stats.reads = 2;
+        let mut b = IoCtx::new();
+        b.charge_ns(40);
+        b.stats.reads = 3;
+        a.absorb_sequential(&b);
+        assert_eq!(a.elapsed_ns(), 140);
+        assert_eq!(a.stats.reads, 5);
+    }
+
+    #[test]
+    fn path_key_distinguishes() {
+        assert_ne!(path_key("/a/b"), path_key("/a/c"));
+        assert_eq!(path_key("/x"), path_key("/x"));
+    }
+}

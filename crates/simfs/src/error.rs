@@ -1,0 +1,53 @@
+//! Filesystem error type shared by every backend.
+
+use std::fmt;
+
+/// Errors returned by [`crate::Storage`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    NotFound(String),
+    AlreadyExists(String),
+    NotADirectory(String),
+    IsADirectory(String),
+    /// Directory is not empty (non-recursive remove).
+    NotEmpty(String),
+    /// Read past end of file.
+    OutOfBounds {
+        path: String,
+        offset: u64,
+        len: u64,
+        file_len: u64,
+    },
+    /// Underlying host-filesystem error (LocalStorage only).
+    Io(String),
+    /// Path failed normalization (empty, contains `..`, etc.).
+    BadPath(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::OutOfBounds { path, offset, len, file_len } => write!(
+                f,
+                "read out of bounds: {path} offset={offset} len={len} file_len={file_len}"
+            ),
+            FsError::Io(e) => write!(f, "I/O error: {e}"),
+            FsError::BadPath(p) => write!(f, "bad path: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<std::io::Error> for FsError {
+    fn from(e: std::io::Error) -> Self {
+        FsError::Io(e.to_string())
+    }
+}
+
+pub type FsResult<T> = Result<T, FsError>;

@@ -1,0 +1,235 @@
+//! [`FaultyStorage`]: deterministic fault injection for robustness tests.
+//!
+//! Wraps any backend and fails selected operations — by countdown (the
+//! N-th operation fails), by path substring, or by flipping bits in read
+//! results. Middleware above (bag reader/writer, BORA organizer, WALs)
+//! must turn these into typed errors, never panics or silent corruption;
+//! the failure-injection tests in each crate rely on this wrapper.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::clock::IoCtx;
+use crate::error::{FsError, FsResult};
+use crate::storage::{DirEntry, Metadata, Storage};
+
+/// Which operations a fault plan applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    Reads,
+    Writes,
+    Metadata,
+    All,
+}
+
+/// A single injection rule.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    pub kind: FaultKind,
+    /// Only apply to paths containing this substring (None = all paths).
+    pub path_contains: Option<String>,
+    /// Fail after this many matching operations have succeeded.
+    pub after_ops: u64,
+    /// If set, instead of failing, XOR this byte into read results
+    /// (silent corruption — for checksum tests).
+    pub corrupt_with: Option<u8>,
+}
+
+struct RuleState {
+    rule: FaultRule,
+    seen: AtomicU64,
+}
+
+/// Fault-injecting wrapper.
+pub struct FaultyStorage<S> {
+    inner: S,
+    rules: Mutex<Vec<RuleState>>,
+}
+
+impl<S: Storage> FaultyStorage<S> {
+    pub fn new(inner: S) -> Self {
+        FaultyStorage {
+            inner,
+            rules: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Install a rule; rules are evaluated in installation order.
+    pub fn inject(&self, rule: FaultRule) {
+        self.rules.lock().push(RuleState {
+            rule,
+            seen: AtomicU64::new(0),
+        });
+    }
+
+    /// Remove all rules.
+    pub fn clear_faults(&self) {
+        self.rules.lock().clear();
+    }
+
+    /// Check rules for an op; returns Err to fail it, or the corruption
+    /// byte to apply.
+    fn consult(&self, kind: FaultKind, path: &str) -> Result<Option<u8>, FsError> {
+        let rules = self.rules.lock();
+        for rs in rules.iter() {
+            let kind_match = rs.rule.kind == FaultKind::All || rs.rule.kind == kind;
+            let path_match = rs
+                .rule
+                .path_contains
+                .as_deref()
+                .map(|s| path.contains(s))
+                .unwrap_or(true);
+            if kind_match && path_match {
+                let n = rs.seen.fetch_add(1, Ordering::Relaxed);
+                if n >= rs.rule.after_ops {
+                    if let Some(b) = rs.rule.corrupt_with {
+                        return Ok(Some(b));
+                    }
+                    return Err(FsError::Io(format!("injected fault on {path}")));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl<S: Storage> Storage for FaultyStorage<S> {
+    fn create(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.consult(FaultKind::Metadata, path)?;
+        self.inner.create(path, ctx)
+    }
+
+    fn append(&self, path: &str, data: &[u8], ctx: &mut IoCtx) -> FsResult<u64> {
+        self.consult(FaultKind::Writes, path)?;
+        self.inner.append(path, data, ctx)
+    }
+
+    fn write_at(&self, path: &str, offset: u64, data: &[u8], ctx: &mut IoCtx) -> FsResult<()> {
+        self.consult(FaultKind::Writes, path)?;
+        self.inner.write_at(path, offset, data, ctx)
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: usize, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+        let corrupt = self.consult(FaultKind::Reads, path)?;
+        let mut data = self.inner.read_at(path, offset, len, ctx)?;
+        if let (Some(b), Some(first)) = (corrupt, data.first_mut()) {
+            *first ^= b;
+        }
+        Ok(data)
+    }
+
+    fn len(&self, path: &str, ctx: &mut IoCtx) -> FsResult<u64> {
+        self.consult(FaultKind::Metadata, path)?;
+        self.inner.len(path, ctx)
+    }
+
+    fn exists(&self, path: &str, ctx: &mut IoCtx) -> bool {
+        self.inner.exists(path, ctx)
+    }
+
+    fn stat(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Metadata> {
+        self.consult(FaultKind::Metadata, path)?;
+        self.inner.stat(path, ctx)
+    }
+
+    fn mkdir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.consult(FaultKind::Metadata, path)?;
+        self.inner.mkdir_all(path, ctx)
+    }
+
+    fn read_dir(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<DirEntry>> {
+        self.consult(FaultKind::Metadata, path)?;
+        self.inner.read_dir(path, ctx)
+    }
+
+    fn remove_file(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.consult(FaultKind::Metadata, path)?;
+        self.inner.remove_file(path, ctx)
+    }
+
+    fn remove_dir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.consult(FaultKind::Metadata, path)?;
+        self.inner.remove_dir_all(path, ctx)
+    }
+
+    fn rename(&self, from: &str, to: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.consult(FaultKind::Metadata, from)?;
+        self.inner.rename(from, to, ctx)
+    }
+
+    fn flush(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.consult(FaultKind::Writes, path)?;
+        self.inner.flush(path, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemStorage;
+
+    #[test]
+    fn fails_after_countdown() {
+        let fs = FaultyStorage::new(MemStorage::new());
+        let mut ctx = IoCtx::new();
+        fs.inject(FaultRule {
+            kind: FaultKind::Writes,
+            path_contains: None,
+            after_ops: 2,
+            corrupt_with: None,
+        });
+        assert!(fs.append("/f", b"1", &mut ctx).is_ok());
+        assert!(fs.append("/f", b"2", &mut ctx).is_ok());
+        assert!(matches!(fs.append("/f", b"3", &mut ctx), Err(FsError::Io(_))));
+    }
+
+    #[test]
+    fn path_filter_limits_blast_radius() {
+        let fs = FaultyStorage::new(MemStorage::new());
+        let mut ctx = IoCtx::new();
+        fs.inject(FaultRule {
+            kind: FaultKind::Writes,
+            path_contains: Some("wal".into()),
+            after_ops: 0,
+            corrupt_with: None,
+        });
+        assert!(fs.append("/data", b"ok", &mut ctx).is_ok());
+        assert!(fs.append("/db/wal", b"no", &mut ctx).is_err());
+    }
+
+    #[test]
+    fn read_corruption_flips_first_byte() {
+        let fs = FaultyStorage::new(MemStorage::new());
+        let mut ctx = IoCtx::new();
+        fs.append("/f", b"hello", &mut ctx).unwrap();
+        fs.inject(FaultRule {
+            kind: FaultKind::Reads,
+            path_contains: None,
+            after_ops: 0,
+            corrupt_with: Some(0xFF),
+        });
+        let got = fs.read_at("/f", 0, 5, &mut ctx).unwrap();
+        assert_ne!(got, b"hello");
+        assert_eq!(&got[1..], b"ello");
+        fs.clear_faults();
+        assert_eq!(fs.read_at("/f", 0, 5, &mut ctx).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn metadata_faults_hit_mkdir() {
+        let fs = FaultyStorage::new(MemStorage::new());
+        let mut ctx = IoCtx::new();
+        fs.inject(FaultRule {
+            kind: FaultKind::Metadata,
+            path_contains: None,
+            after_ops: 0,
+            corrupt_with: None,
+        });
+        assert!(fs.mkdir_all("/d", &mut ctx).is_err());
+    }
+}

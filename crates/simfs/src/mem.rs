@@ -1,0 +1,466 @@
+//! An in-memory filesystem: the base backend all cost models wrap.
+//!
+//! Data paths are real — bytes are stored, copied, and returned — so every
+//! algorithm layered above (bag parsing, BORA reorganization, B-tree WALs)
+//! is exercised genuinely. Only *time* is synthetic, and only when wrapped
+//! by [`crate::TimedStorage`] / [`crate::ClusterStorage`].
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use crate::clock::IoCtx;
+use crate::error::{FsError, FsResult};
+use crate::path::{self, normalize};
+use crate::storage::{DirEntry, EntryKind, Metadata, Storage};
+
+#[derive(Debug)]
+enum Node {
+    File(Vec<u8>),
+    Dir,
+}
+
+/// Thread-safe in-memory filesystem.
+///
+/// Uses a single `BTreeMap<String, Node>` keyed by normalized path; the
+/// sorted order makes directory listings deterministic and prefix scans
+/// cheap. A coarse `RwLock` is sufficient: the workloads' hot paths are
+/// large reads/appends, not lock churn.
+pub struct MemStorage {
+    nodes: RwLock<BTreeMap<String, Node>>,
+}
+
+impl Default for MemStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemStorage {
+    pub fn new() -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert("/".to_owned(), Node::Dir);
+        MemStorage {
+            nodes: RwLock::new(nodes),
+        }
+    }
+
+    /// Total bytes held across all files (for memory accounting in tests
+    /// and the experiment harness).
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes
+            .read()
+            .values()
+            .map(|n| match n {
+                Node::File(d) => d.len() as u64,
+                Node::Dir => 0,
+            })
+            .sum()
+    }
+
+    /// Number of files (excluding directories).
+    pub fn file_count(&self) -> usize {
+        self.nodes
+            .read()
+            .values()
+            .filter(|n| matches!(n, Node::File(_)))
+            .count()
+    }
+
+    fn ensure_parents(nodes: &mut BTreeMap<String, Node>, p: &str) -> FsResult<()> {
+        for anc in path::ancestors(p) {
+            match nodes.get(&anc) {
+                None => {
+                    nodes.insert(anc, Node::Dir);
+                }
+                Some(Node::Dir) => {}
+                Some(Node::File(_)) => return Err(FsError::NotADirectory(anc)),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Storage for MemStorage {
+    fn create(&self, raw: &str, _ctx: &mut IoCtx) -> FsResult<()> {
+        let p = normalize(raw)?;
+        let mut nodes = self.nodes.write();
+        if nodes.contains_key(&p) {
+            return Err(FsError::AlreadyExists(p));
+        }
+        Self::ensure_parents(&mut nodes, &p)?;
+        nodes.insert(p, Node::File(Vec::new()));
+        Ok(())
+    }
+
+    fn append(&self, raw: &str, data: &[u8], _ctx: &mut IoCtx) -> FsResult<u64> {
+        let p = normalize(raw)?;
+        let mut nodes = self.nodes.write();
+        if !nodes.contains_key(&p) {
+            Self::ensure_parents(&mut nodes, &p)?;
+            nodes.insert(p.clone(), Node::File(Vec::new()));
+        }
+        match nodes.get_mut(&p).unwrap() {
+            Node::File(buf) => {
+                let off = buf.len() as u64;
+                buf.extend_from_slice(data);
+                Ok(off)
+            }
+            Node::Dir => Err(FsError::IsADirectory(p)),
+        }
+    }
+
+    fn write_at(&self, raw: &str, offset: u64, data: &[u8], _ctx: &mut IoCtx) -> FsResult<()> {
+        let p = normalize(raw)?;
+        let mut nodes = self.nodes.write();
+        match nodes.get_mut(&p) {
+            Some(Node::File(buf)) => {
+                let off = offset as usize;
+                if off > buf.len() {
+                    return Err(FsError::OutOfBounds {
+                        path: p,
+                        offset,
+                        len: data.len() as u64,
+                        file_len: buf.len() as u64,
+                    });
+                }
+                let end = off + data.len();
+                if end > buf.len() {
+                    buf.resize(end, 0);
+                }
+                buf[off..end].copy_from_slice(data);
+                Ok(())
+            }
+            Some(Node::Dir) => Err(FsError::IsADirectory(p)),
+            None => Err(FsError::NotFound(p)),
+        }
+    }
+
+    fn read_at(&self, raw: &str, offset: u64, len: usize, _ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+        let p = normalize(raw)?;
+        let nodes = self.nodes.read();
+        match nodes.get(&p) {
+            Some(Node::File(buf)) => {
+                let off = offset as usize;
+                let end = off.checked_add(len).filter(|&e| e <= buf.len()).ok_or(
+                    FsError::OutOfBounds {
+                        path: p.clone(),
+                        offset,
+                        len: len as u64,
+                        file_len: buf.len() as u64,
+                    },
+                )?;
+                Ok(buf[off..end].to_vec())
+            }
+            Some(Node::Dir) => Err(FsError::IsADirectory(p)),
+            None => Err(FsError::NotFound(p)),
+        }
+    }
+
+    fn len(&self, raw: &str, _ctx: &mut IoCtx) -> FsResult<u64> {
+        let p = normalize(raw)?;
+        match self.nodes.read().get(&p) {
+            Some(Node::File(buf)) => Ok(buf.len() as u64),
+            Some(Node::Dir) => Err(FsError::IsADirectory(p)),
+            None => Err(FsError::NotFound(p)),
+        }
+    }
+
+    fn exists(&self, raw: &str, _ctx: &mut IoCtx) -> bool {
+        match normalize(raw) {
+            Ok(p) => self.nodes.read().contains_key(&p),
+            Err(_) => false,
+        }
+    }
+
+    fn stat(&self, raw: &str, _ctx: &mut IoCtx) -> FsResult<Metadata> {
+        let p = normalize(raw)?;
+        match self.nodes.read().get(&p) {
+            Some(Node::File(buf)) => Ok(Metadata {
+                kind: EntryKind::File,
+                len: buf.len() as u64,
+            }),
+            Some(Node::Dir) => Ok(Metadata {
+                kind: EntryKind::Dir,
+                len: 0,
+            }),
+            None => Err(FsError::NotFound(p)),
+        }
+    }
+
+    fn mkdir_all(&self, raw: &str, _ctx: &mut IoCtx) -> FsResult<()> {
+        let p = normalize(raw)?;
+        let mut nodes = self.nodes.write();
+        Self::ensure_parents(&mut nodes, &p)?;
+        match nodes.get(&p) {
+            Some(Node::File(_)) => Err(FsError::NotADirectory(p)),
+            Some(Node::Dir) => Ok(()),
+            None => {
+                nodes.insert(p, Node::Dir);
+                Ok(())
+            }
+        }
+    }
+
+    fn read_dir(&self, raw: &str, _ctx: &mut IoCtx) -> FsResult<Vec<DirEntry>> {
+        let p = normalize(raw)?;
+        let nodes = self.nodes.read();
+        match nodes.get(&p) {
+            Some(Node::Dir) => {}
+            Some(Node::File(_)) => return Err(FsError::NotADirectory(p)),
+            None => return Err(FsError::NotFound(p)),
+        }
+        let prefix = if p == "/" { String::new() } else { p.clone() };
+        let mut out = Vec::new();
+        // Children are the keys `prefix + "/" + name` with no further `/`.
+        let range_start = format!("{prefix}/");
+        for (k, node) in nodes.range(range_start.clone()..) {
+            if !k.starts_with(&range_start) {
+                break;
+            }
+            let rest = &k[range_start.len()..];
+            if rest.is_empty() || rest.contains('/') {
+                continue;
+            }
+            out.push(DirEntry {
+                name: rest.to_owned(),
+                kind: match node {
+                    Node::File(_) => EntryKind::File,
+                    Node::Dir => EntryKind::Dir,
+                },
+            });
+        }
+        Ok(out)
+    }
+
+    fn remove_file(&self, raw: &str, _ctx: &mut IoCtx) -> FsResult<()> {
+        let p = normalize(raw)?;
+        let mut nodes = self.nodes.write();
+        match nodes.get(&p) {
+            Some(Node::File(_)) => {
+                nodes.remove(&p);
+                Ok(())
+            }
+            Some(Node::Dir) => Err(FsError::IsADirectory(p)),
+            None => Err(FsError::NotFound(p)),
+        }
+    }
+
+    fn remove_dir_all(&self, raw: &str, _ctx: &mut IoCtx) -> FsResult<()> {
+        let p = normalize(raw)?;
+        let mut nodes = self.nodes.write();
+        if !nodes.contains_key(&p) {
+            return Err(FsError::NotFound(p));
+        }
+        let keys: Vec<String> = nodes
+            .range(p.clone()..)
+            .take_while(|(k, _)| path::starts_with(k, &p))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in keys {
+            nodes.remove(&k);
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from_raw: &str, to_raw: &str, _ctx: &mut IoCtx) -> FsResult<()> {
+        let from = normalize(from_raw)?;
+        let to = normalize(to_raw)?;
+        let mut nodes = self.nodes.write();
+        if !nodes.contains_key(&from) {
+            return Err(FsError::NotFound(from));
+        }
+        if nodes.contains_key(&to) {
+            return Err(FsError::AlreadyExists(to));
+        }
+        Self::ensure_parents(&mut nodes, &to)?;
+        let moved: Vec<(String, Node)> = {
+            let keys: Vec<String> = nodes
+                .range(from.clone()..)
+                .take_while(|(k, _)| path::starts_with(k, &from))
+                .map(|(k, _)| k.clone())
+                .collect();
+            keys.into_iter()
+                .map(|k| {
+                    let node = nodes.remove(&k).unwrap();
+                    let suffix = &k[from.len()..];
+                    (format!("{to}{suffix}"), node)
+                })
+                .collect()
+        };
+        for (k, v) in moved {
+            nodes.insert(k, v);
+        }
+        Ok(())
+    }
+
+    fn flush(&self, raw: &str, _ctx: &mut IoCtx) -> FsResult<()> {
+        let p = normalize(raw)?;
+        if self.nodes.read().contains_key(&p) {
+            Ok(())
+        } else {
+            Err(FsError::NotFound(p))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> IoCtx {
+        IoCtx::new()
+    }
+
+    #[test]
+    fn create_append_read() {
+        let fs = MemStorage::new();
+        let mut c = ctx();
+        fs.create("/a/b/file", &mut c).unwrap();
+        assert_eq!(fs.append("/a/b/file", b"hello", &mut c).unwrap(), 0);
+        assert_eq!(fs.append("/a/b/file", b" world", &mut c).unwrap(), 5);
+        assert_eq!(fs.read_all("/a/b/file", &mut c).unwrap(), b"hello world");
+        assert_eq!(fs.read_at("/a/b/file", 6, 5, &mut c).unwrap(), b"world");
+    }
+
+    #[test]
+    fn create_twice_fails() {
+        let fs = MemStorage::new();
+        let mut c = ctx();
+        fs.create("/x", &mut c).unwrap();
+        assert!(matches!(fs.create("/x", &mut c), Err(FsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn append_creates_implicitly() {
+        let fs = MemStorage::new();
+        let mut c = ctx();
+        fs.append("/implicit/file", b"x", &mut c).unwrap();
+        assert!(fs.exists("/implicit/file", &mut c));
+        assert!(fs.exists("/implicit", &mut c));
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let fs = MemStorage::new();
+        let mut c = ctx();
+        fs.append("/f", b"abc", &mut c).unwrap();
+        assert!(matches!(
+            fs.read_at("/f", 2, 10, &mut c),
+            Err(FsError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn write_at_extends_and_overwrites() {
+        let fs = MemStorage::new();
+        let mut c = ctx();
+        fs.append("/f", b"abcdef", &mut c).unwrap();
+        fs.write_at("/f", 3, b"XYZQ", &mut c).unwrap();
+        assert_eq!(fs.read_all("/f", &mut c).unwrap(), b"abcXYZQ");
+        assert!(matches!(
+            fs.write_at("/f", 100, b"!", &mut c),
+            Err(FsError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn read_dir_lists_only_direct_children_sorted() {
+        let fs = MemStorage::new();
+        let mut c = ctx();
+        fs.append("/bag1/topicB/data", b"1", &mut c).unwrap();
+        fs.append("/bag1/topicA/data", b"2", &mut c).unwrap();
+        fs.append("/bag1/meta", b"3", &mut c).unwrap();
+        let entries = fs.read_dir("/bag1", &mut c).unwrap();
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["meta", "topicA", "topicB"]);
+        assert_eq!(entries[1].kind, EntryKind::Dir);
+        assert_eq!(entries[0].kind, EntryKind::File);
+    }
+
+    #[test]
+    fn read_dir_root() {
+        let fs = MemStorage::new();
+        let mut c = ctx();
+        fs.append("/top", b"x", &mut c).unwrap();
+        let entries = fs.read_dir("/", &mut c).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "top");
+    }
+
+    #[test]
+    fn remove_dir_all_removes_subtree() {
+        let fs = MemStorage::new();
+        let mut c = ctx();
+        fs.append("/d/a", b"1", &mut c).unwrap();
+        fs.append("/d/sub/b", b"2", &mut c).unwrap();
+        fs.append("/d2/keep", b"3", &mut c).unwrap();
+        fs.remove_dir_all("/d", &mut c).unwrap();
+        assert!(!fs.exists("/d", &mut c));
+        assert!(!fs.exists("/d/sub/b", &mut c));
+        assert!(fs.exists("/d2/keep", &mut c));
+    }
+
+    #[test]
+    fn rename_moves_subtree() {
+        let fs = MemStorage::new();
+        let mut c = ctx();
+        fs.append("/src/t1/data", b"payload", &mut c).unwrap();
+        fs.rename("/src", "/dst", &mut c).unwrap();
+        assert!(!fs.exists("/src/t1/data", &mut c));
+        assert_eq!(fs.read_all("/dst/t1/data", &mut c).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn rename_does_not_clobber() {
+        let fs = MemStorage::new();
+        let mut c = ctx();
+        fs.append("/a", b"1", &mut c).unwrap();
+        fs.append("/b", b"2", &mut c).unwrap();
+        assert!(matches!(fs.rename("/a", "/b", &mut c), Err(FsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn file_blocks_directory_creation() {
+        let fs = MemStorage::new();
+        let mut c = ctx();
+        fs.append("/f", b"x", &mut c).unwrap();
+        assert!(matches!(
+            fs.append("/f/child", b"y", &mut c),
+            Err(FsError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn accounting() {
+        let fs = MemStorage::new();
+        let mut c = ctx();
+        fs.append("/a", &[0u8; 100], &mut c).unwrap();
+        fs.append("/b", &[0u8; 50], &mut c).unwrap();
+        assert_eq!(fs.total_bytes(), 150);
+        assert_eq!(fs.file_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_appends_to_distinct_files() {
+        use std::sync::Arc;
+        let fs = Arc::new(MemStorage::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let fs = Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                let mut c = IoCtx::new();
+                for i in 0..100 {
+                    fs.append(&format!("/t{t}"), &[i as u8], &mut c).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut c = ctx();
+        for t in 0..8 {
+            assert_eq!(fs.len(&format!("/t{t}"), &mut c).unwrap(), 100);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Normalized path handling for the virtual filesystems.
+//!
+//! Virtual paths are absolute, `/`-separated, with no trailing slash (except
+//! the root itself), no empty components, and no `.`/`..` traversal. Keeping
+//! them as plain normalized `String`s makes them cheap hash keys for the
+//! in-memory backends.
+
+use crate::error::{FsError, FsResult};
+
+/// Normalize `raw` into canonical form (`/a/b/c`).
+///
+/// Accepts optional leading `/`, collapses repeated separators, rejects
+/// `.`/`..` components and empty paths.
+pub fn normalize(raw: &str) -> FsResult<String> {
+    let mut out = String::with_capacity(raw.len() + 1);
+    let mut any = false;
+    for comp in raw.split('/') {
+        match comp {
+            "" => continue,
+            "." | ".." => return Err(FsError::BadPath(raw.to_owned())),
+            c => {
+                out.push('/');
+                out.push_str(c);
+                any = true;
+            }
+        }
+    }
+    if !any {
+        if raw.contains('/') {
+            return Ok("/".to_owned()); // the root
+        }
+        return Err(FsError::BadPath(raw.to_owned()));
+    }
+    Ok(out)
+}
+
+/// Parent directory of a normalized path (`/a/b` → `/a`, `/a` → `/`).
+pub fn parent(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) | None => "/",
+        Some(i) => &path[..i],
+    }
+}
+
+/// Final component of a normalized path.
+pub fn file_name(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(i) => &path[i + 1..],
+        None => path,
+    }
+}
+
+/// Join a normalized directory with a relative component.
+pub fn join(dir: &str, name: &str) -> String {
+    if dir == "/" {
+        format!("/{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+/// True if `path` is `dir` itself or lies beneath it.
+pub fn starts_with(path: &str, dir: &str) -> bool {
+    if dir == "/" {
+        return true;
+    }
+    path == dir || (path.starts_with(dir) && path.as_bytes().get(dir.len()) == Some(&b'/'))
+}
+
+/// Ancestor directories of a normalized path, outermost first, excluding
+/// the root and the path itself: `/a/b/c` → `["/a", "/a/b"]`.
+pub fn ancestors(path: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = path.as_bytes();
+    for i in 1..bytes.len() {
+        if bytes[i] == b'/' {
+            out.push(path[..i].to_owned());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_forms() {
+        assert_eq!(normalize("/a/b").unwrap(), "/a/b");
+        assert_eq!(normalize("a/b").unwrap(), "/a/b");
+        assert_eq!(normalize("//a///b/").unwrap(), "/a/b");
+        assert_eq!(normalize("/").unwrap(), "/");
+    }
+
+    #[test]
+    fn normalize_rejects_traversal_and_empty() {
+        assert!(normalize("").is_err());
+        assert!(normalize("/a/../b").is_err());
+        assert!(normalize("./a").is_err());
+    }
+
+    #[test]
+    fn parent_and_file_name() {
+        assert_eq!(parent("/a/b/c"), "/a/b");
+        assert_eq!(parent("/a"), "/");
+        assert_eq!(file_name("/a/b/c"), "c");
+        assert_eq!(file_name("/a"), "a");
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("/", "x"), "/x");
+        assert_eq!(join("/a", "x"), "/a/x");
+    }
+
+    #[test]
+    fn starts_with_is_component_wise() {
+        assert!(starts_with("/a/b", "/a"));
+        assert!(starts_with("/a", "/a"));
+        assert!(!starts_with("/ab", "/a"));
+        assert!(starts_with("/anything", "/"));
+    }
+
+    #[test]
+    fn ancestors_outermost_first() {
+        assert_eq!(ancestors("/a/b/c"), vec!["/a".to_owned(), "/a/b".to_owned()]);
+        assert!(ancestors("/a").is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! The [`Storage`] trait: the filesystem interface every middleware in the
+//! workspace is written against.
+//!
+//! Operations are path-based (normalized `/a/b/c` strings) and take an
+//! `&mut IoCtx` so cost-model backends can charge virtual time. Backends
+//! must be `Send + Sync`; the BORA data organizer drives them from several
+//! threads at once.
+
+use crate::clock::IoCtx;
+use crate::error::FsResult;
+
+/// Kind of a directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    File,
+    Dir,
+}
+
+/// One entry of a directory listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name (final component, not the full path).
+    pub name: String,
+    pub kind: EntryKind,
+}
+
+/// File or directory metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metadata {
+    pub kind: EntryKind,
+    /// File size in bytes (0 for directories).
+    pub len: u64,
+}
+
+/// A filesystem backend.
+///
+/// Append-heavy workloads (bag recording, BORA topic files, WALs) use
+/// [`append`](Storage::append); analytical reads use
+/// [`read_at`](Storage::read_at) / [`read_all`](Storage::read_all).
+pub trait Storage: Send + Sync {
+    /// Create an empty file, failing if it exists. Parent directories are
+    /// created implicitly (bag tools never pre-create hierarchies).
+    fn create(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()>;
+
+    /// Append `data`, returning the offset at which it landed.
+    /// Creates the file if needed.
+    fn append(&self, path: &str, data: &[u8], ctx: &mut IoCtx) -> FsResult<u64>;
+
+    /// Overwrite `data` at `offset` (must lie within or at EOF).
+    fn write_at(&self, path: &str, offset: u64, data: &[u8], ctx: &mut IoCtx) -> FsResult<()>;
+
+    /// Read exactly `len` bytes at `offset`.
+    fn read_at(&self, path: &str, offset: u64, len: usize, ctx: &mut IoCtx) -> FsResult<Vec<u8>>;
+
+    /// Read the whole file.
+    fn read_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+        let len = self.len(path, ctx)?;
+        self.read_at(path, 0, len as usize, ctx)
+    }
+
+    /// Current file length.
+    fn len(&self, path: &str, ctx: &mut IoCtx) -> FsResult<u64>;
+
+    fn exists(&self, path: &str, ctx: &mut IoCtx) -> bool;
+
+    fn stat(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Metadata>;
+
+    /// Create a directory and all missing ancestors.
+    fn mkdir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()>;
+
+    /// List a directory (sorted by name, deterministic).
+    fn read_dir(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<DirEntry>>;
+
+    /// Remove a file.
+    fn remove_file(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()>;
+
+    /// Remove a directory tree recursively.
+    fn remove_dir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()>;
+
+    /// Rename a file or directory tree.
+    fn rename(&self, from: &str, to: &str, ctx: &mut IoCtx) -> FsResult<()>;
+
+    /// Durability barrier for a file (fsync-like; cost models charge it).
+    fn flush(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()>;
+}
+
+/// Blanket impl so `&S`, `Box<S>`, `Arc<S>` can be used where a `Storage`
+/// is expected.
+impl<S: Storage + ?Sized> Storage for &S {
+    fn create(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        (**self).create(path, ctx)
+    }
+    fn append(&self, path: &str, data: &[u8], ctx: &mut IoCtx) -> FsResult<u64> {
+        (**self).append(path, data, ctx)
+    }
+    fn write_at(&self, path: &str, offset: u64, data: &[u8], ctx: &mut IoCtx) -> FsResult<()> {
+        (**self).write_at(path, offset, data, ctx)
+    }
+    fn read_at(&self, path: &str, offset: u64, len: usize, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+        (**self).read_at(path, offset, len, ctx)
+    }
+    fn read_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+        (**self).read_all(path, ctx)
+    }
+    fn len(&self, path: &str, ctx: &mut IoCtx) -> FsResult<u64> {
+        (**self).len(path, ctx)
+    }
+    fn exists(&self, path: &str, ctx: &mut IoCtx) -> bool {
+        (**self).exists(path, ctx)
+    }
+    fn stat(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Metadata> {
+        (**self).stat(path, ctx)
+    }
+    fn mkdir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        (**self).mkdir_all(path, ctx)
+    }
+    fn read_dir(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<DirEntry>> {
+        (**self).read_dir(path, ctx)
+    }
+    fn remove_file(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        (**self).remove_file(path, ctx)
+    }
+    fn remove_dir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        (**self).remove_dir_all(path, ctx)
+    }
+    fn rename(&self, from: &str, to: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        (**self).rename(from, to, ctx)
+    }
+    fn flush(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        (**self).flush(path, ctx)
+    }
+}
+
+macro_rules! forward_storage_for_smart_ptr {
+    ($ty:ty) => {
+        impl<S: Storage + ?Sized> Storage for $ty {
+            fn create(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+                (**self).create(path, ctx)
+            }
+            fn append(&self, path: &str, data: &[u8], ctx: &mut IoCtx) -> FsResult<u64> {
+                (**self).append(path, data, ctx)
+            }
+            fn write_at(&self, path: &str, offset: u64, data: &[u8], ctx: &mut IoCtx) -> FsResult<()> {
+                (**self).write_at(path, offset, data, ctx)
+            }
+            fn read_at(&self, path: &str, offset: u64, len: usize, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+                (**self).read_at(path, offset, len, ctx)
+            }
+            fn read_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+                (**self).read_all(path, ctx)
+            }
+            fn len(&self, path: &str, ctx: &mut IoCtx) -> FsResult<u64> {
+                (**self).len(path, ctx)
+            }
+            fn exists(&self, path: &str, ctx: &mut IoCtx) -> bool {
+                (**self).exists(path, ctx)
+            }
+            fn stat(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Metadata> {
+                (**self).stat(path, ctx)
+            }
+            fn mkdir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+                (**self).mkdir_all(path, ctx)
+            }
+            fn read_dir(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<DirEntry>> {
+                (**self).read_dir(path, ctx)
+            }
+            fn remove_file(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+                (**self).remove_file(path, ctx)
+            }
+            fn remove_dir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+                (**self).remove_dir_all(path, ctx)
+            }
+            fn rename(&self, from: &str, to: &str, ctx: &mut IoCtx) -> FsResult<()> {
+                (**self).rename(from, to, ctx)
+            }
+            fn flush(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+                (**self).flush(path, ctx)
+            }
+        }
+    };
+}
+
+forward_storage_for_smart_ptr!(Box<S>);
+forward_storage_for_smart_ptr!(std::sync::Arc<S>);

@@ -1,0 +1,226 @@
+//! [`TimedStorage`]: wraps any backend with a [`DeviceModel`] and charges
+//! the session's virtual clock for every operation.
+//!
+//! This is the "single-node server" platform of the paper's evaluation:
+//! `TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4())` behaves
+//! like a bag directory on the Ext4 NVMe box of §IV.C.
+
+use crate::clock::{path_key, IoCtx};
+use crate::device::DeviceModel;
+use crate::error::FsResult;
+use crate::storage::{DirEntry, Metadata, Storage};
+
+/// A cost-model wrapper around an inner [`Storage`].
+pub struct TimedStorage<S> {
+    inner: S,
+    device: DeviceModel,
+}
+
+impl<S: Storage> TimedStorage<S> {
+    pub fn new(inner: S, device: DeviceModel) -> Self {
+        TimedStorage { inner, device }
+    }
+
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn charge_read(&self, path: &str, offset: u64, len: u64, ctx: &mut IoCtx) {
+        let seek = ctx.note_access(path_key(path), offset, len);
+        let ns = self.device.read_cost_ns(len, seek, ctx.concurrency);
+        ctx.charge_ns(ns);
+        ctx.stats.reads += 1;
+        ctx.stats.bytes_read += len;
+    }
+
+    fn charge_write(&self, path: &str, offset: u64, len: u64, ctx: &mut IoCtx) {
+        let seek = ctx.note_access(path_key(path), offset, len);
+        let ns = self.device.write_cost_ns(len, seek, ctx.concurrency);
+        ctx.charge_ns(ns);
+        ctx.stats.writes += 1;
+        ctx.stats.bytes_written += len;
+    }
+
+    fn charge_meta(&self, ctx: &mut IoCtx) {
+        ctx.charge_ns(self.device.meta_cost_ns(ctx.concurrency));
+        ctx.stats.meta_ops += 1;
+    }
+}
+
+impl<S: Storage> Storage for TimedStorage<S> {
+    fn create(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.charge_meta(ctx);
+        self.inner.create(path, ctx)
+    }
+
+    fn append(&self, path: &str, data: &[u8], ctx: &mut IoCtx) -> FsResult<u64> {
+        // Appends continue at EOF; model them against the writer's own
+        // cursor so a steady append stream is sequential.
+        let off = self.inner.len(path, ctx).unwrap_or(0);
+        self.charge_write(path, off, data.len() as u64, ctx);
+        self.inner.append(path, data, ctx)
+    }
+
+    fn write_at(&self, path: &str, offset: u64, data: &[u8], ctx: &mut IoCtx) -> FsResult<()> {
+        self.charge_write(path, offset, data.len() as u64, ctx);
+        self.inner.write_at(path, offset, data, ctx)
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: usize, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+        self.charge_read(path, offset, len as u64, ctx);
+        self.inner.read_at(path, offset, len, ctx)
+    }
+
+    fn read_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+        let len = self.inner.len(path, ctx)?;
+        self.charge_read(path, 0, len, ctx);
+        self.inner.read_at(path, 0, len as usize, ctx)
+    }
+
+    fn len(&self, path: &str, ctx: &mut IoCtx) -> FsResult<u64> {
+        self.charge_meta(ctx);
+        self.inner.len(path, ctx)
+    }
+
+    fn exists(&self, path: &str, ctx: &mut IoCtx) -> bool {
+        self.charge_meta(ctx);
+        self.inner.exists(path, ctx)
+    }
+
+    fn stat(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Metadata> {
+        self.charge_meta(ctx);
+        self.inner.stat(path, ctx)
+    }
+
+    fn mkdir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.charge_meta(ctx);
+        self.inner.mkdir_all(path, ctx)
+    }
+
+    fn read_dir(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<DirEntry>> {
+        let entries = self.inner.read_dir(path, ctx)?;
+        // One metadata op for the opendir plus a per-entry getdents share.
+        self.charge_meta(ctx);
+        ctx.charge_ns(entries.len() as u64 * (self.device.meta_op_ns / 16).max(1));
+        Ok(entries)
+    }
+
+    fn remove_file(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.charge_meta(ctx);
+        self.inner.remove_file(path, ctx)
+    }
+
+    fn remove_dir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.charge_meta(ctx);
+        self.inner.remove_dir_all(path, ctx)
+    }
+
+    fn rename(&self, from: &str, to: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.charge_meta(ctx);
+        self.inner.rename(from, to, ctx)
+    }
+
+    fn flush(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        ctx.charge_ns(self.device.flush_ns);
+        ctx.stats.flushes += 1;
+        self.inner.flush(path, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemStorage;
+
+    fn fs() -> TimedStorage<MemStorage> {
+        TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4())
+    }
+
+    #[test]
+    fn reads_advance_clock() {
+        let fs = fs();
+        let mut ctx = IoCtx::new();
+        fs.append("/f", &[0u8; 1024 * 1024], &mut ctx).unwrap();
+        let before = ctx.elapsed_ns();
+        fs.read_all("/f", &mut ctx).unwrap();
+        assert!(ctx.elapsed_ns() > before);
+        assert_eq!(ctx.stats.bytes_read, 1024 * 1024);
+    }
+
+    #[test]
+    fn sequential_stream_cheaper_than_random() {
+        let fs = fs();
+        let mut setup = IoCtx::new();
+        fs.append("/f", &vec![0u8; 1 << 20], &mut setup).unwrap();
+
+        let mut seq = IoCtx::new();
+        for i in 0..256u64 {
+            fs.read_at("/f", i * 4096, 4096, &mut seq).unwrap();
+        }
+
+        let mut rnd = IoCtx::new();
+        for i in 0..256u64 {
+            // Stride pattern breaks sequentiality on every access.
+            let off = (i * 37 % 256) * 4096;
+            fs.read_at("/f", off, 4096, &mut rnd).unwrap();
+        }
+        assert!(rnd.elapsed_ns() > seq.elapsed_ns() * 3);
+    }
+
+    #[test]
+    fn append_stream_is_sequential() {
+        let fs = fs();
+        let mut ctx = IoCtx::new();
+        for _ in 0..100 {
+            fs.append("/log", &[0u8; 512], &mut ctx).unwrap();
+        }
+        // Appends after the first should not count as seeks.
+        assert_eq!(ctx.stats.seeks, 1);
+    }
+
+    #[test]
+    fn flush_charges_fsync() {
+        let fs = fs();
+        let mut ctx = IoCtx::new();
+        fs.append("/f", b"x", &mut ctx).unwrap();
+        let before = ctx.elapsed_ns();
+        fs.flush("/f", &mut ctx).unwrap();
+        assert_eq!(ctx.stats.flushes, 1);
+        assert!(ctx.elapsed_ns() >= before + DeviceModel::nvme_ext4().flush_ns);
+    }
+
+    #[test]
+    fn hdd_slower_than_ssd_for_random_reads() {
+        let mem1 = MemStorage::new();
+        let mem2 = MemStorage::new();
+        let mut setup = IoCtx::new();
+        for m in [&mem1, &mem2] {
+            m.append("/f", &vec![0u8; 1 << 20], &mut setup).unwrap();
+        }
+        let ssd = TimedStorage::new(mem1, DeviceModel::nvme_ext4());
+        let hdd = TimedStorage::new(mem2, DeviceModel::hdd());
+
+        let mut c_ssd = IoCtx::new();
+        let mut c_hdd = IoCtx::new();
+        for i in 0..64u64 {
+            let off = (i * 61 % 256) * 4096;
+            ssd.read_at("/f", off, 4096, &mut c_ssd).unwrap();
+            hdd.read_at("/f", off, 4096, &mut c_hdd).unwrap();
+        }
+        assert!(c_hdd.elapsed_ns() > c_ssd.elapsed_ns() * 10);
+    }
+
+    #[test]
+    fn data_still_correct_through_wrapper() {
+        let fs = fs();
+        let mut ctx = IoCtx::new();
+        fs.append("/data", b"abcdefgh", &mut ctx).unwrap();
+        assert_eq!(fs.read_at("/data", 2, 3, &mut ctx).unwrap(), b"cde");
+        let entries = fs.read_dir("/", &mut ctx).unwrap();
+        assert_eq!(entries.len(), 1);
+    }
+}

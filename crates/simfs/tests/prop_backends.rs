@@ -1,0 +1,148 @@
+//! Backend equivalence properties: every `Storage` implementation must
+//! expose identical *data* semantics — cost models and container layouts
+//! may differ, bytes may not.
+
+use proptest::prelude::*;
+
+use simfs::{
+    ClusterConfig, ClusterStorage, DeviceModel, FsError, IoCtx, MemStorage, Storage, TimedStorage,
+};
+
+/// A small op language over one file.
+#[derive(Debug, Clone)]
+enum Op {
+    Append(Vec<u8>),
+    WriteAt(u16, Vec<u8>),
+    ReadAt(u16, u16),
+    Len,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(Op::Append),
+        (any::<u16>(), prop::collection::vec(any::<u8>(), 1..32))
+            .prop_map(|(o, d)| Op::WriteAt(o, d)),
+        (any::<u16>(), any::<u16>()).prop_map(|(o, l)| Op::ReadAt(o, l)),
+        Just(Op::Len),
+    ]
+}
+
+/// Outcome of one op, normalized for comparison across backends.
+#[derive(Debug, PartialEq, Eq)]
+enum Outcome {
+    Offset(u64),
+    Bytes(Vec<u8>),
+    Len(u64),
+    Err(&'static str),
+}
+
+fn classify(e: &FsError) -> &'static str {
+    match e {
+        FsError::NotFound(_) => "not-found",
+        FsError::OutOfBounds { .. } => "oob",
+        FsError::AlreadyExists(_) => "exists",
+        _ => "other",
+    }
+}
+
+fn run_ops<S: Storage>(fs: &S, ops: &[Op]) -> Vec<Outcome> {
+    let mut ctx = IoCtx::new();
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        let o = match op {
+            Op::Append(data) => fs
+                .append("/f", data, &mut ctx)
+                .map(Outcome::Offset)
+                .unwrap_or_else(|e| Outcome::Err(classify(&e))),
+            Op::WriteAt(off, data) => fs
+                .write_at("/f", *off as u64, data, &mut ctx)
+                .map(|_| Outcome::Offset(0))
+                .unwrap_or_else(|e| Outcome::Err(classify(&e))),
+            Op::ReadAt(off, len) => fs
+                .read_at("/f", *off as u64, *len as usize, &mut ctx)
+                .map(Outcome::Bytes)
+                .unwrap_or_else(|e| Outcome::Err(classify(&e))),
+            Op::Len => fs
+                .len("/f", &mut ctx)
+                .map(Outcome::Len)
+                .unwrap_or_else(|e| Outcome::Err(classify(&e))),
+        };
+        out.push(o);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MemStorage, TimedStorage, and both cluster configurations agree on
+    /// every observable result of arbitrary op sequences.
+    #[test]
+    fn all_backends_agree(ops in prop::collection::vec(arb_op(), 1..30)) {
+        let reference = run_ops(&MemStorage::new(), &ops);
+        let timed = run_ops(
+            &TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4()),
+            &ops,
+        );
+        prop_assert_eq!(&reference, &timed, "TimedStorage diverged");
+        let pvfs = run_ops(&ClusterStorage::new(ClusterConfig::pvfs4()), &ops);
+        prop_assert_eq!(&reference, &pvfs, "PVFS cluster diverged");
+        let lustre = run_ops(&ClusterStorage::new(ClusterConfig::tianhe_lustre()), &ops);
+        prop_assert_eq!(&reference, &lustre, "Lustre cluster diverged");
+    }
+
+    /// The local-disk backend agrees too (fewer cases: it's real I/O).
+    #[test]
+    fn local_disk_agrees(ops in prop::collection::vec(arb_op(), 1..12)) {
+        let reference = run_ops(&MemStorage::new(), &ops);
+        let dir = std::env::temp_dir().join(format!(
+            "simfs-prop-{}-{}",
+            std::process::id(),
+            rand_suffix(&ops)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let local = simfs::LocalStorage::new(&dir).unwrap();
+        let got = run_ops(&local, &ops);
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(reference, got, "LocalStorage diverged");
+    }
+
+    /// Virtual time is monotone and deterministic for any op sequence.
+    #[test]
+    fn virtual_clock_deterministic(ops in prop::collection::vec(arb_op(), 1..30)) {
+        let run = || {
+            let fs = TimedStorage::new(MemStorage::new(), DeviceModel::hdd());
+            let mut ctx = IoCtx::new();
+            let mut last = 0;
+            for op in &ops {
+                match op {
+                    Op::Append(d) => { let _ = fs.append("/f", d, &mut ctx); }
+                    Op::WriteAt(o, d) => { let _ = fs.write_at("/f", *o as u64, d, &mut ctx); }
+                    Op::ReadAt(o, l) => { let _ = fs.read_at("/f", *o as u64, *l as usize, &mut ctx); }
+                    Op::Len => { let _ = fs.len("/f", &mut ctx); }
+                }
+                prop_assert!(ctx.elapsed_ns() >= last, "clock went backwards");
+                last = ctx.elapsed_ns();
+            }
+            Ok(ctx.elapsed_ns())
+        };
+        prop_assert_eq!(run()?, run()?);
+    }
+}
+
+/// Deterministic per-case suffix so parallel proptest cases don't share a
+/// temp directory.
+fn rand_suffix(ops: &[Op]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for op in ops {
+        let tag = match op {
+            Op::Append(d) => d.len() as u64,
+            Op::WriteAt(o, d) => (*o as u64) << 8 ^ d.len() as u64,
+            Op::ReadAt(o, l) => (*o as u64) << 16 ^ *l as u64,
+            Op::Len => 7,
+        };
+        h ^= tag;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

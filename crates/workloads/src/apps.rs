@@ -1,0 +1,128 @@
+//! The four real-world applications of the paper's Table III, as
+//! topic-set selectors over the Handheld-SLAM bag.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::tum::{topic, TUM_TOPICS};
+
+/// One application workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Application {
+    /// Handheld SLAM: depth + RGB images.
+    HandheldSlam,
+    /// Robot SLAM: depth + RGB images + IMU.
+    RobotSlam,
+    /// Dynamic Object detection: TF, RGB image, camera pose, marker array.
+    DynamicObject,
+    /// Pre-analysis algorithms: randomly picked topic subsets per stage.
+    PreAnalysis,
+}
+
+/// All four, in the paper's order.
+pub const APPLICATIONS: [Application; 4] = [
+    Application::HandheldSlam,
+    Application::RobotSlam,
+    Application::DynamicObject,
+    Application::PreAnalysis,
+];
+
+impl Application {
+    /// Paper's abbreviation (HS/RS/DO/PA).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Application::HandheldSlam => "HS",
+            Application::RobotSlam => "RS",
+            Application::DynamicObject => "DO",
+            Application::PreAnalysis => "PA",
+        }
+    }
+
+    pub fn full_name(self) -> &'static str {
+        match self {
+            Application::HandheldSlam => "Handheld SLAM",
+            Application::RobotSlam => "Robot SLAM",
+            Application::DynamicObject => "Dynamic Object",
+            Application::PreAnalysis => "Pre-analysis Algorithms",
+        }
+    }
+
+    /// Required topics (Table III). For `PreAnalysis`, a deterministic
+    /// "randomly pick" driven by `seed` — the paper's PA runs multiple
+    /// stages each picking a different subset; callers vary the seed per
+    /// stage.
+    pub fn topics(self, seed: u64) -> Vec<&'static str> {
+        match self {
+            Application::HandheldSlam => vec![topic::DEPTH_IMAGE, topic::RGB_IMAGE],
+            Application::RobotSlam => vec![topic::DEPTH_IMAGE, topic::RGB_IMAGE, topic::IMU],
+            Application::DynamicObject => vec![
+                topic::TF,
+                topic::RGB_IMAGE,
+                topic::RGB_CAMERA_INFO,
+                topic::MARKER_ARRAY,
+            ],
+            Application::PreAnalysis => {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x5041); // "PA"
+                let k = rng.random_range(2..=4usize);
+                let mut names: Vec<&'static str> = TUM_TOPICS.iter().map(|t| t.name).collect();
+                // Fisher–Yates prefix shuffle.
+                for i in 0..k {
+                    let j = rng.random_range(i..names.len());
+                    names.swap(i, j);
+                }
+                names.truncate(k);
+                names.sort_unstable();
+                names
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_topic_sets() {
+        assert_eq!(
+            Application::HandheldSlam.topics(0),
+            vec![topic::DEPTH_IMAGE, topic::RGB_IMAGE]
+        );
+        assert_eq!(
+            Application::RobotSlam.topics(0),
+            vec![topic::DEPTH_IMAGE, topic::RGB_IMAGE, topic::IMU]
+        );
+        let do_topics = Application::DynamicObject.topics(0);
+        assert!(do_topics.contains(&topic::TF));
+        assert!(do_topics.contains(&topic::MARKER_ARRAY));
+        assert_eq!(do_topics.len(), 4);
+    }
+
+    #[test]
+    fn pre_analysis_is_deterministic_per_seed() {
+        let a = Application::PreAnalysis.topics(1);
+        let b = Application::PreAnalysis.topics(1);
+        assert_eq!(a, b);
+        assert!((2..=4).contains(&a.len()));
+        // Different stages pick different subsets at least sometimes.
+        let distinct = (0..10)
+            .map(|s| Application::PreAnalysis.topics(s))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn pre_analysis_topics_are_valid() {
+        for seed in 0..20 {
+            for t in Application::PreAnalysis.topics(seed) {
+                assert!(TUM_TOPICS.iter().any(|s| s.name == t), "bad topic {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn abbrevs() {
+        let abbrevs: Vec<&str> = APPLICATIONS.iter().map(|a| a.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["HS", "RS", "DO", "PA"]);
+    }
+}

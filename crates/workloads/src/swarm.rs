@@ -1,0 +1,121 @@
+//! Swarm workload generation (paper §IV.E).
+//!
+//! A robotic swarm produces one bag per robot, all recorded from the same
+//! mission window (so a "Bullet Time" multi-angle reconstruction can pull
+//! the same topic and time range from every bag). Each robot's bag has the
+//! Handheld-SLAM composition but a distinct payload seed.
+//!
+//! Memory note (documented in DESIGN.md): the paper's largest case is 100
+//! robots × 42 GB. Per-process work is identical across robots by
+//! construction, so the harness materializes `distinct_bags` real bags and
+//! assigns robot *i* to bag `i % distinct_bags`, while the declared
+//! concurrency stays at the full swarm size — contention is modeled for
+//! all N robots, memory only for the distinct shapes.
+
+use rosbag::BagResult;
+use simfs::{IoCtx, Storage};
+
+use crate::tum::{generate_bag, GenOptions, TumBag};
+
+/// A generated swarm.
+#[derive(Debug, Clone)]
+pub struct Swarm {
+    /// Paths of the distinct materialized bags.
+    pub bag_paths: Vec<String>,
+    /// Number of robots the swarm represents.
+    pub robots: usize,
+    pub per_bag: Vec<TumBag>,
+}
+
+impl Swarm {
+    /// The bag robot `i` analyzes.
+    pub fn bag_for_robot(&self, robot: usize) -> &str {
+        &self.bag_paths[robot % self.bag_paths.len()]
+    }
+}
+
+/// Generate a swarm of `robots` robots under `dir`, materializing at most
+/// `distinct_bags` real bags.
+pub fn generate_swarm<S: Storage>(
+    storage: &S,
+    dir: &str,
+    robots: usize,
+    distinct_bags: usize,
+    opts: &GenOptions,
+    ctx: &mut IoCtx,
+) -> BagResult<Swarm> {
+    assert!(robots >= 1 && distinct_bags >= 1);
+    let n = distinct_bags.min(robots);
+    let mut bag_paths = Vec::with_capacity(n);
+    let mut per_bag = Vec::with_capacity(n);
+    for i in 0..n {
+        let path = format!("{dir}/robot{i}.bag");
+        let bag = generate_bag(
+            storage,
+            &path,
+            &GenOptions {
+                seed: opts.seed.wrapping_add(i as u64 * 0x9E37_79B9),
+                ..*opts
+            },
+            ctx,
+        )?;
+        bag_paths.push(path);
+        per_bag.push(bag);
+    }
+    Ok(Swarm {
+        bag_paths,
+        robots,
+        per_bag,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rosbag::BagWriterOptions;
+    use simfs::MemStorage;
+
+    fn tiny_opts(seed: u64) -> GenOptions {
+        GenOptions {
+            count_scale: 0.01,
+            payload_scale: 0.01,
+            seed,
+            writer: BagWriterOptions { chunk_size: 32 * 1024, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn distinct_bags_materialized_and_mapped() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let swarm = generate_swarm(&fs, "/swarm", 10, 3, &tiny_opts(1), &mut ctx).unwrap();
+        assert_eq!(swarm.bag_paths.len(), 3);
+        assert_eq!(swarm.robots, 10);
+        assert_eq!(swarm.bag_for_robot(0), "/swarm/robot0.bag");
+        assert_eq!(swarm.bag_for_robot(4), "/swarm/robot1.bag");
+        assert_eq!(swarm.bag_for_robot(9), "/swarm/robot0.bag");
+    }
+
+    #[test]
+    fn robots_get_distinct_payloads() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        generate_swarm(&fs, "/swarm", 2, 2, &tiny_opts(5), &mut ctx).unwrap();
+        let a = fs.read_all("/swarm/robot0.bag", &mut ctx).unwrap();
+        let b = fs.read_all("/swarm/robot1.bag", &mut ctx).unwrap();
+        assert_ne!(a, b);
+        // Same shape though: equal message counts.
+        let ra = rosbag::BagReader::open(&fs, "/swarm/robot0.bag", &mut ctx).unwrap();
+        let rb = rosbag::BagReader::open(&fs, "/swarm/robot1.bag", &mut ctx).unwrap();
+        assert_eq!(ra.index().message_count(), rb.index().message_count());
+    }
+
+    #[test]
+    fn swarm_capped_by_robot_count() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let swarm = generate_swarm(&fs, "/swarm", 2, 8, &tiny_opts(2), &mut ctx).unwrap();
+        assert_eq!(swarm.bag_paths.len(), 2);
+    }
+}

@@ -1,0 +1,459 @@
+//! The Handheld-SLAM bag family (paper Table II).
+//!
+//! Composition of the paper's 2.9 GB bag:
+//!
+//! | Id | Topic                       | Messages | Data    |
+//! |----|-----------------------------|----------|---------|
+//! | A  | `/camera/depth/image`       | 1,429    | 1.64 GB |
+//! | B  | `/camera/rgb/image_color`   | 1,431    | 1.23 GB |
+//! | C  | `/camera/rgb/camera_info`   | 1,432    | 594 KB  |
+//! | D  | `/camera/depth/camera_info` | 1,430    | 594 KB  |
+//! | E  | `/cortex_marker_array`      | 14,487   | 8.4 MB  |
+//! | F  | `/imu`                      | 24,367   | 8.4 MB  |
+//! | G  | `/tf`                       | 16,411   | 3.6 MB  |
+//!
+//! Two scale knobs:
+//! * `count_scale` grows the bag the way real bags grow — longer
+//!   recordings, more messages (2.9 GB → 21 GB ≈ `count_scale` 7.24).
+//! * `payload_scale` shrinks per-message payloads uniformly so experiment
+//!   runs fit in RAM; it preserves message counts, rates, interleaving,
+//!   and byte *shares*, so baseline-vs-BORA ratios are preserved (both
+//!   systems' transfer terms shrink by the same factor).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ros_msgs::geometry_msgs::{TransformStamped, Vector3};
+use ros_msgs::sensor_msgs::{CameraInfo, Image, Imu};
+use ros_msgs::std_msgs::ColorRgba;
+use ros_msgs::tf2_msgs::TfMessage;
+use ros_msgs::visualization_msgs::{Marker, MarkerArray, MarkerType};
+use ros_msgs::{RosDuration, Time};
+use rosbag::{BagResult, BagWriter, BagWriterOptions};
+use simfs::{IoCtx, Storage};
+
+/// Topic name constants (Table II ids A–G).
+pub mod topic {
+    pub const DEPTH_IMAGE: &str = "/camera/depth/image";
+    pub const RGB_IMAGE: &str = "/camera/rgb/image_color";
+    pub const RGB_CAMERA_INFO: &str = "/camera/rgb/camera_info";
+    pub const DEPTH_CAMERA_INFO: &str = "/camera/depth/camera_info";
+    pub const MARKER_ARRAY: &str = "/cortex_marker_array";
+    pub const IMU: &str = "/imu";
+    pub const TF: &str = "/tf";
+}
+
+/// Recording length of the 2.9 GB bag. 1,429 depth frames at TUM's ~30 Hz
+/// RGB-D rate ≈ 48 s.
+pub const BASE_DURATION_S: f64 = 48.0;
+
+/// One topic's generation spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopicSpec {
+    pub id: char,
+    pub name: &'static str,
+    /// Message count in the 2.9 GB base bag.
+    pub base_count: u64,
+    /// Total payload bytes in the base bag (Table II's "Data size").
+    pub base_bytes: u64,
+}
+
+impl TopicSpec {
+    /// Average payload size per message.
+    pub fn avg_payload(&self) -> u64 {
+        self.base_bytes / self.base_count
+    }
+}
+
+/// Table II, verbatim.
+pub const TUM_TOPICS: [TopicSpec; 7] = [
+    TopicSpec { id: 'A', name: topic::DEPTH_IMAGE, base_count: 1_429, base_bytes: 1_640_000_000 },
+    TopicSpec { id: 'B', name: topic::RGB_IMAGE, base_count: 1_431, base_bytes: 1_230_000_000 },
+    TopicSpec { id: 'C', name: topic::RGB_CAMERA_INFO, base_count: 1_432, base_bytes: 594_000 },
+    TopicSpec { id: 'D', name: topic::DEPTH_CAMERA_INFO, base_count: 1_430, base_bytes: 594_000 },
+    TopicSpec { id: 'E', name: topic::MARKER_ARRAY, base_count: 14_487, base_bytes: 8_400_000 },
+    TopicSpec { id: 'F', name: topic::IMU, base_count: 24_367, base_bytes: 8_400_000 },
+    TopicSpec { id: 'G', name: topic::TF, base_count: 16_411, base_bytes: 3_600_000 },
+];
+
+/// Spec lookup by Table II id.
+pub fn spec(id: char) -> &'static TopicSpec {
+    TUM_TOPICS
+        .iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("unknown Table II topic id '{id}'"))
+}
+
+/// Generator options.
+#[derive(Debug, Clone, Copy)]
+pub struct GenOptions {
+    /// Bag-size family: 1.0 = the 2.9 GB bag, 7.24 ≈ the 21 GB bag.
+    pub count_scale: f64,
+    /// Uniform payload shrink factor (1.0 = paper-size payloads).
+    pub payload_scale: f64,
+    pub seed: u64,
+    /// Recording start time (robots in a swarm start together).
+    pub start: Time,
+    pub writer: BagWriterOptions,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            count_scale: 1.0,
+            payload_scale: 1.0,
+            seed: 0xB0_4A,
+            start: Time::new(100, 0),
+            writer: BagWriterOptions::default(),
+        }
+    }
+}
+
+impl GenOptions {
+    /// Options for a bag of roughly `gb` logical gigabytes, with payloads
+    /// shrunk by `payload_scale` to keep the run in RAM.
+    pub fn for_gb(gb: f64, payload_scale: f64, seed: u64) -> Self {
+        GenOptions {
+            count_scale: gb / 2.9,
+            payload_scale,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Approximate real bytes this configuration will write.
+    pub fn approx_bytes(&self) -> u64 {
+        let logical: u64 = TUM_TOPICS.iter().map(|t| t.base_bytes).sum();
+        ((logical as f64) * self.count_scale * self.payload_scale) as u64
+    }
+}
+
+/// Summary of a generated bag.
+#[derive(Debug, Clone)]
+pub struct TumBag {
+    pub path: String,
+    pub file_len: u64,
+    pub message_count: u64,
+    pub duration: RosDuration,
+    pub per_topic_counts: Vec<(&'static str, u64)>,
+}
+
+/// One pending emission in the interleaver.
+struct Stream {
+    spec: &'static TopicSpec,
+    remaining: u64,
+    period_ns: u64,
+    next_ns: u64,
+    seq: u32,
+}
+
+/// Generate a Handheld-SLAM-shaped bag at `path`.
+///
+/// Messages are emitted strictly in timestamp order (as `rosbag record`
+/// writes them), with the per-topic rates implied by Table II.
+pub fn generate_bag<S: Storage>(
+    storage: &S,
+    path: &str,
+    opts: &GenOptions,
+    ctx: &mut IoCtx,
+) -> BagResult<TumBag> {
+    let mut writer = BagWriter::create(storage, path, opts.writer, ctx)?;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    let duration_ns = (BASE_DURATION_S * opts.count_scale * 1e9) as u64;
+    let start_ns = opts.start.as_nanos();
+    let mut streams: Vec<Stream> = TUM_TOPICS
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let count = ((spec.base_count as f64) * opts.count_scale).round().max(1.0) as u64;
+            Stream {
+                spec,
+                remaining: count,
+                period_ns: duration_ns / count,
+                // Stagger topic phases deterministically so messages
+                // interleave rather than burst.
+                next_ns: start_ns + (i as u64 * 1_000_037),
+                seq: 0,
+            }
+        })
+        .collect();
+
+    let mut per_topic_counts: Vec<(&'static str, u64)> =
+        TUM_TOPICS.iter().map(|t| (t.name, 0u64)).collect();
+    let mut total = 0u64;
+    let mut last_ns = start_ns;
+
+    loop {
+        // Next emission = stream with the earliest next_ns.
+        let Some(si) = streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.remaining > 0)
+            .min_by_key(|(_, s)| s.next_ns)
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let (name, t) = {
+            let s = &mut streams[si];
+            let t = Time::from_nanos(s.next_ns);
+            emit_message(&mut writer, s.spec, s.seq, t, opts.payload_scale, &mut rng, ctx)?;
+            s.seq += 1;
+            s.remaining -= 1;
+            s.next_ns += s.period_ns;
+            (s.spec.name, t)
+        };
+        per_topic_counts.iter_mut().find(|(n, _)| *n == name).unwrap().1 += 1;
+        total += 1;
+        last_ns = last_ns.max(t.as_nanos());
+    }
+
+    let summary = writer.close(ctx)?;
+    Ok(TumBag {
+        path: path.to_owned(),
+        file_len: summary.file_len,
+        message_count: total,
+        duration: RosDuration::from_nanos(last_ns - start_ns),
+        per_topic_counts,
+    })
+}
+
+/// Payload byte target for one message of `spec` under `payload_scale`.
+fn payload_target(spec: &TopicSpec, payload_scale: f64) -> usize {
+    (((spec.avg_payload() as f64) * payload_scale).round() as usize).max(16)
+}
+
+fn emit_message<S: Storage>(
+    writer: &mut BagWriter<S>,
+    spec: &'static TopicSpec,
+    seq: u32,
+    t: Time,
+    payload_scale: f64,
+    rng: &mut StdRng,
+    ctx: &mut IoCtx,
+) -> BagResult<()> {
+    match spec.id {
+        'A' | 'B' => {
+            let depth = spec.id == 'A';
+            let target = payload_target(spec, payload_scale);
+            // Square-ish frame with the right byte volume.
+            let bpp: usize = if depth { 4 } else { 3 };
+            let width = (((target / bpp) as f64).sqrt() as usize).max(2);
+            let height = (target / (width * bpp)).max(1);
+            let mut data = vec![0u8; width * height * bpp];
+            rng.fill_bytes(&mut data);
+            let mut img = Image {
+                height: height as u32,
+                width: width as u32,
+                encoding: if depth { "32FC1".into() } else { "rgb8".into() },
+                is_bigendian: 0,
+                step: (width * bpp) as u32,
+                data,
+                ..Default::default()
+            };
+            img.header.seq = seq;
+            img.header.stamp = t;
+            img.header.frame_id = if depth { "camera_depth".into() } else { "camera_rgb".into() };
+            writer.write_ros_message(spec.name, t, &img, ctx)
+        }
+        'C' | 'D' => {
+            let mut ci = CameraInfo::default();
+            ci.header.seq = seq;
+            ci.header.stamp = t;
+            ci.header.frame_id = "camera".into();
+            ci.height = 480;
+            ci.width = 640;
+            ci.distortion_model = "plumb_bob".into();
+            ci.d = vec![0.2624, -0.9531, -0.0054, 0.0026, 1.1633];
+            ci.k = [517.3, 0.0, 318.6, 0.0, 516.5, 255.3, 0.0, 0.0, 1.0];
+            ci.r = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+            ci.p[0] = 517.3;
+            writer.write_ros_message(spec.name, t, &ci, ctx)
+        }
+        'E' => {
+            let mut arr = MarkerArray::default();
+            // ~608 B/message: two small markers.
+            for m in 0..2 {
+                let mut marker = Marker::default();
+                marker.header.seq = seq;
+                marker.header.stamp = t;
+                marker.header.frame_id = "map".into();
+                marker.ns = "cortex".into();
+                marker.id = (seq as i32) * 2 + m;
+                marker.marker_type = MarkerType::Sphere;
+                marker.scale = Vector3::new(0.05, 0.05, 0.05);
+                marker.color = ColorRgba { r: 0.9, g: 0.1, b: 0.1, a: 1.0 };
+                marker.pose.position.x = next_f64(rng);
+                marker.pose.position.y = next_f64(rng);
+                marker.pose.position.z = next_f64(rng);
+                arr.markers.push(marker);
+            }
+            writer.write_ros_message(spec.name, t, &arr, ctx)
+        }
+        'F' => {
+            let mut imu = Imu::default();
+            imu.header.seq = seq;
+            imu.header.stamp = t;
+            imu.header.frame_id = "imu_link".into();
+            imu.angular_velocity = Vector3::new(next_f64(rng), next_f64(rng), next_f64(rng));
+            imu.linear_acceleration = Vector3::new(next_f64(rng), next_f64(rng), 9.81);
+            imu.orientation_covariance[0] = 0.01;
+            writer.write_ros_message(spec.name, t, &imu, ctx)
+        }
+        'G' => {
+            let mut tf = TfMessage::default();
+            let mut ts = TransformStamped::default();
+            ts.header.seq = seq;
+            ts.header.stamp = t;
+            ts.header.frame_id = "odom".into();
+            ts.child_frame_id = "base_link".into();
+            ts.transform.translation = Vector3::new(next_f64(rng), next_f64(rng), 0.0);
+            tf.transforms.push(ts);
+            let mut ts2 = tf.transforms[0].clone();
+            ts2.header.frame_id = "base_link".into();
+            ts2.child_frame_id = "camera".into();
+            tf.transforms.push(ts2);
+            writer.write_ros_message(spec.name, t, &tf, ctx)
+        }
+        other => unreachable!("unknown topic id {other}"),
+    }
+}
+
+fn next_f64(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() % 10_000) as f64 / 1_000.0 - 5.0
+}
+
+/// Generate the 49,233 TF messages of the paper's Fig. 2 experiment
+/// (extracted from the Handheld-SLAM bag): realistic stamps and frames.
+pub fn fig2_tf_messages(count: usize, seed: u64) -> Vec<TransformStamped> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let start = Time::new(100, 0).as_nanos();
+    for i in 0..count {
+        let mut ts = TransformStamped::default();
+        ts.header.seq = i as u32;
+        ts.header.stamp = Time::from_nanos(start + i as u64 * 2_000_000);
+        ts.header.frame_id = "odom".into();
+        ts.child_frame_id = if i % 2 == 0 { "base_link".into() } else { "camera".into() };
+        ts.transform.translation = Vector3::new(next_f64(&mut rng), next_f64(&mut rng), 0.0);
+        out.push(ts);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ros_msgs::RosMessage;
+    use simfs::MemStorage;
+
+    #[test]
+    fn table2_shares_are_faithful() {
+        // >98% of bytes must be image data, as the paper stresses.
+        let total: u64 = TUM_TOPICS.iter().map(|t| t.base_bytes).sum();
+        let image: u64 = spec('A').base_bytes + spec('B').base_bytes;
+        assert!(image as f64 / total as f64 > 0.98);
+        // Total ≈ 2.9 GB.
+        assert!((2_800_000_000..3_000_000_000).contains(&total));
+    }
+
+    fn small_opts() -> GenOptions {
+        GenOptions {
+            count_scale: 0.02,
+            payload_scale: 0.01,
+            seed: 7,
+            writer: BagWriterOptions { chunk_size: 64 * 1024, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_all_seven_topics_in_proportion() {
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let bag = generate_bag(&fs, "/hs.bag", &small_opts(), &mut ctx).unwrap();
+        assert_eq!(bag.per_topic_counts.len(), 7);
+        let get = |name: &str| bag.per_topic_counts.iter().find(|(n, _)| *n == name).unwrap().1;
+        // IMU is the highest-rate topic; images the lowest (ratios from
+        // Table II survive scaling).
+        assert!(get(topic::IMU) > get(topic::TF));
+        assert!(get(topic::TF) > get(topic::RGB_IMAGE));
+        let imu_expected = (24_367.0 * 0.02f64).round() as u64;
+        assert_eq!(get(topic::IMU), imu_expected);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let fs1 = MemStorage::new();
+        let fs2 = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        generate_bag(&fs1, "/a.bag", &small_opts(), &mut ctx).unwrap();
+        generate_bag(&fs2, "/a.bag", &small_opts(), &mut ctx).unwrap();
+        let a = fs1.read_all("/a.bag", &mut ctx).unwrap();
+        let b = fs2.read_all("/a.bag", &mut ctx).unwrap();
+        assert_eq!(ros_msgs::md5::hex_digest(&a), ros_msgs::md5::hex_digest(&b));
+    }
+
+    #[test]
+    fn different_seed_different_payloads() {
+        let fs1 = MemStorage::new();
+        let fs2 = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let mut o2 = small_opts();
+        o2.seed = 8;
+        generate_bag(&fs1, "/a.bag", &small_opts(), &mut ctx).unwrap();
+        generate_bag(&fs2, "/a.bag", &o2, &mut ctx).unwrap();
+        let a = fs1.read_all("/a.bag", &mut ctx).unwrap();
+        let b = fs2.read_all("/a.bag", &mut ctx).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_bag_opens_and_queries() {
+        use rosbag::BagReader;
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        let bag = generate_bag(&fs, "/hs.bag", &small_opts(), &mut ctx).unwrap();
+        let r = BagReader::open(&fs, "/hs.bag", &mut ctx).unwrap();
+        assert_eq!(r.index().message_count(), bag.message_count);
+        let imu = r.read_messages(&[topic::IMU], &mut ctx).unwrap();
+        assert_eq!(imu.len() as u64,
+            bag.per_topic_counts.iter().find(|(n, _)| *n == topic::IMU).unwrap().1);
+        // Payloads decode as typed messages.
+        let msg = Imu::from_bytes(&imu[0].data).unwrap();
+        assert_eq!(msg.linear_acceleration.z, 9.81);
+    }
+
+    #[test]
+    fn timestamps_monotonic() {
+        use rosbag::BagReader;
+        let fs = MemStorage::new();
+        let mut ctx = IoCtx::new();
+        generate_bag(&fs, "/hs.bag", &small_opts(), &mut ctx).unwrap();
+        let r = BagReader::open(&fs, "/hs.bag", &mut ctx).unwrap();
+        let all_topics: Vec<&str> = TUM_TOPICS.iter().map(|t| t.name).collect();
+        let msgs = r.read_messages(&all_topics, &mut ctx).unwrap();
+        for w in msgs.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn fig2_messages_deterministic_and_stamped() {
+        let a = fig2_tf_messages(100, 1);
+        let b = fig2_tf_messages(100, 1);
+        assert_eq!(a, b);
+        assert!(a[99].header.stamp > a[0].header.stamp);
+        let c = fig2_tf_messages(100, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_scales() {
+        let base = GenOptions::default().approx_bytes();
+        let half = GenOptions { payload_scale: 0.5, ..Default::default() }.approx_bytes();
+        assert!((half as f64 / base as f64 - 0.5).abs() < 0.01);
+        let big = GenOptions { count_scale: 7.24, ..Default::default() }.approx_bytes();
+        assert!((big as f64 / base as f64 - 7.24).abs() < 0.01);
+    }
+}

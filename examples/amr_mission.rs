@@ -1,0 +1,111 @@
+//! Warehouse AMR mission analysis: the structured-data-dominant regime.
+//!
+//! ```text
+//! cargo run --release --example amr_mission
+//! ```
+//!
+//! Generates a 60-second AMR mission (lidar, odometry, GPS, compressed
+//! camera), imports it into BORA, then runs a "dock-approach replay":
+//! odometry + lidar in a 10-second window, reconstructing the trajectory
+//! and converting one laser sweep into a `PointCloud2` — the kind of
+//! downstream processing the paper's pre-analysis workloads do.
+
+use bora::BoraBag;
+use ros_msgs::nav_msgs::Odometry;
+use ros_msgs::sensor_msgs::{LaserScan, PointCloud2};
+use ros_msgs::{RosMessage, Time};
+use simfs::{DeviceModel, IoCtx, MemStorage, TimedStorage};
+use workloads::amr::{dock_approach_topics, generate_amr_bag, topic, AmrOptions};
+
+fn scan_to_cloud(scan: &LaserScan, pose: &Odometry) -> PointCloud2 {
+    let mut pc = PointCloud2 {
+        height: 1,
+        fields: PointCloud2::xyz_layout(),
+        point_step: 12,
+        is_dense: true,
+        ..Default::default()
+    };
+    pc.header = scan.header.clone();
+    let (px, py) = (pose.pose.position.x as f32, pose.pose.position.y as f32);
+    let mut n = 0u32;
+    for (i, &r) in scan.ranges.iter().enumerate() {
+        if r < scan.range_min || r > scan.range_max {
+            continue;
+        }
+        let angle = scan.angle_min + scan.angle_increment * i as f32;
+        for v in [px + r * angle.cos(), py + r * angle.sin(), 0.0f32] {
+            pc.data.extend_from_slice(&v.to_le_bytes());
+        }
+        n += 1;
+    }
+    pc.width = n;
+    pc.row_step = 12 * n;
+    pc
+}
+
+fn main() {
+    let fs = TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4());
+    let mut ctx = IoCtx::new();
+
+    println!("recording a 60 s AMR mission...");
+    let bag = generate_amr_bag(&fs, "/amr.bag", &AmrOptions::default(), &mut ctx).expect("generate");
+    println!("  {} messages, {} bytes", bag.message_count, bag.file_len);
+    for (t, n) in &bag.per_topic_counts {
+        println!("    {t:22} {n:>6} msgs");
+    }
+
+    bora::organizer::duplicate(&fs, "/amr.bag", &fs, "/bora/amr", &bora::OrganizerOptions::default(), &mut ctx)
+        .expect("import");
+    let bbag = BoraBag::open(&fs, "/bora/amr", &mut ctx).expect("open");
+
+    // Dock-approach replay: odometry + lidar, [t0+20 s, t0+30 s).
+    let (start, end) = workloads::amr::dock_window(Time::new(1_000, 0));
+    let mut qctx = IoCtx::new();
+    let msgs = bbag
+        .read_topics_time(&dock_approach_topics(), start, end, &mut qctx)
+        .expect("window query");
+    println!(
+        "\ndock-approach window [{start}, {end}): {} messages in {:.2} ms (virtual)",
+        msgs.len(),
+        qctx.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Reconstruct the approach trajectory from the odometry stream.
+    let odoms: Vec<Odometry> = msgs
+        .iter()
+        .filter(|m| m.topic == topic::ODOM)
+        .map(|m| Odometry::from_bytes(&m.data).expect("odom decodes"))
+        .collect();
+    let scans: Vec<LaserScan> = msgs
+        .iter()
+        .filter(|m| m.topic == topic::SCAN)
+        .map(|m| LaserScan::from_bytes(&m.data).expect("scan decodes"))
+        .collect();
+    let path_len: f64 = odoms
+        .windows(2)
+        .map(|w| {
+            let dx = w[1].pose.position.x - w[0].pose.position.x;
+            let dy = w[1].pose.position.y - w[0].pose.position.y;
+            (dx * dx + dy * dy).sqrt()
+        })
+        .sum();
+    println!("  trajectory: {} odometry samples, {path_len:.2} m travelled", odoms.len());
+
+    // Build a point cloud from the mid-window sweep at the nearest pose.
+    let scan = &scans[scans.len() / 2];
+    let pose = odoms
+        .iter()
+        .min_by_key(|o| {
+            (o.header.stamp.as_nanos() as i128 - scan.header.stamp.as_nanos() as i128).unsigned_abs()
+        })
+        .expect("a pose near the scan");
+    let cloud = scan_to_cloud(scan, pose);
+    assert!(cloud.layout_is_consistent());
+    println!(
+        "  point cloud from sweep @ {}: {} points, {} bytes ({} fields)",
+        scan.header.stamp,
+        cloud.point_count(),
+        cloud.data.len(),
+        cloud.fields.len()
+    );
+}

@@ -1,0 +1,84 @@
+//! Quickstart: record a bag, mount BORA, import, and query.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the full lifecycle from the paper: a robot records messages into
+//! an ordinary bag; the bag is copied onto a storage node through the BORA
+//! front end (which reorganizes it into a container); analysis code then
+//! opens it instantly and queries by topic and by time window.
+
+use bora::{BoraFs, BoraFsOptions};
+use ros_msgs::sensor_msgs::Imu;
+use ros_msgs::tf2_msgs::TfMessage;
+use ros_msgs::{RosMessage, Time};
+use rosbag::{BagWriter, BagWriterOptions};
+use simfs::{DeviceModel, IoCtx, MemStorage, TimedStorage};
+
+fn main() {
+    // A single-node "server": in-memory data, NVMe/Ext4 cost model.
+    let fs = TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4());
+    let mut ctx = IoCtx::new();
+
+    // --- 1. Record: what `rosbag record -O sample.bag /imu /tf` does. ---
+    let mut writer =
+        BagWriter::create(&fs, "/robot/sample.bag", BagWriterOptions::default(), &mut ctx)
+            .expect("create bag");
+    for tick in 0..1_000u32 {
+        let t = Time::from_nanos(1_000_000_000 * 100 + tick as u64 * 10_000_000); // 100 Hz
+        let mut imu = Imu::default();
+        imu.header.seq = tick;
+        imu.header.stamp = t;
+        imu.linear_acceleration.z = 9.81;
+        writer.write_ros_message("/imu", t, &imu, &mut ctx).expect("write imu");
+        if tick % 10 == 0 {
+            let tf = TfMessage::default();
+            writer.write_ros_message("/tf", t, &tf, &mut ctx).expect("write tf");
+        }
+    }
+    let summary = writer.close(&mut ctx).expect("close bag");
+    println!(
+        "recorded {} messages, {} chunks, {} bytes",
+        summary.message_count, summary.chunk_count, summary.file_len
+    );
+
+    // --- 2. Mount BORA and import the bag (data duplication, Fig. 6). ---
+    let bora = BoraFs::mount(&fs, "/mnt/bora", "/backend", BoraFsOptions::default(), &mut ctx)
+        .expect("mount");
+    let report = bora
+        .import_bag(&fs, "/robot/sample.bag", "sample.bag", &mut ctx)
+        .expect("import");
+    println!(
+        "imported: {} topics, {} messages, scan {:.2} ms + distribute {:.2} ms",
+        report.topics,
+        report.messages,
+        report.scan_ns as f64 / 1e6,
+        report.distribute_ns as f64 / 1e6
+    );
+
+    // --- 3. Query by topic (Fig. 7): no scan, no iteration. ---
+    let mut qctx = IoCtx::new();
+    let msgs = bora.read_messages("sample.bag", &["/imu"], &mut qctx).expect("query");
+    println!("read {} /imu messages in {:.2} ms (virtual)", msgs.len(), qctx.elapsed().as_secs_f64() * 1e3);
+    let first = Imu::from_bytes(&msgs[0].data).expect("decode");
+    println!("first IMU sample: az = {} m/s^2 at t = {}", first.linear_acceleration.z, msgs[0].time);
+
+    // --- 4. Query by topic + time window (coarse-grain time index). ---
+    let start = Time::new(102, 0);
+    let end = Time::new(104, 0);
+    let mut wctx = IoCtx::new();
+    let windowed = bora
+        .read_messages_time("sample.bag", &["/imu"], start, end, &mut wctx)
+        .expect("window query");
+    println!(
+        "window [{start}, {end}): {} messages in {:.2} ms (virtual)",
+        windowed.len(),
+        wctx.elapsed().as_secs_f64() * 1e3
+    );
+    assert_eq!(windowed.len(), 200, "100 Hz x 2 s");
+
+    // --- 5. Rebagging: export back to an ordinary .bag for sharing. ---
+    let n = bora.export_bag("sample.bag", &fs, "/share/rebagged.bag", &mut ctx).expect("export");
+    println!("exported {n} messages to /share/rebagged.bag (plain bag format)");
+}

@@ -1,0 +1,159 @@
+//! Concurrency: shared containers and bags must serve many threads
+//! correctly (the swarm scenario runs one process per bag, but nothing in
+//! the design forbids many readers of one container).
+
+use bora_repro::*;
+
+use bora::{BoraBag, OrganizerOptions};
+use ros_msgs::{RosDuration, Time};
+use rosbag::BagReader;
+use simfs::{IoCtx, MemStorage, Storage};
+use std::sync::Arc;
+use workloads::tum::{generate_bag, GenOptions, TUM_TOPICS};
+
+fn setup() -> Arc<MemStorage> {
+    let fs = Arc::new(MemStorage::new());
+    let mut ctx = IoCtx::new();
+    let opts = GenOptions {
+        count_scale: 0.05,
+        payload_scale: 0.003,
+        seed: 0xC0,
+        writer: rosbag::BagWriterOptions { chunk_size: 64 * 1024, ..Default::default() },
+        ..Default::default()
+    };
+    generate_bag(fs.as_ref(), "/hs.bag", &opts, &mut ctx).unwrap();
+    bora::organizer::duplicate(
+        fs.as_ref(),
+        "/hs.bag",
+        fs.as_ref(),
+        "/c",
+        &OrganizerOptions::default(),
+        &mut ctx,
+    )
+    .unwrap();
+    fs
+}
+
+#[test]
+fn many_threads_share_one_bora_bag() {
+    let fs = setup();
+    let mut ctx = IoCtx::new();
+    let bag = Arc::new(BoraBag::open(Arc::clone(&fs), "/c", &mut ctx).unwrap());
+
+    let expected: Vec<(String, usize)> = TUM_TOPICS
+        .iter()
+        .map(|t| {
+            let n = bag.read_topic(t.name, &mut ctx).unwrap().len();
+            (t.name.to_owned(), n)
+        })
+        .collect();
+
+    let mut handles = Vec::new();
+    for worker in 0..8 {
+        let bag = Arc::clone(&bag);
+        let expected = expected.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = IoCtx::new();
+            for round in 0..5 {
+                let (name, n) = &expected[(worker + round) % expected.len()];
+                let msgs = bag.read_topic(name, &mut ctx).unwrap();
+                assert_eq!(msgs.len(), *n, "worker {worker} round {round} on {name}");
+                for pair in msgs.windows(2) {
+                    assert!(pair[0].time <= pair[1].time);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn many_threads_share_one_baseline_reader() {
+    // The baseline reader has interior state (the compressed-chunk cache);
+    // it must stay consistent under concurrent readers.
+    let fs = setup();
+    let mut ctx = IoCtx::new();
+    let reader = Arc::new(BagReader::open(Arc::clone(&fs), "/hs.bag", &mut ctx).unwrap());
+    let total = reader.index().message_count();
+
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let reader = Arc::clone(&reader);
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = IoCtx::new();
+            let all: Vec<&str> = TUM_TOPICS.iter().map(|t| t.name).collect();
+            let msgs = reader.read_messages(&all, &mut ctx).unwrap();
+            assert_eq!(msgs.len() as u64, total);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_time_windows_partition_cleanly() {
+    let fs = setup();
+    let mut ctx = IoCtx::new();
+    let bag = Arc::new(BoraBag::open(Arc::clone(&fs), "/c", &mut ctx).unwrap());
+    let (t0, t_end) = bag.time_range();
+    let span_s = (t_end - t0).as_sec_f64();
+
+    // Partition the bag into 6 disjoint windows queried concurrently;
+    // their union must equal one full query.
+    let full = bag
+        .read_topics_time(&["/imu"], t0, t_end + RosDuration::from_sec_f64(1.0), &mut ctx)
+        .unwrap()
+        .len();
+
+    let slices = 6;
+    let mut handles = Vec::new();
+    for k in 0..slices {
+        let bag = Arc::clone(&bag);
+        let s = t0 + RosDuration::from_sec_f64(span_s * k as f64 / slices as f64);
+        let e = if k == slices - 1 {
+            t_end + RosDuration::from_sec_f64(1.0)
+        } else {
+            t0 + RosDuration::from_sec_f64(span_s * (k + 1) as f64 / slices as f64)
+        };
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = IoCtx::new();
+            bag.read_topic_time("/imu", s, e, &mut ctx).unwrap().len()
+        }));
+    }
+    let sum: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(sum, full, "disjoint windows must tile the stream exactly");
+}
+
+#[test]
+fn parallel_duplications_into_distinct_roots() {
+    let fs = setup();
+    let mut handles = Vec::new();
+    for k in 0..4 {
+        let fs = Arc::clone(&fs);
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = IoCtx::new();
+            bora::organizer::duplicate(
+                fs.as_ref(),
+                "/hs.bag",
+                fs.as_ref(),
+                &format!("/par{k}"),
+                &OrganizerOptions::default(),
+                &mut ctx,
+            )
+            .unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut ctx = IoCtx::new();
+    let mut digests = Vec::new();
+    for k in 0..4 {
+        let data = fs.read_all(&format!("/par{k}/imu/data"), &mut ctx).unwrap();
+        digests.push(ros_msgs::md5::hex_digest(&data));
+    }
+    assert!(digests.windows(2).all(|w| w[0] == w[1]), "parallel duplicates must agree");
+}
