@@ -1,0 +1,166 @@
+//! `crossbeam::thread::scope` with crossbeam's single-lifetime API.
+//!
+//! std's scoped threads carry two lifetimes (`'scope`, `'env`) which makes
+//! them a poor drop-in for code written against crossbeam's
+//! `scope(|s| ...)` / `s.spawn(|_| ...)` shape, so this module implements
+//! the crossbeam shape directly: spawned closures are lifetime-erased
+//! (the same `'env → 'static` transmute crossbeam performs internally) and
+//! soundness is restored by unconditionally joining every spawned thread
+//! before `scope` returns — including when the scope body panics.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// The result of a (possibly panicking) thread: `Err` holds the payload.
+pub type Result<T> = std::thread::Result<T>;
+
+#[derive(Default)]
+struct ScopeInner {
+    /// Join handles of every spawned thread not yet joined explicitly.
+    threads: Mutex<Vec<Arc<Packet>>>,
+}
+
+struct Packet {
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Packet {
+    fn join(&self) {
+        let handle = self.handle.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = handle {
+            // Panics were already captured into the result slot.
+            let _ = h.join();
+        }
+    }
+}
+
+/// A scope for spawning threads that may borrow from the caller's stack.
+pub struct Scope<'env> {
+    inner: Arc<ScopeInner>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+/// Handle to a scoped thread; `join` returns the closure's value or the
+/// panic payload.
+pub struct ScopedJoinHandle<'scope, T> {
+    packet: Arc<Packet>,
+    result: Arc<Mutex<Option<Result<T>>>>,
+    _scope: PhantomData<&'scope ()>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> Result<T> {
+        self.packet.join();
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("scoped thread finished without storing a result")
+    }
+}
+
+impl<'env> Scope<'env> {
+    /// Spawn a thread that may borrow from `'env`. The closure receives
+    /// the scope itself so nested spawns work (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'env, T>
+    where
+        F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+        T: Send + 'env,
+    {
+        let result: Arc<Mutex<Option<Result<T>>>> = Arc::new(Mutex::new(None));
+        let their_result = Arc::clone(&result);
+        let nested = Scope { inner: Arc::clone(&self.inner), _env: PhantomData };
+        let main: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let r = catch_unwind(AssertUnwindSafe(|| f(&nested)));
+            *their_result.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+        });
+        // SAFETY: the closure only borrows data outliving 'env, and every
+        // spawned thread is joined before `scope` returns, so no borrow
+        // outlives the stack frame it points into.
+        let main: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(main) };
+        let handle = std::thread::spawn(main);
+        let packet = Arc::new(Packet { handle: Mutex::new(Some(handle)) });
+        self.inner
+            .threads
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&packet));
+        ScopedJoinHandle { packet, result, _scope: PhantomData }
+    }
+}
+
+/// Create a scope: all threads spawned inside are joined before this
+/// function returns. Returns `Err` with the panic payload if the scope
+/// body itself panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope { inner: Arc::new(ScopeInner::default()), _env: PhantomData };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    // Join everything, including threads spawned by other threads while
+    // we were draining.
+    loop {
+        let batch: Vec<Arc<Packet>> = std::mem::take(
+            &mut *scope.inner.threads.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        if batch.is_empty() {
+            break;
+        }
+        for packet in batch {
+            packet.join();
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrows_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let sum = scope(|s| {
+            let a = s.spawn(|_| data[..2].iter().sum::<u64>());
+            let b = s.spawn(|_| data[2..].iter().sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn writes_through_mut_borrows() {
+        let mut slots = vec![0u32; 4];
+        scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn child_panic_surfaces_in_join() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}
