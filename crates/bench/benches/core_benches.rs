@@ -102,9 +102,7 @@ fn bench_query_time_window(c: &mut Criterion) {
         b.iter(|| {
             let mut ctx = IoCtx::new();
             black_box(
-                reader
-                    .read_messages_time(&[topic::IMU, topic::TF], start, end, &mut ctx)
-                    .unwrap(),
+                reader.read_messages_time(&[topic::IMU, topic::TF], start, end, &mut ctx).unwrap(),
             );
         })
     });
@@ -112,8 +110,7 @@ fn bench_query_time_window(c: &mut Criterion) {
         b.iter(|| {
             let mut ctx = IoCtx::new();
             black_box(
-                bag.read_topics_time(&[topic::IMU, topic::TF], start, end, &mut ctx)
-                    .unwrap(),
+                bag.read_topics_time(&[topic::IMU, topic::TF], start, end, &mut ctx).unwrap(),
             );
         })
     });
@@ -148,11 +145,7 @@ fn bench_tag_build(c: &mut Criterion) {
 fn bench_time_index_ablation(c: &mut Criterion) {
     // Window-width sweep: build + query cost of the coarse index.
     let entries: Vec<TopicIndexEntry> = (0..100_000u64)
-        .map(|i| TopicIndexEntry {
-            time: Time::from_nanos(i * 2_000_000),
-            offset: i * 64,
-            len: 64,
-        })
+        .map(|i| TopicIndexEntry { time: Time::from_nanos(i * 2_000_000), offset: i * 64, len: 64 })
         .collect();
     let mut group = c.benchmark_group("time_index_window");
     group.sample_size(20);
@@ -250,9 +243,7 @@ fn bench_db_insert(c: &mut Criterion) {
 
 fn bench_md5(c: &mut Criterion) {
     let data = vec![0xABu8; 64 * 1024];
-    c.bench_function("md5_64k", |b| {
-        b.iter(|| black_box(ros_msgs::md5::hex_digest(&data)))
-    });
+    c.bench_function("md5_64k", |b| b.iter(|| black_box(ros_msgs::md5::hex_digest(&data))));
 }
 
 criterion_group!(

@@ -33,10 +33,7 @@ impl Platform {
 
     /// 4-node PVFS cluster (§IV.D).
     pub fn pvfs() -> Self {
-        Platform {
-            name: "PVFS",
-            storage: Arc::new(ClusterStorage::new(ClusterConfig::pvfs4())),
-        }
+        Platform { name: "PVFS", storage: Arc::new(ClusterStorage::new(ClusterConfig::pvfs4())) }
     }
 
     /// Tianhe-1A Lustre storage subsystem (§IV.E).
@@ -102,10 +99,7 @@ impl ScaleConfig {
         } else {
             self.swarm
         };
-        GenOptions {
-            writer: BagWriterOptions::default(),
-            ..GenOptions::for_gb(gb, ps, self.seed)
-        }
+        GenOptions { writer: BagWriterOptions::default(), ..GenOptions::for_gb(gb, ps, self.seed) }
     }
 }
 
@@ -126,8 +120,7 @@ pub fn setup_bag(platform: Platform, gb: f64, scales: &ScaleConfig) -> BagEnv {
     let mut ctx = IoCtx::new();
     let bag_path = format!("/bags/hs_{:.1}gb.bag", gb);
     let opts = scales.gen_for_gb(gb);
-    let bag = generate_bag(&platform.storage, &bag_path, &opts, &mut ctx)
-        .expect("bag generation");
+    let bag = generate_bag(&platform.storage, &bag_path, &opts, &mut ctx).expect("bag generation");
 
     let container_root = format!("/bora/hs_{:.1}gb", gb);
     let mut dup_ctx = IoCtx::new();
@@ -141,13 +134,7 @@ pub fn setup_bag(platform: Platform, gb: f64, scales: &ScaleConfig) -> BagEnv {
     )
     .expect("bora duplicate");
 
-    BagEnv {
-        platform,
-        bag_path,
-        container_root,
-        bag,
-        duplicate_ns: dup_ctx.elapsed_ns(),
-    }
+    BagEnv { platform, bag_path, container_root, bag, duplicate_ns: dup_ctx.elapsed_ns() }
 }
 
 /// Mount a BoraFs pair (front/back) on a platform — used by experiments
@@ -173,8 +160,7 @@ mod tests {
     fn setup_bag_builds_matching_container() {
         let env = setup_bag(Platform::ext4(), 0.05, &ScaleConfig::tiny());
         let mut ctx = IoCtx::new();
-        let bag = BoraBag::open(&env.platform.storage, &env.container_root, &mut ctx)
-            .unwrap();
+        let bag = BoraBag::open(&env.platform.storage, &env.container_root, &mut ctx).unwrap();
         assert_eq!(bag.meta().message_count(), env.bag.message_count);
         assert!(env.duplicate_ns > 0);
     }

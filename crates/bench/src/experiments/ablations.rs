@@ -17,13 +17,7 @@ pub fn run_window(scales: &ScaleConfig) -> Vec<Table> {
     let mut table = Table::new(
         "ablation_window",
         "Coarse time-index window width vs query cost and index size",
-        &[
-            "window (s)",
-            "tindex windows",
-            "tindex bytes",
-            "1 s query (ms)",
-            "60 s query (ms)",
-        ],
+        &["window (s)", "tindex windows", "tindex bytes", "1 s query (ms)", "60 s query (ms)"],
     );
     for window_s in [1u64, 5, 10, 60] {
         let fs = TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4());
@@ -48,13 +42,8 @@ pub fn run_window(scales: &ScaleConfig) -> Vec<Table> {
 
         let q = |secs: f64| {
             let mut qctx = IoCtx::new();
-            bag.read_topic_time(
-                topic::IMU,
-                t0,
-                t0 + RosDuration::from_sec_f64(secs),
-                &mut qctx,
-            )
-            .unwrap();
+            bag.read_topic_time(topic::IMU, t0, t0 + RosDuration::from_sec_f64(secs), &mut qctx)
+                .unwrap();
             qctx.elapsed_ns()
         };
         table.row(vec![
@@ -86,10 +75,7 @@ pub fn run_threads(scales: &ScaleConfig) -> Vec<Table> {
             "/hs.bag",
             &fs,
             "/c",
-            &OrganizerOptions {
-                distributor_threads: threads,
-                ..OrganizerOptions::default()
-            },
+            &OrganizerOptions { distributor_threads: threads, ..OrganizerOptions::default() },
             &mut dctx,
         )
         .unwrap();
@@ -132,11 +118,8 @@ pub fn run_tag_persist(scales: &ScaleConfig) -> Vec<Table> {
         // Persisted variant: one sequential read + hash inserts.
         let mut pctx = IoCtx::new();
         let bytes = fs.read_all("/c/.tags", &mut pctx).unwrap();
-        let topics: Vec<String> = String::from_utf8(bytes)
-            .unwrap()
-            .lines()
-            .map(str::to_owned)
-            .collect();
+        let topics: Vec<String> =
+            String::from_utf8(bytes).unwrap().lines().map(str::to_owned).collect();
         pctx.charge_ns(topics.len() as u64 * simfs::device::cpu::HASH_OP_NS);
         let tm = bora::TagManager::from_topics("/c", &topics);
         assert_eq!(tm.len(), n);
@@ -155,10 +138,7 @@ pub fn run_stripe(scales: &ScaleConfig) -> Vec<Table> {
         &["servers", "baseline (ms)", "BORA (ms)", "BORA speedup"],
     );
     for servers in [1u32, 2, 4, 8] {
-        let cfg = ClusterConfig {
-            data_servers: servers,
-            ..ClusterConfig::pvfs4()
-        };
+        let cfg = ClusterConfig { data_servers: servers, ..ClusterConfig::pvfs4() };
         let storage = ClusterStorage::new(cfg);
         let mut ctx = IoCtx::new();
         generate_bag(&storage, "/hs.bag", &scales.gen_for_gb(2.9), &mut ctx).unwrap();

@@ -29,11 +29,7 @@ pub fn baseline_query(env: &BagEnv, topics: &[&str], concurrency: u32) -> Timing
     let reader = BagReader::open(storage, &env.bag_path, &mut ctx).expect("baseline open");
     let open_ns = ctx.elapsed_ns();
     let msgs = reader.read_messages(topics, &mut ctx).expect("baseline query");
-    Timing {
-        open_ns,
-        query_ns: ctx.elapsed_ns() - open_ns,
-        messages: msgs.len() as u64,
-    }
+    Timing { open_ns, query_ns: ctx.elapsed_ns() - open_ns, messages: msgs.len() as u64 }
 }
 
 /// BORA: tag-manager open + `read_topics`.
@@ -43,11 +39,7 @@ pub fn bora_query(env: &BagEnv, topics: &[&str], concurrency: u32) -> Timing {
     let bag = BoraBag::open(storage, &env.container_root, &mut ctx).expect("bora open");
     let open_ns = ctx.elapsed_ns();
     let msgs = bag.read_topics(topics, &mut ctx).expect("bora query");
-    Timing {
-        open_ns,
-        query_ns: ctx.elapsed_ns() - open_ns,
-        messages: msgs.len() as u64,
-    }
+    Timing { open_ns, query_ns: ctx.elapsed_ns() - open_ns, messages: msgs.len() as u64 }
 }
 
 /// Baseline time-range query (merge-sort of all topic entries, then read).
@@ -56,14 +48,9 @@ pub fn baseline_query_time(env: &BagEnv, topics: &[&str], start: Time, end: Time
     let mut ctx = IoCtx::new();
     let reader = BagReader::open(storage, &env.bag_path, &mut ctx).expect("baseline open");
     let open_ns = ctx.elapsed_ns();
-    let msgs = reader
-        .read_messages_time(topics, start, end, &mut ctx)
-        .expect("baseline time query");
-    Timing {
-        open_ns,
-        query_ns: ctx.elapsed_ns() - open_ns,
-        messages: msgs.len() as u64,
-    }
+    let msgs =
+        reader.read_messages_time(topics, start, end, &mut ctx).expect("baseline time query");
+    Timing { open_ns, query_ns: ctx.elapsed_ns() - open_ns, messages: msgs.len() as u64 }
 }
 
 /// BORA time-range query through the coarse-grain time index.
@@ -72,14 +59,8 @@ pub fn bora_query_time(env: &BagEnv, topics: &[&str], start: Time, end: Time) ->
     let mut ctx = IoCtx::new();
     let bag = BoraBag::open(storage, &env.container_root, &mut ctx).expect("bora open");
     let open_ns = ctx.elapsed_ns();
-    let msgs = bag
-        .read_topics_time(topics, start, end, &mut ctx)
-        .expect("bora time query");
-    Timing {
-        open_ns,
-        query_ns: ctx.elapsed_ns() - open_ns,
-        messages: msgs.len() as u64,
-    }
+    let msgs = bag.read_topics_time(topics, start, end, &mut ctx).expect("bora time query");
+    Timing { open_ns, query_ns: ctx.elapsed_ns() - open_ns, messages: msgs.len() as u64 }
 }
 
 /// The time span actually covered by a generated bag.

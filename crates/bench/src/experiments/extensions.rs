@@ -17,14 +17,14 @@ use workloads::tum::generate_bag;
 use crate::env::ScaleConfig;
 use crate::report::{ms, size, speedup, Table};
 
+/// A named query: topic list plus an optional time window.
+type QueryCase<'a> = (&'a str, Vec<&'a str>, Option<(Time, Time)>);
+
 pub fn run_amr(scales: &ScaleConfig) -> Vec<Table> {
     let _ = scales;
     let fs = TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4());
     let mut ctx = IoCtx::new();
-    let opts = AmrOptions {
-        duration_s: 120.0,
-        ..AmrOptions::default()
-    };
+    let opts = AmrOptions { duration_s: 120.0, ..AmrOptions::default() };
     let bag = generate_amr_bag(&fs, "/amr.bag", &opts, &mut ctx).unwrap();
     bora::organizer::duplicate(&fs, "/amr.bag", &fs, "/c", &OrganizerOptions::default(), &mut ctx)
         .unwrap();
@@ -53,25 +53,15 @@ pub fn run_amr(scales: &ScaleConfig) -> Vec<Table> {
     };
 
     let start = Time::new(1_000, 0);
-    let cases: Vec<(&str, Vec<&str>, Option<(Time, Time)>)> = vec![
+    let cases: Vec<QueryCase> = vec![
         ("all odometry", vec![workloads::amr::topic::ODOM], None),
         ("all lidar", vec![workloads::amr::topic::SCAN], None),
         ("GPS track", vec![workloads::amr::topic::GPS], None),
-        (
-            "dock approach (10 s)",
-            dock_approach_topics(),
-            Some(workloads::amr::dock_window(start)),
-        ),
+        ("dock approach (10 s)", dock_approach_topics(), Some(workloads::amr::dock_window(start))),
     ];
     for (name, topics, window) in cases {
         let (n, base, ours) = run_pair(&topics, window);
-        table.row(vec![
-            name.into(),
-            n.to_string(),
-            ms(base),
-            ms(ours),
-            speedup(base, ours),
-        ]);
+        table.row(vec![name.into(), n.to_string(), ms(base), ms(ours), speedup(base, ours)]);
     }
     table.note(format!(
         "mission: {} messages, {} on disk; BORA's win persists without a dominant image stream",
@@ -85,22 +75,13 @@ pub fn run_compression(scales: &ScaleConfig) -> Vec<Table> {
     let mut table = Table::new(
         "ext_compression",
         "Extension: LZSS chunk compression through the pipeline (not in the paper)",
-        &[
-            "compression",
-            "bag size",
-            "open (ms)",
-            "IMU query (ms)",
-            "BORA import (ms)",
-        ],
+        &["compression", "bag size", "open (ms)", "IMU query (ms)", "BORA import (ms)"],
     );
     for compression in [Compression::None, Compression::Lzss] {
         let fs = TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4());
         let mut ctx = IoCtx::new();
         let mut opts = scales.gen_for_gb(2.9);
-        opts.writer = BagWriterOptions {
-            compression,
-            ..BagWriterOptions::default()
-        };
+        opts.writer = BagWriterOptions { compression, ..BagWriterOptions::default() };
         generate_bag(&fs, "/hs.bag", &opts, &mut ctx).unwrap();
         let bag_len = fs.len("/hs.bag", &mut ctx).unwrap();
 
@@ -111,8 +92,15 @@ pub fn run_compression(scales: &ScaleConfig) -> Vec<Table> {
         let query_ns = octx.elapsed_ns() - open_ns;
 
         let mut dctx = IoCtx::new();
-        bora::organizer::duplicate(&fs, "/hs.bag", &fs, "/c", &OrganizerOptions::default(), &mut dctx)
-            .unwrap();
+        bora::organizer::duplicate(
+            &fs,
+            "/hs.bag",
+            &fs,
+            "/c",
+            &OrganizerOptions::default(),
+            &mut dctx,
+        )
+        .unwrap();
 
         table.row(vec![
             format!("{compression:?}"),

@@ -28,14 +28,7 @@ pub fn run_one_size(scales: &ScaleConfig, gb: f64, sub: char) -> Table {
     let mut table = Table::new(
         &format!("fig10{sub}"),
         &format!("Query by topic, Handheld SLAM, {gb:.1} GB bag (paper Fig. 10{sub})"),
-        &[
-            "topic",
-            "system",
-            "open (ms)",
-            "query (ms)",
-            "total (ms)",
-            "BORA speedup",
-        ],
+        &["topic", "system", "open (ms)", "query (ms)", "total (ms)", "BORA speedup"],
     );
     for (fs_name, platform) in [("Ext4", Platform::ext4()), ("XFS", Platform::xfs())] {
         let env = setup_bag(platform, gb, scales);

@@ -30,11 +30,7 @@ fn run_app(
         workloads::Application::PreAnalysis => (0..3).map(|s| app.topics(s)).collect(),
         _ => vec![app.topics(0)],
     };
-    let mut total = Timing {
-        open_ns: 0,
-        query_ns: 0,
-        messages: 0,
-    };
+    let mut total = Timing { open_ns: 0, query_ns: 0, messages: 0 };
     for stage_topics in stages {
         let t = f(env, &stage_topics);
         total.open_ns += t.open_ns;
@@ -48,14 +44,7 @@ fn run_apps(scales: &ScaleConfig, gb: f64, id: &str, what: &str) -> Table {
     let mut table = Table::new(
         id,
         &format!("Query by topics, four applications, {what} (paper {id})"),
-        &[
-            "application",
-            "system",
-            "open (ms)",
-            "query (ms)",
-            "total (ms)",
-            "BORA speedup",
-        ],
+        &["application", "system", "open (ms)", "query (ms)", "total (ms)", "BORA speedup"],
     );
     for (fs_name, platform) in [("Ext4", Platform::ext4()), ("XFS", Platform::xfs())] {
         let env = setup_bag(platform, gb, scales);

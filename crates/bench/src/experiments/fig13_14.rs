@@ -48,13 +48,7 @@ fn run_one_topic(env: &BagEnv, id: char, sub: char, start: Time, end_of_bag: Tim
     let mut table = Table::new(
         &format!("fig13{sub}"),
         &format!("Query by topic {topic} + start-end time, 21 GB bag (paper Fig. 13{sub})"),
-        &[
-            "window (s)",
-            "messages",
-            "baseline (ms)",
-            "BORA (ms)",
-            "BORA speedup",
-        ],
+        &["window (s)", "messages", "baseline (ms)", "BORA (ms)", "BORA speedup"],
     );
     for &w in &WINDOWS_S {
         let (end, tag) = window_end(start, end_of_bag, w);
@@ -87,17 +81,8 @@ pub fn run_fig14(scales: &ScaleConfig) -> Vec<Table> {
         let topics = app.topics(0);
         let mut table = Table::new(
             &format!("fig14{sub}"),
-            &format!(
-                "Query by topics + start-end time, {} (paper Fig. 14{sub})",
-                app.full_name()
-            ),
-            &[
-                "window (s)",
-                "messages",
-                "baseline (ms)",
-                "BORA (ms)",
-                "BORA speedup",
-            ],
+            &format!("Query by topics + start-end time, {} (paper Fig. 14{sub})", app.full_name()),
+            &["window (s)", "messages", "baseline (ms)", "BORA (ms)", "BORA speedup"],
         );
         for &w in &WINDOWS_S {
             let (end, tag) = window_end(start, end_of_bag, w);

@@ -60,11 +60,7 @@ fn setup_swarm(scales: &ScaleConfig, robots: usize, gb: f64) -> SwarmEnv {
         .expect("swarm duplicate");
         containers.push(root);
     }
-    SwarmEnv {
-        platform,
-        swarm,
-        containers,
-    }
+    SwarmEnv { platform, swarm, containers }
 }
 
 impl SwarmEnv {
@@ -89,9 +85,8 @@ fn run_representatives(
     reps: usize,
     f: impl Fn(usize, &mut IoCtx) + Sync,
 ) -> (Vec<IoCtx>, u64) {
-    let mut ctxs: Vec<IoCtx> = (0..reps.min(robots))
-        .map(|_| IoCtx::with_concurrency(robots as u32))
-        .collect();
+    let mut ctxs: Vec<IoCtx> =
+        (0..reps.min(robots)).map(|_| IoCtx::with_concurrency(robots as u32)).collect();
     crossbeam::thread::scope(|scope| {
         let f = &f;
         let mut handles = Vec::new();
@@ -125,10 +120,7 @@ fn swarm_baseline(env: &SwarmEnv, topics: &[&str], window: Option<(Time, Time)>)
         }
     });
     let open_ns = opens.lock().unwrap().iter().copied().max().unwrap_or(0);
-    SwarmTiming {
-        open_ns,
-        query_ns: makespan.saturating_sub(open_ns),
-    }
+    SwarmTiming { open_ns, query_ns: makespan.saturating_sub(open_ns) }
 }
 
 fn swarm_bora(env: &SwarmEnv, topics: &[&str], window: Option<(Time, Time)>) -> SwarmTiming {
@@ -136,8 +128,8 @@ fn swarm_bora(env: &SwarmEnv, topics: &[&str], window: Option<(Time, Time)>) -> 
     let reps = env.containers.len();
     let opens = std::sync::Mutex::new(vec![0u64; reps]);
     let (_, makespan) = run_representatives(env.swarm.robots, reps, |rep, ctx| {
-        let bag = BoraBag::open(&*storage, env.container_for_robot(rep), ctx)
-            .expect("bora swarm open");
+        let bag =
+            BoraBag::open(&*storage, env.container_for_robot(rep), ctx).expect("bora swarm open");
         opens.lock().unwrap()[rep] = ctx.elapsed_ns();
         match window {
             None => {
@@ -149,10 +141,7 @@ fn swarm_bora(env: &SwarmEnv, topics: &[&str], window: Option<(Time, Time)>) -> 
         }
     });
     let open_ns = opens.lock().unwrap().iter().copied().max().unwrap_or(0);
-    SwarmTiming {
-        open_ns,
-        query_ns: makespan.saturating_sub(open_ns),
-    }
+    SwarmTiming { open_ns, query_ns: makespan.saturating_sub(open_ns) }
 }
 
 pub fn run_fig17(scales: &ScaleConfig) -> Vec<Table> {
@@ -226,10 +215,7 @@ pub fn run_fig18(scales: &ScaleConfig) -> Vec<Table> {
                 format!("{w:.0}"),
                 ms(base.open_ns + base.query_ns),
                 ms(ours.open_ns + ours.query_ns),
-                speedup(
-                    base.open_ns + base.query_ns,
-                    ours.open_ns + ours.query_ns,
-                ),
+                speedup(base.open_ns + base.query_ns, ours.open_ns + ours.query_ns),
             ]);
         }
     }

@@ -18,14 +18,14 @@ use crate::report::{ms, speedup, Table};
 /// Number of TF messages in the paper's experiment.
 pub const PAPER_TF_COUNT: usize = 49_233;
 
+/// A deferred engine run (built up-front so each engine starts from a
+/// fresh store) paired with its display name.
+type EngineRun<'a> = (Box<dyn FnOnce(&mut IoCtx) -> u64>, &'a str);
+
 pub fn run(scales: &ScaleConfig) -> Vec<Table> {
     // Integration tests shrink via the swarm scale knob; the default run
     // uses the paper's exact count.
-    let count = if scales.swarm < 1.0 / 1024.0 {
-        PAPER_TF_COUNT / 10
-    } else {
-        PAPER_TF_COUNT
-    };
+    let count = if scales.swarm < 1.0 / 1024.0 { PAPER_TF_COUNT / 10 } else { PAPER_TF_COUNT };
     vec![run_with_count(count)]
 }
 
@@ -42,11 +42,7 @@ pub fn run_with_count(count: usize) -> Table {
     let mut record = Vec::with_capacity(256);
     for (i, m) in msgs.iter().enumerate() {
         record.clear();
-        let header = MessageDataHeader {
-            conn_id: 0,
-            time: m.header.stamp,
-        }
-        .to_header();
+        let header = MessageDataHeader { conn_id: 0, time: m.header.stamp }.to_header();
         write_record(&mut record, &header, &m.to_bytes());
         fs.append("/tf.bag", &record, &mut ctx).unwrap();
         let _ = (i, Time::ZERO);
@@ -60,12 +56,13 @@ pub fn run_with_count(count: usize) -> Table {
     );
     table.row(vec!["Ext4 (bag append)".into(), ms(ext4_ns), "1.00x".into(), "1x".into()]);
 
-    let engines: Vec<(Box<dyn FnOnce(&mut IoCtx) -> u64>, &str)> = vec![
+    let engines: Vec<EngineRun> = vec![
         (
             Box::new({
                 let msgs = msgs.clone();
                 move |ctx: &mut IoCtx| {
-                    let fs = Arc::new(TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4()));
+                    let fs =
+                        Arc::new(TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4()));
                     let mut kv = KvStore::create(Arc::clone(&fs), "/aero", ctx).unwrap();
                     let t0 = ctx.elapsed_ns();
                     for m in &msgs {
@@ -81,7 +78,8 @@ pub fn run_with_count(count: usize) -> Table {
             Box::new({
                 let msgs = msgs.clone();
                 move |ctx: &mut IoCtx| {
-                    let fs = Arc::new(TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4()));
+                    let fs =
+                        Arc::new(TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4()));
                     let mut db = SqlStore::create(Arc::clone(&fs), "/pg", ctx).unwrap();
                     let t0 = ctx.elapsed_ns();
                     for m in &msgs {
@@ -97,7 +95,8 @@ pub fn run_with_count(count: usize) -> Table {
             Box::new({
                 let msgs = msgs.clone();
                 move |ctx: &mut IoCtx| {
-                    let fs = Arc::new(TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4()));
+                    let fs =
+                        Arc::new(TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4()));
                     let mut db = TsdbStore::create(Arc::clone(&fs), "/influx", ctx).unwrap();
                     let t0 = ctx.elapsed_ns();
                     for m in &msgs {
@@ -110,11 +109,7 @@ pub fn run_with_count(count: usize) -> Table {
             "3694.6x",
         ),
     ];
-    let names = [
-        "Aerospike-like KV",
-        "PostgreSQL-like SQL",
-        "InfluxDB-like TSDB",
-    ];
+    let names = ["Aerospike-like KV", "PostgreSQL-like SQL", "InfluxDB-like TSDB"];
     for ((run_engine, paper), name) in engines.into_iter().zip(names) {
         let mut ectx = IoCtx::new();
         let ns = run_engine(&mut ectx);

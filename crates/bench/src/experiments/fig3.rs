@@ -23,7 +23,8 @@ pub fn run_write(scales: &ScaleConfig) -> Table {
         "Bag write: plain filesystem vs PLFS-backed (paper: PLFS ~2x slower at 3.9 GB)",
         &["filesystem", "bag", "write time (ms)", "slowdown vs plain"],
     );
-    for (fs_name, device) in [("Ext4", DeviceModel::nvme_ext4()), ("XFS", DeviceModel::nvme_xfs())] {
+    for (fs_name, device) in [("Ext4", DeviceModel::nvme_ext4()), ("XFS", DeviceModel::nvme_xfs())]
+    {
         let opts = scales.gen_for_gb(3.9);
 
         let plain = TimedStorage::new(MemStorage::new(), device);
@@ -55,7 +56,8 @@ pub fn run_read(scales: &ScaleConfig) -> Table {
         &["filesystem", "topic", "read time (ms)", "slowdown vs plain"],
     );
     let opts = scales.gen_for_gb(2.9);
-    for (fs_name, device) in [("Ext4", DeviceModel::nvme_ext4()), ("XFS", DeviceModel::nvme_xfs())] {
+    for (fs_name, device) in [("Ext4", DeviceModel::nvme_ext4()), ("XFS", DeviceModel::nvme_xfs())]
+    {
         let plain = TimedStorage::new(MemStorage::new(), device);
         let mut ctx = IoCtx::new();
         generate_bag(&plain, "/b.bag", &opts, &mut ctx).unwrap();

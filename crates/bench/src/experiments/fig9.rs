@@ -68,7 +68,8 @@ pub fn run(scales: &ScaleConfig) -> Vec<Table> {
             .unwrap();
             let b2b_ns = b2b_ctx.elapsed_ns();
 
-            let overhead = |ns: u64| format!("{:+.0}%", 100.0 * (ns as f64 / plain_ns as f64 - 1.0));
+            let overhead =
+                |ns: u64| format!("{:+.0}%", 100.0 * (ns as f64 / plain_ns as f64 - 1.0));
             let label = format!("{gb:.1} GB");
             table.row(vec![label.clone(), fs_name.into(), ms(plain_ns), "+0%".into()]);
             table.row(vec![

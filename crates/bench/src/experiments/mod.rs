@@ -13,6 +13,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig9;
 pub mod open21g;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod table4;
@@ -156,6 +157,13 @@ pub fn registry() -> Vec<Experiment> {
             paper_ref: "extension",
             description: "Extension: LZSS chunk compression through the pipeline",
             run: extensions::run_compression,
+        },
+        Experiment {
+            id: "ext_serve",
+            paper_ref: "extension",
+            description:
+                "Extension: bora-serve query service — open amortization vs per-query open",
+            run: serve::run,
         },
         Experiment {
             id: "open21g",

@@ -19,8 +19,7 @@ pub fn run(scales: &ScaleConfig) -> Vec<Table> {
     let base_ns = base_ctx.elapsed_ns();
 
     let mut bora_ctx = IoCtx::new();
-    BoraBag::open(&env.platform.storage, &env.container_root, &mut bora_ctx)
-        .expect("bora open");
+    BoraBag::open(&env.platform.storage, &env.container_root, &mut bora_ctx).expect("bora open");
     let bora_ns = bora_ctx.elapsed_ns();
 
     // Open cost is dominated by per-chunk seeks. An unscaled 21 GB bag

@@ -61,8 +61,15 @@ pub fn run(scales: &ScaleConfig) -> Vec<Table> {
     let bora_fs = TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4());
     let mut ctx = IoCtx::new();
     generate_bag(&bora_fs, "/b.bag", &opts, &mut ctx).unwrap();
-    bora::organizer::duplicate(&bora_fs, "/b.bag", &bora_fs, "/c", &OrganizerOptions::default(), &mut ctx)
-        .unwrap();
+    bora::organizer::duplicate(
+        &bora_fs,
+        "/b.bag",
+        &bora_fs,
+        "/c",
+        &OrganizerOptions::default(),
+        &mut ctx,
+    )
+    .unwrap();
     let mut qctx = IoCtx::new();
     let bag = BoraBag::open(&bora_fs, "/c", &mut qctx).unwrap();
     bag.read_topic(topic::RGB_CAMERA_INFO, &mut qctx).unwrap();

@@ -76,7 +76,11 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(",")
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
         }
@@ -93,6 +97,11 @@ impl Table {
 /// Format virtual nanoseconds as engineering-friendly milliseconds.
 pub fn ms(ns: u64) -> String {
     format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Format virtual nanoseconds as microseconds (sub-millisecond effects).
+pub fn us(ns: u64) -> String {
+    format!("{:.2} µs", ns as f64 / 1e3)
 }
 
 /// Format a speedup ratio.

@@ -1,0 +1,282 @@
+//! Capacity-bounded LRU cache of open container handles.
+//!
+//! Opening a BORA container is cheap by design (Fig. 4b: one directory
+//! listing plus a small metadata read) but not free — on a cost-model
+//! backend it is several storage round trips. A serving process answers
+//! many queries against few containers, so the cache keeps handles open
+//! and amortizes that cost to zero for hot containers.
+//!
+//! Entries are **pinned** while a worker is using them: eviction skips
+//! pinned entries, so a long `READ` keeps its handle even if a burst of
+//! opens for other containers churns the rest of the cache. If every
+//! entry is pinned the cache admits the newcomer anyway (transiently
+//! exceeding capacity) rather than stalling the pool — capacity bounds
+//! the *idle* footprint, pins bound the in-flight one.
+
+use std::collections::HashMap;
+
+use bora::{BoraBag, BoraResult};
+use parking_lot::Mutex;
+use simfs::{IoCtx, Storage};
+
+/// Counters exposed through `STATS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub len: u32,
+    pub capacity: u32,
+}
+
+struct Entry<S> {
+    bag: BoraBag<S>,
+    pins: u32,
+    /// Last-touch tick; smallest unpinned value is the eviction victim.
+    touched: u64,
+    /// Distinguishes re-inserted entries from the ones an outstanding pin
+    /// refers to, so a stale pin release cannot unpin a successor entry
+    /// that reused the same root after `invalidate`.
+    generation: u64,
+}
+
+struct Inner<S> {
+    entries: HashMap<String, Entry<S>>,
+    tick: u64,
+    next_generation: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Thread-safe pinned LRU of `BoraBag` handles, keyed by container root.
+pub struct HandleCache<S> {
+    inner: Mutex<Inner<S>>,
+    capacity: usize,
+}
+
+/// A cache lease: clones of the bag handle are cheap (`Arc`-backed tag
+/// table and metadata), and the entry stays pinned until this guard drops.
+pub struct PinnedBag<'a, S> {
+    cache: &'a HandleCache<S>,
+    root: String,
+    generation: u64,
+    bag: BoraBag<S>,
+    /// Whether the handle was already cached (metrics want to distinguish
+    /// amortized hits from cold opens).
+    pub was_hit: bool,
+}
+
+impl<S> PinnedBag<'_, S> {
+    pub fn bag(&self) -> &BoraBag<S> {
+        &self.bag
+    }
+}
+
+impl<S> Drop for PinnedBag<'_, S> {
+    fn drop(&mut self) {
+        let mut inner = self.cache.inner.lock();
+        if let Some(e) = inner.entries.get_mut(&self.root) {
+            if e.generation == self.generation {
+                e.pins -= 1;
+            }
+        }
+        // Entry gone or generation mismatch: `invalidate` removed the
+        // entry this pin referred to (the bag stays alive through this
+        // guard's clone) — nothing to release.
+    }
+}
+
+impl<S: Storage + Clone> HandleCache<S> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        HandleCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+                next_generation: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Fetch `root` from the cache, opening it on miss. The returned guard
+    /// pins the entry until dropped. `ctx` is charged only on miss (a hit
+    /// performs no storage I/O — that is the whole point).
+    pub fn get_or_open(
+        &self,
+        storage: &S,
+        root: &str,
+        ctx: &mut IoCtx,
+    ) -> BoraResult<PinnedBag<'_, S>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(e) = inner.entries.get_mut(root) {
+                e.pins += 1;
+                e.touched = tick;
+                let (bag, generation) = (e.bag.clone(), e.generation);
+                inner.hits += 1;
+                return Ok(PinnedBag {
+                    cache: self,
+                    root: root.to_owned(),
+                    generation,
+                    bag,
+                    was_hit: true,
+                });
+            }
+            inner.misses += 1;
+        }
+        // Open outside the lock: a cold open is the slow path, and other
+        // workers must keep hitting the cache while it runs. Two racing
+        // misses for the same root both open; the second insert wins and
+        // the first open is simply dropped when its pin releases — wasted
+        // work, never a wrong answer.
+        let bag = BoraBag::open(storage.clone(), root, ctx)?;
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        inner.next_generation += 1;
+        let (tick, generation) = (inner.tick, inner.next_generation);
+        let entry = inner.entries.entry(root.to_owned()).or_insert(Entry {
+            bag: bag.clone(),
+            pins: 0,
+            touched: tick,
+            generation,
+        });
+        entry.pins += 1;
+        entry.touched = tick;
+        let (bag, generation) = (entry.bag.clone(), entry.generation);
+        self.evict_excess(&mut inner);
+        Ok(PinnedBag { cache: self, root: root.to_owned(), generation, bag, was_hit: false })
+    }
+
+    /// Drop a container from the cache (e.g. after a backend fault made
+    /// its handle suspect). Pinned users keep their clones; future
+    /// requests re-open.
+    pub fn invalidate(&self, root: &str) -> bool {
+        self.inner.lock().entries.remove(root).is_some()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.entries.len() as u32,
+            capacity: self.capacity as u32,
+        }
+    }
+
+    /// Evict least-recently-touched unpinned entries down to capacity.
+    fn evict_excess(&self, inner: &mut Inner<S>) {
+        while inner.entries.len() > self.capacity {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(_, e)| e.pins == 0)
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    inner.entries.remove(&k);
+                    inner.evictions += 1;
+                }
+                // Everything is pinned: run over capacity until pins drop.
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfs::MemStorage;
+    use std::sync::Arc;
+
+    fn make_containers(n: usize) -> Arc<MemStorage> {
+        use ros_msgs::{sensor_msgs::Imu, Time};
+        use rosbag::{BagWriter, BagWriterOptions};
+        let fs = Arc::new(MemStorage::new());
+        let mut ctx = IoCtx::new();
+        let mut w =
+            BagWriter::create(&*fs, "/src.bag", BagWriterOptions::default(), &mut ctx).unwrap();
+        for i in 0..20u32 {
+            let mut imu = Imu::default();
+            imu.header.stamp = Time::new(i, 0);
+            w.write_ros_message("/imu", Time::new(i, 0), &imu, &mut ctx).unwrap();
+        }
+        w.close(&mut ctx).unwrap();
+        for i in 0..n {
+            bora::organizer::duplicate(
+                &*fs,
+                "/src.bag",
+                &*fs,
+                &format!("/c/bag{i}"),
+                &bora::OrganizerOptions::default(),
+                &mut ctx,
+            )
+            .unwrap();
+        }
+        fs
+    }
+
+    #[test]
+    fn hit_miss_eviction_accounting() {
+        let fs = make_containers(3);
+        let cache: HandleCache<Arc<MemStorage>> = HandleCache::new(2);
+        let mut ctx = IoCtx::new();
+
+        assert!(!cache.get_or_open(&fs, "/c/bag0", &mut ctx).unwrap().was_hit);
+        assert!(cache.get_or_open(&fs, "/c/bag0", &mut ctx).unwrap().was_hit);
+        assert!(!cache.get_or_open(&fs, "/c/bag1", &mut ctx).unwrap().was_hit);
+        // Third distinct container evicts the LRU (bag0: touched earlier).
+        assert!(!cache.get_or_open(&fs, "/c/bag2", &mut ctx).unwrap().was_hit);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (1, 3, 1, 2));
+        // bag0 was evicted → miss again.
+        assert!(!cache.get_or_open(&fs, "/c/bag0", &mut ctx).unwrap().was_hit);
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction_pressure() {
+        let fs = make_containers(3);
+        let cache: HandleCache<Arc<MemStorage>> = HandleCache::new(1);
+        let mut ctx = IoCtx::new();
+
+        let pinned = cache.get_or_open(&fs, "/c/bag0", &mut ctx).unwrap();
+        // Capacity 1 and bag0 pinned: bag1/bag2 run the cache over
+        // capacity transiently but must not evict bag0.
+        let p1 = cache.get_or_open(&fs, "/c/bag1", &mut ctx).unwrap();
+        drop(p1);
+        let p2 = cache.get_or_open(&fs, "/c/bag2", &mut ctx).unwrap();
+        drop(p2);
+        assert!(
+            cache.get_or_open(&fs, "/c/bag0", &mut ctx).unwrap().was_hit,
+            "pinned entry must not be evicted"
+        );
+        drop(pinned);
+        // Unpinned now: the next distinct open can evict it.
+        let _other = cache.get_or_open(&fs, "/c/bag1", &mut ctx).unwrap();
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn invalidate_forces_reopen() {
+        let fs = make_containers(1);
+        let cache: HandleCache<Arc<MemStorage>> = HandleCache::new(2);
+        let mut ctx = IoCtx::new();
+        let pinned = cache.get_or_open(&fs, "/c/bag0", &mut ctx).unwrap();
+        assert!(cache.invalidate("/c/bag0"));
+        assert!(!cache.invalidate("/c/bag0"), "second invalidate is a no-op");
+        // The pinned clone still works after invalidation.
+        assert_eq!(pinned.bag().topics(), vec!["/imu"]);
+        drop(pinned);
+        assert!(!cache.get_or_open(&fs, "/c/bag0", &mut ctx).unwrap().was_hit);
+    }
+}

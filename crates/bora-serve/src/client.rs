@@ -1,0 +1,157 @@
+//! [`ServeClient`]: typed request/response wrapper over any
+//! [`Connection`]. One outstanding request at a time per client (the
+//! protocol is strictly request/response); open more connections for
+//! parallelism.
+
+use ros_msgs::Time;
+
+use crate::proto::{
+    ContainerStat, ErrorCode, ProtoError, Request, Response, StatsSnapshot, WireMessage,
+};
+use crate::transport::{Connection, Transport};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport broke (peer gone, socket error).
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode, or a response of the
+    /// wrong kind for the request.
+    Proto(ProtoError),
+    /// The server answered with a protocol-level error.
+    Server { code: ErrorCode, message: String },
+    /// The server shed the request under load; retrying later is safe
+    /// (no side effects happened).
+    Overloaded,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Overloaded => write!(f, "server overloaded"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A connected bora-serve client.
+pub struct ServeClient<C: Connection> {
+    conn: C,
+}
+
+impl<C: Connection> ServeClient<C> {
+    pub fn new(conn: C) -> Self {
+        ServeClient { conn }
+    }
+
+    /// Connect through a transport.
+    pub fn connect<T: Transport<Conn = C>>(transport: &T) -> ClientResult<Self> {
+        Ok(ServeClient::new(transport.connect()?))
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> ClientResult<Response> {
+        self.conn.send_frame(&req.encode())?;
+        let payload = self.conn.recv_frame()?;
+        match Response::decode(&payload).map_err(ClientError::Proto)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Overloaded => Err(ClientError::Overloaded),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Pull a container into the server's handle cache; `cached` in the
+    /// result tells whether it was already there.
+    pub fn open(&mut self, container: &str) -> ClientResult<(ContainerStat, bool)> {
+        match self.roundtrip(&Request::Open { container: container.into() })? {
+            Response::Opened { stat, cached } => Ok((stat, cached)),
+            other => Err(unexpected("OPEN", &other)),
+        }
+    }
+
+    pub fn topics(&mut self, container: &str) -> ClientResult<Vec<String>> {
+        match self.roundtrip(&Request::Topics { container: container.into() })? {
+            Response::Topics(t) => Ok(t),
+            other => Err(unexpected("TOPICS", &other)),
+        }
+    }
+
+    /// The container's raw metadata; decode with
+    /// [`bora::ContainerMeta::decode`].
+    pub fn meta(&mut self, container: &str) -> ClientResult<Vec<u8>> {
+        match self.roundtrip(&Request::Meta { container: container.into() })? {
+            Response::Meta(bytes) => Ok(bytes),
+            other => Err(unexpected("META", &other)),
+        }
+    }
+
+    pub fn read(&mut self, container: &str, topics: &[&str]) -> ClientResult<Vec<WireMessage>> {
+        self.read_inner(container, topics, None)
+    }
+
+    pub fn read_time(
+        &mut self,
+        container: &str,
+        topics: &[&str],
+        start: Time,
+        end: Time,
+    ) -> ClientResult<Vec<WireMessage>> {
+        self.read_inner(container, topics, Some((start, end)))
+    }
+
+    fn read_inner(
+        &mut self,
+        container: &str,
+        topics: &[&str],
+        range: Option<(Time, Time)>,
+    ) -> ClientResult<Vec<WireMessage>> {
+        let req = Request::Read {
+            container: container.into(),
+            topics: topics.iter().map(|t| (*t).to_owned()).collect(),
+            range,
+        };
+        match self.roundtrip(&req)? {
+            Response::Read(messages) => Ok(messages),
+            other => Err(unexpected("READ", &other)),
+        }
+    }
+
+    pub fn stat(&mut self, container: &str) -> ClientResult<ContainerStat> {
+        match self.roundtrip(&Request::Stat { container: container.into() })? {
+            Response::Stat(s) => Ok(s),
+            other => Err(unexpected("STAT", &other)),
+        }
+    }
+
+    pub fn stats(&mut self) -> ClientResult<StatsSnapshot> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("STATS", &other)),
+        }
+    }
+
+    /// Ask the server to shut down. The connection is unusable afterwards.
+    pub fn shutdown(&mut self) -> ClientResult<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("SHUTDOWN", &other)),
+        }
+    }
+}
+
+fn unexpected(op: &str, resp: &Response) -> ClientError {
+    ClientError::Proto(ProtoError(format!("unexpected response to {op}: {resp:?}")))
+}

@@ -1,0 +1,195 @@
+//! Per-operation service metrics, exposed through the `STATS` op.
+//!
+//! Latencies are recorded twice per request: **wall-clock** nanoseconds
+//! (submit to response, what a real client experiences, including queue
+//! wait) and **virtual** nanoseconds (what the storage cost model charged,
+//! deterministic across hosts — the number the repro experiments compare).
+//!
+//! Percentiles come from fixed exponential histograms (one bucket per
+//! power of two), not sampled reservoirs: 64 counters per op, no
+//! allocation on the hot path, no randomness, and p99 error bounded by
+//! the 2x bucket width — plenty for "did the tail blow up" questions.
+
+use parking_lot::Mutex;
+
+use crate::proto::{OpSummary, StatsSnapshot};
+
+const BUCKETS: usize = 64;
+
+#[derive(Debug, Clone)]
+struct OpRecorder {
+    count: u64,
+    wall_sum: u64,
+    wall_min: u64,
+    virt_sum: u64,
+    /// `wall_hist[i]` counts samples with `ilog2(ns) == i` (0 → bucket 0).
+    wall_hist: [u64; BUCKETS],
+}
+
+impl Default for OpRecorder {
+    fn default() -> Self {
+        OpRecorder {
+            count: 0,
+            wall_sum: 0,
+            wall_min: u64::MAX,
+            virt_sum: 0,
+            wall_hist: [0; BUCKETS],
+        }
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ns.ilog2() as usize
+    }
+}
+
+/// Upper bound of a bucket — the value reported for percentiles landing
+/// in it (conservative: never under-reports the tail).
+fn bucket_ceiling(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+impl OpRecorder {
+    fn record(&mut self, wall_ns: u64, virt_ns: u64) {
+        self.count += 1;
+        self.wall_sum += wall_ns;
+        self.wall_min = self.wall_min.min(wall_ns);
+        self.virt_sum += virt_ns;
+        self.wall_hist[bucket_of(wall_ns)] += 1;
+    }
+
+    fn wall_percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * p).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.wall_hist.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_ceiling(i);
+            }
+        }
+        bucket_ceiling(BUCKETS - 1)
+    }
+
+    fn summary(&self) -> OpSummary {
+        OpSummary {
+            count: self.count,
+            wall_min_ns: if self.count == 0 { 0 } else { self.wall_min },
+            wall_mean_ns: self.wall_sum.checked_div(self.count).unwrap_or(0),
+            wall_p99_ns: self.wall_percentile(0.99),
+            virt_mean_ns: self.virt_sum.checked_div(self.count).unwrap_or(0),
+        }
+    }
+}
+
+/// The metric op kinds, in the order `STATS` reports them.
+pub const OP_NAMES: [&str; 5] = ["meta", "open", "read", "stat", "topics"];
+
+fn op_index(name: &str) -> Option<usize> {
+    OP_NAMES.iter().position(|n| *n == name)
+}
+
+/// All service metrics. One `Mutex` per op keeps recorders independent;
+/// `stats`/`shutdown` ops are control-plane and intentionally unrecorded.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    ops: [Mutex<OpRecorder>; 5],
+    shed: std::sync::atomic::AtomicU64,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed request of kind `op_name`.
+    pub fn record(&self, op_name: &str, wall_ns: u64, virt_ns: u64) {
+        if let Some(i) = op_index(op_name) {
+            self.ops[i].lock().record(wall_ns, virt_ns);
+        }
+    }
+
+    /// Count one request rejected for backpressure.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn shed(&self) -> u64 {
+        self.shed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Assemble the wire-level snapshot. Queue and cache numbers are the
+    /// server's to fill in; this owns only the op recorders and shed count.
+    pub fn snapshot_into(&self, mut base: StatsSnapshot) -> StatsSnapshot {
+        base.ops = OP_NAMES
+            .iter()
+            .zip(self.ops.iter())
+            .map(|(name, rec)| (name.to_string(), rec.lock().summary()))
+            .collect();
+        base.shed = self.shed();
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_aggregate() {
+        let m = Metrics::new();
+        m.record("read", 100, 10);
+        m.record("read", 300, 30);
+        m.record("open", 1_000, 0);
+        m.record("stats", 5, 5); // control-plane: dropped
+        m.record_shed();
+
+        let snap = m.snapshot_into(StatsSnapshot::default());
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.total_requests(), 3);
+        let read = snap.op("read").unwrap();
+        assert_eq!(read.count, 2);
+        assert_eq!(read.wall_min_ns, 100);
+        assert_eq!(read.wall_mean_ns, 200);
+        assert_eq!(read.virt_mean_ns, 20);
+        assert!(snap.op("stats").is_none());
+    }
+
+    #[test]
+    fn p99_lands_in_tail_bucket() {
+        let m = Metrics::new();
+        for _ in 0..99 {
+            m.record("read", 1_000, 0); // bucket ilog2(1000)=9 → ceiling 1023
+        }
+        m.record("read", 1 << 20, 0);
+        let snap = m.snapshot_into(StatsSnapshot::default());
+        let p99 = snap.op("read").unwrap().wall_p99_ns;
+        // Rank 99 of 100 falls in the 1µs bucket; the 1ms outlier is p100.
+        assert_eq!(p99, 1023);
+        // All-equal distribution: p99 == the one bucket's ceiling.
+        let m2 = Metrics::new();
+        for _ in 0..10 {
+            m2.record("open", 7, 0);
+        }
+        assert_eq!(m2.snapshot_into(StatsSnapshot::default()).op("open").unwrap().wall_p99_ns, 7);
+    }
+
+    #[test]
+    fn zero_and_huge_samples_do_not_panic() {
+        let m = Metrics::new();
+        m.record("meta", 0, 0);
+        m.record("meta", u64::MAX, u64::MAX);
+        let s = m.snapshot_into(StatsSnapshot::default());
+        assert_eq!(s.op("meta").unwrap().count, 2);
+        assert_eq!(s.op("meta").unwrap().wall_p99_ns, u64::MAX);
+    }
+}

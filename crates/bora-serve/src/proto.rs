@@ -1,0 +1,638 @@
+//! The bora-serve wire protocol: length-prefixed binary frames.
+//!
+//! Every message travels as one frame: a little-endian `u32` payload
+//! length followed by the payload. The first payload byte is the opcode;
+//! the rest is the operation's fields in fixed little-endian layouts
+//! (strings are `u16` length + UTF-8, lists are `u16` count + elements).
+//! There is no versioning handshake — both ends of a deployment ship
+//! together — but unknown opcodes and truncated payloads decode to
+//! [`ProtoError`] rather than panicking, so a malformed client cannot
+//! take a worker down.
+//!
+//! The protocol is deliberately request/response (no pipelining, no
+//! streaming): BORA queries return bounded result sets (a topic's
+//! messages in a time range), and one outstanding request per connection
+//! keeps the backpressure story honest — a client that wants parallelism
+//! opens more connections, which the server's bounded queue then sheds
+//! explicitly via [`Response::Overloaded`].
+
+use ros_msgs::Time;
+use rosbag::MessageRecord;
+
+/// Frame length prefix size (little-endian u32).
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Upper bound on a single frame's payload; decoding rejects anything
+/// larger so a corrupt length prefix cannot trigger a huge allocation.
+pub const MAX_FRAME_LEN: u32 = 256 * 1024 * 1024;
+
+// Request opcodes.
+const OP_OPEN: u8 = 0x01;
+const OP_TOPICS: u8 = 0x02;
+const OP_META: u8 = 0x03;
+const OP_READ: u8 = 0x04;
+const OP_STAT: u8 = 0x05;
+const OP_STATS: u8 = 0x06;
+const OP_SHUTDOWN: u8 = 0x07;
+
+// Response opcodes (request opcode | 0x80, errors in 0xE0+).
+const OP_OK_OPEN: u8 = 0x81;
+const OP_OK_TOPICS: u8 = 0x82;
+const OP_OK_META: u8 = 0x83;
+const OP_OK_READ: u8 = 0x84;
+const OP_OK_STAT: u8 = 0x85;
+const OP_OK_STATS: u8 = 0x86;
+const OP_OK_SHUTDOWN: u8 = 0x87;
+const OP_ERROR: u8 = 0xE0;
+const OP_OVERLOADED: u8 = 0xEE;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open (or touch) a container, pulling it into the handle cache.
+    Open { container: String },
+    /// List a container's topics.
+    Topics { container: String },
+    /// Fetch the container's raw metadata (`ContainerMeta::encode` bytes).
+    Meta { container: String },
+    /// Read messages of `topics`, optionally restricted to `[start, end]`.
+    Read { container: String, topics: Vec<String>, range: Option<(Time, Time)> },
+    /// Summary numbers for one container.
+    Stat { container: String },
+    /// Server-wide metrics snapshot.
+    Stats,
+    /// Stop accepting work and shut the pool down.
+    Shutdown,
+}
+
+/// Summary counters for one container (`STAT`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ContainerStat {
+    pub topics: u32,
+    pub messages: u64,
+    pub data_bytes: u64,
+    pub start: Time,
+    pub end: Time,
+}
+
+/// One message returned by `READ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMessage {
+    pub topic: String,
+    pub time: Time,
+    pub data: Vec<u8>,
+}
+
+impl From<MessageRecord> for WireMessage {
+    fn from(m: MessageRecord) -> Self {
+        WireMessage { topic: m.topic, time: m.time, data: m.data }
+    }
+}
+
+/// Latency summary for one op kind inside a [`StatsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpSummary {
+    pub count: u64,
+    /// Wall-clock nanoseconds, measured submit → response.
+    pub wall_min_ns: u64,
+    pub wall_mean_ns: u64,
+    pub wall_p99_ns: u64,
+    /// Virtual nanoseconds charged by the storage cost model.
+    pub virt_mean_ns: u64,
+}
+
+/// Server-wide metrics snapshot (`STATS`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Summaries keyed by op name (`open`, `topics`, `meta`, `read`,
+    /// `stat`), sorted by name for deterministic encoding.
+    pub ops: Vec<(String, OpSummary)>,
+    /// Requests rejected with [`Response::Overloaded`].
+    pub shed: u64,
+    /// Requests sitting in the queue right now.
+    pub queue_depth: u32,
+    /// Bound of the request queue.
+    pub queue_capacity: u32,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub cache_len: u32,
+    pub cache_capacity: u32,
+}
+
+impl StatsSnapshot {
+    /// Total completed requests across all ops.
+    pub fn total_requests(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.count).sum()
+    }
+
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    pub fn op(&self, name: &str) -> Option<&OpSummary> {
+        self.ops.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+/// Error category carried in an [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    NotAContainer = 1,
+    UnknownTopic = 2,
+    Corrupt = 3,
+    Io = 4,
+    BadRequest = 5,
+    ShuttingDown = 6,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::NotAContainer,
+            2 => ErrorCode::UnknownTopic,
+            3 => ErrorCode::Corrupt,
+            4 => ErrorCode::Io,
+            5 => ErrorCode::BadRequest,
+            6 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Opened {
+        stat: ContainerStat,
+        cached: bool,
+    },
+    Topics(Vec<String>),
+    /// Raw `ContainerMeta::encode` bytes; the client decodes them with
+    /// `bora::ContainerMeta::decode`, reusing the container's own format.
+    Meta(Vec<u8>),
+    Read(Vec<WireMessage>),
+    Stat(ContainerStat),
+    Stats(StatsSnapshot),
+    ShuttingDown,
+    Error {
+        code: ErrorCode,
+        message: String,
+    },
+    /// The bounded request queue was full; retry later. Sent without
+    /// queueing, so an overloaded server answers this in O(1).
+    Overloaded,
+}
+
+/// Decode failure: the frame was structurally invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+type ProtoResult<T> = Result<T, ProtoError>;
+
+// ---------------------------------------------------------------- encoding
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(op: u8) -> Self {
+        Writer { buf: vec![op] }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn time(&mut self, t: Time) {
+        self.u32(t.sec);
+        self.u32(t.nsec);
+    }
+    fn str(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize, "string field too long");
+        self.u16(s.len() as u16);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+    fn stat(&mut self, s: &ContainerStat) {
+        self.u32(s.topics);
+        self.u64(s.messages);
+        self.u64(s.data_bytes);
+        self.time(s.start);
+        self.time(s.end);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> ProtoResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(ProtoError(format!(
+                "truncated frame: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> ProtoResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> ProtoResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> ProtoResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> ProtoResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn time(&mut self) -> ProtoResult<Time> {
+        Ok(Time { sec: self.u32()?, nsec: self.u32()? })
+    }
+    fn str(&mut self) -> ProtoResult<String> {
+        let len = self.u16()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| ProtoError("non-UTF8 string field".into()))
+    }
+    fn bytes(&mut self) -> ProtoResult<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+    fn stat(&mut self) -> ProtoResult<ContainerStat> {
+        Ok(ContainerStat {
+            topics: self.u32()?,
+            messages: self.u64()?,
+            data_bytes: self.u64()?,
+            start: self.time()?,
+            end: self.time()?,
+        })
+    }
+    fn finish(self) -> ProtoResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError(format!("{} trailing bytes after payload", self.buf.len() - self.pos)))
+        }
+    }
+}
+
+impl Request {
+    /// Human-readable op name, used as the metrics key.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Open { .. } => "open",
+            Request::Topics { .. } => "topics",
+            Request::Meta { .. } => "meta",
+            Request::Read { .. } => "read",
+            Request::Stat { .. } => "stat",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w;
+        match self {
+            Request::Open { container } => {
+                w = Writer::new(OP_OPEN);
+                w.str(container);
+            }
+            Request::Topics { container } => {
+                w = Writer::new(OP_TOPICS);
+                w.str(container);
+            }
+            Request::Meta { container } => {
+                w = Writer::new(OP_META);
+                w.str(container);
+            }
+            Request::Read { container, topics, range } => {
+                w = Writer::new(OP_READ);
+                w.str(container);
+                w.u16(topics.len() as u16);
+                for t in topics {
+                    w.str(t);
+                }
+                match range {
+                    Some((start, end)) => {
+                        w.u8(1);
+                        w.time(*start);
+                        w.time(*end);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            Request::Stat { container } => {
+                w = Writer::new(OP_STAT);
+                w.str(container);
+            }
+            Request::Stats => w = Writer::new(OP_STATS),
+            Request::Shutdown => w = Writer::new(OP_SHUTDOWN),
+        }
+        w.buf
+    }
+
+    pub fn decode(payload: &[u8]) -> ProtoResult<Request> {
+        let mut r = Reader::new(payload);
+        let op = r.u8()?;
+        let req = match op {
+            OP_OPEN => Request::Open { container: r.str()? },
+            OP_TOPICS => Request::Topics { container: r.str()? },
+            OP_META => Request::Meta { container: r.str()? },
+            OP_READ => {
+                let container = r.str()?;
+                let n = r.u16()? as usize;
+                let mut topics = Vec::with_capacity(n);
+                for _ in 0..n {
+                    topics.push(r.str()?);
+                }
+                let range = match r.u8()? {
+                    0 => None,
+                    1 => Some((r.time()?, r.time()?)),
+                    v => return Err(ProtoError(format!("bad range marker {v}"))),
+                };
+                Request::Read { container, topics, range }
+            }
+            OP_STAT => Request::Stat { container: r.str()? },
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtoError(format!("unknown request opcode {other:#04x}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w;
+        match self {
+            Response::Opened { stat, cached } => {
+                w = Writer::new(OP_OK_OPEN);
+                w.stat(stat);
+                w.u8(*cached as u8);
+            }
+            Response::Topics(topics) => {
+                w = Writer::new(OP_OK_TOPICS);
+                w.u16(topics.len() as u16);
+                for t in topics {
+                    w.str(t);
+                }
+            }
+            Response::Meta(bytes) => {
+                w = Writer::new(OP_OK_META);
+                w.bytes(bytes);
+            }
+            Response::Read(messages) => {
+                w = Writer::new(OP_OK_READ);
+                w.u32(messages.len() as u32);
+                for m in messages {
+                    w.str(&m.topic);
+                    w.time(m.time);
+                    w.bytes(&m.data);
+                }
+            }
+            Response::Stat(stat) => {
+                w = Writer::new(OP_OK_STAT);
+                w.stat(stat);
+            }
+            Response::Stats(s) => {
+                w = Writer::new(OP_OK_STATS);
+                w.u16(s.ops.len() as u16);
+                for (name, op) in &s.ops {
+                    w.str(name);
+                    w.u64(op.count);
+                    w.u64(op.wall_min_ns);
+                    w.u64(op.wall_mean_ns);
+                    w.u64(op.wall_p99_ns);
+                    w.u64(op.virt_mean_ns);
+                }
+                w.u64(s.shed);
+                w.u32(s.queue_depth);
+                w.u32(s.queue_capacity);
+                w.u64(s.cache_hits);
+                w.u64(s.cache_misses);
+                w.u64(s.cache_evictions);
+                w.u32(s.cache_len);
+                w.u32(s.cache_capacity);
+            }
+            Response::ShuttingDown => w = Writer::new(OP_OK_SHUTDOWN),
+            Response::Error { code, message } => {
+                w = Writer::new(OP_ERROR);
+                w.u8(*code as u8);
+                w.str(message);
+            }
+            Response::Overloaded => w = Writer::new(OP_OVERLOADED),
+        }
+        w.buf
+    }
+
+    pub fn decode(payload: &[u8]) -> ProtoResult<Response> {
+        let mut r = Reader::new(payload);
+        let op = r.u8()?;
+        let resp = match op {
+            OP_OK_OPEN => {
+                let stat = r.stat()?;
+                let cached = r.u8()? != 0;
+                Response::Opened { stat, cached }
+            }
+            OP_OK_TOPICS => {
+                let n = r.u16()? as usize;
+                let mut topics = Vec::with_capacity(n);
+                for _ in 0..n {
+                    topics.push(r.str()?);
+                }
+                Response::Topics(topics)
+            }
+            OP_OK_META => Response::Meta(r.bytes()?),
+            OP_OK_READ => {
+                let n = r.u32()? as usize;
+                let mut messages = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    messages.push(WireMessage {
+                        topic: r.str()?,
+                        time: r.time()?,
+                        data: r.bytes()?,
+                    });
+                }
+                Response::Read(messages)
+            }
+            OP_OK_STAT => Response::Stat(r.stat()?),
+            OP_OK_STATS => {
+                let n = r.u16()? as usize;
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str()?;
+                    let op = OpSummary {
+                        count: r.u64()?,
+                        wall_min_ns: r.u64()?,
+                        wall_mean_ns: r.u64()?,
+                        wall_p99_ns: r.u64()?,
+                        virt_mean_ns: r.u64()?,
+                    };
+                    ops.push((name, op));
+                }
+                Response::Stats(StatsSnapshot {
+                    ops,
+                    shed: r.u64()?,
+                    queue_depth: r.u32()?,
+                    queue_capacity: r.u32()?,
+                    cache_hits: r.u64()?,
+                    cache_misses: r.u64()?,
+                    cache_evictions: r.u64()?,
+                    cache_len: r.u32()?,
+                    cache_capacity: r.u32()?,
+                })
+            }
+            OP_OK_SHUTDOWN => Response::ShuttingDown,
+            OP_ERROR => {
+                let code = ErrorCode::from_u8(r.u8()?)
+                    .ok_or_else(|| ProtoError("unknown error code".into()))?;
+                Response::Error { code, message: r.str()? }
+            }
+            OP_OVERLOADED => Response::Overloaded,
+            other => return Err(ProtoError(format!("unknown response opcode {other:#04x}"))),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Wrap a payload in a length-prefixed frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse a frame header, validating the length bound.
+pub fn frame_len(header: [u8; FRAME_HEADER_LEN]) -> ProtoResult<usize> {
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError(format!("frame length {len} exceeds maximum {MAX_FRAME_LEN}")));
+    }
+    Ok(len as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Open { container: "/c/hs0".into() });
+        roundtrip_req(Request::Topics { container: "".into() });
+        roundtrip_req(Request::Meta { container: "/c".into() });
+        roundtrip_req(Request::Read {
+            container: "/c/hs0".into(),
+            topics: vec!["/camera/depth".into(), "/imu".into()],
+            range: Some((Time::new(3, 14), Time::new(10, 0))),
+        });
+        roundtrip_req(Request::Read { container: "/c".into(), topics: vec![], range: None });
+        roundtrip_req(Request::Stat { container: "/c".into() });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let stat = ContainerStat {
+            topics: 7,
+            messages: 12_345,
+            data_bytes: 1 << 30,
+            start: Time::new(1, 2),
+            end: Time::new(100, 999_999_999),
+        };
+        roundtrip_resp(Response::Opened { stat: stat.clone(), cached: true });
+        roundtrip_resp(Response::Topics(vec!["/imu".into(), "/tf".into()]));
+        roundtrip_resp(Response::Meta(vec![1, 2, 3, 255]));
+        roundtrip_resp(Response::Read(vec![
+            WireMessage { topic: "/imu".into(), time: Time::new(5, 0), data: vec![0; 64] },
+            WireMessage { topic: "/tf".into(), time: Time::new(5, 1), data: vec![] },
+        ]));
+        roundtrip_resp(Response::Stat(stat));
+        roundtrip_resp(Response::Stats(StatsSnapshot {
+            ops: vec![
+                (
+                    "open".into(),
+                    OpSummary {
+                        count: 3,
+                        wall_min_ns: 10,
+                        wall_mean_ns: 20,
+                        wall_p99_ns: 30,
+                        virt_mean_ns: 40,
+                    },
+                ),
+                ("read".into(), OpSummary::default()),
+            ],
+            shed: 9,
+            queue_depth: 2,
+            queue_capacity: 64,
+            cache_hits: 100,
+            cache_misses: 4,
+            cache_evictions: 1,
+            cache_len: 3,
+            cache_capacity: 4,
+        }));
+        roundtrip_resp(Response::ShuttingDown);
+        roundtrip_resp(Response::Error { code: ErrorCode::UnknownTopic, message: "/nope".into() });
+        roundtrip_resp(Response::Overloaded);
+    }
+
+    #[test]
+    fn malformed_frames_error_cleanly() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0x42]).is_err(), "unknown opcode");
+        // OPEN with a length prefix pointing past the end.
+        assert!(Request::decode(&[OP_OPEN, 0xFF, 0xFF, b'x']).is_err());
+        // Valid request with trailing garbage.
+        let mut buf = Request::Stats.encode();
+        buf.push(0);
+        assert!(Request::decode(&buf).is_err());
+        // Oversized frame header.
+        assert!(frame_len((MAX_FRAME_LEN + 1).to_le_bytes()).is_err());
+        assert_eq!(frame_len(17u32.to_le_bytes()).unwrap(), 17);
+    }
+}

@@ -1,0 +1,293 @@
+//! The query server: a bounded request queue feeding a worker pool.
+//!
+//! ```text
+//!  client conns ──▶ submit() ──try_send──▶ [bounded queue] ──▶ worker 0..N
+//!                      │                                          │
+//!                      │ full? ◀── Response::Overloaded           ├─ HandleCache (pinned LRU)
+//!                      └──────── reply channel ◀──────────────────┘
+//! ```
+//!
+//! Backpressure is explicit: `submit` never blocks on a full queue — it
+//! sheds the request with [`Response::Overloaded`] so the client decides
+//! whether to retry. The control-plane ops (`STATS`, `SHUTDOWN`) bypass
+//! the queue entirely, which is what makes an overloaded server
+//! observable: you can always ask it how overloaded it is.
+//!
+//! Workers register with a [`simfs::ConcurrencyGauge`], so on cost-model
+//! backends each request's virtual I/O time reflects how many workers
+//! were actually competing for the device when it ran.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use bora::BoraError;
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use simfs::{ConcurrencyGauge, IoCtx, Storage};
+
+use crate::cache::HandleCache;
+use crate::metrics::Metrics;
+use crate::proto::{ContainerStat, ErrorCode, Request, Response, StatsSnapshot};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Bound of the request queue; requests beyond it are shed.
+    pub queue_capacity: usize,
+    /// Container handles kept open in the LRU cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 4, queue_capacity: 64, cache_capacity: 8 }
+    }
+}
+
+enum Job {
+    Work {
+        req: Request,
+        reply: Sender<Response>,
+        submitted: Instant,
+    },
+    /// Shutdown sentinel: one per worker.
+    Poison,
+}
+
+struct Shared<S> {
+    storage: S,
+    cache: HandleCache<S>,
+    metrics: Metrics,
+    gauge: ConcurrencyGauge,
+    shutting_down: AtomicBool,
+}
+
+/// A running bora-serve instance. Cheap to share via `Arc`; transports
+/// call [`Server::submit`] once per decoded request.
+pub struct Server<S> {
+    shared: Arc<Shared<S>>,
+    tx: Sender<Job>,
+    queue_capacity: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
+    /// Start the worker pool over `storage`.
+    pub fn start(storage: S, config: ServerConfig) -> Arc<Self> {
+        assert!(config.workers > 0, "need at least one worker");
+        let (tx, rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
+        let shared = Arc::new(Shared {
+            storage,
+            cache: HandleCache::new(config.cache_capacity),
+            metrics: Metrics::new(),
+            gauge: ConcurrencyGauge::new(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx: Receiver<Job> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("bora-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Arc::new(Server {
+            shared,
+            tx,
+            queue_capacity: config.queue_capacity.max(1),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Handle one request to completion. Control-plane ops answer inline;
+    /// data ops go through the bounded queue and may come back
+    /// [`Response::Overloaded`].
+    pub fn submit(&self, req: Request) -> Response {
+        match req {
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Response::ShuttingDown
+            }
+            req => {
+                if self.is_shutting_down() {
+                    return Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is shutting down".into(),
+                    };
+                }
+                let (reply_tx, reply_rx) = channel::bounded(1);
+                let job = Job::Work { req, reply: reply_tx, submitted: Instant::now() };
+                match self.tx.try_send(job) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        self.shared.metrics.record_shed();
+                        return Response::Overloaded;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        return Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "worker pool stopped".into(),
+                        };
+                    }
+                }
+                reply_rx.recv().unwrap_or(Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "worker exited before replying".into(),
+                })
+            }
+        }
+    }
+
+    /// Current metrics, including live queue depth and cache counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let cache = self.shared.cache.stats();
+        let base = StatsSnapshot {
+            queue_depth: self.tx.len() as u32,
+            queue_capacity: self.queue_capacity as u32,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_len: cache.len,
+            cache_capacity: cache.capacity,
+            ..StatsSnapshot::default()
+        };
+        self.shared.metrics.snapshot_into(base)
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting data requests and tell every worker to exit once the
+    /// queue drains. Idempotent; does not join (see [`Server::shutdown`]).
+    pub fn begin_shutdown(&self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let n = self.workers.lock().len();
+        for _ in 0..n {
+            // Blocking send: poisons queue behind any in-flight work.
+            if self.tx.send(Job::Poison).is_err() {
+                break;
+            }
+        }
+    }
+
+    /// `begin_shutdown` plus joining the workers.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<S> Drop for Server<S> {
+    fn drop(&mut self) {
+        // Last Arc going away with workers possibly parked in `recv`:
+        // poison and join so no worker thread outlives the server. The
+        // blocking sends terminate because workers only ever drain the
+        // queue. Idempotent after an explicit `shutdown()`.
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        let n = self.workers.lock().len();
+        for _ in 0..n {
+            if self.tx.send(Job::Poison).is_err() {
+                break;
+            }
+        }
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop<S: Storage + Clone>(shared: &Shared<S>, rx: &Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        let (req, reply, submitted) = match job {
+            Job::Poison => return,
+            Job::Work { req, reply, submitted } => (req, reply, submitted),
+        };
+        let active = shared.gauge.enter();
+        let mut ctx = active.ctx();
+        let op = req.op_name();
+        let resp = handle(shared, req, &mut ctx);
+        drop(active);
+        let wall_ns = submitted.elapsed().as_nanos() as u64;
+        shared.metrics.record(op, wall_ns, ctx.elapsed_ns());
+        // A client that gave up (dropped the reply receiver) is not an
+        // error; the work is simply discarded.
+        let _ = reply.send(resp);
+    }
+}
+
+fn handle<S: Storage + Clone>(shared: &Shared<S>, req: Request, ctx: &mut IoCtx) -> Response {
+    let result = (|| -> Result<Response, BoraError> {
+        match &req {
+            Request::Open { container } => {
+                let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
+                Ok(Response::Opened { stat: stat_of(pinned.bag().meta()), cached: pinned.was_hit })
+            }
+            Request::Topics { container } => {
+                let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
+                let mut topics: Vec<String> =
+                    pinned.bag().topics().into_iter().map(str::to_owned).collect();
+                topics.sort();
+                Ok(Response::Topics(topics))
+            }
+            Request::Meta { container } => {
+                let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
+                Ok(Response::Meta(pinned.bag().meta().encode()))
+            }
+            Request::Read { container, topics, range } => {
+                let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
+                let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
+                let records = match range {
+                    Some((start, end)) => {
+                        pinned.bag().read_topics_time(&refs, *start, *end, ctx)?
+                    }
+                    None => pinned.bag().read_topics(&refs, ctx)?,
+                };
+                Ok(Response::Read(records.into_iter().map(Into::into).collect()))
+            }
+            Request::Stat { container } => {
+                let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
+                Ok(Response::Stat(stat_of(pinned.bag().meta())))
+            }
+            // Control-plane ops never reach the queue (submit handles
+            // them); seeing one here means a transport bypassed submit.
+            Request::Stats | Request::Shutdown => Ok(Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "control op routed to worker".into(),
+            }),
+        }
+    })();
+    result.unwrap_or_else(error_response)
+}
+
+fn stat_of(meta: &bora::ContainerMeta) -> ContainerStat {
+    ContainerStat {
+        topics: meta.topics.len() as u32,
+        messages: meta.message_count(),
+        data_bytes: meta.data_bytes(),
+        start: meta.start_time,
+        end: meta.end_time,
+    }
+}
+
+/// Map a [`BoraError`] to its wire-level category.
+fn error_response(e: BoraError) -> Response {
+    let code = match &e {
+        BoraError::NotAContainer(_) => ErrorCode::NotAContainer,
+        BoraError::UnknownTopic(_) => ErrorCode::UnknownTopic,
+        BoraError::Corrupt(_) | BoraError::Wire(_) | BoraError::Bag(_) => ErrorCode::Corrupt,
+        BoraError::Fs(_) => ErrorCode::Io,
+    };
+    Response::Error { code, message: e.to_string() }
+}

@@ -1,0 +1,233 @@
+//! Transports: how frames travel between client and server.
+//!
+//! Both ends speak [`Connection`] — blocking, one length-prefixed frame
+//! at a time. [`MemTransport`] carries frames over in-process crossbeam
+//! channels (deterministic: tests and benches exercise the full protocol
+//! stack with no sockets, no ports, no timing flakes). [`TcpTransport`]
+//! carries the same bytes over `std::net` — the shape a robot fleet's
+//! analysis cluster would deploy.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use simfs::Storage;
+
+use crate::proto::{frame, frame_len, Request, Response, FRAME_HEADER_LEN};
+use crate::server::Server;
+
+/// One bidirectional framed byte stream.
+pub trait Connection: Send {
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()>;
+    /// Blocks for the next frame; `ErrorKind::UnexpectedEof` when the
+    /// peer hung up.
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>>;
+}
+
+/// A way to reach a server; each `connect` yields an independent
+/// connection whose requests the server handles concurrently.
+pub trait Transport {
+    type Conn: Connection;
+    fn connect(&self) -> io::Result<Self::Conn>;
+}
+
+fn eof() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed connection")
+}
+
+// ------------------------------------------------------------- serve loop
+
+/// Serve one connection until the peer hangs up or the server begins
+/// shutting down. Shared by every transport; this is the only place
+/// where bytes become [`Request`]s.
+pub fn serve_connection<S, C>(server: &Server<S>, conn: &mut C)
+where
+    S: Storage + Clone + Send + Sync + 'static,
+    C: Connection,
+{
+    loop {
+        let payload = match conn.recv_frame() {
+            Ok(p) => p,
+            Err(_) => return, // peer gone (EOF) or transport failure
+        };
+        let resp = match Request::decode(&payload) {
+            Ok(req) => server.submit(req),
+            // Malformed frame: answer with the error, keep the
+            // connection — one bad client frame should not force a
+            // reconnect.
+            Err(e) => Response::Error {
+                code: crate::proto::ErrorCode::BadRequest,
+                message: e.to_string(),
+            },
+        };
+        let is_final = matches!(resp, Response::ShuttingDown);
+        if conn.send_frame(&resp.encode()).is_err() {
+            return;
+        }
+        if is_final || server.is_shutting_down() {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------- mem transport
+
+/// Client half of an in-process connection.
+pub struct MemConnection {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl Connection for MemConnection {
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.tx.send(payload.to_vec()).map_err(|_| eof())
+    }
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>> {
+        self.rx.recv().map_err(|_| eof())
+    }
+}
+
+/// In-process transport: `connect` spawns a dispatcher thread that feeds
+/// the shared server, exactly like a TCP connection handler would.
+pub struct MemTransport<S> {
+    server: Arc<Server<S>>,
+}
+
+impl<S: Storage + Clone + Send + Sync + 'static> MemTransport<S> {
+    pub fn new(server: Arc<Server<S>>) -> Self {
+        MemTransport { server }
+    }
+}
+
+impl<S: Storage + Clone + Send + Sync + 'static> Transport for MemTransport<S> {
+    type Conn = MemConnection;
+
+    fn connect(&self) -> io::Result<MemConnection> {
+        let (client_tx, server_rx) = channel::unbounded();
+        let (server_tx, client_rx) = channel::unbounded();
+        let server = Arc::clone(&self.server);
+        std::thread::Builder::new()
+            .name("bora-serve-mem-conn".into())
+            .spawn(move || {
+                let mut conn = MemConnection { tx: server_tx, rx: server_rx };
+                serve_connection(&server, &mut conn);
+            })
+            .map_err(io::Error::other)?;
+        Ok(MemConnection { tx: client_tx, rx: client_rx })
+    }
+}
+
+// ---------------------------------------------------------- tcp transport
+
+/// A framed TCP stream (client or server side — the protocol is
+/// symmetric at this layer).
+pub struct TcpConnection {
+    stream: TcpStream,
+}
+
+impl TcpConnection {
+    pub fn new(stream: TcpStream) -> Self {
+        TcpConnection { stream }
+    }
+}
+
+impl Connection for TcpConnection {
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        // One write per frame: the header is 4 bytes, coalescing avoids a
+        // guaranteed small-packet round trip per response.
+        self.stream.write_all(&frame(payload))
+    }
+
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>> {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let len = frame_len(header).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload)?;
+        Ok(payload)
+    }
+}
+
+/// Client-side TCP transport.
+pub struct TcpTransport {
+    addr: SocketAddr,
+}
+
+impl TcpTransport {
+    pub fn new(addr: SocketAddr) -> Self {
+        TcpTransport { addr }
+    }
+}
+
+impl Transport for TcpTransport {
+    type Conn = TcpConnection;
+    fn connect(&self) -> io::Result<TcpConnection> {
+        Ok(TcpConnection::new(TcpStream::connect(self.addr)?))
+    }
+}
+
+/// A running TCP acceptor for a server.
+pub struct TcpListenerHandle {
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TcpListenerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the acceptor to exit (it does when the server shuts
+    /// down). Connection handler threads are detached; they exit when
+    /// their peer hangs up or the shutdown flag is observed.
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind `addr` and accept connections for `server` until it shuts down.
+///
+/// The listener polls in non-blocking mode so shutdown needs no
+/// self-connection trick; 10ms poll latency is irrelevant next to a
+/// human issuing `SHUTDOWN`.
+pub fn spawn_tcp_listener<S>(
+    server: Arc<Server<S>>,
+    addr: SocketAddr,
+) -> io::Result<TcpListenerHandle>
+where
+    S: Storage + Clone + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let acceptor =
+        std::thread::Builder::new().name("bora-serve-acceptor".into()).spawn(move || loop {
+            if server.is_shutting_down() {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_nonblocking(false);
+                    let server = Arc::clone(&server);
+                    let _ = std::thread::Builder::new().name("bora-serve-tcp-conn".into()).spawn(
+                        move || {
+                            let mut conn = TcpConnection::new(stream);
+                            serve_connection(&server, &mut conn);
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => return,
+            }
+        })?;
+    Ok(TcpListenerHandle { addr: local, acceptor: Some(acceptor) })
+}

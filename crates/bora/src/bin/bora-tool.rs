@@ -91,8 +91,13 @@ fn main() {
                 [start, end] => {
                     let s: f64 = start.parse().unwrap_or_else(|_| badnum(start));
                     let e: f64 = end.parse().unwrap_or_else(|_| badnum(end));
-                    bag.read_topic_time(topic, Time::from_sec_f64(s), Time::from_sec_f64(e), &mut ctx)
-                        .unwrap_or_else(die)
+                    bag.read_topic_time(
+                        topic,
+                        Time::from_sec_f64(s),
+                        Time::from_sec_f64(e),
+                        &mut ctx,
+                    )
+                    .unwrap_or_else(die)
                 }
                 _ => usage(),
             };
@@ -128,8 +133,7 @@ fn main() {
                 conn_ids.insert(tm.topic.clone(), w.add_connection(&tm.topic, &desc));
             }
             for m in &msgs {
-                w.write_message(conn_ids[&m.topic], m.time, &m.data, &mut ctx)
-                    .unwrap_or_else(die);
+                w.write_message(conn_ids[&m.topic], m.time, &m.data, &mut ctx).unwrap_or_else(die);
             }
             let s = w.close(&mut ctx).unwrap_or_else(die);
             println!("exported {} messages to {out} ({} bytes)", s.message_count, s.file_len);

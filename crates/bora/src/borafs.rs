@@ -38,10 +38,7 @@ pub struct BoraFsOptions {
 
 impl Default for BoraFsOptions {
     fn default() -> Self {
-        BoraFsOptions {
-            fuse_op_overhead_ns: 4_000,
-            organizer: OrganizerOptions::default(),
-        }
+        BoraFsOptions { fuse_op_overhead_ns: 4_000, organizer: OrganizerOptions::default() }
     }
 }
 
@@ -106,8 +103,7 @@ impl<S: Storage> BoraFs<S> {
         let root = self.container_root(bag_name);
         let report = duplicate(src, src_path, &self.storage, &root, &self.opts.organizer, ctx)?;
         // Front-end marker so directory listings show the logical file.
-        self.storage
-            .append(&format!("{}/{bag_name}", self.front_root), root.as_bytes(), ctx)?;
+        self.storage.append(&format!("{}/{bag_name}", self.front_root), root.as_bytes(), ctx)?;
         Ok(report)
     }
 
@@ -152,9 +148,8 @@ impl<S: Storage> BoraFs<S> {
             conn_ids.insert(tm.topic.clone(), w.add_connection(&tm.topic, &desc));
         }
         for m in &msgs {
-            let conn = *conn_ids
-                .get(&m.topic)
-                .ok_or_else(|| BoraError::UnknownTopic(m.topic.clone()))?;
+            let conn =
+                *conn_ids.get(&m.topic).ok_or_else(|| BoraError::UnknownTopic(m.topic.clone()))?;
             w.write_message(conn, m.time, &m.data, ctx)?;
         }
         let summary = w.close(ctx)?;
@@ -174,9 +169,11 @@ impl<S: Storage> BoraFs<S> {
         let src_root = self.container_root(bag_name);
         let dst_root = dst_fs.container_root(bag_name);
         let bytes = copy_container(&self.storage, &src_root, &dst_fs.storage, &dst_root, ctx)?;
-        dst_fs
-            .storage
-            .append(&format!("{}/{bag_name}", dst_fs.front_root), dst_root.as_bytes(), ctx)?;
+        dst_fs.storage.append(
+            &format!("{}/{bag_name}", dst_fs.front_root),
+            dst_root.as_bytes(),
+            ctx,
+        )?;
         Ok(bytes)
     }
 
@@ -184,17 +181,14 @@ impl<S: Storage> BoraFs<S> {
     /// traffic through the FUSE layer.
     pub fn write_file(&self, rel_path: &str, data: &[u8], ctx: &mut IoCtx) -> BoraResult<()> {
         self.charge_fuse(ctx);
-        self.storage
-            .append(&format!("{}/{rel_path}", self.front_root), data, ctx)?;
+        self.storage.append(&format!("{}/{rel_path}", self.front_root), data, ctx)?;
         Ok(())
     }
 
     /// Front-end passthrough read.
     pub fn read_file(&self, rel_path: &str, ctx: &mut IoCtx) -> BoraResult<Vec<u8>> {
         self.charge_fuse(ctx);
-        Ok(self
-            .storage
-            .read_all(&format!("{}/{rel_path}", self.front_root), ctx)?)
+        Ok(self.storage.read_all(&format!("{}/{rel_path}", self.front_root), ctx)?)
     }
 
     /// Query by topics through the mount (intercepted by BORA-Lib).
@@ -232,8 +226,13 @@ mod tests {
 
     fn build_bag(fs: &MemStorage, path: &str, n: u32) {
         let mut ctx = IoCtx::new();
-        let mut w =
-            BagWriter::create(fs, path, BagWriterOptions { chunk_size: 4096, ..Default::default() }, &mut ctx).unwrap();
+        let mut w = BagWriter::create(
+            fs,
+            path,
+            BagWriterOptions { chunk_size: 4096, ..Default::default() },
+            &mut ctx,
+        )
+        .unwrap();
         for tick in 0..n {
             let t = Time::new(tick, 0);
             let mut imu = Imu::default();
@@ -258,7 +257,13 @@ mod tests {
         let msgs = bora.read_messages("sample.bag", &["/imu"], &mut ctx).unwrap();
         assert_eq!(msgs.len(), 120);
         let window = bora
-            .read_messages_time("sample.bag", &["/imu"], Time::new(10, 0), Time::new(20, 0), &mut ctx)
+            .read_messages_time(
+                "sample.bag",
+                &["/imu"],
+                Time::new(10, 0),
+                Time::new(20, 0),
+                &mut ctx,
+            )
             .unwrap();
         assert_eq!(window.len(), 10);
     }
@@ -268,8 +273,7 @@ mod tests {
         let fs = MemStorage::new();
         build_bag(&fs, "/ext/s.bag", 60);
         let mut ctx = IoCtx::new();
-        let bora =
-            BoraFs::mount(&fs, "/mnt", "/back", BoraFsOptions::default(), &mut ctx).unwrap();
+        let bora = BoraFs::mount(&fs, "/mnt", "/back", BoraFsOptions::default(), &mut ctx).unwrap();
         bora.import_bag(&fs, "/ext/s.bag", "s.bag", &mut ctx).unwrap();
         let n = bora.export_bag("s.bag", &fs, "/ext/rebagged.bag", &mut ctx).unwrap();
         assert_eq!(n, 60);
@@ -288,10 +292,10 @@ mod tests {
         let fs = MemStorage::new();
         build_bag(&fs, "/ext/s.bag", 40);
         let mut ctx = IoCtx::new();
-        let a = BoraFs::mount(&fs, "/a/front", "/a/back", BoraFsOptions::default(), &mut ctx)
-            .unwrap();
-        let b = BoraFs::mount(&fs, "/b/front", "/b/back", BoraFsOptions::default(), &mut ctx)
-            .unwrap();
+        let a =
+            BoraFs::mount(&fs, "/a/front", "/a/back", BoraFsOptions::default(), &mut ctx).unwrap();
+        let b =
+            BoraFs::mount(&fs, "/b/front", "/b/back", BoraFsOptions::default(), &mut ctx).unwrap();
         a.import_bag(&fs, "/ext/s.bag", "s.bag", &mut ctx).unwrap();
         let bytes = a.copy_bag_to("s.bag", &b, &mut ctx).unwrap();
         assert!(bytes > 0);
@@ -303,8 +307,7 @@ mod tests {
     fn passthrough_files() {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
-        let bora =
-            BoraFs::mount(&fs, "/mnt", "/back", BoraFsOptions::default(), &mut ctx).unwrap();
+        let bora = BoraFs::mount(&fs, "/mnt", "/back", BoraFsOptions::default(), &mut ctx).unwrap();
         bora.write_file("notes.txt", b"calibration notes", &mut ctx).unwrap();
         assert_eq!(bora.read_file("notes.txt", &mut ctx).unwrap(), b"calibration notes");
     }
@@ -313,8 +316,7 @@ mod tests {
     fn fuse_overhead_is_charged() {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
-        let bora =
-            BoraFs::mount(&fs, "/mnt", "/back", BoraFsOptions::default(), &mut ctx).unwrap();
+        let bora = BoraFs::mount(&fs, "/mnt", "/back", BoraFsOptions::default(), &mut ctx).unwrap();
         let before = ctx.elapsed_ns();
         bora.write_file("x", b"1", &mut ctx).unwrap();
         assert!(ctx.elapsed_ns() >= before + BoraFsOptions::default().fuse_op_overhead_ns);

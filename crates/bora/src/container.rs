@@ -9,6 +9,8 @@
 //!   narrows each topic to a candidate entry range, one contiguous read
 //!   covers the candidates, and a fine timestamp filter finishes the job.
 
+use std::sync::Arc;
+
 use ros_msgs::Time;
 use rosbag::reader::MessageRecord;
 use simfs::device::cpu;
@@ -33,11 +35,28 @@ use crate::topic_index::{decode_entries, is_chronological, TopicIndexEntry, ENTR
 pub const FUSE_DELIVERY_NS: u64 = 60_000;
 
 /// An opened BORA container.
+///
+/// The tag table and metadata built by [`BoraBag::open`] are immutable for
+/// the handle's lifetime and shared behind `Arc`s, so cloning a handle is
+/// cheap (two reference bumps plus the storage handle's own clone). A
+/// serving layer can therefore open a container once and hand concurrent
+/// workers their own handles.
 pub struct BoraBag<S> {
     storage: S,
     root: String,
-    tags: TagManager,
-    meta: ContainerMeta,
+    tags: Arc<TagManager>,
+    meta: Arc<ContainerMeta>,
+}
+
+impl<S: Clone> Clone for BoraBag<S> {
+    fn clone(&self) -> Self {
+        BoraBag {
+            storage: self.storage.clone(),
+            root: self.root.clone(),
+            tags: Arc::clone(&self.tags),
+            meta: Arc::clone(&self.meta),
+        }
+    }
 }
 
 impl<S: Storage> BoraBag<S> {
@@ -52,8 +71,8 @@ impl<S: Storage> BoraBag<S> {
         Ok(BoraBag {
             storage,
             root: container_root.to_owned(),
-            tags,
-            meta,
+            tags: Arc::new(tags),
+            meta: Arc::new(meta),
         })
     }
 
@@ -245,12 +264,7 @@ impl<S: Storage> BoraBag<S> {
     /// Stable connection id for reporting: position in the metadata topic
     /// list (containers have no wire-level connections).
     fn conn_id_of(&self, topic: &str) -> u32 {
-        self.meta
-            .topics
-            .iter()
-            .position(|t| t.topic == topic)
-            .map(|i| i as u32)
-            .unwrap_or(u32::MAX)
+        self.meta.topics.iter().position(|t| t.topic == topic).map(|i| i as u32).unwrap_or(u32::MAX)
     }
 }
 
@@ -309,7 +323,6 @@ fn merge_streams(mut streams: Vec<Vec<MessageRecord>>, ctx: &mut IoCtx) -> Vec<M
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,8 +335,13 @@ mod tests {
     fn setup() -> (MemStorage, u64, u64) {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
-        let mut w = BagWriter::create(&fs, "/src.bag", BagWriterOptions { chunk_size: 4096, ..Default::default() }, &mut ctx)
-            .unwrap();
+        let mut w = BagWriter::create(
+            &fs,
+            "/src.bag",
+            BagWriterOptions { chunk_size: 4096, ..Default::default() },
+            &mut ctx,
+        )
+        .unwrap();
         let (mut n_imu, mut n_cam) = (0u64, 0u64);
         for tick in 0..300u32 {
             let t = Time::from_nanos(tick as u64 * 100_000_000);
@@ -376,9 +394,7 @@ mod tests {
         let (fs, n_imu, n_cam) = setup();
         let mut ctx = IoCtx::new();
         let bag = BoraBag::open(&fs, "/c", &mut ctx).unwrap();
-        let msgs = bag
-            .read_topics(&["/imu", "/camera/rgb/camera_info"], &mut ctx)
-            .unwrap();
+        let msgs = bag.read_topics(&["/imu", "/camera/rgb/camera_info"], &mut ctx).unwrap();
         assert_eq!(msgs.len() as u64, n_imu + n_cam);
         for pair in msgs.windows(2) {
             assert!(pair[0].time <= pair[1].time);
@@ -423,10 +439,7 @@ mod tests {
         let (fs, ..) = setup();
         let mut ctx = IoCtx::new();
         let bag = BoraBag::open(&fs, "/c", &mut ctx).unwrap();
-        assert!(matches!(
-            bag.read_topic("/gps", &mut ctx),
-            Err(BoraError::UnknownTopic(_))
-        ));
+        assert!(matches!(bag.read_topic("/gps", &mut ctx), Err(BoraError::UnknownTopic(_))));
     }
 
     #[test]

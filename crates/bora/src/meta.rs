@@ -97,13 +97,7 @@ impl ContainerMeta {
         if cur.remaining() != 0 {
             return Err(BoraError::Corrupt("trailing bytes in metadata".into()));
         }
-        Ok(ContainerMeta {
-            topics,
-            start_time,
-            end_time,
-            window_ns,
-            source_bag_len,
-        })
+        Ok(ContainerMeta { topics, start_time, end_time, window_ns, source_bag_len })
     }
 }
 

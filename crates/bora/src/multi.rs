@@ -47,10 +47,7 @@ impl<'s, S: Storage> SwarmQuery<'s, S> {
         for r in roots {
             BoraBag::open(storage, r, ctx)?;
         }
-        Ok(SwarmQuery {
-            storage,
-            roots: roots.to_vec(),
-        })
+        Ok(SwarmQuery { storage, roots: roots.to_vec() })
     }
 
     pub fn robots(&self) -> usize {
@@ -97,11 +94,7 @@ impl<'s, S: Storage> SwarmQuery<'s, S> {
             total += ns;
             per_robot.push(msgs);
         }
-        Ok(SwarmResult {
-            per_robot,
-            makespan_ns: makespan,
-            total_ns: total,
-        })
+        Ok(SwarmResult { per_robot, makespan_ns: makespan, total_ns: total })
     }
 
     /// Same topics from every robot (the multi-angle extraction).
@@ -178,9 +171,7 @@ mod tests {
         let (fs, roots) = setup_swarm(4);
         let mut ctx = IoCtx::new();
         let sq = SwarmQuery::open(&fs, &roots, &mut ctx).unwrap();
-        let res = sq
-            .read_topics_time(&["/imu"], Time::new(10, 0), Time::new(20, 0))
-            .unwrap();
+        let res = sq.read_topics_time(&["/imu"], Time::new(10, 0), Time::new(20, 0)).unwrap();
         for msgs in &res.per_robot {
             assert_eq!(msgs.len(), 10, "every robot contributes the same instant");
         }

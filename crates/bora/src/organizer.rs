@@ -118,9 +118,7 @@ fn read_bag_metadata<S: Storage>(
             Op::Connection => conns.push(ConnectionRecord::decode(&h, data)?),
             Op::ChunkInfo => infos.push(ChunkInfoRecord::decode(&h, data)?),
             other => {
-                return Err(BoraError::Corrupt(format!(
-                    "unexpected {other:?} in index section"
-                )))
+                return Err(BoraError::Corrupt(format!("unexpected {other:?} in index section")))
             }
         }
     }
@@ -150,10 +148,8 @@ pub fn duplicate<SS: Storage, DS: Storage>(
         return Err(BoraError::Fs(simfs::FsError::AlreadyExists(dst_root.to_owned())));
     }
     dst.mkdir_all(dst_root, ctx)?;
-    let topic_paths: HashMap<u32, TopicPaths> = conns
-        .iter()
-        .map(|c| (c.conn_id, TopicPaths::new(dst_root, &c.topic)))
-        .collect();
+    let topic_paths: HashMap<u32, TopicPaths> =
+        conns.iter().map(|c| (c.conn_id, TopicPaths::new(dst_root, &c.topic))).collect();
     for p in topic_paths.values() {
         dst.mkdir_all(&p.dir, ctx)?;
     }
@@ -240,7 +236,8 @@ pub fn duplicate<SS: Storage, DS: Storage>(
             scan_ctx.charge_ns(cpu::RECORD_HEADER_NS);
             let ch = rosbag::record::ChunkHeader::from_header(&chdr)?;
             let dlen = u32::from_le_bytes(rest[hlen..hlen + 4].try_into().unwrap()) as usize;
-            let raw = src.read_at(src_path, ci.chunk_pos + 4 + hlen as u64 + 4, dlen, &mut scan_ctx)?;
+            let raw =
+                src.read_at(src_path, ci.chunk_pos + 4 + hlen as u64 + 4, dlen, &mut scan_ctx)?;
             let data = rosbag::compress::decode_chunk(&ch.compression, &raw, ch.size as usize)?;
             if ch.compression != "none" {
                 scan_ctx.charge_ns(ch.size as u64 * cpu::DECOMPRESS_BYTE_NS);
@@ -378,8 +375,13 @@ mod tests {
 
     fn build_bag(fs: &MemStorage, path: &str) -> (u64, u64) {
         let mut ctx = IoCtx::new();
-        let mut w =
-            BagWriter::create(fs, path, BagWriterOptions { chunk_size: 4096, ..Default::default() }, &mut ctx).unwrap();
+        let mut w = BagWriter::create(
+            fs,
+            path,
+            BagWriterOptions { chunk_size: 4096, ..Default::default() },
+            &mut ctx,
+        )
+        .unwrap();
         let (mut n_imu, mut n_cam) = (0, 0);
         for tick in 0..200u32 {
             let t = Time::from_nanos(tick as u64 * 100_000_000);
@@ -417,10 +419,8 @@ mod tests {
         assert_eq!(imu_meta.message_count, n_imu);
         assert_eq!(imu_meta.datatype, "sensor_msgs/Imu");
 
-        let idx = crate::topic_index::decode_entries(
-            &fs.read_all("/c/imu/index", &mut c).unwrap(),
-        )
-        .unwrap();
+        let idx = crate::topic_index::decode_entries(&fs.read_all("/c/imu/index", &mut c).unwrap())
+            .unwrap();
         assert_eq!(idx.len() as u64, n_imu);
         assert!(crate::topic_index::is_chronological(&idx));
         let data_len = fs.len("/c/imu/data", &mut c).unwrap();
@@ -434,10 +434,8 @@ mod tests {
         let mut ctx = IoCtx::new();
         duplicate(&fs, "/src.bag", &fs, "/c", &OrganizerOptions::default(), &mut ctx).unwrap();
         let mut c = IoCtx::new();
-        let idx = crate::topic_index::decode_entries(
-            &fs.read_all("/c/imu/index", &mut c).unwrap(),
-        )
-        .unwrap();
+        let idx = crate::topic_index::decode_entries(&fs.read_all("/c/imu/index", &mut c).unwrap())
+            .unwrap();
         let data = fs.read_all("/c/imu/data", &mut c).unwrap();
         let e = &idx[7];
         let imu =
@@ -459,10 +457,7 @@ mod tests {
                 "/src.bag",
                 &fs,
                 &root,
-                &OrganizerOptions {
-                    distributor_threads: threads,
-                    ..OrganizerOptions::default()
-                },
+                &OrganizerOptions { distributor_threads: threads, ..OrganizerOptions::default() },
                 &mut ctx,
             )
             .unwrap();
@@ -481,8 +476,9 @@ mod tests {
         build_bag(&fs, "/src.bag");
         let mut ctx = IoCtx::new();
         fs.mkdir_all("/c", &mut ctx).unwrap();
-        assert!(duplicate(&fs, "/src.bag", &fs, "/c", &OrganizerOptions::default(), &mut ctx)
-            .is_err());
+        assert!(
+            duplicate(&fs, "/src.bag", &fs, "/c", &OrganizerOptions::default(), &mut ctx).is_err()
+        );
     }
 
     #[test]
@@ -507,7 +503,8 @@ mod tests {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
         fs.append("/junk.bag", &vec![0u8; 8192], &mut ctx).unwrap();
-        assert!(duplicate(&fs, "/junk.bag", &fs, "/c", &OrganizerOptions::default(), &mut ctx)
-            .is_err());
+        assert!(
+            duplicate(&fs, "/junk.bag", &fs, "/c", &OrganizerOptions::default(), &mut ctx).is_err()
+        );
     }
 }

@@ -35,10 +35,7 @@ pub struct RecorderOptions {
 
 impl Default for RecorderOptions {
     fn default() -> Self {
-        RecorderOptions {
-            window_ns: DEFAULT_WINDOW_NS,
-            write_buffer: 256 * 1024,
-        }
+        RecorderOptions { window_ns: DEFAULT_WINDOW_NS, write_buffer: 256 * 1024 }
     }
 }
 
@@ -64,7 +61,12 @@ pub struct BoraRecorder<S> {
 
 impl<S: Storage> BoraRecorder<S> {
     /// Start recording into a new container at `root`.
-    pub fn create(storage: S, root: &str, opts: RecorderOptions, ctx: &mut IoCtx) -> BoraResult<Self> {
+    pub fn create(
+        storage: S,
+        root: &str,
+        opts: RecorderOptions,
+        ctx: &mut IoCtx,
+    ) -> BoraResult<Self> {
         if storage.exists(root, ctx) {
             return Err(BoraError::Fs(simfs::FsError::AlreadyExists(root.to_owned())));
         }
@@ -82,7 +84,12 @@ impl<S: Storage> BoraRecorder<S> {
     }
 
     /// Subscribe a topic (idempotent).
-    pub fn subscribe(&mut self, topic: &str, desc: &MessageDescriptor, ctx: &mut IoCtx) -> BoraResult<()> {
+    pub fn subscribe(
+        &mut self,
+        topic: &str,
+        desc: &MessageDescriptor,
+        ctx: &mut IoCtx,
+    ) -> BoraResult<()> {
         if self.topics.contains_key(topic) {
             return Ok(());
         }
@@ -110,14 +117,18 @@ impl<S: Storage> BoraRecorder<S> {
 
     /// Record one serialized message. Messages must arrive chronologically
     /// per topic (as a subscriber receives them).
-    pub fn record(&mut self, topic: &str, time: Time, payload: &[u8], ctx: &mut IoCtx) -> BoraResult<()> {
+    pub fn record(
+        &mut self,
+        topic: &str,
+        time: Time,
+        payload: &[u8],
+        ctx: &mut IoCtx,
+    ) -> BoraResult<()> {
         if self.closed {
             return Err(BoraError::Corrupt("recorder already closed".into()));
         }
-        let st = self
-            .topics
-            .get_mut(topic)
-            .ok_or_else(|| BoraError::UnknownTopic(topic.to_owned()))?;
+        let st =
+            self.topics.get_mut(topic).ok_or_else(|| BoraError::UnknownTopic(topic.to_owned()))?;
         if let Some(last) = st.entries.last() {
             if time < last.time {
                 return Err(BoraError::Corrupt(format!(
@@ -218,7 +229,8 @@ mod tests {
     fn record_then_query() {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
-        let mut rec = BoraRecorder::create(&fs, "/c", RecorderOptions::default(), &mut ctx).unwrap();
+        let mut rec =
+            BoraRecorder::create(&fs, "/c", RecorderOptions::default(), &mut ctx).unwrap();
         for i in 0..500 {
             let (t, imu) = imu_at(i);
             rec.record_ros_message("/imu", t, &imu, &mut ctx).unwrap();
@@ -228,9 +240,8 @@ mod tests {
 
         let bag = BoraBag::open(&fs, "/c", &mut ctx).unwrap();
         assert_eq!(bag.verify(&mut ctx).unwrap(), 500);
-        let msgs = bag
-            .read_topic_time("/imu", Time::new(110, 0), Time::new(120, 0), &mut ctx)
-            .unwrap();
+        let msgs =
+            bag.read_topic_time("/imu", Time::new(110, 0), Time::new(120, 0), &mut ctx).unwrap();
         assert_eq!(msgs.len(), 100);
     }
 
@@ -243,8 +254,13 @@ mod tests {
 
         let mut rec =
             BoraRecorder::create(&fs, "/online", RecorderOptions::default(), &mut ctx).unwrap();
-        let mut w = BagWriter::create(&fs, "/b.bag", BagWriterOptions { chunk_size: 2048, ..Default::default() }, &mut ctx)
-            .unwrap();
+        let mut w = BagWriter::create(
+            &fs,
+            "/b.bag",
+            BagWriterOptions { chunk_size: 2048, ..Default::default() },
+            &mut ctx,
+        )
+        .unwrap();
         for i in 0..300 {
             let (t, imu) = imu_at(i);
             rec.record_ros_message("/imu", t, &imu, &mut ctx).unwrap();
@@ -274,7 +290,8 @@ mod tests {
     fn out_of_order_rejected() {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
-        let mut rec = BoraRecorder::create(&fs, "/c", RecorderOptions::default(), &mut ctx).unwrap();
+        let mut rec =
+            BoraRecorder::create(&fs, "/c", RecorderOptions::default(), &mut ctx).unwrap();
         let (_, imu) = imu_at(0);
         rec.record_ros_message("/imu", Time::new(200, 0), &imu, &mut ctx).unwrap();
         assert!(matches!(
@@ -287,7 +304,8 @@ mod tests {
     fn unsubscribed_topic_rejected() {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
-        let mut rec = BoraRecorder::create(&fs, "/c", RecorderOptions::default(), &mut ctx).unwrap();
+        let mut rec =
+            BoraRecorder::create(&fs, "/c", RecorderOptions::default(), &mut ctx).unwrap();
         assert!(matches!(
             rec.record("/ghost", Time::ZERO, b"x", &mut ctx),
             Err(BoraError::UnknownTopic(_))
@@ -298,7 +316,8 @@ mod tests {
     fn empty_subscription_still_materializes() {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
-        let mut rec = BoraRecorder::create(&fs, "/c", RecorderOptions::default(), &mut ctx).unwrap();
+        let mut rec =
+            BoraRecorder::create(&fs, "/c", RecorderOptions::default(), &mut ctx).unwrap();
         rec.subscribe("/quiet", &MessageDescriptor::of::<Imu>(), &mut ctx).unwrap();
         rec.close(&mut ctx).unwrap();
         let bag = BoraBag::open(&fs, "/c", &mut ctx).unwrap();

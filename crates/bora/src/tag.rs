@@ -23,7 +23,11 @@ pub struct TagManager {
 impl TagManager {
     /// Build the table from the container's directory listing — the
     /// entirety of BORA's open-time index work (Fig. 4b).
-    pub fn build<S: Storage>(storage: &S, container_root: &str, ctx: &mut IoCtx) -> BoraResult<Self> {
+    pub fn build<S: Storage>(
+        storage: &S,
+        container_root: &str,
+        ctx: &mut IoCtx,
+    ) -> BoraResult<Self> {
         let entries = storage.read_dir(container_root, ctx)?;
         let mut map = HashMap::with_capacity(entries.len());
         for e in entries {
@@ -37,23 +41,14 @@ impl TagManager {
         if map.is_empty() && !entries_has_meta(storage, container_root, ctx) {
             return Err(BoraError::NotAContainer(container_root.to_owned()));
         }
-        Ok(TagManager {
-            root: container_root.to_owned(),
-            map,
-        })
+        Ok(TagManager { root: container_root.to_owned(), map })
     }
 
     /// Build from an in-memory topic list (used by the organizer right
     /// after it created the container, avoiding a redundant listing).
     pub fn from_topics(container_root: &str, topics: &[String]) -> Self {
-        let map = topics
-            .iter()
-            .map(|t| (t.clone(), TopicPaths::new(container_root, t)))
-            .collect();
-        TagManager {
-            root: container_root.to_owned(),
-            map,
-        }
+        let map = topics.iter().map(|t| (t.clone(), TopicPaths::new(container_root, t))).collect();
+        TagManager { root: container_root.to_owned(), map }
     }
 
     pub fn root(&self) -> &str {
@@ -63,9 +58,7 @@ impl TagManager {
     /// Hash lookup of a topic's back-end paths (charged like a hash op).
     pub fn lookup(&self, topic: &str, ctx: &mut IoCtx) -> BoraResult<&TopicPaths> {
         ctx.charge_ns(cpu::HASH_OP_NS);
-        self.map
-            .get(topic)
-            .ok_or_else(|| BoraError::UnknownTopic(topic.to_owned()))
+        self.map.get(topic).ok_or_else(|| BoraError::UnknownTopic(topic.to_owned()))
     }
 
     pub fn topics(&self) -> Vec<&str> {
@@ -136,10 +129,7 @@ mod tests {
         make_container(&fs, "/c", &["/imu"]);
         let mut ctx = IoCtx::new();
         let tm = TagManager::build(&fs, "/c", &mut ctx).unwrap();
-        assert!(matches!(
-            tm.lookup("/gps", &mut ctx),
-            Err(BoraError::UnknownTopic(_))
-        ));
+        assert!(matches!(tm.lookup("/gps", &mut ctx), Err(BoraError::UnknownTopic(_))));
     }
 
     #[test]
@@ -170,10 +160,7 @@ mod tests {
         let built = TagManager::build(&fs, "/c", &mut ctx).unwrap();
         let direct = TagManager::from_topics("/c", &["/a".to_owned(), "/b".to_owned()]);
         assert_eq!(built.topics(), direct.topics());
-        assert_eq!(
-            built.lookup("/a", &mut ctx).unwrap(),
-            direct.lookup("/a", &mut ctx).unwrap()
-        );
+        assert_eq!(built.lookup("/a", &mut ctx).unwrap(), direct.lookup("/a", &mut ctx).unwrap());
     }
 
     #[test]

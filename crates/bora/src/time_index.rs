@@ -52,11 +52,7 @@ impl TimeIndex {
             let slot = e.time.as_nanos() / window_ns;
             match windows.last_mut() {
                 Some(w) if w.slot == slot => w.count += 1,
-                _ => windows.push(Window {
-                    slot,
-                    first_entry: i as u32,
-                    count: 1,
-                }),
+                _ => windows.push(Window { slot, first_entry: i as u32, count: 1 }),
             }
         }
         TimeIndex { window_ns, windows }
@@ -133,11 +129,7 @@ impl TimeIndex {
             let slot = cur.get_u64()?;
             let first_entry = cur.get_u32()?;
             let count = cur.get_u32()?;
-            windows.push(Window {
-                slot,
-                first_entry,
-                count,
-            });
+            windows.push(Window { slot, first_entry, count });
         }
         Ok(TimeIndex { window_ns, windows })
     }
@@ -178,9 +170,8 @@ mod tests {
         let ti = TimeIndex::build(&entries, DEFAULT_WINDOW_NS);
         let (lo, hi) = ti.slot_range(Time::from_sec_f64(31.0), Time::from_sec_f64(36.0));
         assert_eq!((lo, hi), (6, 8));
-        let (first, last) = ti
-            .candidate_entries(Time::from_sec_f64(31.0), Time::from_sec_f64(36.0))
-            .unwrap();
+        let (first, last) =
+            ti.candidate_entries(Time::from_sec_f64(31.0), Time::from_sec_f64(36.0)).unwrap();
         assert_eq!((first, last), (0, 4));
     }
 
@@ -189,9 +180,8 @@ mod tests {
         let entries = entries_at_seconds(&[0.0, 10.0, 20.0, 30.0, 40.0, 50.0]);
         let ti = TimeIndex::build(&entries, DEFAULT_WINDOW_NS);
         // Query [20, 21): only slot 4 (covering [20, 25)) intersects.
-        let (first, last) = ti
-            .candidate_entries(Time::from_sec_f64(20.0), Time::from_sec_f64(21.0))
-            .unwrap();
+        let (first, last) =
+            ti.candidate_entries(Time::from_sec_f64(20.0), Time::from_sec_f64(21.0)).unwrap();
         assert_eq!((first, last), (2, 3));
     }
 
@@ -199,12 +189,11 @@ mod tests {
     fn candidate_entries_no_match() {
         let entries = entries_at_seconds(&[0.0, 100.0]);
         let ti = TimeIndex::build(&entries, DEFAULT_WINDOW_NS);
-        assert!(ti
-            .candidate_entries(Time::from_sec_f64(40.0), Time::from_sec_f64(50.0))
-            .is_none());
-        assert!(ti
-            .candidate_entries(Time::from_sec_f64(10.0), Time::from_sec_f64(10.0))
-            .is_none(), "empty range");
+        assert!(ti.candidate_entries(Time::from_sec_f64(40.0), Time::from_sec_f64(50.0)).is_none());
+        assert!(
+            ti.candidate_entries(Time::from_sec_f64(10.0), Time::from_sec_f64(10.0)).is_none(),
+            "empty range"
+        );
     }
 
     #[test]

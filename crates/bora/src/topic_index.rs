@@ -35,11 +35,7 @@ impl TopicIndexEntry {
         let ns = cur.get_u64()?;
         let offset = cur.get_u64()?;
         let len = cur.get_u32()?;
-        Ok(TopicIndexEntry {
-            time: Time::from_nanos(ns),
-            offset,
-            len,
-        })
+        Ok(TopicIndexEntry { time: Time::from_nanos(ns), offset, len })
     }
 
     /// End offset of the payload (`offset + len`).
@@ -92,20 +88,12 @@ mod tests {
     use super::*;
 
     fn e(sec: u32, offset: u64, len: u32) -> TopicIndexEntry {
-        TopicIndexEntry {
-            time: Time::new(sec, 0),
-            offset,
-            len,
-        }
+        TopicIndexEntry { time: Time::new(sec, 0), offset, len }
     }
 
     #[test]
     fn entry_round_trip() {
-        let entry = TopicIndexEntry {
-            time: Time::new(123, 456),
-            offset: 789,
-            len: 1011,
-        };
+        let entry = TopicIndexEntry { time: Time::new(123, 456), offset: 789, len: 1011 };
         let mut buf = Vec::new();
         entry.encode(&mut buf);
         assert_eq!(buf.len(), ENTRY_SIZE);

@@ -19,9 +19,13 @@ fn workdir(tag: &str) -> PathBuf {
 fn write_demo_bag(dir: &PathBuf, n: u32) {
     let fs = LocalStorage::new(dir).unwrap();
     let mut ctx = IoCtx::new();
-    let mut w =
-        BagWriter::create(&fs, "/demo.bag", BagWriterOptions { chunk_size: 4096, ..Default::default() }, &mut ctx)
-            .unwrap();
+    let mut w = BagWriter::create(
+        &fs,
+        "/demo.bag",
+        BagWriterOptions { chunk_size: 4096, ..Default::default() },
+        &mut ctx,
+    )
+    .unwrap();
     for i in 0..n {
         let t = Time::new(100 + i, 0);
         let mut imu = Imu::default();
@@ -65,12 +69,7 @@ fn full_cli_lifecycle_on_disk() {
     // query all + windowed
     let out = tool().arg("query").arg(&container).arg("/imu").output().unwrap();
     assert!(String::from_utf8_lossy(&out.stdout).contains("80 messages"));
-    let out = tool()
-        .arg("query")
-        .arg(&container)
-        .args(["/imu", "110", "120"])
-        .output()
-        .unwrap();
+    let out = tool().arg("query").arg(&container).args(["/imu", "110", "120"]).output().unwrap();
     assert!(
         String::from_utf8_lossy(&out.stdout).contains("10 messages"),
         "{}",
@@ -124,12 +123,7 @@ fn verify_detects_tampering() {
 fn import_refuses_garbage() {
     let dir = workdir("garbage");
     std::fs::write(dir.join("junk.bag"), vec![0u8; 9000]).unwrap();
-    let out = tool()
-        .arg("import")
-        .arg(dir.join("junk.bag"))
-        .arg(dir.join("c"))
-        .output()
-        .unwrap();
+    let out = tool().arg("import").arg(dir.join("junk.bag")).arg(dir.join("c")).output().unwrap();
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -12,7 +12,7 @@ struct Node {
     keys: Vec<u64>,
     vals: Vec<u64>,
     /// Empty for leaves; `keys.len() + 1` children for internal nodes.
-    children: Vec<Box<Node>>,
+    children: Vec<Node>,
 }
 
 impl Node {
@@ -48,11 +48,7 @@ impl Default for BTree {
 
 impl BTree {
     pub fn new() -> Self {
-        BTree {
-            root: Box::new(Node::leaf()),
-            len: 0,
-            height: 1,
-        }
+        BTree { root: Box::new(Node::leaf()), len: 0, height: 1 }
     }
 
     pub fn len(&self) -> u64 {
@@ -74,7 +70,7 @@ impl BTree {
             let mut new_root = Box::new(Node::leaf());
             std::mem::swap(&mut self.root, &mut new_root);
             let old_root = new_root;
-            self.root.children.push(old_root);
+            self.root.children.push(*old_root);
             Self::split_child(&mut self.root, 0);
             self.height += 1;
         }
@@ -135,7 +131,7 @@ impl BTree {
     fn split_child(parent: &mut Node, idx: usize) {
         let child = &mut parent.children[idx];
         let mid = MAX_KEYS / 2;
-        let mut right = Box::new(Node::leaf());
+        let mut right = Node::leaf();
         right.keys = child.keys.split_off(mid + 1);
         right.vals = child.vals.split_off(mid + 1);
         if !child.is_leaf() {
@@ -288,8 +284,13 @@ mod tests {
         }
         let r = t.range(95, 305);
         let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
-        assert_eq!(keys, vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200,
-                              210, 220, 230, 240, 250, 260, 270, 280, 290, 300]);
+        assert_eq!(
+            keys,
+            vec![
+                100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240, 250,
+                260, 270, 280, 290, 300
+            ]
+        );
     }
 
     #[test]

@@ -53,9 +53,7 @@ impl RpcModel {
     /// paper's client issued one HTTP request per point without keep-alive
     /// — connection setup + headers dominate, hence milliseconds.
     pub fn loopback_http() -> Self {
-        RpcModel {
-            per_request_ns: 5_000_000,
-        }
+        RpcModel { per_request_ns: 5_000_000 }
     }
 
     #[inline]
@@ -85,7 +83,9 @@ mod tests {
 
     #[test]
     fn rpc_models_ordered() {
-        assert!(RpcModel::loopback_http().per_request_ns > RpcModel::loopback_binary().per_request_ns);
+        assert!(
+            RpcModel::loopback_http().per_request_ns > RpcModel::loopback_binary().per_request_ns
+        );
     }
 
     #[test]

@@ -52,11 +52,7 @@ pub fn digest(key: &[u8]) -> u64 {
 impl OpenHash {
     pub fn with_capacity(cap: usize) -> Self {
         let cap = cap.next_power_of_two().max(16);
-        OpenHash {
-            slots: vec![None; cap],
-            mask: cap - 1,
-            len: 0,
-        }
+        OpenHash { slots: vec![None; cap], mask: cap - 1, len: 0 }
     }
 
     pub fn len(&self) -> usize {

@@ -52,21 +52,14 @@ impl<S: Storage> KvStore<S> {
         let Some(loc) = self.index.get(digest(key)) else {
             return Ok(None);
         };
-        let rec = self
-            .storage
-            .read_at(&self.data_path, loc.offset, loc.len as usize, ctx)?;
+        let rec = self.storage.read_at(&self.data_path, loc.offset, loc.len as usize, ctx)?;
         let klen = u32::from_le_bytes(rec[0..4].try_into().unwrap()) as usize;
         Ok(Some(rec[12 + klen..].to_vec()))
     }
 
     fn key_for(msg: &TransformStamped) -> Vec<u8> {
-        format!(
-            "tf:{}:{}:{}",
-            msg.header.stamp.as_nanos(),
-            msg.header.frame_id,
-            msg.child_frame_id
-        )
-        .into_bytes()
+        format!("tf:{}:{}:{}", msg.header.stamp.as_nanos(), msg.header.frame_id, msg.child_frame_id)
+            .into_bytes()
     }
 }
 
@@ -84,13 +77,7 @@ impl<S: Storage> InsertEngine for KvStore<S> {
 
         // Server: append the record, maintain the primary index.
         let offset = self.storage.append(&self.data_path, &record, ctx)?;
-        self.index.insert(
-            digest(&key),
-            Location {
-                offset,
-                len: record.len() as u32,
-            },
-        );
+        self.index.insert(digest(&key), Location { offset, len: record.len() as u32 });
         ctx.charge_ns(simfs::device::cpu::HASH_OP_NS);
         self.count += 1;
         if self.count.is_multiple_of(self.sync_every) {

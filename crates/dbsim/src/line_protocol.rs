@@ -100,10 +100,7 @@ pub fn decode(line: &str) -> DbResult<Point> {
     let parts = split_unescaped(line.trim(), ' ');
     let parts: Vec<&String> = parts.iter().filter(|p| !p.is_empty()).collect();
     if parts.len() != 3 {
-        return Err(DbError::Parse(format!(
-            "line must have 3 sections, found {}",
-            parts.len()
-        )));
+        return Err(DbError::Parse(format!("line must have 3 sections, found {}", parts.len())));
     }
     let head = split_unescaped(parts[0], ',');
     let measurement = unescape(&head[0]);
@@ -124,23 +121,16 @@ pub fn decode(line: &str) -> DbResult<Point> {
         if kvp.len() != 2 {
             return Err(DbError::Parse(format!("bad field '{kv}'")));
         }
-        let v: f64 = kvp[1]
-            .parse()
-            .map_err(|_| DbError::Parse(format!("bad field value '{}'", kvp[1])))?;
+        let v: f64 =
+            kvp[1].parse().map_err(|_| DbError::Parse(format!("bad field value '{}'", kvp[1])))?;
         fields.insert(unescape(&kvp[0]), v);
     }
     if fields.is_empty() {
         return Err(DbError::Parse("point has no fields".into()));
     }
-    let timestamp_ns: u64 = parts[2]
-        .parse()
-        .map_err(|_| DbError::Parse(format!("bad timestamp '{}'", parts[2])))?;
-    Ok(Point {
-        measurement,
-        tags,
-        fields,
-        timestamp_ns,
-    })
+    let timestamp_ns: u64 =
+        parts[2].parse().map_err(|_| DbError::Parse(format!("bad timestamp '{}'", parts[2])))?;
+    Ok(Point { measurement, tags, fields, timestamp_ns })
 }
 
 /// Flatten a TF message into a point (dropping everything line protocol
@@ -157,12 +147,7 @@ pub fn tf_to_point(msg: &TransformStamped) -> Point {
     fields.insert("qy".to_owned(), msg.transform.rotation.y);
     fields.insert("qz".to_owned(), msg.transform.rotation.z);
     fields.insert("qw".to_owned(), msg.transform.rotation.w);
-    Point {
-        measurement: "tf".to_owned(),
-        tags,
-        fields,
-        timestamp_ns: msg.header.stamp.as_nanos(),
-    }
+    Point { measurement: "tf".to_owned(), tags, fields, timestamp_ns: msg.header.stamp.as_nanos() }
 }
 
 #[cfg(test)]
@@ -189,12 +174,7 @@ mod tests {
         tags.insert("robot name".to_owned(), "r2,d2=best".to_owned());
         let mut fields = BTreeMap::new();
         fields.insert("v".to_owned(), 1.0);
-        let p = Point {
-            measurement: "weird m".to_owned(),
-            tags,
-            fields,
-            timestamp_ns: 7,
-        };
+        let p = Point { measurement: "weird m".to_owned(), tags, fields, timestamp_ns: 7 };
         assert_eq!(decode(&encode(&p)).unwrap(), p);
     }
 

@@ -87,7 +87,12 @@ pub fn tokenize(sql: &str) -> DbResult<Vec<Token>> {
                 let start = i;
                 let mut end = i;
                 while let Some(&(j, ch)) = chars.peek() {
-                    if ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == 'e' || ch == 'E' || ch == '+'
+                    if ch.is_ascii_digit()
+                        || ch == '.'
+                        || ch == '-'
+                        || ch == 'e'
+                        || ch == 'E'
+                        || ch == '+'
                     {
                         end = j + ch.len_utf8();
                         chars.next();
@@ -186,11 +191,7 @@ pub fn parse_insert(tokens: &[Token]) -> DbResult<InsertStmt> {
             values.len()
         )));
     }
-    Ok(InsertStmt {
-        table,
-        columns,
-        values,
-    })
+    Ok(InsertStmt { table, columns, values })
 }
 
 /// Parse the SELECT subset: `SELECT a, b FROM t` or
@@ -248,11 +249,7 @@ pub fn parse_select(tokens: &[Token]) -> DbResult<SelectStmt> {
             ts_between = Some((lo, hi));
         }
     }
-    Ok(SelectStmt {
-        table,
-        columns,
-        ts_between,
-    })
+    Ok(SelectStmt { table, columns, ts_between })
 }
 
 /// Render the INSERT for a TF message — the client-side text encoding the
@@ -278,9 +275,8 @@ pub fn render_tf_insert(msg: &TransformStamped) -> String {
 // Engine
 // ---------------------------------------------------------------------------
 
-const TF_COLUMNS: [&str; 10] = [
-    "ts", "frame_id", "child_frame_id", "tx", "ty", "tz", "qx", "qy", "qz", "qw",
-];
+const TF_COLUMNS: [&str; 10] =
+    ["ts", "frame_id", "child_frame_id", "tx", "ty", "tz", "qx", "qy", "qz", "qw"];
 
 /// The relational engine.
 pub struct SqlStore<S> {
@@ -362,11 +358,7 @@ impl<S: Storage + Clone> SqlStore<S> {
     /// Range scan over the primary index (timestamps → heap tuples),
     /// proving the index is real.
     pub fn scan_ts_range(&self, lo_ns: u64, hi_ns: u64) -> Vec<u64> {
-        self.primary
-            .range(lo_ns << 16, hi_ns << 16)
-            .into_iter()
-            .map(|(_, off)| off)
-            .collect()
+        self.primary.range(lo_ns << 16, hi_ns << 16).into_iter().map(|(_, off)| off).collect()
     }
 
     /// Execute a SELECT: plans onto the primary index when the predicate
@@ -431,7 +423,8 @@ impl<S: Storage + Clone> SqlStore<S> {
                     pos += 4;
                     let raw = self.storage.read_at(&self.heap_path, pos, len, ctx)?;
                     values.push(SqlValue::Str(
-                        String::from_utf8(raw).map_err(|_| DbError::Parse("bad utf8 in heap".into()))?,
+                        String::from_utf8(raw)
+                            .map_err(|_| DbError::Parse("bad utf8 in heap".into()))?,
                     ));
                     pos += len as u64;
                 }

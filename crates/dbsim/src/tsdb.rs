@@ -19,11 +19,14 @@ use crate::wal::Wal;
 /// (InfluxDB's shard groups).
 const SHARD_NS: u64 = 3600 * 1_000_000_000;
 
+/// One stored point: timestamp plus encoded field values.
+type StoredPoint = (u64, Vec<(String, f64)>);
+
 /// One series' storage: time-sorted points per shard.
 #[derive(Default)]
 struct Series {
-    /// shard id → (timestamp, encoded fields) sorted by timestamp.
-    shards: BTreeMap<u64, Vec<(u64, Vec<(String, f64)>)>>,
+    /// shard id → points sorted by timestamp.
+    shards: BTreeMap<u64, Vec<StoredPoint>>,
 }
 
 /// The time-series engine.
@@ -66,10 +69,7 @@ impl<S: Storage + Clone> TsdbStore<S> {
         if !self.series.contains_key(&key) {
             // New series: update the inverted tag index.
             for (k, v) in &point.tags {
-                self.tag_index
-                    .entry(format!("{k}={v}"))
-                    .or_default()
-                    .push(key.clone());
+                self.tag_index.entry(format!("{k}={v}")).or_default().push(key.clone());
                 ctx.charge_ns(simfs::device::cpu::HASH_OP_NS);
             }
         }
@@ -100,10 +100,7 @@ impl<S: Storage + Clone> TsdbStore<S> {
 
     /// Series keys carrying a given `tag=value`.
     pub fn series_with_tag(&self, tag: &str, value: &str) -> Vec<String> {
-        self.tag_index
-            .get(&format!("{tag}={value}"))
-            .cloned()
-            .unwrap_or_default()
+        self.tag_index.get(&format!("{tag}={value}")).cloned().unwrap_or_default()
     }
 
     pub fn series_count(&self) -> usize {

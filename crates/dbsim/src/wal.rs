@@ -31,12 +31,7 @@ pub struct Wal<S> {
 impl<S: Storage> Wal<S> {
     pub fn create(storage: S, path: &str, sync_every: u64, ctx: &mut IoCtx) -> DbResult<Self> {
         storage.create(path, ctx)?;
-        Ok(Wal {
-            storage,
-            path: path.to_owned(),
-            sync_every: sync_every.max(1),
-            appended: 0,
-        })
+        Ok(Wal { storage, path: path.to_owned(), sync_every: sync_every.max(1), appended: 0 })
     }
 
     /// Append one record; fsync according to policy.

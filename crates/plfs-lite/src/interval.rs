@@ -99,20 +99,14 @@ impl IntervalMap {
             let e = self.extents[i];
             let lo = e.logical.max(offset);
             let hi = e.logical_end().min(end);
-            out.push(Extent {
-                logical: lo,
-                len: hi - lo,
-                phys: e.phys + (lo - e.logical),
-            });
+            out.push(Extent { logical: lo, len: hi - lo, phys: e.phys + (lo - e.logical) });
             i += 1;
         }
         out
     }
 
     fn check_invariants(&self) -> bool {
-        self.extents
-            .windows(2)
-            .all(|w| w[0].logical_end() <= w[1].logical)
+        self.extents.windows(2).all(|w| w[0].logical_end() <= w[1].logical)
             && self.extents.iter().all(|e| e.len > 0)
     }
 }

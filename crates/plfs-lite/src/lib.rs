@@ -65,11 +65,7 @@ struct FileState {
 
 impl FileState {
     fn empty() -> Self {
-        FileState {
-            map: IntervalMap::new(),
-            data_len: 0,
-            seq: 0,
-        }
+        FileState { map: IntervalMap::new(), data_len: 0, seq: 0 }
     }
 }
 
@@ -81,10 +77,7 @@ pub struct PlfsStorage<S> {
 
 impl<S: Storage> PlfsStorage<S> {
     pub fn new(inner: S) -> Self {
-        PlfsStorage {
-            inner,
-            state: Mutex::new(HashMap::new()),
-        }
+        PlfsStorage { inner, state: Mutex::new(HashMap::new()) }
     }
 
     pub fn inner(&self) -> &S {
@@ -114,11 +107,7 @@ impl<S: Storage> PlfsStorage<S> {
                 let logical = u64::from_le_bytes(chunk[0..8].try_into().unwrap());
                 let len = u32::from_le_bytes(chunk[8..12].try_into().unwrap());
                 let phys = u64::from_le_bytes(chunk[12..20].try_into().unwrap());
-                st.map.insert(Extent {
-                    logical,
-                    len: len as u64,
-                    phys,
-                });
+                st.map.insert(Extent { logical, len: len as u64, phys });
                 st.seq += 1;
                 st.data_len = st.data_len.max(phys + len as u64);
             }
@@ -129,13 +118,7 @@ impl<S: Storage> PlfsStorage<S> {
 
     /// Record one write: append payload to the data log, append an index
     /// entry, update the in-memory map.
-    fn record_write(
-        &self,
-        path: &str,
-        logical: u64,
-        data: &[u8],
-        ctx: &mut IoCtx,
-    ) -> FsResult<()> {
+    fn record_write(&self, path: &str, logical: u64, data: &[u8], ctx: &mut IoCtx) -> FsResult<()> {
         let phys = self.inner.append(&data_log(path, 0), data, ctx)?;
         let mut entry = Vec::with_capacity(INDEX_ENTRY_SIZE);
         entry.extend_from_slice(&logical.to_le_bytes());
@@ -146,11 +129,7 @@ impl<S: Storage> PlfsStorage<S> {
 
         let mut guard = self.state.lock();
         let st = guard.entry(path.to_owned()).or_insert_with(FileState::empty);
-        st.map.insert(Extent {
-            logical,
-            len: data.len() as u64,
-            phys,
-        });
+        st.map.insert(Extent { logical, len: data.len() as u64, phys });
         st.seq += 1;
         st.data_len = st.data_len.max(phys + data.len() as u64);
         Ok(())
@@ -234,10 +213,7 @@ impl<S: Storage> Storage for PlfsStorage<S> {
 
     fn stat(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Metadata> {
         if self.inner.exists(&container_dir(path), ctx) {
-            Ok(Metadata {
-                kind: EntryKind::File,
-                len: self.len(path, ctx)?,
-            })
+            Ok(Metadata { kind: EntryKind::File, len: self.len(path, ctx)? })
         } else {
             self.inner.stat(path, ctx)
         }
@@ -251,10 +227,7 @@ impl<S: Storage> Storage for PlfsStorage<S> {
         let mut out = Vec::new();
         for e in self.inner.read_dir(path, ctx)? {
             if let Some(stem) = e.name.strip_suffix(CONTAINER_SUFFIX) {
-                out.push(DirEntry {
-                    name: stem.to_owned(),
-                    kind: EntryKind::File,
-                });
+                out.push(DirEntry { name: stem.to_owned(), kind: EntryKind::File });
             } else {
                 out.push(e);
             }
@@ -355,9 +328,13 @@ mod tests {
 
         let fs = PlfsStorage::new(MemStorage::new());
         let mut ctx = IoCtx::new();
-        let mut w =
-            BagWriter::create(&fs, "/b.bag", BagWriterOptions { chunk_size: 2048, ..Default::default() }, &mut ctx)
-                .unwrap();
+        let mut w = BagWriter::create(
+            &fs,
+            "/b.bag",
+            BagWriterOptions { chunk_size: 2048, ..Default::default() },
+            &mut ctx,
+        )
+        .unwrap();
         for i in 0..50u32 {
             let mut imu = Imu::default();
             imu.header.seq = i;
@@ -375,10 +352,7 @@ mod tests {
     fn missing_file_errors() {
         let fs = PlfsStorage::new(MemStorage::new());
         let mut ctx = IoCtx::new();
-        assert!(matches!(
-            fs.read_at("/ghost", 0, 1, &mut ctx),
-            Err(FsError::NotFound(_))
-        ));
+        assert!(matches!(fs.read_at("/ghost", 0, 1, &mut ctx), Err(FsError::NotFound(_))));
     }
 
     #[test]
@@ -386,10 +360,7 @@ mod tests {
         let fs = PlfsStorage::new(MemStorage::new());
         let mut ctx = IoCtx::new();
         fs.append("/f", b"abc", &mut ctx).unwrap();
-        assert!(matches!(
-            fs.read_at("/f", 1, 5, &mut ctx),
-            Err(FsError::OutOfBounds { .. })
-        ));
+        assert!(matches!(fs.read_at("/f", 1, 5, &mut ctx), Err(FsError::OutOfBounds { .. })));
     }
 
     #[test]

@@ -33,11 +33,7 @@ float64 z
     }
 
     fn deserialize(cur: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(Vector3 {
-            x: cur.get_f64()?,
-            y: cur.get_f64()?,
-            z: cur.get_f64()?,
-        })
+        Ok(Vector3 { x: cur.get_f64()?, y: cur.get_f64()?, z: cur.get_f64()? })
     }
 
     fn wire_len(&self) -> usize {
@@ -68,11 +64,7 @@ float64 z
     }
 
     fn deserialize(cur: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(Point {
-            x: cur.get_f64()?,
-            y: cur.get_f64()?,
-            z: cur.get_f64()?,
-        })
+        Ok(Point { x: cur.get_f64()?, y: cur.get_f64()?, z: cur.get_f64()? })
     }
 
     fn wire_len(&self) -> usize {
@@ -146,10 +138,7 @@ geometry_msgs/Quaternion orientation
     }
 
     fn deserialize(cur: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(Pose {
-            position: Point::deserialize(cur)?,
-            orientation: Quaternion::deserialize(cur)?,
-        })
+        Ok(Pose { position: Point::deserialize(cur)?, orientation: Quaternion::deserialize(cur)? })
     }
 
     fn wire_len(&self) -> usize {
@@ -257,10 +246,8 @@ mod tests {
 
     #[test]
     fn pose_round_trip() {
-        let p = Pose {
-            position: Point { x: 1.0, y: 2.0, z: 3.0 },
-            orientation: Quaternion::default(),
-        };
+        let p =
+            Pose { position: Point { x: 1.0, y: 2.0, z: 3.0 }, orientation: Quaternion::default() };
         assert_eq!(Pose::from_bytes(&p.to_bytes()).unwrap(), p);
     }
 }

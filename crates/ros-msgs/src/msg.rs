@@ -84,7 +84,10 @@ pub enum AnyMessage {
     TfMessage(crate::tf2_msgs::TfMessage),
     MarkerArray(crate::visualization_msgs::MarkerArray),
     /// A message of a type this crate has no struct for.
-    Opaque { datatype: String, bytes: Vec<u8> },
+    Opaque {
+        datatype: String,
+        bytes: Vec<u8>,
+    },
 }
 
 impl AnyMessage {
@@ -92,7 +95,9 @@ impl AnyMessage {
     pub fn decode(datatype: &str, bytes: &[u8]) -> Result<Self, WireError> {
         use crate::{sensor_msgs, tf2_msgs, visualization_msgs};
         Ok(match datatype {
-            sensor_msgs::Image::DATATYPE => AnyMessage::Image(sensor_msgs::Image::from_bytes(bytes)?),
+            sensor_msgs::Image::DATATYPE => {
+                AnyMessage::Image(sensor_msgs::Image::from_bytes(bytes)?)
+            }
             sensor_msgs::CameraInfo::DATATYPE => {
                 AnyMessage::CameraInfo(sensor_msgs::CameraInfo::from_bytes(bytes)?)
             }
@@ -103,10 +108,7 @@ impl AnyMessage {
             visualization_msgs::MarkerArray::DATATYPE => {
                 AnyMessage::MarkerArray(visualization_msgs::MarkerArray::from_bytes(bytes)?)
             }
-            other => AnyMessage::Opaque {
-                datatype: other.to_owned(),
-                bytes: bytes.to_vec(),
-            },
+            other => AnyMessage::Opaque { datatype: other.to_owned(), bytes: bytes.to_vec() },
         })
     }
 

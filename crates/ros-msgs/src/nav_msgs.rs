@@ -26,10 +26,7 @@ geometry_msgs/Vector3 angular
     }
 
     fn deserialize(cur: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(Twist {
-            linear: Vector3::deserialize(cur)?,
-            angular: Vector3::deserialize(cur)?,
-        })
+        Ok(Twist { linear: Vector3::deserialize(cur)?, angular: Vector3::deserialize(cur)? })
     }
 
     fn wire_len(&self) -> usize {
@@ -139,10 +136,8 @@ mod tests {
 
     #[test]
     fn twist_round_trip() {
-        let t = Twist {
-            linear: Vector3::new(1.0, 2.0, 3.0),
-            angular: Vector3::new(-0.1, 0.0, 0.1),
-        };
+        let t =
+            Twist { linear: Vector3::new(1.0, 2.0, 3.0), angular: Vector3::new(-0.1, 0.0, 0.1) };
         assert_eq!(Twist::from_bytes(&t.to_bytes()).unwrap(), t);
     }
 

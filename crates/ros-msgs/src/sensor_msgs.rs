@@ -309,11 +309,7 @@ mod tests {
 
     fn sample_image() -> Image {
         Image {
-            header: Header {
-                seq: 1,
-                stamp: Time::new(100, 0),
-                frame_id: "camera_rgb".into(),
-            },
+            header: Header { seq: 1, stamp: Time::new(100, 0), frame_id: "camera_rgb".into() },
             height: 4,
             width: 8,
             encoding: "rgb8".into(),
@@ -341,11 +337,13 @@ mod tests {
 
     #[test]
     fn camera_info_round_trip() {
-        let mut ci = CameraInfo::default();
-        ci.height = 480;
-        ci.width = 640;
-        ci.distortion_model = "plumb_bob".into();
-        ci.d = vec![0.1, -0.2, 0.0, 0.0, 0.05];
+        let mut ci = CameraInfo {
+            height: 480,
+            width: 640,
+            distortion_model: "plumb_bob".into(),
+            d: vec![0.1, -0.2, 0.0, 0.0, 0.05],
+            ..Default::default()
+        };
         ci.k[0] = 525.0;
         ci.k[4] = 525.0;
         ci.k[8] = 1.0;
@@ -642,12 +640,14 @@ mod extended_tests {
 
     #[test]
     fn nav_sat_fix_round_trip() {
-        let mut fix = NavSatFix::default();
-        fix.status = NavSatStatus::SbasFix;
-        fix.service = 1;
-        fix.latitude = 31.1791;
-        fix.longitude = 121.5907;
-        fix.altitude = 12.2;
+        let mut fix = NavSatFix {
+            status: NavSatStatus::SbasFix,
+            service: 1,
+            latitude: 31.1791,
+            longitude: 121.5907,
+            altitude: 12.2,
+            ..Default::default()
+        };
         fix.position_covariance[0] = 2.5;
         fix.position_covariance_type = 2;
         let bytes = fix.to_bytes();
@@ -666,9 +666,11 @@ mod extended_tests {
 
     #[test]
     fn compressed_image_round_trip() {
-        let mut img = CompressedImage::default();
-        img.format = "jpeg".into();
-        img.data = vec![0xFF, 0xD8, 0xFF, 0xE0, 1, 2, 3];
+        let img = CompressedImage {
+            format: "jpeg".into(),
+            data: vec![0xFF, 0xD8, 0xFF, 0xE0, 1, 2, 3],
+            ..Default::default()
+        };
         assert_eq!(CompressedImage::from_bytes(&img.to_bytes()).unwrap(), img);
     }
 }

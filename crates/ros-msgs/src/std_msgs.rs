@@ -28,11 +28,7 @@ string frame_id
     }
 
     fn deserialize(cur: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(Header {
-            seq: cur.get_u32()?,
-            stamp: cur.get_time()?,
-            frame_id: cur.get_string()?,
-        })
+        Ok(Header { seq: cur.get_u32()?, stamp: cur.get_time()?, frame_id: cur.get_string()? })
     }
 
     fn wire_len(&self) -> usize {
@@ -66,12 +62,7 @@ float32 a
     }
 
     fn deserialize(cur: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(ColorRgba {
-            r: cur.get_f32()?,
-            g: cur.get_f32()?,
-            b: cur.get_f32()?,
-            a: cur.get_f32()?,
-        })
+        Ok(ColorRgba { r: cur.get_f32()?, g: cur.get_f32()?, b: cur.get_f32()?, a: cur.get_f32()? })
     }
 
     fn wire_len(&self) -> usize {
@@ -85,11 +76,7 @@ mod tests {
 
     #[test]
     fn header_round_trip() {
-        let h = Header {
-            seq: 42,
-            stamp: Time::new(100, 5),
-            frame_id: "base_link".into(),
-        };
+        let h = Header { seq: 42, stamp: Time::new(100, 5), frame_id: "base_link".into() };
         let bytes = h.to_bytes();
         assert_eq!(bytes.len(), h.wire_len());
         assert_eq!(Header::from_bytes(&bytes).unwrap(), h);

@@ -26,9 +26,7 @@ geometry_msgs/TransformStamped[] transforms
     }
 
     fn deserialize(cur: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(TfMessage {
-            transforms: read_seq(cur, TransformStamped::deserialize)?,
-        })
+        Ok(TfMessage { transforms: read_seq(cur, TransformStamped::deserialize)? })
     }
 
     fn wire_len(&self) -> usize {

@@ -23,18 +23,12 @@ pub struct Time {
 
 impl Time {
     pub const ZERO: Time = Time { sec: 0, nsec: 0 };
-    pub const MAX: Time = Time {
-        sec: u32::MAX,
-        nsec: (NSEC_PER_SEC - 1) as u32,
-    };
+    pub const MAX: Time = Time { sec: u32::MAX, nsec: (NSEC_PER_SEC - 1) as u32 };
 
     /// Construct from components, normalizing `nsec >= 1e9` overflow.
     pub fn new(sec: u32, nsec: u32) -> Self {
         let extra = nsec as u64 / NSEC_PER_SEC;
-        Time {
-            sec: sec + extra as u32,
-            nsec: (nsec as u64 % NSEC_PER_SEC) as u32,
-        }
+        Time { sec: sec + extra as u32, nsec: (nsec as u64 % NSEC_PER_SEC) as u32 }
     }
 
     /// Total nanoseconds since the epoch.
@@ -46,10 +40,7 @@ impl Time {
     /// Construct from total nanoseconds since the epoch.
     #[inline]
     pub fn from_nanos(ns: u64) -> Self {
-        Time {
-            sec: (ns / NSEC_PER_SEC) as u32,
-            nsec: (ns % NSEC_PER_SEC) as u32,
-        }
+        Time { sec: (ns / NSEC_PER_SEC) as u32, nsec: (ns % NSEC_PER_SEC) as u32 }
     }
 
     /// Construct from floating-point seconds (convenient in workloads).
@@ -98,10 +89,7 @@ impl RosDuration {
     pub const ZERO: RosDuration = RosDuration { sec: 0, nsec: 0 };
 
     pub fn from_nanos(ns: u64) -> Self {
-        RosDuration {
-            sec: (ns / NSEC_PER_SEC) as u32,
-            nsec: (ns % NSEC_PER_SEC) as u32,
-        }
+        RosDuration { sec: (ns / NSEC_PER_SEC) as u32, nsec: (ns % NSEC_PER_SEC) as u32 }
     }
 
     pub fn from_sec_f64(s: f64) -> Self {

@@ -43,7 +43,6 @@ impl MarkerType {
     }
 }
 
-
 /// Marker action constants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[repr(i32)]
@@ -177,9 +176,7 @@ visualization_msgs/Marker[] markers
     }
 
     fn deserialize(cur: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(MarkerArray {
-            markers: read_seq(cur, Marker::deserialize)?,
-        })
+        Ok(MarkerArray { markers: read_seq(cur, Marker::deserialize)? })
     }
 
     fn wire_len(&self) -> usize {
@@ -216,9 +213,7 @@ mod tests {
 
     #[test]
     fn marker_array_round_trip() {
-        let arr = MarkerArray {
-            markers: vec![sample_marker(), Marker::default()],
-        };
+        let arr = MarkerArray { markers: vec![sample_marker(), Marker::default()] };
         let bytes = arr.to_bytes();
         assert_eq!(bytes.len(), arr.wire_len());
         assert_eq!(MarkerArray::from_bytes(&bytes).unwrap(), arr);

@@ -183,9 +183,7 @@ pub trait WireRead<'a> {
     fn get_string(&mut self) -> Result<String, WireError> {
         let len = self.get_u32()? as usize;
         let bytes = self.take(len)?;
-        std::str::from_utf8(bytes)
-            .map(str::to_owned)
-            .map_err(|_| WireError::BadUtf8)
+        std::str::from_utf8(bytes).map(str::to_owned).map_err(|_| WireError::BadUtf8)
     }
 
     #[inline]
@@ -213,10 +211,7 @@ impl<'a> WireRead<'a> for &'a [u8] {
     #[inline]
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.len() < n {
-            return Err(WireError::Truncated {
-                needed: n,
-                available: self.len(),
-            });
+            return Err(WireError::Truncated { needed: n, available: self.len() });
         }
         let (head, tail) = self.split_at(n);
         *self = tail;
@@ -274,10 +269,7 @@ mod tests {
     #[test]
     fn truncated_scalar_errors() {
         let mut cur: &[u8] = &[1, 2];
-        assert!(matches!(
-            cur.get_u32(),
-            Err(WireError::Truncated { needed: 4, available: 2 })
-        ));
+        assert!(matches!(cur.get_u32(), Err(WireError::Truncated { needed: 4, available: 2 })));
     }
 
     #[test]

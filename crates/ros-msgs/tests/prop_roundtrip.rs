@@ -27,21 +27,22 @@ fn arb_vector3() -> impl Strategy<Value = Vector3> {
 }
 
 fn arb_quat() -> impl Strategy<Value = Quaternion> {
-    (any::<f64>(), any::<f64>(), any::<f64>(), any::<f64>())
-        .prop_map(|(x, y, z, w)| Quaternion { x, y, z, w })
+    (any::<f64>(), any::<f64>(), any::<f64>(), any::<f64>()).prop_map(|(x, y, z, w)| Quaternion {
+        x,
+        y,
+        z,
+        w,
+    })
 }
 
 fn arb_transform_stamped() -> impl Strategy<Value = TransformStamped> {
-    (arb_header(), "[a-z_]{0,16}", arb_vector3(), arb_quat()).prop_map(
-        |(header, child, t, r)| TransformStamped {
+    (arb_header(), "[a-z_]{0,16}", arb_vector3(), arb_quat()).prop_map(|(header, child, t, r)| {
+        TransformStamped {
             header,
             child_frame_id: child,
-            transform: Transform {
-                translation: t,
-                rotation: r,
-            },
-        },
-    )
+            transform: Transform { translation: t, rotation: r },
+        }
+    })
 }
 
 fn arb_marker() -> impl Strategy<Value = Marker> {
@@ -61,21 +62,15 @@ fn arb_marker() -> impl Strategy<Value = Marker> {
             0..8,
         ),
     )
-        .prop_map(|(header, ns, id, marker_type, scale, points)| {
-            let mut m = Marker::default();
-            m.header = header;
-            m.ns = ns;
-            m.id = id;
-            m.marker_type = marker_type;
-            m.scale = scale;
-            m.points = points;
-            m.color = ColorRgba {
-                r: 0.5,
-                g: 0.5,
-                b: 0.5,
-                a: 1.0,
-            };
-            m
+        .prop_map(|(header, ns, id, marker_type, scale, points)| Marker {
+            header,
+            ns,
+            id,
+            marker_type,
+            scale,
+            points,
+            color: ColorRgba { r: 0.5, g: 0.5, b: 0.5, a: 1.0 },
+            ..Default::default()
         })
 }
 
@@ -151,9 +146,7 @@ proptest! {
         d in prop::collection::vec(any::<f64>(), 0..8),
         k0 in any::<f64>(),
     ) {
-        let mut ci = CameraInfo::default();
-        ci.header = header;
-        ci.d = d;
+        let mut ci = CameraInfo { header, d, ..Default::default() };
         ci.k[0] = k0;
         ci.roi = RegionOfInterest { x_offset: 1, y_offset: 2, height: 3, width: 4, do_rectify: true };
         assert_roundtrip(&ci);
@@ -161,10 +154,8 @@ proptest! {
 
     #[test]
     fn imu_roundtrip(header in arb_header(), av in arb_vector3(), la in arb_vector3()) {
-        let mut imu = Imu::default();
-        imu.header = header;
-        imu.angular_velocity = av;
-        imu.linear_acceleration = la;
+        let imu =
+            Imu { header, angular_velocity: av, linear_acceleration: la, ..Default::default() };
         assert_roundtrip(&imu);
     }
 

@@ -54,16 +54,8 @@ pub struct BagIndex {
 
 impl BagIndex {
     pub fn new(connections: Vec<ConnectionInfo>, chunk_infos: Vec<ChunkInfoRecord>) -> Self {
-        let topic_to_conn = connections
-            .iter()
-            .map(|c| (c.topic.clone(), c.conn_id))
-            .collect();
-        BagIndex {
-            connections,
-            chunk_infos,
-            entries: HashMap::new(),
-            topic_to_conn,
-        }
+        let topic_to_conn = connections.iter().map(|c| (c.topic.clone(), c.conn_id)).collect();
+        BagIndex { connections, chunk_infos, entries: HashMap::new(), topic_to_conn }
     }
 
     pub fn conn_for_topic(&self, topic: &str) -> BagResult<u32> {
@@ -126,12 +118,7 @@ mod tests {
     use super::*;
 
     fn entry(sec: u32, conn: u32) -> IndexEntry {
-        IndexEntry {
-            time: Time::new(sec, 0),
-            conn_id: conn,
-            chunk_pos: 0,
-            offset_in_chunk: 0,
-        }
+        IndexEntry { time: Time::new(sec, 0), conn_id: conn, chunk_pos: 0, offset_in_chunk: 0 }
     }
 
     fn sample_index() -> BagIndex {
@@ -161,10 +148,7 @@ mod tests {
     fn topic_lookup() {
         let idx = sample_index();
         assert_eq!(idx.conn_for_topic("/imu").unwrap(), 0);
-        assert!(matches!(
-            idx.conn_for_topic("/nope"),
-            Err(BagError::UnknownTopic(_))
-        ));
+        assert!(matches!(idx.conn_for_topic("/nope"), Err(BagError::UnknownTopic(_))));
     }
 
     #[test]

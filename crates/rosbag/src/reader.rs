@@ -100,11 +100,17 @@ impl<S: Storage> BagReader<S> {
         }
 
         // 2. Index section: connection records then chunk infos.
-        let index_section =
-            storage.read_at(path, bag_header.index_pos, (file_len - bag_header.index_pos) as usize, ctx)?;
+        let index_section = storage.read_at(
+            path,
+            bag_header.index_pos,
+            (file_len - bag_header.index_pos) as usize,
+            ctx,
+        )?;
         let mut cur: &[u8] = &index_section;
-        let mut connections: Vec<ConnectionInfo> = Vec::with_capacity(bag_header.conn_count as usize);
-        let mut chunk_infos: Vec<ChunkInfoRecord> = Vec::with_capacity(bag_header.chunk_count as usize);
+        let mut connections: Vec<ConnectionInfo> =
+            Vec::with_capacity(bag_header.conn_count as usize);
+        let mut chunk_infos: Vec<ChunkInfoRecord> =
+            Vec::with_capacity(bag_header.chunk_count as usize);
         while cur.remaining() > 0 {
             let (h, data) = read_record(&mut cur)?;
             ctx.charge_ns(cpu::RECORD_HEADER_NS);
@@ -140,10 +146,8 @@ impl<S: Storage> BagReader<S> {
         let mut chunks = std::collections::HashMap::new();
         let chunk_infos = index.chunk_infos.clone();
         for (i, ci) in chunk_infos.iter().enumerate() {
-            let next_pos = chunk_infos
-                .get(i + 1)
-                .map(|n| n.chunk_pos)
-                .unwrap_or(bag_header.index_pos);
+            let next_pos =
+                chunk_infos.get(i + 1).map(|n| n.chunk_pos).unwrap_or(bag_header.index_pos);
             // Parse the chunk record header (for its compression and
             // uncompressed size) and find where its index records begin.
             let prefix = storage.read_at(path, ci.chunk_pos, 4, ctx)?;
@@ -167,7 +171,8 @@ impl<S: Storage> BagReader<S> {
             if idx_start > next_pos {
                 return Err(BagError::Format("chunk overruns next chunk position".into()));
             }
-            let idx_region = storage.read_at(path, idx_start, (next_pos - idx_start) as usize, ctx)?;
+            let idx_region =
+                storage.read_at(path, idx_start, (next_pos - idx_start) as usize, ctx)?;
             let mut icur: &[u8] = &idx_region;
             while icur.remaining() > 0 {
                 let (h, data) = read_record(&mut icur)?;
@@ -230,7 +235,12 @@ impl<S: Storage> BagReader<S> {
     }
 
     /// Load (and cache) a compressed chunk's uncompressed data.
-    fn load_chunk(&self, pos: u64, meta: ChunkMeta, ctx: &mut IoCtx) -> BagResult<std::sync::Arc<Vec<u8>>> {
+    fn load_chunk(
+        &self,
+        pos: u64,
+        meta: ChunkMeta,
+        ctx: &mut IoCtx,
+    ) -> BagResult<std::sync::Arc<Vec<u8>>> {
         {
             let cache = self.chunk_cache.lock().unwrap();
             if let Some((p, data)) = cache.as_ref() {
@@ -239,13 +249,9 @@ impl<S: Storage> BagReader<S> {
                 }
             }
         }
-        let raw = self
-            .storage
-            .read_at(&self.path, meta.data_off, meta.stored_len as usize, ctx)?;
-        let data = std::sync::Arc::new(crate::compress::decompress(
-            &raw,
-            meta.uncompressed_len as usize,
-        )?);
+        let raw = self.storage.read_at(&self.path, meta.data_off, meta.stored_len as usize, ctx)?;
+        let data =
+            std::sync::Arc::new(crate::compress::decompress(&raw, meta.uncompressed_len as usize)?);
         ctx.charge_ns(meta.uncompressed_len as u64 * cpu::DECOMPRESS_BYTE_NS);
         *self.chunk_cache.lock().unwrap() = Some((pos, std::sync::Arc::clone(&data)));
         Ok(data)
@@ -270,11 +276,8 @@ impl<S: Storage> BagReader<S> {
                 return Err(BagError::Format("index entry does not point at a message".into()));
             }
             let md = MessageDataHeader::from_header(&header)?;
-            let topic = self
-                .index
-                .connection(md.conn_id)
-                .map(|c| c.topic.clone())
-                .unwrap_or_default();
+            let topic =
+                self.index.connection(md.conn_id).map(|c| c.topic.clone()).unwrap_or_default();
             return Ok(MessageRecord {
                 conn_id: md.conn_id,
                 topic,
@@ -288,9 +291,7 @@ impl<S: Storage> BagReader<S> {
         // Message record: header prefix first, then payload.
         let mh = self.storage.read_at(&self.path, msg_pos, 4, ctx)?;
         let mh_len = u32::from_le_bytes(mh[..4].try_into().unwrap()) as usize;
-        let rest = self
-            .storage
-            .read_at(&self.path, msg_pos + 4, mh_len + 4, ctx)?;
+        let rest = self.storage.read_at(&self.path, msg_pos + 4, mh_len + 4, ctx)?;
         let header = crate::record::RecordHeader::decode(&rest[..mh_len])?;
         ctx.charge_ns(cpu::RECORD_HEADER_NS);
         if header.op != Op::MessageData {
@@ -298,20 +299,9 @@ impl<S: Storage> BagReader<S> {
         }
         let md = MessageDataHeader::from_header(&header)?;
         let dlen = u32::from_le_bytes(rest[mh_len..mh_len + 4].try_into().unwrap()) as usize;
-        let data = self
-            .storage
-            .read_at(&self.path, msg_pos + 4 + mh_len as u64 + 4, dlen, ctx)?;
-        let topic = self
-            .index
-            .connection(md.conn_id)
-            .map(|c| c.topic.clone())
-            .unwrap_or_default();
-        Ok(MessageRecord {
-            conn_id: md.conn_id,
-            topic,
-            time: md.time,
-            data,
-        })
+        let data = self.storage.read_at(&self.path, msg_pos + 4 + mh_len as u64 + 4, dlen, ctx)?;
+        let topic = self.index.connection(md.conn_id).map(|c| c.topic.clone()).unwrap_or_default();
+        Ok(MessageRecord { conn_id: md.conn_id, topic, time: md.time, data })
     }
 
     /// Baseline `bag.read_messages(topics=[...])`: merge the per-topic
@@ -361,9 +351,8 @@ impl<S: Storage> BagReader<S> {
             ctx.charge_ns(cpu::RECORD_HEADER_NS);
             let ch = ChunkHeader::from_header(&header)?;
             let dlen = u32::from_le_bytes(rest[hlen..hlen + 4].try_into().unwrap()) as usize;
-            let raw = self
-                .storage
-                .read_at(&self.path, ci.chunk_pos + 4 + hlen as u64 + 4, dlen, ctx)?;
+            let raw =
+                self.storage.read_at(&self.path, ci.chunk_pos + 4 + hlen as u64 + 4, dlen, ctx)?;
             let data = crate::compress::decode_chunk(&ch.compression, &raw, ch.size as usize)?;
             if ch.compression != "none" {
                 ctx.charge_ns(ch.size as u64 * cpu::DECOMPRESS_BYTE_NS);
@@ -409,8 +398,13 @@ mod tests {
     /// over 10 seconds.
     fn build_bag(fs: &MemStorage, path: &str) -> (u64, u64) {
         let mut ctx = IoCtx::new();
-        let mut w = BagWriter::create(fs, path, BagWriterOptions { chunk_size: 4096, ..Default::default() }, &mut ctx)
-            .unwrap();
+        let mut w = BagWriter::create(
+            fs,
+            path,
+            BagWriterOptions { chunk_size: 4096, ..Default::default() },
+            &mut ctx,
+        )
+        .unwrap();
         let mut n_imu = 0;
         let mut n_cam = 0;
         for tick in 0..100u32 {
@@ -500,10 +494,7 @@ mod tests {
         build_bag(&fs, "/b.bag");
         let mut ctx = IoCtx::new();
         let r = BagReader::open(&fs, "/b.bag", &mut ctx).unwrap();
-        assert!(matches!(
-            r.read_messages(&["/nope"], &mut ctx),
-            Err(BagError::UnknownTopic(_))
-        ));
+        assert!(matches!(r.read_messages(&["/nope"], &mut ctx), Err(BagError::UnknownTopic(_))));
     }
 
     #[test]
@@ -525,10 +516,7 @@ mod tests {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
         fs.append("/junk.bag", &vec![0u8; 8192], &mut ctx).unwrap();
-        assert!(matches!(
-            BagReader::open(&fs, "/junk.bag", &mut ctx),
-            Err(BagError::BadMagic)
-        ));
+        assert!(matches!(BagReader::open(&fs, "/junk.bag", &mut ctx), Err(BagError::BadMagic)));
     }
 
     #[test]

@@ -27,10 +27,7 @@ pub struct Filter {
 
 impl Filter {
     pub fn topics(topics: &[&str]) -> Self {
-        Filter {
-            topics: Some(topics.iter().map(|s| s.to_string()).collect()),
-            ..Filter::default()
-        }
+        Filter { topics: Some(topics.iter().map(|s| s.to_string()).collect()), ..Filter::default() }
     }
 
     pub fn with_time_range(mut self, start: Time, end: Time) -> Self {
@@ -66,11 +63,7 @@ pub fn rebag<S: Storage, D: Storage>(
 ) -> BagResult<RebagReport> {
     let all_topics: Vec<String> = reader.topics().into_iter().map(str::to_owned).collect();
     let selected: Vec<&str> = match &filter.topics {
-        Some(list) => all_topics
-            .iter()
-            .filter(|t| list.contains(t))
-            .map(String::as_str)
-            .collect(),
+        Some(list) => all_topics.iter().filter(|t| list.contains(t)).map(String::as_str).collect(),
         None => all_topics.iter().map(String::as_str).collect(),
     };
 
@@ -99,7 +92,7 @@ pub fn rebag<S: Storage, D: Storage>(
     let mut kept = 0u64;
     for m in &msgs {
         let seen = per_topic_seen.entry(m.conn_id).or_insert(0);
-        let take = *seen % stride == 0;
+        let take = seen.is_multiple_of(stride);
         *seen += 1;
         if !take || !predicate(m) {
             continue;
@@ -108,11 +101,7 @@ pub fn rebag<S: Storage, D: Storage>(
         kept += 1;
     }
     let summary = w.close(ctx)?;
-    Ok(RebagReport {
-        scanned,
-        kept,
-        out_len: summary.file_len,
-    })
+    Ok(RebagReport { scanned, kept, out_len: summary.file_len })
 }
 
 #[cfg(test)]
@@ -177,16 +166,9 @@ mod tests {
         let filter = Filter::topics(&["/imu"])
             .with_time_range(Time::new(10, 0), Time::new(50, 0))
             .with_stride(4);
-        let report = rebag(
-            &r,
-            &fs,
-            "/thin.bag",
-            &filter,
-            |_| true,
-            BagWriterOptions::default(),
-            &mut ctx,
-        )
-        .unwrap();
+        let report =
+            rebag(&r, &fs, "/thin.bag", &filter, |_| true, BagWriterOptions::default(), &mut ctx)
+                .unwrap();
         assert_eq!(report.scanned, 40);
         assert_eq!(report.kept, 10);
         let out = BagReader::open(&fs, "/thin.bag", &mut ctx).unwrap();
@@ -232,12 +214,7 @@ mod tests {
         )
         .unwrap();
         let out = BagReader::open(&fs, "/all.bag", &mut ctx).unwrap();
-        let conn = out
-            .index()
-            .connections
-            .iter()
-            .find(|c| c.topic == "/imu")
-            .unwrap();
+        let conn = out.index().connections.iter().find(|c| c.topic == "/imu").unwrap();
         assert_eq!(conn.datatype, "sensor_msgs/Imu");
         assert_eq!(conn.md5sum, Imu::md5sum());
         assert!(conn.definition.contains("angular_velocity"));

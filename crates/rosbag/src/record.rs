@@ -66,10 +66,7 @@ pub struct RecordHeader {
 
 impl RecordHeader {
     pub fn new(op: Op) -> Self {
-        RecordHeader {
-            op,
-            fields: HashMap::new(),
-        }
+        RecordHeader { op, fields: HashMap::new() }
     }
 
     pub fn with_u32(mut self, name: &str, v: u32) -> Self {
@@ -120,10 +117,7 @@ impl RecordHeader {
     }
 
     fn get_raw(&self, record: &'static str, field: &'static str) -> BagResult<&[u8]> {
-        self.fields
-            .get(field)
-            .map(|v| v.as_slice())
-            .ok_or(BagError::MissingField { record, field })
+        self.fields.get(field).map(|v| v.as_slice()).ok_or(BagError::MissingField { record, field })
     }
 
     /// Encode the header bytes (fields only, without the outer length
@@ -169,10 +163,7 @@ impl RecordHeader {
                 fields.insert(name.to_owned(), value.to_vec());
             }
         }
-        let op = op.ok_or(BagError::MissingField {
-            record: "record",
-            field: "op",
-        })?;
+        let op = op.ok_or(BagError::MissingField { record: "record", field: "op" })?;
         Ok(RecordHeader { op, fields })
     }
 }
@@ -304,18 +295,9 @@ impl ConnectionRecord {
             }
         }
         if datatype.is_empty() {
-            return Err(BagError::MissingField {
-                record: "connection",
-                field: "type",
-            });
+            return Err(BagError::MissingField { record: "connection", field: "type" });
         }
-        Ok(ConnectionRecord {
-            conn_id,
-            topic,
-            datatype,
-            md5sum,
-            definition,
-        })
+        Ok(ConnectionRecord { conn_id, topic, datatype, md5sum, definition })
     }
 }
 
@@ -452,9 +434,7 @@ impl ChunkInfoRecord {
         let end_time = header.get_time("chunk info", "end_time")?;
         let count = header.get_u32("chunk info", "count")? as usize;
         if count * 8 != data.remaining() {
-            return Err(BagError::Format(
-                "chunk info count disagrees with payload size".into(),
-            ));
+            return Err(BagError::Format("chunk info count disagrees with payload size".into()));
         }
         let mut counts = Vec::with_capacity(count);
         for _ in 0..count {
@@ -462,12 +442,7 @@ impl ChunkInfoRecord {
             let n = data.get_u32()?;
             counts.push((conn, n));
         }
-        Ok(ChunkInfoRecord {
-            chunk_pos,
-            start_time,
-            end_time,
-            counts,
-        })
+        Ok(ChunkInfoRecord { chunk_pos, start_time, end_time, counts })
     }
 
     /// Total messages across all connections in the chunk.
@@ -526,11 +501,7 @@ mod tests {
 
     #[test]
     fn bag_header_padded_fixed_size() {
-        let bh = BagHeader {
-            index_pos: 987654321,
-            conn_count: 7,
-            chunk_count: 42,
-        };
+        let bh = BagHeader { index_pos: 987654321, conn_count: 7, chunk_count: 42 };
         let bytes = bh.encode_padded();
         assert_eq!(bytes.len(), BAG_HEADER_RECORD_SIZE);
         let mut cur: &[u8] = &bytes;
@@ -570,10 +541,7 @@ mod tests {
 
     #[test]
     fn index_data_count_mismatch_rejected() {
-        let idx = IndexDataRecord {
-            conn_id: 2,
-            entries: vec![(Time::new(1, 0), 0)],
-        };
+        let idx = IndexDataRecord { conn_id: 2, entries: vec![(Time::new(1, 0), 0)] };
         let mut out = Vec::new();
         idx.encode(&mut out);
         let mut cur: &[u8] = &out;

@@ -118,10 +118,8 @@ pub fn reindex<S: Storage>(storage: &S, path: &str, ctx: &mut IoCtx) -> BagResul
                 if !ok {
                     break; // chunk contents corrupt: stop before it
                 }
-                let mut counts: Vec<(u32, u32)> = per_conn
-                    .iter()
-                    .map(|(&c, v)| (c, v.len() as u32))
-                    .collect();
+                let mut counts: Vec<(u32, u32)> =
+                    per_conn.iter().map(|(&c, v)| (c, v.len() as u32)).collect();
                 counts.sort_unstable();
                 chunk_infos.push(ChunkInfoRecord {
                     chunk_pos,
@@ -169,10 +167,7 @@ pub fn reindex<S: Storage>(storage: &S, path: &str, ctx: &mut IoCtx) -> BagResul
     let mut new_chunk_infos = Vec::with_capacity(chunk_infos.len());
     for (i, ci) in chunk_infos.iter().enumerate() {
         let chunk_start = ci.chunk_pos as usize;
-        let chunk_end = rebuilt_index
-            .get(i)
-            .map(|(p, _)| *p)
-            .unwrap_or(ci.chunk_pos) as usize;
+        let chunk_end = rebuilt_index.get(i).map(|(p, _)| *p).unwrap_or(ci.chunk_pos) as usize;
         let _ = chunk_end;
         // Chunk record bytes: from chunk_pos to end of its data section.
         let mut cur: &[u8] = &kept[chunk_start..];
@@ -186,10 +181,7 @@ pub fn reindex<S: Storage>(storage: &S, path: &str, ctx: &mut IoCtx) -> BagResul
         for rec in &rebuilt_index[i].1 {
             rec.encode(&mut out);
         }
-        new_chunk_infos.push(ChunkInfoRecord {
-            chunk_pos: new_pos,
-            ..ci.clone()
-        });
+        new_chunk_infos.push(ChunkInfoRecord { chunk_pos: new_pos, ..ci.clone() });
     }
     kept.clear();
 
@@ -228,14 +220,18 @@ mod tests {
     use crate::reader::BagReader;
     use crate::writer::{BagWriter, BagWriterOptions};
     use ros_msgs::sensor_msgs::Imu;
-    use ros_msgs::{MessageDescriptor, RosMessage};
+    use ros_msgs::RosMessage;
     use simfs::MemStorage;
 
     fn write_bag(fs: &MemStorage, n: u32) -> u64 {
         let mut ctx = IoCtx::new();
-        let mut w =
-            BagWriter::create(fs, "/b.bag", BagWriterOptions { chunk_size: 2048, ..Default::default() }, &mut ctx)
-                .unwrap();
+        let mut w = BagWriter::create(
+            fs,
+            "/b.bag",
+            BagWriterOptions { chunk_size: 2048, ..Default::default() },
+            &mut ctx,
+        )
+        .unwrap();
         let mut imu = Imu::default();
         for i in 0..n {
             imu.header.seq = i;

@@ -76,10 +76,7 @@ pub fn bag_stats<S: Storage>(reader: &BagReader<S>, ctx: &mut IoCtx) -> BagResul
             max_gap_s,
         });
     }
-    let (start, end) = idx
-        .time_range()
-        .map(|(s, e)| (Some(s), Some(e)))
-        .unwrap_or((None, None));
+    let (start, end) = idx.time_range().map(|(s, e)| (Some(s), Some(e))).unwrap_or((None, None));
     Ok(BagStats {
         message_count: idx.message_count(),
         chunk_count: idx.chunk_infos.len(),
@@ -99,9 +96,13 @@ mod tests {
     fn build() -> (MemStorage, BagStats) {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
-        let mut w =
-            BagWriter::create(&fs, "/b.bag", BagWriterOptions { chunk_size: 2048, ..Default::default() }, &mut ctx)
-                .unwrap();
+        let mut w = BagWriter::create(
+            &fs,
+            "/b.bag",
+            BagWriterOptions { chunk_size: 2048, ..Default::default() },
+            &mut ctx,
+        )
+        .unwrap();
         // 10 Hz IMU for 10 s with one 2-second dropout.
         for i in 0..100u32 {
             if (30..50).contains(&i) {
@@ -150,7 +151,8 @@ mod tests {
     fn empty_topic_stats() {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
-        let mut w = BagWriter::create(&fs, "/b.bag", BagWriterOptions::default(), &mut ctx).unwrap();
+        let mut w =
+            BagWriter::create(&fs, "/b.bag", BagWriterOptions::default(), &mut ctx).unwrap();
         let mut imu = Imu::default();
         imu.header.seq = 1;
         w.write_ros_message("/imu", Time::new(1, 0), &imu, &mut ctx).unwrap();

@@ -51,10 +51,7 @@ pub struct BagWriterOptions {
 
 impl Default for BagWriterOptions {
     fn default() -> Self {
-        BagWriterOptions {
-            chunk_size: 768 * 1024,
-            compression: Compression::None,
-        }
+        BagWriterOptions { chunk_size: 768 * 1024, compression: Compression::None }
     }
 }
 
@@ -106,12 +103,7 @@ impl<S: Storage> BagWriter<S> {
         storage.create(path, ctx)?;
         // Magic + placeholder bag header (backpatched on close).
         storage.append(path, MAGIC, ctx)?;
-        let placeholder = BagHeader {
-            index_pos: 0,
-            conn_count: 0,
-            chunk_count: 0,
-        }
-        .encode_padded();
+        let placeholder = BagHeader { index_pos: 0, conn_count: 0, chunk_count: 0 }.encode_padded();
         storage.append(path, &placeholder, ctx)?;
         Ok(BagWriter {
             storage,
@@ -308,9 +300,13 @@ mod tests {
     fn summary_counts() {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
-        let mut w =
-            BagWriter::create(&fs, "/t.bag", BagWriterOptions { chunk_size: 512, ..Default::default() }, &mut ctx)
-                .unwrap();
+        let mut w = BagWriter::create(
+            &fs,
+            "/t.bag",
+            BagWriterOptions { chunk_size: 512, ..Default::default() },
+            &mut ctx,
+        )
+        .unwrap();
         let mut imu = Imu::default();
         for i in 0..50u32 {
             imu.header.seq = i;

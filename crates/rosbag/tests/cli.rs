@@ -18,9 +18,13 @@ fn workdir(tag: &str) -> PathBuf {
 fn write_demo_bag(dir: &PathBuf, n: u32) {
     let fs = LocalStorage::new(dir).unwrap();
     let mut ctx = IoCtx::new();
-    let mut w =
-        BagWriter::create(&fs, "/demo.bag", BagWriterOptions { chunk_size: 4096, ..Default::default() }, &mut ctx)
-            .unwrap();
+    let mut w = BagWriter::create(
+        &fs,
+        "/demo.bag",
+        BagWriterOptions { chunk_size: 4096, ..Default::default() },
+        &mut ctx,
+    )
+    .unwrap();
     for i in 0..n {
         let mut imu = Imu::default();
         imu.header.seq = i;

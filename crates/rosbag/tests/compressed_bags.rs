@@ -11,10 +11,7 @@ fn build_compressed(fs: &MemStorage, n: u32) -> u64 {
     let mut w = BagWriter::create(
         fs,
         "/c.bag",
-        BagWriterOptions {
-            chunk_size: 8 * 1024,
-            compression: Compression::Lzss,
-        },
+        BagWriterOptions { chunk_size: 8 * 1024, compression: Compression::Lzss },
         &mut ctx,
     )
     .unwrap();
@@ -59,10 +56,7 @@ fn compressed_bag_is_smaller_and_equivalent() {
     let plain_len = fs_plain.len("/c.bag", &mut ctx).unwrap();
     let comp_len = fs_comp.len("/c.bag", &mut ctx).unwrap();
     // IMU messages are highly repetitive (zero covariances): big win.
-    assert!(
-        comp_len < plain_len / 2,
-        "compressed {comp_len} vs plain {plain_len}"
-    );
+    assert!(comp_len < plain_len / 2, "compressed {comp_len} vs plain {plain_len}");
 
     // Same messages come back.
     let rp = BagReader::open(&fs_plain, "/c.bag", &mut ctx).unwrap();
@@ -82,9 +76,8 @@ fn compressed_time_queries_work() {
     build_compressed(&fs, 300);
     let mut ctx = IoCtx::new();
     let r = BagReader::open(&fs, "/c.bag", &mut ctx).unwrap();
-    let msgs = r
-        .read_messages_time(&["/imu"], Time::new(100, 0), Time::new(150, 0), &mut ctx)
-        .unwrap();
+    let msgs =
+        r.read_messages_time(&["/imu"], Time::new(100, 0), Time::new(150, 0), &mut ctx).unwrap();
     assert_eq!(msgs.len(), 50);
     let decoded = Imu::from_bytes(&msgs[0].data).unwrap();
     assert_eq!(decoded.header.seq, 100);
@@ -121,8 +114,8 @@ fn compressed_bag_reindexes() {
     let (h, _) = rosbag::record::read_record(&mut cur).unwrap();
     let bh = rosbag::record::BagHeader::from_header(&h).unwrap();
     let mut crashed = bytes[..bh.index_pos as usize].to_vec();
-    let placeholder = rosbag::record::BagHeader { index_pos: 0, conn_count: 0, chunk_count: 0 }
-        .encode_padded();
+    let placeholder =
+        rosbag::record::BagHeader { index_pos: 0, conn_count: 0, chunk_count: 0 }.encode_padded();
     crashed[rosbag::MAGIC.len()..rosbag::MAGIC.len() + placeholder.len()]
         .copy_from_slice(&placeholder);
     fs.remove_file("/c.bag", &mut ctx).unwrap();

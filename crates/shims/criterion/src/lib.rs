@@ -142,9 +142,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let name = id.into_id();
-        run_one(self.criterion.measure, Some(&self.name), &name, self.sample_size, |b| {
-            f(b, input)
-        });
+        run_one(self.criterion.measure, Some(&self.name), &name, self.sample_size, |b| f(b, input));
         self
     }
 
@@ -233,9 +231,7 @@ mod tests {
         let mut runs = 0u32;
         let mut group = c.benchmark_group("g");
         group.sample_size(10).bench_function("one", |b| b.iter(|| runs += 1));
-        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| {
-            b.iter(|| runs += x)
-        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| b.iter(|| runs += x));
         group.finish();
         // One warmup-free iteration each in smoke mode.
         assert_eq!(runs, 1 + 4);

@@ -119,10 +119,7 @@ fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
     });
-    (
-        Sender { shared: Arc::clone(&shared) },
-        Receiver { shared },
-    )
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
 }
 
 impl<T> Clone for Sender<T> {
@@ -168,10 +165,7 @@ impl<T> Sender<T> {
             }
             match shared.cap {
                 Some(cap) if queue.len() >= cap => {
-                    queue = shared
-                        .not_full
-                        .wait(queue)
-                        .unwrap_or_else(|e| e.into_inner());
+                    queue = shared.not_full.wait(queue).unwrap_or_else(|e| e.into_inner());
                 }
                 _ => break,
             }
@@ -230,10 +224,7 @@ impl<T> Receiver<T> {
             if shared.no_senders() {
                 return Err(RecvError);
             }
-            queue = shared
-                .not_empty
-                .wait(queue)
-                .unwrap_or_else(|e| e.into_inner());
+            queue = shared.not_empty.wait(queue).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -388,9 +379,6 @@ mod tests {
     #[test]
     fn recv_timeout_times_out() {
         let (_tx, rx) = bounded::<u8>(1);
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(10)),
-            Err(RecvTimeoutError::Timeout)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
     }
 }

@@ -81,11 +81,7 @@ impl<'env> Scope<'env> {
         let main: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(main) };
         let handle = std::thread::spawn(main);
         let packet = Arc::new(Packet { handle: Mutex::new(Some(handle)) });
-        self.inner
-            .threads
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(Arc::clone(&packet));
+        self.inner.threads.lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&packet));
         ScopedJoinHandle { packet, result, _scope: PhantomData }
     }
 }
@@ -102,9 +98,8 @@ where
     // Join everything, including threads spawned by other threads while
     // we were draining.
     loop {
-        let batch: Vec<Arc<Packet>> = std::mem::take(
-            &mut *scope.inner.threads.lock().unwrap_or_else(|e| e.into_inner()),
-        );
+        let batch: Vec<Arc<Packet>> =
+            std::mem::take(&mut *scope.inner.threads.lock().unwrap_or_else(|e| e.into_inner()));
         if batch.is_empty() {
             break;
         }
@@ -155,12 +150,8 @@ mod tests {
 
     #[test]
     fn nested_spawn_through_scope_arg() {
-        let n = scope(|s| {
-            s.spawn(|s2| s2.spawn(|_| 21u32).join().unwrap() * 2)
-                .join()
-                .unwrap()
-        })
-        .unwrap();
+        let n = scope(|s| s.spawn(|s2| s2.spawn(|_| 21u32).join().unwrap() * 2).join().unwrap())
+            .unwrap();
         assert_eq!(n, 42);
     }
 }

@@ -149,10 +149,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (__l, __r) = ($left, $right);
-        $crate::prop_assert!(
-            __l != __r,
-            "assertion failed: `{:?}` != `{:?}`", __l, __r
-        );
+        $crate::prop_assert!(__l != __r, "assertion failed: `{:?}` != `{:?}`", __l, __r);
     }};
 }
 

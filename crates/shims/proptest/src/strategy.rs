@@ -101,10 +101,7 @@ where
                 return v;
             }
         }
-        panic!(
-            "prop_filter {:?} rejected {FILTER_RETRIES} consecutive values",
-            self.whence
-        );
+        panic!("prop_filter {:?} rejected {FILTER_RETRIES} consecutive values", self.whence);
     }
 }
 
@@ -235,11 +232,7 @@ fn parse_pattern(pattern: &str) -> Option<Vec<PatternPiece>> {
     (pos == chars.len()).then_some(pieces)
 }
 
-fn parse_seq(
-    chars: &[char],
-    pos: &mut usize,
-    closing: Option<char>,
-) -> Option<Vec<PatternPiece>> {
+fn parse_seq(chars: &[char], pos: &mut usize, closing: Option<char>) -> Option<Vec<PatternPiece>> {
     let mut pieces = Vec::new();
     while *pos < chars.len() {
         let c = chars[*pos];
@@ -294,7 +287,9 @@ fn parse_class(chars: &[char], pos: &mut usize) -> Option<Vec<char>> {
     let mut alphabet = Vec::new();
     while *pos < chars.len() && chars[*pos] != ']' {
         // `a-z` is a range unless `-` is the class's final character.
-        if chars[*pos + 1..].first() == Some(&'-') && chars.get(*pos + 2).map_or(false, |&c| c != ']') {
+        if chars[*pos + 1..].first() == Some(&'-')
+            && chars.get(*pos + 2).map_or(false, |&c| c != ']')
+        {
             let (lo, hi) = (chars[*pos], chars[*pos + 2]);
             if lo > hi {
                 return None;
@@ -338,11 +333,8 @@ mod tests {
 
     #[test]
     fn map_filter_union() {
-        let s = crate::prop_oneof![
-            (0u32..10).prop_map(|n| n * 2),
-            Just(99u32),
-        ]
-        .prop_filter("nonzero", |&v| v != 0);
+        let s = crate::prop_oneof![(0u32..10).prop_map(|n| n * 2), Just(99u32),]
+            .prop_filter("nonzero", |&v| v != 0);
         let mut r = rng();
         for _ in 0..100 {
             let v = s.generate(&mut r);

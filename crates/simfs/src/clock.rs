@@ -119,6 +119,58 @@ impl IoCtx {
     }
 }
 
+/// Shared gauge of concurrently active workers, for thread pools whose
+/// population of in-flight requests varies over time.
+///
+/// Experiments with a fixed process count declare it up front via
+/// [`IoCtx::with_concurrency`]. A serving layer cannot: its effective
+/// concurrency is "how many pool workers are busy *right now*". Each
+/// worker wraps its request in [`ConcurrencyGauge::enter`], and the
+/// returned guard's [`ActiveWorker::ctx`] yields an `IoCtx` declaring the
+/// gauge's current occupancy, so cost-model backends divide shared
+/// bandwidth by the number of requests actually in flight.
+#[derive(Debug, Clone, Default)]
+pub struct ConcurrencyGauge {
+    active: std::sync::Arc<std::sync::atomic::AtomicU32>,
+}
+
+impl ConcurrencyGauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of workers currently inside an [`enter`](Self::enter) guard.
+    pub fn active(&self) -> u32 {
+        self.active.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Mark one worker busy until the guard drops.
+    pub fn enter(&self) -> ActiveWorker {
+        self.active.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        ActiveWorker { gauge: self.clone() }
+    }
+}
+
+/// RAII token for one busy worker; see [`ConcurrencyGauge`].
+#[derive(Debug)]
+pub struct ActiveWorker {
+    gauge: ConcurrencyGauge,
+}
+
+impl ActiveWorker {
+    /// An `IoCtx` declaring the gauge's occupancy at this moment
+    /// (including this worker).
+    pub fn ctx(&self) -> IoCtx {
+        IoCtx::with_concurrency(self.gauge.active())
+    }
+}
+
+impl Drop for ActiveWorker {
+    fn drop(&mut self) {
+        self.gauge.active.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
 /// Stable 64-bit key for a path, used by the sequentiality tracker.
 /// FNV-1a: tiny, deterministic, good enough for distinguishing files.
 #[inline]
@@ -170,6 +222,22 @@ mod tests {
         a.absorb_sequential(&b);
         assert_eq!(a.elapsed_ns(), 140);
         assert_eq!(a.stats.reads, 5);
+    }
+
+    #[test]
+    fn gauge_tracks_occupancy() {
+        let gauge = ConcurrencyGauge::new();
+        assert_eq!(gauge.active(), 0);
+        let a = gauge.enter();
+        let b = gauge.enter();
+        assert_eq!(gauge.active(), 2);
+        assert_eq!(b.ctx().concurrency, 2);
+        drop(a);
+        assert_eq!(gauge.active(), 1);
+        drop(b);
+        assert_eq!(gauge.active(), 0);
+        // An empty gauge still yields a valid (concurrency >= 1) context.
+        assert_eq!(gauge.enter().ctx().concurrency, 1);
     }
 
     #[test]

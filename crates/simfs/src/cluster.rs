@@ -77,10 +77,7 @@ pub struct ClusterStorage {
 
 impl ClusterStorage {
     pub fn new(cfg: ClusterConfig) -> Self {
-        ClusterStorage {
-            mem: MemStorage::new(),
-            cfg,
-        }
+        ClusterStorage { mem: MemStorage::new(), cfg }
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -139,8 +136,8 @@ impl ClusterStorage {
             .max()
             .unwrap_or(0);
         let share = ctx.concurrency.max(1) as u64;
-        let stream_ns = len.saturating_mul(1_000_000_000)
-            / (self.cfg.net.bw_bytes_per_sec / share).max(1);
+        let stream_ns =
+            len.saturating_mul(1_000_000_000) / (self.cfg.net.bw_bytes_per_sec / share).max(1);
         let rtt_ns = if seek { 2 * self.cfg.net.latency_ns } else { 0 };
         ctx.charge_ns(server_ns + stream_ns + rtt_ns);
         if write {
@@ -270,10 +267,7 @@ mod tests {
         // A striped read should beat the same bytes on one device of the
         // same model (parallel service), as long as the network is not the
         // bottleneck.
-        let cfg = ClusterConfig {
-            net: NetModel::infiniband_56g(),
-            ..ClusterConfig::pvfs4()
-        };
+        let cfg = ClusterConfig { net: NetModel::infiniband_56g(), ..ClusterConfig::pvfs4() };
         let cluster = ClusterStorage::new(cfg);
         let single = crate::TimedStorage::new(MemStorage::new(), cfg.device);
 

@@ -123,18 +123,12 @@ pub struct NetModel {
 impl NetModel {
     /// 10 Gbit/s Ethernet (the PVFS cluster interconnect, §IV.D).
     pub fn ten_gbe() -> Self {
-        NetModel {
-            latency_ns: 50_000,
-            bw_bytes_per_sec: 10 * GIB / 8,
-        }
+        NetModel { latency_ns: 50_000, bw_bytes_per_sec: 10 * GIB / 8 }
     }
 
     /// Mellanox ConnectX-3 InfiniBand, 56 Gb/s (Tianhe-1A, §IV.E).
     pub fn infiniband_56g() -> Self {
-        NetModel {
-            latency_ns: 2_000,
-            bw_bytes_per_sec: 56 * GIB / 8,
-        }
+        NetModel { latency_ns: 2_000, bw_bytes_per_sec: 56 * GIB / 8 }
     }
 
     /// Time to move `bytes` for one request among `share` concurrent
@@ -142,7 +136,8 @@ impl NetModel {
     #[inline]
     pub fn xfer_cost_ns(&self, bytes: u64, share: u32) -> u64 {
         let share = share.max(1) as u64;
-        2 * self.latency_ns + bytes.saturating_mul(1_000_000_000) / (self.bw_bytes_per_sec / share).max(1)
+        2 * self.latency_ns
+            + bytes.saturating_mul(1_000_000_000) / (self.bw_bytes_per_sec / share).max(1)
     }
 }
 
@@ -222,7 +217,8 @@ mod tests {
     fn infiniband_beats_ethernet() {
         let bytes = 64 * MIB;
         assert!(
-            NetModel::infiniband_56g().xfer_cost_ns(bytes, 1) < NetModel::ten_gbe().xfer_cost_ns(bytes, 1)
+            NetModel::infiniband_56g().xfer_cost_ns(bytes, 1)
+                < NetModel::ten_gbe().xfer_cost_ns(bytes, 1)
         );
     }
 }

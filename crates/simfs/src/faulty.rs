@@ -49,10 +49,7 @@ pub struct FaultyStorage<S> {
 
 impl<S: Storage> FaultyStorage<S> {
     pub fn new(inner: S) -> Self {
-        FaultyStorage {
-            inner,
-            rules: Mutex::new(Vec::new()),
-        }
+        FaultyStorage { inner, rules: Mutex::new(Vec::new()) }
     }
 
     pub fn inner(&self) -> &S {
@@ -61,10 +58,7 @@ impl<S: Storage> FaultyStorage<S> {
 
     /// Install a rule; rules are evaluated in installation order.
     pub fn inject(&self, rule: FaultRule) {
-        self.rules.lock().push(RuleState {
-            rule,
-            seen: AtomicU64::new(0),
-        });
+        self.rules.lock().push(RuleState { rule, seen: AtomicU64::new(0) });
     }
 
     /// Remove all rules.
@@ -78,12 +72,8 @@ impl<S: Storage> FaultyStorage<S> {
         let rules = self.rules.lock();
         for rs in rules.iter() {
             let kind_match = rs.rule.kind == FaultKind::All || rs.rule.kind == kind;
-            let path_match = rs
-                .rule
-                .path_contains
-                .as_deref()
-                .map(|s| path.contains(s))
-                .unwrap_or(true);
+            let path_match =
+                rs.rule.path_contains.as_deref().map(|s| path.contains(s)).unwrap_or(true);
             if kind_match && path_match {
                 let n = rs.seen.fetch_add(1, Ordering::Relaxed);
                 if n >= rs.rule.after_ops {

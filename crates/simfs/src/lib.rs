@@ -32,8 +32,8 @@
 //! declared process count. Real wall-clock benches live in the `bench`
 //! crate's Criterion suites.
 
-pub mod cluster;
 pub mod clock;
+pub mod cluster;
 pub mod device;
 pub mod error;
 pub mod faulty;
@@ -44,8 +44,8 @@ pub mod path;
 pub mod storage;
 pub mod timed;
 
+pub use clock::{ActiveWorker, ConcurrencyGauge, IoCtx, IoStats};
 pub use cluster::{ClusterConfig, ClusterStorage};
-pub use clock::{IoCtx, IoStats};
 pub use device::{DeviceModel, NetModel};
 pub use error::{FsError, FsResult};
 pub use faulty::{FaultKind, FaultRule, FaultyStorage};

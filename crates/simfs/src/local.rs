@@ -77,10 +77,8 @@ impl Storage for LocalStorage {
 
     fn write_at(&self, path: &str, offset: u64, data: &[u8], _ctx: &mut IoCtx) -> FsResult<()> {
         let hp = self.host_path(path)?;
-        let mut f = fs::OpenOptions::new()
-            .write(true)
-            .open(&hp)
-            .map_err(|e| Self::map_err(path, e))?;
+        let mut f =
+            fs::OpenOptions::new().write(true).open(&hp).map_err(|e| Self::map_err(path, e))?;
         let len = f.metadata().map_err(|e| Self::map_err(path, e))?.len();
         if offset > len {
             return Err(FsError::OutOfBounds {
@@ -193,10 +191,8 @@ mod tests {
     use super::*;
 
     fn tmp_fs(tag: &str) -> LocalStorage {
-        let dir = std::env::temp_dir().join(format!(
-            "simfs-local-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("simfs-local-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         LocalStorage::new(dir).unwrap()
     }
@@ -230,9 +226,6 @@ mod tests {
         let fs = tmp_fs("oob");
         let mut ctx = IoCtx::new();
         fs.append("/f", b"abc", &mut ctx).unwrap();
-        assert!(matches!(
-            fs.read_at("/f", 1, 10, &mut ctx),
-            Err(FsError::OutOfBounds { .. })
-        ));
+        assert!(matches!(fs.read_at("/f", 1, 10, &mut ctx), Err(FsError::OutOfBounds { .. })));
     }
 }

@@ -40,9 +40,7 @@ impl MemStorage {
     pub fn new() -> Self {
         let mut nodes = BTreeMap::new();
         nodes.insert("/".to_owned(), Node::Dir);
-        MemStorage {
-            nodes: RwLock::new(nodes),
-        }
+        MemStorage { nodes: RwLock::new(nodes) }
     }
 
     /// Total bytes held across all files (for memory accounting in tests
@@ -60,11 +58,7 @@ impl MemStorage {
 
     /// Number of files (excluding directories).
     pub fn file_count(&self) -> usize {
-        self.nodes
-            .read()
-            .values()
-            .filter(|n| matches!(n, Node::File(_)))
-            .count()
+        self.nodes.read().values().filter(|n| matches!(n, Node::File(_))).count()
     }
 
     fn ensure_parents(nodes: &mut BTreeMap<String, Node>, p: &str) -> FsResult<()> {
@@ -176,14 +170,8 @@ impl Storage for MemStorage {
     fn stat(&self, raw: &str, _ctx: &mut IoCtx) -> FsResult<Metadata> {
         let p = normalize(raw)?;
         match self.nodes.read().get(&p) {
-            Some(Node::File(buf)) => Ok(Metadata {
-                kind: EntryKind::File,
-                len: buf.len() as u64,
-            }),
-            Some(Node::Dir) => Ok(Metadata {
-                kind: EntryKind::Dir,
-                len: 0,
-            }),
+            Some(Node::File(buf)) => Ok(Metadata { kind: EntryKind::File, len: buf.len() as u64 }),
+            Some(Node::Dir) => Ok(Metadata { kind: EntryKind::Dir, len: 0 }),
             None => Err(FsError::NotFound(p)),
         }
     }
@@ -345,10 +333,7 @@ mod tests {
         let fs = MemStorage::new();
         let mut c = ctx();
         fs.append("/f", b"abc", &mut c).unwrap();
-        assert!(matches!(
-            fs.read_at("/f", 2, 10, &mut c),
-            Err(FsError::OutOfBounds { .. })
-        ));
+        assert!(matches!(fs.read_at("/f", 2, 10, &mut c), Err(FsError::OutOfBounds { .. })));
     }
 
     #[test]
@@ -358,10 +343,7 @@ mod tests {
         fs.append("/f", b"abcdef", &mut c).unwrap();
         fs.write_at("/f", 3, b"XYZQ", &mut c).unwrap();
         assert_eq!(fs.read_all("/f", &mut c).unwrap(), b"abcXYZQ");
-        assert!(matches!(
-            fs.write_at("/f", 100, b"!", &mut c),
-            Err(FsError::OutOfBounds { .. })
-        ));
+        assert!(matches!(fs.write_at("/f", 100, b"!", &mut c), Err(FsError::OutOfBounds { .. })));
     }
 
     #[test]
@@ -425,10 +407,7 @@ mod tests {
         let fs = MemStorage::new();
         let mut c = ctx();
         fs.append("/f", b"x", &mut c).unwrap();
-        assert!(matches!(
-            fs.append("/f/child", b"y", &mut c),
-            Err(FsError::NotADirectory(_))
-        ));
+        assert!(matches!(fs.append("/f/child", b"y", &mut c), Err(FsError::NotADirectory(_))));
     }
 
     #[test]

@@ -46,9 +46,8 @@ pub fn run_parallel<F>(n_tasks: usize, f: F) -> ParallelOutcome
 where
     F: Fn(usize, &mut IoCtx) + Send + Sync,
 {
-    let mut ctxs: Vec<IoCtx> = (0..n_tasks)
-        .map(|_| IoCtx::with_concurrency(n_tasks as u32))
-        .collect();
+    let mut ctxs: Vec<IoCtx> =
+        (0..n_tasks).map(|_| IoCtx::with_concurrency(n_tasks as u32)).collect();
 
     crossbeam::thread::scope(|scope| {
         let f = &f;

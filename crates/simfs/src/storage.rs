@@ -140,10 +140,22 @@ macro_rules! forward_storage_for_smart_ptr {
             fn append(&self, path: &str, data: &[u8], ctx: &mut IoCtx) -> FsResult<u64> {
                 (**self).append(path, data, ctx)
             }
-            fn write_at(&self, path: &str, offset: u64, data: &[u8], ctx: &mut IoCtx) -> FsResult<()> {
+            fn write_at(
+                &self,
+                path: &str,
+                offset: u64,
+                data: &[u8],
+                ctx: &mut IoCtx,
+            ) -> FsResult<()> {
                 (**self).write_at(path, offset, data, ctx)
             }
-            fn read_at(&self, path: &str, offset: u64, len: usize, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+            fn read_at(
+                &self,
+                path: &str,
+                offset: u64,
+                len: usize,
+                ctx: &mut IoCtx,
+            ) -> FsResult<Vec<u8>> {
                 (**self).read_at(path, offset, len, ctx)
             }
             fn read_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {

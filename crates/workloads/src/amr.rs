@@ -58,12 +58,8 @@ pub struct AmrBag {
     pub per_topic_counts: Vec<(&'static str, u64)>,
 }
 
-const RATES: [(&str, f64); 4] = [
-    (topic::SCAN, 15.0),
-    (topic::ODOM, 50.0),
-    (topic::GPS, 5.0),
-    (topic::CAMERA, 10.0),
-];
+const RATES: [(&str, f64); 4] =
+    [(topic::SCAN, 15.0), (topic::ODOM, 50.0), (topic::GPS, 5.0), (topic::CAMERA, 10.0)];
 
 /// Generate an AMR mission bag at `path`.
 pub fn generate_amr_bag<S: Storage>(
@@ -177,10 +173,7 @@ pub fn dock_approach_topics() -> Vec<&'static str> {
 
 /// The AMR window used by examples/tests: `[start+20 s, start+30 s)`.
 pub fn dock_window(start: Time) -> (Time, Time) {
-    (
-        start + RosDuration::from_sec_f64(20.0),
-        start + RosDuration::from_sec_f64(30.0),
-    )
+    (start + RosDuration::from_sec_f64(20.0), start + RosDuration::from_sec_f64(30.0))
 }
 
 #[cfg(test)]
@@ -249,8 +242,15 @@ mod tests {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
         let bag = generate_amr_bag(&fs, "/amr.bag", &small(), &mut ctx).unwrap();
-        bora::organizer::duplicate(&fs, "/amr.bag", &fs, "/c", &bora::OrganizerOptions::default(), &mut ctx)
-            .unwrap();
+        bora::organizer::duplicate(
+            &fs,
+            "/amr.bag",
+            &fs,
+            "/c",
+            &bora::OrganizerOptions::default(),
+            &mut ctx,
+        )
+        .unwrap();
         let b = bora::BoraBag::open(&fs, "/c", &mut ctx).unwrap();
         assert_eq!(b.verify(&mut ctx).unwrap(), bag.message_count);
         let (s, e) = dock_window(Time::new(1_000, 0));

@@ -55,12 +55,9 @@ impl Application {
         match self {
             Application::HandheldSlam => vec![topic::DEPTH_IMAGE, topic::RGB_IMAGE],
             Application::RobotSlam => vec![topic::DEPTH_IMAGE, topic::RGB_IMAGE, topic::IMU],
-            Application::DynamicObject => vec![
-                topic::TF,
-                topic::RGB_IMAGE,
-                topic::RGB_CAMERA_INFO,
-                topic::MARKER_ARRAY,
-            ],
+            Application::DynamicObject => {
+                vec![topic::TF, topic::RGB_IMAGE, topic::RGB_CAMERA_INFO, topic::MARKER_ARRAY]
+            }
             Application::PreAnalysis => {
                 let mut rng = StdRng::seed_from_u64(seed ^ 0x5041); // "PA"
                 let k = rng.random_range(2..=4usize);
@@ -84,10 +81,7 @@ mod tests {
 
     #[test]
     fn table3_topic_sets() {
-        assert_eq!(
-            Application::HandheldSlam.topics(0),
-            vec![topic::DEPTH_IMAGE, topic::RGB_IMAGE]
-        );
+        assert_eq!(Application::HandheldSlam.topics(0), vec![topic::DEPTH_IMAGE, topic::RGB_IMAGE]);
         assert_eq!(
             Application::RobotSlam.topics(0),
             vec![topic::DEPTH_IMAGE, topic::RGB_IMAGE, topic::IMU]

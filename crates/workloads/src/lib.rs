@@ -20,10 +20,15 @@
 //! * [`amr`] — a second family (warehouse AMR: lidar, odometry, GPS,
 //!   compressed video) exercising the structured-data-dominant regime.
 
+//! * [`querymix`] — skewed (hot/cold) query streams against a set of
+//!   containers, driving the `bora-serve` serving-layer experiments.
+
 pub mod amr;
 pub mod apps;
+pub mod querymix;
 pub mod swarm;
 pub mod tum;
 
 pub use apps::{Application, APPLICATIONS};
+pub use querymix::{Query, QueryKind, QueryMixOptions};
 pub use tum::{topic, GenOptions, TopicSpec, TumBag, TUM_TOPICS};

@@ -53,20 +53,13 @@ pub fn generate_swarm<S: Storage>(
         let bag = generate_bag(
             storage,
             &path,
-            &GenOptions {
-                seed: opts.seed.wrapping_add(i as u64 * 0x9E37_79B9),
-                ..*opts
-            },
+            &GenOptions { seed: opts.seed.wrapping_add(i as u64 * 0x9E37_79B9), ..*opts },
             ctx,
         )?;
         bag_paths.push(path);
         per_bag.push(bag);
     }
-    Ok(Swarm {
-        bag_paths,
-        robots,
-        per_bag,
-    })
+    Ok(Swarm { bag_paths, robots, per_bag })
 }
 
 #[cfg(test)]

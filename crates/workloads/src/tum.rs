@@ -112,12 +112,7 @@ impl GenOptions {
     /// Options for a bag of roughly `gb` logical gigabytes, with payloads
     /// shrunk by `payload_scale` to keep the run in RAM.
     pub fn for_gb(gb: f64, payload_scale: f64, seed: u64) -> Self {
-        GenOptions {
-            count_scale: gb / 2.9,
-            payload_scale,
-            seed,
-            ..Default::default()
-        }
+        GenOptions { count_scale: gb / 2.9, payload_scale, seed, ..Default::default() }
     }
 
     /// Approximate real bytes this configuration will write.
@@ -183,17 +178,14 @@ pub fn generate_bag<S: Storage>(
     let mut total = 0u64;
     let mut last_ns = start_ns;
 
-    loop {
-        // Next emission = stream with the earliest next_ns.
-        let Some(si) = streams
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.remaining > 0)
-            .min_by_key(|(_, s)| s.next_ns)
-            .map(|(i, _)| i)
-        else {
-            break;
-        };
+    // Next emission = stream with the earliest next_ns.
+    while let Some(si) = streams
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.remaining > 0)
+        .min_by_key(|(_, s)| s.next_ns)
+        .map(|(i, _)| i)
+    {
         let (name, t) = {
             let s = &mut streams[si];
             let t = Time::from_nanos(s.next_ns);
@@ -417,8 +409,10 @@ mod tests {
         let r = BagReader::open(&fs, "/hs.bag", &mut ctx).unwrap();
         assert_eq!(r.index().message_count(), bag.message_count);
         let imu = r.read_messages(&[topic::IMU], &mut ctx).unwrap();
-        assert_eq!(imu.len() as u64,
-            bag.per_topic_counts.iter().find(|(n, _)| *n == topic::IMU).unwrap().1);
+        assert_eq!(
+            imu.len() as u64,
+            bag.per_topic_counts.iter().find(|(n, _)| *n == topic::IMU).unwrap().1
+        );
         // Payloads decode as typed messages.
         let msg = Imu::from_bytes(&imu[0].data).unwrap();
         assert_eq!(msg.linear_acceleration.z, 9.81);

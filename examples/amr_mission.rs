@@ -48,14 +48,22 @@ fn main() {
     let mut ctx = IoCtx::new();
 
     println!("recording a 60 s AMR mission...");
-    let bag = generate_amr_bag(&fs, "/amr.bag", &AmrOptions::default(), &mut ctx).expect("generate");
+    let bag =
+        generate_amr_bag(&fs, "/amr.bag", &AmrOptions::default(), &mut ctx).expect("generate");
     println!("  {} messages, {} bytes", bag.message_count, bag.file_len);
     for (t, n) in &bag.per_topic_counts {
         println!("    {t:22} {n:>6} msgs");
     }
 
-    bora::organizer::duplicate(&fs, "/amr.bag", &fs, "/bora/amr", &bora::OrganizerOptions::default(), &mut ctx)
-        .expect("import");
+    bora::organizer::duplicate(
+        &fs,
+        "/amr.bag",
+        &fs,
+        "/bora/amr",
+        &bora::OrganizerOptions::default(),
+        &mut ctx,
+    )
+    .expect("import");
     let bbag = BoraBag::open(&fs, "/bora/amr", &mut ctx).expect("open");
 
     // Dock-approach replay: odometry + lidar, [t0+20 s, t0+30 s).
@@ -96,7 +104,8 @@ fn main() {
     let pose = odoms
         .iter()
         .min_by_key(|o| {
-            (o.header.stamp.as_nanos() as i128 - scan.header.stamp.as_nanos() as i128).unsigned_abs()
+            (o.header.stamp.as_nanos() as i128 - scan.header.stamp.as_nanos() as i128)
+                .unsigned_abs()
         })
         .expect("a pose near the scan");
     let cloud = scan_to_cloud(scan, pose);

@@ -18,8 +18,13 @@ fn main() {
 
     // 1. A recording that never gets to close(): chunks are on disk but
     //    the header is a placeholder and the index section is missing.
-    let mut w = BagWriter::create(&fs, "/flight.bag", BagWriterOptions { chunk_size: 4096, ..Default::default() }, &mut ctx)
-        .expect("create");
+    let mut w = BagWriter::create(
+        &fs,
+        "/flight.bag",
+        BagWriterOptions { chunk_size: 4096, ..Default::default() },
+        &mut ctx,
+    )
+    .expect("create");
     for i in 0..400u32 {
         let t = Time::new(50 + i / 20, (i % 20) * 50_000_000);
         let mut imu = Imu::default();
@@ -69,8 +74,10 @@ fn main() {
     .expect("import");
     let bag = BoraBag::open(&fs, "/bora/flight", &mut ctx).expect("bora open");
     let n = bag.verify(&mut ctx).expect("verify");
-    let window = bag
-        .read_topic_time("/imu", Time::new(55, 0), Time::new(60, 0), &mut ctx)
-        .expect("query");
-    println!("BORA container verified ({n} messages); [55 s, 60 s) window holds {} messages", window.len());
+    let window =
+        bag.read_topic_time("/imu", Time::new(55, 0), Time::new(60, 0), &mut ctx).expect("query");
+    println!(
+        "BORA container verified ({n} messages); [55 s, 60 s) window holds {} messages",
+        window.len()
+    );
 }

@@ -75,9 +75,7 @@ fn main() {
     let lo = Time::new(100, 0).as_nanos() + 4_000_000_000;
     let hi = lo + 2_000_000_000;
     let sql_hits = sql.scan_ts_range(lo, hi).len();
-    let ts_hits = tsdb
-        .query_range("tf,child=base_link,frame=odom", lo, hi)
-        .len()
+    let ts_hits = tsdb.query_range("tf,child=base_link,frame=odom", lo, hi).len()
         + tsdb.query_range("tf,child=camera,frame=odom", lo, hi).len();
     println!("\nrange query [4 s, 6 s) of the stream:");
     println!("  SQL B-tree scan: {sql_hits} rows");

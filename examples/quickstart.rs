@@ -46,9 +46,7 @@ fn main() {
     // --- 2. Mount BORA and import the bag (data duplication, Fig. 6). ---
     let bora = BoraFs::mount(&fs, "/mnt/bora", "/backend", BoraFsOptions::default(), &mut ctx)
         .expect("mount");
-    let report = bora
-        .import_bag(&fs, "/robot/sample.bag", "sample.bag", &mut ctx)
-        .expect("import");
+    let report = bora.import_bag(&fs, "/robot/sample.bag", "sample.bag", &mut ctx).expect("import");
     println!(
         "imported: {} topics, {} messages, scan {:.2} ms + distribute {:.2} ms",
         report.topics,
@@ -60,9 +58,16 @@ fn main() {
     // --- 3. Query by topic (Fig. 7): no scan, no iteration. ---
     let mut qctx = IoCtx::new();
     let msgs = bora.read_messages("sample.bag", &["/imu"], &mut qctx).expect("query");
-    println!("read {} /imu messages in {:.2} ms (virtual)", msgs.len(), qctx.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "read {} /imu messages in {:.2} ms (virtual)",
+        msgs.len(),
+        qctx.elapsed().as_secs_f64() * 1e3
+    );
     let first = Imu::from_bytes(&msgs[0].data).expect("decode");
-    println!("first IMU sample: az = {} m/s^2 at t = {}", first.linear_acceleration.z, msgs[0].time);
+    println!(
+        "first IMU sample: az = {} m/s^2 at t = {}",
+        first.linear_acceleration.z, msgs[0].time
+    );
 
     // --- 4. Query by topic + time window (coarse-grain time index). ---
     let start = Time::new(102, 0);

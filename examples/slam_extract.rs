@@ -54,11 +54,7 @@ fn main() {
     let mut ctx = IoCtx::new();
 
     println!("generating Handheld-SLAM bag (Table II shape, reduced payloads)...");
-    let opts = GenOptions {
-        count_scale: 0.25,
-        payload_scale: 0.002,
-        ..Default::default()
-    };
+    let opts = GenOptions { count_scale: 0.25, payload_scale: 0.002, ..Default::default() };
     let bag = generate_bag(&fs, "/hs.bag", &opts, &mut ctx).expect("generate");
     println!("  {} messages, {} bytes on disk", bag.message_count, bag.file_len);
 

@@ -19,19 +19,22 @@ fn main() {
     let mut ctx = IoCtx::new();
 
     println!("generating a {robots}-robot swarm on the Lustre model...");
-    let opts = GenOptions {
-        count_scale: 0.05,
-        payload_scale: 0.004,
-        ..Default::default()
-    };
+    let opts = GenOptions { count_scale: 0.05, payload_scale: 0.004, ..Default::default() };
     let swarm = generate_swarm(&fs, "/swarm", robots, 4, &opts, &mut ctx).expect("swarm");
 
     println!("duplicating each distinct bag into a BORA container...");
     let mut containers = Vec::new();
     for (i, path) in swarm.bag_paths.iter().enumerate() {
         let root = format!("/bora/robot{i}");
-        bora::organizer::duplicate(&fs, path, &fs, &root, &bora::OrganizerOptions::default(), &mut ctx)
-            .expect("duplicate");
+        bora::organizer::duplicate(
+            &fs,
+            path,
+            &fs,
+            &root,
+            &bora::OrganizerOptions::default(),
+            &mut ctx,
+        )
+        .expect("duplicate");
         containers.push(root);
     }
 
@@ -49,9 +52,8 @@ fn main() {
     let base = run_parallel(robots, |robot, ctx| {
         let bag = &swarm.bag_paths[robot % swarm.bag_paths.len()];
         let reader = BagReader::open(&fs, bag, ctx).expect("open");
-        let frames = reader
-            .read_messages_time(&[topic::RGB_IMAGE], window.0, window.1, ctx)
-            .expect("query");
+        let frames =
+            reader.read_messages_time(&[topic::RGB_IMAGE], window.0, window.1, ctx).expect("query");
         assert!(!frames.is_empty());
     });
 
@@ -59,9 +61,7 @@ fn main() {
     let ours = run_parallel(robots, |robot, ctx| {
         let root = &containers[robot % containers.len()];
         let bag = BoraBag::open(&fs, root, ctx).expect("open");
-        let frames = bag
-            .read_topic_time(topic::RGB_IMAGE, window.0, window.1, ctx)
-            .expect("query");
+        let frames = bag.read_topic_time(topic::RGB_IMAGE, window.0, window.1, ctx).expect("query");
         assert!(!frames.is_empty());
     });
 

@@ -19,11 +19,7 @@ use workloads::tum::{generate_bag, topic, GenOptions};
 fn main() {
     let fs = TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4());
     let mut ctx = IoCtx::new();
-    let opts = GenOptions {
-        count_scale: 0.5,
-        payload_scale: 0.002,
-        ..Default::default()
-    };
+    let opts = GenOptions { count_scale: 0.5, payload_scale: 0.002, ..Default::default() };
     println!("generating bag...");
     generate_bag(&fs, "/hs.bag", &opts, &mut ctx).expect("generate");
     bora::organizer::duplicate(
@@ -57,17 +53,12 @@ fn main() {
         let start = t0 + RosDuration::from_sec_f64(10.0);
         let end = start + RosDuration::from_sec_f64(w);
         let (lo, hi) = tindex.slot_range(start, end);
-        let candidates = tindex
-            .candidate_entries(start, end)
-            .map(|(a, b)| b - a)
-            .unwrap_or(0);
+        let candidates = tindex.candidate_entries(start, end).map(|(a, b)| b - a).unwrap_or(0);
 
         let mut bctx = IoCtx::new();
         let got = bag.read_topic_time(topic::IMU, start, end, &mut bctx).unwrap();
         let mut rctx = IoCtx::new();
-        let base = reader
-            .read_messages_time(&[topic::IMU], start, end, &mut rctx)
-            .unwrap();
+        let base = reader.read_messages_time(&[topic::IMU], start, end, &mut rctx).unwrap();
         assert_eq!(got.len(), base.len());
 
         println!(

@@ -7,6 +7,7 @@
 //! figure.
 
 pub use bora;
+pub use bora_serve;
 pub use dbsim;
 pub use plfs_lite;
 pub use ros_msgs;

@@ -6,10 +6,8 @@ use bora_repro::*;
 
 use bora::{BoraBag, BoraFs, BoraFsOptions, OrganizerOptions};
 use ros_msgs::{RosDuration, RosMessage, Time};
-use rosbag::{BagReader, BagWriter, BagWriterOptions};
-use simfs::{
-    ClusterConfig, ClusterStorage, DeviceModel, IoCtx, MemStorage, Storage, TimedStorage,
-};
+use rosbag::{BagReader, BagWriterOptions};
+use simfs::{ClusterConfig, ClusterStorage, DeviceModel, IoCtx, MemStorage, Storage, TimedStorage};
 use workloads::tum::{generate_bag, topic, GenOptions};
 use workloads::Application;
 

@@ -11,7 +11,6 @@ use bench::experiments::common::{
 };
 use ros_msgs::RosDuration;
 use workloads::tum::{spec, topic};
-use workloads::Application;
 
 fn scales() -> ScaleConfig {
     ScaleConfig::tiny()
@@ -22,11 +21,7 @@ fn scales() -> ScaleConfig {
 #[test]
 fn fig2_fs_beats_all_engines_tsdb_worst() {
     let table = bench::experiments::fig2::run_with_count(2_000);
-    let times: Vec<f64> = table
-        .rows
-        .iter()
-        .map(|r| r[1].parse::<f64>().unwrap())
-        .collect();
+    let times: Vec<f64> = table.rows.iter().map(|r| r[1].parse::<f64>().unwrap()).collect();
     let (ext4, kv, sql, tsdb) = (times[0], times[1], times[2], times[3]);
     assert!(kv > ext4 * 10.0, "KV should be >10x slower than Ext4");
     assert!(sql > kv, "SQL slower than KV");
@@ -95,11 +90,7 @@ fn fig11_every_application_improves() {
             let base = baseline_query(&env, &topics, 1);
             let ours = bora_query(&env, &topics, 1);
             assert_eq!(base.messages, ours.messages);
-            assert!(
-                base.total_ns() > ours.total_ns(),
-                "{} should improve",
-                app.abbrev()
-            );
+            assert!(base.total_ns() > ours.total_ns(), "{} should improve", app.abbrev());
         }
     }
 }

@@ -13,15 +13,13 @@ use simfs::{IoCtx, MemStorage, Storage};
 type Event = (usize, u64, u8);
 
 fn arb_events() -> impl Strategy<Value = Vec<Event>> {
-    prop::collection::vec(
-        (0usize..4, 0u64..200_000_000_000, any::<u8>()),
-        1..120,
+    prop::collection::vec((0usize..4, 0u64..200_000_000_000, any::<u8>()), 1..120).prop_map(
+        |mut v| {
+            // Bags are recorded chronologically.
+            v.sort_by_key(|e| e.1);
+            v
+        },
     )
-    .prop_map(|mut v| {
-        // Bags are recorded chronologically.
-        v.sort_by_key(|e| e.1);
-        v
-    })
 }
 
 const TOPICS: [&str; 4] = ["/imu", "/tf", "/camera/rgb/image_color", "/odom"];
@@ -42,8 +40,7 @@ fn build_bag(fs: &MemStorage, events: &[Event], chunk_size: usize) -> u64 {
         imu.header.seq = seed as u32;
         imu.header.stamp = Time::from_nanos(ns);
         imu.linear_acceleration.x = seed as f64;
-        w.write_message(conns[ti], Time::from_nanos(ns), &imu.to_bytes(), &mut ctx)
-            .unwrap();
+        w.write_message(conns[ti], Time::from_nanos(ns), &imu.to_bytes(), &mut ctx).unwrap();
     }
     let s = w.close(&mut ctx).unwrap();
     s.message_count

@@ -1,0 +1,205 @@
+//! bora-serve integration: the full protocol stack over both transports,
+//! error mapping, and backend fault injection.
+//!
+//! The deterministic concurrency scenarios (hot cache, eviction churn,
+//! overload shedding) live in `tests/concurrency.rs`; this file covers
+//! the seams those skip: real TCP framing, protocol-level errors, and a
+//! faulty storage backend under the running service.
+
+use bora_repro::*;
+
+use bora::{BoraBag, OrganizerOptions};
+use bora_serve::{
+    spawn_tcp_listener, ClientError, ErrorCode, MemTransport, ServeClient, Server, ServerConfig,
+    TcpTransport,
+};
+use simfs::{FaultKind, FaultRule, FaultyStorage, IoCtx, MemStorage, Storage};
+use std::sync::Arc;
+use workloads::tum::GenOptions;
+
+/// One generated Handheld-SLAM bag organized into `n` containers
+/// `/srv0..`, on any storage backend.
+fn build_containers<S: simfs::Storage>(fs: &S, n: usize) -> Vec<String> {
+    let mut ctx = IoCtx::new();
+    let opts = GenOptions {
+        count_scale: 0.05,
+        payload_scale: 0.003,
+        seed: 0x5e,
+        writer: rosbag::BagWriterOptions { chunk_size: 64 * 1024, ..Default::default() },
+        ..Default::default()
+    };
+    workloads::tum::generate_bag(fs, "/hs.bag", &opts, &mut ctx).unwrap();
+    (0..n)
+        .map(|k| {
+            let root = format!("/srv{k}");
+            bora::organizer::duplicate(
+                fs,
+                "/hs.bag",
+                fs,
+                &root,
+                &OrganizerOptions::default(),
+                &mut ctx,
+            )
+            .unwrap();
+            root
+        })
+        .collect()
+}
+
+#[test]
+fn tcp_transport_end_to_end() {
+    let fs = Arc::new(MemStorage::new());
+    let roots = build_containers(&*fs, 2);
+    let mut ctx = IoCtx::new();
+    let direct = BoraBag::open(Arc::clone(&fs), &roots[0], &mut ctx).unwrap();
+    let expected_imu = direct.read_topic("/imu", &mut ctx).unwrap().len();
+    let mut expected_topics: Vec<String> = direct.topics().into_iter().map(str::to_owned).collect();
+    expected_topics.sort();
+    drop(direct);
+
+    let server = Server::start(Arc::clone(&fs), ServerConfig::default());
+    let listener = spawn_tcp_listener(Arc::clone(&server), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let transport = TcpTransport::new(listener.addr());
+
+    // Several clients over real sockets, concurrently.
+    std::thread::scope(|scope| {
+        for worker in 0..3 {
+            let transport = &transport;
+            let roots = &roots;
+            let expected_topics = &expected_topics;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(transport).unwrap();
+                for round in 0..3 {
+                    let root = &roots[(worker + round) % roots.len()];
+                    assert_eq!(&client.topics(root).unwrap(), expected_topics);
+                    let msgs = client.read(root, &["/imu"]).unwrap();
+                    assert_eq!(msgs.len(), expected_imu);
+                    // Messages arrive time-ordered through the wire too.
+                    for pair in msgs.windows(2) {
+                        assert!(pair[0].time <= pair[1].time);
+                    }
+                }
+            });
+        }
+    });
+
+    let mut client = ServeClient::connect(&transport).unwrap();
+    let stat = client.stat(&roots[0]).unwrap();
+    assert!(stat.messages > 0);
+    assert!(stat.topics as usize >= expected_topics.len());
+
+    // The container's raw metadata survives the trip byte-exact.
+    let meta_bytes = client.meta(&roots[0]).unwrap();
+    let meta = bora::ContainerMeta::decode(&meta_bytes).unwrap();
+    assert_eq!(meta.message_count(), stat.messages);
+
+    let snap = client.stats().unwrap();
+    assert_eq!(snap.shed, 0);
+    assert!(snap.cache_hits > 0);
+
+    // SHUTDOWN over TCP stops the acceptor; join must not hang.
+    client.shutdown().unwrap();
+    listener.join();
+    server.shutdown();
+}
+
+#[test]
+fn unknown_container_and_topic_map_to_typed_errors() {
+    let fs = Arc::new(MemStorage::new());
+    let roots = build_containers(&*fs, 1);
+
+    let server = Server::start(Arc::clone(&fs), ServerConfig::default());
+    let transport = MemTransport::new(Arc::clone(&server));
+    let mut client = ServeClient::connect(&transport).unwrap();
+
+    // A path that does not exist at all fails at the storage layer...
+    match client.topics("/nonexistent") {
+        Err(ClientError::Server { code: ErrorCode::Io, .. }) => {}
+        other => panic!("expected Io, got {other:?}"),
+    }
+    // ...while an existing directory with no container layout inside is
+    // diagnosed as such.
+    {
+        let mut ctx = IoCtx::new();
+        fs.mkdir_all("/empty", &mut ctx).unwrap();
+    }
+    match client.topics("/empty") {
+        Err(ClientError::Server { code: ErrorCode::NotAContainer, .. }) => {}
+        other => panic!("expected NotAContainer, got {other:?}"),
+    }
+    match client.read(&roots[0], &["/no/such/topic"]) {
+        Err(ClientError::Server { code: ErrorCode::UnknownTopic, .. }) => {}
+        other => panic!("expected UnknownTopic, got {other:?}"),
+    }
+    // The connection survives server-side errors.
+    assert!(!client.topics(&roots[0]).unwrap().is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn backend_fault_becomes_protocol_error_without_poisoning_the_cache() {
+    let fs = Arc::new(FaultyStorage::new(MemStorage::new()));
+    let roots = build_containers(&*fs, 2);
+
+    let server = Server::start(
+        Arc::clone(&fs),
+        ServerConfig { workers: 2, queue_capacity: 16, cache_capacity: 4 },
+    );
+    let transport = MemTransport::new(Arc::clone(&server));
+    let mut client = ServeClient::connect(&transport).unwrap();
+
+    // Warm /srv0; count its messages while the backend is healthy.
+    let healthy = client.read(&roots[0], &["/imu"]).unwrap().len();
+    assert!(healthy > 0);
+    let warm_snap = client.stats().unwrap();
+    assert_eq!(warm_snap.cache_len, 1);
+
+    // Fault every read under /srv1: the cold open must fail cleanly.
+    // (`BoraBag::open` folds a failed metadata read into NotAContainer —
+    // from the opener's seat an unreadable container and a missing one
+    // look the same.)
+    fs.inject(FaultRule {
+        kind: FaultKind::Reads,
+        path_contains: Some("/srv1".into()),
+        after_ops: 0,
+        corrupt_with: None,
+    });
+    match client.open(&roots[1]) {
+        Err(ClientError::Server { code: ErrorCode::NotAContainer, .. }) => {}
+        other => panic!("expected NotAContainer error, got {other:?}"),
+    }
+    // The failed open must not leave a half-built handle behind.
+    let snap = client.stats().unwrap();
+    assert_eq!(snap.cache_len, 1, "failed open must not be cached");
+
+    // The healthy container is unaffected while the fault is live, and
+    // the pool keeps serving (same client, same workers).
+    assert_eq!(client.read(&roots[0], &["/imu"]).unwrap().len(), healthy);
+
+    // Fault cleared: the service recovers without a restart.
+    fs.clear_faults();
+    let (_, cached) = client.open(&roots[1]).unwrap();
+    assert!(!cached, "the faulted open must not have cached anything");
+    assert_eq!(client.read(&roots[1], &["/imu"]).unwrap().len(), healthy);
+
+    // Now fault the *data* path of the already-cached /srv0: the READ
+    // fails with a typed error, but the cached handle itself is fine —
+    // once the backend recovers, the same handle serves correct data.
+    fs.inject(FaultRule {
+        kind: FaultKind::Reads,
+        path_contains: Some("/srv0/imu".into()),
+        after_ops: 0,
+        corrupt_with: None,
+    });
+    match client.read(&roots[0], &["/imu"]) {
+        Err(ClientError::Server { code: ErrorCode::Io, .. }) => {}
+        other => panic!("expected Io error, got {other:?}"),
+    }
+    fs.clear_faults();
+    let before = client.stats().unwrap().cache_hits;
+    assert_eq!(client.read(&roots[0], &["/imu"]).unwrap().len(), healthy);
+    let after = client.stats().unwrap();
+    assert!(after.cache_hits > before, "recovery read must come from the cached handle");
+
+    server.shutdown();
+}
