@@ -22,6 +22,7 @@ use bench::env::ScaleConfig;
 use bench::experiments::registry;
 
 fn main() {
+    bora_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
@@ -94,17 +95,40 @@ fn main() {
         "# BORA reproduction — scales: small={:.5} large={:.5} swarm={:.5} seed={:#x}",
         scales.small, scales.large, scales.swarm, scales.seed
     );
+    let mut telemetry: Vec<String> = Vec::new();
     for exp in selected {
         let started = Instant::now();
+        let metrics_before = bora_obs::snapshot();
         println!("\n### {} ({}) — {}", exp.id, exp.paper_ref, exp.description);
-        let tables = (exp.run)(&scales);
-        for t in &tables {
+        let mut tables = (exp.run)(&scales);
+        let delta = bora_obs::snapshot().delta_since(&metrics_before);
+        let wall = started.elapsed().as_secs_f64();
+        for t in &mut tables {
+            t.metrics = delta.to_rows();
             println!("\n{}", t.render());
             if let Err(e) = t.save_csv(&out_dir) {
                 eprintln!("warning: could not save {}.csv: {e}", t.id);
             }
         }
-        println!("[{} finished in {:.1}s]", exp.id, started.elapsed().as_secs_f64());
+        telemetry.push(format!(
+            "{{\"id\":{},\"wall_secs\":{:.3},\"metrics\":{}}}",
+            bora_obs::json_string(exp.id),
+            wall,
+            delta.to_json()
+        ));
+        println!("[{} finished in {:.1}s]", exp.id, wall);
+    }
+    let telemetry_json = format!("[\n{}\n]\n", telemetry.join(",\n"));
+    if std::fs::create_dir_all(&out_dir)
+        .and_then(|()| std::fs::write(out_dir.join("telemetry.json"), telemetry_json))
+        .is_ok()
+    {
+        println!("per-experiment metrics in {}", out_dir.join("telemetry.json").display());
+    }
+    match bora_obs::write_trace_if_enabled(&out_dir.join("trace.json").to_string_lossy()) {
+        Ok(Some(p)) => println!("chrome trace in {}", p.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: could not write trace: {e}"),
     }
     println!("\nCSV results in {}", out_dir.display());
 }

@@ -15,6 +15,10 @@ pub struct Table {
     /// Free-form notes appended under the table (paper-vs-measured
     /// commentary, scale disclosures).
     pub notes: Vec<String>,
+    /// Per-experiment telemetry rows (`name`, `value`), taken as a
+    /// [`bora_obs`] registry delta around the experiment run. Appended to
+    /// the CSV after a blank line so the main table stays parseable.
+    pub metrics: Vec<(String, String)>,
 }
 
 impl Table {
@@ -25,6 +29,7 @@ impl Table {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -63,6 +68,12 @@ impl Table {
         for n in &self.notes {
             let _ = writeln!(out, "  note: {n}");
         }
+        if !self.metrics.is_empty() {
+            let _ = writeln!(out, "  telemetry:");
+            for (k, v) in &self.metrics {
+                let _ = writeln!(out, "    {k} = {v}");
+            }
+        }
         out
     }
 
@@ -83,6 +94,15 @@ impl Table {
         );
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        }
+        if !self.metrics.is_empty() {
+            // Blank line separates the metrics section from the table body so
+            // naive `split('\n')` consumers of the main table are unaffected.
+            let _ = writeln!(out);
+            let _ = writeln!(out, "metric,value");
+            for (k, v) in &self.metrics {
+                let _ = writeln!(out, "{},{}", field(k), field(v));
+            }
         }
         out
     }
@@ -155,6 +175,31 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("x", "x", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_metrics_section_appended_after_blank_line() {
+        let mut t = sample();
+        t.metrics.push(("bora.open.count".into(), "3".into()));
+        t.metrics.push(("fs.read_at.p99".into(), "8191".into()));
+        let csv = t.to_csv();
+        // The table body is byte-identical to the metrics-free rendering, so
+        // existing column parsers that stop at the first blank line still work.
+        let plain = sample().to_csv();
+        assert!(csv.starts_with(&plain));
+        let tail = &csv[plain.len()..];
+        assert_eq!(tail, "\nmetric,value\nbora.open.count,3\nfs.read_at.p99,8191\n");
+        // Console rendering carries the same telemetry.
+        let r = t.render();
+        assert!(r.contains("telemetry:"));
+        assert!(r.contains("bora.open.count = 3"));
+    }
+
+    #[test]
+    fn csv_without_metrics_has_no_trailing_section() {
+        let csv = sample().to_csv();
+        assert!(!csv.contains("metric,value"));
+        assert!(!csv.contains("\n\n"));
     }
 
     #[test]

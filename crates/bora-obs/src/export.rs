@@ -1,0 +1,129 @@
+//! Exporters for drained span events.
+//!
+//! * [`chrome_trace`] — the Chrome `trace_event` JSON array format, with
+//!   one complete (`"ph":"X"`) event per span. Load the file in
+//!   `about://tracing` or <https://ui.perfetto.dev> to see the paper's
+//!   latency decomposition as a timeline. Virtual (cost-model) nanoseconds
+//!   travel in each event's `args.virt_ns`.
+//! * [`folded_stacks`] — `path;to;span <self_wall_ns>` lines, directly
+//!   consumable by `flamegraph.pl` / `inferno-flamegraph`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::registry::json_string;
+use crate::trace::SpanEvent;
+
+/// Serialize events as a Chrome `trace_event` JSON object. `dropped` is
+/// recorded in the top-level metadata so a truncated trace is honest
+/// about it.
+pub fn chrome_trace(events: &[SpanEvent], dropped: u64) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ns\",");
+    let _ = write!(out, "\"otherData\":{{\"dropped_events\":{dropped}}},");
+    out.push_str("\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"bora\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}",
+            json_string(e.name),
+            e.tid,
+            e.start_ns as f64 / 1e3,
+            e.dur_ns as f64 / 1e3,
+        );
+        match e.virt_ns {
+            Some(v) => {
+                let _ =
+                    write!(out, ",\"args\":{{\"virt_ns\":{v},\"path\":{}}}", json_string(&e.path));
+            }
+            None => {
+                let _ = write!(out, ",\"args\":{{\"path\":{}}}", json_string(&e.path));
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render folded stacks: one line per distinct span path, weighted by
+/// **self** wall time (total minus the time spent in child spans), the
+/// convention flamegraph tools expect. Lines are sorted for determinism.
+pub fn folded_stacks(events: &[SpanEvent]) -> String {
+    let mut total: HashMap<&str, u64> = HashMap::new();
+    for e in events {
+        *total.entry(e.path.as_str()).or_default() += e.dur_ns;
+    }
+    // Self time = total − Σ direct children's totals.
+    let mut self_ns: HashMap<&str, u64> = total.clone();
+    for (path, ns) in &total {
+        if let Some((parent, _)) = path.rsplit_once(';') {
+            if let Some(p) = self_ns.get_mut(parent) {
+                *p = p.saturating_sub(*ns);
+            }
+        }
+    }
+    let mut lines: Vec<String> =
+        self_ns.into_iter().map(|(path, ns)| format!("{path} {ns}")).collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, path: &str, start: u64, dur: u64, virt: Option<u64>) -> SpanEvent {
+        SpanEvent {
+            name,
+            path: path.to_owned(),
+            tid: 0,
+            start_ns: start,
+            dur_ns: dur,
+            virt_ns: virt,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let events = vec![
+            ev("open", "open", 0, 5_000, Some(77)),
+            ev("read", "open;read", 1_000, 2_000, None),
+        ];
+        let json = chrome_trace(&events, 3);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"dropped_events\":3"));
+        assert!(json.contains("\"name\":\"open\""));
+        assert!(json.contains("\"virt_ns\":77"));
+        assert!(json.contains("\"ts\":1.000"));
+        // Exactly one traceEvents array with both events.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn folded_self_time_subtracts_children() {
+        let events = vec![
+            ev("a", "a", 0, 100, None),
+            ev("b", "a;b", 10, 30, None),
+            ev("b", "a;b", 50, 20, None),
+            ev("c", "a;b;c", 12, 5, None),
+        ];
+        let folded = folded_stacks(&events);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines, vec!["a 50", "a;b 45", "a;b;c 5"]);
+    }
+
+    #[test]
+    fn empty_events_export_cleanly() {
+        assert_eq!(folded_stacks(&[]), "");
+        let json = chrome_trace(&[], 0);
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Structured spans recorded into per-thread ring buffers with a global
+//! drain.
+//!
+//! ## Cost model
+//!
+//! The *disabled* path — the default — is one relaxed atomic load per span
+//! site ([`enabled`]); no clock read, no thread-local touch, no
+//! allocation. When enabled, a span start pushes its name onto a
+//! thread-local stack and reads the monotonic clock; the finished event is
+//! appended to the thread's own ring buffer under an uncontended mutex, so
+//! threads never serialize against each other on the hot path — only a
+//! [`drain`] briefly locks each buffer.
+//!
+//! ## Drop policy
+//!
+//! Each thread's ring holds [`RING_CAPACITY`] finished spans; when it is
+//! full the *oldest* event is overwritten and a global drop counter
+//! ([`dropped`]) is incremented. Traces therefore always show the most
+//! recent window of activity, and the exporter records how much history
+//! was lost.
+//!
+//! ## Virtual time
+//!
+//! Spans measure wall time. Code that runs against the `simfs` cost model
+//! additionally attaches the **virtual** nanoseconds the model charged for
+//! the spanned region via [`Span::end_virt`] — the number the paper's
+//! figures are made of. Sibling spans that partition a region's work
+//! partition its virtual charge, so summing a span's direct children
+//! reproduces the parent's cost.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Finished spans kept per thread before the oldest are overwritten.
+pub const RING_CAPACITY: usize = 16_384;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+/// Is tracing on? One relaxed load — this is the entire disabled-path
+/// cost of a span site.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+/// Turn tracing on or off. Spans already in flight when the flag flips
+/// keep the activation state they started with.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Relaxed);
+}
+
+/// Initialize from the environment: `BORA_TRACE` set to anything but
+/// `""`/`"0"` enables tracing. Returns the resulting state.
+pub fn init_from_env() -> bool {
+    let on = std::env::var("BORA_TRACE").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+    set_enabled(on);
+    on
+}
+
+/// Trace output path from `BORA_TRACE_OUT`, if set.
+pub fn out_path_from_env() -> Option<std::path::PathBuf> {
+    std::env::var_os("BORA_TRACE_OUT").map(std::path::PathBuf::from)
+}
+
+/// Events overwritten because a thread's ring was full, process-wide.
+pub fn dropped() -> u64 {
+    DROPPED.load(Relaxed)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process's trace epoch (first span or drain).
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    pub name: &'static str,
+    /// `;`-joined ancestry ending in `name` (e.g.
+    /// `bora.open;bora.open.tag_rebuild`), for folded-stack export.
+    pub path: String,
+    /// Small dense thread id (registration order, not the OS tid).
+    pub tid: u64,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Virtual nanoseconds charged by the storage cost model, when the
+    /// instrumentation site had a cost-model context to measure.
+    pub virt_ns: Option<u64>,
+}
+
+struct ThreadBuf {
+    tid: u64,
+    ring: Mutex<VecDeque<SpanEvent>>,
+}
+
+fn sinks() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static SINKS: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: (Arc<ThreadBuf>, std::cell::RefCell<Vec<&'static str>>) = {
+        let buf = Arc::new(ThreadBuf {
+            tid: NEXT_TID.fetch_add(1, Relaxed),
+            ring: Mutex::new(VecDeque::with_capacity(64)),
+        });
+        sinks().lock().push(Arc::clone(&buf));
+        (buf, std::cell::RefCell::new(Vec::new()))
+    };
+}
+
+fn push_event(ev: SpanEvent) {
+    LOCAL.with(|(buf, _)| {
+        let mut ring = buf.ring.lock();
+        if ring.len() >= RING_CAPACITY {
+            ring.pop_front();
+            DROPPED.fetch_add(1, Relaxed);
+        }
+        ring.push_back(ev);
+    });
+}
+
+/// Collect every buffered event from every thread (past and present),
+/// clearing the buffers. Events come back sorted by start time.
+pub fn drain() -> Vec<SpanEvent> {
+    let sinks = sinks().lock();
+    let mut out = Vec::new();
+    for buf in sinks.iter() {
+        out.extend(buf.ring.lock().drain(..));
+    }
+    drop(sinks);
+    out.sort_by_key(|e| (e.start_ns, e.tid));
+    out
+}
+
+/// An in-flight span. Create with [`span`]; finish by dropping, or with
+/// [`Span::end_virt`] to attach the cost model's virtual charge.
+///
+/// Spans are strictly thread-local and must be dropped in LIFO order,
+/// which Rust's scope-based drop order gives for free.
+#[must_use = "a span measures the scope it lives in"]
+pub struct Span {
+    name: &'static str,
+    start_ns: u64,
+    active: bool,
+}
+
+/// Start a span. No-op (and no clock read) while tracing is disabled.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { name, start_ns: 0, active: false };
+    }
+    LOCAL.with(|(_, stack)| stack.borrow_mut().push(name));
+    Span { name, start_ns: now_ns(), active: true }
+}
+
+impl Span {
+    /// Finish, attaching the virtual nanoseconds the cost model charged
+    /// while the span was open (caller computes the delta from its
+    /// `IoCtx`).
+    pub fn end_virt(mut self, virt_ns: u64) {
+        self.finish(Some(virt_ns));
+    }
+
+    /// Finish without a virtual charge (same as dropping).
+    pub fn end(mut self) {
+        self.finish(None);
+    }
+
+    fn finish(&mut self, virt_ns: Option<u64>) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        let end = now_ns();
+        let (path, tid) = LOCAL.with(|(buf, stack)| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join(";");
+            debug_assert_eq!(stack.last().copied(), Some(self.name), "span drop out of order");
+            stack.pop();
+            (path, buf.tid)
+        });
+        push_event(SpanEvent {
+            name: self.name,
+            path,
+            tid,
+            start_ns: self.start_ns,
+            dur_ns: end.saturating_sub(self.start_ns),
+            virt_ns,
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish(None);
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    // Trace state is process-global; tests that enable it serialize here
+    // so parallel test threads don't drain each other's events.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = test_lock();
+        set_enabled(false);
+        drain();
+        {
+            let _s = span("never");
+        }
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn nesting_builds_paths() {
+        let _g = test_lock();
+        set_enabled(true);
+        drain();
+        {
+            let outer = span("outer");
+            {
+                let inner = span("inner");
+                inner.end_virt(42);
+            }
+            outer.end_virt(100);
+        }
+        set_enabled(false);
+        let events = drain();
+        assert_eq!(events.len(), 2);
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        assert_eq!(inner.path, "outer;inner");
+        assert_eq!(inner.virt_ns, Some(42));
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!(outer.path, "outer");
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(outer.dur_ns >= inner.dur_ns);
+    }
+
+    #[test]
+    fn early_return_drop_still_records() {
+        let _g = test_lock();
+        set_enabled(true);
+        drain();
+        fn faillible() -> Result<(), ()> {
+            let _s = span("try_block");
+            Err(())?; // guard dropped on the error path
+            Ok(())
+        }
+        let _ = faillible();
+        set_enabled(false);
+        let events = drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "try_block");
+        assert_eq!(events[0].virt_ns, None);
+    }
+
+    #[test]
+    fn eight_threads_hammering_lose_only_by_policy() {
+        let _g = test_lock();
+        set_enabled(true);
+        drain();
+        let dropped_before = dropped();
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 40_000; // > RING_CAPACITY: forces overwrites
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let s = span("hammer");
+                        s.end_virt(t * PER_THREAD + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_enabled(false);
+        let events: Vec<SpanEvent> = drain().into_iter().filter(|e| e.name == "hammer").collect();
+        let newly_dropped = dropped() - dropped_before;
+
+        // No event is torn: every survivor is internally consistent.
+        for e in &events {
+            assert_eq!(e.name, "hammer");
+            assert_eq!(e.path, "hammer");
+            let v = e.virt_ns.expect("hammer spans always carry virt");
+            assert!(v < THREADS * PER_THREAD);
+        }
+        // Each ring keeps at most RING_CAPACITY events; every other write
+        // is accounted for by the drop counter — nothing vanishes.
+        assert_eq!(events.len() as u64 + newly_dropped, THREADS * PER_THREAD);
+        // Per-thread survivors are the *most recent* spans of that thread
+        // (drop policy overwrites the oldest first) and respect capacity.
+        for t in 0..THREADS {
+            let lo = t * PER_THREAD;
+            let hi = lo + PER_THREAD;
+            let of_thread: Vec<u64> =
+                events.iter().filter_map(|e| e.virt_ns).filter(|v| (lo..hi).contains(v)).collect();
+            assert!(of_thread.len() <= RING_CAPACITY);
+            let min_kept = of_thread.iter().min().copied().unwrap_or(hi);
+            assert!(
+                min_kept >= hi - of_thread.len() as u64,
+                "thread {t} kept older events than its ring could hold"
+            );
+        }
+    }
+}

@@ -107,6 +107,9 @@ fn seed_container(fs: &Arc<MemStorage>, idx: usize, messages: u32) -> String {
 
 fn main() {
     let args = parse_args();
+    if bora_obs::init_from_env() {
+        println!("tracing enabled (BORA_TRACE); drain with the TRACE op or ServeClient::trace");
+    }
     let fs = Arc::new(MemStorage::new());
 
     println!("seeding {} demo container(s), {} messages each...", args.containers, args.messages);

@@ -143,6 +143,15 @@ impl<C: Connection> ServeClient<C> {
         }
     }
 
+    /// Drain the server's span buffers as a Chrome `trace_event` JSON
+    /// document (empty unless the server runs with `BORA_TRACE=1`).
+    pub fn trace(&mut self) -> ClientResult<String> {
+        match self.roundtrip(&Request::Trace)? {
+            Response::Trace(json) => Ok(json),
+            other => Err(unexpected("TRACE", &other)),
+        }
+    }
+
     /// Ask the server to shut down. The connection is unusable afterwards.
     pub fn shutdown(&mut self) -> ClientResult<()> {
         match self.roundtrip(&Request::Shutdown)? {

@@ -17,9 +17,12 @@
 //!   in-process channels ([`transport::MemTransport`], deterministic, for
 //!   tests and benches) or real TCP ([`transport::TcpTransport`] and the
 //!   `bora-serve` binary);
-//! * per-op latency/count metrics ([`metrics`]) are served from the
-//!   control plane (`STATS` skips the data queue), so an overloaded
-//!   server can still be observed.
+//! * per-op latency/count metrics ([`metrics`], backed by the shared
+//!   `bora-obs` histograms and including the queue-wait vs service-time
+//!   split) are served from the control plane (`STATS` skips the data
+//!   queue), so an overloaded server can still be observed; with
+//!   `BORA_TRACE=1` the `TRACE` op additionally drains the process's
+//!   span buffers as a Chrome trace JSON document.
 //!
 //! ```
 //! use std::sync::Arc;

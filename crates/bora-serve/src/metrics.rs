@@ -4,92 +4,24 @@
 //! (submit to response, what a real client experiences, including queue
 //! wait) and **virtual** nanoseconds (what the storage cost model charged,
 //! deterministic across hosts — the number the repro experiments compare).
+//! The wall number is further split: the queue-wait histogram isolates
+//! time spent parked in the bounded queue from the service time a worker
+//! actually spent on the request.
 //!
-//! Percentiles come from fixed exponential histograms (one bucket per
-//! power of two), not sampled reservoirs: 64 counters per op, no
-//! allocation on the hot path, no randomness, and p99 error bounded by
-//! the 2x bucket width — plenty for "did the tail blow up" questions.
+//! The histograms themselves are [`bora_obs::ExpHistogram`]s — the
+//! power-of-two exponential histograms this module originally hand-rolled,
+//! since generalized into the shared observability crate. They are atomic,
+//! so recording takes no lock; percentile error is bounded by the 2x
+//! bucket width — plenty for "did the tail blow up" questions. Each
+//! `Metrics` owns its histograms (they are *not* in the global
+//! `bora-obs` registry) so concurrent servers in one process do not mix
+//! their numbers.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bora_obs::ExpHistogram;
 
 use crate::proto::{OpSummary, StatsSnapshot};
-
-const BUCKETS: usize = 64;
-
-#[derive(Debug, Clone)]
-struct OpRecorder {
-    count: u64,
-    wall_sum: u64,
-    wall_min: u64,
-    virt_sum: u64,
-    /// `wall_hist[i]` counts samples with `ilog2(ns) == i` (0 → bucket 0).
-    wall_hist: [u64; BUCKETS],
-}
-
-impl Default for OpRecorder {
-    fn default() -> Self {
-        OpRecorder {
-            count: 0,
-            wall_sum: 0,
-            wall_min: u64::MAX,
-            virt_sum: 0,
-            wall_hist: [0; BUCKETS],
-        }
-    }
-}
-
-fn bucket_of(ns: u64) -> usize {
-    if ns == 0 {
-        0
-    } else {
-        ns.ilog2() as usize
-    }
-}
-
-/// Upper bound of a bucket — the value reported for percentiles landing
-/// in it (conservative: never under-reports the tail).
-fn bucket_ceiling(i: usize) -> u64 {
-    if i + 1 >= BUCKETS {
-        u64::MAX
-    } else {
-        (2u64 << i) - 1
-    }
-}
-
-impl OpRecorder {
-    fn record(&mut self, wall_ns: u64, virt_ns: u64) {
-        self.count += 1;
-        self.wall_sum += wall_ns;
-        self.wall_min = self.wall_min.min(wall_ns);
-        self.virt_sum += virt_ns;
-        self.wall_hist[bucket_of(wall_ns)] += 1;
-    }
-
-    fn wall_percentile(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((self.count as f64) * p).ceil() as u64;
-        let mut seen = 0;
-        for (i, &c) in self.wall_hist.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_ceiling(i);
-            }
-        }
-        bucket_ceiling(BUCKETS - 1)
-    }
-
-    fn summary(&self) -> OpSummary {
-        OpSummary {
-            count: self.count,
-            wall_min_ns: if self.count == 0 { 0 } else { self.wall_min },
-            wall_mean_ns: self.wall_sum.checked_div(self.count).unwrap_or(0),
-            wall_p99_ns: self.wall_percentile(0.99),
-            virt_mean_ns: self.virt_sum.checked_div(self.count).unwrap_or(0),
-        }
-    }
-}
 
 /// The metric op kinds, in the order `STATS` reports them.
 pub const OP_NAMES: [&str; 5] = ["meta", "open", "read", "stat", "topics"];
@@ -98,12 +30,19 @@ fn op_index(name: &str) -> Option<usize> {
     OP_NAMES.iter().position(|n| *n == name)
 }
 
-/// All service metrics. One `Mutex` per op keeps recorders independent;
-/// `stats`/`shutdown` ops are control-plane and intentionally unrecorded.
+#[derive(Debug, Default)]
+struct OpRecorder {
+    wall: ExpHistogram,
+    virt: ExpHistogram,
+}
+
+/// All service metrics. Everything is atomic; `stats`/`shutdown`/`trace`
+/// ops are control-plane and intentionally unrecorded.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    ops: [Mutex<OpRecorder>; 5],
-    shed: std::sync::atomic::AtomicU64,
+    ops: [OpRecorder; 5],
+    queue_wait: ExpHistogram,
+    shed: AtomicU64,
 }
 
 impl Metrics {
@@ -111,30 +50,59 @@ impl Metrics {
         Self::default()
     }
 
-    /// Record one completed request of kind `op_name`.
+    /// Record one completed request of kind `op_name`. Unknown names are a
+    /// caller bug — the op table above and the protocol's `op_name` must
+    /// agree — so they fail loudly under `debug_assertions` (tests) and
+    /// drop silently in release builds.
     pub fn record(&self, op_name: &str, wall_ns: u64, virt_ns: u64) {
-        if let Some(i) = op_index(op_name) {
-            self.ops[i].lock().record(wall_ns, virt_ns);
-        }
+        let Some(i) = op_index(op_name) else {
+            debug_assert!(false, "Metrics::record: unknown op name {op_name:?}");
+            return;
+        };
+        self.ops[i].wall.record(wall_ns);
+        self.ops[i].virt.record(virt_ns);
+    }
+
+    /// Record how long one request sat in the bounded queue before a
+    /// worker picked it up.
+    pub fn record_queue_wait(&self, ns: u64) {
+        self.queue_wait.record(ns);
     }
 
     /// Count one request rejected for backpressure.
     pub fn record_shed(&self) {
-        self.shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn shed(&self) -> u64 {
-        self.shed.load(std::sync::atomic::Ordering::Relaxed)
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Assemble the wire-level snapshot. Queue and cache numbers are the
-    /// server's to fill in; this owns only the op recorders and shed count.
+    /// server's to fill in; this owns only the op recorders, queue-wait
+    /// histogram, and shed count.
     pub fn snapshot_into(&self, mut base: StatsSnapshot) -> StatsSnapshot {
         base.ops = OP_NAMES
             .iter()
             .zip(self.ops.iter())
-            .map(|(name, rec)| (name.to_string(), rec.lock().summary()))
+            .map(|(name, rec)| {
+                let wall = rec.wall.snapshot();
+                let virt = rec.virt.snapshot();
+                (
+                    name.to_string(),
+                    OpSummary {
+                        count: wall.count,
+                        wall_min_ns: wall.min_or_zero(),
+                        wall_mean_ns: wall.mean(),
+                        wall_p99_ns: wall.percentile(0.99),
+                        virt_mean_ns: virt.mean(),
+                    },
+                )
+            })
             .collect();
+        let qw = self.queue_wait.snapshot();
+        base.queue_wait_mean_ns = qw.mean();
+        base.queue_wait_p99_ns = qw.percentile(0.99);
         base.shed = self.shed();
         base
     }
@@ -150,7 +118,6 @@ mod tests {
         m.record("read", 100, 10);
         m.record("read", 300, 30);
         m.record("open", 1_000, 0);
-        m.record("stats", 5, 5); // control-plane: dropped
         m.record_shed();
 
         let snap = m.snapshot_into(StatsSnapshot::default());
@@ -162,6 +129,27 @@ mod tests {
         assert_eq!(read.wall_mean_ns, 200);
         assert_eq!(read.virt_mean_ns, 20);
         assert!(snap.op("stats").is_none());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "unknown op name"))]
+    fn unknown_op_fails_in_debug_builds() {
+        // Control-plane names ("stats", "trace") and typos must never be
+        // recorded; in release the sample is dropped silently.
+        let m = Metrics::new();
+        m.record("stats", 5, 5);
+        // Only reached in release builds: the sample was dropped silently.
+        assert_eq!(m.snapshot_into(StatsSnapshot::default()).total_requests(), 0);
+    }
+
+    #[test]
+    fn queue_wait_split_is_reported() {
+        let m = Metrics::new();
+        m.record_queue_wait(1_000);
+        m.record_queue_wait(3_000);
+        let snap = m.snapshot_into(StatsSnapshot::default());
+        assert_eq!(snap.queue_wait_mean_ns, 2_000);
+        assert_eq!(snap.queue_wait_p99_ns, 4_095); // ceiling of bucket ilog2(3000)=11
     }
 
     #[test]

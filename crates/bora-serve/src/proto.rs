@@ -34,6 +34,7 @@ const OP_READ: u8 = 0x04;
 const OP_STAT: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_SHUTDOWN: u8 = 0x07;
+const OP_TRACE: u8 = 0x08;
 
 // Response opcodes (request opcode | 0x80, errors in 0xE0+).
 const OP_OK_OPEN: u8 = 0x81;
@@ -43,6 +44,7 @@ const OP_OK_READ: u8 = 0x84;
 const OP_OK_STAT: u8 = 0x85;
 const OP_OK_STATS: u8 = 0x86;
 const OP_OK_SHUTDOWN: u8 = 0x87;
+const OP_OK_TRACE: u8 = 0x88;
 const OP_ERROR: u8 = 0xE0;
 const OP_OVERLOADED: u8 = 0xEE;
 
@@ -61,6 +63,10 @@ pub enum Request {
     Stat { container: String },
     /// Server-wide metrics snapshot.
     Stats,
+    /// Drain the server's span buffers as a Chrome trace JSON document.
+    /// Control-plane (skips the data queue); empty unless the server runs
+    /// with tracing enabled (`BORA_TRACE=1`).
+    Trace,
     /// Stop accepting work and shut the pool down.
     Shutdown,
 }
@@ -113,6 +119,10 @@ pub struct StatsSnapshot {
     pub queue_depth: u32,
     /// Bound of the request queue.
     pub queue_capacity: u32,
+    /// Mean time requests spent parked in the queue before a worker took
+    /// them (the queue-wait share of `wall_mean_ns`).
+    pub queue_wait_mean_ns: u64,
+    pub queue_wait_p99_ns: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_evictions: u64,
@@ -179,6 +189,9 @@ pub enum Response {
     Read(Vec<WireMessage>),
     Stat(ContainerStat),
     Stats(StatsSnapshot),
+    /// Chrome `trace_event` JSON text drained from the server's span
+    /// buffers (see [`Request::Trace`]).
+    Trace(String),
     ShuttingDown,
     Error {
         code: ErrorCode,
@@ -320,6 +333,7 @@ impl Request {
             Request::Read { .. } => "read",
             Request::Stat { .. } => "stat",
             Request::Stats => "stats",
+            Request::Trace => "trace",
             Request::Shutdown => "shutdown",
         }
     }
@@ -360,6 +374,7 @@ impl Request {
                 w.str(container);
             }
             Request::Stats => w = Writer::new(OP_STATS),
+            Request::Trace => w = Writer::new(OP_TRACE),
             Request::Shutdown => w = Writer::new(OP_SHUTDOWN),
         }
         w.buf
@@ -388,6 +403,7 @@ impl Request {
             }
             OP_STAT => Request::Stat { container: r.str()? },
             OP_STATS => Request::Stats,
+            OP_TRACE => Request::Trace,
             OP_SHUTDOWN => Request::Shutdown,
             other => return Err(ProtoError(format!("unknown request opcode {other:#04x}"))),
         };
@@ -443,11 +459,17 @@ impl Response {
                 w.u64(s.shed);
                 w.u32(s.queue_depth);
                 w.u32(s.queue_capacity);
+                w.u64(s.queue_wait_mean_ns);
+                w.u64(s.queue_wait_p99_ns);
                 w.u64(s.cache_hits);
                 w.u64(s.cache_misses);
                 w.u64(s.cache_evictions);
                 w.u32(s.cache_len);
                 w.u32(s.cache_capacity);
+            }
+            Response::Trace(json) => {
+                w = Writer::new(OP_OK_TRACE);
+                w.bytes(json.as_bytes());
             }
             Response::ShuttingDown => w = Writer::new(OP_OK_SHUTDOWN),
             Response::Error { code, message } => {
@@ -510,12 +532,21 @@ impl Response {
                     shed: r.u64()?,
                     queue_depth: r.u32()?,
                     queue_capacity: r.u32()?,
+                    queue_wait_mean_ns: r.u64()?,
+                    queue_wait_p99_ns: r.u64()?,
                     cache_hits: r.u64()?,
                     cache_misses: r.u64()?,
                     cache_evictions: r.u64()?,
                     cache_len: r.u32()?,
                     cache_capacity: r.u32()?,
                 })
+            }
+            OP_OK_TRACE => {
+                let raw = r.bytes()?;
+                Response::Trace(
+                    String::from_utf8(raw)
+                        .map_err(|_| ProtoError("non-UTF8 trace document".into()))?,
+                )
             }
             OP_OK_SHUTDOWN => Response::ShuttingDown,
             OP_ERROR => {
@@ -573,6 +604,7 @@ mod tests {
         roundtrip_req(Request::Read { container: "/c".into(), topics: vec![], range: None });
         roundtrip_req(Request::Stat { container: "/c".into() });
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Trace);
         roundtrip_req(Request::Shutdown);
     }
 
@@ -610,12 +642,15 @@ mod tests {
             shed: 9,
             queue_depth: 2,
             queue_capacity: 64,
+            queue_wait_mean_ns: 1_234,
+            queue_wait_p99_ns: 8_191,
             cache_hits: 100,
             cache_misses: 4,
             cache_evictions: 1,
             cache_len: 3,
             cache_capacity: 4,
         }));
+        roundtrip_resp(Response::Trace("{\"traceEvents\":[]}".into()));
         roundtrip_resp(Response::ShuttingDown);
         roundtrip_resp(Response::Error { code: ErrorCode::UnknownTopic, message: "/nope".into() });
         roundtrip_resp(Response::Overloaded);

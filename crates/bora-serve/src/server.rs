@@ -111,6 +111,12 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
     pub fn submit(&self, req: Request) -> Response {
         match req {
             Request::Stats => Response::Stats(self.stats()),
+            // TRACE drains the process-wide span buffers; like STATS it
+            // answers inline so a wedged pool can still be profiled. With
+            // tracing disabled the document is just empty.
+            Request::Trace => {
+                Response::Trace(bora_obs::chrome_trace(&bora_obs::drain(), bora_obs::dropped()))
+            }
             Request::Shutdown => {
                 self.begin_shutdown();
                 Response::ShuttingDown
@@ -214,16 +220,43 @@ fn worker_loop<S: Storage + Clone>(shared: &Shared<S>, rx: &Receiver<Job>) {
             Job::Poison => return,
             Job::Work { req, reply, submitted } => (req, reply, submitted),
         };
+        // Control-plane ops never reach the queue (submit answers them
+        // inline); seeing one here means a transport bypassed submit.
+        // They must not hit the metrics table, whose op names are
+        // data-plane only.
+        if matches!(req, Request::Stats | Request::Trace | Request::Shutdown) {
+            let _ = reply.send(Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "control op routed to worker".into(),
+            });
+            continue;
+        }
+        let queue_wait_ns = submitted.elapsed().as_nanos() as u64;
+        shared.metrics.record_queue_wait(queue_wait_ns);
         let active = shared.gauge.enter();
         let mut ctx = active.ctx();
         let op = req.op_name();
+        let sp = bora_obs::span(span_name(op));
         let resp = handle(shared, req, &mut ctx);
+        sp.end_virt(ctx.elapsed_ns());
         drop(active);
         let wall_ns = submitted.elapsed().as_nanos() as u64;
         shared.metrics.record(op, wall_ns, ctx.elapsed_ns());
         // A client that gave up (dropped the reply receiver) is not an
         // error; the work is simply discarded.
         let _ = reply.send(resp);
+    }
+}
+
+/// Static span name for a data-plane op (span names must be `'static`).
+fn span_name(op: &str) -> &'static str {
+    match op {
+        "open" => "serve.open",
+        "topics" => "serve.topics",
+        "meta" => "serve.meta",
+        "read" => "serve.read",
+        "stat" => "serve.stat",
+        _ => "serve.other",
     }
 }
 
@@ -260,9 +293,9 @@ fn handle<S: Storage + Clone>(shared: &Shared<S>, req: Request, ctx: &mut IoCtx)
                 let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
                 Ok(Response::Stat(stat_of(pinned.bag().meta())))
             }
-            // Control-plane ops never reach the queue (submit handles
-            // them); seeing one here means a transport bypassed submit.
-            Request::Stats | Request::Shutdown => Ok(Response::Error {
+            // Unreachable: worker_loop filters control-plane ops before
+            // dispatching here.
+            Request::Stats | Request::Trace | Request::Shutdown => Ok(Response::Error {
                 code: ErrorCode::BadRequest,
                 message: "control op routed to worker".into(),
             }),

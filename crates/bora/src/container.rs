@@ -63,11 +63,30 @@ impl<S: Storage> BoraBag<S> {
     /// BORA-assisted open (Fig. 4b): build the tag hash table from the
     /// directory listing and load the container metadata.
     pub fn open(storage: S, container_root: &str, ctx: &mut IoCtx) -> BoraResult<Self> {
-        let tags = TagManager::build(&storage, container_root, ctx)?;
-        let meta_bytes = storage
-            .read_all(&meta_path(container_root), ctx)
-            .map_err(|_| BoraError::NotAContainer(container_root.to_owned()))?;
-        let meta = ContainerMeta::decode(&meta_bytes)?;
+        // The two child spans partition the whole open: summing their
+        // virtual charges reproduces the parent's (the paper's Fig. 4b
+        // decomposition — directory-listing hash build + one small read).
+        let sp_open = bora_obs::span("bora.open");
+        let virt_open = ctx.elapsed_ns();
+        let tags = {
+            let sp = bora_obs::span("bora.open.tag_rebuild");
+            let v0 = ctx.elapsed_ns();
+            let tags = TagManager::build(&storage, container_root, ctx)?;
+            sp.end_virt(ctx.elapsed_ns() - v0);
+            tags
+        };
+        let meta = {
+            let sp = bora_obs::span("bora.open.meta_read");
+            let v0 = ctx.elapsed_ns();
+            let meta_bytes = storage
+                .read_all(&meta_path(container_root), ctx)
+                .map_err(|_| BoraError::NotAContainer(container_root.to_owned()))?;
+            let meta = ContainerMeta::decode(&meta_bytes)?;
+            sp.end_virt(ctx.elapsed_ns() - v0);
+            meta
+        };
+        bora_obs::counter("bora.open.count").inc();
+        sp_open.end_virt(ctx.elapsed_ns() - virt_open);
         Ok(BoraBag {
             storage,
             root: container_root.to_owned(),
@@ -108,9 +127,13 @@ impl<S: Storage> BoraBag<S> {
 
     /// Load one topic's coarse time index.
     pub fn load_time_index(&self, topic: &str, ctx: &mut IoCtx) -> BoraResult<TimeIndex> {
+        let sp = bora_obs::span("bora.tindex.load");
+        let v0 = ctx.elapsed_ns();
         let paths = self.tags.lookup(topic, ctx)?.clone();
         let bytes = self.storage.read_all(&paths.tindex, ctx)?;
-        TimeIndex::decode(&bytes)
+        let tindex = TimeIndex::decode(&bytes)?;
+        sp.end_virt(ctx.elapsed_ns() - v0);
+        Ok(tindex)
     }
 
     /// Bulk-read one topic: the whole `data` file in one sequential read
@@ -142,11 +165,15 @@ impl<S: Storage> BoraBag<S> {
     /// contiguous read per topic, then a k-way merge into time order
     /// (O(N log k), not the baseline's O(N log N) over a scattered file).
     pub fn read_topics(&self, topics: &[&str], ctx: &mut IoCtx) -> BoraResult<Vec<MessageRecord>> {
+        let sp = bora_obs::span("bora.read_topics");
+        let v0 = ctx.elapsed_ns();
         let mut streams = Vec::with_capacity(topics.len());
         for t in topics {
             streams.push(self.read_topic(t, ctx)?);
         }
-        Ok(merge_streams(streams, ctx))
+        let out = merge_streams(streams, ctx);
+        sp.end_virt(ctx.elapsed_ns() - v0);
+        Ok(out)
     }
 
     /// `bag.read_messages(topics, start_time, end_time)` via the
@@ -158,11 +185,15 @@ impl<S: Storage> BoraBag<S> {
         end: Time,
         ctx: &mut IoCtx,
     ) -> BoraResult<Vec<MessageRecord>> {
+        let sp = bora_obs::span("bora.read_topics_time");
+        let v0 = ctx.elapsed_ns();
         let mut streams = Vec::with_capacity(topics.len());
         for t in topics {
             streams.push(self.read_topic_time(t, start, end, ctx)?);
         }
-        Ok(merge_streams(streams, ctx))
+        let out = merge_streams(streams, ctx);
+        sp.end_virt(ctx.elapsed_ns() - v0);
+        Ok(out)
     }
 
     /// Time-range read of one topic.

@@ -136,6 +136,8 @@ pub fn duplicate<SS: Storage, DS: Storage>(
     opts: &OrganizerOptions,
     ctx: &mut IoCtx,
 ) -> BoraResult<OrganizeReport> {
+    let sp = bora_obs::span("bora.organize");
+    let virt0 = ctx.elapsed_ns();
     let n_threads = opts.distributor_threads.max(1);
 
     // Phase 0 (scanner clock): connection info, all at once.
@@ -324,6 +326,8 @@ pub fn duplicate<SS: Storage, DS: Storage>(
         ctx.stats.bytes_written += r.ctx.stats.bytes_written;
     }
 
+    bora_obs::counter("bora.organize.count").inc();
+    sp.end_virt(ctx.elapsed_ns() - virt0);
     Ok(OrganizeReport {
         topics: conns.len(),
         messages,

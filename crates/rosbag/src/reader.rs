@@ -81,6 +81,9 @@ impl<S: Storage> BagReader<S> {
     /// the chunk-info list, seeking to each chunk to collect its
     /// index-data records, and build the in-memory message index.
     pub fn open(storage: S, path: &str, ctx: &mut IoCtx) -> BagResult<Self> {
+        let sp_open = bora_obs::span("rosbag.open");
+        let virt_open = ctx.elapsed_ns();
+        let sp_header = bora_obs::span("rosbag.open.header");
         let file_len = storage.len(path, ctx)?;
 
         // 1. Magic + bag header.
@@ -139,10 +142,17 @@ impl<S: Storage> BagReader<S> {
             ctx.charge_ns(cpu::HASH_OP_NS);
             let _ = c; // hash-table build per connection
         }
+        sp_header.end_virt(ctx.elapsed_ns() - virt_open);
 
         // 3. The expensive iteration: walk the chunk-info list and gather
         //    each chunk's index-data records (which sit between the end of
         //    the chunk record and the next chunk). One seek per chunk.
+        // Traced as the paper's Fig. 2/4a decomposition: the chunk-info
+        // *scan* (seek + read per chunk) vs the in-memory index *build*
+        // (per-entry CPU charge), whose virtual costs are split out below.
+        let sp_scan = bora_obs::span("rosbag.open.chunk_scan");
+        let virt_scan = ctx.elapsed_ns();
+        let mut index_build_virt = 0u64;
         let mut chunks = std::collections::HashMap::new();
         let chunk_infos = index.chunk_infos.clone();
         for (i, ci) in chunk_infos.iter().enumerate() {
@@ -184,6 +194,7 @@ impl<S: Storage> BagReader<S> {
                     )));
                 }
                 let rec = IndexDataRecord::decode(&h, data)?;
+                index_build_virt += rec.entries.len() as u64 * cpu::INDEX_ENTRY_NS;
                 ctx.charge_ns(rec.entries.len() as u64 * cpu::INDEX_ENTRY_NS);
                 let list = index.entries.entry(rec.conn_id).or_default();
                 for (time, offset_in_chunk) in rec.entries {
@@ -196,6 +207,14 @@ impl<S: Storage> BagReader<S> {
                 }
             }
         }
+
+        // The scan and build interleave in one pass over the file, so the
+        // build is reported as a zero-width span carrying its share of the
+        // virtual charge; the scan span keeps the remainder.
+        sp_scan.end_virt(ctx.elapsed_ns() - virt_scan - index_build_virt);
+        bora_obs::span("rosbag.open.index_build").end_virt(index_build_virt);
+        bora_obs::counter("rosbag.open.count").inc();
+        sp_open.end_virt(ctx.elapsed_ns() - virt_open);
 
         Ok(BagReader {
             storage,
@@ -307,11 +326,16 @@ impl<S: Storage> BagReader<S> {
     /// Baseline `bag.read_messages(topics=[...])`: merge the per-topic
     /// index entries into chronological order and read each message.
     pub fn read_messages(&self, topics: &[&str], ctx: &mut IoCtx) -> BagResult<Vec<MessageRecord>> {
+        let sp = bora_obs::span("rosbag.read_messages");
+        let virt0 = ctx.elapsed_ns();
         let conns = self.conns_for_topics(topics, ctx)?;
         let merged = self.index.merged_entries(&conns);
         charge_sort(ctx, merged.len());
         ctx.charge_ns(merged.len() as u64 * (cpu::INDEX_ENTRY_NS + cpu::ROSLIB_DELIVERY_NS));
-        merged.iter().map(|e| self.read_entry(e, ctx)).collect()
+        let out: BagResult<Vec<MessageRecord>> =
+            merged.iter().map(|e| self.read_entry(e, ctx)).collect();
+        sp.end_virt(ctx.elapsed_ns() - virt0);
+        out
     }
 
     /// Baseline `bag.read_messages(topics, start_time, end_time)`: the
@@ -326,13 +350,18 @@ impl<S: Storage> BagReader<S> {
         end: Time,
         ctx: &mut IoCtx,
     ) -> BagResult<Vec<MessageRecord>> {
+        let sp = bora_obs::span("rosbag.read_messages_time");
+        let virt0 = ctx.elapsed_ns();
         let conns = self.conns_for_topics(topics, ctx)?;
         let merged = self.index.merged_entries(&conns);
         charge_sort(ctx, merged.len());
         ctx.charge_ns(merged.len() as u64 * cpu::INDEX_ENTRY_NS);
         let window = BagIndex::slice_time_range(&merged, start, end);
         ctx.charge_ns(window.len() as u64 * cpu::ROSLIB_DELIVERY_NS);
-        window.iter().map(|e| self.read_entry(e, ctx)).collect()
+        let out: BagResult<Vec<MessageRecord>> =
+            window.iter().map(|e| self.read_entry(e, ctx)).collect();
+        sp.end_virt(ctx.elapsed_ns() - virt0);
+        out
     }
 
     /// Sequentially visit every chunk (position, uncompressed data) — the

@@ -14,11 +14,24 @@ use crate::storage::{DirEntry, Metadata, Storage};
 pub struct TimedStorage<S> {
     inner: S,
     device: DeviceModel,
+    // Always-on registry handles, resolved once here so the per-op cost is
+    // a few relaxed atomic adds (no name lookup, no lock).
+    h_read: bora_obs::Histogram,
+    h_write: bora_obs::Histogram,
+    c_read_bytes: bora_obs::Counter,
+    c_write_bytes: bora_obs::Counter,
 }
 
 impl<S: Storage> TimedStorage<S> {
     pub fn new(inner: S, device: DeviceModel) -> Self {
-        TimedStorage { inner, device }
+        TimedStorage {
+            inner,
+            device,
+            h_read: bora_obs::histogram("fs.read.virt_ns"),
+            h_write: bora_obs::histogram("fs.write.virt_ns"),
+            c_read_bytes: bora_obs::counter("fs.read.bytes"),
+            c_write_bytes: bora_obs::counter("fs.write.bytes"),
+        }
     }
 
     pub fn device(&self) -> &DeviceModel {
@@ -35,6 +48,8 @@ impl<S: Storage> TimedStorage<S> {
         ctx.charge_ns(ns);
         ctx.stats.reads += 1;
         ctx.stats.bytes_read += len;
+        self.h_read.record(ns);
+        self.c_read_bytes.add(len);
     }
 
     fn charge_write(&self, path: &str, offset: u64, len: u64, ctx: &mut IoCtx) {
@@ -43,6 +58,8 @@ impl<S: Storage> TimedStorage<S> {
         ctx.charge_ns(ns);
         ctx.stats.writes += 1;
         ctx.stats.bytes_written += len;
+        self.h_write.record(ns);
+        self.c_write_bytes.add(len);
     }
 
     fn charge_meta(&self, ctx: &mut IoCtx) {
@@ -58,27 +75,43 @@ impl<S: Storage> Storage for TimedStorage<S> {
     }
 
     fn append(&self, path: &str, data: &[u8], ctx: &mut IoCtx) -> FsResult<u64> {
+        let sp = bora_obs::span("fs.append");
+        let virt0 = ctx.elapsed_ns();
         // Appends continue at EOF; model them against the writer's own
         // cursor so a steady append stream is sequential.
         let off = self.inner.len(path, ctx).unwrap_or(0);
         self.charge_write(path, off, data.len() as u64, ctx);
-        self.inner.append(path, data, ctx)
+        let out = self.inner.append(path, data, ctx);
+        sp.end_virt(ctx.elapsed_ns() - virt0);
+        out
     }
 
     fn write_at(&self, path: &str, offset: u64, data: &[u8], ctx: &mut IoCtx) -> FsResult<()> {
+        let sp = bora_obs::span("fs.write_at");
+        let virt0 = ctx.elapsed_ns();
         self.charge_write(path, offset, data.len() as u64, ctx);
-        self.inner.write_at(path, offset, data, ctx)
+        let out = self.inner.write_at(path, offset, data, ctx);
+        sp.end_virt(ctx.elapsed_ns() - virt0);
+        out
     }
 
     fn read_at(&self, path: &str, offset: u64, len: usize, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+        let sp = bora_obs::span("fs.read_at");
+        let virt0 = ctx.elapsed_ns();
         self.charge_read(path, offset, len as u64, ctx);
-        self.inner.read_at(path, offset, len, ctx)
+        let out = self.inner.read_at(path, offset, len, ctx);
+        sp.end_virt(ctx.elapsed_ns() - virt0);
+        out
     }
 
     fn read_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+        let sp = bora_obs::span("fs.read_all");
+        let virt0 = ctx.elapsed_ns();
         let len = self.inner.len(path, ctx)?;
         self.charge_read(path, 0, len, ctx);
-        self.inner.read_at(path, 0, len as usize, ctx)
+        let out = self.inner.read_at(path, 0, len as usize, ctx);
+        sp.end_virt(ctx.elapsed_ns() - virt0);
+        out
     }
 
     fn len(&self, path: &str, ctx: &mut IoCtx) -> FsResult<u64> {
@@ -102,10 +135,13 @@ impl<S: Storage> Storage for TimedStorage<S> {
     }
 
     fn read_dir(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<DirEntry>> {
+        let sp = bora_obs::span("fs.read_dir");
+        let virt0 = ctx.elapsed_ns();
         let entries = self.inner.read_dir(path, ctx)?;
         // One metadata op for the opendir plus a per-entry getdents share.
         self.charge_meta(ctx);
         ctx.charge_ns(entries.len() as u64 * (self.device.meta_op_ns / 16).max(1));
+        sp.end_virt(ctx.elapsed_ns() - virt0);
         Ok(entries)
     }
 

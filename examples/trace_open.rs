@@ -1,0 +1,103 @@
+//! trace_open: record a synthetic bag, open it the baseline way and the
+//! BORA way with tracing on, and write a Chrome `trace_event` JSON.
+//!
+//! ```text
+//! BORA_TRACE=1 BORA_TRACE_OUT=trace_open.json cargo run --example trace_open
+//! ```
+//!
+//! Load the output in `about://tracing` (Chrome) or <https://ui.perfetto.dev>.
+//! The trace shows the paper's Fig. 4 side by side: the baseline
+//! `rosbag.open` dominated by `chunk_scan` + `index_build`, and the BORA
+//! `bora.open` whose two children (`tag_rebuild`, `meta_read`) partition
+//! its whole cost. The example also checks that partition numerically:
+//! summing the children's virtual-ns charges must reproduce the cost
+//! model's total for the open.
+
+use bora::{BoraBag, BoraFs, BoraFsOptions};
+use ros_msgs::sensor_msgs::Imu;
+use ros_msgs::tf2_msgs::TfMessage;
+use ros_msgs::Time;
+use rosbag::{BagReader, BagWriter, BagWriterOptions};
+use simfs::{DeviceModel, IoCtx, MemStorage, TimedStorage};
+
+fn main() {
+    // Honor BORA_TRACE/BORA_TRACE_OUT, but default tracing ON: producing a
+    // trace is this example's whole point.
+    bora_obs::init_from_env();
+    bora_obs::set_enabled(true);
+
+    let fs = TimedStorage::new(MemStorage::new(), DeviceModel::nvme_ext4());
+    let mut ctx = IoCtx::new();
+
+    // --- 1. Record a synthetic bag: 100 Hz IMU plus 10 Hz TF. ---
+    let mut writer =
+        BagWriter::create(&fs, "/robot/sample.bag", BagWriterOptions::default(), &mut ctx)
+            .expect("create bag");
+    for tick in 0..2_000u32 {
+        let t = Time::from_nanos(1_000_000_000 * 100 + tick as u64 * 10_000_000);
+        let mut imu = Imu::default();
+        imu.header.seq = tick;
+        imu.header.stamp = t;
+        imu.linear_acceleration.z = 9.81;
+        writer.write_ros_message("/imu", t, &imu, &mut ctx).expect("write imu");
+        if tick % 10 == 0 {
+            writer.write_ros_message("/tf", t, &TfMessage::default(), &mut ctx).expect("write tf");
+        }
+    }
+    let summary = writer.close(&mut ctx).expect("close bag");
+    println!("recorded {} messages in {} chunks", summary.message_count, summary.chunk_count);
+
+    // --- 2. Baseline open: full chunk scan + in-memory index build. ---
+    let mut base_ctx = IoCtx::new();
+    let reader = BagReader::open(&fs, "/robot/sample.bag", &mut base_ctx).expect("baseline open");
+    let baseline_open_ns = base_ctx.elapsed_ns();
+    let n = reader.read_messages(&["/imu"], &mut base_ctx).expect("baseline read").len();
+    println!("baseline: open {:.3} ms (virtual), read {} /imu messages", ms(baseline_open_ns), n);
+
+    // --- 3. Import into a BORA mount, then the BORA-assisted open. ---
+    let borafs = BoraFs::mount(&fs, "/mnt/bora", "/backend", BoraFsOptions::default(), &mut ctx)
+        .expect("mount");
+    borafs.import_bag(&fs, "/robot/sample.bag", "sample.bag", &mut ctx).expect("import");
+
+    let mut open_ctx = IoCtx::new();
+    let bag =
+        BoraBag::open(&fs, &borafs.container_root("sample.bag"), &mut open_ctx).expect("bora open");
+    let bora_open_ns = open_ctx.elapsed_ns();
+    println!("bora:     open {:.3} ms (virtual)", ms(bora_open_ns));
+
+    // A time-window query so the coarse time index shows up in the trace.
+    let windowed = bag
+        .read_topics_time(&["/imu"], Time::new(105, 0), Time::new(110, 0), &mut open_ctx)
+        .expect("window query");
+    println!("window query returned {} messages", windowed.len());
+
+    // --- 4. Drain spans, check the Fig. 4b partition, export. ---
+    let events = bora_obs::drain();
+    let virt_of = |name: &str| -> u64 {
+        events.iter().filter(|e| e.name == name).filter_map(|e| e.virt_ns).sum()
+    };
+    for required in
+        ["rosbag.open", "rosbag.open.chunk_scan", "bora.open", "bora.tindex.load", "fs.read_at"]
+    {
+        assert!(events.iter().any(|e| e.name == required), "missing span {required}");
+    }
+    let open_total = virt_of("bora.open");
+    let children = virt_of("bora.open.tag_rebuild") + virt_of("bora.open.meta_read");
+    assert_eq!(open_total, children, "bora.open children must partition the parent's virtual cost");
+    assert_eq!(open_total, bora_open_ns, "span virt must match the cost model's open total");
+    println!(
+        "bora.open = tag_rebuild {:.3} ms + meta_read {:.3} ms (partition verified)",
+        ms(virt_of("bora.open.tag_rebuild")),
+        ms(virt_of("bora.open.meta_read"))
+    );
+
+    let json = bora_obs::chrome_trace(&events, bora_obs::dropped());
+    let path = bora_obs::out_path_from_env()
+        .unwrap_or_else(|| std::path::PathBuf::from("trace_open.json"));
+    std::fs::write(&path, json).expect("write trace");
+    println!("{} spans -> {}", events.len(), path.display());
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
