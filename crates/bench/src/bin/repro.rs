@@ -13,6 +13,7 @@
 //!   --seed N            workload seed                              (default 0xB04A)
 //!   --out DIR           CSV output directory                       (default results/)
 //!   --tiny              preset: very small scales for smoke runs
+//!   --quick             alias for --tiny
 //! ```
 
 use std::path::PathBuf;
@@ -44,7 +45,7 @@ fn main() {
                 return;
             }
             "all" => run_all = true,
-            "--tiny" => scales = ScaleConfig::tiny(),
+            "--tiny" | "--quick" => scales = ScaleConfig::tiny(),
             "--scale-small" => scales.small = take_f64(&mut it, "--scale-small"),
             "--scale-large" => scales.large = take_f64(&mut it, "--scale-large"),
             "--scale-swarm" => scales.swarm = take_f64(&mut it, "--scale-swarm"),
@@ -154,7 +155,7 @@ fn bad_value(flag: &str, v: &str) -> f64 {
 
 fn usage() {
     println!(
-        "usage: repro <list | all | EXPERIMENT...> [--tiny] [--scale-small F] \
+        "usage: repro <list | all | EXPERIMENT...> [--tiny|--quick] [--scale-small F] \
          [--scale-large F] [--scale-swarm F] [--distinct-bags N] [--seed N] [--out DIR]"
     );
 }

@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod ext_crash;
 pub mod extensions;
 pub mod fig10;
 pub mod fig11_12;
@@ -164,6 +165,13 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "Extension: bora-serve query service — open amortization vs per-query open",
             run: serve::run,
+        },
+        Experiment {
+            id: "ext_crash",
+            paper_ref: "extension",
+            description:
+                "Extension: crash-consistent commit — power-cut sweep, fsck verify + repair",
+            run: ext_crash::run,
         },
         Experiment {
             id: "open21g",

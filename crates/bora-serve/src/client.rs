@@ -2,6 +2,15 @@
 //! [`Connection`]. One outstanding request at a time per client (the
 //! protocol is strictly request/response); open more connections for
 //! parallelism.
+//!
+//! [`RetryClient`] wraps the same API with fault tolerance: per-request
+//! timeouts, automatic reconnect when the stream breaks or
+//! desynchronizes, and capped exponential backoff with deterministic
+//! jitter for transient errors. Permanent errors (unknown topic, not a
+//! container, structural corruption, bad request) surface immediately —
+//! retrying them would only hide a bug.
+
+use std::time::Duration;
 
 use ros_msgs::Time;
 
@@ -34,6 +43,22 @@ impl std::fmt::Display for ClientError {
                 write!(f, "server error ({code:?}): {message}")
             }
             ClientError::Overloaded => write!(f, "server overloaded"),
+        }
+    }
+}
+
+impl ClientError {
+    /// Whether retrying the request may succeed without operator
+    /// intervention. Transport failures and timeouts may heal on a fresh
+    /// connection; `Overloaded` explicitly invites a retry; server errors
+    /// defer to [`ErrorCode::is_transient`]. Protocol decode failures are
+    /// treated as transient because their dominant cause is a
+    /// desynchronized stream (e.g. a late response landing after a
+    /// timeout), which reconnecting fixes.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Io(_) | ClientError::Proto(_) | ClientError::Overloaded => true,
+            ClientError::Server { code, .. } => code.is_transient(),
         }
     }
 }
@@ -163,4 +188,391 @@ impl<C: Connection> ServeClient<C> {
 
 fn unexpected(op: &str, resp: &Response) -> ClientError {
     ClientError::Proto(ProtoError(format!("unexpected response to {op}: {resp:?}")))
+}
+
+// ------------------------------------------------------------------ retry
+
+/// Backoff and timeout tuning for [`RetryClient`].
+///
+/// Retry `k` (0-based) sleeps `min(base_delay_ms << k, max_delay_ms)`
+/// milliseconds, reduced by up to `jitter` of itself — i.e. uniform in
+/// `[delay·(1-jitter), delay]`. Jitter is drawn from a splitmix64 stream
+/// seeded with `seed`, so a given policy produces one fixed, replayable
+/// schedule: tests assert on it, and two clients with different seeds
+/// never thundering-herd in lockstep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, first try included; 1 disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Cap on the un-jittered backoff.
+    pub max_delay_ms: u64,
+    /// Fraction of each delay randomized away, in `[0, 1]`.
+    pub jitter: f64,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+    /// Per-request timeout installed on every connection
+    /// ([`Connection::set_timeout`]); `None` blocks forever.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 10,
+            max_delay_ms: 2_000,
+            jitter: 0.5,
+            seed: 0x5EED_B07A,
+            timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// Un-jittered backoff before retry `k` (0-based): capped exponential.
+    pub fn raw_delay_ms(&self, retry: u32) -> u64 {
+        let factor = if retry >= 63 { u64::MAX } else { 1u64 << retry };
+        self.base_delay_ms.saturating_mul(factor).min(self.max_delay_ms)
+    }
+
+    fn jittered(&self, retry: u32, rng: &mut u64) -> u64 {
+        let raw = self.raw_delay_ms(retry);
+        // 53 uniform bits → u in [0, 1).
+        let u = (splitmix64(rng) >> 11) as f64 / (1u64 << 53) as f64;
+        raw - (raw as f64 * self.jitter.clamp(0.0, 1.0) * u) as u64
+    }
+
+    /// The full jittered schedule this policy will follow (one delay per
+    /// retry, `max_attempts - 1` entries). Deterministic in `seed`.
+    pub fn schedule(&self) -> Vec<u64> {
+        let mut rng = self.seed;
+        (0..self.max_attempts.saturating_sub(1)).map(|k| self.jittered(k, &mut rng)).collect()
+    }
+}
+
+/// A [`ServeClient`] that owns its transport and survives faults.
+///
+/// On a transient error the request is retried on the policy's backoff
+/// schedule; if the failure broke or desynchronized the stream (I/O
+/// error, timeout, undecodable response) the connection is dropped and
+/// re-established first. Requests are idempotent reads, so a retry after
+/// an ambiguous failure never duplicates side effects. Each retry
+/// increments the process-wide `serve.retries` counter.
+pub struct RetryClient<T: Transport> {
+    transport: T,
+    policy: RetryPolicy,
+    client: Option<ServeClient<T::Conn>>,
+    rng: u64,
+    next_retry: u32,
+    retries: u64,
+}
+
+impl<T: Transport> RetryClient<T> {
+    /// Wrap `transport`; the first request connects lazily.
+    pub fn new(transport: T, policy: RetryPolicy) -> Self {
+        let rng = policy.seed;
+        RetryClient { transport, policy, client: None, rng, next_retry: 0, retries: 0 }
+    }
+
+    /// Retries performed over this client's lifetime.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn client(&mut self) -> ClientResult<&mut ServeClient<T::Conn>> {
+        if self.client.is_none() {
+            let mut conn = self.transport.connect()?;
+            conn.set_timeout(self.policy.timeout)?;
+            self.client = Some(ServeClient::new(conn));
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+
+    fn run<R>(
+        &mut self,
+        mut op: impl FnMut(&mut ServeClient<T::Conn>) -> ClientResult<R>,
+    ) -> ClientResult<R> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let err = match self.client() {
+                Ok(c) => match op(c) {
+                    Ok(v) => return Ok(v),
+                    Err(e) => e,
+                },
+                Err(e) => e,
+            };
+            // An I/O failure (including a timeout) or an undecodable
+            // response leaves request/response pairing unknown: reconnect
+            // rather than read a stale answer into the next request.
+            if matches!(err, ClientError::Io(_) | ClientError::Proto(_)) {
+                self.client = None;
+            }
+            if !err.is_transient() || attempt >= self.policy.max_attempts {
+                return Err(err);
+            }
+            self.retries += 1;
+            bora_obs::counter("serve.retries").inc();
+            // The backoff ladder keeps climbing across requests until a
+            // success resets it: a struggling server gets geometrically
+            // more breathing room, not a fresh burst per call.
+            let delay = self.policy.jittered(self.next_retry, &mut self.rng);
+            self.next_retry = (self.next_retry + 1).min(63);
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+        }
+    }
+
+    fn run_reset<R>(
+        &mut self,
+        op: impl FnMut(&mut ServeClient<T::Conn>) -> ClientResult<R>,
+    ) -> ClientResult<R> {
+        let out = self.run(op);
+        if out.is_ok() {
+            self.next_retry = 0;
+        }
+        out
+    }
+
+    pub fn open(&mut self, container: &str) -> ClientResult<(ContainerStat, bool)> {
+        self.run_reset(|c| c.open(container))
+    }
+
+    pub fn topics(&mut self, container: &str) -> ClientResult<Vec<String>> {
+        self.run_reset(|c| c.topics(container))
+    }
+
+    pub fn meta(&mut self, container: &str) -> ClientResult<Vec<u8>> {
+        self.run_reset(|c| c.meta(container))
+    }
+
+    pub fn read(&mut self, container: &str, topics: &[&str]) -> ClientResult<Vec<WireMessage>> {
+        self.run_reset(|c| c.read(container, topics))
+    }
+
+    pub fn read_time(
+        &mut self,
+        container: &str,
+        topics: &[&str],
+        start: Time,
+        end: Time,
+    ) -> ClientResult<Vec<WireMessage>> {
+        self.run_reset(|c| c.read_time(container, topics, start, end))
+    }
+
+    pub fn stat(&mut self, container: &str) -> ClientResult<ContainerStat> {
+        self.run_reset(|c| c.stat(container))
+    }
+
+    pub fn stats(&mut self) -> ClientResult<StatsSnapshot> {
+        self.run_reset(|c| c.stats())
+    }
+
+    /// Shutdown is not retried: a lost response is indistinguishable from
+    /// a server that already began shutting down, and re-sending it to a
+    /// fresh connection would be a new side effect, not a retry.
+    pub fn shutdown(&mut self) -> ClientResult<()> {
+        self.client()?.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    fn policy(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_delay_ms: 0, // tests must not sleep
+            max_delay_ms: 0,
+            jitter: 0.0,
+            seed: 1,
+            timeout: None,
+        }
+    }
+
+    // -------------------------------------------------- backoff schedule
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay_ms: 100,
+            max_delay_ms: 1_000,
+            jitter: 0.0,
+            seed: 7,
+            timeout: None,
+        };
+        assert_eq!(p.schedule(), vec![100, 200, 400, 800, 1_000, 1_000, 1_000]);
+        // Huge shift counts saturate instead of overflowing.
+        assert_eq!(p.raw_delay_ms(63), 1_000);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay_ms: 64,
+            max_delay_ms: 4_096,
+            jitter: 0.5,
+            seed: 42,
+            timeout: None,
+        };
+        let a = p.schedule();
+        assert_eq!(a, p.schedule(), "same seed, same schedule");
+        for (k, &d) in a.iter().enumerate() {
+            let raw = p.raw_delay_ms(k as u32);
+            assert!(d <= raw, "jitter only shortens: {d} > {raw}");
+            assert!(d * 2 >= raw, "at most half removed at jitter 0.5: {d} < {raw}/2");
+        }
+        let other = RetryPolicy { seed: 43, ..p.clone() };
+        assert_ne!(a, other.schedule(), "different seed, different jitter");
+    }
+
+    // -------------------------------------------------- scripted transport
+
+    /// What a scripted connection does for one request.
+    #[derive(Clone)]
+    enum Step {
+        Reply(Response),
+        /// Fail the recv with an I/O error (connection is then unusable).
+        Break,
+    }
+
+    struct ScriptedConn {
+        steps: Arc<Mutex<VecDeque<Step>>>,
+        pending: bool,
+        broken: bool,
+    }
+
+    impl Connection for ScriptedConn {
+        fn send_frame(&mut self, _payload: &[u8]) -> std::io::Result<()> {
+            self.pending = true;
+            Ok(())
+        }
+        fn recv_frame(&mut self) -> std::io::Result<Vec<u8>> {
+            assert!(self.pending, "recv without a request in flight");
+            self.pending = false;
+            if self.broken {
+                return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "dead conn"));
+            }
+            match self.steps.lock().unwrap().pop_front() {
+                Some(Step::Reply(resp)) => Ok(resp.encode()),
+                Some(Step::Break) | None => {
+                    self.broken = true;
+                    Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "scripted break"))
+                }
+            }
+        }
+    }
+
+    /// Hands every connection the same shared script; counts connects.
+    struct ScriptedTransport {
+        steps: Arc<Mutex<VecDeque<Step>>>,
+        connects: AtomicU32,
+    }
+
+    impl ScriptedTransport {
+        fn new(steps: Vec<Step>) -> Self {
+            ScriptedTransport {
+                steps: Arc::new(Mutex::new(steps.into())),
+                connects: AtomicU32::new(0),
+            }
+        }
+    }
+
+    impl Transport for &ScriptedTransport {
+        type Conn = ScriptedConn;
+        fn connect(&self) -> std::io::Result<ScriptedConn> {
+            self.connects.fetch_add(1, Ordering::SeqCst);
+            Ok(ScriptedConn { steps: Arc::clone(&self.steps), pending: false, broken: false })
+        }
+    }
+
+    fn server_err(code: ErrorCode) -> Step {
+        Step::Reply(Response::Error { code, message: "scripted".into() })
+    }
+
+    // ------------------------------------------------------ retry behavior
+
+    #[test]
+    fn transient_errors_retry_until_success() {
+        let t = ScriptedTransport::new(vec![
+            Step::Reply(Response::Overloaded),
+            server_err(ErrorCode::Io),
+            Step::Reply(Response::Topics(vec!["/imu".into()])),
+        ]);
+        let mut c = RetryClient::new(&t, policy(5));
+        assert_eq!(c.topics("/c").unwrap(), vec!["/imu".to_owned()]);
+        assert_eq!(c.retries(), 2);
+        assert_eq!(t.connects.load(Ordering::SeqCst), 1, "server errors keep the connection");
+    }
+
+    #[test]
+    fn broken_stream_reconnects_then_succeeds() {
+        let t = ScriptedTransport::new(vec![Step::Break, Step::Reply(Response::Topics(vec![]))]);
+        let mut c = RetryClient::new(&t, policy(3));
+        assert_eq!(c.topics("/c").unwrap(), Vec::<String>::new());
+        assert_eq!(c.retries(), 1);
+        assert_eq!(t.connects.load(Ordering::SeqCst), 2, "I/O failure forces a reconnect");
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let t = ScriptedTransport::new(vec![
+            server_err(ErrorCode::Io),
+            server_err(ErrorCode::Io),
+            server_err(ErrorCode::Io),
+            Step::Reply(Response::Topics(vec![])), // never reached
+        ]);
+        let mut c = RetryClient::new(&t, policy(3));
+        match c.topics("/c") {
+            Err(ClientError::Server { code: ErrorCode::Io, .. }) => {}
+            other => panic!("expected Io server error, got {other:?}"),
+        }
+        assert_eq!(c.retries(), 2, "3 attempts = 2 retries");
+        assert_eq!(t.steps.lock().unwrap().len(), 1, "exactly 3 requests sent");
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        for code in [ErrorCode::UnknownTopic, ErrorCode::NotAContainer, ErrorCode::Corrupt] {
+            let t = ScriptedTransport::new(vec![
+                server_err(code),
+                Step::Reply(Response::Topics(vec![])),
+            ]);
+            let mut c = RetryClient::new(&t, policy(5));
+            match c.topics("/c") {
+                Err(ClientError::Server { code: got, .. }) => assert_eq!(got, code),
+                other => panic!("expected server error, got {other:?}"),
+            }
+            assert_eq!(c.retries(), 0, "{code:?} must not be retried");
+            assert_eq!(t.steps.lock().unwrap().len(), 1, "only one request sent");
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_is_retried() {
+        let t = ScriptedTransport::new(vec![
+            server_err(ErrorCode::ChecksumMismatch),
+            Step::Reply(Response::Topics(vec![])),
+        ]);
+        let mut c = RetryClient::new(&t, policy(3));
+        assert!(c.topics("/c").is_ok());
+        assert_eq!(c.retries(), 1);
+    }
 }

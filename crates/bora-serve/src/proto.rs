@@ -159,6 +159,11 @@ pub enum ErrorCode {
     Io = 4,
     BadRequest = 5,
     ShuttingDown = 6,
+    /// A file's bytes failed CRC32C verification against the container
+    /// MANIFEST. The server evicts the cached handle, so a retry reopens
+    /// from the medium — transient read damage heals, persistent damage
+    /// keeps answering with this code (then `bora fsck --repair`).
+    ChecksumMismatch = 7,
 }
 
 impl ErrorCode {
@@ -170,8 +175,25 @@ impl ErrorCode {
             4 => ErrorCode::Io,
             5 => ErrorCode::BadRequest,
             6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::ChecksumMismatch,
             _ => return None,
         })
+    }
+
+    /// Whether retrying the same request may succeed without operator
+    /// intervention. `Io` faults and checksum failures can heal (the
+    /// server reopens the handle); a missing container, unknown topic,
+    /// structural corruption, or a malformed request will fail the same
+    /// way every time.
+    pub fn is_transient(self) -> bool {
+        match self {
+            ErrorCode::Io | ErrorCode::ChecksumMismatch => true,
+            ErrorCode::NotAContainer
+            | ErrorCode::UnknownTopic
+            | ErrorCode::Corrupt
+            | ErrorCode::BadRequest
+            | ErrorCode::ShuttingDown => false,
+        }
     }
 }
 
@@ -324,6 +346,18 @@ impl<'a> Reader<'a> {
 }
 
 impl Request {
+    /// The container a data-plane request targets, if any.
+    pub fn container(&self) -> Option<&str> {
+        match self {
+            Request::Open { container }
+            | Request::Topics { container }
+            | Request::Meta { container }
+            | Request::Read { container, .. }
+            | Request::Stat { container } => Some(container),
+            Request::Stats | Request::Trace | Request::Shutdown => None,
+        }
+    }
+
     /// Human-readable op name, used as the metrics key.
     pub fn op_name(&self) -> &'static str {
         match self {
@@ -653,7 +687,37 @@ mod tests {
         roundtrip_resp(Response::Trace("{\"traceEvents\":[]}".into()));
         roundtrip_resp(Response::ShuttingDown);
         roundtrip_resp(Response::Error { code: ErrorCode::UnknownTopic, message: "/nope".into() });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::ChecksumMismatch,
+            message: "t/data".into(),
+        });
         roundtrip_resp(Response::Overloaded);
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(ErrorCode::Io.is_transient());
+        assert!(ErrorCode::ChecksumMismatch.is_transient());
+        for code in [
+            ErrorCode::NotAContainer,
+            ErrorCode::UnknownTopic,
+            ErrorCode::Corrupt,
+            ErrorCode::BadRequest,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert!(!code.is_transient(), "{code:?} must be permanent");
+        }
+    }
+
+    #[test]
+    fn request_container_accessor() {
+        assert_eq!(Request::Open { container: "/c".into() }.container(), Some("/c"));
+        assert_eq!(
+            Request::Read { container: "/c".into(), topics: vec![], range: None }.container(),
+            Some("/c")
+        );
+        assert_eq!(Request::Stats.container(), None);
+        assert_eq!(Request::Shutdown.container(), None);
     }
 
     #[test]

@@ -261,6 +261,7 @@ fn span_name(op: &str) -> &'static str {
 }
 
 fn handle<S: Storage + Clone>(shared: &Shared<S>, req: Request, ctx: &mut IoCtx) -> Response {
+    let container = req.container().map(str::to_owned);
     let result = (|| -> Result<Response, BoraError> {
         match &req {
             Request::Open { container } => {
@@ -301,7 +302,23 @@ fn handle<S: Storage + Clone>(shared: &Shared<S>, req: Request, ctx: &mut IoCtx)
             }),
         }
     })();
-    result.unwrap_or_else(error_response)
+    match result {
+        Ok(resp) => resp,
+        Err(e) => {
+            // A checksum failure means the cached handle (and its
+            // quarantine state) may be poisoned or the medium changed
+            // under us: evict so the next request reopens and re-verifies
+            // from scratch instead of serving from a suspect handle.
+            if matches!(e, BoraError::ChecksumMismatch { .. }) {
+                if let Some(root) = &container {
+                    if shared.cache.invalidate(root) {
+                        bora_obs::counter("serve.evict_checksum").inc();
+                    }
+                }
+            }
+            error_response(e)
+        }
+    }
 }
 
 fn stat_of(meta: &bora::ContainerMeta) -> ContainerStat {
@@ -320,6 +337,10 @@ fn error_response(e: BoraError) -> Response {
         BoraError::NotAContainer(_) => ErrorCode::NotAContainer,
         BoraError::UnknownTopic(_) => ErrorCode::UnknownTopic,
         BoraError::Corrupt(_) | BoraError::Wire(_) | BoraError::Bag(_) => ErrorCode::Corrupt,
+        BoraError::ChecksumMismatch { .. } => ErrorCode::ChecksumMismatch,
+        // A damaged topic in a degraded container needs repair, not a
+        // retry: permanent from the client's point of view.
+        BoraError::TopicDamaged(_) => ErrorCode::Corrupt,
         BoraError::Fs(_) => ErrorCode::Io,
     };
     Response::Error { code, message: e.to_string() }

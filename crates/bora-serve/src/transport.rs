@@ -25,6 +25,16 @@ pub trait Connection: Send {
     /// Blocks for the next frame; `ErrorKind::UnexpectedEof` when the
     /// peer hung up.
     fn recv_frame(&mut self) -> io::Result<Vec<u8>>;
+    /// Bound how long `recv_frame` (and, where the transport supports it,
+    /// `send_frame`) may block; `None` restores blocking forever. A
+    /// timed-out call fails with `ErrorKind::TimedOut` / `WouldBlock` and
+    /// the connection should be considered desynchronized (a late
+    /// response would be mistaken for the next request's answer) — the
+    /// retry layer reconnects rather than reuse it. Default: unsupported,
+    /// silently blocking forever.
+    fn set_timeout(&mut self, _timeout: Option<Duration>) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// A way to reach a server; each `connect` yields an independent
@@ -79,6 +89,7 @@ where
 pub struct MemConnection {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
+    timeout: Option<Duration>,
 }
 
 impl Connection for MemConnection {
@@ -86,7 +97,19 @@ impl Connection for MemConnection {
         self.tx.send(payload.to_vec()).map_err(|_| eof())
     }
     fn recv_frame(&mut self) -> io::Result<Vec<u8>> {
-        self.rx.recv().map_err(|_| eof())
+        match self.timeout {
+            None => self.rx.recv().map_err(|_| eof()),
+            Some(t) => self.rx.recv_timeout(t).map_err(|e| match e {
+                channel::RecvTimeoutError::Timeout => {
+                    io::Error::new(io::ErrorKind::TimedOut, "recv_frame timed out")
+                }
+                channel::RecvTimeoutError::Disconnected => eof(),
+            }),
+        }
+    }
+    fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.timeout = timeout;
+        Ok(())
     }
 }
 
@@ -112,11 +135,11 @@ impl<S: Storage + Clone + Send + Sync + 'static> Transport for MemTransport<S> {
         std::thread::Builder::new()
             .name("bora-serve-mem-conn".into())
             .spawn(move || {
-                let mut conn = MemConnection { tx: server_tx, rx: server_rx };
+                let mut conn = MemConnection { tx: server_tx, rx: server_rx, timeout: None };
                 serve_connection(&server, &mut conn);
             })
             .map_err(io::Error::other)?;
-        Ok(MemConnection { tx: client_tx, rx: client_rx })
+        Ok(MemConnection { tx: client_tx, rx: client_rx, timeout: None })
     }
 }
 
@@ -139,6 +162,11 @@ impl Connection for TcpConnection {
         // One write per frame: the header is 4 bytes, coalescing avoids a
         // guaranteed small-packet round trip per response.
         self.stream.write_all(&frame(payload))
+    }
+
+    fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
     }
 
     fn recv_frame(&mut self) -> io::Result<Vec<u8>> {

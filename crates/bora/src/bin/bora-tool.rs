@@ -8,6 +8,8 @@
 //! bora-tool query   <container-dir> <topic> [start_s end_s]
 //! bora-tool export  <container-dir> <out.bag>    rebag a container
 //! bora-tool verify  <container-dir>              consistency self-check
+//! bora-tool fsck    <container-dir> [--repair [--source <src.bag>]]
+//!                                                classify Clean/Torn/Corrupt, optionally repair
 //! ```
 //!
 //! All storage goes through `simfs::LocalStorage`, i.e. real files.
@@ -138,6 +140,48 @@ fn main() {
             let s = w.close(&mut ctx).unwrap_or_else(die);
             println!("exported {} messages to {out} ({} bytes)", s.message_count, s.file_len);
         }
+        ["fsck", dir, rest @ ..] => {
+            let (repair, source) = match rest {
+                [] => (false, None),
+                ["--repair"] => (true, None),
+                ["--repair", "--source", src] => (true, Some(*src)),
+                _ => usage(),
+            };
+            let (fs, path) = split(dir);
+            let report = bora::fsck::check(&fs, &path, &mut ctx).unwrap_or_else(die);
+            println!(
+                "state: {:?}{}",
+                report.state,
+                if report.stale_staging { " (stale staging debris)" } else { "" }
+            );
+            if !report.has_manifest {
+                println!("note: no MANIFEST (pre-manifest container); structural check only");
+            }
+            println!(
+                "files checked: {}, bytes checked: {}",
+                report.files_checked, report.bytes_checked
+            );
+            for d in &report.damages {
+                println!("  damaged: {} ({})", d.rel_path, d.reason);
+            }
+            if !repair {
+                if !report.is_clean() {
+                    exit(1);
+                }
+                return;
+            }
+            let opts = OrganizerOptions::default();
+            let outcome = match source {
+                Some(src) => {
+                    let (sfs, spath) = split(src);
+                    bora::fsck::repair(&fs, &path, Some((&sfs, spath.as_str())), &opts, &mut ctx)
+                        .unwrap_or_else(die)
+                }
+                None => bora::fsck::repair::<_, LocalStorage>(&fs, &path, None, &opts, &mut ctx)
+                    .unwrap_or_else(die),
+            };
+            println!("repair: {outcome:?}");
+        }
         ["verify", dir] => {
             let (fs, path) = split(dir);
             let bag = BoraBag::open(&fs, &path, &mut ctx).unwrap_or_else(die);
@@ -166,7 +210,8 @@ fn badnum(s: &str) -> f64 {
 fn usage() -> ! {
     eprintln!(
         "usage: bora-tool <import <src.bag> <dir> | info <dir> | topics <dir> | \
-         query <dir> <topic> [start_s end_s] | export <dir> <out.bag> | verify <dir>>"
+         query <dir> <topic> [start_s end_s] | export <dir> <out.bag> | verify <dir> | \
+         fsck <dir> [--repair [--source <src.bag>]]>"
     );
     exit(2);
 }

@@ -9,15 +9,20 @@
 //!   narrows each topic to a candidate entry range, one contiguous read
 //!   covers the candidates, and a fine timestamp filter finishes the job.
 
+use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
 
+use parking_lot::Mutex;
 use ros_msgs::Time;
 use rosbag::reader::MessageRecord;
 use simfs::device::cpu;
 use simfs::{IoCtx, Storage};
 
+use crate::checksum::crc32c;
 use crate::error::{BoraError, BoraResult};
-use crate::layout::meta_path;
+use crate::layout::{meta_path, rel_path};
+use crate::manifest::Manifest;
 use crate::meta::ContainerMeta;
 use crate::tag::TagManager;
 use crate::time_index::TimeIndex;
@@ -46,6 +51,15 @@ pub struct BoraBag<S> {
     root: String,
     tags: Arc<TagManager>,
     meta: Arc<ContainerMeta>,
+    /// Commit manifest, when the container has one. Full-file reads are
+    /// verified against it lazily; pre-manifest containers get `None` and
+    /// read unverified.
+    manifest: Arc<Option<Manifest>>,
+    /// Topics whose files failed verification — populated up front by
+    /// [`BoraBag::open_degraded`] and lazily whenever a read catches a
+    /// checksum mismatch. Reads of a damaged topic short-circuit with
+    /// [`BoraError::TopicDamaged`]; the other topics keep serving.
+    damaged: Arc<Mutex<HashSet<String>>>,
 }
 
 impl<S: Clone> Clone for BoraBag<S> {
@@ -55,6 +69,8 @@ impl<S: Clone> Clone for BoraBag<S> {
             root: self.root.clone(),
             tags: Arc::clone(&self.tags),
             meta: Arc::clone(&self.meta),
+            manifest: Arc::clone(&self.manifest),
+            damaged: Arc::clone(&self.damaged),
         }
     }
 }
@@ -63,9 +79,10 @@ impl<S: Storage> BoraBag<S> {
     /// BORA-assisted open (Fig. 4b): build the tag hash table from the
     /// directory listing and load the container metadata.
     pub fn open(storage: S, container_root: &str, ctx: &mut IoCtx) -> BoraResult<Self> {
-        // The two child spans partition the whole open: summing their
-        // virtual charges reproduces the parent's (the paper's Fig. 4b
-        // decomposition — directory-listing hash build + one small read).
+        // The child spans partition the whole open: summing their virtual
+        // charges reproduces the parent's (the paper's Fig. 4b
+        // decomposition — directory-listing hash build + one small read —
+        // plus the commit-manifest load the verification layer adds).
         let sp_open = bora_obs::span("bora.open");
         let virt_open = ctx.elapsed_ns();
         let tags = {
@@ -85,6 +102,17 @@ impl<S: Storage> BoraBag<S> {
             sp.end_virt(ctx.elapsed_ns() - v0);
             meta
         };
+        // The commit manifest, when present, arms lazy read verification.
+        // A container written before the commit protocol has none and
+        // reads unverified; a *damaged* manifest is a hard error — the
+        // container claims to be verifiable but can't be.
+        let manifest = {
+            let sp = bora_obs::span("bora.open.manifest_load");
+            let v0 = ctx.elapsed_ns();
+            let manifest = Manifest::load(&storage, container_root, ctx)?;
+            sp.end_virt(ctx.elapsed_ns() - v0);
+            manifest
+        };
         bora_obs::counter("bora.open.count").inc();
         sp_open.end_virt(ctx.elapsed_ns() - virt_open);
         Ok(BoraBag {
@@ -92,7 +120,107 @@ impl<S: Storage> BoraBag<S> {
             root: container_root.to_owned(),
             tags: Arc::new(tags),
             meta: Arc::new(meta),
+            manifest: Arc::new(manifest),
+            damaged: Arc::new(Mutex::new(HashSet::new())),
         })
+    }
+
+    /// Degraded open: like [`BoraBag::open`], but instead of trusting the
+    /// tree, pre-screens every topic's files against the manifest (cheap
+    /// length checks; content checksums stay lazy) and quarantines the
+    /// topics that fail. Reads of quarantined topics return
+    /// [`BoraError::TopicDamaged`]; intact topics serve normally. Returns
+    /// the quarantined topic names alongside the handle.
+    pub fn open_degraded(
+        storage: S,
+        container_root: &str,
+        ctx: &mut IoCtx,
+    ) -> BoraResult<(Self, Vec<String>)> {
+        let bag = Self::open(storage, container_root, ctx)?;
+        let mut damaged_topics = Vec::new();
+        if let Some(manifest) = bag.manifest.as_ref() {
+            for topic in bag.topics().into_iter().map(str::to_owned).collect::<Vec<_>>() {
+                let paths = bag.tags.lookup(&topic, ctx)?.clone();
+                let intact = [&paths.data, &paths.index, &paths.tindex].iter().all(|p| {
+                    let rel = match rel_path(&bag.root, p) {
+                        Some(r) => r,
+                        None => return false,
+                    };
+                    match manifest.entry(rel) {
+                        // Unlisted file: nothing to verify against.
+                        None => true,
+                        Some(e) => bag.storage.len(p, ctx).map(|l| l == e.len).unwrap_or(false),
+                    }
+                });
+                if !intact {
+                    damaged_topics.push(topic);
+                }
+            }
+            damaged_topics.sort();
+            let mut set = bag.damaged.lock();
+            for t in &damaged_topics {
+                set.insert(t.clone());
+            }
+        }
+        Ok((bag, damaged_topics))
+    }
+
+    /// Topics currently quarantined as damaged (degraded mode).
+    pub fn damaged_topics(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.damaged.lock().iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Whether this container carries a commit manifest (and therefore
+    /// verifies reads).
+    pub fn has_manifest(&self) -> bool {
+        self.manifest.is_some()
+    }
+
+    fn check_not_damaged(&self, topic: &str) -> BoraResult<()> {
+        if self.damaged.lock().contains(topic) {
+            return Err(BoraError::TopicDamaged(topic.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Full-file read with lazy manifest verification: length + CRC32C
+    /// are checked when the container has a manifest entry for the file.
+    /// On mismatch the owning topic is quarantined and the typed
+    /// [`BoraError::ChecksumMismatch`] surfaces to the caller. Partial
+    /// (`read_at`) paths skip content verification — the time-range read
+    /// path trades verification for not touching the whole file, which is
+    /// exactly the point of the coarse index.
+    fn verified_read_all(
+        &self,
+        path: &str,
+        topic: Option<&str>,
+        ctx: &mut IoCtx,
+    ) -> BoraResult<Vec<u8>> {
+        let bytes = self.storage.read_all(path, ctx)?;
+        let (Some(manifest), Some(rel)) = (self.manifest.as_ref(), rel_path(&self.root, path))
+        else {
+            return Ok(bytes);
+        };
+        let Some(entry) = manifest.entry(rel) else {
+            return Ok(bytes);
+        };
+        let t0 = Instant::now();
+        let actual = crc32c(&bytes);
+        bora_obs::histogram("verify.latency_ns").record(t0.elapsed().as_nanos() as u64);
+        if bytes.len() as u64 != entry.len || actual != entry.crc32c {
+            bora_obs::counter("verify.checksum_fail").inc();
+            if let Some(t) = topic {
+                self.damaged.lock().insert(t.to_owned());
+            }
+            return Err(BoraError::ChecksumMismatch {
+                path: rel.to_owned(),
+                expected: entry.crc32c,
+                actual,
+            });
+        }
+        Ok(bytes)
     }
 
     pub fn root(&self) -> &str {
@@ -118,8 +246,9 @@ impl<S: Storage> BoraBag<S> {
 
     /// Load one topic's full fine-grain index.
     pub fn load_index(&self, topic: &str, ctx: &mut IoCtx) -> BoraResult<Vec<TopicIndexEntry>> {
+        self.check_not_damaged(topic)?;
         let paths = self.tags.lookup(topic, ctx)?.clone();
-        let bytes = self.storage.read_all(&paths.index, ctx)?;
+        let bytes = self.verified_read_all(&paths.index, Some(topic), ctx)?;
         let entries = decode_entries(&bytes)?;
         ctx.charge_ns(entries.len() as u64 * cpu::INDEX_ENTRY_NS);
         Ok(entries)
@@ -127,10 +256,11 @@ impl<S: Storage> BoraBag<S> {
 
     /// Load one topic's coarse time index.
     pub fn load_time_index(&self, topic: &str, ctx: &mut IoCtx) -> BoraResult<TimeIndex> {
+        self.check_not_damaged(topic)?;
         let sp = bora_obs::span("bora.tindex.load");
         let v0 = ctx.elapsed_ns();
         let paths = self.tags.lookup(topic, ctx)?.clone();
-        let bytes = self.storage.read_all(&paths.tindex, ctx)?;
+        let bytes = self.verified_read_all(&paths.tindex, Some(topic), ctx)?;
         let tindex = TimeIndex::decode(&bytes)?;
         sp.end_virt(ctx.elapsed_ns() - v0);
         Ok(tindex)
@@ -143,12 +273,13 @@ impl<S: Storage> BoraBag<S> {
         topic: &str,
         ctx: &mut IoCtx,
     ) -> BoraResult<(Vec<TopicIndexEntry>, Vec<u8>)> {
+        self.check_not_damaged(topic)?;
         let paths = self.tags.lookup(topic, ctx)?.clone();
         let index = {
-            let bytes = self.storage.read_all(&paths.index, ctx)?;
+            let bytes = self.verified_read_all(&paths.index, Some(topic), ctx)?;
             decode_entries(&bytes)?
         };
-        let data = self.storage.read_all(&paths.data, ctx)?;
+        let data = self.verified_read_all(&paths.data, Some(topic), ctx)?;
         Ok((index, data))
     }
 
@@ -204,6 +335,7 @@ impl<S: Storage> BoraBag<S> {
         end: Time,
         ctx: &mut IoCtx,
     ) -> BoraResult<Vec<MessageRecord>> {
+        self.check_not_damaged(topic)?;
         let paths = self.tags.lookup(topic, ctx)?.clone();
         let tindex = self.load_time_index(topic, ctx)?;
 
@@ -498,6 +630,54 @@ mod tests {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
         assert!(BoraBag::open(&fs, "/nothing", &mut ctx).is_err());
+    }
+
+    #[test]
+    fn checksum_mismatch_is_typed_and_quarantines_topic() {
+        let (fs, ..) = setup();
+        let mut ctx = IoCtx::new();
+        // Flip one payload byte; lengths stay intact, so only the CRC
+        // can catch it.
+        let data = fs.read_all("/c/imu/data", &mut ctx).unwrap();
+        let mut bad = data.clone();
+        bad[data.len() / 2] ^= 0x40;
+        fs.remove_file("/c/imu/data", &mut ctx).unwrap();
+        fs.append("/c/imu/data", &bad, &mut ctx).unwrap();
+
+        let bag = BoraBag::open(&fs, "/c", &mut ctx).unwrap();
+        assert!(bag.has_manifest());
+        assert!(matches!(
+            bag.read_topic_raw("/imu", &mut ctx),
+            Err(BoraError::ChecksumMismatch { .. })
+        ));
+        // The topic is now quarantined; the sibling topic still serves.
+        assert!(matches!(bag.read_topic_raw("/imu", &mut ctx), Err(BoraError::TopicDamaged(_))));
+        assert!(bag.read_topic_raw("/camera/rgb/camera_info", &mut ctx).is_ok());
+        assert_eq!(bag.damaged_topics(), vec!["/imu".to_owned()]);
+    }
+
+    #[test]
+    fn degraded_open_quarantines_truncated_topic() {
+        let (fs, _, n_cam) = setup();
+        let mut ctx = IoCtx::new();
+        let data = fs.read_all("/c/imu/data", &mut ctx).unwrap();
+        fs.remove_file("/c/imu/data", &mut ctx).unwrap();
+        fs.append("/c/imu/data", &data[..data.len() - 10], &mut ctx).unwrap();
+
+        let (bag, damaged) = BoraBag::open_degraded(&fs, "/c", &mut ctx).unwrap();
+        assert_eq!(damaged, vec!["/imu".to_owned()]);
+        assert!(matches!(bag.read_topic("/imu", &mut ctx), Err(BoraError::TopicDamaged(_))));
+        let cam = bag.read_topic("/camera/rgb/camera_info", &mut ctx).unwrap();
+        assert_eq!(cam.len() as u64, n_cam);
+    }
+
+    #[test]
+    fn degraded_open_on_clean_container_quarantines_nothing() {
+        let (fs, n_imu, _) = setup();
+        let mut ctx = IoCtx::new();
+        let (bag, damaged) = BoraBag::open_degraded(&fs, "/c", &mut ctx).unwrap();
+        assert!(damaged.is_empty());
+        assert_eq!(bag.read_topic("/imu", &mut ctx).unwrap().len() as u64, n_imu);
     }
 
     #[test]

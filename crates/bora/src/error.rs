@@ -15,6 +15,18 @@ pub enum BoraError {
     Corrupt(String),
     /// Query referenced a topic the container does not hold.
     UnknownTopic(String),
+    /// A file's content does not match its MANIFEST record (CRC32C or
+    /// length). The data on the medium is wrong; retrying the read
+    /// through a fresh handle may succeed if the damage was in transit.
+    ChecksumMismatch {
+        /// Container-relative path of the damaged file.
+        path: String,
+        expected: u32,
+        actual: u32,
+    },
+    /// In degraded-open mode: the topic's files failed verification, but
+    /// the rest of the container is being served.
+    TopicDamaged(String),
     /// Source bag could not be parsed during duplication.
     Bag(BagError),
     Fs(FsError),
@@ -27,6 +39,11 @@ impl fmt::Display for BoraError {
             BoraError::NotAContainer(p) => write!(f, "not a BORA container: {p}"),
             BoraError::Corrupt(m) => write!(f, "corrupt container: {m}"),
             BoraError::UnknownTopic(t) => write!(f, "unknown topic: {t}"),
+            BoraError::ChecksumMismatch { path, expected, actual } => write!(
+                f,
+                "checksum mismatch on {path}: expected {expected:#010x}, got {actual:#010x}"
+            ),
+            BoraError::TopicDamaged(t) => write!(f, "topic damaged (degraded container): {t}"),
             BoraError::Bag(e) => write!(f, "bag error: {e}"),
             BoraError::Fs(e) => write!(f, "storage error: {e}"),
             BoraError::Wire(e) => write!(f, "wire error: {e}"),

@@ -9,6 +9,12 @@
 
 /// Name of the container metadata file in the container root.
 pub const META_FILE: &str = ".bora";
+/// Name of the commit manifest file in the container root.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// Suffix of the staging directory a duplication builds under before the
+/// atomic commit rename. `<root>.staging` sits *next to* the final root,
+/// so an uncommitted attempt never shadows or pollutes a real container.
+pub const STAGING_SUFFIX: &str = ".staging";
 /// Per-topic file holding concatenated message payloads.
 pub const DATA_FILE: &str = "data";
 /// Per-topic fine-grain index file: one entry per message.
@@ -97,6 +103,23 @@ pub fn meta_path(container_root: &str) -> String {
     format!("{}/{META_FILE}", container_root.trim_end_matches('/'))
 }
 
+/// Path of the commit manifest for a container root.
+pub fn manifest_path(container_root: &str) -> String {
+    format!("{}/{MANIFEST_FILE}", container_root.trim_end_matches('/'))
+}
+
+/// Staging directory a duplication of `container_root` builds under.
+pub fn staging_path(container_root: &str) -> String {
+    format!("{}{STAGING_SUFFIX}", container_root.trim_end_matches('/'))
+}
+
+/// A container file's path relative to its root (what MANIFEST entries
+/// are keyed by), or `None` if `path` is not under `root`.
+pub fn rel_path<'a>(root: &str, path: &'a str) -> Option<&'a str> {
+    let root = root.trim_end_matches('/');
+    path.strip_prefix(root).and_then(|r| r.strip_prefix('/'))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +163,18 @@ mod tests {
     fn meta_path_join() {
         assert_eq!(meta_path("/mnt/bags/bag1"), "/mnt/bags/bag1/.bora");
         assert_eq!(meta_path("/mnt/bags/bag1/"), "/mnt/bags/bag1/.bora");
+    }
+
+    #[test]
+    fn staging_and_manifest_paths() {
+        assert_eq!(staging_path("/mnt/bags/bag1"), "/mnt/bags/bag1.staging");
+        assert_eq!(manifest_path("/mnt/bags/bag1"), "/mnt/bags/bag1/MANIFEST");
+    }
+
+    #[test]
+    fn rel_path_strips_root() {
+        assert_eq!(rel_path("/c", "/c/imu/data"), Some("imu/data"));
+        assert_eq!(rel_path("/c/", "/c/.bora"), Some(".bora"));
+        assert_eq!(rel_path("/c", "/other/imu/data"), None);
     }
 }

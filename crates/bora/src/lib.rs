@@ -66,9 +66,12 @@
 //! ```
 
 pub mod borafs;
+pub mod checksum;
 pub mod container;
 pub mod error;
+pub mod fsck;
 pub mod layout;
+pub mod manifest;
 pub mod meta;
 pub mod multi;
 pub mod organizer;
@@ -78,8 +81,11 @@ pub mod time_index;
 pub mod topic_index;
 
 pub use borafs::{BoraFs, BoraFsOptions};
+pub use checksum::{crc32c, Crc32c};
 pub use container::BoraBag;
 pub use error::{BoraError, BoraResult};
+pub use fsck::{FsckReport, FsckState, RepairOutcome};
+pub use manifest::{Manifest, ManifestEntry};
 pub use meta::ContainerMeta;
 pub use multi::{SwarmQuery, SwarmResult};
 pub use organizer::{duplicate, OrganizeReport, OrganizerOptions};

@@ -31,8 +31,13 @@ use rosbag::BagReader;
 use simfs::device::cpu;
 use simfs::{IoCtx, Storage};
 
+use crate::checksum::{crc32c, Crc32c};
 use crate::error::{BoraError, BoraResult};
-use crate::layout::{meta_path, TopicPaths};
+use crate::layout::{
+    encode_topic, manifest_path, meta_path, staging_path, TopicPaths, DATA_FILE, INDEX_FILE,
+    META_FILE, TINDEX_FILE,
+};
+use crate::manifest::{Manifest, ManifestEntry};
 use crate::meta::{ContainerMeta, TopicMeta};
 use crate::time_index::{TimeIndex, DEFAULT_WINDOW_NS};
 use crate::topic_index::{encode_entries, TopicIndexEntry};
@@ -79,6 +84,10 @@ struct DistributorResult {
     ctx: IoCtx,
     /// conn_id → (entries, payload bytes).
     per_conn: HashMap<u32, (Vec<TopicIndexEntry>, u64)>,
+    /// Commit records (root-relative path, length, CRC32C) for every file
+    /// this distributor wrote, accumulated as a streaming digest so
+    /// nothing is re-read to build the MANIFEST.
+    files: Vec<ManifestEntry>,
 }
 
 /// Lightweight metadata-only bag open: bag header + index section
@@ -145,13 +154,23 @@ pub fn duplicate<SS: Storage, DS: Storage>(
     let (conns, mut chunk_infos, src_len) = read_bag_metadata(src, src_path, &mut scan_ctx)?;
     chunk_infos.sort_by_key(|c| c.chunk_pos);
 
-    // Create the container skeleton (charged to the caller: metadata ops).
+    // Crash-atomic commit protocol: the whole container is built under a
+    // staging sibling, `<root>.staging`, and becomes visible only through
+    // the final rename. A crash at any earlier point leaves staging
+    // debris (which a later attempt or `fsck` rolls back) and no
+    // `<root>` at all — `open` can never see a half-built container.
     if dst.exists(dst_root, ctx) {
         return Err(BoraError::Fs(simfs::FsError::AlreadyExists(dst_root.to_owned())));
     }
-    dst.mkdir_all(dst_root, ctx)?;
+    let stage = staging_path(dst_root);
+    if dst.exists(&stage, ctx) {
+        dst.remove_dir_all(&stage, ctx)?;
+    }
+    dst.mkdir_all(&stage, ctx)?;
     let topic_paths: HashMap<u32, TopicPaths> =
-        conns.iter().map(|c| (c.conn_id, TopicPaths::new(dst_root, &c.topic))).collect();
+        conns.iter().map(|c| (c.conn_id, TopicPaths::new(&stage, &c.topic))).collect();
+    let topic_dirs: HashMap<u32, String> =
+        conns.iter().map(|c| (c.conn_id, encode_topic(&c.topic))).collect();
     for p in topic_paths.values() {
         dst.mkdir_all(&p.dir, ctx)?;
     }
@@ -176,6 +195,7 @@ pub fn duplicate<SS: Storage, DS: Storage>(
 
     let (dist_results, scan_ctx) = crossbeam::thread::scope(|scope| -> BoraResult<_> {
         let topic_paths = &topic_paths;
+        let topic_dirs = &topic_dirs;
         let mut handles = Vec::with_capacity(n_threads);
         for (shard, rx) in receivers.into_iter().enumerate() {
             let my_conns = shard_conns[shard].clone();
@@ -190,6 +210,10 @@ pub fn duplicate<SS: Storage, DS: Storage>(
                 // appends (offsets are assigned from the running length).
                 let mut buffers: HashMap<u32, Vec<u8>> =
                     my_conns.iter().map(|&c| (c, Vec::new())).collect();
+                // Streaming per-data-file digest: folded in as payloads
+                // are buffered, so the MANIFEST costs no extra reads.
+                let mut crcs: HashMap<u32, Crc32c> =
+                    my_conns.iter().map(|&c| (c, Crc32c::new())).collect();
                 for (conn_id, time, payload) in rx.iter() {
                     let slot = per_conn.get_mut(&conn_id).expect("sharded conn");
                     slot.0.push(TopicIndexEntry {
@@ -199,6 +223,7 @@ pub fn duplicate<SS: Storage, DS: Storage>(
                     });
                     slot.1 += payload.len() as u64;
                     dctx.charge_ns(cpu::INDEX_ENTRY_NS);
+                    crcs.get_mut(&conn_id).expect("sharded conn").update(&payload);
                     let buf = buffers.get_mut(&conn_id).expect("sharded conn");
                     buf.extend_from_slice(&payload);
                     if buf.len() >= opts.write_buffer {
@@ -216,13 +241,32 @@ pub fn duplicate<SS: Storage, DS: Storage>(
                         dst.append(&topic_paths[&conn_id].data, &[], &mut dctx)?;
                     }
                 }
-                for (&conn_id, (entries, _)) in &per_conn {
+                let mut files = Vec::with_capacity(my_conns.len() * 3);
+                for (&conn_id, (entries, bytes)) in &per_conn {
                     let paths = &topic_paths[&conn_id];
-                    dst.append(&paths.index, &encode_entries(entries), &mut dctx)?;
+                    let dir = &topic_dirs[&conn_id];
+                    let index_bytes = encode_entries(entries);
+                    dst.append(&paths.index, &index_bytes, &mut dctx)?;
                     let tindex = TimeIndex::build(entries, opts.window_ns);
-                    dst.append(&paths.tindex, &tindex.encode(), &mut dctx)?;
+                    let tindex_bytes = tindex.encode();
+                    dst.append(&paths.tindex, &tindex_bytes, &mut dctx)?;
+                    files.push(ManifestEntry {
+                        path: format!("{dir}/{DATA_FILE}"),
+                        len: *bytes,
+                        crc32c: crcs[&conn_id].finish(),
+                    });
+                    files.push(ManifestEntry {
+                        path: format!("{dir}/{INDEX_FILE}"),
+                        len: index_bytes.len() as u64,
+                        crc32c: crc32c(&index_bytes),
+                    });
+                    files.push(ManifestEntry {
+                        path: format!("{dir}/{TINDEX_FILE}"),
+                        len: tindex_bytes.len() as u64,
+                        crc32c: crc32c(&tindex_bytes),
+                    });
                 }
-                Ok(DistributorResult { ctx: dctx, per_conn })
+                Ok(DistributorResult { ctx: dctx, per_conn, files })
             }));
         }
 
@@ -310,7 +354,22 @@ pub fn duplicate<SS: Storage, DS: Storage>(
         window_ns: opts.window_ns,
         source_bag_len: src_len,
     };
-    dst.append(&meta_path(dst_root), &meta.encode(), ctx)?;
+    let meta_bytes = meta.encode();
+    dst.append(&meta_path(&stage), &meta_bytes, ctx)?;
+
+    // MANIFEST goes last inside staging, then one rename commits the
+    // container. Everything before the rename is invisible to `open`.
+    let mut entries: Vec<ManifestEntry> =
+        dist_results.iter().flat_map(|r| r.files.iter().cloned()).collect();
+    entries.push(ManifestEntry {
+        path: META_FILE.to_owned(),
+        len: meta_bytes.len() as u64,
+        crc32c: crc32c(&meta_bytes),
+    });
+    let manifest = Manifest::new(entries)?;
+    manifest.store(dst, &stage, ctx)?;
+    dst.flush(&manifest_path(&stage), ctx)?;
+    dst.rename(&stage, dst_root, ctx)?;
 
     // Charge the caller: scan + the distributors' *summed* device time.
     // The destination is one device (or one striped array): threads

@@ -134,10 +134,12 @@ fn main() {
                 connections_recovered,
                 messages_recovered,
                 truncated_bytes,
+                chunks_skipped,
             } = rosbag::reindex(&fs, &path, &mut ctx).unwrap_or_else(die);
             println!(
                 "recovered {messages_recovered} messages in {chunks_recovered} chunks \
-                 ({connections_recovered} connections); discarded {truncated_bytes} trailing bytes"
+                 ({connections_recovered} connections); discarded {truncated_bytes} trailing bytes, \
+                 skipped {chunks_skipped} corrupt chunks"
             );
         }
         _ => usage(),

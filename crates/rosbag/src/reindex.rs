@@ -29,13 +29,20 @@ pub struct ReindexReport {
     pub messages_recovered: u64,
     /// Bytes of trailing garbage discarded (a partially written record).
     pub truncated_bytes: u64,
+    /// Chunks whose contents were unparsable and were dropped. The record
+    /// framing around them was intact, so recovery continued past them.
+    pub chunks_skipped: u32,
 }
 
 /// Truncate-and-rebuild recovery of `path` in place.
 ///
-/// Scans chunk records from the front; anything unparsable terminates the
-/// scan and is discarded. Chunks lacking their index-data records (the
-/// crash case) get them regenerated from the chunk contents.
+/// Scans chunk records from the front. A chunk whose *contents* are
+/// unparsable (bad compression, torn message stream) is skipped — its
+/// outer record framing still locates the next record, so later chunks
+/// are recovered rather than silently dropped. Only damage to the record
+/// framing itself terminates the scan, discarding the tail. Chunks
+/// lacking their index-data records (the crash case) get them regenerated
+/// from the chunk contents.
 pub fn reindex<S: Storage>(storage: &S, path: &str, ctx: &mut IoCtx) -> BagResult<ReindexReport> {
     let file_len = storage.len(path, ctx)?;
     let head = storage.read_at(path, 0, (MAGIC.len()).min(file_len as usize), ctx)?;
@@ -50,6 +57,7 @@ pub fn reindex<S: Storage>(storage: &S, path: &str, ctx: &mut IoCtx) -> BagResul
     // Rebuilt per-chunk index data, in file order.
     let mut rebuilt_index: Vec<(u64, Vec<IndexDataRecord>)> = Vec::new();
     let mut messages = 0u64;
+    let mut chunks_skipped = 0u32;
     let mut valid_end = pos;
 
     while pos < file_len {
@@ -79,45 +87,64 @@ pub fn reindex<S: Storage>(storage: &S, path: &str, ctx: &mut IoCtx) -> BagResul
 
         match header.op {
             Op::Chunk => {
-                let ch = ChunkHeader::from_header(&header)?;
                 let chunk_pos = pos;
-                let raw = storage.read_at(path, data_pos, dlen as usize, ctx)?;
-                let data = crate::compress::decode_chunk(&ch.compression, &raw, ch.size as usize)?;
-                // Parse the chunk's messages to rebuild its index.
-                let mut per_conn: HashMap<u32, Vec<(Time, u32)>> = HashMap::new();
-                let mut start = Time::MAX;
-                let mut end = Time::ZERO;
-                let mut cur: &[u8] = &data;
-                let mut ok = true;
-                while cur.remaining() > 0 {
-                    let before = data.len() - cur.remaining();
-                    let Ok((mh, payload)) = read_record(&mut cur) else {
-                        ok = false;
-                        break;
-                    };
-                    ctx.charge_ns(cpu::RECORD_HEADER_NS);
-                    match mh.op {
-                        Op::MessageData => {
-                            let md = MessageDataHeader::from_header(&mh)?;
-                            per_conn.entry(md.conn_id).or_default().push((md.time, before as u32));
-                            start = start.min(md.time);
-                            end = end.max(md.time);
-                            messages += 1;
-                            let _ = payload;
-                        }
-                        Op::Connection => {
-                            let c = ConnectionRecord::decode(&mh, payload)?;
-                            connections.entry(c.conn_id).or_insert(c);
-                        }
-                        _ => {
-                            ok = false;
-                            break;
+                // Any failure *inside* the chunk — bad chunk header, bad
+                // compression, torn message stream — is contained to this
+                // chunk: the outer framing already located `record_end`,
+                // so the chunk is skipped and the scan continues.
+                let parsed = (|| -> BagResult<_> {
+                    let ch = ChunkHeader::from_header(&header)?;
+                    let raw = storage.read_at(path, data_pos, dlen as usize, ctx)?;
+                    let data =
+                        crate::compress::decode_chunk(&ch.compression, &raw, ch.size as usize)?;
+                    // Parse the chunk's messages to rebuild its index.
+                    let mut per_conn: HashMap<u32, Vec<(Time, u32)>> = HashMap::new();
+                    let mut chunk_conns: Vec<ConnectionRecord> = Vec::new();
+                    let mut chunk_messages = 0u64;
+                    let mut start = Time::MAX;
+                    let mut end = Time::ZERO;
+                    let mut cur: &[u8] = &data;
+                    while cur.remaining() > 0 {
+                        let before = data.len() - cur.remaining();
+                        let (mh, payload) = read_record(&mut cur)?;
+                        ctx.charge_ns(cpu::RECORD_HEADER_NS);
+                        match mh.op {
+                            Op::MessageData => {
+                                let md = MessageDataHeader::from_header(&mh)?;
+                                per_conn
+                                    .entry(md.conn_id)
+                                    .or_default()
+                                    .push((md.time, before as u32));
+                                start = start.min(md.time);
+                                end = end.max(md.time);
+                                chunk_messages += 1;
+                                let _ = payload;
+                            }
+                            Op::Connection => {
+                                chunk_conns.push(ConnectionRecord::decode(&mh, payload)?);
+                            }
+                            other => {
+                                return Err(BagError::Format(format!(
+                                    "unexpected {other:?} inside chunk"
+                                )));
+                            }
                         }
                     }
+                    Ok((per_conn, chunk_conns, chunk_messages, start, end))
+                })();
+                let (per_conn, chunk_conns, chunk_messages, start, end) = match parsed {
+                    Ok(p) => p,
+                    Err(_) => {
+                        chunks_skipped += 1;
+                        bora_obs::counter("rosbag.reindex.chunks_skipped").inc();
+                        pos = record_end;
+                        continue;
+                    }
+                };
+                for c in chunk_conns {
+                    connections.entry(c.conn_id).or_insert(c);
                 }
-                if !ok {
-                    break; // chunk contents corrupt: stop before it
-                }
+                messages += chunk_messages;
                 let mut counts: Vec<(u32, u32)> =
                     per_conn.iter().map(|(&c, v)| (c, v.len() as u32)).collect();
                 counts.sort_unstable();
@@ -211,6 +238,7 @@ pub fn reindex<S: Storage>(storage: &S, path: &str, ctx: &mut IoCtx) -> BagResul
         connections_recovered: conns.len() as u32,
         messages_recovered: messages,
         truncated_bytes,
+        chunks_skipped,
     })
 }
 
@@ -295,6 +323,56 @@ mod tests {
         assert_eq!(report.messages_recovered, n);
         assert!(report.truncated_bytes >= 37);
         assert!(BagReader::open(&fs, "/b.bag", &mut ctx).is_ok());
+    }
+
+    /// Byte offset of the Nth chunk's data section, walking outer framing.
+    fn nth_chunk_data_pos(bytes: &[u8], n: u32) -> usize {
+        let mut pos = MAGIC.len() + BAG_HEADER_RECORD_SIZE;
+        let mut seen = 0u32;
+        while pos + 8 <= bytes.len() {
+            let hlen = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let header =
+                crate::record::RecordHeader::decode(&bytes[pos + 4..pos + 4 + hlen]).unwrap();
+            let dlen = u32::from_le_bytes(bytes[pos + 4 + hlen..pos + 8 + hlen].try_into().unwrap())
+                as usize;
+            let data_pos = pos + 8 + hlen;
+            if header.op == Op::Chunk {
+                seen += 1;
+                if seen == n {
+                    return data_pos;
+                }
+            }
+            pos = data_pos + dlen;
+        }
+        panic!("bag has fewer than {n} chunks");
+    }
+
+    #[test]
+    fn corrupt_middle_chunk_is_skipped_not_fatal() {
+        let fs = MemStorage::new();
+        let n = write_bag(&fs, 50);
+        crash_bag(&fs);
+        let mut ctx = IoCtx::new();
+        // Clobber the second chunk's *contents* (inner record framing);
+        // the outer framing around it stays intact.
+        let bytes = fs.read_all("/b.bag", &mut ctx).unwrap();
+        let dp = nth_chunk_data_pos(&bytes, 2);
+        let mut mangled = bytes;
+        mangled[dp] ^= 0xFF;
+        fs.remove_file("/b.bag", &mut ctx).unwrap();
+        fs.append("/b.bag", &mangled, &mut ctx).unwrap();
+
+        let report = reindex(&fs, "/b.bag", &mut ctx).unwrap();
+        assert_eq!(report.chunks_skipped, 1);
+        assert!(report.messages_recovered > 0 && report.messages_recovered < n);
+
+        // Chunks *after* the corrupt one survived: the bag opens and the
+        // final message is intact.
+        let r = BagReader::open(&fs, "/b.bag", &mut ctx).unwrap();
+        let msgs = r.read_messages(&["/imu"], &mut ctx).unwrap();
+        assert_eq!(msgs.len() as u64, report.messages_recovered);
+        let last = Imu::from_bytes(&msgs.last().unwrap().data).unwrap();
+        assert_eq!(last.header.seq, 49);
     }
 
     #[test]

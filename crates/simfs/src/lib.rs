@@ -48,7 +48,7 @@ pub use clock::{ActiveWorker, ConcurrencyGauge, IoCtx, IoStats};
 pub use cluster::{ClusterConfig, ClusterStorage};
 pub use device::{DeviceModel, NetModel};
 pub use error::{FsError, FsResult};
-pub use faulty::{FaultKind, FaultRule, FaultyStorage};
+pub use faulty::{FaultKind, FaultRule, FaultyStorage, PowerCut, PowerCutSchedule};
 pub use local::LocalStorage;
 pub use mem::MemStorage;
 pub use parallel::run_parallel;

@@ -8,10 +8,10 @@
 //! Load the output in `about://tracing` (Chrome) or <https://ui.perfetto.dev>.
 //! The trace shows the paper's Fig. 4 side by side: the baseline
 //! `rosbag.open` dominated by `chunk_scan` + `index_build`, and the BORA
-//! `bora.open` whose two children (`tag_rebuild`, `meta_read`) partition
-//! its whole cost. The example also checks that partition numerically:
-//! summing the children's virtual-ns charges must reproduce the cost
-//! model's total for the open.
+//! `bora.open` whose children (`tag_rebuild`, `meta_read`,
+//! `manifest_load`) partition its whole cost. The example also checks
+//! that partition numerically: summing the children's virtual-ns charges
+//! must reproduce the cost model's total for the open.
 
 use bora::{BoraBag, BoraFs, BoraFsOptions};
 use ros_msgs::sensor_msgs::Imu;
@@ -82,13 +82,17 @@ fn main() {
         assert!(events.iter().any(|e| e.name == required), "missing span {required}");
     }
     let open_total = virt_of("bora.open");
-    let children = virt_of("bora.open.tag_rebuild") + virt_of("bora.open.meta_read");
+    let children = virt_of("bora.open.tag_rebuild")
+        + virt_of("bora.open.meta_read")
+        + virt_of("bora.open.manifest_load");
     assert_eq!(open_total, children, "bora.open children must partition the parent's virtual cost");
     assert_eq!(open_total, bora_open_ns, "span virt must match the cost model's open total");
     println!(
-        "bora.open = tag_rebuild {:.3} ms + meta_read {:.3} ms (partition verified)",
+        "bora.open = tag_rebuild {:.3} ms + meta_read {:.3} ms + manifest_load {:.3} ms \
+         (partition verified)",
         ms(virt_of("bora.open.tag_rebuild")),
-        ms(virt_of("bora.open.meta_read"))
+        ms(virt_of("bora.open.meta_read")),
+        ms(virt_of("bora.open.manifest_load"))
     );
 
     let json = bora_obs::chrome_trace(&events, bora_obs::dropped());

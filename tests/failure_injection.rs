@@ -14,7 +14,7 @@ use simfs::{FaultKind, FaultRule, FaultyStorage, IoCtx, MemStorage, Storage};
 use std::sync::Arc;
 
 fn fail_writes_after(n: u64) -> FaultRule {
-    FaultRule { kind: FaultKind::Writes, path_contains: None, after_ops: n, corrupt_with: None }
+    FaultRule { kind: FaultKind::Writes, after_ops: n, ..FaultRule::default() }
 }
 
 fn build_small_bag<S: Storage>(fs: &S, n: u32) {
@@ -99,9 +99,9 @@ fn organizer_fails_cleanly_midway() {
     let fs = FaultyStorage::new(&inner);
     fs.inject(FaultRule {
         kind: FaultKind::Writes,
-        path_contains: Some("/c/".into()),
+        path_contains: Some("/c".into()),
         after_ops: 3,
-        corrupt_with: None,
+        ..FaultRule::default()
     });
     let mut ctx = IoCtx::new();
     let result = bora::organizer::duplicate(
@@ -113,15 +113,64 @@ fn organizer_fails_cleanly_midway() {
         &mut ctx,
     );
     assert!(result.is_err(), "duplicate must fail, not silently truncate");
-    // The half-built container must not pass verify/open as healthy with
-    // the full message count.
+    // Crash-atomic commit: the failed capture never exposes a root at
+    // all — only staging debris, which fsck classifies as Torn and
+    // sweeps on rollback.
     fs.clear_faults();
-    if let Ok(bag) = BoraBag::open(&inner, "/c", &mut ctx) {
-        // An Err from verify (detected corruption) is also acceptable.
-        if let Ok(n) = bag.verify(&mut ctx) {
-            assert!(n < 300, "a partially written container cannot verify all messages");
-        }
+    assert!(!inner.exists("/c", &mut ctx), "no half-committed root may appear");
+    let report = bora::fsck::check(&inner, "/c", &mut ctx).unwrap();
+    assert_eq!(report.state, bora::FsckState::Torn);
+    let outcome = bora::fsck::repair::<_, MemStorage>(
+        &inner,
+        "/c",
+        None,
+        &OrganizerOptions::default(),
+        &mut ctx,
+    )
+    .unwrap();
+    assert_eq!(outcome, bora::RepairOutcome::RolledBack);
+    assert!(!inner.exists("/c.staging", &mut ctx), "rollback sweeps the debris");
+}
+
+#[test]
+fn silent_write_corruption_is_caught_by_manifest_crc() {
+    // A write that lands corrupted on the medium (bit-rot in transit)
+    // does not fail the capture — the corruption is silent. The MANIFEST
+    // CRC, computed from the in-memory payload, catches it at read time
+    // and fsck repairs the one damaged topic from the source bag.
+    let inner = MemStorage::new();
+    build_small_bag(&inner, 100);
+    let fs = FaultyStorage::new(&inner);
+    fs.inject(FaultRule {
+        kind: FaultKind::Writes,
+        path_contains: Some("data".into()),
+        corrupt_with: Some(0x40),
+        max_failures: Some(1),
+        ..FaultRule::default()
+    });
+    let mut ctx = IoCtx::new();
+    bora::organizer::duplicate(&fs, "/b.bag", &fs, "/c", &OrganizerOptions::default(), &mut ctx)
+        .expect("corruption is silent; the capture itself succeeds");
+
+    let bag = BoraBag::open(&inner, "/c", &mut ctx).unwrap();
+    match bag.read_topic("/imu", &mut ctx) {
+        Err(bora::BoraError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected checksum mismatch, got {other:?}"),
     }
+
+    let report = bora::fsck::check(&inner, "/c", &mut ctx).unwrap();
+    assert_eq!(report.state, bora::FsckState::Corrupt);
+    let outcome = bora::fsck::repair(
+        &inner,
+        "/c",
+        Some((&inner, "/b.bag")),
+        &OrganizerOptions::default(),
+        &mut ctx,
+    )
+    .unwrap();
+    assert!(matches!(outcome, bora::RepairOutcome::RepairedTopics(_)), "got {outcome:?}");
+    let healed = BoraBag::open(&inner, "/c", &mut ctx).unwrap();
+    assert_eq!(healed.read_topic("/imu", &mut ctx).unwrap().len(), 100);
 }
 
 #[test]
@@ -144,8 +193,8 @@ fn bora_read_corruption_is_detected_by_verify() {
     fs.inject(FaultRule {
         kind: FaultKind::Reads,
         path_contains: Some("tindex".into()),
-        after_ops: 0,
         corrupt_with: Some(0x80),
+        ..FaultRule::default()
     });
     let bag = BoraBag::open(&fs, "/c", &mut ctx).unwrap();
     let res = bag.load_time_index("/imu", &mut ctx);
@@ -165,8 +214,8 @@ fn wal_checksum_catches_injected_corruption() {
     fs.inject(FaultRule {
         kind: FaultKind::Reads,
         path_contains: Some("wal".into()),
-        after_ops: 0,
         corrupt_with: Some(0x01),
+        ..FaultRule::default()
     });
     let replay = dbsim::wal::Wal::replay(&Arc::clone(&fs), "/ts/wal", &mut ctx);
     assert!(replay.is_err(), "WAL replay must detect corruption");
@@ -187,12 +236,7 @@ fn metadata_faults_do_not_panic_open_paths() {
     )
     .unwrap();
     let fs = FaultyStorage::new(&inner);
-    fs.inject(FaultRule {
-        kind: FaultKind::Metadata,
-        path_contains: None,
-        after_ops: 0,
-        corrupt_with: None,
-    });
+    fs.inject(FaultRule { kind: FaultKind::Metadata, ..FaultRule::default() });
     assert!(BoraBag::open(&fs, "/c", &mut ctx).is_err());
     assert!(BagReader::open(&fs, "/b.bag", &mut ctx).is_err());
 }

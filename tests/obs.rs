@@ -70,6 +70,7 @@ fn spans_cover_the_full_open_and_query_path() {
         "bora.open",
         "bora.open.tag_rebuild",
         "bora.open.meta_read",
+        "bora.open.manifest_load",
         "bora.tindex.load",
         "bora.read_topics_time",
         "fs.read_at",
@@ -85,7 +86,9 @@ fn spans_cover_the_full_open_and_query_path() {
     };
     assert_eq!(
         virt_of("bora.open"),
-        virt_of("bora.open.tag_rebuild") + virt_of("bora.open.meta_read")
+        virt_of("bora.open.tag_rebuild")
+            + virt_of("bora.open.meta_read")
+            + virt_of("bora.open.manifest_load")
     );
     assert_eq!(virt_of("bora.open"), open_virt);
 

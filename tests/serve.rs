@@ -10,8 +10,8 @@ use bora_repro::*;
 
 use bora::{BoraBag, OrganizerOptions};
 use bora_serve::{
-    spawn_tcp_listener, ClientError, ErrorCode, MemTransport, ServeClient, Server, ServerConfig,
-    TcpTransport,
+    spawn_tcp_listener, ClientError, ErrorCode, MemTransport, RetryClient, RetryPolicy,
+    ServeClient, Server, ServerConfig, TcpTransport,
 };
 use simfs::{FaultKind, FaultRule, FaultyStorage, IoCtx, MemStorage, Storage};
 use std::sync::Arc;
@@ -161,8 +161,7 @@ fn backend_fault_becomes_protocol_error_without_poisoning_the_cache() {
     fs.inject(FaultRule {
         kind: FaultKind::Reads,
         path_contains: Some("/srv1".into()),
-        after_ops: 0,
-        corrupt_with: None,
+        ..FaultRule::default()
     });
     match client.open(&roots[1]) {
         Err(ClientError::Server { code: ErrorCode::NotAContainer, .. }) => {}
@@ -188,8 +187,7 @@ fn backend_fault_becomes_protocol_error_without_poisoning_the_cache() {
     fs.inject(FaultRule {
         kind: FaultKind::Reads,
         path_contains: Some("/srv0/imu".into()),
-        after_ops: 0,
-        corrupt_with: None,
+        ..FaultRule::default()
     });
     match client.read(&roots[0], &["/imu"]) {
         Err(ClientError::Server { code: ErrorCode::Io, .. }) => {}
@@ -200,6 +198,92 @@ fn backend_fault_becomes_protocol_error_without_poisoning_the_cache() {
     assert_eq!(client.read(&roots[0], &["/imu"]).unwrap().len(), healthy);
     let after = client.stats().unwrap();
     assert!(after.cache_hits > before, "recovery read must come from the cached handle");
+
+    server.shutdown();
+}
+
+#[test]
+fn retry_client_completes_query_mix_under_transient_faults() {
+    let fs = Arc::new(FaultyStorage::new(MemStorage::new()));
+    let roots = build_containers(&*fs, 2);
+
+    let server = Server::start(Arc::clone(&fs), ServerConfig::default());
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_delay_ms: 0, // schedule shape is unit-tested; keep this test fast
+        max_delay_ms: 0,
+        ..RetryPolicy::default()
+    };
+    let mut client = RetryClient::new(MemTransport::new(Arc::clone(&server)), policy);
+
+    // Warm both containers while the backend is healthy: a cold open
+    // under a read fault folds into NotAContainer, which is (correctly)
+    // permanent — transient faults are only recoverable on warm handles.
+    let healthy = client.read(&roots[0], &["/imu"]).unwrap().len();
+    assert!(healthy > 0);
+    assert_eq!(client.read(&roots[1], &["/imu"]).unwrap().len(), healthy);
+
+    // Transient backend trouble: the next few reads touching /srv0's
+    // data die with Io, then the medium heals (max_failures expires the
+    // rule). The retry client must absorb all of it.
+    fs.inject(FaultRule {
+        kind: FaultKind::Reads,
+        path_contains: Some("/srv0/imu".into()),
+        max_failures: Some(3),
+        ..FaultRule::default()
+    });
+
+    let global_before = bora_obs::counter("serve.retries").get();
+    for round in 0..4 {
+        let root = &roots[round % roots.len()];
+        // Zero client-visible errors across the whole mix: every call
+        // either succeeds first try or converges through retries.
+        assert!(!client.topics(root).unwrap().is_empty());
+        assert_eq!(client.read(root, &["/imu"]).unwrap().len(), healthy);
+        assert!(client.stat(root).unwrap().messages > 0);
+    }
+    assert!(client.retries() > 0, "the injected faults must have forced retries");
+    assert!(
+        bora_obs::counter("serve.retries").get() > global_before,
+        "retries must be visible in telemetry"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn server_evicts_cached_handle_on_checksum_failure() {
+    let fs = Arc::new(MemStorage::new());
+    let roots = build_containers(&*fs, 1);
+
+    let server = Server::start(Arc::clone(&fs), ServerConfig::default());
+    let transport = MemTransport::new(Arc::clone(&server));
+    let mut client = ServeClient::connect(&transport).unwrap();
+
+    let healthy = client.read(&roots[0], &["/imu"]).unwrap().len();
+    assert!(healthy > 0);
+    assert_eq!(client.stats().unwrap().cache_len, 1);
+
+    // Flip one byte of the committed data file behind the server's back:
+    // the next read fails the lazy manifest CRC.
+    let data = format!("{}/imu/data", roots[0]);
+    let mut ctx = IoCtx::new();
+    let byte = fs.read_at(&data, 0, 1, &mut ctx).unwrap()[0];
+    fs.write_at(&data, 0, &[byte ^ 0xFF], &mut ctx).unwrap();
+
+    let evicted_before = bora_obs::counter("serve.evict_checksum").get();
+    match client.read(&roots[0], &["/imu"]) {
+        Err(ClientError::Server { code: ErrorCode::ChecksumMismatch, .. }) => {}
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    assert_eq!(client.stats().unwrap().cache_len, 0, "poisoned handle must be evicted");
+    assert!(bora_obs::counter("serve.evict_checksum").get() > evicted_before);
+
+    // Restore the medium: the service recovers on a fresh handle. Had the
+    // poisoned handle survived in the cache, it would keep /imu
+    // quarantined and answer Corrupt forever — this read proves eviction.
+    fs.write_at(&data, 0, &[byte], &mut ctx).unwrap();
+    assert_eq!(client.read(&roots[0], &["/imu"]).unwrap().len(), healthy);
 
     server.shutdown();
 }
