@@ -4,6 +4,7 @@
 pub mod ablations;
 pub mod common;
 pub mod ext_crash;
+pub mod ext_stream;
 pub mod extensions;
 pub mod fig10;
 pub mod fig11_12;
@@ -172,6 +173,13 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "Extension: crash-consistent commit — power-cut sweep, fsck verify + repair",
             run: ext_crash::run,
+        },
+        Experiment {
+            id: "ext_stream",
+            paper_ref: "extension",
+            description:
+                "Extension: streaming pipeline — heap vs linear k-way merge, parallel prefetch",
+            run: ext_stream::run,
         },
         Experiment {
             id: "open21g",

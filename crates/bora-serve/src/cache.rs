@@ -161,6 +161,13 @@ impl<S: Storage + Clone> HandleCache<S> {
         self.inner.lock().entries.remove(root).is_some()
     }
 
+    /// Outstanding pins on `root` (0 if not cached). Streaming reads hold
+    /// a pin for the whole stream lifetime; tests use this to check the
+    /// pin is released when a client abandons a stream mid-flight.
+    pub fn pins(&self, root: &str) -> u32 {
+        self.inner.lock().entries.get(root).map(|e| e.pins).unwrap_or(0)
+    }
+
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock();
         CacheStats {

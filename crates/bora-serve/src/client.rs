@@ -154,6 +154,53 @@ impl<C: Connection> ServeClient<C> {
         }
     }
 
+    /// Issue a `READ_STREAM` and iterate messages as chunk frames arrive,
+    /// instead of waiting for the full result set like [`ServeClient::read`].
+    ///
+    /// The iterator borrows the client exclusively (the protocol allows
+    /// one request in flight per connection). Dropping it mid-stream
+    /// drains the remaining frames so the connection stays
+    /// request/response aligned — and tells the server to stop producing:
+    /// transports propagate the hang-up and the worker aborts the merge.
+    pub fn read_stream(
+        &mut self,
+        container: &str,
+        topics: &[&str],
+    ) -> ClientResult<ReadStream<'_, C>> {
+        self.read_stream_inner(container, topics, None)
+    }
+
+    /// Time-ranged variant of [`ServeClient::read_stream`].
+    pub fn read_stream_time(
+        &mut self,
+        container: &str,
+        topics: &[&str],
+        start: Time,
+        end: Time,
+    ) -> ClientResult<ReadStream<'_, C>> {
+        self.read_stream_inner(container, topics, Some((start, end)))
+    }
+
+    fn read_stream_inner(
+        &mut self,
+        container: &str,
+        topics: &[&str],
+        range: Option<(Time, Time)>,
+    ) -> ClientResult<ReadStream<'_, C>> {
+        let req = Request::ReadStream {
+            container: container.into(),
+            topics: topics.iter().map(|t| (*t).to_owned()).collect(),
+            range,
+        };
+        self.conn.send_frame(&req.encode())?;
+        Ok(ReadStream {
+            client: self,
+            buffer: std::collections::VecDeque::new(),
+            done: false,
+            received: 0,
+        })
+    }
+
     pub fn stat(&mut self, container: &str) -> ClientResult<ContainerStat> {
         match self.roundtrip(&Request::Stat { container: container.into() })? {
             Response::Stat(s) => Ok(s),
@@ -188,6 +235,102 @@ impl<C: Connection> ServeClient<C> {
 
 fn unexpected(op: &str, resp: &Response) -> ClientError {
     ClientError::Proto(ProtoError(format!("unexpected response to {op}: {resp:?}")))
+}
+
+// ----------------------------------------------------------------- stream
+
+/// An in-flight `READ_STREAM`: yields messages as the server's merge
+/// produces them. Created by [`ServeClient::read_stream`].
+///
+/// The first error is terminal — after yielding `Err` the iterator is
+/// exhausted. On drop, any frames still owed by the server are drained
+/// (and discarded) so the next request on this connection does not read a
+/// stale stream frame as its answer.
+pub struct ReadStream<'a, C: Connection> {
+    client: &'a mut ServeClient<C>,
+    buffer: std::collections::VecDeque<WireMessage>,
+    done: bool,
+    received: u64,
+}
+
+impl<C: Connection> ReadStream<'_, C> {
+    /// Messages yielded so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Pull the next frame off the connection into `buffer`; flips `done`
+    /// on any terminal frame (`StreamEnd`, error, overload) or transport
+    /// failure (the connection is desynchronized then — nothing left to
+    /// drain).
+    fn fetch(&mut self) -> ClientResult<()> {
+        let payload = match self.client.conn.recv_frame() {
+            Ok(p) => p,
+            Err(e) => {
+                self.done = true;
+                return Err(e.into());
+            }
+        };
+        match Response::decode(&payload) {
+            Ok(Response::StreamChunk(msgs)) => {
+                self.buffer.extend(msgs);
+                Ok(())
+            }
+            Ok(Response::StreamEnd { .. }) => {
+                self.done = true;
+                Ok(())
+            }
+            Ok(Response::Error { code, message }) => {
+                self.done = true;
+                Err(ClientError::Server { code, message })
+            }
+            Ok(Response::Overloaded) => {
+                self.done = true;
+                Err(ClientError::Overloaded)
+            }
+            Ok(other) => {
+                self.done = true;
+                Err(unexpected("READ_STREAM", &other))
+            }
+            Err(e) => {
+                self.done = true;
+                Err(ClientError::Proto(e))
+            }
+        }
+    }
+}
+
+impl<C: Connection> Iterator for ReadStream<'_, C> {
+    type Item = ClientResult<WireMessage>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(m) = self.buffer.pop_front() {
+                self.received += 1;
+                return Some(Ok(m));
+            }
+            if self.done {
+                return None;
+            }
+            if let Err(e) = self.fetch() {
+                return Some(Err(e));
+            }
+        }
+    }
+}
+
+impl<C: Connection> Drop for ReadStream<'_, C> {
+    fn drop(&mut self) {
+        // Abandoned mid-stream: swallow the remaining frames. Bounded by
+        // what the server still produces — which is little, because the
+        // reply window means the producer stalls as soon as the client
+        // stops consuming, and aborts once the connection drops.
+        while !self.done {
+            if self.fetch().is_err() {
+                return;
+            }
+        }
+    }
 }
 
 // ------------------------------------------------------------------ retry
@@ -369,6 +512,42 @@ impl<T: Transport> RetryClient<T> {
         end: Time,
     ) -> ClientResult<Vec<WireMessage>> {
         self.run_reset(|c| c.read_time(container, topics, start, end))
+    }
+
+    /// A streamed read collected to completion, with retry. The stream is
+    /// retried as a unit: if it breaks mid-flight the whole query is
+    /// re-issued from the start on a fresh connection (reads are
+    /// idempotent — the cost is repeated work, never duplicated or
+    /// missing messages).
+    pub fn read_streamed(
+        &mut self,
+        container: &str,
+        topics: &[&str],
+    ) -> ClientResult<Vec<WireMessage>> {
+        self.run_reset(|c| {
+            let mut out = Vec::new();
+            for m in c.read_stream(container, topics)? {
+                out.push(m?);
+            }
+            Ok(out)
+        })
+    }
+
+    /// Time-ranged variant of [`RetryClient::read_streamed`].
+    pub fn read_streamed_time(
+        &mut self,
+        container: &str,
+        topics: &[&str],
+        start: Time,
+        end: Time,
+    ) -> ClientResult<Vec<WireMessage>> {
+        self.run_reset(|c| {
+            let mut out = Vec::new();
+            for m in c.read_stream_time(container, topics, start, end)? {
+                out.push(m?);
+            }
+            Ok(out)
+        })
     }
 
     pub fn stat(&mut self, container: &str) -> ClientResult<ContainerStat> {

@@ -58,7 +58,7 @@ pub mod server;
 pub mod transport;
 
 pub use cache::{CacheStats, HandleCache, PinnedBag};
-pub use client::{ClientError, ClientResult, RetryClient, RetryPolicy, ServeClient};
+pub use client::{ClientError, ClientResult, ReadStream, RetryClient, RetryPolicy, ServeClient};
 pub use proto::{
     ContainerStat, ErrorCode, OpSummary, ProtoError, Request, Response, StatsSnapshot, WireMessage,
 };

@@ -9,12 +9,16 @@
 //! [`ProtoError`] rather than panicking, so a malformed client cannot
 //! take a worker down.
 //!
-//! The protocol is deliberately request/response (no pipelining, no
-//! streaming): BORA queries return bounded result sets (a topic's
-//! messages in a time range), and one outstanding request per connection
-//! keeps the backpressure story honest — a client that wants parallelism
-//! opens more connections, which the server's bounded queue then sheds
-//! explicitly via [`Response::Overloaded`].
+//! The protocol is request/response with one extension: a `READ_STREAM`
+//! request is answered by a *sequence* of frames — zero or more
+//! [`Response::StreamChunk`]s as the server's k-way merge yields
+//! messages, closed by a [`Response::StreamEnd`] (or a terminal
+//! [`Response::Error`]). Everything else stays one-request/one-response,
+//! and one outstanding request per connection keeps the backpressure
+//! story honest: stream frames are produced no faster than the transport
+//! accepts them, and a client that wants parallelism opens more
+//! connections, which the server's bounded queue then sheds explicitly
+//! via [`Response::Overloaded`].
 
 use ros_msgs::Time;
 use rosbag::MessageRecord;
@@ -35,6 +39,7 @@ const OP_STAT: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_SHUTDOWN: u8 = 0x07;
 const OP_TRACE: u8 = 0x08;
+const OP_READ_STREAM: u8 = 0x09;
 
 // Response opcodes (request opcode | 0x80, errors in 0xE0+).
 const OP_OK_OPEN: u8 = 0x81;
@@ -45,6 +50,8 @@ const OP_OK_STAT: u8 = 0x85;
 const OP_OK_STATS: u8 = 0x86;
 const OP_OK_SHUTDOWN: u8 = 0x87;
 const OP_OK_TRACE: u8 = 0x88;
+const OP_OK_STREAM_CHUNK: u8 = 0x89;
+const OP_OK_STREAM_END: u8 = 0x8A;
 const OP_ERROR: u8 = 0xE0;
 const OP_OVERLOADED: u8 = 0xEE;
 
@@ -59,6 +66,11 @@ pub enum Request {
     Meta { container: String },
     /// Read messages of `topics`, optionally restricted to `[start, end]`.
     Read { container: String, topics: Vec<String>, range: Option<(Time, Time)> },
+    /// Like `Read`, but answered with a sequence of
+    /// [`Response::StreamChunk`] frames written as the server-side merge
+    /// yields messages, closed by [`Response::StreamEnd`]. The worker's
+    /// cache pin is held for the stream's whole lifetime.
+    ReadStream { container: String, topics: Vec<String>, range: Option<(Time, Time)> },
     /// Summary numbers for one container.
     Stat { container: String },
     /// Server-wide metrics snapshot.
@@ -209,6 +221,12 @@ pub enum Response {
     /// `bora::ContainerMeta::decode`, reusing the container's own format.
     Meta(Vec<u8>),
     Read(Vec<WireMessage>),
+    /// One batch of a `READ_STREAM` answer; more frames follow.
+    StreamChunk(Vec<WireMessage>),
+    /// Terminal frame of a `READ_STREAM` answer: total messages streamed.
+    StreamEnd {
+        messages: u64,
+    },
     Stat(ContainerStat),
     Stats(StatsSnapshot),
     /// Chrome `trace_event` JSON text drained from the server's span
@@ -353,6 +371,7 @@ impl Request {
             | Request::Topics { container }
             | Request::Meta { container }
             | Request::Read { container, .. }
+            | Request::ReadStream { container, .. }
             | Request::Stat { container } => Some(container),
             Request::Stats | Request::Trace | Request::Shutdown => None,
         }
@@ -365,6 +384,7 @@ impl Request {
             Request::Topics { .. } => "topics",
             Request::Meta { .. } => "meta",
             Request::Read { .. } => "read",
+            Request::ReadStream { .. } => "read_stream",
             Request::Stat { .. } => "stat",
             Request::Stats => "stats",
             Request::Trace => "trace",
@@ -403,6 +423,22 @@ impl Request {
                     None => w.u8(0),
                 }
             }
+            Request::ReadStream { container, topics, range } => {
+                w = Writer::new(OP_READ_STREAM);
+                w.str(container);
+                w.u16(topics.len() as u16);
+                for t in topics {
+                    w.str(t);
+                }
+                match range {
+                    Some((start, end)) => {
+                        w.u8(1);
+                        w.time(*start);
+                        w.time(*end);
+                    }
+                    None => w.u8(0),
+                }
+            }
             Request::Stat { container } => {
                 w = Writer::new(OP_STAT);
                 w.str(container);
@@ -421,7 +457,7 @@ impl Request {
             OP_OPEN => Request::Open { container: r.str()? },
             OP_TOPICS => Request::Topics { container: r.str()? },
             OP_META => Request::Meta { container: r.str()? },
-            OP_READ => {
+            OP_READ | OP_READ_STREAM => {
                 let container = r.str()?;
                 let n = r.u16()? as usize;
                 let mut topics = Vec::with_capacity(n);
@@ -433,7 +469,11 @@ impl Request {
                     1 => Some((r.time()?, r.time()?)),
                     v => return Err(ProtoError(format!("bad range marker {v}"))),
                 };
-                Request::Read { container, topics, range }
+                if op == OP_READ {
+                    Request::Read { container, topics, range }
+                } else {
+                    Request::ReadStream { container, topics, range }
+                }
             }
             OP_STAT => Request::Stat { container: r.str()? },
             OP_STATS => Request::Stats,
@@ -474,6 +514,19 @@ impl Response {
                     w.time(m.time);
                     w.bytes(&m.data);
                 }
+            }
+            Response::StreamChunk(messages) => {
+                w = Writer::new(OP_OK_STREAM_CHUNK);
+                w.u32(messages.len() as u32);
+                for m in messages {
+                    w.str(&m.topic);
+                    w.time(m.time);
+                    w.bytes(&m.data);
+                }
+            }
+            Response::StreamEnd { messages } => {
+                w = Writer::new(OP_OK_STREAM_END);
+                w.u64(*messages);
             }
             Response::Stat(stat) => {
                 w = Writer::new(OP_OK_STAT);
@@ -546,6 +599,19 @@ impl Response {
                 }
                 Response::Read(messages)
             }
+            OP_OK_STREAM_CHUNK => {
+                let n = r.u32()? as usize;
+                let mut messages = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    messages.push(WireMessage {
+                        topic: r.str()?,
+                        time: r.time()?,
+                        data: r.bytes()?,
+                    });
+                }
+                Response::StreamChunk(messages)
+            }
+            OP_OK_STREAM_END => Response::StreamEnd { messages: r.u64()? },
             OP_OK_STAT => Response::Stat(r.stat()?),
             OP_OK_STATS => {
                 let n = r.u16()? as usize;
@@ -636,6 +702,12 @@ mod tests {
             range: Some((Time::new(3, 14), Time::new(10, 0))),
         });
         roundtrip_req(Request::Read { container: "/c".into(), topics: vec![], range: None });
+        roundtrip_req(Request::ReadStream {
+            container: "/c/hs0".into(),
+            topics: vec!["/imu".into()],
+            range: Some((Time::new(1, 0), Time::new(2, 0))),
+        });
+        roundtrip_req(Request::ReadStream { container: "/c".into(), topics: vec![], range: None });
         roundtrip_req(Request::Stat { container: "/c".into() });
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Trace);
@@ -658,6 +730,13 @@ mod tests {
             WireMessage { topic: "/imu".into(), time: Time::new(5, 0), data: vec![0; 64] },
             WireMessage { topic: "/tf".into(), time: Time::new(5, 1), data: vec![] },
         ]));
+        roundtrip_resp(Response::StreamChunk(vec![WireMessage {
+            topic: "/imu".into(),
+            time: Time::new(6, 7),
+            data: vec![9; 16],
+        }]));
+        roundtrip_resp(Response::StreamChunk(vec![]));
+        roundtrip_resp(Response::StreamEnd { messages: 42 });
         roundtrip_resp(Response::Stat(stat));
         roundtrip_resp(Response::Stats(StatsSnapshot {
             ops: vec![

@@ -22,14 +22,26 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use bora::BoraError;
+use bora::{BoraError, StreamOptions};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
+use ros_msgs::Time;
 use simfs::{ConcurrencyGauge, IoCtx, Storage};
 
 use crate::cache::HandleCache;
 use crate::metrics::Metrics;
-use crate::proto::{ContainerStat, ErrorCode, Request, Response, StatsSnapshot};
+use crate::proto::{ContainerStat, ErrorCode, Request, Response, StatsSnapshot, WireMessage};
+
+/// Messages per [`Response::StreamChunk`] frame. Small enough that the
+/// first result reaches the client while the merge is still running,
+/// large enough that framing overhead stays negligible.
+const STREAM_CHUNK_MSGS: usize = 32;
+
+/// Bound of a streaming reply channel: how many frames the worker may run
+/// ahead of the transport before it blocks. This is the server-side half
+/// of end-to-end backpressure — a slow client throttles the merge instead
+/// of buffering the whole result set in memory.
+const STREAM_WINDOW: usize = 4;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -121,6 +133,28 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
                 self.begin_shutdown();
                 Response::ShuttingDown
             }
+            // A streamed read through the single-response API degrades
+            // to a buffered read: aggregate the chunk frames. Byte-wise
+            // the result is identical to `Request::Read` over the same
+            // query — the pipeline is the same, only the framing differs.
+            req @ Request::ReadStream { .. } => {
+                let mut messages: Vec<WireMessage> = Vec::new();
+                let mut out = Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "worker exited before replying".into(),
+                };
+                self.submit_streamed(req, &mut |resp| {
+                    match resp {
+                        Response::StreamChunk(mut chunk) => messages.append(&mut chunk),
+                        Response::StreamEnd { .. } => {
+                            out = Response::Read(std::mem::take(&mut messages));
+                        }
+                        other => out = other,
+                    }
+                    true
+                });
+                out
+            }
             req => {
                 if self.is_shutting_down() {
                     return Response::Error {
@@ -151,6 +185,67 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
         }
     }
 
+    /// Handle one request, delivering every response frame through `emit`.
+    ///
+    /// For single-response ops this is exactly [`Server::submit`] plus one
+    /// `emit` call. For [`Request::ReadStream`] it emits zero or more
+    /// [`Response::StreamChunk`] frames followed by a terminal frame
+    /// ([`Response::StreamEnd`] on success, an error/overload response
+    /// otherwise). The reply channel is bounded ([`STREAM_WINDOW`]): a
+    /// transport that is slow to `emit` throttles the worker's merge loop.
+    ///
+    /// Returns `false` once `emit` does — the transport lost its client —
+    /// at which point the in-flight stream is aborted server-side (the
+    /// worker's next send fails and it drops the cache pin).
+    pub fn submit_streamed(&self, req: Request, emit: &mut dyn FnMut(Response) -> bool) -> bool {
+        if !matches!(req, Request::ReadStream { .. }) {
+            return emit(self.submit(req));
+        }
+        if self.is_shutting_down() {
+            return emit(Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "server is shutting down".into(),
+            });
+        }
+        let (reply_tx, reply_rx) = channel::bounded(STREAM_WINDOW);
+        let job = Job::Work { req, reply: reply_tx, submitted: Instant::now() };
+        match self.tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.shared.metrics.record_shed();
+                return emit(Response::Overloaded);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return emit(Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "worker pool stopped".into(),
+                });
+            }
+        }
+        loop {
+            let resp = match reply_rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => {
+                    // Worker died mid-stream without a terminal frame.
+                    return emit(Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "worker exited mid-stream".into(),
+                    });
+                }
+            };
+            let terminal = !matches!(resp, Response::StreamChunk(_));
+            if !emit(resp) {
+                // Client is gone: dropping `reply_rx` makes the worker's
+                // next send fail, aborting the stream and releasing its
+                // cache pin.
+                return false;
+            }
+            if terminal {
+                return true;
+            }
+        }
+    }
+
     /// Current metrics, including live queue depth and cache counters.
     pub fn stats(&self) -> StatsSnapshot {
         let cache = self.shared.cache.stats();
@@ -169,6 +264,13 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
 
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Outstanding cache pins on `container` (0 if not cached). Streaming
+    /// reads hold a pin for the stream's lifetime; this makes that
+    /// observable to tests and debugging tools.
+    pub fn cache_pins(&self, container: &str) -> u32 {
+        self.shared.cache.pins(container)
     }
 
     /// Stop accepting data requests and tell every worker to exit once the
@@ -237,14 +339,23 @@ fn worker_loop<S: Storage + Clone>(shared: &Shared<S>, rx: &Receiver<Job>) {
         let mut ctx = active.ctx();
         let op = req.op_name();
         let sp = bora_obs::span(span_name(op));
-        let resp = handle(shared, req, &mut ctx);
+        let resp = if let Request::ReadStream { container, topics, range } = &req {
+            // Streaming op: frames go out on `reply` as the merge yields;
+            // there is no single response to send afterwards.
+            handle_stream(shared, container, topics, *range, &reply, &mut ctx);
+            None
+        } else {
+            Some(handle(shared, req, &mut ctx))
+        };
         sp.end_virt(ctx.elapsed_ns());
         drop(active);
         let wall_ns = submitted.elapsed().as_nanos() as u64;
         shared.metrics.record(op, wall_ns, ctx.elapsed_ns());
         // A client that gave up (dropped the reply receiver) is not an
         // error; the work is simply discarded.
-        let _ = reply.send(resp);
+        if let Some(resp) = resp {
+            let _ = reply.send(resp);
+        }
     }
 }
 
@@ -255,8 +366,60 @@ fn span_name(op: &str) -> &'static str {
         "topics" => "serve.topics",
         "meta" => "serve.meta",
         "read" => "serve.read",
+        "read_stream" => "serve.read_stream",
         "stat" => "serve.stat",
         _ => "serve.other",
+    }
+}
+
+/// Run a [`Request::ReadStream`] to completion, sending frames on `reply`
+/// as the k-way merge yields messages.
+///
+/// The cache pin (`pinned`) is held for the whole stream: a burst of
+/// opens for other containers cannot evict the handle under an in-flight
+/// stream. If the receiver disappears mid-stream (client hung up, or
+/// `submit_streamed` returned early), the send fails and the stream is
+/// aborted — the pin drops, and the virtual time already spent is still
+/// folded into `ctx` so metrics stay honest.
+fn handle_stream<S: Storage + Clone>(
+    shared: &Shared<S>,
+    container: &str,
+    topics: &[String],
+    range: Option<(Time, Time)>,
+    reply: &Sender<Response>,
+    ctx: &mut IoCtx,
+) {
+    let result = (|| -> Result<(), BoraError> {
+        let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
+        let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
+        let opts = StreamOptions::default();
+        let mut stream = match range {
+            Some((start, end)) => pinned.bag().stream_topics_time(&refs, start, end, opts, ctx)?,
+            None => pinned.bag().stream_topics(&refs, opts, ctx)?,
+        };
+        let mut batch: Vec<WireMessage> = Vec::with_capacity(STREAM_CHUNK_MSGS);
+        let mut total = 0u64;
+        while let Some(msg) = stream.next_msg(ctx)? {
+            batch.push(WireMessage::from(msg.to_record()));
+            total += 1;
+            if batch.len() >= STREAM_CHUNK_MSGS
+                && reply.send(Response::StreamChunk(std::mem::take(&mut batch))).is_err()
+            {
+                stream.charge_into(ctx);
+                return Ok(());
+            }
+        }
+        if !batch.is_empty() && reply.send(Response::StreamChunk(batch)).is_err() {
+            return Ok(());
+        }
+        let _ = reply.send(Response::StreamEnd { messages: total });
+        Ok(())
+    })();
+    if let Err(e) = result {
+        if matches!(e, BoraError::ChecksumMismatch { .. }) && shared.cache.invalidate(container) {
+            bora_obs::counter("serve.evict_checksum").inc();
+        }
+        let _ = reply.send(error_response(e));
     }
 }
 
@@ -288,6 +451,22 @@ fn handle<S: Storage + Clone>(shared: &Shared<S>, req: Request, ctx: &mut IoCtx)
                     }
                     None => pinned.bag().read_topics(&refs, ctx)?,
                 };
+                Ok(Response::Read(records.into_iter().map(Into::into).collect()))
+            }
+            // Normally routed to `handle_stream` by the worker loop; if
+            // one lands here anyway (future transports), serve it as a
+            // buffered read — the result bytes are identical.
+            Request::ReadStream { container, topics, range } => {
+                let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
+                let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
+                let opts = StreamOptions::default();
+                let stream = match range {
+                    Some((start, end)) => {
+                        pinned.bag().stream_topics_time(&refs, *start, *end, opts, ctx)?
+                    }
+                    None => pinned.bag().stream_topics(&refs, opts, ctx)?,
+                };
+                let records = stream.collect_records(ctx)?;
                 Ok(Response::Read(records.into_iter().map(Into::into).collect()))
             }
             Request::Stat { container } => {

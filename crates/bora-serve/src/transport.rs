@@ -63,22 +63,35 @@ where
             Ok(p) => p,
             Err(_) => return, // peer gone (EOF) or transport failure
         };
-        let resp = match Request::decode(&payload) {
-            Ok(req) => server.submit(req),
+        match Request::decode(&payload) {
+            // Streaming-aware dispatch: a single-response op emits exactly
+            // one frame; READ_STREAM emits chunk frames as the server's
+            // merge yields, with the transport's own send acting as the
+            // final backpressure stage. A failed send drops the emit
+            // closure's `true`, which tells the server to abort the
+            // in-flight stream (releasing its cache pin).
+            Ok(req) => {
+                let mut final_resp = false;
+                let ok = server.submit_streamed(req, &mut |resp| {
+                    final_resp = matches!(resp, Response::ShuttingDown);
+                    conn.send_frame(&resp.encode()).is_ok()
+                });
+                if !ok || final_resp || server.is_shutting_down() {
+                    return;
+                }
+            }
             // Malformed frame: answer with the error, keep the
             // connection — one bad client frame should not force a
             // reconnect.
-            Err(e) => Response::Error {
-                code: crate::proto::ErrorCode::BadRequest,
-                message: e.to_string(),
-            },
-        };
-        let is_final = matches!(resp, Response::ShuttingDown);
-        if conn.send_frame(&resp.encode()).is_err() {
-            return;
-        }
-        if is_final || server.is_shutting_down() {
-            return;
+            Err(e) => {
+                let resp = Response::Error {
+                    code: crate::proto::ErrorCode::BadRequest,
+                    message: e.to_string(),
+                };
+                if conn.send_frame(&resp.encode()).is_err() {
+                    return;
+                }
+            }
         }
     }
 }

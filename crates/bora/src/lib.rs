@@ -76,13 +76,14 @@ pub mod meta;
 pub mod multi;
 pub mod organizer;
 pub mod recorder;
+pub mod stream;
 pub mod tag;
 pub mod time_index;
 pub mod topic_index;
 
 pub use borafs::{BoraFs, BoraFsOptions};
 pub use checksum::{crc32c, Crc32c};
-pub use container::BoraBag;
+pub use container::{merge_streams_heap, merge_streams_linear, BoraBag};
 pub use error::{BoraError, BoraResult};
 pub use fsck::{FsckReport, FsckState, RepairOutcome};
 pub use manifest::{Manifest, ManifestEntry};
@@ -90,6 +91,7 @@ pub use meta::ContainerMeta;
 pub use multi::{SwarmQuery, SwarmResult};
 pub use organizer::{duplicate, OrganizeReport, OrganizerOptions};
 pub use recorder::{BoraRecorder, RecorderOptions};
+pub use stream::{MessageStream, StreamMessage, StreamOptions, StreamStats};
 pub use tag::TagManager;
 pub use time_index::TimeIndex;
 pub use topic_index::TopicIndexEntry;

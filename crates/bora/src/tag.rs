@@ -6,6 +6,7 @@
 //! query time). Keys are topic names, values the per-topic path bundle.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use simfs::device::cpu;
 use simfs::{EntryKind, IoCtx, Storage};
@@ -14,10 +15,15 @@ use crate::error::{BoraError, BoraResult};
 use crate::layout::{decode_topic, TopicPaths, META_FILE};
 
 /// Hash table topic → back-end paths for one container.
+///
+/// Values sit behind `Arc` so queries can hold onto a topic's path bundle
+/// (`lookup_arc`) with a reference bump instead of cloning four `String`s
+/// per query, and so interned `Arc<str>` topic keys can be shared with the
+/// streaming read path.
 #[derive(Debug, Clone)]
 pub struct TagManager {
     root: String,
-    map: HashMap<String, TopicPaths>,
+    map: HashMap<Arc<str>, Arc<TopicPaths>>,
 }
 
 impl TagManager {
@@ -36,7 +42,7 @@ impl TagManager {
             }
             let topic = decode_topic(&e.name);
             ctx.charge_ns(cpu::HASH_OP_NS);
-            map.insert(topic, TopicPaths::from_dir(container_root, &e.name));
+            map.insert(Arc::from(topic), Arc::new(TopicPaths::from_dir(container_root, &e.name)));
         }
         if map.is_empty() && !entries_has_meta(storage, container_root, ctx) {
             return Err(BoraError::NotAContainer(container_root.to_owned()));
@@ -47,7 +53,10 @@ impl TagManager {
     /// Build from an in-memory topic list (used by the organizer right
     /// after it created the container, avoiding a redundant listing).
     pub fn from_topics(container_root: &str, topics: &[String]) -> Self {
-        let map = topics.iter().map(|t| (t.clone(), TopicPaths::new(container_root, t))).collect();
+        let map = topics
+            .iter()
+            .map(|t| (Arc::from(t.as_str()), Arc::new(TopicPaths::new(container_root, t))))
+            .collect();
         TagManager { root: container_root.to_owned(), map }
     }
 
@@ -58,11 +67,28 @@ impl TagManager {
     /// Hash lookup of a topic's back-end paths (charged like a hash op).
     pub fn lookup(&self, topic: &str, ctx: &mut IoCtx) -> BoraResult<&TopicPaths> {
         ctx.charge_ns(cpu::HASH_OP_NS);
-        self.map.get(topic).ok_or_else(|| BoraError::UnknownTopic(topic.to_owned()))
+        self.map
+            .get(topic)
+            .map(Arc::as_ref)
+            .ok_or_else(|| BoraError::UnknownTopic(topic.to_owned()))
+    }
+
+    /// Like [`TagManager::lookup`], but hands out a shared handle — a
+    /// reference bump, not four `String` clones. Queries that need the
+    /// paths to outlive the lookup borrow (cursors, streams) use this.
+    pub fn lookup_arc(&self, topic: &str, ctx: &mut IoCtx) -> BoraResult<Arc<TopicPaths>> {
+        ctx.charge_ns(cpu::HASH_OP_NS);
+        self.map.get(topic).cloned().ok_or_else(|| BoraError::UnknownTopic(topic.to_owned()))
+    }
+
+    /// The interned `Arc<str>` key for a topic, shared with every stream
+    /// message so delivery never allocates a topic name.
+    pub fn interned_topic(&self, topic: &str) -> Option<Arc<str>> {
+        self.map.get_key_value(topic).map(|(k, _)| Arc::clone(k))
     }
 
     pub fn topics(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.map.keys().map(String::as_str).collect();
+        let mut v: Vec<&str> = self.map.keys().map(|k| &**k).collect();
         v.sort_unstable();
         v
     }

@@ -70,8 +70,9 @@ pub struct BagReader<S> {
     /// chunk_pos → layout (learned during the open-time chunk walk, so
     /// per-message reads need no extra probe).
     chunks: std::collections::HashMap<u64, ChunkMeta>,
-    /// Last decompressed chunk, for compressed bags (rosbag decompresses
-    /// whole chunks and reads messages from memory).
+    /// Most recently loaded chunk, compressed or not (rosbag's
+    /// `ChunkedFile` keeps the current chunk in memory and reads
+    /// messages out of it).
     chunk_cache: std::sync::Mutex<Option<(u64, std::sync::Arc<Vec<u8>>)>>,
 }
 
@@ -253,7 +254,11 @@ impl<S: Storage> BagReader<S> {
             .collect()
     }
 
-    /// Load (and cache) a compressed chunk's uncompressed data.
+    /// Load (and cache) one chunk's uncompressed data. Real rosbag's
+    /// `ChunkedFile` keeps the current chunk resident for both compressed
+    /// and plain bags; mirroring that, consecutive index entries landing
+    /// in the same chunk cost one chunk read, not three small seeks per
+    /// message.
     fn load_chunk(
         &self,
         pos: u64,
@@ -269,9 +274,14 @@ impl<S: Storage> BagReader<S> {
             }
         }
         let raw = self.storage.read_at(&self.path, meta.data_off, meta.stored_len as usize, ctx)?;
-        let data =
-            std::sync::Arc::new(crate::compress::decompress(&raw, meta.uncompressed_len as usize)?);
-        ctx.charge_ns(meta.uncompressed_len as u64 * cpu::DECOMPRESS_BYTE_NS);
+        let data = if meta.compressed {
+            // Whole-chunk decompression (as rosbag does for bz2/lz4).
+            let out = crate::compress::decompress(&raw, meta.uncompressed_len as usize)?;
+            ctx.charge_ns(meta.uncompressed_len as u64 * cpu::DECOMPRESS_BYTE_NS);
+            std::sync::Arc::new(out)
+        } else {
+            std::sync::Arc::new(raw)
+        };
         *self.chunk_cache.lock().unwrap() = Some((pos, std::sync::Arc::clone(&data)));
         Ok(data)
     }
@@ -285,42 +295,16 @@ impl<S: Storage> BagReader<S> {
             None => return Err(BagError::Format("index entry references unknown chunk".into())),
         };
 
-        if meta.compressed {
-            // Whole-chunk decompression (as rosbag does for bz2/lz4).
-            let data = self.load_chunk(e.chunk_pos, meta, ctx)?;
-            let mut cur: &[u8] = &data[e.offset_in_chunk as usize..];
-            let (header, payload) = crate::record::read_record(&mut cur)?;
-            ctx.charge_ns(cpu::RECORD_HEADER_NS);
-            if header.op != Op::MessageData {
-                return Err(BagError::Format("index entry does not point at a message".into()));
-            }
-            let md = MessageDataHeader::from_header(&header)?;
-            let topic =
-                self.index.connection(md.conn_id).map(|c| c.topic.clone()).unwrap_or_default();
-            return Ok(MessageRecord {
-                conn_id: md.conn_id,
-                topic,
-                time: md.time,
-                data: payload.to_vec(),
-            });
-        }
-
-        let msg_pos = meta.data_off + e.offset_in_chunk as u64;
-
-        // Message record: header prefix first, then payload.
-        let mh = self.storage.read_at(&self.path, msg_pos, 4, ctx)?;
-        let mh_len = u32::from_le_bytes(mh[..4].try_into().unwrap()) as usize;
-        let rest = self.storage.read_at(&self.path, msg_pos + 4, mh_len + 4, ctx)?;
-        let header = crate::record::RecordHeader::decode(&rest[..mh_len])?;
+        let data = self.load_chunk(e.chunk_pos, meta, ctx)?;
+        let mut cur: &[u8] = &data[e.offset_in_chunk as usize..];
+        let (header, payload) = crate::record::read_record(&mut cur)?;
         ctx.charge_ns(cpu::RECORD_HEADER_NS);
         if header.op != Op::MessageData {
             return Err(BagError::Format("index entry does not point at a message".into()));
         }
         let md = MessageDataHeader::from_header(&header)?;
-        let dlen = u32::from_le_bytes(rest[mh_len..mh_len + 4].try_into().unwrap()) as usize;
-        let data = self.storage.read_at(&self.path, msg_pos + 4 + mh_len as u64 + 4, dlen, ctx)?;
         let topic = self.index.connection(md.conn_id).map(|c| c.topic.clone()).unwrap_or_default();
-        Ok(MessageRecord { conn_id: md.conn_id, topic, time: md.time, data })
+        Ok(MessageRecord { conn_id: md.conn_id, topic, time: md.time, data: payload.to_vec() })
     }
 
     /// Baseline `bag.read_messages(topics=[...])`: merge the per-topic

@@ -182,6 +182,19 @@ fn report(name: &str, measured: bool, samples: &[u64]) {
             fmt_ns(mean),
             samples.len()
         );
+        // Machine-readable sink for CI artifacts: one JSON object per
+        // line, appended to the file named by `BENCH_JSON`.
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            use std::io::Write;
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                let _ = writeln!(
+                    f,
+                    "{{\"name\":\"{}\",\"min_ns\":{min},\"mean_ns\":{mean},\"iters\":{}}}",
+                    name.replace('\\', "\\\\").replace('"', "\\\""),
+                    samples.len()
+                );
+            }
+        }
     } else {
         println!("{name:<50} smoke ok ({})", fmt_ns(min));
     }

@@ -109,6 +109,37 @@ impl IoCtx {
     /// (sequential composition).
     pub fn absorb_sequential(&mut self, other: &IoCtx) {
         self.elapsed_ns += other.elapsed_ns;
+        self.merge_stats(other);
+    }
+
+    /// Fold a set of sessions that ran *concurrently* into this one:
+    /// the clock advances by the makespan (max over the sessions), the
+    /// stats sum. Each concurrent session must have declared the shared
+    /// contention itself (via [`IoCtx::with_concurrency`]) — this helper
+    /// only composes already-contended clocks, mirroring how the
+    /// organizer charges its distributor pool and how the streaming read
+    /// path charges per-topic prefetch cursors.
+    pub fn absorb_parallel<'a, I>(&mut self, others: I)
+    where
+        I: IntoIterator<Item = &'a IoCtx>,
+    {
+        let mut makespan = 0u64;
+        for other in others {
+            makespan = makespan.max(other.elapsed_ns);
+            self.merge_stats(other);
+        }
+        self.elapsed_ns += makespan;
+    }
+
+    /// Fold another session's *stats* into this one without advancing the
+    /// clock. For composers that account the time themselves (e.g. a
+    /// pool that charges per-thread makespan via [`IoCtx::charge_ns`])
+    /// but still owe the caller the I/O counters.
+    pub fn absorb_stats(&mut self, other: &IoCtx) {
+        self.merge_stats(other);
+    }
+
+    fn merge_stats(&mut self, other: &IoCtx) {
         self.stats.reads += other.stats.reads;
         self.stats.writes += other.stats.writes;
         self.stats.bytes_read += other.stats.bytes_read;
@@ -222,6 +253,24 @@ mod tests {
         a.absorb_sequential(&b);
         assert_eq!(a.elapsed_ns(), 140);
         assert_eq!(a.stats.reads, 5);
+    }
+
+    #[test]
+    fn absorb_parallel_takes_makespan_and_sums_stats() {
+        let mut a = IoCtx::new();
+        a.charge_ns(100);
+        let mut fast = IoCtx::new();
+        fast.charge_ns(40);
+        fast.stats.reads = 3;
+        let mut slow = IoCtx::new();
+        slow.charge_ns(90);
+        slow.stats.reads = 5;
+        a.absorb_parallel([&fast, &slow]);
+        assert_eq!(a.elapsed_ns(), 190, "clock advances by max, not sum");
+        assert_eq!(a.stats.reads, 8, "stats still sum");
+        // Empty set is a no-op.
+        a.absorb_parallel([]);
+        assert_eq!(a.elapsed_ns(), 190);
     }
 
     #[test]

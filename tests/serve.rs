@@ -252,6 +252,170 @@ fn retry_client_completes_query_mix_under_transient_faults() {
 }
 
 #[test]
+fn streaming_read_is_byte_identical_to_buffered_read() {
+    let fs = Arc::new(MemStorage::new());
+    let roots = build_containers(&*fs, 1);
+
+    let server = Server::start(Arc::clone(&fs), ServerConfig::default());
+    let transport = MemTransport::new(Arc::clone(&server));
+    let mut client = ServeClient::connect(&transport).unwrap();
+
+    let topics: Vec<String> = client.topics(&roots[0]).unwrap();
+    let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
+
+    // Whole-container query: every topic, both framings.
+    let buffered = client.read(&roots[0], &refs).unwrap();
+    assert!(!buffered.is_empty());
+    let streamed: Vec<_> =
+        client.read_stream(&roots[0], &refs).unwrap().map(|m| m.unwrap()).collect();
+    assert_eq!(streamed.len(), buffered.len());
+    for (s, b) in streamed.iter().zip(&buffered) {
+        assert_eq!(s.topic, b.topic);
+        assert_eq!(s.time, b.time);
+        assert_eq!(s.data, b.data);
+    }
+
+    // Time-windowed query through both framings.
+    let stat = client.stat(&roots[0]).unwrap();
+    let mid = ros_msgs::Time::from_nanos((stat.start.as_nanos() + stat.end.as_nanos()) / 2);
+    let buffered = client.read_time(&roots[0], &refs, stat.start, mid).unwrap();
+    let streamed: Vec<_> = client
+        .read_stream_time(&roots[0], &refs, stat.start, mid)
+        .unwrap()
+        .map(|m| m.unwrap())
+        .collect();
+    assert_eq!(streamed.len(), buffered.len());
+    for (s, b) in streamed.iter().zip(&buffered) {
+        assert_eq!((&s.topic, s.time, &s.data), (&b.topic, b.time, &b.data));
+    }
+
+    // The streamed result is chunked on the wire; metrics must have seen
+    // the op under its own name.
+    let snap = client.stats().unwrap();
+    assert!(snap.op("read_stream").map(|o| o.count).unwrap_or(0) >= 2);
+
+    server.shutdown();
+}
+
+#[test]
+fn streamed_reads_survive_transient_faults_via_retry() {
+    let fs = Arc::new(FaultyStorage::new(MemStorage::new()));
+    let roots = build_containers(&*fs, 2);
+
+    let server = Server::start(Arc::clone(&fs), ServerConfig::default());
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_delay_ms: 0,
+        max_delay_ms: 0,
+        ..RetryPolicy::default()
+    };
+    let mut client = RetryClient::new(MemTransport::new(Arc::clone(&server)), policy);
+
+    // Warm handles while healthy; capture the expected bytes.
+    let healthy = client.read(&roots[0], &["/imu"]).unwrap();
+    assert!(!healthy.is_empty());
+    assert_eq!(client.read(&roots[1], &["/imu"]).unwrap().len(), healthy.len());
+
+    // A burst of transient read faults on /srv0's data: the streamed read
+    // fails mid-stream with a terminal error frame, the retry layer
+    // re-issues the whole query, and the client sees zero errors and
+    // byte-identical results.
+    fs.inject(FaultRule {
+        kind: FaultKind::Reads,
+        path_contains: Some("/srv0/imu".into()),
+        max_failures: Some(3),
+        ..FaultRule::default()
+    });
+    for round in 0..4 {
+        let root = &roots[round % roots.len()];
+        let streamed = client.read_streamed(root, &["/imu"]).unwrap();
+        assert_eq!(streamed.len(), healthy.len());
+        for (s, b) in streamed.iter().zip(&healthy) {
+            assert_eq!((&s.topic, s.time, &s.data), (&b.topic, b.time, &b.data));
+        }
+    }
+    assert!(client.retries() > 0, "the injected faults must have forced retries");
+
+    server.shutdown();
+}
+
+#[test]
+fn abandoned_stream_releases_pin_and_keeps_connection_usable() {
+    let fs = Arc::new(MemStorage::new());
+    let roots = build_containers(&*fs, 1);
+
+    let server = Server::start(Arc::clone(&fs), ServerConfig::default());
+    let transport = MemTransport::new(Arc::clone(&server));
+    let mut client = ServeClient::connect(&transport).unwrap();
+
+    let expected = client.read(&roots[0], &["/imu"]).unwrap().len();
+    assert!(expected > 3);
+
+    // Take a few messages, then drop the iterator mid-stream. Drop drains
+    // the remaining frames, so the very next request on the same
+    // connection must pair with its own response.
+    {
+        let mut stream = client.read_stream(&roots[0], &["/imu"]).unwrap();
+        for _ in 0..3 {
+            stream.next().unwrap().unwrap();
+        }
+        assert_eq!(stream.received(), 3);
+    }
+    assert_eq!(client.read(&roots[0], &["/imu"]).unwrap().len(), expected);
+
+    // The worker finished (or aborted) the stream: its cache pin must be
+    // gone. Poll briefly — the release happens on a worker thread.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while server.cache_pins(&roots[0]) != 0 {
+        assert!(std::time::Instant::now() < deadline, "stream pin never released");
+        std::thread::yield_now();
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn client_hangup_mid_stream_aborts_server_side() {
+    use bora_serve::{Request, Response};
+
+    let fs = Arc::new(MemStorage::new());
+    let roots = build_containers(&*fs, 1);
+    let server = Server::start(Arc::clone(&fs), ServerConfig::default());
+
+    // Emulate a transport whose peer vanishes after the first frame:
+    // `emit` returns false, submit_streamed drops the reply channel, and
+    // the worker's next send aborts the merge.
+    let mut frames = 0u32;
+    let completed = server.submit_streamed(
+        Request::ReadStream {
+            container: roots[0].clone(),
+            topics: vec!["/imu".into()],
+            range: None,
+        },
+        &mut |resp| {
+            frames += 1;
+            assert!(matches!(resp, Response::StreamChunk(_) | Response::StreamEnd { .. }));
+            false // client gone after the first frame
+        },
+    );
+    assert!(!completed, "an abandoned stream must report incompleteness");
+    assert_eq!(frames, 1);
+
+    // The abort must release the cache pin and leave the server healthy.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while server.cache_pins(&roots[0]) != 0 {
+        assert!(std::time::Instant::now() < deadline, "aborted stream pin never released");
+        std::thread::yield_now();
+    }
+    match server.submit(Request::Stat { container: roots[0].clone() }) {
+        Response::Stat(s) => assert!(s.messages > 0),
+        other => panic!("server unhealthy after aborted stream: {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
 fn server_evicts_cached_handle_on_checksum_failure() {
     let fs = Arc::new(MemStorage::new());
     let roots = build_containers(&*fs, 1);
