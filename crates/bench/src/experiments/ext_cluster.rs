@@ -1,0 +1,646 @@
+//! `ext_cluster` — the bora-cluster serving tier: scaling, hedging, and
+//! availability under node loss.
+//!
+//! Three claims, each asserted in-experiment:
+//!
+//! 1. **Scaling** — with replica-spread routing (`RoutePolicy::Spread`)
+//!    a uniform read mix gains ≥ 3× virtual-time throughput going from
+//!    1 to 4 nodes at R = 2: replication converted into read bandwidth.
+//!    Throughput is `queries / makespan`, makespan the **max** per-node
+//!    virtual busy time from each server's own `STATS` — deterministic
+//!    cost-model accounting, not wall clock.
+//! 2. **Hedging** — under a Zipf-skewed mix the hot container's owner
+//!    queues up; hedged reads (adaptive EWMA threshold) cut wall-clock
+//!    p99 versus the same config unhedged, with a nonzero hedge win
+//!    rate. Wall time is made meaningful by pacing each node's storage:
+//!    data reads sleep proportionally to the virtual nanoseconds the
+//!    cost model charges, so queue contention is real.
+//! 3. **Availability** — killing a node mid-run loses **zero** queries
+//!    and corrupts **zero** results: every read completes byte-identical
+//!    to its pre-kill answer via transparent failover.
+//!
+//! The CSV sweep covers nodes ∈ {1,2,4,8} × R ∈ {1,2,3} × hedging
+//! on/off over the skewed mix, plus the uniform scaling rows.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bora::BoraBag;
+use bora_cluster::{
+    ClusterClientConfig, ClusterTierConfig, HedgeConfig, LocalCluster, RingConfig, RoutePolicy,
+};
+use bora_serve::{ClientResult, MemTransport, ServerConfig, WireMessage};
+use ros_msgs::Time;
+use simfs::{
+    ClusterConfig as SimClusterConfig, ClusterStorage, DirEntry, FsResult, IoCtx, MemStorage,
+    Metadata, Storage,
+};
+use workloads::querymix::{self, QueryKind, QueryMixOptions};
+use workloads::tum::{generate_bag, GenOptions};
+
+use crate::env::ScaleConfig;
+use crate::report::Table;
+
+const CLIENT_THREADS: usize = 6;
+/// Zipf exponent for the skewed sweep (rank-0 container ≈ 45% of traffic
+/// at 8 containers).
+const ZIPF_S: f64 = 1.2;
+/// Wall sleep injected per paced data read, as a target for calibration.
+const PACE_TARGET: Duration = Duration::from_micros(300);
+
+type PacedCluster = LocalCluster<Arc<PacedStorage>>;
+type Client = bora_cluster::ClusterClient<MemTransport<Arc<PacedStorage>>>;
+
+/// A per-node backend that converts the cost model's virtual nanoseconds
+/// into real wall time on data reads (`virt / divisor` slept per op), so
+/// queueing — and therefore tail latency and hedging — is observable on
+/// the wall clock. `divisor = 0` disables pacing.
+struct PacedStorage {
+    inner: ClusterStorage,
+    divisor: u64,
+    /// Extra wall-time multiplier — models one degraded node (a failing
+    /// disk): its every data read takes `slowdown`× longer than the
+    /// same read anywhere else.
+    slowdown: u64,
+}
+
+impl PacedStorage {
+    fn pace<R>(&self, ctx: &mut IoCtx, op: impl FnOnce(&mut IoCtx) -> R) -> R {
+        let before = ctx.elapsed_ns();
+        let out = op(ctx);
+        let virt = ctx.elapsed_ns() - before;
+        if let Some(ns) = (virt * self.slowdown).checked_div(self.divisor) {
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+        out
+    }
+}
+
+impl Storage for PacedStorage {
+    fn create(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.inner.create(path, ctx)
+    }
+    fn append(&self, path: &str, data: &[u8], ctx: &mut IoCtx) -> FsResult<u64> {
+        self.inner.append(path, data, ctx)
+    }
+    fn write_at(&self, path: &str, offset: u64, data: &[u8], ctx: &mut IoCtx) -> FsResult<()> {
+        self.inner.write_at(path, offset, data, ctx)
+    }
+    fn read_at(&self, path: &str, offset: u64, len: usize, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+        self.pace(ctx, |c| self.inner.read_at(path, offset, len, c))
+    }
+    fn read_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+        self.pace(ctx, |c| self.inner.read_all(path, c))
+    }
+    fn len(&self, path: &str, ctx: &mut IoCtx) -> FsResult<u64> {
+        self.inner.len(path, ctx)
+    }
+    fn exists(&self, path: &str, ctx: &mut IoCtx) -> bool {
+        self.inner.exists(path, ctx)
+    }
+    fn stat(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Metadata> {
+        self.inner.stat(path, ctx)
+    }
+    fn mkdir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.inner.mkdir_all(path, ctx)
+    }
+    fn read_dir(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<DirEntry>> {
+        self.inner.read_dir(path, ctx)
+    }
+    fn remove_file(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.inner.remove_file(path, ctx)
+    }
+    fn remove_dir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.inner.remove_dir_all(path, ctx)
+    }
+    fn rename(&self, from: &str, to: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.inner.rename(from, to, ctx)
+    }
+    fn flush(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.inner.flush(path, ctx)
+    }
+}
+
+fn container_root(i: usize) -> String {
+    format!("/c/bag{i}")
+}
+
+struct QueryPlan {
+    root: String,
+    kind: QueryKind,
+    topic: String,
+    range: (Time, Time),
+}
+
+fn plan_queries(mix: &[querymix::Query], topics: &[String], span: (Time, Time)) -> Vec<QueryPlan> {
+    let (start, end) = span;
+    let span_ns = end.as_nanos() - start.as_nanos();
+    mix.iter()
+        .map(|q| {
+            let topic = topics[q.topic_index % topics.len()].clone();
+            let w_start = start.as_nanos() + (span_ns as f64 * q.window_start) as u64;
+            let w_end = w_start + (span_ns as f64 * q.window_frac) as u64;
+            QueryPlan {
+                root: container_root(q.container),
+                kind: q.kind,
+                topic,
+                range: (Time::from_nanos(w_start), Time::from_nanos(w_end)),
+            }
+        })
+        .collect()
+}
+
+fn run_query(client: &Client, p: &QueryPlan) -> ClientResult<usize> {
+    match p.kind {
+        QueryKind::Topics => client.topics(&p.root).map(|t| t.len()),
+        QueryKind::Stat => client.stat(&p.root).map(|s| s.messages as usize),
+        QueryKind::ReadWindow => {
+            client.read_time(&p.root, &[p.topic.as_str()], p.range.0, p.range.1).map(|m| m.len())
+        }
+        QueryKind::ReadFull => client.read(&p.root, &[p.topic.as_str()]).map(|m| m.len()),
+    }
+}
+
+struct ConfigSpec {
+    phase: &'static str,
+    nodes: u32,
+    replication: usize,
+    policy: RoutePolicy,
+    hedge: bool,
+    /// `None` = uniform over containers; `Some(s)` = Zipf(s) skew.
+    zipf: Option<f64>,
+    containers: usize,
+    queries: usize,
+    paced: bool,
+    /// Degrade the node owning the hottest container by this wall-time
+    /// factor (the classic hedging scenario: one slow disk under a hot
+    /// key). `1` = healthy cluster.
+    slow_hot_owner: u64,
+    /// Cumulative kind weights over `[Topics, Stat, ReadWindow, ReadFull]`.
+    kinds: [f64; 4],
+}
+
+/// The standard mixed workload (metadata + reads).
+const MIXED_KINDS: [f64; 4] = [0.05, 0.05, 0.4, 0.5];
+/// Reads only — the hedge phase uses this so every query is hedgeable
+/// (metadata ops route primary-only and would queue behind abandoned
+/// hedge legs on the degraded node, measuring the queue, not the hedge).
+const READ_KINDS: [f64; 4] = [0.0, 0.0, 0.4, 0.6];
+
+struct ConfigResult {
+    queries: usize,
+    errors: usize,
+    /// Virtual-time throughput: queries per virtual second of cluster
+    /// makespan (max per-node busy time).
+    virt_qps: f64,
+    wall_p99: Duration,
+    hedge_issued: u64,
+    hedge_wins: u64,
+    failovers: u64,
+}
+
+fn start_cluster(spec: &ConfigSpec, divisor: u64) -> PacedCluster {
+    let ring_cfg = RingConfig { vnodes: 64, replication: spec.replication };
+    let divisor = if spec.paced { divisor } else { 0 };
+    // The ring is a pure function of membership, so the hot container's
+    // owner is known before any node exists — degrade that one's storage.
+    let slow_node = (spec.slow_hot_owner > 1)
+        .then(|| bora_cluster::Ring::with_nodes(ring_cfg, spec.nodes).owner(&container_root(0)))
+        .flatten();
+    let slowdown = spec.slow_hot_owner.max(1);
+    LocalCluster::start_with(
+        ClusterTierConfig {
+            nodes: spec.nodes,
+            ring: ring_cfg,
+            server: ServerConfig {
+                workers: 2,
+                queue_capacity: 512,
+                cache_capacity: spec.containers,
+                ..ServerConfig::default()
+            },
+            ..ClusterTierConfig::default()
+        },
+        move |id| {
+            let slowdown = if Some(id) == slow_node { slowdown } else { 1 };
+            Arc::new(PacedStorage {
+                inner: ClusterStorage::new(SimClusterConfig::pvfs4()),
+                divisor,
+                slowdown,
+            })
+        },
+    )
+}
+
+fn client_config(spec: &ConfigSpec) -> ClusterClientConfig {
+    ClusterClientConfig {
+        policy: spec.policy,
+        // Threshold 2x the EWMA read latency: the EWMA tracks the
+        // common case (healthy replicas and hedge winners), so the
+        // trigger clears ordinary queueing noise but sits far below a
+        // badly degraded node's service time.
+        hedge: spec
+            .hedge
+            .then(|| HedgeConfig { min_threshold: Duration::from_micros(300), factor: 2.0 }),
+        ..ClusterClientConfig::default()
+    }
+}
+
+/// Run one cluster configuration and tear it down.
+fn run_config<SS: Storage>(
+    spec: &ConfigSpec,
+    staging: &SS,
+    topics: &[String],
+    span: (Time, Time),
+    scales: &ScaleConfig,
+    divisor: u64,
+) -> ConfigResult {
+    let mix = querymix::generate(&QueryMixOptions {
+        containers: spec.containers,
+        hot_set: 2,
+        hot_traffic: 0.9,
+        queries: spec.queries,
+        kind_weights: spec.kinds,
+        seed: scales.seed ^ 0xC1057E8,
+        zipf_s: Some(spec.zipf.unwrap_or(0.0)),
+    });
+    let plans = plan_queries(&mix, topics, span);
+
+    let cluster = start_cluster(spec, divisor);
+    let roots: Vec<String> = (0..spec.containers).map(container_root).collect();
+    let root_refs: Vec<&str> = roots.iter().map(String::as_str).collect();
+    cluster.provision(staging, &root_refs).unwrap();
+    let client = cluster.client(client_config(spec));
+
+    let issued0 = bora_obs::counter("cluster.hedge.issued").get();
+    let wins0 = bora_obs::counter("cluster.hedge.wins").get();
+    let fails0 = bora_obs::counter("cluster.failover").get();
+
+    let latencies = Mutex::new(Vec::with_capacity(plans.len()));
+    let errors = AtomicUsize::new(0);
+    let chunk = plans.len().div_ceil(CLIENT_THREADS);
+    std::thread::scope(|scope| {
+        for part in plans.chunks(chunk) {
+            let client = client.clone();
+            let latencies = &latencies;
+            let errors = &errors;
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(part.len());
+                for p in part {
+                    let t0 = Instant::now();
+                    if run_query(&client, p).is_err() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    local.push(t0.elapsed());
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    // Makespan in virtual time: the busiest node's cost-model total.
+    let makespan_ns = cluster
+        .node_ids()
+        .iter()
+        .filter_map(|id| client.node_stats(*id).ok())
+        .map(|snap| snap.ops.iter().map(|(_, op)| op.virt_mean_ns * op.count).sum::<u64>())
+        .max()
+        .unwrap_or(0);
+
+    let mut lats = latencies.into_inner().unwrap();
+    lats.sort_unstable();
+    let p99 = lats[(lats.len() * 99 / 100).min(lats.len() - 1)];
+
+    cluster.shutdown();
+    ConfigResult {
+        queries: plans.len(),
+        errors: errors.into_inner(),
+        virt_qps: plans.len() as f64 / (makespan_ns as f64 / 1e9).max(1e-12),
+        wall_p99: p99,
+        hedge_issued: bora_obs::counter("cluster.hedge.issued").get() - issued0,
+        hedge_wins: bora_obs::counter("cluster.hedge.wins").get() - wins0,
+        failovers: bora_obs::counter("cluster.failover").get() - fails0,
+    }
+}
+
+/// Availability phase: kill the hot container's owner mid-run; every
+/// query must still complete and match its pre-kill answer exactly.
+fn run_kill_phase<SS: Storage>(
+    staging: &SS,
+    topics: &[String],
+    scales: &ScaleConfig,
+    divisor: u64,
+) -> Table {
+    const CONTAINERS: usize = 6;
+    const QUERIES: usize = 180;
+    let spec = ConfigSpec {
+        phase: "kill",
+        nodes: 4,
+        replication: 2,
+        policy: RoutePolicy::Primary,
+        hedge: true,
+        zipf: Some(ZIPF_S),
+        containers: CONTAINERS,
+        queries: QUERIES,
+        paced: true,
+        slow_hot_owner: 1,
+        kinds: [0.0, 0.0, 0.0, 1.0],
+    };
+    let mix = querymix::generate(&QueryMixOptions {
+        containers: CONTAINERS,
+        hot_set: 2,
+        hot_traffic: 0.9,
+        queries: QUERIES,
+        kind_weights: [0.0, 0.0, 0.0, 1.0], // full reads: every result comparable
+        seed: scales.seed ^ 0x4B11,
+        zipf_s: Some(ZIPF_S),
+    });
+
+    let cluster = start_cluster(&spec, divisor);
+    let roots: Vec<String> = (0..CONTAINERS).map(container_root).collect();
+    let root_refs: Vec<&str> = roots.iter().map(String::as_str).collect();
+    cluster.provision(staging, &root_refs).unwrap();
+    let client = cluster.client(client_config(&spec));
+
+    // Pre-kill ground truth, per (container, topic) pair the mix uses.
+    let expected: Vec<Vec<Vec<WireMessage>>> = roots
+        .iter()
+        .map(|root| topics.iter().map(|t| client.read(root, &[t.as_str()]).unwrap()).collect())
+        .collect();
+
+    // The node to kill: owner of the Zipf rank-0 (hottest) container.
+    let victim = client.owner(&roots[0]).unwrap();
+    let fails0 = bora_obs::counter("cluster.failover").get();
+
+    let done = AtomicUsize::new(0);
+    let corrupt = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let chunk = mix.len().div_ceil(CLIENT_THREADS);
+    std::thread::scope(|scope| {
+        for part in mix.chunks(chunk) {
+            let client = client.clone();
+            let (done, corrupt, errors) = (&done, &corrupt, &errors);
+            let (roots, topics, expected) = (&roots, topics, &expected);
+            scope.spawn(move || {
+                for q in part {
+                    let ti = q.topic_index % topics.len();
+                    match client.read(&roots[q.container], &[topics[ti].as_str()]) {
+                        Ok(msgs) => {
+                            if msgs != expected[q.container][ti] {
+                                corrupt.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Pull the trigger once a quarter of the traffic is through, so
+        // the death lands mid-run with in-flight queries on both sides.
+        while done.load(Ordering::Relaxed) < QUERIES / 4 {
+            std::thread::yield_now();
+        }
+        cluster.kill(victim);
+    });
+
+    let failovers = bora_obs::counter("cluster.failover").get() - fails0;
+    let heal = cluster.heal().unwrap();
+    let completed = QUERIES - errors.load(Ordering::Relaxed);
+    let corrupt = corrupt.into_inner();
+
+    let mut table = Table::new(
+        "ext_cluster_kill",
+        "Extension: bora-cluster — node killed mid-run, availability and integrity",
+        &[
+            "queries",
+            "completed",
+            "corrupt results",
+            "failover hops",
+            "heal copies",
+            "heal batches",
+        ],
+    );
+    table.row(vec![
+        QUERIES.to_string(),
+        completed.to_string(),
+        corrupt.to_string(),
+        failovers.to_string(),
+        heal.copies.to_string(),
+        heal.batches.to_string(),
+    ]);
+    table.note(format!(
+        "4 nodes, R=2, hedged, Zipf({ZIPF_S}) full-read mix; killed node {victim} (owner of the \
+         hottest container) after 25% of queries; every result compared byte-for-byte against its \
+         pre-kill answer"
+    ));
+    cluster.shutdown();
+
+    assert_eq!(completed, QUERIES, "{} queries failed after the node kill", QUERIES - completed);
+    assert_eq!(corrupt, 0, "{corrupt} queries returned corrupt results after the node kill");
+    assert!(failovers > 0, "a node died mid-run but no query failed over");
+    assert!(heal.copies > 0, "the dead node held replicas; heal must re-replicate");
+    table
+}
+
+pub fn run(scales: &ScaleConfig) -> Vec<Table> {
+    // One Handheld-SLAM bag duplicated into identical containers on an
+    // unpaced staging fs; every cluster config provisions from it.
+    let staging = MemStorage::new();
+    let mut ctx = IoCtx::new();
+    let opts = GenOptions {
+        count_scale: (scales.small * 0.5).min(0.015),
+        payload_scale: 0.003,
+        seed: scales.seed ^ 0xC105,
+        ..GenOptions::default()
+    };
+    generate_bag(&staging, "/hs.bag", &opts, &mut ctx).unwrap();
+    const MAX_CONTAINERS: usize = 16;
+    for i in 0..MAX_CONTAINERS {
+        bora::duplicate(
+            &staging,
+            "/hs.bag",
+            &staging,
+            &container_root(i),
+            &Default::default(),
+            &mut ctx,
+        )
+        .unwrap();
+    }
+    let probe = BoraBag::open(&staging, &container_root(0), &mut ctx).unwrap();
+    let mut topics: Vec<String> = probe.topics().into_iter().map(str::to_owned).collect();
+    topics.sort();
+    let span = probe.time_range();
+    drop(probe);
+
+    // Calibrate pacing: a full single-topic read's virtual cost maps to
+    // PACE_TARGET of wall sleep.
+    let divisor = {
+        let probe_fs = ClusterStorage::new(SimClusterConfig::pvfs4());
+        let mut pctx = IoCtx::new();
+        bora::organizer::copy_container(
+            &staging,
+            &container_root(0),
+            &probe_fs,
+            "/probe",
+            &mut pctx,
+        )
+        .unwrap();
+        let mut rctx = IoCtx::new();
+        let bag = BoraBag::open(&probe_fs, "/probe", &mut rctx).unwrap();
+        bag.read_topics(&[topics[0].as_str()], &mut rctx).unwrap();
+        (rctx.elapsed_ns() / PACE_TARGET.as_nanos() as u64).max(1)
+    };
+
+    let mut table = Table::new(
+        "ext_cluster",
+        "Extension: bora-cluster — sharded replicated serving: scaling, hedging, failover",
+        &[
+            "phase",
+            "nodes",
+            "R",
+            "policy",
+            "mix",
+            "hedge",
+            "queries",
+            "errors",
+            "virt throughput (q/s)",
+            "wall p99 (us)",
+            "hedge wins/issued",
+            "failovers",
+        ],
+    );
+
+    // --- Phase 1: uniform scaling at R=2, replica-spread routing. The
+    // claim is about *read* bandwidth, so the mix is reads only —
+    // metadata ops route primary-first and would pin part of the load
+    // to whichever nodes own the most containers. ---
+    let mut uniform_qps = Vec::new();
+    for nodes in [1u32, 2, 4, 8] {
+        let spec = ConfigSpec {
+            phase: "scale",
+            nodes,
+            replication: 2,
+            policy: RoutePolicy::Spread,
+            hedge: false,
+            zipf: None,
+            containers: MAX_CONTAINERS,
+            queries: 320,
+            paced: false,
+            slow_hot_owner: 1,
+            kinds: READ_KINDS,
+        };
+        let r = run_config(&spec, &staging, &topics, span, scales, divisor);
+        uniform_qps.push((nodes, r.virt_qps));
+        push_row(&mut table, &spec, &r);
+    }
+
+    // --- Phase 2: the skewed sweep, nodes × R × hedging. ---
+    let mut sweep: Vec<(u32, usize, bool, ConfigResult)> = Vec::new();
+    for nodes in [1u32, 2, 4, 8] {
+        for replication in [1usize, 2, 3] {
+            for hedge in [false, true] {
+                let spec = ConfigSpec {
+                    phase: "sweep",
+                    nodes,
+                    replication,
+                    policy: RoutePolicy::Primary,
+                    hedge,
+                    zipf: Some(ZIPF_S),
+                    containers: 8,
+                    queries: 120,
+                    paced: true,
+                    slow_hot_owner: 1,
+                    kinds: MIXED_KINDS,
+                };
+                let r = run_config(&spec, &staging, &topics, span, scales, divisor);
+                push_row(&mut table, &spec, &r);
+                sweep.push((nodes, replication, hedge, r));
+            }
+        }
+    }
+
+    // --- Phase 3: hedging against a degraded node. The classic tail
+    // scenario: the Zipf-hot container's owner runs 50x slower (one bad
+    // disk); hedged reads escape to the healthy replica. ---
+    let mut hedge_results = Vec::new();
+    for hedge in [false, true] {
+        let spec = ConfigSpec {
+            phase: "hedge",
+            nodes: 4,
+            replication: 2,
+            policy: RoutePolicy::Primary,
+            hedge,
+            zipf: Some(1.5),
+            containers: 8,
+            queries: 240,
+            paced: true,
+            slow_hot_owner: 50,
+            kinds: READ_KINDS,
+        };
+        let r = run_config(&spec, &staging, &topics, span, scales, divisor);
+        push_row(&mut table, &spec, &r);
+        hedge_results.push(r);
+    }
+
+    let table2 = run_kill_phase(&staging, &topics, scales, divisor);
+
+    // --- Assertions the PR's claims ride on. ---
+    let q1 = uniform_qps.iter().find(|(n, _)| *n == 1).unwrap().1;
+    let q4 = uniform_qps.iter().find(|(n, _)| *n == 4).unwrap().1;
+    let scaling = q4 / q1;
+    table.note(format!(
+        "uniform R=2 Spread scaling 1→4 nodes: {scaling:.2}x virtual-time throughput \
+         (target ≥ 3x); throughput = queries / max per-node virtual busy time from STATS"
+    ));
+    assert!(scaling >= 3.0, "1→4 node scaling {scaling:.2}x below the 3x bar");
+
+    let (unhedged, hedged) = (&hedge_results[0], &hedge_results[1]);
+    table.note(format!(
+        "hedge phase (4 nodes, R=2, Zipf(1.5), hot owner 50x degraded): wall p99 {:?} → {:?}, \
+         {} wins / {} issued",
+        unhedged.wall_p99, hedged.wall_p99, hedged.hedge_wins, hedged.hedge_issued
+    ));
+    assert!(
+        hedged.hedge_wins > 0,
+        "hedging enabled under skew but no hedge ever won ({} issued)",
+        hedged.hedge_issued
+    );
+    assert!(
+        hedged.wall_p99 < unhedged.wall_p99,
+        "hedged p99 {:?} not below unhedged {:?}",
+        hedged.wall_p99,
+        unhedged.wall_p99
+    );
+    let total_errors: usize = sweep.iter().map(|(_, _, _, r)| r.errors).sum::<usize>()
+        + hedge_results.iter().map(|r| r.errors).sum::<usize>();
+    assert_eq!(total_errors, 0, "sweep queries failed on a healthy cluster");
+    table.note(
+        "sweep mix: Zipf-skewed over 8 containers, Primary routing, storage paced so queue \
+         contention is wall-visible; scale rows unpaced (virtual accounting only)",
+    );
+
+    vec![table, table2]
+}
+
+fn push_row(table: &mut Table, spec: &ConfigSpec, r: &ConfigResult) {
+    table.row(vec![
+        spec.phase.into(),
+        spec.nodes.to_string(),
+        spec.replication.to_string(),
+        format!("{:?}", spec.policy),
+        match spec.zipf {
+            Some(s) => format!("zipf({s})"),
+            None => "uniform".into(),
+        },
+        if spec.hedge { "on" } else { "off" }.into(),
+        r.queries.to_string(),
+        r.errors.to_string(),
+        format!("{:.0}", r.virt_qps),
+        format!("{:.0}", r.wall_p99.as_secs_f64() * 1e6),
+        format!("{}/{}", r.hedge_wins, r.hedge_issued),
+        r.failovers.to_string(),
+    ]);
+}

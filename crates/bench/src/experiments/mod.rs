@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod ext_cluster;
 pub mod ext_crash;
 pub mod ext_stream;
 pub mod extensions;
@@ -180,6 +181,13 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "Extension: streaming pipeline — heap vs linear k-way merge, parallel prefetch",
             run: ext_stream::run,
+        },
+        Experiment {
+            id: "ext_cluster",
+            paper_ref: "extension",
+            description:
+                "Extension: bora-cluster — sharded/replicated serving: scaling, hedging, node-kill",
+            run: ext_cluster::run,
         },
         Experiment {
             id: "open21g",

@@ -95,7 +95,12 @@ fn measure_phase(fs: &ServeFs, plans: &[QueryPlan]) -> PhaseResult {
     // Served: fresh server per phase keeps STATS attributable.
     let server = Server::start(
         Arc::clone(fs),
-        ServerConfig { workers: WORKERS, queue_capacity: 64, cache_capacity: CACHE_CAPACITY },
+        ServerConfig {
+            workers: WORKERS,
+            queue_capacity: 64,
+            cache_capacity: CACHE_CAPACITY,
+            ..ServerConfig::default()
+        },
     );
     let transport = MemTransport::new(Arc::clone(&server));
 
@@ -186,6 +191,7 @@ pub fn run(scales: &ScaleConfig) -> Vec<Table> {
             queries,
             kind_weights: weights,
             seed: scales.seed ^ salt,
+            zipf_s: None,
         });
         plan_queries(&mix, &topics, span)
     };

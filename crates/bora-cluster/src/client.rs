@@ -1,0 +1,743 @@
+//! [`ClusterClient`]: the router frontend.
+//!
+//! Speaks the bora-serve wire protocol to every node, routes each
+//! container op to the node(s) the [`Ring`] says hold it, and hides
+//! node-level faults:
+//!
+//! * **failover** — a transport fault, `Io`/`ChecksumMismatch` server
+//!   error, or shutting-down node moves the request to the next replica
+//!   (`cluster.failover` counts every such hop);
+//! * **circuit breaking** — consecutive failures open a per-node
+//!   [`CircuitBreaker`]; an open node is skipped at routing time and
+//!   re-probed after a count-based cooldown;
+//! * **hedging** — when the owner's reply exceeds an adaptive threshold
+//!   (EWMA of observed read latency × a factor), the same read is issued
+//!   to a replica and the first answer wins. `cluster.hedge.issued` /
+//!   `cluster.hedge.wins` export the win rate via bora-obs;
+//! * **streaming failover** — [`ClusterStream`] resumes a broken
+//!   `READ_STREAM` on a replica by re-issuing the query and skipping the
+//!   messages already delivered. The server-side merge order is
+//!   deterministic (`(time, lane)` tie-break), so the resumed stream is
+//!   byte-identical to an unbroken one;
+//! * **cluster-wide merge** — [`MergedStream`] k-way heap-merges the
+//!   per-container streams of many nodes into one chronological stream,
+//!   the same merge shape the server uses per container.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use bora_serve::{
+    ClientError, ClientResult, Connection, ErrorCode, PingInfo, ProtoError, Request, Response,
+    ServeClient, StatsSnapshot, Transport, WireMessage,
+};
+use crossbeam::channel::{self, RecvTimeoutError};
+use ros_msgs::Time;
+
+use crate::health::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::ring::{NodeId, Ring};
+
+/// How multi-replica reads pick a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// Owner first, replicas only on failover (and as hedge targets).
+    /// Maximizes per-node cache locality.
+    #[default]
+    Primary,
+    /// Least-loaded healthy replica holder (in-flight count, round-robin
+    /// tie-break). Spreads hot containers over their whole replica set —
+    /// the policy that converts replication into read throughput.
+    Spread,
+}
+
+/// Hedged-request knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct HedgeConfig {
+    /// Floor for the hedge trigger (protects cold-start, when the EWMA
+    /// has seen nothing).
+    pub min_threshold: Duration,
+    /// Trigger = `max(min_threshold, factor × EWMA(read latency))`.
+    pub factor: f64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig { min_threshold: Duration::from_micros(500), factor: 3.0 }
+    }
+}
+
+/// Router configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterClientConfig {
+    pub policy: RoutePolicy,
+    /// `Some` enables hedged reads (only meaningful with ≥ 2 replicas).
+    pub hedge: Option<HedgeConfig>,
+    pub breaker: BreakerConfig,
+}
+
+/// One node as the router sees it: a transport, a bounded connection
+/// pool, health state, and an in-flight gauge for load-aware routing.
+pub struct NodeEndpoint<T: Transport> {
+    pub id: NodeId,
+    transport: T,
+    pool: Mutex<Vec<ServeClient<T::Conn>>>,
+    breaker: Mutex<CircuitBreaker>,
+    inflight: AtomicUsize,
+}
+
+/// Connections kept per node beyond which returned ones are dropped.
+const POOL_MAX: usize = 8;
+
+impl<T: Transport> NodeEndpoint<T> {
+    fn new(id: NodeId, transport: T, breaker: BreakerConfig) -> Self {
+        NodeEndpoint {
+            id,
+            transport,
+            pool: Mutex::new(Vec::new()),
+            breaker: Mutex::new(CircuitBreaker::new(breaker)),
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    fn lease(&self) -> ClientResult<ServeClient<T::Conn>> {
+        if let Some(c) = self.pool.lock().unwrap().pop() {
+            return Ok(c);
+        }
+        Ok(ServeClient::new(self.transport.connect()?))
+    }
+
+    fn release(&self, client: ServeClient<T::Conn>) {
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < POOL_MAX {
+            pool.push(client);
+        }
+    }
+
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.lock().unwrap().state()
+    }
+
+    /// Run one request against this node, maintaining pool, breaker and
+    /// in-flight accounting. A failover-worthy error drops the
+    /// connection (it may be desynchronized); an application-level error
+    /// keeps it (the node answered correctly — the request was wrong).
+    fn attempt<R>(
+        &self,
+        op: &mut dyn FnMut(&mut ServeClient<T::Conn>) -> ClientResult<R>,
+    ) -> ClientResult<R> {
+        let mut client = match self.lease() {
+            Ok(c) => c,
+            Err(e) => {
+                self.breaker.lock().unwrap().on_failure();
+                return Err(e);
+            }
+        };
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        let res = op(&mut client);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        match &res {
+            Ok(_) => {
+                self.breaker.lock().unwrap().on_success();
+                self.release(client);
+            }
+            Err(e) if should_failover(e) => {
+                self.breaker.lock().unwrap().on_failure();
+            }
+            Err(_) => {
+                self.breaker.lock().unwrap().on_success();
+                self.release(client);
+            }
+        }
+        res
+    }
+}
+
+/// Should this error move the request to another replica? Transient
+/// faults (transport, `Io`, `ChecksumMismatch`, overload, desync) and a
+/// node that is shutting down; permanent application errors (unknown
+/// topic, not a container, corrupt) answer the same everywhere.
+pub fn should_failover(e: &ClientError) -> bool {
+    e.is_transient() || matches!(e, ClientError::Server { code: ErrorCode::ShuttingDown, .. })
+}
+
+fn no_nodes(container: &str) -> ClientError {
+    ClientError::Io(std::io::Error::new(
+        std::io::ErrorKind::NotFound,
+        format!("no replica holds {container}"),
+    ))
+}
+
+/// The router. Cheap to share per thread via its own instance — all
+/// state (pools, breakers, EWMA) lives behind `Arc`, so `clone` yields a
+/// handle onto the same cluster view.
+pub struct ClusterClient<T: Transport> {
+    ring: Arc<RwLock<Ring>>,
+    nodes: BTreeMap<NodeId, Arc<NodeEndpoint<T>>>,
+    cfg: ClusterClientConfig,
+    /// EWMA of successful read wall latency, nanoseconds.
+    ewma_ns: Arc<Mutex<f64>>,
+    rr: Arc<AtomicUsize>,
+}
+
+impl<T: Transport> Clone for ClusterClient<T> {
+    fn clone(&self) -> Self {
+        ClusterClient {
+            ring: Arc::clone(&self.ring),
+            nodes: self.nodes.clone(),
+            cfg: self.cfg.clone(),
+            ewma_ns: Arc::clone(&self.ewma_ns),
+            rr: Arc::clone(&self.rr),
+        }
+    }
+}
+
+impl<T> ClusterClient<T>
+where
+    T: Transport + Send + Sync + 'static,
+{
+    /// Build a router over `(node id, transport)` pairs sharing `ring`.
+    /// The ring is shared (not snapshotted) so membership changes made
+    /// by the cluster control plane are visible to live clients.
+    pub fn new(
+        ring: Arc<RwLock<Ring>>,
+        endpoints: impl IntoIterator<Item = (NodeId, T)>,
+        cfg: ClusterClientConfig,
+    ) -> Self {
+        let nodes = endpoints
+            .into_iter()
+            .map(|(id, t)| (id, Arc::new(NodeEndpoint::new(id, t, cfg.breaker))))
+            .collect();
+        ClusterClient {
+            ring,
+            nodes,
+            cfg,
+            ewma_ns: Arc::new(Mutex::new(0.0)),
+            rr: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    pub fn ring(&self) -> Arc<RwLock<Ring>> {
+        Arc::clone(&self.ring)
+    }
+
+    pub fn replicas(&self, container: &str) -> Vec<NodeId> {
+        self.ring.read().unwrap().replicas(container)
+    }
+
+    pub fn owner(&self, container: &str) -> Option<NodeId> {
+        self.ring.read().unwrap().owner(container)
+    }
+
+    /// Replica endpoints in attempt order under the configured policy.
+    fn ordered(&self, container: &str) -> Vec<Arc<NodeEndpoint<T>>> {
+        let replicas = self.ring.read().unwrap().replicas(container);
+        let mut eps: Vec<_> =
+            replicas.iter().filter_map(|id| self.nodes.get(id)).map(Arc::clone).collect();
+        if matches!(self.cfg.policy, RoutePolicy::Spread) && eps.len() > 1 {
+            let rr = self.rr.fetch_add(1, Ordering::Relaxed) % eps.len();
+            eps.rotate_left(rr);
+            // Stable sort: the rotation above breaks in-flight ties
+            // round-robin instead of always favouring the lowest id.
+            eps.sort_by_key(|ep| ep.inflight.load(Ordering::Relaxed));
+        }
+        eps
+    }
+
+    /// Try `op` on each replica in order until one answers. Nodes whose
+    /// breaker denies are skipped — unless every node is denied, in
+    /// which case the breakers are overridden (a fully-tripped cluster
+    /// must still probe its way back).
+    fn with_failover<R>(
+        &self,
+        container: &str,
+        mut op: impl FnMut(&mut ServeClient<T::Conn>) -> ClientResult<R>,
+    ) -> ClientResult<R> {
+        let eps = self.ordered(container);
+        if eps.is_empty() {
+            return Err(no_nodes(container));
+        }
+        let mut last: Option<ClientError> = None;
+        for ignore_breaker in [false, true] {
+            let mut attempted = false;
+            for ep in &eps {
+                if !ignore_breaker && !ep.breaker.lock().unwrap().allow() {
+                    continue;
+                }
+                if attempted {
+                    bora_obs::counter("cluster.failover").inc();
+                }
+                attempted = true;
+                match ep.attempt(&mut op) {
+                    Ok(v) => return Ok(v),
+                    Err(e) if should_failover(&e) => last = Some(e),
+                    Err(e) => return Err(e),
+                }
+            }
+            if attempted {
+                break;
+            }
+        }
+        Err(last.unwrap_or_else(|| no_nodes(container)))
+    }
+
+    pub fn open(&self, container: &str) -> ClientResult<bora_serve::ContainerStat> {
+        self.with_failover(container, |c| c.open(container).map(|(stat, _)| stat))
+    }
+
+    pub fn topics(&self, container: &str) -> ClientResult<Vec<String>> {
+        self.with_failover(container, |c| c.topics(container))
+    }
+
+    pub fn meta(&self, container: &str) -> ClientResult<Vec<u8>> {
+        self.with_failover(container, |c| c.meta(container))
+    }
+
+    pub fn stat(&self, container: &str) -> ClientResult<bora_serve::ContainerStat> {
+        self.with_failover(container, |c| c.stat(container))
+    }
+
+    pub fn read(&self, container: &str, topics: &[&str]) -> ClientResult<Vec<WireMessage>> {
+        self.read_inner(container, topics, None)
+    }
+
+    pub fn read_time(
+        &self,
+        container: &str,
+        topics: &[&str],
+        start: Time,
+        end: Time,
+    ) -> ClientResult<Vec<WireMessage>> {
+        self.read_inner(container, topics, Some((start, end)))
+    }
+
+    fn read_inner(
+        &self,
+        container: &str,
+        topics: &[&str],
+        range: Option<(Time, Time)>,
+    ) -> ClientResult<Vec<WireMessage>> {
+        if self.cfg.hedge.is_some() {
+            return self.read_hedged(container, topics, range);
+        }
+        let started = Instant::now();
+        let out = self.with_failover(container, |c| match range {
+            Some((s, e)) => c.read_time(container, topics, s, e),
+            None => c.read(container, topics),
+        });
+        if out.is_ok() {
+            self.note_read_latency(started.elapsed());
+        }
+        out
+    }
+
+    fn note_read_latency(&self, lat: Duration) {
+        let mut ewma = self.ewma_ns.lock().unwrap();
+        let ns = lat.as_nanos() as f64;
+        *ewma = if *ewma == 0.0 { ns } else { 0.8 * *ewma + 0.2 * ns };
+    }
+
+    /// Current hedge trigger.
+    pub fn hedge_threshold(&self) -> Duration {
+        let h = self.cfg.hedge.unwrap_or_default();
+        let ewma = *self.ewma_ns.lock().unwrap();
+        h.min_threshold.max(Duration::from_nanos((h.factor * ewma) as u64))
+    }
+
+    /// Hedged read: issue to the first candidate; if no answer within
+    /// the adaptive threshold, issue the identical read to the second
+    /// and take whichever returns first. Replicas hold identical data
+    /// and the read path is deterministic, so both answers are equal —
+    /// the hedge trades duplicate work for tail latency only.
+    fn read_hedged(
+        &self,
+        container: &str,
+        topics: &[&str],
+        range: Option<(Time, Time)>,
+    ) -> ClientResult<Vec<WireMessage>> {
+        let eps = self.ordered(container);
+        if eps.len() < 2 {
+            let started = Instant::now();
+            let out = self.with_failover(container, |c| match range {
+                Some((s, e)) => c.read_time(container, topics, s, e),
+                None => c.read(container, topics),
+            });
+            if out.is_ok() {
+                self.note_read_latency(started.elapsed());
+            }
+            return out;
+        }
+
+        let (tx, rx) = channel::unbounded();
+        let spawn_read = |ep: Arc<NodeEndpoint<T>>, idx: usize| {
+            let tx = tx.clone();
+            let container = container.to_owned();
+            let topics: Vec<String> = topics.iter().map(|t| (*t).to_owned()).collect();
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                let res = ep.attempt(&mut |c: &mut ServeClient<T::Conn>| {
+                    let ts: Vec<&str> = topics.iter().map(String::as_str).collect();
+                    match range {
+                        Some((s, e)) => c.read_time(&container, &ts, s, e),
+                        None => c.read(&container, &ts),
+                    }
+                });
+                // Receiver gone means the other leg already won — the
+                // attempt above still ran to completion, keeping its
+                // connection aligned and back in the pool.
+                let _ = tx.send((idx, started.elapsed(), res));
+            });
+        };
+
+        spawn_read(Arc::clone(&eps[0]), 0);
+        let first = match rx.recv_timeout(self.hedge_threshold()) {
+            Ok(msg) => Some(msg),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => unreachable!("tx held by this scope"),
+        };
+
+        match first {
+            Some((_, lat, Ok(v))) => {
+                self.note_read_latency(lat);
+                Ok(v)
+            }
+            Some((_, _, Err(e))) if !should_failover(&e) => Err(e),
+            Some((_, _, Err(_))) => {
+                // Primary failed fast: this is a failover, not a hedge.
+                bora_obs::counter("cluster.failover").inc();
+                spawn_read(Arc::clone(&eps[1]), 1);
+                let (_, lat, res) = rx.recv().expect("hedge leg sender alive");
+                if res.is_ok() {
+                    self.note_read_latency(lat);
+                }
+                res
+            }
+            None => {
+                // Primary slow: hedge to the replica, first answer wins.
+                bora_obs::counter("cluster.hedge.issued").inc();
+                spawn_read(Arc::clone(&eps[1]), 1);
+                let mut errors = 0;
+                loop {
+                    let (idx, lat, res) = rx.recv().expect("hedge leg sender alive");
+                    match res {
+                        Ok(v) => {
+                            if idx == 1 {
+                                bora_obs::counter("cluster.hedge.wins").inc();
+                            }
+                            self.note_read_latency(lat);
+                            return Ok(v);
+                        }
+                        Err(e) => {
+                            errors += 1;
+                            if errors == 2 {
+                                return Err(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Open a streaming read with transparent mid-stream failover.
+    pub fn read_stream(&self, container: &str, topics: &[&str]) -> ClientResult<ClusterStream<T>> {
+        self.read_stream_inner(container, topics, None)
+    }
+
+    /// Time-ranged variant of [`ClusterClient::read_stream`].
+    pub fn read_stream_time(
+        &self,
+        container: &str,
+        topics: &[&str],
+        start: Time,
+        end: Time,
+    ) -> ClientResult<ClusterStream<T>> {
+        self.read_stream_inner(container, topics, Some((start, end)))
+    }
+
+    fn read_stream_inner(
+        &self,
+        container: &str,
+        topics: &[&str],
+        range: Option<(Time, Time)>,
+    ) -> ClientResult<ClusterStream<T>> {
+        let eps = self.ordered(container);
+        if eps.is_empty() {
+            return Err(no_nodes(container));
+        }
+        let mut stream = ClusterStream {
+            eps,
+            cursor: 0,
+            current: None,
+            container: container.to_owned(),
+            topics: topics.iter().map(|t| (*t).to_owned()).collect(),
+            range,
+            buffer: VecDeque::new(),
+            skip: 0,
+            fetched: 0,
+            yielded: 0,
+            done: false,
+        };
+        stream.connect_next()?;
+        Ok(stream)
+    }
+
+    /// One chronological stream over many containers: a per-container
+    /// [`ClusterStream`] per lane, k-way merged by `(time, lane)` — the
+    /// same heap merge the server applies across a container's topic
+    /// lanes, lifted to the cluster level.
+    pub fn read_stream_multi(
+        &self,
+        containers: &[&str],
+        topics: &[&str],
+        range: Option<(Time, Time)>,
+    ) -> ClientResult<MergedStream<T>> {
+        let mut lanes = Vec::with_capacity(containers.len());
+        for c in containers {
+            lanes.push(self.read_stream_inner(c, topics, range)?);
+        }
+        MergedStream::new(lanes)
+    }
+
+    /// Health-probe one node directly (not routed through the ring).
+    pub fn ping(&self, node: NodeId) -> ClientResult<PingInfo> {
+        let ep = self.nodes.get(&node).ok_or_else(|| no_nodes(&format!("node {node}")))?;
+        ep.attempt(&mut |c| c.ping())
+    }
+
+    /// Probe every node; the per-node result doubles as liveness.
+    pub fn ping_all(&self) -> Vec<(NodeId, ClientResult<PingInfo>)> {
+        self.nodes.iter().map(|(id, ep)| (*id, ep.attempt(&mut |c| c.ping()))).collect()
+    }
+
+    /// One node's `STATS` snapshot (virtual-time accounting lives here).
+    pub fn node_stats(&self, node: NodeId) -> ClientResult<StatsSnapshot> {
+        let ep = self.nodes.get(&node).ok_or_else(|| no_nodes(&format!("node {node}")))?;
+        ep.attempt(&mut |c| c.stats())
+    }
+
+    /// Breaker state per node, for observability.
+    pub fn breaker_states(&self) -> Vec<(NodeId, BreakerState)> {
+        self.nodes.iter().map(|(id, ep)| (*id, ep.breaker_state())).collect()
+    }
+}
+
+// ----------------------------------------------------------------- stream
+
+/// A cluster-routed `READ_STREAM` with mid-stream failover.
+///
+/// If the serving node dies mid-stream, the identical query is re-issued
+/// to the next replica and the first `fetched` messages of the re-issue
+/// are skipped. Both nodes merge the same container with the same
+/// deterministic `(time, lane)` order, so the resumed tail continues the
+/// broken stream byte-for-byte.
+pub struct ClusterStream<T: Transport> {
+    eps: Vec<Arc<NodeEndpoint<T>>>,
+    cursor: usize,
+    current: Option<(Arc<NodeEndpoint<T>>, T::Conn)>,
+    container: String,
+    topics: Vec<String>,
+    range: Option<(Time, Time)>,
+    buffer: VecDeque<WireMessage>,
+    /// Messages of the current (re-issued) stream still to discard.
+    skip: u64,
+    /// Unique messages pulled into `buffer` over the stream's lifetime.
+    fetched: u64,
+    /// Messages handed to the consumer.
+    yielded: u64,
+    done: bool,
+}
+
+impl<T: Transport> ClusterStream<T> {
+    pub fn received(&self) -> u64 {
+        self.yielded
+    }
+
+    fn connect_next(&mut self) -> ClientResult<()> {
+        let req = Request::ReadStream {
+            container: self.container.clone(),
+            topics: self.topics.clone(),
+            range: self.range,
+        };
+        let mut last: Option<ClientError> = None;
+        while self.cursor < self.eps.len() {
+            let ep = Arc::clone(&self.eps[self.cursor]);
+            self.cursor += 1;
+            match ep.transport.connect() {
+                Ok(mut conn) => match conn.send_frame(&req.encode()) {
+                    Ok(()) => {
+                        self.skip = self.fetched;
+                        self.current = Some((ep, conn));
+                        return Ok(());
+                    }
+                    Err(e) => {
+                        ep.breaker.lock().unwrap().on_failure();
+                        last = Some(e.into());
+                    }
+                },
+                Err(e) => {
+                    ep.breaker.lock().unwrap().on_failure();
+                    last = Some(e.into());
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| no_nodes(&self.container)))
+    }
+
+    fn failover(&mut self) -> Option<ClientError> {
+        bora_obs::counter("cluster.failover").inc();
+        if let Some((ep, _)) = self.current.take() {
+            ep.breaker.lock().unwrap().on_failure();
+        }
+        self.connect_next().err()
+    }
+
+    /// Pull frames until the buffer has a message, the stream ends, or
+    /// an unrecoverable error surfaces.
+    fn fill(&mut self) -> Option<ClientError> {
+        loop {
+            if self.done || !self.buffer.is_empty() {
+                return None;
+            }
+            let Some((_, conn)) = self.current.as_mut() else {
+                return Some(no_nodes(&self.container));
+            };
+            let frame = match conn.recv_frame() {
+                Ok(f) => f,
+                Err(_) => {
+                    if let Some(e) = self.failover() {
+                        return Some(e);
+                    }
+                    continue;
+                }
+            };
+            match Response::decode(&frame) {
+                Ok(Response::StreamChunk(msgs)) => {
+                    for m in msgs {
+                        if self.skip > 0 {
+                            self.skip -= 1;
+                        } else {
+                            self.fetched += 1;
+                            self.buffer.push_back(m);
+                        }
+                    }
+                }
+                Ok(Response::StreamEnd { .. }) => {
+                    if let Some((ep, _)) = self.current.take() {
+                        ep.breaker.lock().unwrap().on_success();
+                    }
+                    self.done = true;
+                }
+                Ok(Response::Overloaded) => {
+                    if let Some(e) = self.failover() {
+                        return Some(e);
+                    }
+                }
+                Ok(Response::Error { code, message }) => {
+                    let err = ClientError::Server { code, message };
+                    if should_failover(&err) {
+                        if let Some(e) = self.failover() {
+                            return Some(e);
+                        }
+                    } else {
+                        self.done = true;
+                        return Some(err);
+                    }
+                }
+                Ok(other) => {
+                    self.done = true;
+                    return Some(ClientError::Proto(ProtoError(format!(
+                        "unexpected response in READ_STREAM: {other:?}"
+                    ))));
+                }
+                Err(_) => {
+                    // Undecodable frame: treat as a desynchronized
+                    // stream, same as a transport fault.
+                    if let Some(e) = self.failover() {
+                        return Some(e);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: Transport> Iterator for ClusterStream<T> {
+    type Item = ClientResult<WireMessage>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(m) = self.buffer.pop_front() {
+            self.yielded += 1;
+            return Some(Ok(m));
+        }
+        if self.done {
+            return None;
+        }
+        if let Some(e) = self.fill() {
+            self.done = true;
+            return Some(Err(e));
+        }
+        self.buffer.pop_front().map(|m| {
+            self.yielded += 1;
+            Ok(m)
+        })
+    }
+}
+
+// ------------------------------------------------------------ k-way merge
+
+/// Chronological k-way heap merge over per-container cluster streams.
+///
+/// Each lane is a [`ClusterStream`] (so lanes fail over independently);
+/// the heap orders by `(time, lane index)` — the stable tie-break that
+/// makes the merged order deterministic across runs and across node
+/// deaths.
+pub struct MergedStream<T: Transport> {
+    lanes: Vec<ClusterStream<T>>,
+    heads: Vec<Option<WireMessage>>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    failed: bool,
+}
+
+impl<T: Transport> MergedStream<T> {
+    fn new(mut lanes: Vec<ClusterStream<T>>) -> ClientResult<Self> {
+        let mut heads = Vec::with_capacity(lanes.len());
+        let mut heap = BinaryHeap::with_capacity(lanes.len());
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            match lane.next() {
+                Some(Ok(m)) => {
+                    heap.push(Reverse((m.time.as_nanos(), i)));
+                    heads.push(Some(m));
+                }
+                Some(Err(e)) => return Err(e),
+                None => heads.push(None),
+            }
+        }
+        Ok(MergedStream { lanes, heads, heap, failed: false })
+    }
+}
+
+impl<T: Transport> Iterator for MergedStream<T> {
+    type Item = ClientResult<WireMessage>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let Reverse((_, lane)) = self.heap.pop()?;
+        let out = self.heads[lane].take().expect("heap entry implies a head");
+        match self.lanes[lane].next() {
+            Some(Ok(m)) => {
+                self.heap.push(Reverse((m.time.as_nanos(), lane)));
+                self.heads[lane] = Some(m);
+            }
+            Some(Err(e)) => {
+                self.failed = true;
+                return Some(Err(e));
+            }
+            None => {}
+        }
+        Some(Ok(out))
+    }
+}

@@ -1,0 +1,300 @@
+//! Consistent-hash placement: which nodes hold which containers.
+//!
+//! A [`Ring`] scatters `vnodes` virtual points per node over the u64
+//! hash circle; a container's replica set is the first `replication`
+//! *distinct* nodes clockwise from the container's own hash point. The
+//! two properties the serving tier leans on:
+//!
+//! * **determinism** — every router and every node computes the same
+//!   directory from the same membership list, so there is no directory
+//!   service to keep consistent (the membership list is the directory);
+//! * **minimal movement** — adding or removing one node only remaps the
+//!   arcs adjacent to that node's points: on average `K/N` of `K` keys
+//!   move, never a full reshuffle. [`Ring::reshard`] turns the
+//!   before/after delta into an explicit [`MigrationPlan`] whose
+//!   [`MigrationPlan::batches`] bound how many copies run at once
+//!   (migration must not starve serving traffic).
+
+use std::collections::{BTreeSet, HashSet};
+
+/// Cluster-unique node identifier (also the wire `server_id`).
+pub type NodeId = u32;
+
+/// Ring shape knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Virtual points per node. More vnodes → smoother balance at the
+    /// cost of a larger point table; 64 keeps the max/ideal load ratio
+    /// under ~2x (property-tested in `tests/ring.rs`).
+    pub vnodes: u32,
+    /// Replica count per container (owner + `replication - 1` backups).
+    /// Clamped to the live node count when the ring is smaller.
+    pub replication: usize,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig { vnodes: 64, replication: 2 }
+    }
+}
+
+/// SplitMix64 finalizer — cheap, well-distributed, dependency-free.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hash a container root onto the circle (FNV-1a mixed through
+/// SplitMix64 so short, similar paths still spread).
+pub fn hash_key(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+fn vnode_point(node: NodeId, replica: u32) -> u64 {
+    splitmix64((u64::from(node) << 32) | u64::from(replica))
+}
+
+/// The placement function: membership + config → directory.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    cfg: RingConfig,
+    nodes: BTreeSet<NodeId>,
+    /// Sorted `(point, node)` pairs — the materialized circle.
+    points: Vec<(u64, NodeId)>,
+}
+
+impl Ring {
+    pub fn new(cfg: RingConfig) -> Self {
+        assert!(cfg.vnodes > 0, "ring needs at least one vnode per node");
+        assert!(cfg.replication > 0, "replication factor must be >= 1");
+        Ring { cfg, nodes: BTreeSet::new(), points: Vec::new() }
+    }
+
+    /// A ring over nodes `0..n`.
+    pub fn with_nodes(cfg: RingConfig, n: u32) -> Self {
+        let mut ring = Ring::new(cfg);
+        for id in 0..n {
+            ring.add_node(id);
+        }
+        ring
+    }
+
+    pub fn config(&self) -> RingConfig {
+        self.cfg
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains(&id)
+    }
+
+    /// Effective replica count: `replication` clamped to membership.
+    pub fn replication(&self) -> usize {
+        self.cfg.replication.min(self.nodes.len())
+    }
+
+    pub fn add_node(&mut self, id: NodeId) {
+        if !self.nodes.insert(id) {
+            return;
+        }
+        for r in 0..self.cfg.vnodes {
+            let p = (vnode_point(id, r), id);
+            let at = self.points.partition_point(|x| *x < p);
+            self.points.insert(at, p);
+        }
+    }
+
+    pub fn remove_node(&mut self, id: NodeId) {
+        if self.nodes.remove(&id) {
+            self.points.retain(|(_, n)| *n != id);
+        }
+    }
+
+    /// The container's replica set, owner first. Deterministic in the
+    /// membership list; empty only for an empty ring.
+    pub fn replicas(&self, key: &str) -> Vec<NodeId> {
+        let want = self.replication();
+        let mut out = Vec::with_capacity(want);
+        if want == 0 {
+            return out;
+        }
+        let start = self.points.partition_point(|(p, _)| *p < hash_key(key));
+        let n = self.points.len();
+        for i in 0..n {
+            let (_, node) = self.points[(start + i) % n];
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The container's primary node.
+    pub fn owner(&self, key: &str) -> Option<NodeId> {
+        self.replicas(key).first().copied()
+    }
+
+    /// Explicit copy plan for a membership change: for every key whose
+    /// replica set gained nodes, one [`Move`] per gained node, sourced
+    /// from a holder that survives into `after` (falling back to any
+    /// `before` holder when the whole old set left). `dropped` lists
+    /// `(key, node)` pairs a node may now evict — informational; eviction
+    /// is lazy (the LRU cache gets to it) rather than part of the plan.
+    pub fn reshard(before: &Ring, after: &Ring, keys: &[String]) -> MigrationPlan {
+        let mut moves = Vec::new();
+        let mut dropped = Vec::new();
+        for key in keys {
+            let old = before.replicas(key);
+            let new = after.replicas(key);
+            let old_set: HashSet<NodeId> = old.iter().copied().collect();
+            let new_set: HashSet<NodeId> = new.iter().copied().collect();
+            let source = old
+                .iter()
+                .find(|n| new_set.contains(n) || after.contains(**n))
+                .or_else(|| old.first())
+                .copied();
+            for n in &new {
+                if !old_set.contains(n) {
+                    if let Some(from) = source {
+                        moves.push(Move { container: key.clone(), from, to: *n });
+                    }
+                }
+            }
+            for n in &old {
+                if !new_set.contains(n) {
+                    dropped.push((key.clone(), *n));
+                }
+            }
+        }
+        MigrationPlan { moves, dropped }
+    }
+}
+
+/// One container copy: `from` streams the tree to `to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Move {
+    pub container: String,
+    pub from: NodeId,
+    pub to: NodeId,
+}
+
+/// The copies a membership change requires, plus the replicas it
+/// obsoletes.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationPlan {
+    pub moves: Vec<Move>,
+    pub dropped: Vec<(String, NodeId)>,
+}
+
+impl MigrationPlan {
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Throttle: at most `max_inflight` copies per batch. Batches run
+    /// one after another so a reshard never floods the fabric that is
+    /// also carrying query traffic.
+    pub fn batches(&self, max_inflight: usize) -> impl Iterator<Item = &[Move]> {
+        self.moves.chunks(max_inflight.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_are_distinct_and_deterministic() {
+        let ring = Ring::with_nodes(RingConfig { vnodes: 64, replication: 3 }, 5);
+        for i in 0..200 {
+            let key = format!("/c/bag{i}");
+            let r = ring.replicas(&key);
+            assert_eq!(r.len(), 3);
+            let set: HashSet<_> = r.iter().collect();
+            assert_eq!(set.len(), 3, "replicas must be distinct nodes");
+            assert_eq!(r, ring.replicas(&key), "same ring, same placement");
+            assert_eq!(r[0], ring.owner(&key).unwrap());
+        }
+    }
+
+    #[test]
+    fn replication_clamps_to_membership() {
+        let ring = Ring::with_nodes(RingConfig { vnodes: 16, replication: 3 }, 2);
+        assert_eq!(ring.replication(), 2);
+        assert_eq!(ring.replicas("/c/x").len(), 2);
+        let empty = Ring::new(RingConfig::default());
+        assert!(empty.replicas("/c/x").is_empty());
+        assert_eq!(empty.owner("/c/x"), None);
+    }
+
+    #[test]
+    fn join_only_pulls_keys_it_gains() {
+        let keys: Vec<String> = (0..300).map(|i| format!("/c/bag{i}")).collect();
+        let before = Ring::with_nodes(RingConfig { vnodes: 64, replication: 2 }, 4);
+        let mut after = before.clone();
+        after.add_node(4);
+        let plan = Ring::reshard(&before, &after, &keys);
+        // Every move targets the new node; sources are old holders.
+        for m in &plan.moves {
+            assert_eq!(m.to, 4);
+            assert!(before.replicas(&m.container).contains(&m.from));
+        }
+        // Keys whose replica set is unchanged appear nowhere.
+        let touched: HashSet<&str> = plan.moves.iter().map(|m| m.container.as_str()).collect();
+        for k in &keys {
+            if before.replicas(k) == after.replicas(k) {
+                assert!(!touched.contains(k.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn leave_sources_copies_from_survivors() {
+        let keys: Vec<String> = (0..300).map(|i| format!("/c/bag{i}")).collect();
+        let before = Ring::with_nodes(RingConfig { vnodes: 64, replication: 2 }, 4);
+        let mut after = before.clone();
+        after.remove_node(2);
+        let plan = Ring::reshard(&before, &after, &keys);
+        for m in &plan.moves {
+            assert_ne!(m.from, 2, "dead node cannot source a copy");
+            assert_ne!(m.to, 2);
+        }
+        // Node 2's replicas all show up as dropped.
+        assert!(plan.dropped.iter().all(|(_, n)| *n == 2));
+    }
+
+    #[test]
+    fn batches_respect_throttle() {
+        let keys: Vec<String> = (0..200).map(|i| format!("/c/bag{i}")).collect();
+        let before = Ring::with_nodes(RingConfig { vnodes: 64, replication: 2 }, 3);
+        let mut after = before.clone();
+        after.add_node(3);
+        let plan = Ring::reshard(&before, &after, &keys);
+        assert!(!plan.is_empty());
+        let batches: Vec<_> = plan.batches(4).collect();
+        assert!(batches.iter().all(|b| b.len() <= 4));
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, plan.moves.len());
+    }
+}

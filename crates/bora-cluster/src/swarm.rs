@@ -1,0 +1,74 @@
+//! Swarm queries over the cluster: [`ClusterBackend`] plugs the router
+//! into `bora`'s generic swarm fan-out.
+//!
+//! `bora::SwarmQuery` fans one query per robot over scoped threads; its
+//! [`bora::SwarmBackend`] trait decides where each robot's query runs.
+//! This backend routes each robot's container to the cluster node(s)
+//! holding it — with the router's failover and hedging intact — so a
+//! "Bullet Time" extraction keeps working through a node death.
+
+use std::time::Instant;
+
+use bora::{BoraError, BoraResult, SwarmBackend, SwarmSpec};
+use bora_serve::{ClientError, Transport, WireMessage};
+use rosbag::MessageRecord;
+
+use crate::client::ClusterClient;
+
+/// A [`SwarmBackend`] that answers each robot from the cluster.
+pub struct ClusterBackend<'c, T: Transport> {
+    pub client: &'c ClusterClient<T>,
+}
+
+fn to_record(m: WireMessage) -> MessageRecord {
+    MessageRecord { conn_id: 0, topic: m.topic, time: m.time, data: m.data }
+}
+
+fn to_bora_error(e: ClientError) -> BoraError {
+    match e {
+        ClientError::Server { code: bora_serve::ErrorCode::UnknownTopic, message } => {
+            BoraError::UnknownTopic(message)
+        }
+        ClientError::Server { code: bora_serve::ErrorCode::NotAContainer, message } => {
+            BoraError::NotAContainer(message)
+        }
+        other => BoraError::Fs(simfs::FsError::Io(other.to_string())),
+    }
+}
+
+impl<T> SwarmBackend for ClusterBackend<'_, T>
+where
+    T: Transport + Send + Sync + 'static,
+{
+    fn query_robot(
+        &self,
+        root: &str,
+        spec: &SwarmSpec,
+        _swarm_size: u32,
+    ) -> BoraResult<(Vec<MessageRecord>, u64)> {
+        let topics: Vec<&str> = spec.topics.iter().map(String::as_str).collect();
+        let started = Instant::now();
+        let msgs = match spec.range {
+            Some((start, end)) => self.client.read_time(root, &topics, start, end),
+            None => self.client.read(root, &topics),
+        }
+        .map_err(to_bora_error)?;
+        // Serving moves the cost model behind the wire, so the robot's
+        // clock is the observed wall time of the routed query (which is
+        // what hedging/failover actually change).
+        let elapsed = started.elapsed().as_nanos() as u64;
+        Ok((msgs.into_iter().map(to_record).collect(), elapsed))
+    }
+}
+
+/// Fan a swarm query over the cluster: one routed query per robot.
+pub fn swarm_query<T>(
+    client: &ClusterClient<T>,
+    roots: &[String],
+    spec: &SwarmSpec,
+) -> BoraResult<bora::SwarmResult>
+where
+    T: Transport + Send + Sync + 'static,
+{
+    bora::swarm_fan_out(&ClusterBackend { client }, roots, spec)
+}

@@ -1,0 +1,137 @@
+//! Property tests for the consistent-hash ring: balance and minimal
+//! movement, the two claims the serving tier's scaling rests on.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use bora_cluster::{NodeId, Ring, RingConfig};
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("/c/mission{:04}/bag{i}", i % 37)).collect()
+}
+
+fn owner_loads(ring: &Ring, keys: &[String]) -> HashMap<NodeId, usize> {
+    let mut loads: HashMap<NodeId, usize> = ring.nodes().map(|n| (n, 0)).collect();
+    for k in keys {
+        *loads.get_mut(&ring.owner(k).unwrap()).unwrap() += 1;
+    }
+    loads
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With >= 64 vnodes, the most-loaded node owns at most 2x its ideal
+    /// share (the balance level replica-spread routing depends on).
+    #[test]
+    fn owner_balance_within_2x_ideal(
+        nodes in 2u32..9,
+        vnodes in 64u32..129,
+        replication in 1usize..4,
+    ) {
+        let ring = Ring::with_nodes(RingConfig { vnodes, replication }, nodes);
+        let ks = keys(1500);
+        let loads = owner_loads(&ring, &ks);
+        let ideal = ks.len() as f64 / nodes as f64;
+        let max = *loads.values().max().unwrap() as f64;
+        prop_assert!(
+            max <= 2.0 * ideal,
+            "max owner load {max} > 2x ideal {ideal} (n={nodes}, vnodes={vnodes})"
+        );
+        // Every node owns something (no starved node).
+        prop_assert!(loads.values().all(|&l| l > 0), "{loads:?}");
+    }
+
+    /// Replica-set load (every holder, not just the owner) stays within
+    /// 2x ideal too — this is what bounds per-node cache footprint.
+    #[test]
+    fn replica_balance_within_2x_ideal(nodes in 3u32..9, replication in 2usize..4) {
+        let ring = Ring::with_nodes(RingConfig { vnodes: 64, replication }, nodes);
+        let ks = keys(1500);
+        let mut loads: HashMap<NodeId, usize> = ring.nodes().map(|n| (n, 0)).collect();
+        for k in &ks {
+            for n in ring.replicas(k) {
+                *loads.get_mut(&n).unwrap() += 1;
+            }
+        }
+        let r = replication.min(nodes as usize);
+        let ideal = ks.len() as f64 * r as f64 / nodes as f64;
+        let max = *loads.values().max().unwrap() as f64;
+        prop_assert!(max <= 2.0 * ideal, "max replica load {max} > 2x ideal {ideal}");
+    }
+
+    /// A join moves at most ~R*K/(N+1) keys (2x slack): consistent
+    /// hashing's minimal-movement property, measured through the
+    /// explicit migration plan.
+    #[test]
+    fn join_moves_at_most_its_share(nodes in 2u32..9, replication in 1usize..4) {
+        let ks = keys(1200);
+        let before = Ring::with_nodes(RingConfig { vnodes: 64, replication }, nodes);
+        let mut after = before.clone();
+        after.add_node(nodes);
+        let plan = Ring::reshard(&before, &after, &ks);
+        let r = replication.min(nodes as usize + 1) as f64;
+        let bound = 2.0 * r * ks.len() as f64 / (nodes as f64 + 1.0) + 8.0;
+        prop_assert!(
+            (plan.moves.len() as f64) <= bound,
+            "join moved {} containers, bound {bound} (n={nodes}, r={replication})",
+            plan.moves.len()
+        );
+        // Untouched keys keep their exact replica sets.
+        let moved: std::collections::HashSet<&str> =
+            plan.moves.iter().map(|m| m.container.as_str()).collect();
+        for k in &ks {
+            if !moved.contains(k.as_str()) {
+                prop_assert_eq!(before.replicas(k), after.replicas(k));
+            }
+        }
+    }
+
+    /// A leave re-homes only the leaver's share (2x slack). With R >= 2
+    /// a surviving holder always exists, so no copy may be sourced from
+    /// the node that left (with R = 1 the leaver is the *only* holder —
+    /// a graceful decommission must copy off it).
+    #[test]
+    fn leave_moves_at_most_its_share(nodes in 3u32..9, replication in 1usize..4) {
+        let ks = keys(1200);
+        let before = Ring::with_nodes(RingConfig { vnodes: 64, replication }, nodes);
+        let leaver: NodeId = nodes / 2;
+        let mut after = before.clone();
+        after.remove_node(leaver);
+        let plan = Ring::reshard(&before, &after, &ks);
+        let r = replication.min(nodes as usize) as f64;
+        let bound = 2.0 * r * ks.len() as f64 / nodes as f64 + 8.0;
+        prop_assert!(
+            (plan.moves.len() as f64) <= bound,
+            "leave moved {} containers, bound {bound}",
+            plan.moves.len()
+        );
+        for m in &plan.moves {
+            if replication >= 2 {
+                prop_assert!(m.from != leaver, "copy sourced from the departed node");
+            }
+            prop_assert!(m.to != leaver);
+        }
+    }
+
+    /// Placement is a pure function of membership: rebuilding the ring
+    /// in any insertion order yields identical replica sets.
+    #[test]
+    fn placement_ignores_join_order(nodes in 2u32..8, seed in any::<u64>()) {
+        let cfg = RingConfig { vnodes: 64, replication: 2 };
+        let forward = Ring::with_nodes(cfg, nodes);
+        let mut shuffled = Ring::new(cfg);
+        let mut order: Vec<NodeId> = (0..nodes).collect();
+        // Deterministic pseudo-shuffle driven by the seed.
+        for i in (1..order.len()).rev() {
+            order.swap(i, (seed as usize).wrapping_mul(i + 7) % (i + 1));
+        }
+        for id in order {
+            shuffled.add_node(id);
+        }
+        for k in keys(200) {
+            prop_assert_eq!(forward.replicas(&k), shuffled.replicas(&k));
+        }
+    }
+}

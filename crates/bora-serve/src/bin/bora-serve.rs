@@ -124,6 +124,7 @@ fn main() {
             workers: args.workers,
             queue_capacity: args.queue,
             cache_capacity: args.cache,
+            ..ServerConfig::default()
         },
     );
     let listener = match spawn_tcp_listener(Arc::clone(&server), args.listen) {

@@ -13,7 +13,7 @@
 //! exceeding capacity) rather than stalling the pool — capacity bounds
 //! the *idle* footprint, pins bound the in-flight one.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use bora::{BoraBag, BoraResult};
 use parking_lot::Mutex;
@@ -42,6 +42,11 @@ struct Entry<S> {
 
 struct Inner<S> {
     entries: HashMap<String, Entry<S>>,
+    /// Containers this server *owns* under a cluster placement (empty for
+    /// a standalone server). Eviction takes non-preferred (replica-read)
+    /// entries first, so failover and hedge traffic against replicas
+    /// cannot churn the owner's working set out of its own cache.
+    preferred: HashSet<String>,
     tick: u64,
     next_generation: u64,
     hits: u64,
@@ -93,6 +98,7 @@ impl<S: Storage + Clone> HandleCache<S> {
         HandleCache {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
+                preferred: HashSet::new(),
                 tick: 0,
                 next_generation: 0,
                 hits: 0,
@@ -161,6 +167,12 @@ impl<S: Storage + Clone> HandleCache<S> {
         self.inner.lock().entries.remove(root).is_some()
     }
 
+    /// Replace the preferred (owned) container set. Preferred entries are
+    /// evicted only once every unpinned non-preferred entry is gone.
+    pub fn set_preferred<I: IntoIterator<Item = String>>(&self, roots: I) {
+        self.inner.lock().preferred = roots.into_iter().collect();
+    }
+
     /// Outstanding pins on `root` (0 if not cached). Streaming reads hold
     /// a pin for the whole stream lifetime; tests use this to check the
     /// pin is released when a client abandons a stream mid-flight.
@@ -179,19 +191,24 @@ impl<S: Storage + Clone> HandleCache<S> {
         }
     }
 
-    /// Evict least-recently-touched unpinned entries down to capacity.
+    /// Evict least-recently-touched unpinned entries down to capacity,
+    /// taking non-preferred (replica) entries before preferred (owned)
+    /// ones regardless of recency.
     fn evict_excess(&self, inner: &mut Inner<S>) {
         while inner.entries.len() > self.capacity {
             let victim = inner
                 .entries
                 .iter()
                 .filter(|(_, e)| e.pins == 0)
-                .min_by_key(|(_, e)| e.touched)
-                .map(|(k, _)| k.clone());
+                .min_by_key(|(k, e)| (inner.preferred.contains(*k), e.touched))
+                .map(|(k, _)| (k.clone(), inner.preferred.contains(k.as_str())));
             match victim {
-                Some(k) => {
+                Some((k, preferred)) => {
                     inner.entries.remove(&k);
                     inner.evictions += 1;
+                    if !preferred && !inner.preferred.is_empty() {
+                        bora_obs::counter("serve.evict_replica").inc();
+                    }
                 }
                 // Everything is pinned: run over capacity until pins drop.
                 None => break,
@@ -271,6 +288,32 @@ mod tests {
         // Unpinned now: the next distinct open can evict it.
         let _other = cache.get_or_open(&fs, "/c/bag1", &mut ctx).unwrap();
         assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn preferred_entries_outlive_replica_entries() {
+        let fs = make_containers(4);
+        let cache: HandleCache<Arc<MemStorage>> = HandleCache::new(2);
+        cache.set_preferred(["/c/bag0".to_owned()]);
+        let mut ctx = IoCtx::new();
+
+        // bag0 (owned) is the LRU, bag1 (replica) recently touched; the
+        // next admission must still evict bag1, not the owned handle.
+        cache.get_or_open(&fs, "/c/bag0", &mut ctx).unwrap();
+        cache.get_or_open(&fs, "/c/bag1", &mut ctx).unwrap();
+        cache.get_or_open(&fs, "/c/bag2", &mut ctx).unwrap();
+        assert!(
+            cache.get_or_open(&fs, "/c/bag0", &mut ctx).unwrap().was_hit,
+            "owned entry must survive replica churn"
+        );
+        assert!(!cache.get_or_open(&fs, "/c/bag1", &mut ctx).unwrap().was_hit);
+
+        // With only owned entries left they evict among themselves: the
+        // preferred set degrades to plain LRU rather than pinning forever.
+        cache.set_preferred(["/c/bag2".to_owned(), "/c/bag3".to_owned()]);
+        cache.get_or_open(&fs, "/c/bag2", &mut ctx).unwrap();
+        cache.get_or_open(&fs, "/c/bag3", &mut ctx).unwrap();
+        assert_eq!(cache.stats().len, 2);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::time::Duration;
 use ros_msgs::Time;
 
 use crate::proto::{
-    ContainerStat, ErrorCode, ProtoError, Request, Response, StatsSnapshot, WireMessage,
+    ContainerStat, ErrorCode, PingInfo, ProtoError, Request, Response, StatsSnapshot, WireMessage,
 };
 use crate::transport::{Connection, Transport};
 
@@ -212,6 +212,15 @@ impl<C: Connection> ServeClient<C> {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             other => Err(unexpected("STATS", &other)),
+        }
+    }
+
+    /// Health probe: server id, uptime, live queue depth. Control-plane,
+    /// so it answers even when the data queue is saturated.
+    pub fn ping(&mut self) -> ClientResult<PingInfo> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong(p) => Ok(p),
+            other => Err(unexpected("PING", &other)),
         }
     }
 
@@ -558,6 +567,12 @@ impl<T: Transport> RetryClient<T> {
         self.run_reset(|c| c.stats())
     }
 
+    /// Health probe. Not retried beyond the policy's normal schedule: a
+    /// probe that needs retries is itself the health signal.
+    pub fn ping(&mut self) -> ClientResult<PingInfo> {
+        self.run_reset(|c| c.ping())
+    }
+
     /// Shutdown is not retried: a lost response is indistinguishable from
     /// a server that already began shutting down, and re-sending it to a
     /// fresh connection would be a new side effect, not a retry.
@@ -674,7 +689,7 @@ mod tests {
         }
     }
 
-    impl Transport for &ScriptedTransport {
+    impl Transport for ScriptedTransport {
         type Conn = ScriptedConn;
         fn connect(&self) -> std::io::Result<ScriptedConn> {
             self.connects.fetch_add(1, Ordering::SeqCst);

@@ -60,7 +60,8 @@ pub mod transport;
 pub use cache::{CacheStats, HandleCache, PinnedBag};
 pub use client::{ClientError, ClientResult, ReadStream, RetryClient, RetryPolicy, ServeClient};
 pub use proto::{
-    ContainerStat, ErrorCode, OpSummary, ProtoError, Request, Response, StatsSnapshot, WireMessage,
+    ContainerStat, ErrorCode, OpSummary, PingInfo, ProtoError, Request, Response, StatsSnapshot,
+    WireMessage,
 };
 pub use server::{Server, ServerConfig};
 pub use transport::{

@@ -40,6 +40,7 @@ const OP_STATS: u8 = 0x06;
 const OP_SHUTDOWN: u8 = 0x07;
 const OP_TRACE: u8 = 0x08;
 const OP_READ_STREAM: u8 = 0x09;
+const OP_PING: u8 = 0x0A;
 
 // Response opcodes (request opcode | 0x80, errors in 0xE0+).
 const OP_OK_OPEN: u8 = 0x81;
@@ -52,6 +53,7 @@ const OP_OK_SHUTDOWN: u8 = 0x87;
 const OP_OK_TRACE: u8 = 0x88;
 const OP_OK_STREAM_CHUNK: u8 = 0x89;
 const OP_OK_STREAM_END: u8 = 0x8A;
+const OP_OK_PONG: u8 = 0x8B;
 const OP_ERROR: u8 = 0xE0;
 const OP_OVERLOADED: u8 = 0xEE;
 
@@ -79,8 +81,26 @@ pub enum Request {
     /// Control-plane (skips the data queue); empty unless the server runs
     /// with tracing enabled (`BORA_TRACE=1`).
     Trace,
+    /// Liveness/health probe. Control-plane (skips the data queue), so a
+    /// saturated server still answers in O(1) — which is exactly what a
+    /// cluster health tracker needs: the reply's queue depth *is* the
+    /// overload signal, not a timeout.
+    Ping,
     /// Stop accepting work and shut the pool down.
     Shutdown,
+}
+
+/// Reply to [`Request::Ping`]: identity plus the two numbers a cluster
+/// health tracker keys routing decisions off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PingInfo {
+    /// The serving node's stable identity within a cluster (0 for a
+    /// standalone server).
+    pub server_id: u32,
+    /// Nanoseconds since the server process started its worker pool.
+    pub uptime_ns: u64,
+    /// Requests sitting in the bounded queue right now.
+    pub queue_depth: u32,
 }
 
 /// Summary counters for one container (`STAT`).
@@ -232,6 +252,8 @@ pub enum Response {
     /// Chrome `trace_event` JSON text drained from the server's span
     /// buffers (see [`Request::Trace`]).
     Trace(String),
+    /// Health-probe reply (see [`Request::Ping`]).
+    Pong(PingInfo),
     ShuttingDown,
     Error {
         code: ErrorCode,
@@ -373,7 +395,7 @@ impl Request {
             | Request::Read { container, .. }
             | Request::ReadStream { container, .. }
             | Request::Stat { container } => Some(container),
-            Request::Stats | Request::Trace | Request::Shutdown => None,
+            Request::Stats | Request::Trace | Request::Ping | Request::Shutdown => None,
         }
     }
 
@@ -388,6 +410,7 @@ impl Request {
             Request::Stat { .. } => "stat",
             Request::Stats => "stats",
             Request::Trace => "trace",
+            Request::Ping => "ping",
             Request::Shutdown => "shutdown",
         }
     }
@@ -445,6 +468,7 @@ impl Request {
             }
             Request::Stats => w = Writer::new(OP_STATS),
             Request::Trace => w = Writer::new(OP_TRACE),
+            Request::Ping => w = Writer::new(OP_PING),
             Request::Shutdown => w = Writer::new(OP_SHUTDOWN),
         }
         w.buf
@@ -478,6 +502,7 @@ impl Request {
             OP_STAT => Request::Stat { container: r.str()? },
             OP_STATS => Request::Stats,
             OP_TRACE => Request::Trace,
+            OP_PING => Request::Ping,
             OP_SHUTDOWN => Request::Shutdown,
             other => return Err(ProtoError(format!("unknown request opcode {other:#04x}"))),
         };
@@ -557,6 +582,12 @@ impl Response {
             Response::Trace(json) => {
                 w = Writer::new(OP_OK_TRACE);
                 w.bytes(json.as_bytes());
+            }
+            Response::Pong(p) => {
+                w = Writer::new(OP_OK_PONG);
+                w.u32(p.server_id);
+                w.u64(p.uptime_ns);
+                w.u32(p.queue_depth);
             }
             Response::ShuttingDown => w = Writer::new(OP_OK_SHUTDOWN),
             Response::Error { code, message } => {
@@ -648,6 +679,11 @@ impl Response {
                         .map_err(|_| ProtoError("non-UTF8 trace document".into()))?,
                 )
             }
+            OP_OK_PONG => Response::Pong(PingInfo {
+                server_id: r.u32()?,
+                uptime_ns: r.u64()?,
+                queue_depth: r.u32()?,
+            }),
             OP_OK_SHUTDOWN => Response::ShuttingDown,
             OP_ERROR => {
                 let code = ErrorCode::from_u8(r.u8()?)
@@ -711,6 +747,7 @@ mod tests {
         roundtrip_req(Request::Stat { container: "/c".into() });
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Trace);
+        roundtrip_req(Request::Ping);
         roundtrip_req(Request::Shutdown);
     }
 
@@ -764,6 +801,12 @@ mod tests {
             cache_capacity: 4,
         }));
         roundtrip_resp(Response::Trace("{\"traceEvents\":[]}".into()));
+        roundtrip_resp(Response::Pong(PingInfo {
+            server_id: 3,
+            uptime_ns: 987_654_321,
+            queue_depth: 17,
+        }));
+        roundtrip_resp(Response::Pong(PingInfo::default()));
         roundtrip_resp(Response::ShuttingDown);
         roundtrip_resp(Response::Error { code: ErrorCode::UnknownTopic, message: "/nope".into() });
         roundtrip_resp(Response::Error {
@@ -796,6 +839,7 @@ mod tests {
             Some("/c")
         );
         assert_eq!(Request::Stats.container(), None);
+        assert_eq!(Request::Ping.container(), None);
         assert_eq!(Request::Shutdown.container(), None);
     }
 

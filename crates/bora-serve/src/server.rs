@@ -30,7 +30,9 @@ use simfs::{ConcurrencyGauge, IoCtx, Storage};
 
 use crate::cache::HandleCache;
 use crate::metrics::Metrics;
-use crate::proto::{ContainerStat, ErrorCode, Request, Response, StatsSnapshot, WireMessage};
+use crate::proto::{
+    ContainerStat, ErrorCode, PingInfo, Request, Response, StatsSnapshot, WireMessage,
+};
 
 /// Messages per [`Response::StreamChunk`] frame. Small enough that the
 /// first result reaches the client while the merge is still running,
@@ -52,11 +54,14 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Container handles kept open in the LRU cache.
     pub cache_capacity: usize,
+    /// Stable identity of this server within a cluster, echoed by `PING`.
+    /// 0 for a standalone deployment.
+    pub server_id: u32,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 4, queue_capacity: 64, cache_capacity: 8 }
+        ServerConfig { workers: 4, queue_capacity: 64, cache_capacity: 8, server_id: 0 }
     }
 }
 
@@ -76,6 +81,8 @@ struct Shared<S> {
     metrics: Metrics,
     gauge: ConcurrencyGauge,
     shutting_down: AtomicBool,
+    server_id: u32,
+    started: Instant,
 }
 
 /// A running bora-serve instance. Cheap to share via `Arc`; transports
@@ -98,6 +105,8 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
             metrics: Metrics::new(),
             gauge: ConcurrencyGauge::new(),
             shutting_down: AtomicBool::new(false),
+            server_id: config.server_id,
+            started: Instant::now(),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -123,6 +132,10 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
     pub fn submit(&self, req: Request) -> Response {
         match req {
             Request::Stats => Response::Stats(self.stats()),
+            // PING answers inline for the same reason STATS does: the
+            // health tracker must hear from an overloaded server, and the
+            // queue depth in the reply is the overload signal itself.
+            Request::Ping => Response::Pong(self.ping()),
             // TRACE drains the process-wide span buffers; like STATS it
             // answers inline so a wedged pool can still be profiled. With
             // tracing disabled the document is just empty.
@@ -246,6 +259,23 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
         }
     }
 
+    /// Health-probe payload (`PING`): identity, uptime, live queue depth.
+    pub fn ping(&self) -> PingInfo {
+        PingInfo {
+            server_id: self.shared.server_id,
+            uptime_ns: self.shared.started.elapsed().as_nanos() as u64,
+            queue_depth: self.tx.len() as u32,
+        }
+    }
+
+    /// Declare which containers this server *owns* (vs merely replicates)
+    /// under a cluster placement. Owned handles are evicted last — a
+    /// burst of replica-read traffic (failover, hedges) cannot churn the
+    /// owner's working set out of its own cache.
+    pub fn set_owned_containers<I: IntoIterator<Item = String>>(&self, roots: I) {
+        self.shared.cache.set_preferred(roots);
+    }
+
     /// Current metrics, including live queue depth and cache counters.
     pub fn stats(&self) -> StatsSnapshot {
         let cache = self.shared.cache.stats();
@@ -326,7 +356,7 @@ fn worker_loop<S: Storage + Clone>(shared: &Shared<S>, rx: &Receiver<Job>) {
         // inline); seeing one here means a transport bypassed submit.
         // They must not hit the metrics table, whose op names are
         // data-plane only.
-        if matches!(req, Request::Stats | Request::Trace | Request::Shutdown) {
+        if matches!(req, Request::Stats | Request::Trace | Request::Ping | Request::Shutdown) {
             let _ = reply.send(Response::Error {
                 code: ErrorCode::BadRequest,
                 message: "control op routed to worker".into(),
@@ -475,10 +505,12 @@ fn handle<S: Storage + Clone>(shared: &Shared<S>, req: Request, ctx: &mut IoCtx)
             }
             // Unreachable: worker_loop filters control-plane ops before
             // dispatching here.
-            Request::Stats | Request::Trace | Request::Shutdown => Ok(Response::Error {
-                code: ErrorCode::BadRequest,
-                message: "control op routed to worker".into(),
-            }),
+            Request::Stats | Request::Trace | Request::Ping | Request::Shutdown => {
+                Ok(Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: "control op routed to worker".into(),
+                })
+            }
         }
     })();
     match result {

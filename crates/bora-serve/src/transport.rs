@@ -44,6 +44,23 @@ pub trait Transport {
     fn connect(&self) -> io::Result<Self::Conn>;
 }
 
+// Delegating impls so shared transports (a cluster client holding one
+// transport per node behind `Arc`) satisfy `Transport` without cloning
+// the underlying listener/dispatcher state.
+impl<T: Transport + ?Sized> Transport for &T {
+    type Conn = T::Conn;
+    fn connect(&self) -> io::Result<Self::Conn> {
+        (**self).connect()
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    type Conn = T::Conn;
+    fn connect(&self) -> io::Result<Self::Conn> {
+        (**self).connect()
+    }
+}
+
 fn eof() -> io::Error {
     io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed connection")
 }

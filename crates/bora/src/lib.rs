@@ -88,7 +88,7 @@ pub use error::{BoraError, BoraResult};
 pub use fsck::{FsckReport, FsckState, RepairOutcome};
 pub use manifest::{Manifest, ManifestEntry};
 pub use meta::ContainerMeta;
-pub use multi::{SwarmQuery, SwarmResult};
+pub use multi::{swarm_fan_out, LocalBackend, SwarmBackend, SwarmQuery, SwarmResult, SwarmSpec};
 pub use organizer::{duplicate, OrganizeReport, OrganizerOptions};
 pub use recorder::{BoraRecorder, RecorderOptions};
 pub use stream::{MessageStream, StreamMessage, StreamOptions, StreamStats};

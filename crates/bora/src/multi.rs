@@ -7,6 +7,14 @@
 //! containers, fans the per-robot queries out over scoped threads, and
 //! returns per-robot results plus the virtual makespan under the declared
 //! concurrency.
+//!
+//! The fan-out is generic over *where* each robot's query executes: a
+//! [`SwarmBackend`] answers one robot's [`SwarmSpec`] and reports the
+//! virtual time it took. [`LocalBackend`] opens the container on local
+//! storage (the original behavior); a serving tier (bora-cluster) can
+//! implement the trait to route each robot to the node owning its
+//! container, and [`swarm_fan_out`] gives it the same scoped-thread
+//! concurrency and makespan accounting for free.
 
 use ros_msgs::Time;
 use rosbag::MessageRecord;
@@ -14,6 +22,103 @@ use simfs::{IoCtx, Storage};
 
 use crate::container::BoraBag;
 use crate::error::{BoraError, BoraResult};
+
+/// What a swarm query asks of every robot: which topics, and optionally
+/// which time window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwarmSpec {
+    pub topics: Vec<String>,
+    /// Half-open `[start, end)` window; `None` reads the whole container.
+    pub range: Option<(Time, Time)>,
+}
+
+impl SwarmSpec {
+    pub fn topics(topics: &[&str]) -> Self {
+        SwarmSpec { topics: topics.iter().map(|t| t.to_string()).collect(), range: None }
+    }
+
+    pub fn topics_time(topics: &[&str], start: Time, end: Time) -> Self {
+        SwarmSpec { range: Some((start, end)), ..SwarmSpec::topics(topics) }
+    }
+}
+
+/// Executes one robot's share of a swarm query.
+///
+/// `swarm_size` is the total number of robots queried concurrently —
+/// backends that model contention (virtual-time storage) or plan fan-out
+/// (a cluster router sizing connection pools) need it; others may ignore
+/// it. Returns the robot's messages plus its virtual elapsed nanoseconds.
+pub trait SwarmBackend: Sync {
+    fn query_robot(
+        &self,
+        root: &str,
+        spec: &SwarmSpec,
+        swarm_size: u32,
+    ) -> BoraResult<(Vec<MessageRecord>, u64)>;
+}
+
+/// The original in-process backend: open the container on `storage` and
+/// query it under the swarm's contention regime.
+pub struct LocalBackend<'s, S> {
+    pub storage: &'s S,
+}
+
+impl<S: Storage + Sync> SwarmBackend for LocalBackend<'_, S> {
+    fn query_robot(
+        &self,
+        root: &str,
+        spec: &SwarmSpec,
+        swarm_size: u32,
+    ) -> BoraResult<(Vec<MessageRecord>, u64)> {
+        let mut ctx = IoCtx::with_concurrency(swarm_size);
+        let bag = BoraBag::open(self.storage, root, &mut ctx)?;
+        let topics: Vec<&str> = spec.topics.iter().map(|t| t.as_str()).collect();
+        let msgs = match spec.range {
+            Some((start, end)) => bag.read_topics_time(&topics, start, end, &mut ctx)?,
+            None => bag.read_topics(&topics, &mut ctx)?,
+        };
+        Ok((msgs, ctx.elapsed_ns()))
+    }
+}
+
+/// Run `spec` for every root concurrently on `backend` (one scoped thread
+/// per robot) and fold the per-robot virtual clocks into makespan/total.
+pub fn swarm_fan_out<B: SwarmBackend>(
+    backend: &B,
+    roots: &[String],
+    spec: &SwarmSpec,
+) -> BoraResult<SwarmResult> {
+    if roots.is_empty() {
+        return Err(BoraError::Corrupt("swarm with zero robots".into()));
+    }
+    let n = roots.len();
+    let mut slots: Vec<BoraResult<(Vec<MessageRecord>, u64)>> =
+        (0..n).map(|_| Ok((Vec::new(), 0))).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let root = &roots[i];
+            handles.push(scope.spawn(move |_| {
+                *slot = backend.query_robot(root, spec, n as u32);
+            }));
+        }
+        for h in handles {
+            h.join().expect("swarm worker panicked");
+        }
+    })
+    .expect("swarm scope failed");
+
+    let mut per_robot = Vec::with_capacity(n);
+    let mut makespan = 0u64;
+    let mut total = 0u64;
+    for slot in slots {
+        let (msgs, ns) = slot?;
+        makespan = makespan.max(ns);
+        total += ns;
+        per_robot.push(msgs);
+    }
+    Ok(SwarmResult { per_robot, makespan_ns: makespan, total_ns: total })
+}
 
 /// Result of one swarm-wide query.
 pub struct SwarmResult {
@@ -54,52 +159,9 @@ impl<'s, S: Storage> SwarmQuery<'s, S> {
         self.roots.len()
     }
 
-    /// Run `query` for every robot concurrently. Each robot's `IoCtx`
-    /// declares the whole swarm as its concurrency, so cost models apply
-    /// the paper's contention regime.
-    fn fan_out<F>(&self, query: F) -> BoraResult<SwarmResult>
-    where
-        F: Fn(&BoraBag<&'s S>, &mut IoCtx) -> BoraResult<Vec<MessageRecord>> + Sync,
-    {
-        let n = self.roots.len();
-        let mut slots: Vec<BoraResult<(Vec<MessageRecord>, u64)>> =
-            (0..n).map(|_| Ok((Vec::new(), 0))).collect();
-        crossbeam::thread::scope(|scope| {
-            let query = &query;
-            let mut handles = Vec::with_capacity(n);
-            for (i, slot) in slots.iter_mut().enumerate() {
-                let root = &self.roots[i];
-                let storage = self.storage;
-                handles.push(scope.spawn(move |_| {
-                    let mut ctx = IoCtx::with_concurrency(n as u32);
-                    *slot = (|| {
-                        let bag = BoraBag::open(storage, root, &mut ctx)?;
-                        let msgs = query(&bag, &mut ctx)?;
-                        Ok((msgs, ctx.elapsed_ns()))
-                    })();
-                }));
-            }
-            for h in handles {
-                h.join().expect("swarm worker panicked");
-            }
-        })
-        .expect("swarm scope failed");
-
-        let mut per_robot = Vec::with_capacity(n);
-        let mut makespan = 0u64;
-        let mut total = 0u64;
-        for slot in slots {
-            let (msgs, ns) = slot?;
-            makespan = makespan.max(ns);
-            total += ns;
-            per_robot.push(msgs);
-        }
-        Ok(SwarmResult { per_robot, makespan_ns: makespan, total_ns: total })
-    }
-
     /// Same topics from every robot (the multi-angle extraction).
     pub fn read_topics(&self, topics: &[&str]) -> BoraResult<SwarmResult> {
-        self.fan_out(|bag, ctx| bag.read_topics(topics, ctx))
+        self.run(&SwarmSpec::topics(topics))
     }
 
     /// Same topics and time window from every robot ("Bullet Time").
@@ -109,7 +171,15 @@ impl<'s, S: Storage> SwarmQuery<'s, S> {
         start: Time,
         end: Time,
     ) -> BoraResult<SwarmResult> {
-        self.fan_out(move |bag, ctx| bag.read_topics_time(topics, start, end, ctx))
+        self.run(&SwarmSpec::topics_time(topics, start, end))
+    }
+
+    /// Fan an arbitrary [`SwarmSpec`] out over the local backend.
+    pub fn run(&self, spec: &SwarmSpec) -> BoraResult<SwarmResult>
+    where
+        S: Sync,
+    {
+        swarm_fan_out(&LocalBackend { storage: self.storage }, &self.roots, spec)
     }
 }
 
@@ -182,6 +252,39 @@ mod tests {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
         assert!(SwarmQuery::open(&fs, &[], &mut ctx).is_err());
+    }
+
+    #[test]
+    fn custom_backend_drives_fan_out() {
+        // A backend that fabricates one message per robot and a virtual
+        // clock derived from the root name — checks that swarm_fan_out
+        // passes the spec/size through and folds clocks correctly.
+        struct Fake;
+        impl SwarmBackend for Fake {
+            fn query_robot(
+                &self,
+                root: &str,
+                spec: &SwarmSpec,
+                swarm_size: u32,
+            ) -> BoraResult<(Vec<MessageRecord>, u64)> {
+                assert_eq!(swarm_size, 3);
+                assert_eq!(spec.topics, vec!["/imu".to_string()]);
+                let idx: u64 = root.trim_start_matches("/c").parse().unwrap();
+                let rec = MessageRecord {
+                    conn_id: 0,
+                    topic: spec.topics[0].clone(),
+                    time: Time::new(idx as u32, 0),
+                    data: vec![idx as u8],
+                };
+                Ok((vec![rec], (idx + 1) * 100))
+            }
+        }
+        let roots: Vec<String> = (0..3).map(|i| format!("/c{i}")).collect();
+        let res = swarm_fan_out(&Fake, &roots, &SwarmSpec::topics(&["/imu"])).unwrap();
+        assert_eq!(res.message_count(), 3);
+        assert_eq!(res.makespan_ns, 300);
+        assert_eq!(res.total_ns, 600);
+        assert_eq!(res.per_robot[2][0].data, vec![2]);
     }
 
     #[test]

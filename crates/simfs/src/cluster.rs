@@ -17,9 +17,12 @@
 //! its server, and the total time is the maximum over servers (parallel
 //! service) plus the network share — exactly how a striped read behaves.
 
+use std::collections::HashSet;
+use std::sync::Mutex;
+
 use crate::clock::{path_key, IoCtx};
 use crate::device::{DeviceModel, NetModel};
-use crate::error::FsResult;
+use crate::error::{FsError, FsResult};
 use crate::mem::MemStorage;
 use crate::storage::{DirEntry, Metadata, Storage};
 
@@ -73,11 +76,17 @@ impl ClusterConfig {
 pub struct ClusterStorage {
     mem: MemStorage,
     cfg: ClusterConfig,
+    /// Fault injection: indices of data servers currently down. A transfer
+    /// touching any dead server's stripes fails (a striped file is only as
+    /// available as every server holding a piece of the requested range);
+    /// metadata survives until the *whole* cluster is down (PVFS
+    /// distributes it; Lustre's MDS is a separate machine).
+    dead: Mutex<HashSet<u32>>,
 }
 
 impl ClusterStorage {
     pub fn new(cfg: ClusterConfig) -> Self {
-        ClusterStorage { mem: MemStorage::new(), cfg }
+        ClusterStorage { mem: MemStorage::new(), cfg, dead: Mutex::new(HashSet::new()) }
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -86,6 +95,69 @@ impl ClusterStorage {
 
     pub fn mem(&self) -> &MemStorage {
         &self.mem
+    }
+
+    /// Mark data server `idx` dead: subsequent transfers with a stripe on
+    /// it fail with [`FsError::Io`]. Out-of-range indices are ignored.
+    pub fn kill_server(&self, idx: u32) {
+        if idx < self.cfg.data_servers {
+            self.dead.lock().unwrap().insert(idx);
+        }
+    }
+
+    /// Bring data server `idx` back.
+    pub fn revive_server(&self, idx: u32) {
+        self.dead.lock().unwrap().remove(&idx);
+    }
+
+    /// Kill every data server — all data *and* metadata ops fail until a
+    /// revive. Models a whole-node (or fabric partition) loss.
+    pub fn fail_all(&self) {
+        let mut dead = self.dead.lock().unwrap();
+        dead.extend(0..self.cfg.data_servers);
+    }
+
+    /// Revive every data server.
+    pub fn revive_all(&self) {
+        self.dead.lock().unwrap().clear();
+    }
+
+    /// Currently-dead data server indices (sorted).
+    pub fn dead_servers(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.dead.lock().unwrap().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Fail if any stripe of `[offset, offset+len)` lands on a dead
+    /// server. Checked before costing: the client learns of the fault via
+    /// an RPC timeout, not by paying for the transfer.
+    fn check_xfer(&self, path: &str, offset: u64, len: u64) -> FsResult<()> {
+        let dead = self.dead.lock().unwrap();
+        if dead.is_empty() {
+            return Ok(());
+        }
+        // Zero-length transfers still require the first server of the
+        // range to acknowledge the RPC.
+        let per = self.per_server_bytes(offset, len.max(1));
+        for (idx, &bytes) in per.iter().enumerate() {
+            if bytes > 0 && dead.contains(&(idx as u32)) {
+                return Err(FsError::Io(format!(
+                    "data server {idx} down ({}: {path} [{offset}, +{len}))",
+                    self.cfg.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fail metadata ops only once every data server is gone.
+    fn check_meta(&self, path: &str) -> FsResult<()> {
+        let dead = self.dead.lock().unwrap();
+        if dead.len() as u32 >= self.cfg.data_servers {
+            return Err(FsError::Io(format!("all data servers down ({}: {path})", self.cfg.name)));
+        }
+        Ok(())
     }
 
     /// Bytes of `[offset, offset+len)` that land on each server under
@@ -160,53 +232,65 @@ impl ClusterStorage {
 
 impl Storage for ClusterStorage {
     fn create(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.check_meta(path)?;
         self.charge_meta(ctx);
         self.mem.create(path, ctx)
     }
 
     fn append(&self, path: &str, data: &[u8], ctx: &mut IoCtx) -> FsResult<u64> {
         let off = self.mem.len(path, ctx).unwrap_or(0);
+        self.check_xfer(path, off, data.len() as u64)?;
         self.charge_xfer(path, off, data.len() as u64, true, ctx);
         self.mem.append(path, data, ctx)
     }
 
     fn write_at(&self, path: &str, offset: u64, data: &[u8], ctx: &mut IoCtx) -> FsResult<()> {
+        self.check_xfer(path, offset, data.len() as u64)?;
         self.charge_xfer(path, offset, data.len() as u64, true, ctx);
         self.mem.write_at(path, offset, data, ctx)
     }
 
     fn read_at(&self, path: &str, offset: u64, len: usize, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
+        self.check_xfer(path, offset, len as u64)?;
         self.charge_xfer(path, offset, len as u64, false, ctx);
         self.mem.read_at(path, offset, len, ctx)
     }
 
     fn read_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<u8>> {
         let len = self.mem.len(path, ctx)?;
+        self.check_xfer(path, 0, len)?;
         self.charge_xfer(path, 0, len, false, ctx);
         self.mem.read_at(path, 0, len as usize, ctx)
     }
 
     fn len(&self, path: &str, ctx: &mut IoCtx) -> FsResult<u64> {
+        self.check_meta(path)?;
         self.charge_meta(ctx);
         self.mem.len(path, ctx)
     }
 
     fn exists(&self, path: &str, ctx: &mut IoCtx) -> bool {
+        if self.check_meta(path).is_err() {
+            return false;
+        }
         self.charge_meta(ctx);
         self.mem.exists(path, ctx)
     }
 
     fn stat(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Metadata> {
+        self.check_meta(path)?;
         self.charge_meta(ctx);
         self.mem.stat(path, ctx)
     }
 
     fn mkdir_all(&self, path: &str, ctx: &mut IoCtx) -> FsResult<()> {
+        self.check_meta(path)?;
         self.charge_meta(ctx);
         self.mem.mkdir_all(path, ctx)
     }
 
     fn read_dir(&self, path: &str, ctx: &mut IoCtx) -> FsResult<Vec<DirEntry>> {
+        self.check_meta(path)?;
         let entries = self.mem.read_dir(path, ctx)?;
         self.charge_meta(ctx);
         // Per-entry share of the directory scan RPCs.
@@ -303,5 +387,47 @@ mod tests {
         let mut ctx = IoCtx::new();
         fs.append("/bags/r0.bag", b"0123456789", &mut ctx).unwrap();
         assert_eq!(fs.read_at("/bags/r0.bag", 3, 4, &mut ctx).unwrap(), b"3456");
+    }
+
+    #[test]
+    fn dead_server_fails_only_its_stripes() {
+        let fs = ClusterStorage::new(ClusterConfig {
+            stripe_size: 100,
+            data_servers: 4,
+            ..ClusterConfig::pvfs4()
+        });
+        let mut ctx = IoCtx::new();
+        fs.append("/f", &vec![9u8; 450], &mut ctx).unwrap();
+
+        fs.kill_server(2); // holds stripe 2 => bytes [200, 300)
+        assert_eq!(fs.dead_servers(), vec![2]);
+        // A range entirely on servers 0/1 still reads.
+        assert_eq!(fs.read_at("/f", 0, 150, &mut ctx).unwrap().len(), 150);
+        // A range touching server 2's stripe fails with an I/O error.
+        match fs.read_at("/f", 150, 100, &mut ctx) {
+            Err(FsError::Io(msg)) => assert!(msg.contains("server 2"), "{msg}"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        // Whole-file read crosses every server.
+        assert!(fs.read_all("/f", &mut ctx).is_err());
+        // Metadata survives a single server loss.
+        assert!(fs.stat("/f", &mut ctx).is_ok());
+
+        fs.revive_server(2);
+        assert_eq!(fs.read_all("/f", &mut ctx).unwrap().len(), 450);
+    }
+
+    #[test]
+    fn fail_all_kills_metadata_too() {
+        let fs = ClusterStorage::new(ClusterConfig::pvfs4());
+        let mut ctx = IoCtx::new();
+        fs.append("/f", b"abc", &mut ctx).unwrap();
+        fs.fail_all();
+        assert!(fs.stat("/f", &mut ctx).is_err());
+        assert!(!fs.exists("/f", &mut ctx));
+        assert!(fs.read_at("/f", 0, 1, &mut ctx).is_err());
+        fs.revive_all();
+        assert!(fs.dead_servers().is_empty());
+        assert_eq!(fs.read_all("/f", &mut ctx).unwrap(), b"abc");
     }
 }

@@ -58,6 +58,12 @@ pub struct QueryMixOptions {
     /// reads — the op whose open-amortization matters most.
     pub kind_weights: [f64; 4],
     pub seed: u64,
+    /// `Some(s)` replaces the two-tier hot/cold container pick with a
+    /// Zipf(s) distribution over all `containers` (rank 0 hottest):
+    /// `P(rank k) ∝ 1/(k+1)^s`. `s = 0` is uniform; `s ≈ 1` is classic
+    /// web-trace skew; larger `s` concentrates harder. `None` (default)
+    /// keeps the hot/cold behavior and `hot_set`/`hot_traffic` knobs.
+    pub zipf_s: Option<f64>,
 }
 
 impl Default for QueryMixOptions {
@@ -69,8 +75,26 @@ impl Default for QueryMixOptions {
             queries: 200,
             kind_weights: [0.15, 0.15, 0.55, 0.15],
             seed: 0x5e12e,
+            zipf_s: None,
         }
     }
+}
+
+/// Cumulative Zipf(s) mass over ranks `0..n`, normalized to end at 1.
+/// Inversion sampling against this table costs one binary search per
+/// query, independent of `n`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for k in 0..n {
+        acc += 1.0 / ((k + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    for v in &mut cdf {
+        *v /= total;
+    }
+    cdf
 }
 
 /// Deterministically generate a skewed query mix.
@@ -80,10 +104,18 @@ pub fn generate(opts: &QueryMixOptions) -> Vec<Query> {
     let weight_sum: f64 = opts.kind_weights.iter().sum();
     assert!(weight_sum > 0.0, "kind weights must not all be zero");
 
+    let zipf = opts.zipf_s.map(|s| {
+        assert!(s >= 0.0 && s.is_finite(), "zipf_s must be finite and >= 0, got {s}");
+        zipf_cdf(opts.containers, s)
+    });
+
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut queries = Vec::with_capacity(opts.queries);
     for _ in 0..opts.queries {
-        let container = if opts.hot_set == opts.containers
+        let container = if let Some(cdf) = &zipf {
+            let u = rng.random_range(0.0..1.0);
+            cdf.partition_point(|&c| c <= u).min(opts.containers - 1)
+        } else if opts.hot_set == opts.containers
             || rng.random_bool(opts.hot_traffic.clamp(0.0, 1.0))
         {
             rng.random_range(0..opts.hot_set)
@@ -150,6 +182,53 @@ mod tests {
         for q in &a {
             assert!((0.0..0.9).contains(&q.window_start));
             assert!((0.02..0.10).contains(&q.window_frac));
+        }
+    }
+
+    #[test]
+    fn zipf_mix_is_deterministic_per_seed() {
+        let opts = QueryMixOptions {
+            containers: 16,
+            queries: 1_000,
+            zipf_s: Some(1.1),
+            ..QueryMixOptions::default()
+        };
+        assert_eq!(generate(&opts), generate(&opts), "same seed, same zipf mix");
+        let other = generate(&QueryMixOptions { seed: 7, ..opts.clone() });
+        assert_ne!(generate(&opts), other, "different seed, different mix");
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_decay() {
+        let opts = QueryMixOptions {
+            containers: 8,
+            queries: 8_000,
+            zipf_s: Some(1.0),
+            ..QueryMixOptions::default()
+        };
+        let a = generate(&opts);
+        let counts: Vec<usize> =
+            (0..8).map(|c| a.iter().filter(|q| q.container == c).count()).collect();
+        // Rank 0 carries the most traffic; expected share is
+        // 1/H(8) ≈ 0.368 at s=1. Every rank still appears.
+        assert!(counts[0] > counts[3] && counts[3] > counts[7], "{counts:?}");
+        let frac0 = counts[0] as f64 / a.len() as f64;
+        assert!((0.30..=0.45).contains(&frac0), "rank-0 share {frac0} off Zipf(1) expectation");
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_zero_is_uniform() {
+        let opts = QueryMixOptions {
+            containers: 4,
+            queries: 4_000,
+            zipf_s: Some(0.0),
+            ..QueryMixOptions::default()
+        };
+        let a = generate(&opts);
+        for c in 0..4 {
+            let n = a.iter().filter(|q| q.container == c).count();
+            assert!((800..=1200).contains(&n), "container {c} got {n}/4000 at s=0");
         }
     }
 

@@ -55,7 +55,12 @@ fn main() {
     // STATS below show both hits and evictions.
     let server = Server::start(
         Arc::clone(&fs),
-        ServerConfig { workers: 4, queue_capacity: 64, cache_capacity: 2 },
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 2,
+            ..ServerConfig::default()
+        },
     );
     let transport = MemTransport::new(Arc::clone(&server));
 

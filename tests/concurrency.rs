@@ -198,7 +198,12 @@ fn serve_many_clients_all_hit_the_hot_cache() {
 
     let server = Server::start(
         Arc::clone(&fs),
-        ServerConfig { workers: 4, queue_capacity: 64, cache_capacity: 4 },
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 4,
+            ..ServerConfig::default()
+        },
     );
     let transport = MemTransport::new(Arc::clone(&server));
 
@@ -254,7 +259,12 @@ fn serve_evicts_when_working_set_exceeds_cache() {
 
     let server = Server::start(
         Arc::clone(&fs),
-        ServerConfig { workers: 3, queue_capacity: 64, cache_capacity: 2 },
+        ServerConfig {
+            workers: 3,
+            queue_capacity: 64,
+            cache_capacity: 2,
+            ..ServerConfig::default()
+        },
     );
     let transport = MemTransport::new(Arc::clone(&server));
 
@@ -399,8 +409,15 @@ fn serve_overload_sheds_requests_instead_of_hanging() {
 
     // One worker, one queue slot: the third concurrent data request has
     // nowhere to go.
-    let server =
-        Server::start(gated, ServerConfig { workers: 1, queue_capacity: 1, cache_capacity: 2 });
+    let server = Server::start(
+        gated,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            cache_capacity: 2,
+            ..ServerConfig::default()
+        },
+    );
     let transport = MemTransport::new(Arc::clone(&server));
 
     // Warm the cache while the gate is open, so the stall below happens

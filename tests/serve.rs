@@ -143,7 +143,12 @@ fn backend_fault_becomes_protocol_error_without_poisoning_the_cache() {
 
     let server = Server::start(
         Arc::clone(&fs),
-        ServerConfig { workers: 2, queue_capacity: 16, cache_capacity: 4 },
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 4,
+            ..ServerConfig::default()
+        },
     );
     let transport = MemTransport::new(Arc::clone(&server));
     let mut client = ServeClient::connect(&transport).unwrap();
