@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks for the live write path (PR: bora-ingest)
+//! — real wall-clock cost of the pieces the `ext_ingest` experiment
+//! measures on the virtual clock:
+//!
+//! * WAL frame encode + CRC32C per record size,
+//! * sustained append into the store (WAL + memtable) per group-commit
+//!   batch size,
+//! * seal (memtable → sorted segment files + marker),
+//! * MVCC snapshot read across the three-layer store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use bora_ingest::wal::{encode_record, WalRecord};
+use bora_ingest::{IngestConfig, IngestStore};
+use ros_msgs::Time;
+use simfs::{IoCtx, MemStorage};
+
+const ROOT: &str = "/live";
+const TOPICS: [&str; 3] = ["/imu", "/cam", "/tf"];
+
+fn bench_wal_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_encode");
+    for size in [64usize, 1024, 16 * 1024] {
+        let rec = WalRecord {
+            seq: 42,
+            topic: "/camera/rgb".into(),
+            time: Time::from_nanos(1_000_000),
+            data: (0..size).map(|i| (i as u8).wrapping_mul(31)).collect(),
+        };
+        group.bench_with_input(BenchmarkId::new("frame", size), &rec, |b, r| {
+            b.iter(|| black_box(encode_record(r)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_append");
+    group.sample_size(20);
+    const N: u64 = 2_000;
+    for gc in [1u64, 16, 128] {
+        group.bench_with_input(BenchmarkId::new("group_commit", gc), &gc, |b, &gc| {
+            b.iter(|| {
+                let fs = Arc::new(MemStorage::new());
+                let mut ctx = IoCtx::new();
+                let cfg = IngestConfig { wal_shards: 4, group_commit: gc, window_ns: 1 << 30 };
+                let store = IngestStore::create(fs, ROOT, cfg, &mut ctx).unwrap();
+                for i in 0..N {
+                    let topic = TOPICS[(i % 3) as usize];
+                    store
+                        .append(topic, Time::from_nanos(i * 100), &[i as u8; 64], &mut ctx)
+                        .unwrap();
+                }
+                store.flush_wal(&mut ctx).unwrap();
+                black_box(store.stat().wal_durable_records)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A store with `n` messages still in the memtable, ready to seal.
+fn loaded_store(n: u64) -> (IngestStore<Arc<MemStorage>>, IoCtx) {
+    let fs = Arc::new(MemStorage::new());
+    let mut ctx = IoCtx::new();
+    let cfg = IngestConfig { wal_shards: 4, group_commit: 64, window_ns: 1 << 30 };
+    let store = IngestStore::create(fs, ROOT, cfg, &mut ctx).unwrap();
+    for i in 0..n {
+        let topic = TOPICS[(i % 3) as usize];
+        store.append(topic, Time::from_nanos(i * 100), &[i as u8; 64], &mut ctx).unwrap();
+    }
+    (store, ctx)
+}
+
+fn bench_seal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_seal");
+    group.sample_size(20);
+    // The shim has no iter_batched, so the measured routine rebuilds the
+    // memtable each round; "load_and_seal" names that honestly.
+    for n in [512u64, 4_096] {
+        group.bench_with_input(BenchmarkId::new("load_and_seal", n), &n, |b, &n| {
+            b.iter(|| {
+                let (store, mut ctx) = loaded_store(n);
+                black_box(store.seal(&mut ctx).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot_read(c: &mut Criterion) {
+    // A three-layer store: a third compacted, a third sealed, a third live.
+    let (store, mut ctx) = loaded_store(1_024);
+    store.seal(&mut ctx).unwrap();
+    store.compact(&mut ctx).unwrap();
+    for i in 1_024..2_048u64 {
+        let topic = TOPICS[(i % 3) as usize];
+        store.append(topic, Time::from_nanos(i * 100), &[i as u8; 64], &mut ctx).unwrap();
+    }
+    store.seal(&mut ctx).unwrap();
+    for i in 2_048..3_072u64 {
+        let topic = TOPICS[(i % 3) as usize];
+        store.append(topic, Time::from_nanos(i * 100), &[i as u8; 64], &mut ctx).unwrap();
+    }
+
+    let mut group = c.benchmark_group("ingest_snapshot");
+    group.sample_size(20);
+    group.bench_function("read_three_layers", |b| {
+        b.iter(|| {
+            let mut ctx = IoCtx::new();
+            let snap = store.snapshot(&mut ctx).unwrap();
+            black_box(snap.read_topics(&TOPICS, &mut ctx).unwrap().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_encode, bench_append, bench_seal, bench_snapshot_read);
+criterion_main!(benches);

@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod common;
 pub mod ext_cluster;
 pub mod ext_crash;
+pub mod ext_ingest;
 pub mod ext_stream;
 pub mod extensions;
 pub mod fig10;
@@ -188,6 +189,14 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "Extension: bora-cluster — sharded/replicated serving: scaling, hedging, node-kill",
             run: ext_cluster::run,
+        },
+        Experiment {
+            id: "ext_ingest",
+            paper_ref: "extension",
+            description:
+                "Extension: bora-ingest live write path — append throughput, query-during-ingest, \
+                 power-cut sweep",
+            run: ext_ingest::run,
         },
         Experiment {
             id: "open21g",

@@ -298,6 +298,49 @@ where
         self.with_failover(container, |c| c.stat(container))
     }
 
+    /// Replica endpoints in *ring order* (owner first, no load-aware
+    /// rotation) — the deterministic order write fan-out uses.
+    fn ring_ordered(&self, container: &str) -> Vec<Arc<NodeEndpoint<T>>> {
+        let replicas = self.ring.read().unwrap().replicas(container);
+        replicas.iter().filter_map(|id| self.nodes.get(id)).map(Arc::clone).collect()
+    }
+
+    /// Append live messages to `container`'s ingest root on **every**
+    /// replica the ring assigns it. Writes do not fail over — replication
+    /// *is* writing to all holders — and all must ack before the call
+    /// returns: a node that cannot take the batch fails the append, so a
+    /// reader served by any replica sees the same data. Returns the
+    /// owner's `(appended, epoch)`.
+    pub fn append(&self, container: &str, messages: &[WireMessage]) -> ClientResult<(u64, u64)> {
+        let eps = self.ring_ordered(container);
+        if eps.is_empty() {
+            return Err(no_nodes(container));
+        }
+        let mut owner_ack = None;
+        for ep in &eps {
+            let ack = ep.attempt(&mut |c| c.append(container, messages.to_vec()))?;
+            owner_ack.get_or_insert(ack);
+            bora_obs::counter("cluster.append.replica_acks").inc();
+        }
+        Ok(owner_ack.expect("non-empty replica set acked"))
+    }
+
+    /// Seal (and optionally compact) `container`'s ingest root on every
+    /// replica. Same all-must-ack contract as [`ClusterClient::append`].
+    /// Returns the owner's `(epoch, sealed_segments)`.
+    pub fn seal(&self, container: &str, compact: bool) -> ClientResult<(u64, u32)> {
+        let eps = self.ring_ordered(container);
+        if eps.is_empty() {
+            return Err(no_nodes(container));
+        }
+        let mut owner_ack = None;
+        for ep in &eps {
+            let ack = ep.attempt(&mut |c| c.seal(container, compact))?;
+            owner_ack.get_or_insert(ack);
+        }
+        Ok(owner_ack.expect("non-empty replica set acked"))
+    }
+
     pub fn read(&self, container: &str, topics: &[&str]) -> ClientResult<Vec<WireMessage>> {
         self.read_inner(container, topics, None)
     }

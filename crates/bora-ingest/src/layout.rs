@@ -1,0 +1,127 @@
+//! On-disk layout of an ingest root.
+//!
+//! ```text
+//! /live/amr1/                      ← ingest root
+//!     .boraingest                  ← marker + config (shard count, window)
+//!     wal/
+//!         shard-0.wal              ← CRC32C-framed append log, one per shard
+//!         shard-1.wal
+//!     seg/
+//!         00000000-imu.seg         ← sealed segment: <seal_seq>-<topic enc>
+//!         00000000.seal            ← seal marker committing seal_seq 0
+//!     gen/
+//!         C00000000/               ← generation 0: a full BORA container
+//!             .bora  .ingest  MANIFEST  imu/{data,index,tindex} ...
+//!         C00000001.staging/       ← compaction in flight (PR 3 protocol)
+//! ```
+//!
+//! Topics are sharded over the WAL files by name hash, so one topic's
+//! records always share a shard and per-topic append order survives
+//! recovery. Seal sequence numbers and generation numbers are fixed-width
+//! decimal so `read_dir`'s sorted listing is also numeric order.
+
+use bora::layout::encode_topic;
+
+/// Marker file identifying (and configuring) an ingest root.
+pub const INGEST_MARKER: &str = ".boraingest";
+/// Marker file inside a generation container recording what it subsumes.
+pub const GEN_MARKER: &str = ".ingest";
+
+pub fn marker_path(root: &str) -> String {
+    format!("{}/{INGEST_MARKER}", root.trim_end_matches('/'))
+}
+
+pub fn wal_dir(root: &str) -> String {
+    format!("{}/wal", root.trim_end_matches('/'))
+}
+
+pub fn wal_shard_path(root: &str, shard: usize) -> String {
+    format!("{}/wal/shard-{shard}.wal", root.trim_end_matches('/'))
+}
+
+pub fn seg_dir(root: &str) -> String {
+    format!("{}/seg", root.trim_end_matches('/'))
+}
+
+/// Segment file for one topic of one seal.
+pub fn segment_path(root: &str, seal_seq: u64, topic: &str) -> String {
+    format!("{}/seg/{seal_seq:08}-{}.seg", root.trim_end_matches('/'), encode_topic(topic))
+}
+
+/// Seal marker committing a whole seal batch.
+pub fn seal_marker_path(root: &str, seal_seq: u64) -> String {
+    format!("{}/seg/{seal_seq:08}.seal", root.trim_end_matches('/'))
+}
+
+pub fn gen_dir(root: &str) -> String {
+    format!("{}/gen", root.trim_end_matches('/'))
+}
+
+/// Root of one generation's container.
+pub fn gen_root(root: &str, generation: u64) -> String {
+    format!("{}/gen/C{generation:08}", root.trim_end_matches('/'))
+}
+
+/// Parse a `gen/` listing name back into a generation number.
+pub fn parse_gen_name(name: &str) -> Option<u64> {
+    name.strip_prefix('C').and_then(|n| n.parse().ok())
+}
+
+/// Parse a `seg/` listing name: `Some((seal_seq, None))` for a seal
+/// marker, `Some((seal_seq, Some(topic)))` for a segment file.
+pub fn parse_seg_name(name: &str) -> Option<(u64, Option<String>)> {
+    if let Some(stem) = name.strip_suffix(".seal") {
+        return stem.parse().ok().map(|n| (n, None));
+    }
+    let stem = name.strip_suffix(".seg")?;
+    let (seq, enc) = stem.split_once('-')?;
+    Some((seq.parse().ok()?, Some(bora::layout::decode_topic(enc))))
+}
+
+/// WAL shard a topic's records are routed to (stable name hash).
+pub fn shard_of(topic: &str, shards: usize) -> usize {
+    (simfs::clock::path_key(topic) % shards.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_stable() {
+        assert_eq!(marker_path("/r/"), "/r/.boraingest");
+        assert_eq!(wal_shard_path("/r", 3), "/r/wal/shard-3.wal");
+        assert_eq!(segment_path("/r", 7, "/camera/rgb"), "/r/seg/00000007-camera%rgb.seg");
+        assert_eq!(seal_marker_path("/r", 7), "/r/seg/00000007.seal");
+        assert_eq!(gen_root("/r", 2), "/r/gen/C00000002");
+    }
+
+    #[test]
+    fn seg_names_round_trip() {
+        assert_eq!(parse_seg_name("00000007.seal"), Some((7, None)));
+        assert_eq!(parse_seg_name("00000007-imu.seg"), Some((7, Some("/imu".into()))));
+        assert_eq!(
+            parse_seg_name("00000012-camera%rgb.seg"),
+            Some((12, Some("/camera/rgb".into())))
+        );
+        assert_eq!(parse_seg_name("junk"), None);
+    }
+
+    #[test]
+    fn gen_names_round_trip() {
+        assert_eq!(parse_gen_name("C00000000"), Some(0));
+        assert_eq!(parse_gen_name("C00000042"), Some(42));
+        assert_eq!(parse_gen_name("C00000001.staging"), None);
+        assert_eq!(parse_gen_name("other"), None);
+    }
+
+    #[test]
+    fn sharding_is_stable_and_bounded() {
+        for shards in 1..8 {
+            let s = shard_of("/imu", shards);
+            assert!(s < shards);
+            assert_eq!(s, shard_of("/imu", shards));
+        }
+        assert_eq!(shard_of("/imu", 0), 0, "zero shards clamps to one");
+    }
+}

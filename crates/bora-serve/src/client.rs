@@ -201,6 +201,31 @@ impl<C: Connection> ServeClient<C> {
         })
     }
 
+    /// Append a batch of live messages to an ingest root. The ack means
+    /// every message in the batch is durable (WAL-committed) on the
+    /// server; returns `(appended, epoch)`. Not idempotent — a retry
+    /// after an ambiguous failure may duplicate the batch, which is why
+    /// [`RetryClient`] does not wrap it.
+    pub fn append(
+        &mut self,
+        container: &str,
+        messages: Vec<WireMessage>,
+    ) -> ClientResult<(u64, u64)> {
+        match self.roundtrip(&Request::Append { container: container.into(), messages })? {
+            Response::Appended { appended, epoch } => Ok((appended, epoch)),
+            other => Err(unexpected("APPEND", &other)),
+        }
+    }
+
+    /// Seal the ingest root's memtable (and compact if asked); returns
+    /// `(epoch, sealed_segments_pending)`.
+    pub fn seal(&mut self, container: &str, compact: bool) -> ClientResult<(u64, u32)> {
+        match self.roundtrip(&Request::Seal { container: container.into(), compact })? {
+            Response::Sealed { epoch, sealed_segments } => Ok((epoch, sealed_segments)),
+            other => Err(unexpected("SEAL", &other)),
+        }
+    }
+
     pub fn stat(&mut self, container: &str) -> ClientResult<ContainerStat> {
         match self.roundtrip(&Request::Stat { container: container.into() })? {
             Response::Stat(s) => Ok(s),
@@ -339,6 +364,108 @@ impl<C: Connection> Drop for ReadStream<'_, C> {
                 return;
             }
         }
+    }
+}
+
+// ----------------------------------------------------------------- ingest
+
+/// Batch-size thresholds for [`IngestClient`]. A flush fires when either
+/// bound is reached; `flush()`/`seal()` force one.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestBatching {
+    pub max_msgs: usize,
+    pub max_bytes: usize,
+}
+
+impl Default for IngestBatching {
+    fn default() -> Self {
+        IngestBatching { max_msgs: 64, max_bytes: 256 * 1024 }
+    }
+}
+
+/// A buffering writer over one ingest root: `write` stages messages
+/// locally and ships them as `APPEND` batches when a threshold trips, so
+/// a high-rate robot pays one round-trip (and one server-side fsync) per
+/// batch instead of per message.
+///
+/// Messages are only durable after the flush that carries them returns —
+/// an unflushed buffer dies with the client, which is the same contract a
+/// local `IngestStore` gives un-synced group-commit buffers. Call
+/// [`IngestClient::flush`] (or [`IngestClient::seal`], which flushes
+/// first) at recording boundaries.
+pub struct IngestClient<C: Connection> {
+    client: ServeClient<C>,
+    container: String,
+    batching: IngestBatching,
+    buf: Vec<WireMessage>,
+    buf_bytes: usize,
+    appended: u64,
+    last_epoch: u64,
+}
+
+impl<C: Connection> IngestClient<C> {
+    pub fn new(client: ServeClient<C>, container: &str, batching: IngestBatching) -> Self {
+        IngestClient {
+            client,
+            container: container.to_owned(),
+            batching,
+            buf: Vec::new(),
+            buf_bytes: 0,
+            appended: 0,
+            last_epoch: 0,
+        }
+    }
+
+    /// Stage one message; ships the buffer if a batching bound trips.
+    pub fn write(&mut self, topic: &str, time: Time, data: &[u8]) -> ClientResult<()> {
+        self.buf_bytes += data.len();
+        self.buf.push(WireMessage { topic: topic.to_owned(), time, data: data.to_vec() });
+        if self.buf.len() >= self.batching.max_msgs.max(1)
+            || self.buf_bytes >= self.batching.max_bytes
+        {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Ship everything staged; no-op on an empty buffer. Returns the
+    /// server's epoch after the batch (or the last known one).
+    pub fn flush(&mut self) -> ClientResult<u64> {
+        if !self.buf.is_empty() {
+            self.buf_bytes = 0;
+            let batch = std::mem::take(&mut self.buf);
+            let n = batch.len() as u64;
+            let (appended, epoch) = self.client.append(&self.container, batch)?;
+            debug_assert_eq!(appended, n);
+            self.appended += appended;
+            self.last_epoch = epoch;
+        }
+        Ok(self.last_epoch)
+    }
+
+    /// Flush, then seal the root's memtable server-side (compacting into
+    /// the next container generation if `compact`).
+    pub fn seal(&mut self, compact: bool) -> ClientResult<(u64, u32)> {
+        self.flush()?;
+        let out = self.client.seal(&self.container, compact)?;
+        self.last_epoch = out.0;
+        Ok(out)
+    }
+
+    /// Messages acked durable so far (staged-but-unflushed not included).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Messages staged locally, awaiting the next flush.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Flush any residue and hand the underlying client back.
+    pub fn finish(mut self) -> ClientResult<ServeClient<C>> {
+        self.flush()?;
+        Ok(self.client)
     }
 }
 

@@ -58,7 +58,10 @@ pub mod server;
 pub mod transport;
 
 pub use cache::{CacheStats, HandleCache, PinnedBag};
-pub use client::{ClientError, ClientResult, ReadStream, RetryClient, RetryPolicy, ServeClient};
+pub use client::{
+    ClientError, ClientResult, IngestBatching, IngestClient, ReadStream, RetryClient, RetryPolicy,
+    ServeClient,
+};
 pub use proto::{
     ContainerStat, ErrorCode, OpSummary, PingInfo, ProtoError, Request, Response, StatsSnapshot,
     WireMessage,

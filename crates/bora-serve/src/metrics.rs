@@ -24,7 +24,8 @@ use bora_obs::ExpHistogram;
 use crate::proto::{OpSummary, StatsSnapshot};
 
 /// The metric op kinds, in the order `STATS` reports them.
-pub const OP_NAMES: [&str; 6] = ["meta", "open", "read", "read_stream", "stat", "topics"];
+pub const OP_NAMES: [&str; 8] =
+    ["append", "meta", "open", "read", "read_stream", "seal", "stat", "topics"];
 
 fn op_index(name: &str) -> Option<usize> {
     OP_NAMES.iter().position(|n| *n == name)
@@ -40,7 +41,7 @@ struct OpRecorder {
 /// ops are control-plane and intentionally unrecorded.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    ops: [OpRecorder; 6],
+    ops: [OpRecorder; 8],
     queue_wait: ExpHistogram,
     shed: AtomicU64,
 }

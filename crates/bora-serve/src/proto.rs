@@ -41,6 +41,8 @@ const OP_SHUTDOWN: u8 = 0x07;
 const OP_TRACE: u8 = 0x08;
 const OP_READ_STREAM: u8 = 0x09;
 const OP_PING: u8 = 0x0A;
+const OP_APPEND: u8 = 0x0B;
+const OP_SEAL: u8 = 0x0C;
 
 // Response opcodes (request opcode | 0x80, errors in 0xE0+).
 const OP_OK_OPEN: u8 = 0x81;
@@ -54,6 +56,8 @@ const OP_OK_TRACE: u8 = 0x88;
 const OP_OK_STREAM_CHUNK: u8 = 0x89;
 const OP_OK_STREAM_END: u8 = 0x8A;
 const OP_OK_PONG: u8 = 0x8B;
+const OP_OK_APPENDED: u8 = 0x8C;
+const OP_OK_SEALED: u8 = 0x8D;
 const OP_ERROR: u8 = 0xE0;
 const OP_OVERLOADED: u8 = 0xEE;
 
@@ -73,6 +77,16 @@ pub enum Request {
     /// yields messages, closed by [`Response::StreamEnd`]. The worker's
     /// cache pin is held for the stream's whole lifetime.
     ReadStream { container: String, topics: Vec<String>, range: Option<(Time, Time)> },
+    /// Append live messages to an ingest root (`bora-ingest`). Messages
+    /// must be per-topic chronological; the whole batch is acked as a
+    /// unit once its WAL frames are group-committed. Appends are shed
+    /// *before* reads under load: the queue admits them only while it is
+    /// less than half full, so a recording robot cannot starve analysts.
+    Append { container: String, messages: Vec<WireMessage> },
+    /// Seal the ingest root's memtable into sorted segment files and, if
+    /// `compact`, merge every sealed segment into the next container
+    /// generation.
+    Seal { container: String, compact: bool },
     /// Summary numbers for one container.
     Stat { container: String },
     /// Server-wide metrics snapshot.
@@ -247,6 +261,19 @@ pub enum Response {
     StreamEnd {
         messages: u64,
     },
+    /// Reply to [`Request::Append`]: messages durably written and the
+    /// store's MVCC epoch after the batch.
+    Appended {
+        appended: u64,
+        epoch: u64,
+    },
+    /// Reply to [`Request::Seal`]: the epoch after the operation and how
+    /// many sealed batches still await compaction (0 right after a
+    /// `compact: true` seal — the compaction-lag signal).
+    Sealed {
+        epoch: u64,
+        sealed_segments: u32,
+    },
     Stat(ContainerStat),
     Stats(StatsSnapshot),
     /// Chrome `trace_event` JSON text drained from the server's span
@@ -394,6 +421,8 @@ impl Request {
             | Request::Meta { container }
             | Request::Read { container, .. }
             | Request::ReadStream { container, .. }
+            | Request::Append { container, .. }
+            | Request::Seal { container, .. }
             | Request::Stat { container } => Some(container),
             Request::Stats | Request::Trace | Request::Ping | Request::Shutdown => None,
         }
@@ -407,6 +436,8 @@ impl Request {
             Request::Meta { .. } => "meta",
             Request::Read { .. } => "read",
             Request::ReadStream { .. } => "read_stream",
+            Request::Append { .. } => "append",
+            Request::Seal { .. } => "seal",
             Request::Stat { .. } => "stat",
             Request::Stats => "stats",
             Request::Trace => "trace",
@@ -462,6 +493,21 @@ impl Request {
                     None => w.u8(0),
                 }
             }
+            Request::Append { container, messages } => {
+                w = Writer::new(OP_APPEND);
+                w.str(container);
+                w.u32(messages.len() as u32);
+                for m in messages {
+                    w.str(&m.topic);
+                    w.time(m.time);
+                    w.bytes(&m.data);
+                }
+            }
+            Request::Seal { container, compact } => {
+                w = Writer::new(OP_SEAL);
+                w.str(container);
+                w.u8(*compact as u8);
+            }
             Request::Stat { container } => {
                 w = Writer::new(OP_STAT);
                 w.str(container);
@@ -498,6 +544,28 @@ impl Request {
                 } else {
                     Request::ReadStream { container, topics, range }
                 }
+            }
+            OP_APPEND => {
+                let container = r.str()?;
+                let n = r.u32()? as usize;
+                let mut messages = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    messages.push(WireMessage {
+                        topic: r.str()?,
+                        time: r.time()?,
+                        data: r.bytes()?,
+                    });
+                }
+                Request::Append { container, messages }
+            }
+            OP_SEAL => {
+                let container = r.str()?;
+                let compact = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    v => return Err(ProtoError(format!("bad compact marker {v}"))),
+                };
+                Request::Seal { container, compact }
             }
             OP_STAT => Request::Stat { container: r.str()? },
             OP_STATS => Request::Stats,
@@ -552,6 +620,16 @@ impl Response {
             Response::StreamEnd { messages } => {
                 w = Writer::new(OP_OK_STREAM_END);
                 w.u64(*messages);
+            }
+            Response::Appended { appended, epoch } => {
+                w = Writer::new(OP_OK_APPENDED);
+                w.u64(*appended);
+                w.u64(*epoch);
+            }
+            Response::Sealed { epoch, sealed_segments } => {
+                w = Writer::new(OP_OK_SEALED);
+                w.u64(*epoch);
+                w.u32(*sealed_segments);
             }
             Response::Stat(stat) => {
                 w = Writer::new(OP_OK_STAT);
@@ -643,6 +721,8 @@ impl Response {
                 Response::StreamChunk(messages)
             }
             OP_OK_STREAM_END => Response::StreamEnd { messages: r.u64()? },
+            OP_OK_APPENDED => Response::Appended { appended: r.u64()?, epoch: r.u64()? },
+            OP_OK_SEALED => Response::Sealed { epoch: r.u64()?, sealed_segments: r.u32()? },
             OP_OK_STAT => Response::Stat(r.stat()?),
             OP_OK_STATS => {
                 let n = r.u16()? as usize;
@@ -744,6 +824,16 @@ mod tests {
             range: Some((Time::new(1, 0), Time::new(2, 0))),
         });
         roundtrip_req(Request::ReadStream { container: "/c".into(), topics: vec![], range: None });
+        roundtrip_req(Request::Append {
+            container: "/live".into(),
+            messages: vec![
+                WireMessage { topic: "/imu".into(), time: Time::new(3, 14), data: vec![1, 2] },
+                WireMessage { topic: "/cam".into(), time: Time::new(3, 15), data: vec![] },
+            ],
+        });
+        roundtrip_req(Request::Append { container: "/live".into(), messages: vec![] });
+        roundtrip_req(Request::Seal { container: "/live".into(), compact: true });
+        roundtrip_req(Request::Seal { container: "/live".into(), compact: false });
         roundtrip_req(Request::Stat { container: "/c".into() });
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Trace);
@@ -774,6 +864,8 @@ mod tests {
         }]));
         roundtrip_resp(Response::StreamChunk(vec![]));
         roundtrip_resp(Response::StreamEnd { messages: 42 });
+        roundtrip_resp(Response::Appended { appended: 17, epoch: 930 });
+        roundtrip_resp(Response::Sealed { epoch: 931, sealed_segments: 3 });
         roundtrip_resp(Response::Stat(stat));
         roundtrip_resp(Response::Stats(StatsSnapshot {
             ops: vec![
@@ -837,6 +929,14 @@ mod tests {
         assert_eq!(
             Request::Read { container: "/c".into(), topics: vec![], range: None }.container(),
             Some("/c")
+        );
+        assert_eq!(
+            Request::Append { container: "/live".into(), messages: vec![] }.container(),
+            Some("/live")
+        );
+        assert_eq!(
+            Request::Seal { container: "/live".into(), compact: false }.container(),
+            Some("/live")
         );
         assert_eq!(Request::Stats.container(), None);
         assert_eq!(Request::Ping.container(), None);

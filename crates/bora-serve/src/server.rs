@@ -17,12 +17,14 @@
 //! backends each request's virtual I/O time reflects how many workers
 //! were actually competing for the device when it ran.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use bora::{BoraError, StreamOptions};
+use bora_ingest::IngestStore;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use ros_msgs::Time;
@@ -75,9 +77,14 @@ enum Job {
     Poison,
 }
 
-struct Shared<S> {
+struct Shared<S: Storage> {
     storage: S,
     cache: HandleCache<S>,
+    /// Live ingest roots this server has opened, keyed by root path.
+    /// Unlike the handle cache these are never evicted: an `IngestStore`
+    /// owns the root's WAL shards and memtable, so there must be exactly
+    /// one per root per process.
+    ingests: Mutex<HashMap<String, Arc<IngestStore<S>>>>,
     metrics: Metrics,
     gauge: ConcurrencyGauge,
     shutting_down: AtomicBool,
@@ -87,7 +94,7 @@ struct Shared<S> {
 
 /// A running bora-serve instance. Cheap to share via `Arc`; transports
 /// call [`Server::submit`] once per decoded request.
-pub struct Server<S> {
+pub struct Server<S: Storage> {
     shared: Arc<Shared<S>>,
     tx: Sender<Job>,
     queue_capacity: usize,
@@ -102,6 +109,7 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
         let shared = Arc::new(Shared {
             storage,
             cache: HandleCache::new(config.cache_capacity),
+            ingests: Mutex::new(HashMap::new()),
             metrics: Metrics::new(),
             gauge: ConcurrencyGauge::new(),
             shutting_down: AtomicBool::new(false),
@@ -174,6 +182,16 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
                         code: ErrorCode::ShuttingDown,
                         message: "server is shutting down".into(),
                     };
+                }
+                // Appends shed *before* reads: the queue admits them only
+                // while less than half full, so a recording robot under a
+                // write burst backs off while analysts' queries still land.
+                if matches!(req, Request::Append { .. })
+                    && self.tx.len() >= (self.queue_capacity / 2).max(1)
+                {
+                    self.shared.metrics.record_shed();
+                    bora_obs::counter("serve.append_shed").inc();
+                    return Response::Overloaded;
                 }
                 let (reply_tx, reply_rx) = channel::bounded(1);
                 let job = Job::Work { req, reply: reply_tx, submitted: Instant::now() };
@@ -327,7 +345,7 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
     }
 }
 
-impl<S> Drop for Server<S> {
+impl<S: Storage> Drop for Server<S> {
     fn drop(&mut self) {
         // Last Arc going away with workers possibly parked in `recv`:
         // poison and join so no worker thread outlives the server. The
@@ -370,10 +388,12 @@ fn worker_loop<S: Storage + Clone>(shared: &Shared<S>, rx: &Receiver<Job>) {
         let op = req.op_name();
         let sp = bora_obs::span(span_name(op));
         let resp = if let Request::ReadStream { container, topics, range } = &req {
-            // Streaming op: frames go out on `reply` as the merge yields;
-            // there is no single response to send afterwards.
-            handle_stream(shared, container, topics, *range, &reply, &mut ctx);
-            None
+            // Streaming op: chunk frames go out on `reply` as the merge
+            // yields; the terminal frame (StreamEnd or error) is returned
+            // and sent below, *after* the metrics record — so a client
+            // that has consumed the stream is guaranteed to see the op
+            // counted by a subsequent STATS.
+            handle_stream(shared, container, topics, *range, &reply, &mut ctx)
         } else {
             Some(handle(shared, req, &mut ctx))
         };
@@ -397,20 +417,82 @@ fn span_name(op: &str) -> &'static str {
         "meta" => "serve.meta",
         "read" => "serve.read",
         "read_stream" => "serve.read_stream",
+        "append" => "serve.append",
+        "seal" => "serve.seal",
         "stat" => "serve.stat",
         _ => "serve.other",
     }
 }
 
-/// Run a [`Request::ReadStream`] to completion, sending frames on `reply`
-/// as the k-way merge yields messages.
+/// Resolve `container` as a live ingest root, if it is one. The registry
+/// holds the process's single `IngestStore` per root; a miss probes the
+/// medium for the `.boraingest` marker and opens (recovering) on first
+/// touch. Plain containers return `Ok(None)` and take the handle-cache
+/// path.
+fn ingest_for<S: Storage + Clone>(
+    shared: &Shared<S>,
+    container: &str,
+    ctx: &mut IoCtx,
+) -> Result<Option<Arc<IngestStore<S>>>, BoraError> {
+    if let Some(st) = shared.ingests.lock().get(container) {
+        return Ok(Some(Arc::clone(st)));
+    }
+    if !IngestStore::is_ingest_root(&shared.storage, container, ctx) {
+        return Ok(None);
+    }
+    let opened = Arc::new(IngestStore::open(shared.storage.clone(), container, ctx)?);
+    // Two workers may race the first open; the registry keeps whichever
+    // inserted first and the loser's store is dropped unused.
+    let mut reg = shared.ingests.lock();
+    Ok(Some(Arc::clone(reg.entry(container.to_owned()).or_insert(opened))))
+}
+
+/// Serve a read over a live ingest root from an MVCC snapshot, chunked
+/// into stream frames. The snapshot materializes the merge (memtable and
+/// sealed segments are memory-resident anyway); byte-wise the result is
+/// identical to the same query against the compacted container.
+fn stream_snapshot<S: Storage + Clone>(
+    store: &IngestStore<S>,
+    topics: &[String],
+    range: Option<(Time, Time)>,
+    reply: &Sender<Response>,
+    ctx: &mut IoCtx,
+) -> Result<Option<Response>, BoraError> {
+    let snap = store.snapshot(ctx)?;
+    let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
+    let records = match range {
+        Some((start, end)) => snap.read_time_range(&refs, start, end, ctx)?,
+        None => snap.read_topics(&refs, ctx)?,
+    };
+    let total = records.len() as u64;
+    let mut batch: Vec<WireMessage> = Vec::with_capacity(STREAM_CHUNK_MSGS);
+    for rec in records {
+        batch.push(WireMessage::from(rec));
+        if batch.len() >= STREAM_CHUNK_MSGS
+            && reply.send(Response::StreamChunk(std::mem::take(&mut batch))).is_err()
+        {
+            return Ok(None);
+        }
+    }
+    if !batch.is_empty() && reply.send(Response::StreamChunk(batch)).is_err() {
+        return Ok(None);
+    }
+    Ok(Some(Response::StreamEnd { messages: total }))
+}
+
+/// Run a [`Request::ReadStream`], sending chunk frames on `reply` as the
+/// k-way merge yields messages. The terminal frame ([`Response::StreamEnd`]
+/// or an error) is *returned*, not sent: the worker loop sends it after
+/// recording metrics, so the op is counted before any client can observe
+/// stream completion. `None` means the receiver disappeared mid-stream
+/// (client hung up, or `submit_streamed` returned early) and there is
+/// nobody left to send a terminal frame to.
 ///
 /// The cache pin (`pinned`) is held for the whole stream: a burst of
 /// opens for other containers cannot evict the handle under an in-flight
-/// stream. If the receiver disappears mid-stream (client hung up, or
-/// `submit_streamed` returned early), the send fails and the stream is
-/// aborted — the pin drops, and the virtual time already spent is still
-/// folded into `ctx` so metrics stay honest.
+/// stream. On hang-up the stream is aborted — the pin drops, and the
+/// virtual time already spent is still folded into `ctx` so metrics stay
+/// honest.
 fn handle_stream<S: Storage + Clone>(
     shared: &Shared<S>,
     container: &str,
@@ -418,8 +500,11 @@ fn handle_stream<S: Storage + Clone>(
     range: Option<(Time, Time)>,
     reply: &Sender<Response>,
     ctx: &mut IoCtx,
-) {
-    let result = (|| -> Result<(), BoraError> {
+) -> Option<Response> {
+    let result = (|| -> Result<Option<Response>, BoraError> {
+        if let Some(store) = ingest_for(shared, container, ctx)? {
+            return stream_snapshot(&store, topics, range, reply, ctx);
+        }
         let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
         let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
         let opts = StreamOptions::default();
@@ -436,20 +521,23 @@ fn handle_stream<S: Storage + Clone>(
                 && reply.send(Response::StreamChunk(std::mem::take(&mut batch))).is_err()
             {
                 stream.charge_into(ctx);
-                return Ok(());
+                return Ok(None);
             }
         }
         if !batch.is_empty() && reply.send(Response::StreamChunk(batch)).is_err() {
-            return Ok(());
+            return Ok(None);
         }
-        let _ = reply.send(Response::StreamEnd { messages: total });
-        Ok(())
+        Ok(Some(Response::StreamEnd { messages: total }))
     })();
-    if let Err(e) = result {
-        if matches!(e, BoraError::ChecksumMismatch { .. }) && shared.cache.invalidate(container) {
-            bora_obs::counter("serve.evict_checksum").inc();
+    match result {
+        Ok(terminal) => terminal,
+        Err(e) => {
+            if matches!(e, BoraError::ChecksumMismatch { .. }) && shared.cache.invalidate(container)
+            {
+                bora_obs::counter("serve.evict_checksum").inc();
+            }
+            Some(error_response(e))
         }
-        let _ = reply.send(error_response(e));
     }
 }
 
@@ -462,17 +550,56 @@ fn handle<S: Storage + Clone>(shared: &Shared<S>, req: Request, ctx: &mut IoCtx)
                 Ok(Response::Opened { stat: stat_of(pinned.bag().meta()), cached: pinned.was_hit })
             }
             Request::Topics { container } => {
+                if let Some(store) = ingest_for(shared, container, ctx)? {
+                    let mut topics = store.snapshot(ctx)?.topics(ctx)?;
+                    topics.sort();
+                    return Ok(Response::Topics(topics));
+                }
                 let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
                 let mut topics: Vec<String> =
                     pinned.bag().topics().into_iter().map(str::to_owned).collect();
                 topics.sort();
                 Ok(Response::Topics(topics))
             }
+            Request::Append { container, messages } => {
+                let store = ingest_for(shared, container, ctx)?.ok_or_else(|| {
+                    BoraError::NotAContainer(format!("{container}: not a live ingest root"))
+                })?;
+                for m in messages {
+                    store.append(&m.topic, m.time, &m.data, ctx)?;
+                }
+                // The ack promises durability for the whole batch, so any
+                // frames still parked in a group-commit buffer go down now.
+                store.flush_wal(ctx)?;
+                Ok(Response::Appended { appended: messages.len() as u64, epoch: store.epoch() })
+            }
+            Request::Seal { container, compact } => {
+                let store = ingest_for(shared, container, ctx)?.ok_or_else(|| {
+                    BoraError::NotAContainer(format!("{container}: not a live ingest root"))
+                })?;
+                store.seal(ctx)?;
+                if *compact {
+                    store.compact(ctx)?;
+                }
+                Ok(Response::Sealed {
+                    epoch: store.epoch(),
+                    sealed_segments: store.stat().sealed_batches as u32,
+                })
+            }
             Request::Meta { container } => {
                 let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
                 Ok(Response::Meta(pinned.bag().meta().encode()))
             }
             Request::Read { container, topics, range } => {
+                if let Some(store) = ingest_for(shared, container, ctx)? {
+                    let snap = store.snapshot(ctx)?;
+                    let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
+                    let records = match range {
+                        Some((start, end)) => snap.read_time_range(&refs, *start, *end, ctx)?,
+                        None => snap.read_topics(&refs, ctx)?,
+                    };
+                    return Ok(Response::Read(records.into_iter().map(Into::into).collect()));
+                }
                 let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
                 let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
                 let records = match range {
@@ -487,8 +614,16 @@ fn handle<S: Storage + Clone>(shared: &Shared<S>, req: Request, ctx: &mut IoCtx)
             // one lands here anyway (future transports), serve it as a
             // buffered read — the result bytes are identical.
             Request::ReadStream { container, topics, range } => {
-                let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
                 let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
+                if let Some(store) = ingest_for(shared, container, ctx)? {
+                    let snap = store.snapshot(ctx)?;
+                    let records = match range {
+                        Some((start, end)) => snap.read_time_range(&refs, *start, *end, ctx)?,
+                        None => snap.read_topics(&refs, ctx)?,
+                    };
+                    return Ok(Response::Read(records.into_iter().map(Into::into).collect()));
+                }
+                let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
                 let opts = StreamOptions::default();
                 let stream = match range {
                     Some((start, end)) => {

@@ -145,7 +145,7 @@ impl Connection for MemConnection {
 
 /// In-process transport: `connect` spawns a dispatcher thread that feeds
 /// the shared server, exactly like a TCP connection handler would.
-pub struct MemTransport<S> {
+pub struct MemTransport<S: Storage> {
     server: Arc<Server<S>>,
 }
 

@@ -10,6 +10,7 @@
 //! bora-tool verify  <container-dir>              consistency self-check
 //! bora-tool fsck    <container-dir> [--repair [--source <src.bag>]]
 //!                                                classify Clean/Torn/Corrupt, optionally repair
+//! bora-tool ingest-stat <ingest-dir>             live-ingest root: WAL depth, segments, lag
 //! ```
 //!
 //! All storage goes through `simfs::LocalStorage`, i.e. real files.
@@ -17,9 +18,11 @@
 use std::path::Path;
 use std::process::exit;
 
+use bora::checksum::crc32c;
 use bora::{BoraBag, OrganizerOptions};
+use ros_msgs::wire::WireRead;
 use ros_msgs::Time;
-use simfs::{IoCtx, LocalStorage};
+use simfs::{IoCtx, LocalStorage, Storage};
 
 /// Split a host path into (LocalStorage rooted at its parent, "/name").
 fn split(path: &str) -> (LocalStorage, String) {
@@ -182,6 +185,10 @@ fn main() {
             };
             println!("repair: {outcome:?}");
         }
+        ["ingest-stat", dir] => {
+            let (fs, path) = split(dir);
+            ingest_stat(&fs, &path, dir, &mut ctx).unwrap_or_else(die);
+        }
         ["verify", dir] => {
             let (fs, path) = split(dir);
             let bag = BoraBag::open(&fs, &path, &mut ctx).unwrap_or_else(die);
@@ -195,6 +202,179 @@ fn main() {
         }
         _ => usage(),
     }
+}
+
+// -------------------------------------------------------------- ingest-stat
+//
+// `bora-tool` lives inside the `bora` crate, which `bora-ingest` depends
+// on — so the tool parses the ingest root's on-disk formats directly
+// instead of linking the crate. Every format is CRC32C-trailed, so a
+// layout drift between the two shows up as "unreadable", never as
+// silently wrong numbers. Constants mirror `crates/bora-ingest`.
+
+const INGEST_CFG_MAGIC: u32 = 0x42_49_4E_31; // "BIN1" — .boraingest
+const INGEST_GEN_MAGIC: u32 = 0x42_49_47_31; // "BIG1" — gen/C*/.ingest
+const INGEST_SEAL_MAGIC: u32 = 0x42_53_4C_31; // "BSL1" — seg/*.seal
+
+/// Verify a CRC-trailed, magic-prefixed marker; return the body after
+/// the magic.
+fn checked_marker(bytes: &[u8], magic: u32) -> Option<Vec<u8>> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    if crc32c(body) != u32::from_le_bytes(tail.try_into().ok()?) {
+        return None;
+    }
+    let mut cur = body;
+    if cur.get_u32().ok()? != magic {
+        return None;
+    }
+    Some(cur.to_vec())
+}
+
+fn ingest_stat(fs: &LocalStorage, root: &str, shown: &str, ctx: &mut IoCtx) -> Result<(), String> {
+    let marker = format!("{root}/.boraingest");
+    if !fs.exists(&marker, ctx) {
+        return Err(format!("{shown}: not a live ingest root (no .boraingest marker)"));
+    }
+    let raw = fs.read_all(&marker, ctx).map_err(|e| e.to_string())?;
+    let cfg = checked_marker(&raw, INGEST_CFG_MAGIC)
+        .ok_or_else(|| format!("{shown}: corrupt .boraingest marker"))?;
+    let mut cur = cfg.as_slice();
+    let wal_shards = cur.get_u32().map_err(|e| e.to_string())? as usize;
+    let group_commit = cur.get_u64().map_err(|e| e.to_string())?;
+    let window_ns = cur.get_u64().map_err(|e| e.to_string())?;
+
+    // Newest committed generation: its marker is the compaction watermark.
+    let gdir = format!("{root}/gen");
+    let mut newest: Option<(u64, u64, u64)> = None; // (generation, seal, wal)
+    let mut staging = 0usize;
+    if fs.exists(&gdir, ctx) {
+        for e in fs.read_dir(&gdir, ctx).map_err(|e| e.to_string())? {
+            if e.name.ends_with(".staging") {
+                staging += 1;
+                continue;
+            }
+            if e.name.strip_prefix('C').and_then(|n| n.parse::<u64>().ok()).is_none() {
+                continue;
+            }
+            let mpath = format!("{gdir}/{}/.ingest", e.name);
+            if !fs.exists(&mpath, ctx) {
+                continue;
+            }
+            let Ok(raw) = fs.read_all(&mpath, ctx) else { continue };
+            let Some(body) = checked_marker(&raw, INGEST_GEN_MAGIC) else { continue };
+            let mut cur = body.as_slice();
+            let (Ok(g), Ok(seal), Ok(wal)) = (cur.get_u64(), cur.get_u64(), cur.get_u64()) else {
+                continue;
+            };
+            if newest.is_none_or(|(best, ..)| g > best) {
+                newest = Some((g, seal, wal));
+            }
+        }
+    }
+    let (generation, gen_seal, gen_wal) =
+        newest.ok_or_else(|| format!("{shown}: no committed generation under gen/"))?;
+
+    // Sealed segments: a `.seal` marker commits a batch; batches newer
+    // than the generation watermark are the compaction lag.
+    let sdir = format!("{root}/seg");
+    let mut seg_files = 0usize;
+    let mut seals = 0usize;
+    let mut lag_seals = 0usize;
+    let mut lag_files = 0usize;
+    let mut sealed_wal = gen_wal; // highest WAL seq covered by gen ∪ seals
+    if fs.exists(&sdir, ctx) {
+        for e in fs.read_dir(&sdir, ctx).map_err(|e| e.to_string())? {
+            if e.name.ends_with(".seg") {
+                seg_files += 1;
+                continue;
+            }
+            let Some(stem) = e.name.strip_suffix(".seal") else { continue };
+            if stem.parse::<u64>().is_err() {
+                continue;
+            }
+            let Ok(raw) = fs.read_all(&format!("{sdir}/{}", e.name), ctx) else { continue };
+            let Some(body) = checked_marker(&raw, INGEST_SEAL_MAGIC) else { continue };
+            let mut cur = body.as_slice();
+            let (Ok(seal_seq), Ok(last_wal), Ok(nfiles)) =
+                (cur.get_u64(), cur.get_u64(), cur.get_u32())
+            else {
+                continue;
+            };
+            seals += 1;
+            if seal_seq > gen_seal {
+                lag_seals += 1;
+                lag_files += nfiles as usize;
+                sealed_wal = sealed_wal.max(last_wal);
+            }
+        }
+    }
+
+    // WAL depth: durable CRC-valid frames per shard. Records with a
+    // sequence above the sealed coverage are what recovery would replay
+    // into the active (in-memory) segments on the next open.
+    let mut durable = 0u64;
+    let mut active = 0u64;
+    let mut torn_shards = 0usize;
+    let mut active_topics = std::collections::BTreeSet::new();
+    for k in 0..wal_shards.max(1) {
+        let p = format!("{root}/wal/shard-{k}.wal");
+        if !fs.exists(&p, ctx) {
+            continue;
+        }
+        let bytes = fs.read_all(&p, ctx).map_err(|e| e.to_string())?;
+        let mut off = 0usize;
+        while bytes.len() - off >= 8 {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            let Some(payload) = bytes.get(off + 8..off + 8 + len) else { break };
+            if crc32c(payload) != crc {
+                break;
+            }
+            let mut cur = payload;
+            let (Ok(seq), Ok(_time), Ok(topic)) = (cur.get_u64(), cur.get_u64(), cur.get_string())
+            else {
+                break;
+            };
+            durable += 1;
+            if seq > sealed_wal {
+                active += 1;
+                active_topics.insert(topic);
+            }
+            off += 8 + len;
+        }
+        if off < bytes.len() {
+            torn_shards += 1;
+        }
+    }
+
+    println!("ingest root:    {shown}");
+    println!(
+        "config:         {wal_shards} wal shard(s), group commit {group_commit}, \
+         time window {} s",
+        window_ns as f64 / 1e9
+    );
+    println!(
+        "generation:     {generation} (compacted through seal {gen_seal}, wal seq {gen_wal}){}",
+        if staging > 0 { format!("  [{staging} staging debris]") } else { String::new() }
+    );
+    println!(
+        "sealed:         {seals} seal marker(s), {seg_files} segment file(s) on disk; \
+         compaction lag: {lag_seals} seal(s) / {lag_files} segment file(s) pending"
+    );
+    println!(
+        "wal depth:      {durable} durable record(s); {active} unsealed -> \
+         {} active segment(s) on next open{}",
+        active_topics.len(),
+        if torn_shards > 0 {
+            format!("  [{torn_shards} shard(s) with torn tails — truncated on recovery]")
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
 }
 
 fn die<E: std::fmt::Display, T>(e: E) -> T {
@@ -211,7 +391,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: bora-tool <import <src.bag> <dir> | info <dir> | topics <dir> | \
          query <dir> <topic> [start_s end_s] | export <dir> <out.bag> | verify <dir> | \
-         fsck <dir> [--repair [--source <src.bag>]]>"
+         fsck <dir> [--repair [--source <src.bag>]] | ingest-stat <dir>>"
     );
     exit(2);
 }

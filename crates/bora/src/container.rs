@@ -24,7 +24,7 @@ use crate::error::{BoraError, BoraResult};
 use crate::layout::{meta_path, rel_path};
 use crate::manifest::Manifest;
 use crate::meta::ContainerMeta;
-use crate::stream::{MessageStream, StreamOptions};
+use crate::stream::{MessageStream, StreamOptions, TailMessage};
 use crate::tag::TagManager;
 use crate::time_index::TimeIndex;
 use crate::topic_index::{decode_entries, is_chronological, TopicIndexEntry};
@@ -325,7 +325,7 @@ impl<S: Storage> BoraBag<S> {
         opts: StreamOptions,
         ctx: &mut IoCtx,
     ) -> BoraResult<MessageStream<'a, S>> {
-        MessageStream::new(self, topics, None, opts, ctx)
+        MessageStream::new(self, topics, Vec::new(), None, opts, ctx)
     }
 
     /// Time-bounded stream over the selected topics, narrowed per topic
@@ -338,7 +338,26 @@ impl<S: Storage> BoraBag<S> {
         opts: StreamOptions,
         ctx: &mut IoCtx,
     ) -> BoraResult<MessageStream<'a, S>> {
-        MessageStream::new(self, topics, Some((start, end)), opts, ctx)
+        MessageStream::new(self, topics, Vec::new(), Some((start, end)), opts, ctx)
+    }
+
+    /// Stream `topics` with live-ingest tails merged in: `tails[i]` holds
+    /// topic `i`'s in-memory messages (sealed segments + memtable, in
+    /// append order) that are *newer* than the topic's container entries.
+    /// The k-way merge treats a container entry and a tail message
+    /// identically — same lanes, same `(time, lane)` tie-break — so the
+    /// output is byte-identical whether a message has been compacted into
+    /// the container yet or not. A topic the container doesn't know is
+    /// accepted when its tail is non-empty (not yet compacted at all).
+    pub fn stream_topics_with_tails<'a>(
+        &'a self,
+        topics: &[&str],
+        tails: Vec<Vec<TailMessage>>,
+        range: Option<(Time, Time)>,
+        opts: StreamOptions,
+        ctx: &mut IoCtx,
+    ) -> BoraResult<MessageStream<'a, S>> {
+        MessageStream::new(self, topics, tails, range, opts, ctx)
     }
 
     /// Read every message of one topic, in time order, delivered through

@@ -22,7 +22,7 @@
 //! * **Clean** → nothing to do (repair is idempotent); stale staging
 //!   debris next to a committed container is swept either way.
 
-use simfs::{IoCtx, Storage};
+use simfs::{EntryKind, IoCtx, Storage};
 
 use crate::checksum::crc32c;
 use crate::error::{BoraError, BoraResult};
@@ -60,6 +60,13 @@ pub struct FsckReport {
     /// duplication attempt crashed). Swept by [`repair`].
     pub stale_staging: bool,
     pub damages: Vec<FileDamage>,
+    /// Root-relative paths present under the container root that the
+    /// MANIFEST does not account for — stray `.wal`/`.seg` files from a
+    /// crashed ingest next to the container, for example. Reported, never
+    /// silently skipped, but they don't make a container Corrupt: the
+    /// committed data itself is intact. Empty for pre-manifest containers
+    /// (nothing to compare the tree against).
+    pub unknown_files: Vec<String>,
     pub files_checked: usize,
     pub bytes_checked: u64,
     /// False for pre-manifest containers, which can only be checked
@@ -102,6 +109,7 @@ pub fn check<S: Storage>(storage: &S, root: &str, ctx: &mut IoCtx) -> BoraResult
                 state: FsckState::Torn,
                 stale_staging,
                 damages: Vec::new(),
+                unknown_files: Vec::new(),
                 files_checked: 0,
                 bytes_checked: 0,
                 has_manifest: false,
@@ -114,11 +122,13 @@ pub fn check<S: Storage>(storage: &S, root: &str, ctx: &mut IoCtx) -> BoraResult
     }
 
     let mut damages = Vec::new();
+    let mut unknown_files = Vec::new();
     let mut files_checked = 0usize;
     let mut bytes_checked = 0u64;
     let mut has_manifest = true;
     match Manifest::load(storage, root, ctx) {
         Ok(Some(manifest)) => {
+            unknown_files = scan_unknown_files(storage, root, &manifest, ctx);
             for e in manifest.entries() {
                 files_checked += 1;
                 let path = format!("{}/{}", root.trim_end_matches('/'), e.path);
@@ -176,7 +186,53 @@ pub fn check<S: Storage>(storage: &S, root: &str, ctx: &mut IoCtx) -> BoraResult
 
     bora_obs::histogram("verify.latency_ns").record(t0.elapsed().as_nanos() as u64);
     let state = if damages.is_empty() { FsckState::Clean } else { FsckState::Corrupt };
-    Ok(FsckReport { state, stale_staging, damages, files_checked, bytes_checked, has_manifest })
+    Ok(FsckReport {
+        state,
+        stale_staging,
+        damages,
+        unknown_files,
+        files_checked,
+        bytes_checked,
+        has_manifest,
+    })
+}
+
+/// Walk the container tree (root files + one level of topic-dir files)
+/// and collect everything the MANIFEST doesn't list. The MANIFEST itself
+/// is exempt (it cannot list its own checksum).
+fn scan_unknown_files<S: Storage>(
+    storage: &S,
+    root: &str,
+    manifest: &Manifest,
+    ctx: &mut IoCtx,
+) -> Vec<String> {
+    let mut unknown = Vec::new();
+    let Ok(entries) = storage.read_dir(root, ctx) else {
+        return unknown;
+    };
+    let root = root.trim_end_matches('/');
+    for e in entries {
+        match e.kind {
+            EntryKind::File => {
+                if e.name != MANIFEST_FILE && manifest.entry(&e.name).is_none() {
+                    unknown.push(e.name);
+                }
+            }
+            EntryKind::Dir => {
+                let Ok(children) = storage.read_dir(&format!("{root}/{}", e.name), ctx) else {
+                    continue;
+                };
+                for c in children {
+                    let rel = format!("{}/{}", e.name, c.name);
+                    if c.kind != EntryKind::File || manifest.entry(&rel).is_none() {
+                        unknown.push(rel);
+                    }
+                }
+            }
+        }
+    }
+    unknown.sort();
+    unknown
 }
 
 /// Drive `root` back to Clean. `source` is the original bag the container
@@ -477,6 +533,38 @@ mod tests {
             repair(&fs, "/c", Some((&fs, "/src.bag")), &OrganizerOptions::default(), &mut ctx)
                 .unwrap();
         assert_eq!(out, RepairOutcome::AlreadyClean);
+    }
+
+    #[test]
+    fn clean_container_reports_no_unknown_files() {
+        let fs = setup();
+        let mut ctx = IoCtx::new();
+        let r = check(&fs, "/c", &mut ctx).unwrap();
+        assert!(r.unknown_files.is_empty());
+    }
+
+    #[test]
+    fn stray_ingest_files_are_reported_not_skipped() {
+        let fs = setup();
+        let mut ctx = IoCtx::new();
+        // A crashed ingest left WAL/segment droppings in and around the
+        // committed tree.
+        fs.append("/c/00000003.seal", b"stray", &mut ctx).unwrap();
+        fs.append("/c/imu/00000003.seg", b"stray", &mut ctx).unwrap();
+        fs.mkdir_all("/c/wal", &mut ctx).unwrap();
+        fs.append("/c/wal/shard-0.wal", b"stray", &mut ctx).unwrap();
+
+        let r = check(&fs, "/c", &mut ctx).unwrap();
+        // The committed data is intact — strays are surfaced, not fatal.
+        assert_eq!(r.state, FsckState::Clean);
+        assert_eq!(
+            r.unknown_files,
+            vec![
+                "00000003.seal".to_owned(),
+                "imu/00000003.seg".to_owned(),
+                "wal/shard-0.wal".to_owned(),
+            ]
+        );
     }
 
     #[test]

@@ -69,6 +69,24 @@ impl Default for StreamOptions {
     }
 }
 
+/// One in-memory message appended *after* a topic's container entries —
+/// served from an ingest memtable or a sealed segment instead of the
+/// topic's `data` file. A live store hands these to
+/// [`BoraBag::stream_topics_with_tails`] so the k-way merge sees
+/// mid-recording data through the exact same lanes (and therefore the
+/// exact same `(time, lane)` tie-break) as compacted data: the merge
+/// output is byte-identical whether a message lives in a tail or in the
+/// container.
+///
+/// Tail messages of one topic must be chronological and must not predate
+/// the topic's last container entry — the ingest store enforces both by
+/// rejecting out-of-order appends.
+#[derive(Debug, Clone)]
+pub struct TailMessage {
+    pub time: Time,
+    pub data: Arc<[u8]>,
+}
+
 /// One message, delivered as a shared slice of its topic's data block.
 #[derive(Debug, Clone)]
 pub struct StreamMessage {
@@ -144,6 +162,16 @@ struct TopicCursor {
     fetched: usize,
     blocks: VecDeque<Block>,
     queued_bytes: usize,
+    /// In-memory messages merged after the container entries (live-ingest
+    /// tails). Delivered straight from their shared payload slices — no
+    /// fill, no block queue.
+    tail: Vec<TailMessage>,
+    /// Next tail message to yield once `entries` are exhausted.
+    tail_next: usize,
+    /// Whether the topic has container files behind it. Tail-only lanes
+    /// (topics not yet compacted into the container) skip index loading
+    /// and fills entirely.
+    container_backed: bool,
     /// Running CRC over the whole data file + manifest expectation, when
     /// this is a verifying full-file stream.
     verify: Option<(Crc32c, u64, u32, String)>,
@@ -155,7 +183,10 @@ struct TopicCursor {
 
 impl TopicCursor {
     fn peek_time(&self) -> Option<Time> {
-        self.entries.get(self.next).map(|e| e.time)
+        self.entries
+            .get(self.next)
+            .map(|e| e.time)
+            .or_else(|| self.tail.get(self.tail_next).map(|m| m.time))
     }
 
     fn needs_fill(&self, readahead: usize) -> bool {
@@ -211,6 +242,19 @@ impl TopicCursor {
 
     /// Yield the next message; the covering block must already be queued.
     fn pop_msg(&mut self) -> StreamMessage {
+        if self.next >= self.entries.len() {
+            // Container entries exhausted — serve from the in-memory tail.
+            let m = &self.tail[self.tail_next];
+            self.tail_next += 1;
+            return StreamMessage {
+                conn_id: self.conn_id,
+                topic: Arc::clone(&self.topic),
+                time: m.time,
+                block: Arc::clone(&m.data),
+                start: 0,
+                len: m.data.len(),
+            };
+        }
         let e = self.entries[self.next];
         let block = self.blocks.front().expect("fill() ran before pop_msg");
         debug_assert!(e.offset >= block.start && e.end() <= block.end());
@@ -231,7 +275,8 @@ impl TopicCursor {
         msg
     }
 
-    /// Whether the next entry's block is already queued.
+    /// Whether the next message is already deliverable (its block is
+    /// queued, or it comes from the in-memory tail).
     fn front_ready(&self) -> bool {
         match (self.entries.get(self.next), self.blocks.front()) {
             (Some(e), Some(b)) => e.offset >= b.start && e.end() <= b.end(),
@@ -269,19 +314,39 @@ pub struct MessageStream<'a, S: Storage> {
 
 impl<'a, S: Storage> MessageStream<'a, S> {
     /// Build a stream over `topics`; `range` bounds it via the coarse
-    /// time index (`None` = whole topics, manifest-verified).
+    /// time index (`None` = whole topics, manifest-verified). `tails` is
+    /// either empty or one tail per topic (live-ingest messages merged
+    /// after the topic's container entries); a topic unknown to the
+    /// container is accepted when it brings a non-empty tail.
     pub(crate) fn new(
         bag: &'a BoraBag<S>,
         topics: &[&str],
+        mut tails: Vec<Vec<TailMessage>>,
         range: Option<(Time, Time)>,
         opts: StreamOptions,
         ctx: &mut IoCtx,
     ) -> BoraResult<Self> {
         let k = topics.len();
+        debug_assert!(tails.is_empty() || tails.len() == k, "one tail per topic");
+        tails.resize_with(k, Vec::new);
         let mut cursors = Vec::with_capacity(k);
-        for topic in topics {
+        for (topic, mut tail) in topics.iter().zip(tails) {
             bag.check_not_damaged(topic)?;
-            let paths = bag.tags.lookup_arc(topic, ctx)?;
+            // A tail-only topic stays known even when the range filter
+            // empties its tail — the query legitimately selects nothing.
+            let had_tail = !tail.is_empty();
+            if let Some((start, end)) = range {
+                tail.retain(|m| m.time >= start && m.time < end);
+            }
+            let (paths, container_backed) = match bag.tags.lookup_arc(topic, ctx) {
+                Ok(p) => (p, true),
+                Err(BoraError::UnknownTopic(_)) if had_tail => {
+                    // Tail-only lane: every message is in memory; the
+                    // (nonexistent) container files are never touched.
+                    (Arc::new(TopicPaths::new(bag.root(), topic)), false)
+                }
+                Err(e) => return Err(e),
+            };
             let interned = bag.tags.interned_topic(topic).unwrap_or_else(|| Arc::from(*topic));
             cursors.push(TopicCursor {
                 topic: interned,
@@ -292,6 +357,9 @@ impl<'a, S: Storage> MessageStream<'a, S> {
                 fetched: 0,
                 blocks: VecDeque::new(),
                 queued_bytes: 0,
+                tail,
+                tail_next: 0,
+                container_backed,
                 verify: None,
                 ctx: IoCtx::with_concurrency(ctx.concurrency),
                 failed: None,
@@ -472,9 +540,12 @@ impl<'a, S: Storage> MessageStream<'a, S> {
         self.stats
     }
 
-    /// Messages remaining (exact — from the index entries).
+    /// Messages remaining (exact — index entries plus queued tails).
     pub fn remaining(&self) -> u64 {
-        self.cursors.iter().map(|c| (c.entries.len() - c.next) as u64).sum()
+        self.cursors
+            .iter()
+            .map(|c| (c.entries.len() - c.next) as u64 + (c.tail.len() - c.tail_next) as u64)
+            .sum()
     }
 
     /// Iterator adapter over (`stream`, `ctx`).
@@ -522,6 +593,10 @@ fn prepare_and_fill<S: Storage>(
     readahead: usize,
     prepare: bool,
 ) -> BoraResult<()> {
+    if !cursor.container_backed {
+        // Tail-only lane: nothing on storage to load or prefetch.
+        return Ok(());
+    }
     if prepare {
         match range {
             None => {

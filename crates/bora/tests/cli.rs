@@ -120,6 +120,56 @@ fn verify_detects_tampering() {
 }
 
 #[test]
+fn ingest_stat_reports_wal_depth_segments_and_lag() {
+    use bora_ingest::{IngestConfig, IngestStore};
+
+    let dir = workdir("ingest");
+    let root = dir.join("live");
+
+    // Not an ingest root yet: the tool must refuse, not invent numbers.
+    let out = tool().arg("ingest-stat").arg(&root).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a live ingest root"));
+
+    // Build a real root: one sealed batch awaiting compaction plus one
+    // record that only the WAL holds.
+    let fs = LocalStorage::new(&dir).unwrap();
+    let mut ctx = IoCtx::new();
+    let cfg = IngestConfig { wal_shards: 2, group_commit: 4, window_ns: 1_000_000_000 };
+    let store = IngestStore::create(fs, "/live", cfg, &mut ctx).unwrap();
+    for i in 0..6u64 {
+        store.append("/imu", Time::from_nanos(i * 10), &[i as u8; 4], &mut ctx).unwrap();
+        if i % 2 == 0 {
+            store.append("/cam", Time::from_nanos(i * 10 + 1), b"frame", &mut ctx).unwrap();
+        }
+    }
+    store.seal(&mut ctx).unwrap().expect("nine messages to seal");
+    store.append("/imu", Time::from_nanos(1_000), b"tail", &mut ctx).unwrap();
+    store.flush_wal(&mut ctx).unwrap();
+
+    let out = tool().arg("ingest-stat").arg(&root).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("2 wal shard(s)"), "{text}");
+    // The seal wrote one segment per topic; none compacted yet.
+    assert!(text.contains("1 seal marker(s), 2 segment file(s)"), "{text}");
+    assert!(text.contains("compaction lag: 1 seal(s) / 2 segment file(s) pending"), "{text}");
+    // The seal retired the WAL, so only the tail append is in it — and it
+    // is exactly the record recovery would replay as an active segment.
+    assert!(text.contains("1 durable record(s); 1 unsealed -> 1 active segment(s)"), "{text}");
+
+    // After compaction the lag drains and the generation advances.
+    store.compact(&mut ctx).unwrap();
+    let out = tool().arg("ingest-stat").arg(&root).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("generation:     1"), "{text}");
+    assert!(text.contains("compaction lag: 0 seal(s) / 0 segment file(s) pending"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn import_refuses_garbage() {
     let dir = workdir("garbage");
     std::fs::write(dir.join("junk.bag"), vec![0u8; 9000]).unwrap();
