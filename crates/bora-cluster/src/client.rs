@@ -30,8 +30,8 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use bora_serve::{
-    ClientError, ClientResult, Connection, ErrorCode, PingInfo, ProtoError, Request, Response,
-    ServeClient, StatsSnapshot, Transport, WireMessage,
+    ClientError, ClientResult, Connection, ErrorCode, MetricsReport, PingInfo, ProtoError, Request,
+    Response, ServeClient, StatsSnapshot, Transport, WireMessage,
 };
 use crossbeam::channel::{self, RecvTimeoutError};
 use ros_msgs::Time;
@@ -269,10 +269,24 @@ where
                     bora_obs::counter("cluster.failover").inc();
                 }
                 attempted = true;
+                // One span per attempt: in a merged trace, failover shows
+                // up as sibling attempt spans, the abandoned ones marked
+                // cancelled. Server-side spans parent under the attempt
+                // (roundtrip propagates the innermost open span).
+                let sp = bora_obs::span("cluster.attempt");
                 match ep.attempt(&mut op) {
-                    Ok(v) => return Ok(v),
-                    Err(e) if should_failover(&e) => last = Some(e),
-                    Err(e) => return Err(e),
+                    Ok(v) => {
+                        sp.end();
+                        return Ok(v);
+                    }
+                    Err(e) if should_failover(&e) => {
+                        sp.cancel();
+                        last = Some(e);
+                    }
+                    Err(e) => {
+                        sp.end();
+                        return Err(e);
+                    }
                 }
             }
             if attempted {
@@ -283,18 +297,22 @@ where
     }
 
     pub fn open(&self, container: &str) -> ClientResult<bora_serve::ContainerStat> {
+        let _sp = bora_obs::span("cluster.open");
         self.with_failover(container, |c| c.open(container).map(|(stat, _)| stat))
     }
 
     pub fn topics(&self, container: &str) -> ClientResult<Vec<String>> {
+        let _sp = bora_obs::span("cluster.topics");
         self.with_failover(container, |c| c.topics(container))
     }
 
     pub fn meta(&self, container: &str) -> ClientResult<Vec<u8>> {
+        let _sp = bora_obs::span("cluster.meta");
         self.with_failover(container, |c| c.meta(container))
     }
 
     pub fn stat(&self, container: &str) -> ClientResult<bora_serve::ContainerStat> {
+        let _sp = bora_obs::span("cluster.stat");
         self.with_failover(container, |c| c.stat(container))
     }
 
@@ -312,6 +330,7 @@ where
     /// reader served by any replica sees the same data. Returns the
     /// owner's `(appended, epoch)`.
     pub fn append(&self, container: &str, messages: &[WireMessage]) -> ClientResult<(u64, u64)> {
+        let _sp = bora_obs::span("cluster.append");
         let eps = self.ring_ordered(container);
         if eps.is_empty() {
             return Err(no_nodes(container));
@@ -329,6 +348,7 @@ where
     /// replica. Same all-must-ack contract as [`ClusterClient::append`].
     /// Returns the owner's `(epoch, sealed_segments)`.
     pub fn seal(&self, container: &str, compact: bool) -> ClientResult<(u64, u32)> {
+        let _sp = bora_obs::span("cluster.seal");
         let eps = self.ring_ordered(container);
         if eps.is_empty() {
             return Err(no_nodes(container));
@@ -361,6 +381,7 @@ where
         topics: &[&str],
         range: Option<(Time, Time)>,
     ) -> ClientResult<Vec<WireMessage>> {
+        let _sp = bora_obs::span("cluster.read");
         if self.cfg.hedge.is_some() {
             return self.read_hedged(container, topics, range);
         }
@@ -413,11 +434,21 @@ where
         }
 
         let (tx, rx) = channel::unbounded();
+        // Legs run on their own threads: each adopts the read's context so
+        // its spans (and the server's) stay in the trace tree, and the
+        // first leg to deliver a usable answer claims `winner` — every
+        // other leg records its span cancelled, so hedged losers are
+        // visible as abandoned siblings in the merged timeline.
+        let winner = Arc::new(AtomicUsize::new(usize::MAX));
+        let pctx = bora_obs::current_context();
         let spawn_read = |ep: Arc<NodeEndpoint<T>>, idx: usize| {
             let tx = tx.clone();
+            let winner = Arc::clone(&winner);
             let container = container.to_owned();
             let topics: Vec<String> = topics.iter().map(|t| (*t).to_owned()).collect();
             std::thread::spawn(move || {
+                let _ctx = bora_obs::adopt_context(pctx);
+                let leg = bora_obs::span("cluster.hedge_leg");
                 let started = Instant::now();
                 let res = ep.attempt(&mut |c: &mut ServeClient<T::Conn>| {
                     let ts: Vec<&str> = topics.iter().map(String::as_str).collect();
@@ -426,6 +457,15 @@ where
                         None => c.read(&container, &ts),
                     }
                 });
+                let won = res.is_ok()
+                    && winner
+                        .compare_exchange(usize::MAX, idx, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok();
+                if won {
+                    leg.end();
+                } else {
+                    leg.cancel();
+                }
                 // Receiver gone means the other leg already won — the
                 // attempt above still ran to completion, keeping its
                 // connection aligned and back in the pool.
@@ -560,6 +600,19 @@ where
         ep.attempt(&mut |c| c.stats())
     }
 
+    /// One node's full `METRICS` scrape (registry + slow-op tail) — what
+    /// the telemetry poller aggregates across the fleet.
+    pub fn node_metrics(&self, node: NodeId) -> ClientResult<MetricsReport> {
+        let ep = self.nodes.get(&node).ok_or_else(|| no_nodes(&format!("node {node}")))?;
+        ep.attempt(&mut |c| c.metrics())
+    }
+
+    /// Every reachable node's `METRICS` scrape; unreachable nodes report
+    /// their error (the poller counts them, it does not fail the sweep).
+    pub fn metrics_all(&self) -> Vec<(NodeId, ClientResult<MetricsReport>)> {
+        self.nodes.iter().map(|(id, ep)| (*id, ep.attempt(&mut |c| c.metrics()))).collect()
+    }
+
     /// Breaker state per node, for observability.
     pub fn breaker_states(&self) -> Vec<(NodeId, BreakerState)> {
         self.nodes.iter().map(|(id, ep)| (*id, ep.breaker_state())).collect()
@@ -607,18 +660,23 @@ impl<T: Transport> ClusterStream<T> {
         while self.cursor < self.eps.len() {
             let ep = Arc::clone(&self.eps[self.cursor]);
             self.cursor += 1;
+            // Propagate whatever span is open at (re)connect time — for a
+            // mid-stream failover that is still the caller's span, so the
+            // resumed stream stays in the same trace tree.
             match ep.transport.connect() {
-                Ok(mut conn) => match conn.send_frame(&req.encode()) {
-                    Ok(()) => {
-                        self.skip = self.fetched;
-                        self.current = Some((ep, conn));
-                        return Ok(());
+                Ok(mut conn) => {
+                    match conn.send_frame(&req.encode_traced(bora_obs::current_context())) {
+                        Ok(()) => {
+                            self.skip = self.fetched;
+                            self.current = Some((ep, conn));
+                            return Ok(());
+                        }
+                        Err(e) => {
+                            ep.breaker.lock().unwrap().on_failure();
+                            last = Some(e.into());
+                        }
                     }
-                    Err(e) => {
-                        ep.breaker.lock().unwrap().on_failure();
-                        last = Some(e.into());
-                    }
-                },
+                }
                 Err(e) => {
                     ep.breaker.lock().unwrap().on_failure();
                     last = Some(e.into());

@@ -23,7 +23,13 @@
 //!   independent fault-injectable storage, provisioning, and
 //!   re-replication of under-replicated containers after node death;
 //! * [`swarm`] — routes `bora::SwarmQuery` fan-outs through the router,
-//!   so multi-robot queries survive node loss too.
+//!   so multi-robot queries survive node loss too;
+//! * [`telemetry`] — the observability plane: scrapes every node's
+//!   `METRICS` registry snapshot, folds them into one cluster view
+//!   (counters summed, histograms merged bucket-wise so cluster
+//!   percentiles are exact, gauges kept as min/max spreads), tracks
+//!   per-node counter deltas between scrapes, and renders the
+//!   `bora-tool top` table and JSON.
 //!
 //! ```
 //! use bora_cluster::{ClusterClientConfig, ClusterTierConfig, LocalCluster};
@@ -55,6 +61,7 @@ pub mod cluster;
 pub mod health;
 pub mod ring;
 pub mod swarm;
+pub mod telemetry;
 
 pub use client::{
     ClusterClient, ClusterClientConfig, ClusterStream, HedgeConfig, MergedStream, NodeEndpoint,
@@ -64,3 +71,7 @@ pub use cluster::{ClusterTierConfig, HealReport, LocalCluster, LocalNode};
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use ring::{hash_key, MigrationPlan, Move, NodeId, Ring, RingConfig};
 pub use swarm::{swarm_query, ClusterBackend};
+pub use telemetry::{
+    aggregate_reports, render_top, scrape_to_json, AggregatedMetrics, ClusterScrape,
+    ClusterTelemetry,
+};

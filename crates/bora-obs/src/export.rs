@@ -4,7 +4,13 @@
 //!   one complete (`"ph":"X"`) event per span. Load the file in
 //!   `about://tracing` or <https://ui.perfetto.dev> to see the paper's
 //!   latency decomposition as a timeline. Virtual (cost-model) nanoseconds
-//!   travel in each event's `args.virt_ns`.
+//!   travel in each event's `args.virt_ns`; causal links travel as
+//!   `args.trace_id` / `args.span_id` / `args.parent_span`. Each node lane
+//!   ([`crate::set_thread_node`]) becomes its own process (`pid`), named by
+//!   a metadata event, so a merged multi-node trace reads as parallel
+//!   per-node timelines.
+//! * [`merge_chrome_traces`] — splice several nodes' [`chrome_trace`]
+//!   outputs into one causally-linked timeline (drop counts are summed).
 //! * [`folded_stacks`] — `path;to;span <self_wall_ns>` lines, directly
 //!   consumable by `flamegraph.pl` / `inferno-flamegraph`.
 
@@ -18,33 +24,95 @@ use crate::trace::SpanEvent;
 /// recorded in the top-level metadata so a truncated trace is honest
 /// about it.
 pub fn chrome_trace(events: &[SpanEvent], dropped: u64) -> String {
-    let mut out = String::with_capacity(events.len() * 96 + 64);
+    let mut out = String::with_capacity(events.len() * 128 + 64);
     out.push_str("{\"displayTimeUnit\":\"ns\",");
     let _ = write!(out, "\"otherData\":{{\"dropped_events\":{dropped}}},");
     out.push_str("\"traceEvents\":[");
-    for (i, e) in events.iter().enumerate() {
-        if i > 0 {
+    // One named process per node lane, so merged multi-node traces keep
+    // their timelines apart. Lane 0 is the client (untagged threads).
+    let mut nodes: Vec<u32> = events.iter().map(|e| e.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let mut first = true;
+    for n in nodes {
+        if !first {
             out.push(',');
         }
+        first = false;
+        let label = if n == 0 { "client".to_owned() } else { format!("node-{}", n - 1) };
         let _ = write!(
             out,
-            "{{\"name\":{},\"cat\":\"bora\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}",
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{n},\"args\":{{\"name\":{}}}}}",
+            json_string(&label),
+        );
+    }
+    for e in events.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"bora\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}",
             json_string(e.name),
+            e.node,
             e.tid,
             e.start_ns as f64 / 1e3,
             e.dur_ns as f64 / 1e3,
         );
-        match e.virt_ns {
-            Some(v) => {
-                let _ =
-                    write!(out, ",\"args\":{{\"virt_ns\":{v},\"path\":{}}}", json_string(&e.path));
-            }
-            None => {
-                let _ = write!(out, ",\"args\":{{\"path\":{}}}", json_string(&e.path));
-            }
+        out.push_str(",\"args\":{");
+        if let Some(v) = e.virt_ns {
+            let _ = write!(out, "\"virt_ns\":{v},");
         }
+        if e.span_id != 0 {
+            let _ = write!(
+                out,
+                "\"trace_id\":{},\"span_id\":{},\"parent_span\":{},",
+                e.trace_id, e.span_id, e.parent_span
+            );
+        }
+        if e.cancelled {
+            out.push_str("\"cancelled\":true,");
+        }
+        let _ = write!(out, "\"path\":{}}}", json_string(&e.path));
         out.push('}');
     }
+    out.push_str("]}");
+    out
+}
+
+/// Merge several [`chrome_trace`] outputs — typically one per node,
+/// scraped over the wire — into a single trace object. Event arrays are
+/// spliced and `dropped_events` counts are summed; causal links survive
+/// because span ids are carried in each event's `args`. Inputs must be
+/// `chrome_trace`-shaped; anything else is skipped.
+pub fn merge_chrome_traces(parts: &[String]) -> String {
+    let mut dropped_total: u64 = 0;
+    let mut bodies: Vec<&str> = Vec::new();
+    for part in parts {
+        if let Some(i) = part.find("\"dropped_events\":") {
+            let rest = &part[i + "\"dropped_events\":".len()..];
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            dropped_total = dropped_total.saturating_add(digits.parse().unwrap_or(0));
+        }
+        let Some(start) = part.find("\"traceEvents\":[") else { continue };
+        let body_start = start + "\"traceEvents\":[".len();
+        // chrome_trace always ends with `]}`; the event array is what is
+        // between the opening bracket and that tail.
+        let Some(body_end) = part.rfind("]}") else { continue };
+        if body_end < body_start {
+            continue;
+        }
+        let body = &part[body_start..body_end];
+        if !body.is_empty() {
+            bodies.push(body);
+        }
+    }
+    let mut out = String::with_capacity(bodies.iter().map(|b| b.len() + 1).sum::<usize>() + 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",");
+    let _ = write!(out, "\"otherData\":{{\"dropped_events\":{dropped_total}}},");
+    out.push_str("\"traceEvents\":[");
+    out.push_str(&bodies.join(","));
     out.push_str("]}");
     out
 }
@@ -88,6 +156,11 @@ mod tests {
             start_ns: start,
             dur_ns: dur,
             virt_ns: virt,
+            trace_id: 0,
+            span_id: 0,
+            parent_span: 0,
+            node: 0,
+            cancelled: false,
         }
     }
 
@@ -105,6 +178,61 @@ mod tests {
         assert!(json.contains("\"ts\":1.000"));
         // Exactly one traceEvents array with both events.
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        // Lane 0 is named "client" via a metadata event.
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"client\""));
+        // Id-less events (span_id 0) carry no causal args.
+        assert!(!json.contains("\"span_id\""));
+    }
+
+    #[test]
+    fn chrome_trace_carries_ids_nodes_and_cancellation() {
+        let mut a = ev("cluster.read", "cluster.read", 0, 9_000, None);
+        a.trace_id = 41;
+        a.span_id = 41;
+        let mut b = ev("serve.read", "serve.read", 2_000, 3_000, None);
+        b.trace_id = 41;
+        b.span_id = 43;
+        b.parent_span = 41;
+        b.node = 2; // server node 1
+        let mut c = ev("hedge_leg", "cluster.read;hedge_leg", 2_500, 4_000, None);
+        c.trace_id = 41;
+        c.span_id = 44;
+        c.parent_span = 41;
+        c.cancelled = true;
+        let json = chrome_trace(&[a, b, c], 0);
+        assert!(json.contains("\"trace_id\":41,\"span_id\":43,\"parent_span\":41"));
+        assert!(json.contains("\"pid\":2"));
+        assert!(json.contains("\"name\":\"node-1\""));
+        assert!(json.contains("\"cancelled\":true"));
+        // One metadata event per distinct lane: client (0) and node-1 (2).
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2);
+    }
+
+    #[test]
+    fn merge_splices_events_and_sums_drops() {
+        let mut a = ev("client_op", "client_op", 0, 100, None);
+        a.span_id = 10;
+        a.trace_id = 10;
+        let mut b = ev("server_op", "server_op", 20, 50, None);
+        b.span_id = 11;
+        b.trace_id = 10;
+        b.parent_span = 10;
+        b.node = 1;
+        let part_client = chrome_trace(&[a], 2);
+        let part_node = chrome_trace(&[b], 5);
+        let merged = merge_chrome_traces(&[part_client, part_node]);
+        assert!(merged.contains("\"dropped_events\":7"));
+        assert!(merged.contains("\"client_op\""));
+        assert!(merged.contains("\"server_op\""));
+        assert_eq!(merged.matches("\"ph\":\"X\"").count(), 2);
+        // Parent link survives the merge.
+        assert!(merged.contains("\"parent_span\":10"));
+        // Still one valid object: empty parts and the two bodies spliced.
+        assert!(merged.starts_with('{') && merged.ends_with('}'));
+        let remerged = merge_chrome_traces(&[merged.clone(), chrome_trace(&[], 0)]);
+        assert_eq!(remerged.matches("\"ph\":\"X\"").count(), 2);
+        assert!(remerged.contains("\"dropped_events\":7"));
     }
 
     #[test]
@@ -125,5 +253,7 @@ mod tests {
         assert_eq!(folded_stacks(&[]), "");
         let json = chrome_trace(&[], 0);
         assert!(json.contains("\"traceEvents\":[]"));
+        let merged = merge_chrome_traces(&[json]);
+        assert!(merged.contains("\"traceEvents\":[]"));
     }
 }

@@ -148,6 +148,21 @@ impl HistSummary {
         bucket_ceiling(BUCKETS - 1)
     }
 
+    /// Combine two summaries bucket-wise, as if every sample of both had
+    /// been recorded into one histogram: counts, sums and buckets add
+    /// (saturating), minima take the min. This is exact — merging N
+    /// nodes' summaries equals the summary of one histogram fed all N
+    /// nodes' samples — which is what makes cluster-wide percentiles
+    /// honest rather than an average-of-percentiles.
+    pub fn merge(&self, other: &HistSummary) -> HistSummary {
+        HistSummary {
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
+            min: self.min.min(other.min),
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_add(other.buckets[i])),
+        }
+    }
+
     /// This summary minus an `earlier` one of the same histogram
     /// (per-interval deltas; `min` is kept from `self` since minima are
     /// not subtractable).
@@ -240,6 +255,29 @@ mod tests {
         // Sum wraps only via saturation in delta, not record; here the sum
         // overflows u64 deliberately — mean is still defined (mod 2^64).
         assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn merge_is_bucket_exact() {
+        // Merging per-node summaries must equal a single histogram fed
+        // every node's samples — the property cluster aggregation rests on.
+        let a = ExpHistogram::new();
+        let b = ExpHistogram::new();
+        let combined = ExpHistogram::new();
+        for v in [3u64, 900, 1_000_000, 17] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [1u64, 5_000, u64::MAX, 900] {
+            b.record(v);
+            combined.record(v);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged, combined.snapshot());
+        // Identity: merging with an empty summary changes nothing.
+        assert_eq!(merged.merge(&HistSummary::default()), merged);
+        // Commutative.
+        assert_eq!(b.snapshot().merge(&a.snapshot()), merged);
     }
 
     #[test]

@@ -43,18 +43,23 @@
 pub mod export;
 pub mod hist;
 pub mod registry;
+pub mod slo;
 pub mod trace;
+pub mod window;
 
-pub use export::{chrome_trace, folded_stacks};
+pub use export::{chrome_trace, folded_stacks, merge_chrome_traces};
 pub use hist::{ExpHistogram, HistSummary, BUCKETS};
 pub use registry::{
     counter, gauge, histogram, json_string, snapshot, Counter, Gauge, Histogram, MetricsSnapshot,
     Registry,
 };
+pub use slo::{SloStatus, SloTarget, SloTracker};
 pub use trace::{
-    drain, dropped, enabled, init_from_env, now_ns, out_path_from_env, set_enabled, span, Span,
-    SpanEvent, RING_CAPACITY,
+    adopt_context, current_context, drain, dropped, enabled, init_from_env, now_ns,
+    out_path_from_env, record_complete, set_enabled, set_thread_node, span, ContextGuard, Span,
+    SpanEvent, TraceContext, RING_CAPACITY,
 };
+pub use window::WindowedHistogram;
 
 /// If tracing is enabled, drain everything recorded so far and write a
 /// Chrome trace JSON to `BORA_TRACE_OUT` (or `default_path` when unset).

@@ -1,0 +1,211 @@
+//! [`SloTracker`]: per-op latency-objective evaluation over sliding
+//! windows.
+//!
+//! Each registered op gets a [`WindowedHistogram`] and a [`SloTarget`]
+//! (p50/p99 ceilings). [`SloTracker::evaluate_at`] snapshots every op's
+//! current window, compares the observed percentiles against the target
+//! and bumps a per-op breach counter on violation — the signal the
+//! ROADMAP's SLO-driven elasticity consumes ("node X's read p99 has been
+//! over target for N evaluations → add a replica"). Evaluation is
+//! explicit rather than continuous: the caller (a telemetry poller, a
+//! test) decides the cadence, and a breach shows up on the first
+//! evaluation after the offending window — within one window rotation of
+//! the regression itself.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::window::WindowedHistogram;
+
+/// Latency objective for one op: percentile ceilings in nanoseconds.
+/// A ceiling of `u64::MAX` means "don't care".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloTarget {
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+}
+
+impl SloTarget {
+    /// Only bound the tail.
+    pub fn p99(p99_ns: u64) -> Self {
+        SloTarget { p50_ns: u64::MAX, p99_ns }
+    }
+}
+
+/// One evaluation's verdict for one op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloStatus {
+    pub name: String,
+    pub target: SloTarget,
+    /// Observed percentiles over the current window (bucket ceilings).
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    /// Samples in the window this verdict is based on.
+    pub samples: u64,
+    /// Did this evaluation observe a violation? (Empty windows never
+    /// breach.)
+    pub breached: bool,
+    /// Total evaluations that found this op in breach, ever.
+    pub breaches: u64,
+}
+
+struct SloEntry {
+    name: String,
+    target: Mutex<SloTarget>,
+    window: WindowedHistogram,
+    breaches: AtomicU64,
+}
+
+/// Tracks latency SLOs for a set of named ops. Recording is cheap (one
+/// uncontended lock to resolve the op, then lock-free histogram writes);
+/// entries live for the tracker's lifetime.
+pub struct SloTracker {
+    ops: Mutex<Vec<Arc<SloEntry>>>,
+    nslots: usize,
+    slot_ns: u64,
+}
+
+impl SloTracker {
+    /// A tracker whose per-op windows are `nslots × slot_ns`.
+    pub fn new(nslots: usize, slot_ns: u64) -> Self {
+        SloTracker { ops: Mutex::new(Vec::new()), nslots, slot_ns }
+    }
+
+    /// The conventional 60 × 1 s window per op.
+    pub fn per_second_minute() -> Self {
+        Self::new(60, 1_000_000_000)
+    }
+
+    /// Register (or re-target) an op. Re-registering keeps the op's
+    /// window and breach history; only the target changes.
+    pub fn register(&self, name: &str, target: SloTarget) {
+        let mut ops = self.ops.lock();
+        if let Some(e) = ops.iter().find(|e| e.name == name) {
+            *e.target.lock() = target;
+            return;
+        }
+        ops.push(Arc::new(SloEntry {
+            name: name.to_owned(),
+            target: Mutex::new(target),
+            window: WindowedHistogram::new(self.nslots, self.slot_ns),
+            breaches: AtomicU64::new(0),
+        }));
+    }
+
+    fn entry(&self, name: &str) -> Option<Arc<SloEntry>> {
+        self.ops.lock().iter().find(|e| e.name == name).map(Arc::clone)
+    }
+
+    /// Record a sample for `name` at explicit time `t_ns`. Unregistered
+    /// ops are ignored (callers record unconditionally; only ops someone
+    /// set a target for are tracked).
+    pub fn record_at(&self, name: &str, t_ns: u64, v: u64) {
+        if let Some(e) = self.entry(name) {
+            e.window.record_at(t_ns, v);
+        }
+    }
+
+    /// [`Self::record_at`] on the trace clock.
+    pub fn record(&self, name: &str, v: u64) {
+        self.record_at(name, crate::trace::now_ns(), v);
+    }
+
+    /// Evaluate every registered op's window ending at `t_ns`, bumping
+    /// breach counters. Results are in registration order.
+    pub fn evaluate_at(&self, t_ns: u64) -> Vec<SloStatus> {
+        let ops: Vec<Arc<SloEntry>> = self.ops.lock().iter().map(Arc::clone).collect();
+        ops.iter()
+            .map(|e| {
+                let target = *e.target.lock();
+                let s = e.window.snapshot_at(t_ns);
+                let (p50, p99) = (s.percentile(0.50), s.percentile(0.99));
+                let breached = s.count > 0 && (p50 > target.p50_ns || p99 > target.p99_ns);
+                let breaches = if breached {
+                    e.breaches.fetch_add(1, Relaxed) + 1
+                } else {
+                    e.breaches.load(Relaxed)
+                };
+                SloStatus {
+                    name: e.name.clone(),
+                    target,
+                    p50_ns: p50,
+                    p99_ns: p99,
+                    samples: s.count,
+                    breached,
+                    breaches,
+                }
+            })
+            .collect()
+    }
+
+    /// [`Self::evaluate_at`] on the trace clock.
+    pub fn evaluate(&self) -> Vec<SloStatus> {
+        self.evaluate_at(crate::trace::now_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u64 = 1_000_000_000;
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn healthy_op_never_breaches() {
+        let t = SloTracker::new(60, S);
+        t.register("read", SloTarget { p50_ns: 10 * MS, p99_ns: 100 * MS });
+        for i in 0..100 {
+            t.record_at("read", i % 60 * S, MS); // 1 ms, well under target
+        }
+        let st = &t.evaluate_at(59 * S)[0];
+        assert!(!st.breached);
+        assert_eq!(st.breaches, 0);
+        assert_eq!(st.samples, 100);
+    }
+
+    #[test]
+    fn synthetic_p99_breach_flags_within_one_rotation() {
+        let t = SloTracker::new(60, S);
+        t.register("read", SloTarget::p99(10 * MS));
+        // 99 fast samples, then a tail blowup in the most recent second.
+        for i in 0..99 {
+            t.record_at("read", (i % 59) * S, MS);
+        }
+        t.record_at("read", 59 * S, 500 * MS);
+        t.record_at("read", 59 * S, 500 * MS);
+        let st = &t.evaluate_at(59 * S)[0];
+        assert!(st.p99_ns > 10 * MS);
+        assert!(st.breached, "breach must be visible on the first evaluation after it lands");
+        assert_eq!(st.breaches, 1);
+        // A second evaluation of the same bad window counts again …
+        assert_eq!(t.evaluate_at(59 * S)[0].breaches, 2);
+        // … and once the slow second ages out, the op is healthy again
+        // (one full rotation later the window holds nothing slow).
+        let later = &t.evaluate_at(120 * S)[0];
+        assert!(!later.breached);
+        assert_eq!(later.breaches, 2, "history is kept");
+    }
+
+    #[test]
+    fn empty_window_is_not_a_breach() {
+        let t = SloTracker::new(4, S);
+        t.register("seal", SloTarget { p50_ns: 0, p99_ns: 0 }); // impossible target
+        assert!(!t.evaluate_at(0)[0].breached);
+    }
+
+    #[test]
+    fn unregistered_records_are_ignored_and_retarget_keeps_history() {
+        let t = SloTracker::new(4, S);
+        t.record_at("ghost", 0, 1); // no-op
+        assert!(t.evaluate_at(0).is_empty());
+        t.register("op", SloTarget::p99(1));
+        t.record_at("op", 0, 100);
+        assert_eq!(t.evaluate_at(0)[0].breaches, 1);
+        t.register("op", SloTarget::p99(u64::MAX)); // relax the target
+        assert_eq!(t.evaluate_at(0)[0].breaches, 1, "breach history survives re-target");
+        assert!(!t.evaluate_at(0)[0].breached);
+    }
+}

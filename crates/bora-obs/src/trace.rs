@@ -4,12 +4,25 @@
 //! ## Cost model
 //!
 //! The *disabled* path — the default — is one relaxed atomic load per span
-//! site ([`enabled`]); no clock read, no thread-local touch, no
-//! allocation. When enabled, a span start pushes its name onto a
-//! thread-local stack and reads the monotonic clock; the finished event is
-//! appended to the thread's own ring buffer under an uncontended mutex, so
-//! threads never serialize against each other on the hot path — only a
-//! [`drain`] briefly locks each buffer.
+//! site ([`enabled`]); no clock read, no thread-local touch, no id
+//! allocation. When enabled, a span start allocates a process-unique span
+//! id, pushes a frame onto a thread-local stack and reads the monotonic
+//! clock; the finished event is appended to the thread's own ring buffer
+//! under an uncontended mutex, so threads never serialize against each
+//! other on the hot path — only a [`drain`] briefly locks each buffer.
+//!
+//! ## Causality
+//!
+//! Every span carries a `trace_id` (the id of the root span of its tree),
+//! its own `span_id`, and a `parent_span` (0 = root). Within a thread,
+//! parentage follows the span stack. *Across* threads and processes it
+//! follows an explicit [`TraceContext`]: a client captures
+//! [`current_context`] (its trace id + open span id), ships it — e.g. in
+//! the serve wire protocol's trace header — and the server worker adopts
+//! it with [`adopt_context`], so server-side spans parent under the
+//! client's span even though they live in a different ring on a different
+//! node. [`set_thread_node`] tags a thread's events with a node lane so a
+//! merged multi-node trace keeps per-node timelines apart.
 //!
 //! ## Drop policy
 //!
@@ -28,6 +41,7 @@
 //! partition its virtual charge, so summing a span's direct children
 //! reproduces the parent's cost.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, OnceLock};
@@ -41,6 +55,9 @@ pub const RING_CAPACITY: usize = 16_384;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+// Span ids start at 1 so 0 unambiguously means "no span" in parent links
+// and wire headers.
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
 
 /// Is tracing on? One relaxed load — this is the entire disabled-path
 /// cost of a span site.
@@ -83,6 +100,20 @@ pub fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 
+/// Portable trace context: everything a remote hop needs to parent its
+/// spans under the caller's. This is what travels in the serve wire
+/// protocol's optional trace header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Id of the root span of the trace tree.
+    pub trace_id: u64,
+    /// Span the next hop should parent under (0 = none).
+    pub parent_span: u64,
+    /// Sampling decision: when false, receivers record nothing for this
+    /// request (and [`adopt_context`] treats the context as absent).
+    pub sampled: bool,
+}
+
 /// One finished span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanEvent {
@@ -98,11 +129,36 @@ pub struct SpanEvent {
     /// Virtual nanoseconds charged by the storage cost model, when the
     /// instrumentation site had a cost-model context to measure.
     pub virt_ns: Option<u64>,
+    /// Id of the root span of this span's trace tree (local or remote).
+    pub trace_id: u64,
+    /// Process-unique id of this span (never 0).
+    pub span_id: u64,
+    /// Id of the parent span — an enclosing local span, or the remote
+    /// caller's span adopted via [`adopt_context`]. 0 = root.
+    pub parent_span: u64,
+    /// Node lane ([`set_thread_node`]): 0 = client / untagged threads,
+    /// `n + 1` = server node `n`.
+    pub node: u32,
+    /// True when the work was abandoned (e.g. a hedged read's loser leg).
+    pub cancelled: bool,
 }
 
 struct ThreadBuf {
     tid: u64,
     ring: Mutex<VecDeque<SpanEvent>>,
+}
+
+/// Per-thread trace state: the open-span stack, the adopted remote
+/// context (if any) and the node lane tag.
+struct ThreadState {
+    /// Open spans: (name, span_id), innermost last.
+    stack: Vec<(&'static str, u64)>,
+    /// Trace id the current stack belongs to (valid while non-empty).
+    trace_id: u64,
+    /// Remote caller's context adopted for the current unit of work.
+    remote: Option<TraceContext>,
+    /// Node lane for events recorded by this thread.
+    node: u32,
 }
 
 fn sinks() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
@@ -111,13 +167,13 @@ fn sinks() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
 }
 
 thread_local! {
-    static LOCAL: (Arc<ThreadBuf>, std::cell::RefCell<Vec<&'static str>>) = {
+    static LOCAL: (Arc<ThreadBuf>, RefCell<ThreadState>) = {
         let buf = Arc::new(ThreadBuf {
             tid: NEXT_TID.fetch_add(1, Relaxed),
             ring: Mutex::new(VecDeque::with_capacity(64)),
         });
         sinks().lock().push(Arc::clone(&buf));
-        (buf, std::cell::RefCell::new(Vec::new()))
+        (buf, RefCell::new(ThreadState { stack: Vec::new(), trace_id: 0, remote: None, node: 0 }))
     };
 }
 
@@ -145,8 +201,109 @@ pub fn drain() -> Vec<SpanEvent> {
     out
 }
 
+/// The caller's current context, for propagation to a remote hop: the
+/// innermost open span on this thread, or the context this thread itself
+/// adopted (so a pass-through layer keeps the chain intact). `None` while
+/// tracing is disabled or no span is open — callers then send nothing on
+/// the wire, which keeps the untraced request encoding byte-identical to
+/// an untrace-aware client's.
+pub fn current_context() -> Option<TraceContext> {
+    if !enabled() {
+        return None;
+    }
+    LOCAL.with(|(_, st)| {
+        let st = st.borrow();
+        match st.stack.last() {
+            Some(&(_, span_id)) => {
+                Some(TraceContext { trace_id: st.trace_id, parent_span: span_id, sampled: true })
+            }
+            None => st.remote,
+        }
+    })
+}
+
+/// Restores the thread's previously-adopted context when dropped; see
+/// [`adopt_context`].
+#[must_use = "dropping the guard ends the adoption"]
+pub struct ContextGuard {
+    prev: Option<Option<TraceContext>>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            LOCAL.with(|(_, st)| st.borrow_mut().remote = prev);
+        }
+    }
+}
+
+/// Adopt a remote caller's context for the current unit of work: until
+/// the returned guard drops, root spans opened on this thread parent
+/// under `ctx.parent_span` and share its trace id. Unsampled or absent
+/// contexts clear any previously-adopted one (a worker thread's state
+/// never leaks across requests). No-op while tracing is disabled.
+pub fn adopt_context(ctx: Option<TraceContext>) -> ContextGuard {
+    if !enabled() {
+        return ContextGuard { prev: None };
+    }
+    let ctx = ctx.filter(|c| c.sampled);
+    let prev = LOCAL.with(|(_, st)| std::mem::replace(&mut st.borrow_mut().remote, ctx));
+    ContextGuard { prev: Some(prev) }
+}
+
+/// Tag this thread's future events with a node lane. Convention: 0 (the
+/// default) is the client / untagged threads; server workers pass
+/// `server_id + 1`. The Chrome exporter renders each lane as a process.
+pub fn set_thread_node(node: u32) {
+    LOCAL.with(|(_, st)| st.borrow_mut().node = node);
+}
+
+/// Record an already-measured interval as a complete span, parented
+/// exactly as a [`span`] opened now would be (enclosing local span, else
+/// the adopted remote context). Used for intervals that end where they
+/// are observed but started elsewhere — e.g. a request's queue wait,
+/// measured by the worker but started at submit time. No-op while
+/// tracing is disabled.
+pub fn record_complete(name: &'static str, start_ns: u64, dur_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let span_id = NEXT_SPAN.fetch_add(1, Relaxed);
+    let ev = LOCAL.with(|(buf, st)| {
+        let st = st.borrow();
+        let (trace_id, parent_span) = match st.stack.last() {
+            Some(&(_, pid)) => (st.trace_id, pid),
+            None => match st.remote {
+                Some(c) => (c.trace_id, c.parent_span),
+                None => (span_id, 0),
+            },
+        };
+        let mut path = String::new();
+        for (n, _) in &st.stack {
+            path.push_str(n);
+            path.push(';');
+        }
+        path.push_str(name);
+        SpanEvent {
+            name,
+            path,
+            tid: buf.tid,
+            start_ns,
+            dur_ns,
+            virt_ns: None,
+            trace_id,
+            span_id,
+            parent_span,
+            node: st.node,
+            cancelled: false,
+        }
+    });
+    push_event(ev);
+}
+
 /// An in-flight span. Create with [`span`]; finish by dropping, or with
-/// [`Span::end_virt`] to attach the cost model's virtual charge.
+/// [`Span::end_virt`] to attach the cost model's virtual charge, or with
+/// [`Span::cancel`] to mark the work abandoned.
 ///
 /// Spans are strictly thread-local and must be dropped in LIFO order,
 /// which Rust's scope-based drop order gives for free.
@@ -155,19 +312,59 @@ pub struct Span {
     name: &'static str,
     start_ns: u64,
     active: bool,
+    span_id: u64,
+    trace_id: u64,
+    parent_span: u64,
+    cancelled: bool,
 }
 
-/// Start a span. No-op (and no clock read) while tracing is disabled.
+/// Start a span. No-op (and no clock read, no id allocation) while
+/// tracing is disabled.
 #[inline]
 pub fn span(name: &'static str) -> Span {
     if !enabled() {
-        return Span { name, start_ns: 0, active: false };
+        return Span {
+            name,
+            start_ns: 0,
+            active: false,
+            span_id: 0,
+            trace_id: 0,
+            parent_span: 0,
+            cancelled: false,
+        };
     }
-    LOCAL.with(|(_, stack)| stack.borrow_mut().push(name));
-    Span { name, start_ns: now_ns(), active: true }
+    let span_id = NEXT_SPAN.fetch_add(1, Relaxed);
+    let (trace_id, parent_span) = LOCAL.with(|(_, st)| {
+        let mut st = st.borrow_mut();
+        let (trace_id, parent) = match st.stack.last() {
+            Some(&(_, pid)) => (st.trace_id, pid),
+            None => match st.remote {
+                Some(c) => (c.trace_id, c.parent_span),
+                None => (span_id, 0),
+            },
+        };
+        st.trace_id = trace_id;
+        st.stack.push((name, span_id));
+        (trace_id, parent)
+    });
+    Span {
+        name,
+        start_ns: now_ns(),
+        active: true,
+        span_id,
+        trace_id,
+        parent_span,
+        cancelled: false,
+    }
 }
 
 impl Span {
+    /// This span's id, for hand-rolled context plumbing. 0 while tracing
+    /// is disabled.
+    pub fn id(&self) -> u64 {
+        self.span_id
+    }
+
     /// Finish, attaching the virtual nanoseconds the cost model charged
     /// while the span was open (caller computes the delta from its
     /// `IoCtx`).
@@ -180,18 +377,30 @@ impl Span {
         self.finish(None);
     }
 
+    /// Finish, marking the spanned work abandoned (e.g. the loser leg of
+    /// a hedged read). The event records its full duration with
+    /// `cancelled = true`.
+    pub fn cancel(mut self) {
+        self.cancelled = true;
+        self.finish(None);
+    }
+
     fn finish(&mut self, virt_ns: Option<u64>) {
         if !self.active {
             return;
         }
         self.active = false;
         let end = now_ns();
-        let (path, tid) = LOCAL.with(|(buf, stack)| {
-            let mut stack = stack.borrow_mut();
-            let path = stack.join(";");
-            debug_assert_eq!(stack.last().copied(), Some(self.name), "span drop out of order");
-            stack.pop();
-            (path, buf.tid)
+        let (path, tid, node) = LOCAL.with(|(buf, st)| {
+            let mut st = st.borrow_mut();
+            let path = st.stack.iter().map(|&(n, _)| n).collect::<Vec<_>>().join(";");
+            debug_assert_eq!(
+                st.stack.last().map(|&(n, _)| n),
+                Some(self.name),
+                "span drop out of order"
+            );
+            st.stack.pop();
+            (path, buf.tid, st.node)
         });
         push_event(SpanEvent {
             name: self.name,
@@ -200,6 +409,11 @@ impl Span {
             start_ns: self.start_ns,
             dur_ns: end.saturating_sub(self.start_ns),
             virt_ns,
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_span: self.parent_span,
+            node,
+            cancelled: self.cancelled,
         });
     }
 }
@@ -231,6 +445,7 @@ mod tests {
             let _s = span("never");
         }
         assert!(drain().is_empty());
+        assert_eq!(current_context(), None);
     }
 
     #[test]
@@ -256,6 +471,13 @@ mod tests {
         assert_eq!(outer.path, "outer");
         assert!(outer.start_ns <= inner.start_ns);
         assert!(outer.dur_ns >= inner.dur_ns);
+        // Causality: both spans share a trace rooted at `outer`.
+        assert_eq!(outer.parent_span, 0);
+        assert_eq!(outer.trace_id, outer.span_id);
+        assert_eq!(inner.parent_span, outer.span_id);
+        assert_eq!(inner.trace_id, outer.trace_id);
+        assert_ne!(inner.span_id, outer.span_id);
+        assert!(!inner.cancelled && !outer.cancelled);
     }
 
     #[test]
@@ -274,6 +496,118 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].name, "try_block");
         assert_eq!(events[0].virt_ns, None);
+    }
+
+    #[test]
+    fn adopted_context_parents_root_spans() {
+        let _g = test_lock();
+        set_enabled(true);
+        drain();
+        let remote = TraceContext { trace_id: 7_000, parent_span: 7_001, sampled: true };
+        {
+            let guard = adopt_context(Some(remote));
+            let s = span("server_side");
+            // A nested remote hop sees this thread's innermost span.
+            let ctx = current_context().unwrap();
+            assert_eq!(ctx.trace_id, 7_000);
+            assert_eq!(ctx.parent_span, s.id());
+            s.end();
+            drop(guard);
+        }
+        // After the guard drops, the remote context is gone.
+        {
+            let s = span("local_root");
+            s.end();
+        }
+        set_enabled(false);
+        let events = drain();
+        let srv = events.iter().find(|e| e.name == "server_side").unwrap();
+        assert_eq!(srv.trace_id, 7_000);
+        assert_eq!(srv.parent_span, 7_001);
+        let local = events.iter().find(|e| e.name == "local_root").unwrap();
+        assert_eq!(local.parent_span, 0);
+        assert_eq!(local.trace_id, local.span_id);
+    }
+
+    #[test]
+    fn unsampled_context_is_not_adopted() {
+        let _g = test_lock();
+        set_enabled(true);
+        drain();
+        {
+            let _guard =
+                adopt_context(Some(TraceContext { trace_id: 5, parent_span: 6, sampled: false }));
+            let s = span("root");
+            s.end();
+        }
+        set_enabled(false);
+        let events = drain();
+        let root = events.iter().find(|e| e.name == "root").unwrap();
+        assert_eq!(root.parent_span, 0, "unsampled context must not parent spans");
+        assert_ne!(root.trace_id, 5);
+    }
+
+    #[test]
+    fn record_complete_parents_like_span_would() {
+        let _g = test_lock();
+        set_enabled(true);
+        drain();
+        let remote = TraceContext { trace_id: 9_000, parent_span: 9_001, sampled: true };
+        {
+            let _guard = adopt_context(Some(remote));
+            record_complete("queue_wait", 10, 20);
+            let s = span("service");
+            record_complete("inner_interval", 30, 5);
+            s.end();
+        }
+        set_enabled(false);
+        let events = drain();
+        let qw = events.iter().find(|e| e.name == "queue_wait").unwrap();
+        assert_eq!(qw.trace_id, 9_000);
+        assert_eq!(qw.parent_span, 9_001);
+        assert_eq!(qw.path, "queue_wait");
+        assert_eq!((qw.start_ns, qw.dur_ns), (10, 20));
+        let service = events.iter().find(|e| e.name == "service").unwrap();
+        let inner = events.iter().find(|e| e.name == "inner_interval").unwrap();
+        assert_eq!(inner.parent_span, service.span_id);
+        assert_eq!(inner.path, "service;inner_interval");
+    }
+
+    #[test]
+    fn cancelled_span_is_flagged() {
+        let _g = test_lock();
+        set_enabled(true);
+        drain();
+        {
+            let s = span("loser_leg");
+            s.cancel();
+        }
+        set_enabled(false);
+        let events = drain();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].cancelled);
+        assert_eq!(events[0].name, "loser_leg");
+    }
+
+    #[test]
+    fn node_lane_tags_events() {
+        let _g = test_lock();
+        set_enabled(true);
+        drain();
+        let h = std::thread::spawn(|| {
+            set_thread_node(3);
+            let s = span("on_node_2");
+            s.end();
+        });
+        h.join().unwrap();
+        {
+            let s = span("on_client");
+            s.end();
+        }
+        set_enabled(false);
+        let events = drain();
+        assert_eq!(events.iter().find(|e| e.name == "on_node_2").unwrap().node, 3);
+        assert_eq!(events.iter().find(|e| e.name == "on_client").unwrap().node, 0);
     }
 
     #[test]

@@ -15,7 +15,8 @@ use std::time::Duration;
 use ros_msgs::Time;
 
 use crate::proto::{
-    ContainerStat, ErrorCode, PingInfo, ProtoError, Request, Response, StatsSnapshot, WireMessage,
+    ContainerStat, ErrorCode, MetricsReport, PingInfo, ProtoError, Request, Response,
+    StatsSnapshot, WireMessage,
 };
 use crate::transport::{Connection, Transport};
 
@@ -89,7 +90,11 @@ impl<C: Connection> ServeClient<C> {
     }
 
     fn roundtrip(&mut self, req: &Request) -> ClientResult<Response> {
-        self.conn.send_frame(&req.encode())?;
+        // With tracing on, requests carry the caller's span context so
+        // server-side spans parent under it; with tracing off,
+        // `current_context()` is `None` and the bytes are exactly the
+        // untraced encoding.
+        self.conn.send_frame(&req.encode_traced(bora_obs::current_context()))?;
         let payload = self.conn.recv_frame()?;
         match Response::decode(&payload).map_err(ClientError::Proto)? {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
@@ -192,7 +197,7 @@ impl<C: Connection> ServeClient<C> {
             topics: topics.iter().map(|t| (*t).to_owned()).collect(),
             range,
         };
-        self.conn.send_frame(&req.encode())?;
+        self.conn.send_frame(&req.encode_traced(bora_obs::current_context()))?;
         Ok(ReadStream {
             client: self,
             buffer: std::collections::VecDeque::new(),
@@ -246,6 +251,16 @@ impl<C: Connection> ServeClient<C> {
         match self.roundtrip(&Request::Ping)? {
             Response::Pong(p) => Ok(p),
             other => Err(unexpected("PING", &other)),
+        }
+    }
+
+    /// Full metrics scrape: the node's registry (counters, gauges,
+    /// bucketed histograms) plus its slow-op tail. Control-plane, so a
+    /// saturated node still answers.
+    pub fn metrics(&mut self) -> ClientResult<MetricsReport> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(r) => Ok(r),
+            other => Err(unexpected("METRICS", &other)),
         }
     }
 
@@ -692,6 +707,10 @@ impl<T: Transport> RetryClient<T> {
 
     pub fn stats(&mut self) -> ClientResult<StatsSnapshot> {
         self.run_reset(|c| c.stats())
+    }
+
+    pub fn metrics(&mut self) -> ClientResult<MetricsReport> {
+        self.run_reset(|c| c.metrics())
     }
 
     /// Health probe. Not retried beyond the policy's normal schedule: a

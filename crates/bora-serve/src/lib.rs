@@ -63,8 +63,8 @@ pub use client::{
     ServeClient,
 };
 pub use proto::{
-    ContainerStat, ErrorCode, OpSummary, PingInfo, ProtoError, Request, Response, StatsSnapshot,
-    WireMessage,
+    ContainerStat, ErrorCode, MetricsReport, OpSummary, PingInfo, ProtoError, Request, Response,
+    SlowOpEntry, StatsSnapshot, WireMessage, METRICS_REPORT_VERSION, TRACE_CTX_LEN,
 };
 pub use server::{Server, ServerConfig};
 pub use transport::{

@@ -1,4 +1,5 @@
-//! Per-operation service metrics, exposed through the `STATS` op.
+//! Per-operation service metrics, exposed through the `STATS` and
+//! `METRICS` ops.
 //!
 //! Latencies are recorded twice per request: **wall-clock** nanoseconds
 //! (submit to response, what a real client experiences, including queue
@@ -8,18 +9,25 @@
 //! time spent parked in the bounded queue from the service time a worker
 //! actually spent on the request.
 //!
-//! The histograms themselves are [`bora_obs::ExpHistogram`]s — the
-//! power-of-two exponential histograms this module originally hand-rolled,
-//! since generalized into the shared observability crate. They are atomic,
-//! so recording takes no lock; percentile error is bounded by the 2x
-//! bucket width — plenty for "did the tail blow up" questions. Each
-//! `Metrics` owns its histograms (they are *not* in the global
-//! `bora-obs` registry) so concurrent servers in one process do not mix
-//! their numbers.
+//! ## One source of truth
+//!
+//! Every number lives in a private [`bora_obs::Registry`] (private so
+//! concurrent servers in one process do not mix their numbers), under
+//! the names the telemetry plane scrapes (`serve.op.<op>.wall_ns`,
+//! `serve.op.<op>.virt_ns`, `serve.queue_wait_ns`, `serve.shed`).
+//! `STATS` ([`Metrics::snapshot_into`]) and `METRICS`
+//! ([`Metrics::registry_snapshot`]) both read **the same handles** — the
+//! two views are different projections of one atomic store and cannot
+//! drift, which `STATS`' earlier private recorders could (and did).
+//!
+//! ## SLO windows
+//!
+//! Alongside the cumulative histograms, each op's wall latency also
+//! feeds a sliding-window [`SloTracker`] (60 × 1 s) once a target is
+//! registered, so "is read's p99 over target *right now*" is answerable
+//! without resetting anything.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use bora_obs::ExpHistogram;
+use bora_obs::{Counter, Histogram, MetricsSnapshot, Registry, SloStatus, SloTarget, SloTracker};
 
 use crate::proto::{OpSummary, StatsSnapshot};
 
@@ -31,24 +39,50 @@ fn op_index(name: &str) -> Option<usize> {
     OP_NAMES.iter().position(|n| *n == name)
 }
 
-#[derive(Debug, Default)]
-struct OpRecorder {
-    wall: ExpHistogram,
-    virt: ExpHistogram,
+/// Registry name of an op's wall-latency histogram.
+pub fn wall_metric(op: &str) -> String {
+    format!("serve.op.{op}.wall_ns")
 }
 
-/// All service metrics. Everything is atomic; `stats`/`shutdown`/`trace`
-/// ops are control-plane and intentionally unrecorded.
-#[derive(Debug, Default)]
+/// Registry name of an op's virtual-latency histogram.
+pub fn virt_metric(op: &str) -> String {
+    format!("serve.op.{op}.virt_ns")
+}
+
+#[derive(Debug)]
+struct OpHandles {
+    wall: Histogram,
+    virt: Histogram,
+}
+
+/// All service metrics. Everything is atomic; `stats`/`metrics`/
+/// `shutdown`/`trace`/`ping` ops are control-plane and intentionally
+/// unrecorded.
 pub struct Metrics {
-    ops: [OpRecorder; 8],
-    queue_wait: ExpHistogram,
-    shed: AtomicU64,
+    registry: Registry,
+    // Resolved once: recording is handle-hot, never a name lookup.
+    ops: [OpHandles; 8],
+    queue_wait: Histogram,
+    shed: Counter,
+    slo: SloTracker,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        let ops = std::array::from_fn(|i| OpHandles {
+            wall: registry.histogram(&wall_metric(OP_NAMES[i])),
+            virt: registry.histogram(&virt_metric(OP_NAMES[i])),
+        });
+        let queue_wait = registry.histogram("serve.queue_wait_ns");
+        let shed = registry.counter("serve.shed");
+        Metrics { registry, ops, queue_wait, shed, slo: SloTracker::per_second_minute() }
     }
 
     /// Record one completed request of kind `op_name`. Unknown names are a
@@ -62,6 +96,7 @@ impl Metrics {
         };
         self.ops[i].wall.record(wall_ns);
         self.ops[i].virt.record(virt_ns);
+        self.slo.record(op_name, wall_ns);
     }
 
     /// Record how long one request sat in the bounded queue before a
@@ -72,11 +107,30 @@ impl Metrics {
 
     /// Count one request rejected for backpressure.
     pub fn record_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.inc();
     }
 
     pub fn shed(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.shed.get()
+    }
+
+    /// Set (or update) the latency objective for one op; its wall
+    /// samples start feeding the op's sliding window.
+    pub fn set_slo_target(&self, op_name: &str, target: SloTarget) {
+        debug_assert!(op_index(op_name).is_some(), "unknown op name {op_name:?}");
+        self.slo.register(op_name, target);
+    }
+
+    /// Evaluate every registered SLO over its current window, bumping
+    /// breach counters.
+    pub fn slo_statuses(&self) -> Vec<SloStatus> {
+        self.slo.evaluate()
+    }
+
+    /// Point-in-time copy of the backing registry — the `METRICS`
+    /// scrape's payload. Same handles `STATS` reads; see module docs.
+    pub fn registry_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// Assemble the wire-level snapshot. Queue and cache numbers are the
@@ -130,6 +184,56 @@ mod tests {
         assert_eq!(read.wall_mean_ns, 200);
         assert_eq!(read.virt_mean_ns, 20);
         assert!(snap.op("stats").is_none());
+    }
+
+    #[test]
+    fn stats_and_registry_cannot_drift() {
+        // The STATS-vs-registry parity the drift fix guarantees: both
+        // views project the same atomic store, so every STATS number must
+        // equal its registry counterpart exactly.
+        let m = Metrics::new();
+        for i in 0..50u64 {
+            m.record("read", i * 1_000, i);
+            m.record("append", 77, 7);
+        }
+        m.record_queue_wait(5_000);
+        m.record_shed();
+        m.record_shed();
+
+        let stats = m.snapshot_into(StatsSnapshot::default());
+        let reg = m.registry_snapshot();
+        let reg_hist =
+            |name: &str| reg.hists.iter().find(|(n, _)| n == name).map(|(_, h)| *h).unwrap();
+        for (name, op) in &stats.ops {
+            let wall = reg_hist(&wall_metric(name));
+            let virt = reg_hist(&virt_metric(name));
+            debug_assert_eq!(op.count, wall.count, "{name}: count drift");
+            debug_assert_eq!(op.wall_min_ns, wall.min_or_zero(), "{name}: min drift");
+            debug_assert_eq!(op.wall_mean_ns, wall.mean(), "{name}: mean drift");
+            debug_assert_eq!(op.wall_p99_ns, wall.percentile(0.99), "{name}: p99 drift");
+            debug_assert_eq!(op.virt_mean_ns, virt.mean(), "{name}: virt drift");
+        }
+        let qw = reg_hist("serve.queue_wait_ns");
+        debug_assert_eq!(stats.queue_wait_mean_ns, qw.mean());
+        debug_assert_eq!(stats.queue_wait_p99_ns, qw.percentile(0.99));
+        let reg_shed = reg.counters.iter().find(|(n, _)| n == "serve.shed").unwrap().1;
+        debug_assert_eq!(stats.shed, reg_shed);
+        assert_eq!(stats.shed, 2);
+    }
+
+    #[test]
+    fn slo_targets_feed_from_recorded_ops() {
+        let m = Metrics::new();
+        m.set_slo_target("read", SloTarget::p99(1_000));
+        for _ in 0..10 {
+            m.record("read", 1_000_000, 0); // 1 ms ≫ 1 µs target
+        }
+        let statuses = m.slo_statuses();
+        let read = statuses.iter().find(|s| s.name == "read").unwrap();
+        assert!(read.breached);
+        assert_eq!(read.samples, 10);
+        // Ops without a target are not tracked.
+        assert!(!statuses.iter().any(|s| s.name == "open"));
     }
 
     #[test]

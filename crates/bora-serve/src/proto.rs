@@ -20,6 +20,7 @@
 //! connections, which the server's bounded queue then sheds explicitly
 //! via [`Response::Overloaded`].
 
+use bora_obs::{HistSummary, TraceContext, BUCKETS};
 use ros_msgs::Time;
 use rosbag::MessageRecord;
 
@@ -43,6 +44,21 @@ const OP_READ_STREAM: u8 = 0x09;
 const OP_PING: u8 = 0x0A;
 const OP_APPEND: u8 = 0x0B;
 const OP_SEAL: u8 = 0x0C;
+const OP_METRICS: u8 = 0x0D;
+
+/// Optional trace-context prefix on a request payload: a client that is
+/// tracing wraps the inner request as
+/// `[0x0F, trace_id u64, parent_span u64, flags u8, inner payload…]`
+/// (flags bit 0 = sampled). Untraced clients send the bare request, so
+/// the untraced encoding is byte-identical to the pre-trace protocol —
+/// old clients talk to new servers and vice versa. An old server sees
+/// `0x0F` as an unknown opcode and answers with a clean [`ProtoError`]
+/// error, which is why traced clients only prepend the header when a
+/// context is actually present.
+const OP_TRACE_CTX: u8 = 0x0F;
+
+/// Bytes a trace-context prefix adds to a request payload.
+pub const TRACE_CTX_LEN: usize = 1 + 8 + 8 + 1;
 
 // Response opcodes (request opcode | 0x80, errors in 0xE0+).
 const OP_OK_OPEN: u8 = 0x81;
@@ -58,6 +74,7 @@ const OP_OK_STREAM_END: u8 = 0x8A;
 const OP_OK_PONG: u8 = 0x8B;
 const OP_OK_APPENDED: u8 = 0x8C;
 const OP_OK_SEALED: u8 = 0x8D;
+const OP_OK_METRICS: u8 = 0x8E;
 const OP_ERROR: u8 = 0xE0;
 const OP_OVERLOADED: u8 = 0xEE;
 
@@ -100,6 +117,12 @@ pub enum Request {
     /// cluster health tracker needs: the reply's queue depth *is* the
     /// overload signal, not a timeout.
     Ping,
+    /// Full metrics scrape: the node's registry (counters, gauges,
+    /// histograms with buckets) plus its slow-op tail, versioned so a
+    /// newer poller can reject a layout it does not understand.
+    /// Control-plane (skips the data queue) — a telemetry poller must
+    /// see an overloaded node, not be shed by it.
+    Metrics,
     /// Stop accepting work and shut the pool down.
     Shutdown,
 }
@@ -196,6 +219,63 @@ impl StatsSnapshot {
     }
 }
 
+/// Layout version of [`MetricsReport`]; bumped whenever the encoding
+/// changes shape so pollers can reject reports they don't understand.
+pub const METRICS_REPORT_VERSION: u32 = 1;
+
+/// One entry of a node's slow-op ring (`METRICS`): an op that exceeded
+/// the server's slow-op threshold, with enough identity to find its
+/// spans in a merged trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SlowOpEntry {
+    /// Trace id of the request, 0 when the request was untraced.
+    pub trace_id: u64,
+    /// Op name (`read`, `append`, …).
+    pub op: String,
+    /// Container/shard the op targeted; empty for container-less ops.
+    pub container: String,
+    /// Worker wall time, queue wait excluded.
+    pub wall_ns: u64,
+    /// Time parked in the bounded queue before a worker picked it up.
+    pub queue_wait_ns: u64,
+    /// The reporting node's server id.
+    pub server_id: u32,
+}
+
+/// Versioned snapshot of one node's metrics registry plus its slow-op
+/// tail — the `METRICS` reply a [`crate::ServeClient`] hands to the
+/// cluster telemetry poller. Histograms travel with their full bucket
+/// content (sparsely: only non-zero buckets), so merged cluster-wide
+/// percentiles are bucket-exact rather than averages of percentiles.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsReport {
+    /// [`METRICS_REPORT_VERSION`] at encode time.
+    pub version: u32,
+    pub server_id: u32,
+    /// Nanoseconds since the node's worker pool started.
+    pub uptime_ns: u64,
+    /// Sorted by name (registry order).
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub hists: Vec<(String, HistSummary)>,
+    /// Most recent slow ops, oldest first, bounded by the server's ring.
+    pub slow_ops: Vec<SlowOpEntry>,
+}
+
+impl MetricsReport {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    pub fn hist(&self, name: &str) -> Option<&HistSummary> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
 /// Error category carried in an [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -276,6 +356,8 @@ pub enum Response {
     },
     Stat(ContainerStat),
     Stats(StatsSnapshot),
+    /// Full registry scrape (see [`Request::Metrics`]).
+    Metrics(MetricsReport),
     /// Chrome `trace_event` JSON text drained from the server's span
     /// buffers (see [`Request::Trace`]).
     Trace(String),
@@ -347,6 +429,25 @@ impl Writer {
         self.time(s.start);
         self.time(s.end);
     }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Histogram with sparse buckets: exact count/sum/min, then
+    /// `(index, value)` pairs for the non-zero buckets only — a typical
+    /// latency histogram occupies a dozen of the 64.
+    fn hist(&mut self, h: &HistSummary) {
+        self.u64(h.count);
+        self.u64(h.sum);
+        self.u64(h.min);
+        let nonzero = h.buckets.iter().filter(|&&b| b != 0).count();
+        self.u8(nonzero as u8);
+        for (i, &b) in h.buckets.iter().enumerate() {
+            if b != 0 {
+                self.u8(i as u8);
+                self.u64(b);
+            }
+        }
+    }
 }
 
 struct Reader<'a> {
@@ -403,6 +504,26 @@ impl<'a> Reader<'a> {
             end: self.time()?,
         })
     }
+    fn i64(&mut self) -> ProtoResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn hist(&mut self) -> ProtoResult<HistSummary> {
+        let mut h = HistSummary {
+            count: self.u64()?,
+            sum: self.u64()?,
+            min: self.u64()?,
+            buckets: [0; BUCKETS],
+        };
+        let nonzero = self.u8()? as usize;
+        for _ in 0..nonzero {
+            let idx = self.u8()? as usize;
+            if idx >= BUCKETS {
+                return Err(ProtoError(format!("histogram bucket index {idx} out of range")));
+            }
+            h.buckets[idx] = self.u64()?;
+        }
+        Ok(h)
+    }
     fn finish(self) -> ProtoResult<()> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -424,7 +545,11 @@ impl Request {
             | Request::Append { container, .. }
             | Request::Seal { container, .. }
             | Request::Stat { container } => Some(container),
-            Request::Stats | Request::Trace | Request::Ping | Request::Shutdown => None,
+            Request::Stats
+            | Request::Metrics
+            | Request::Trace
+            | Request::Ping
+            | Request::Shutdown => None,
         }
     }
 
@@ -440,6 +565,7 @@ impl Request {
             Request::Seal { .. } => "seal",
             Request::Stat { .. } => "stat",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Trace => "trace",
             Request::Ping => "ping",
             Request::Shutdown => "shutdown",
@@ -513,6 +639,7 @@ impl Request {
                 w.str(container);
             }
             Request::Stats => w = Writer::new(OP_STATS),
+            Request::Metrics => w = Writer::new(OP_METRICS),
             Request::Trace => w = Writer::new(OP_TRACE),
             Request::Ping => w = Writer::new(OP_PING),
             Request::Shutdown => w = Writer::new(OP_SHUTDOWN),
@@ -569,6 +696,7 @@ impl Request {
             }
             OP_STAT => Request::Stat { container: r.str()? },
             OP_STATS => Request::Stats,
+            OP_METRICS => Request::Metrics,
             OP_TRACE => Request::Trace,
             OP_PING => Request::Ping,
             OP_SHUTDOWN => Request::Shutdown,
@@ -576,6 +704,41 @@ impl Request {
         };
         r.finish()?;
         Ok(req)
+    }
+
+    /// Encode with an optional trace-context prefix. With `ctx: None`
+    /// the output is byte-identical to [`Request::encode`] — a client
+    /// that isn't tracing is indistinguishable from one that predates
+    /// tracing, which is what keeps old servers compatible.
+    pub fn encode_traced(&self, ctx: Option<TraceContext>) -> Vec<u8> {
+        let Some(c) = ctx else { return self.encode() };
+        let inner = self.encode();
+        let mut buf = Vec::with_capacity(TRACE_CTX_LEN + inner.len());
+        buf.push(OP_TRACE_CTX);
+        buf.extend_from_slice(&c.trace_id.to_le_bytes());
+        buf.extend_from_slice(&c.parent_span.to_le_bytes());
+        buf.push(c.sampled as u8);
+        buf.extend_from_slice(&inner);
+        buf
+    }
+
+    /// Decode a request payload, peeling the optional trace-context
+    /// prefix. Plain payloads (old clients) decode to `(req, None)`.
+    pub fn decode_traced(payload: &[u8]) -> ProtoResult<(Request, Option<TraceContext>)> {
+        if payload.first() != Some(&OP_TRACE_CTX) {
+            return Ok((Request::decode(payload)?, None));
+        }
+        if payload.len() < TRACE_CTX_LEN {
+            return Err(ProtoError("truncated trace-context header".into()));
+        }
+        let trace_id = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+        let parent_span = u64::from_le_bytes(payload[9..17].try_into().unwrap());
+        let flags = payload[17];
+        if flags & !1 != 0 {
+            return Err(ProtoError(format!("unknown trace-context flags {flags:#04x}")));
+        }
+        let ctx = TraceContext { trace_id, parent_span, sampled: flags & 1 != 0 };
+        Ok((Request::decode(&payload[TRACE_CTX_LEN..])?, Some(ctx)))
     }
 }
 
@@ -656,6 +819,36 @@ impl Response {
                 w.u64(s.cache_evictions);
                 w.u32(s.cache_len);
                 w.u32(s.cache_capacity);
+            }
+            Response::Metrics(m) => {
+                w = Writer::new(OP_OK_METRICS);
+                w.u32(m.version);
+                w.u32(m.server_id);
+                w.u64(m.uptime_ns);
+                w.u16(m.counters.len() as u16);
+                for (name, v) in &m.counters {
+                    w.str(name);
+                    w.u64(*v);
+                }
+                w.u16(m.gauges.len() as u16);
+                for (name, v) in &m.gauges {
+                    w.str(name);
+                    w.i64(*v);
+                }
+                w.u16(m.hists.len() as u16);
+                for (name, h) in &m.hists {
+                    w.str(name);
+                    w.hist(h);
+                }
+                w.u16(m.slow_ops.len() as u16);
+                for s in &m.slow_ops {
+                    w.u64(s.trace_id);
+                    w.str(&s.op);
+                    w.str(&s.container);
+                    w.u64(s.wall_ns);
+                    w.u64(s.queue_wait_ns);
+                    w.u32(s.server_id);
+                }
             }
             Response::Trace(json) => {
                 w = Writer::new(OP_OK_TRACE);
@@ -752,6 +945,47 @@ impl Response {
                     cache_capacity: r.u32()?,
                 })
             }
+            OP_OK_METRICS => {
+                let version = r.u32()?;
+                let server_id = r.u32()?;
+                let uptime_ns = r.u64()?;
+                let nc = r.u16()? as usize;
+                let mut counters = Vec::with_capacity(nc);
+                for _ in 0..nc {
+                    counters.push((r.str()?, r.u64()?));
+                }
+                let ng = r.u16()? as usize;
+                let mut gauges = Vec::with_capacity(ng);
+                for _ in 0..ng {
+                    gauges.push((r.str()?, r.i64()?));
+                }
+                let nh = r.u16()? as usize;
+                let mut hists = Vec::with_capacity(nh);
+                for _ in 0..nh {
+                    hists.push((r.str()?, r.hist()?));
+                }
+                let ns = r.u16()? as usize;
+                let mut slow_ops = Vec::with_capacity(ns);
+                for _ in 0..ns {
+                    slow_ops.push(SlowOpEntry {
+                        trace_id: r.u64()?,
+                        op: r.str()?,
+                        container: r.str()?,
+                        wall_ns: r.u64()?,
+                        queue_wait_ns: r.u64()?,
+                        server_id: r.u32()?,
+                    });
+                }
+                Response::Metrics(MetricsReport {
+                    version,
+                    server_id,
+                    uptime_ns,
+                    counters,
+                    gauges,
+                    hists,
+                    slow_ops,
+                })
+            }
             OP_OK_TRACE => {
                 let raw = r.bytes()?;
                 Response::Trace(
@@ -836,9 +1070,75 @@ mod tests {
         roundtrip_req(Request::Seal { container: "/live".into(), compact: false });
         roundtrip_req(Request::Stat { container: "/c".into() });
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Metrics);
         roundtrip_req(Request::Trace);
         roundtrip_req(Request::Ping);
         roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn trace_context_prefix_roundtrips() {
+        let req =
+            Request::Read { container: "/c/hs0".into(), topics: vec!["/imu".into()], range: None };
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF_0042, parent_span: 77, sampled: true };
+        let traced = req.encode_traced(Some(ctx));
+        assert_eq!(Request::decode_traced(&traced).unwrap(), (req.clone(), Some(ctx)));
+        // Unsampled bit travels too.
+        let off = TraceContext { sampled: false, ..ctx };
+        let (r2, c2) = Request::decode_traced(&req.encode_traced(Some(off))).unwrap();
+        assert_eq!((r2, c2), (req.clone(), Some(off)));
+        // No context → byte-identical to the pre-trace encoding, and
+        // decode_traced accepts it (old client → new server).
+        assert_eq!(req.encode_traced(None), req.encode());
+        assert_eq!(Request::decode_traced(&req.encode()).unwrap(), (req.clone(), None));
+        // Plain decode rejects the prefixed form the way an old server
+        // would reject any unknown opcode: an error, not a panic.
+        assert!(Request::decode(&traced).is_err());
+        // Malformed prefixes error cleanly.
+        assert!(Request::decode_traced(&[0x0F, 1, 2]).is_err());
+        let mut bad_flags = req.encode_traced(Some(ctx));
+        bad_flags[17] = 0xFE;
+        assert!(Request::decode_traced(&bad_flags).is_err());
+    }
+
+    #[test]
+    fn metrics_report_roundtrips() {
+        let mut hist = HistSummary { count: 3, sum: 1_000_000, min: 120, ..Default::default() };
+        hist.buckets[7] = 2;
+        hist.buckets[19] = 1;
+        let report = MetricsReport {
+            version: METRICS_REPORT_VERSION,
+            server_id: 2,
+            uptime_ns: 5_000_000_000,
+            counters: vec![("serve.shed".into(), 4), ("cache.hits".into(), 99)],
+            gauges: vec![("serve.queue_depth".into(), -1), ("serve.inflight".into(), 12)],
+            hists: vec![
+                ("serve.op.read.wall_ns".into(), hist),
+                ("empty".into(), HistSummary::default()),
+            ],
+            slow_ops: vec![SlowOpEntry {
+                trace_id: 42,
+                op: "read".into(),
+                container: "/c/hs0".into(),
+                wall_ns: 25_000_000,
+                queue_wait_ns: 3_000,
+                server_id: 2,
+            }],
+        };
+        roundtrip_resp(Response::Metrics(report.clone()));
+        assert_eq!(report.counter("cache.hits"), 99);
+        assert_eq!(report.counter("missing"), 0);
+        assert_eq!(report.gauge("serve.queue_depth"), Some(-1));
+        assert_eq!(report.hist("serve.op.read.wall_ns").unwrap().count, 3);
+        roundtrip_resp(Response::Metrics(MetricsReport::default()));
+        // A sparse histogram with an out-of-range bucket index is rejected.
+        let mut r = super::Reader::new(&[
+            0, 0, 0, 0, 0, 0, 0, 0, // count
+            0, 0, 0, 0, 0, 0, 0, 0, // sum
+            0, 0, 0, 0, 0, 0, 0, 0, // min
+            1, 64, 1, 0, 0, 0, 0, 0, 0, 0, // one bucket at index 64 (out of range)
+        ]);
+        assert!(r.hist().is_err());
     }
 
     #[test]

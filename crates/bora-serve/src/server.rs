@@ -17,7 +17,7 @@
 //! backends each request's virtual I/O time reflects how many workers
 //! were actually competing for the device when it ran.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,6 +25,7 @@ use std::time::Instant;
 
 use bora::{BoraError, StreamOptions};
 use bora_ingest::IngestStore;
+use bora_obs::TraceContext;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use ros_msgs::Time;
@@ -33,7 +34,8 @@ use simfs::{ConcurrencyGauge, IoCtx, Storage};
 use crate::cache::HandleCache;
 use crate::metrics::Metrics;
 use crate::proto::{
-    ContainerStat, ErrorCode, PingInfo, Request, Response, StatsSnapshot, WireMessage,
+    ContainerStat, ErrorCode, MetricsReport, PingInfo, Request, Response, SlowOpEntry,
+    StatsSnapshot, WireMessage, METRICS_REPORT_VERSION,
 };
 
 /// Messages per [`Response::StreamChunk`] frame. Small enough that the
@@ -47,6 +49,11 @@ const STREAM_CHUNK_MSGS: usize = 32;
 /// of buffering the whole result set in memory.
 const STREAM_WINDOW: usize = 4;
 
+/// Entries kept in the slow-op ring; older entries are dropped. Bounded
+/// so an hour of pathological latency costs fixed memory, sized so the
+/// ring still spans a useful tail when a scrape arrives.
+const SLOW_OP_RING: usize = 128;
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -59,11 +66,20 @@ pub struct ServerConfig {
     /// Stable identity of this server within a cluster, echoed by `PING`.
     /// 0 for a standalone deployment.
     pub server_id: u32,
+    /// Ops whose total wall time (queue wait included) reaches this land
+    /// in the slow-op ring reported by `METRICS`. 0 records every op.
+    pub slow_op_threshold_ns: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 4, queue_capacity: 64, cache_capacity: 8, server_id: 0 }
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 8,
+            server_id: 0,
+            slow_op_threshold_ns: 10_000_000, // 10 ms
+        }
     }
 }
 
@@ -72,6 +88,12 @@ enum Job {
         req: Request,
         reply: Sender<Response>,
         submitted: Instant,
+        /// Trace context the client sent, if any; the worker adopts it so
+        /// its spans parent under the client's.
+        tctx: Option<TraceContext>,
+        /// `bora_obs::now_ns()` at submit when tracing is enabled, 0
+        /// otherwise — start of the synthesized queue-wait span.
+        submitted_ns: u64,
     },
     /// Shutdown sentinel: one per worker.
     Poison,
@@ -90,6 +112,9 @@ struct Shared<S: Storage> {
     shutting_down: AtomicBool,
     server_id: u32,
     started: Instant,
+    /// Recent ops over the slow threshold, oldest first.
+    slow_ops: Mutex<VecDeque<SlowOpEntry>>,
+    slow_op_threshold_ns: u64,
 }
 
 /// A running bora-serve instance. Cheap to share via `Arc`; transports
@@ -115,6 +140,8 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
             shutting_down: AtomicBool::new(false),
             server_id: config.server_id,
             started: Instant::now(),
+            slow_ops: Mutex::new(VecDeque::with_capacity(SLOW_OP_RING)),
+            slow_op_threshold_ns: config.slow_op_threshold_ns,
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -138,8 +165,19 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
     /// data ops go through the bounded queue and may come back
     /// [`Response::Overloaded`].
     pub fn submit(&self, req: Request) -> Response {
+        self.submit_traced(req, None)
+    }
+
+    /// [`Server::submit`] carrying the client's trace context, if the
+    /// transport decoded one: the worker adopts it, so every server-side
+    /// span of this request parents under the client's span.
+    pub fn submit_traced(&self, req: Request, tctx: Option<TraceContext>) -> Response {
         match req {
             Request::Stats => Response::Stats(self.stats()),
+            // METRICS is control-plane for the same reason PING is: the
+            // telemetry poller must see an overloaded node, not be shed
+            // by it.
+            Request::Metrics => Response::Metrics(self.metrics_report()),
             // PING answers inline for the same reason STATS does: the
             // health tracker must hear from an overloaded server, and the
             // queue depth in the reply is the overload signal itself.
@@ -164,7 +202,7 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
                     code: ErrorCode::ShuttingDown,
                     message: "worker exited before replying".into(),
                 };
-                self.submit_streamed(req, &mut |resp| {
+                self.submit_streamed_traced(req, tctx, &mut |resp| {
                     match resp {
                         Response::StreamChunk(mut chunk) => messages.append(&mut chunk),
                         Response::StreamEnd { .. } => {
@@ -194,7 +232,13 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
                     return Response::Overloaded;
                 }
                 let (reply_tx, reply_rx) = channel::bounded(1);
-                let job = Job::Work { req, reply: reply_tx, submitted: Instant::now() };
+                let job = Job::Work {
+                    req,
+                    reply: reply_tx,
+                    submitted: Instant::now(),
+                    tctx,
+                    submitted_ns: obs_now(),
+                };
                 match self.tx.try_send(job) {
                     Ok(()) => {}
                     Err(TrySendError::Full(_)) => {
@@ -229,8 +273,19 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
     /// at which point the in-flight stream is aborted server-side (the
     /// worker's next send fails and it drops the cache pin).
     pub fn submit_streamed(&self, req: Request, emit: &mut dyn FnMut(Response) -> bool) -> bool {
+        self.submit_streamed_traced(req, None, emit)
+    }
+
+    /// [`Server::submit_streamed`] carrying the client's trace context;
+    /// see [`Server::submit_traced`].
+    pub fn submit_streamed_traced(
+        &self,
+        req: Request,
+        tctx: Option<TraceContext>,
+        emit: &mut dyn FnMut(Response) -> bool,
+    ) -> bool {
         if !matches!(req, Request::ReadStream { .. }) {
-            return emit(self.submit(req));
+            return emit(self.submit_traced(req, tctx));
         }
         if self.is_shutting_down() {
             return emit(Response::Error {
@@ -239,7 +294,13 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
             });
         }
         let (reply_tx, reply_rx) = channel::bounded(STREAM_WINDOW);
-        let job = Job::Work { req, reply: reply_tx, submitted: Instant::now() };
+        let job = Job::Work {
+            req,
+            reply: reply_tx,
+            submitted: Instant::now(),
+            tctx,
+            submitted_ns: obs_now(),
+        };
         match self.tx.try_send(job) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
@@ -310,6 +371,33 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
         self.shared.metrics.snapshot_into(base)
     }
 
+    /// Versioned scrape payload (`METRICS`): the node's full metric
+    /// registry plus its slow-op tail. Reads the same handles `STATS`
+    /// does, so the two views can never disagree.
+    pub fn metrics_report(&self) -> MetricsReport {
+        let snap = self.shared.metrics.registry_snapshot();
+        MetricsReport {
+            version: METRICS_REPORT_VERSION,
+            server_id: self.shared.server_id,
+            uptime_ns: self.shared.started.elapsed().as_nanos() as u64,
+            counters: snap.counters,
+            gauges: snap.gauges,
+            hists: snap.hists,
+            slow_ops: self.shared.slow_ops.lock().iter().cloned().collect(),
+        }
+    }
+
+    /// Set (or update) a latency objective for `op_name`; see
+    /// [`Metrics::set_slo_target`].
+    pub fn set_slo_target(&self, op_name: &str, target: bora_obs::SloTarget) {
+        self.shared.metrics.set_slo_target(op_name, target);
+    }
+
+    /// Evaluate every registered SLO over its current window.
+    pub fn slo_statuses(&self) -> Vec<bora_obs::SloStatus> {
+        self.shared.metrics.slo_statuses()
+    }
+
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutting_down.load(Ordering::SeqCst)
     }
@@ -364,25 +452,51 @@ impl<S: Storage> Drop for Server<S> {
     }
 }
 
+/// `bora_obs::now_ns()` when tracing is enabled, 0 otherwise — the
+/// untraced hot path must not touch the clock.
+fn obs_now() -> u64 {
+    if bora_obs::enabled() {
+        bora_obs::now_ns()
+    } else {
+        0
+    }
+}
+
 fn worker_loop<S: Storage + Clone>(shared: &Shared<S>, rx: &Receiver<Job>) {
+    // Lane convention: pid 0 is the client; servers are `server_id + 1`.
+    bora_obs::set_thread_node(shared.server_id + 1);
     while let Ok(job) = rx.recv() {
-        let (req, reply, submitted) = match job {
+        let (req, reply, submitted, tctx, submitted_ns) = match job {
             Job::Poison => return,
-            Job::Work { req, reply, submitted } => (req, reply, submitted),
+            Job::Work { req, reply, submitted, tctx, submitted_ns } => {
+                (req, reply, submitted, tctx, submitted_ns)
+            }
         };
         // Control-plane ops never reach the queue (submit answers them
         // inline); seeing one here means a transport bypassed submit.
         // They must not hit the metrics table, whose op names are
         // data-plane only.
-        if matches!(req, Request::Stats | Request::Trace | Request::Ping | Request::Shutdown) {
+        if matches!(
+            req,
+            Request::Stats | Request::Metrics | Request::Trace | Request::Ping | Request::Shutdown
+        ) {
             let _ = reply.send(Response::Error {
                 code: ErrorCode::BadRequest,
                 message: "control op routed to worker".into(),
             });
             continue;
         }
+        // Everything this request records now parents under the client's
+        // span (a no-op guard when the request carried no context).
+        let _trace = bora_obs::adopt_context(tctx);
         let queue_wait_ns = submitted.elapsed().as_nanos() as u64;
         shared.metrics.record_queue_wait(queue_wait_ns);
+        if submitted_ns != 0 {
+            // Synthesized after the fact: the submitting thread cannot
+            // open a span that ends on this one.
+            bora_obs::record_complete("serve.queue_wait", submitted_ns, queue_wait_ns);
+        }
+        let container = req.container().map(str::to_owned).unwrap_or_default();
         let active = shared.gauge.enter();
         let mut ctx = active.ctx();
         let op = req.op_name();
@@ -401,6 +515,20 @@ fn worker_loop<S: Storage + Clone>(shared: &Shared<S>, rx: &Receiver<Job>) {
         drop(active);
         let wall_ns = submitted.elapsed().as_nanos() as u64;
         shared.metrics.record(op, wall_ns, ctx.elapsed_ns());
+        if wall_ns >= shared.slow_op_threshold_ns {
+            let mut ring = shared.slow_ops.lock();
+            if ring.len() == SLOW_OP_RING {
+                ring.pop_front();
+            }
+            ring.push_back(SlowOpEntry {
+                trace_id: tctx.map(|c| c.trace_id).unwrap_or(0),
+                op: op.to_owned(),
+                container,
+                wall_ns: wall_ns - queue_wait_ns,
+                queue_wait_ns,
+                server_id: shared.server_id,
+            });
+        }
         // A client that gave up (dropped the reply receiver) is not an
         // error; the work is simply discarded.
         if let Some(resp) = resp {
@@ -640,12 +768,14 @@ fn handle<S: Storage + Clone>(shared: &Shared<S>, req: Request, ctx: &mut IoCtx)
             }
             // Unreachable: worker_loop filters control-plane ops before
             // dispatching here.
-            Request::Stats | Request::Trace | Request::Ping | Request::Shutdown => {
-                Ok(Response::Error {
-                    code: ErrorCode::BadRequest,
-                    message: "control op routed to worker".into(),
-                })
-            }
+            Request::Stats
+            | Request::Metrics
+            | Request::Trace
+            | Request::Ping
+            | Request::Shutdown => Ok(Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "control op routed to worker".into(),
+            }),
         }
     })();
     match result {

@@ -80,16 +80,19 @@ where
             Ok(p) => p,
             Err(_) => return, // peer gone (EOF) or transport failure
         };
-        match Request::decode(&payload) {
+        // Traced decode: a request may carry the client's trace context as
+        // a prefix; plain frames (old clients) decode with `None` and the
+        // server behaves exactly as before.
+        match Request::decode_traced(&payload) {
             // Streaming-aware dispatch: a single-response op emits exactly
             // one frame; READ_STREAM emits chunk frames as the server's
             // merge yields, with the transport's own send acting as the
             // final backpressure stage. A failed send drops the emit
             // closure's `true`, which tells the server to abort the
             // in-flight stream (releasing its cache pin).
-            Ok(req) => {
+            Ok((req, tctx)) => {
                 let mut final_resp = false;
-                let ok = server.submit_streamed(req, &mut |resp| {
+                let ok = server.submit_streamed_traced(req, tctx, &mut |resp| {
                     final_resp = matches!(resp, Response::ShuttingDown);
                     conn.send_frame(&resp.encode()).is_ok()
                 });

@@ -1,4 +1,5 @@
-//! `bora-tool` — operate on real bags and containers on the local disk.
+//! `bora-tool` — operate on real bags and containers on the local disk,
+//! and observe serving clusters.
 //!
 //! ```text
 //! bora-tool import  <src.bag> <container-dir>    duplicate a bag into a container
@@ -10,16 +11,20 @@
 //! bora-tool verify  <container-dir>              consistency self-check
 //! bora-tool fsck    <container-dir> [--repair [--source <src.bag>]]
 //!                                                classify Clean/Torn/Corrupt, optionally repair
-//! bora-tool ingest-stat <ingest-dir>             live-ingest root: WAL depth, segments, lag
+//! bora-tool ingest-stat <ingest-dir> [--json]    live-ingest root: WAL depth, segments, lag
+//! bora-tool top --nodes <addr,addr,...> [--json] scrape METRICS from running TCP nodes
+//! bora-tool top --demo [--json]                  same, against a built-in 3-node demo cluster
 //! ```
 //!
-//! All storage goes through `simfs::LocalStorage`, i.e. real files.
+//! All storage goes through `simfs::LocalStorage`, i.e. real files —
+//! except `top`, which speaks the bora-serve wire protocol.
 
 use std::path::Path;
 use std::process::exit;
 
 use bora::checksum::crc32c;
 use bora::{BoraBag, OrganizerOptions};
+use bora_obs::json_string;
 use ros_msgs::wire::WireRead;
 use ros_msgs::Time;
 use simfs::{IoCtx, LocalStorage, Storage};
@@ -185,9 +190,19 @@ fn main() {
             };
             println!("repair: {outcome:?}");
         }
-        ["ingest-stat", dir] => {
+        ["ingest-stat", rest @ ..] => {
+            let (dir, json) = match rest {
+                [dir] => (*dir, false),
+                [dir, "--json"] | ["--json", dir] => (*dir, true),
+                _ => usage(),
+            };
             let (fs, path) = split(dir);
-            ingest_stat(&fs, &path, dir, &mut ctx).unwrap_or_else(die);
+            let stats = ingest_stat(&fs, &path, dir, &mut ctx).unwrap_or_else(die);
+            if json {
+                println!("{}", stats.to_json());
+            } else {
+                stats.print_text();
+            }
         }
         ["verify", dir] => {
             let (fs, path) = split(dir);
@@ -200,17 +215,140 @@ fn main() {
                 }
             }
         }
+        ["top", rest @ ..] => top(rest),
         _ => usage(),
     }
 }
 
+// --------------------------------------------------------------------- top
+
+/// `bora-tool top` — scrape every node's `METRICS` registry and render
+/// the per-node / per-op latency table plus the fleet-wide slow-op tail.
+/// `--nodes` speaks TCP to a running cluster; `--demo` spins up an
+/// in-process 3-node cluster, drives a query mix through it, and scrapes
+/// that (with `BORA_TRACE=1` it also writes the merged Chrome trace).
+fn top(rest: &[&str]) {
+    let mut json = false;
+    let mut demo = false;
+    let mut nodes: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match *a {
+            "--json" => json = true,
+            "--demo" => demo = true,
+            "--nodes" => {
+                nodes = Some(it.next().copied().unwrap_or_else(|| usage()).to_owned());
+            }
+            _ => usage(),
+        }
+    }
+    let scrape = match (demo, nodes) {
+        (true, None) => top_demo(),
+        (false, Some(list)) => top_tcp(&list),
+        _ => usage(),
+    };
+    if json {
+        println!("{}", bora_cluster::scrape_to_json(&scrape));
+    } else {
+        print!("{}", bora_cluster::render_top(&scrape));
+    }
+}
+
+/// Scrape running TCP nodes. No ring, no routing — `top` talks to every
+/// address it is given, and a node that does not answer becomes an
+/// `unreachable` row instead of killing the sweep.
+fn top_tcp(list: &str) -> bora_cluster::ClusterScrape {
+    use bora_serve::{ServeClient, TcpTransport};
+
+    let mut scrape = bora_cluster::ClusterScrape::default();
+    for (i, addr) in list.split(',').filter(|s| !s.is_empty()).enumerate() {
+        let id = i as u32;
+        let parsed: Result<std::net::SocketAddr, _> = addr.parse();
+        let report = parsed.map_err(|e| format!("{addr}: {e}")).and_then(|sock| {
+            ServeClient::connect(&TcpTransport::new(sock))
+                .and_then(|mut c| c.metrics())
+                .map_err(|e| format!("{addr}: {e}"))
+        });
+        match report {
+            Ok(r) => scrape.reports.push((id, r)),
+            Err(why) => scrape.unreachable.push((id, why)),
+        }
+    }
+    scrape.aggregate = bora_cluster::aggregate_reports(
+        &scrape.reports.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+    );
+    scrape
+}
+
+/// A self-contained cluster to point `top` at: 3 nodes, 2 containers,
+/// a small query mix. The slow-op threshold is dropped to 50µs so the
+/// demo's in-memory ops actually populate the tail.
+fn top_demo() -> bora_cluster::ClusterScrape {
+    use bora_cluster::{ClusterClientConfig, ClusterTelemetry, ClusterTierConfig, LocalCluster};
+    use ros_msgs::sensor_msgs::Imu;
+    use rosbag::{BagWriter, BagWriterOptions};
+    use simfs::MemStorage;
+
+    bora_obs::init_from_env();
+    let staging = MemStorage::new();
+    let mut ctx = IoCtx::new();
+    for name in ["alpha", "beta"] {
+        let bag = format!("/{name}.bag");
+        let mut w =
+            BagWriter::create(&staging, &bag, BagWriterOptions::default(), &mut ctx).unwrap();
+        for i in 0..50u32 {
+            let t = Time::new(100 + i, 0);
+            let mut imu = Imu::default();
+            imu.header.seq = i;
+            imu.header.stamp = t;
+            w.write_ros_message("/imu", t, &imu, &mut ctx).unwrap();
+        }
+        w.close(&mut ctx).unwrap();
+        bora::duplicate(
+            &staging,
+            &bag,
+            &staging,
+            &format!("/c/{name}"),
+            &Default::default(),
+            &mut ctx,
+        )
+        .unwrap_or_else(die);
+    }
+
+    let cluster = LocalCluster::start(ClusterTierConfig {
+        nodes: 3,
+        server: bora_serve::ServerConfig { slow_op_threshold_ns: 50_000, ..Default::default() },
+        ..Default::default()
+    });
+    cluster.provision(&staging, &["/c/alpha", "/c/beta"]).unwrap_or_else(die);
+    let client = cluster.client(ClusterClientConfig::default());
+    for round in 0..20 {
+        for c in ["/c/alpha", "/c/beta"] {
+            client.topics(c).unwrap_or_else(die);
+            client.stat(c).unwrap_or_else(die);
+            if round % 4 == 0 {
+                client.read(c, &["/imu"]).unwrap_or_else(die);
+            }
+        }
+    }
+    let telemetry = ClusterTelemetry::new(client);
+    let scrape = telemetry.scrape();
+    cluster.shutdown();
+    match bora_obs::write_trace_if_enabled("bora-top-demo.trace.json") {
+        Ok(Some(p)) => eprintln!("trace written to {}", p.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("trace write failed: {e}"),
+    }
+    scrape
+}
+
 // -------------------------------------------------------------- ingest-stat
 //
-// `bora-tool` lives inside the `bora` crate, which `bora-ingest` depends
-// on — so the tool parses the ingest root's on-disk formats directly
-// instead of linking the crate. Every format is CRC32C-trailed, so a
-// layout drift between the two shows up as "unreadable", never as
-// silently wrong numbers. Constants mirror `crates/bora-ingest`.
+// The tool parses the ingest root's on-disk formats directly instead of
+// linking `bora-ingest` (keeping the operator CLI's dependency tree
+// shallow). Every format is CRC32C-trailed, so a layout drift between
+// the two shows up as "unreadable", never as silently wrong numbers.
+// Constants mirror `crates/bora-ingest`.
 
 const INGEST_CFG_MAGIC: u32 = 0x42_49_4E_31; // "BIN1" — .boraingest
 const INGEST_GEN_MAGIC: u32 = 0x42_49_47_31; // "BIG1" — gen/C*/.ingest
@@ -233,7 +371,102 @@ fn checked_marker(bytes: &[u8], magic: u32) -> Option<Vec<u8>> {
     Some(cur.to_vec())
 }
 
-fn ingest_stat(fs: &LocalStorage, root: &str, shown: &str, ctx: &mut IoCtx) -> Result<(), String> {
+/// Everything `ingest-stat` reports, gathered once and rendered as
+/// either the human table or `--json`.
+struct IngestStats {
+    root: String,
+    wal_shards: usize,
+    group_commit: u64,
+    window_ns: u64,
+    generation: u64,
+    gen_seal: u64,
+    gen_wal: u64,
+    staging: usize,
+    seals: usize,
+    seg_files: usize,
+    lag_seals: usize,
+    lag_files: usize,
+    durable: u64,
+    active: u64,
+    active_segments: usize,
+    torn_shards: usize,
+}
+
+impl IngestStats {
+    fn print_text(&self) {
+        println!("ingest root:    {}", self.root);
+        println!(
+            "config:         {} wal shard(s), group commit {}, \
+             time window {} s",
+            self.wal_shards,
+            self.group_commit,
+            self.window_ns as f64 / 1e9
+        );
+        println!(
+            "generation:     {} (compacted through seal {}, wal seq {}){}",
+            self.generation,
+            self.gen_seal,
+            self.gen_wal,
+            if self.staging > 0 {
+                format!("  [{} staging debris]", self.staging)
+            } else {
+                String::new()
+            }
+        );
+        println!(
+            "sealed:         {} seal marker(s), {} segment file(s) on disk; \
+             compaction lag: {} seal(s) / {} segment file(s) pending",
+            self.seals, self.seg_files, self.lag_seals, self.lag_files
+        );
+        println!(
+            "wal depth:      {} durable record(s); {} unsealed -> \
+             {} active segment(s) on next open{}",
+            self.durable,
+            self.active,
+            self.active_segments,
+            if self.torn_shards > 0 {
+                format!("  [{} shard(s) with torn tails — truncated on recovery]", self.torn_shards)
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    /// One flat JSON object — stable key set, no derived strings, so CI
+    /// can assert on it without parsing the human table.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"root\":{},\"wal_shards\":{},\"group_commit\":{},\"window_ns\":{},\
+             \"generation\":{},\"compacted_seal\":{},\"compacted_wal_seq\":{},\
+             \"staging_debris\":{},\"seal_markers\":{},\"segment_files\":{},\
+             \"lag_seals\":{},\"lag_segment_files\":{},\"wal_durable_records\":{},\
+             \"wal_unsealed_records\":{},\"active_segments\":{},\"torn_wal_shards\":{}}}",
+            json_string(&self.root),
+            self.wal_shards,
+            self.group_commit,
+            self.window_ns,
+            self.generation,
+            self.gen_seal,
+            self.gen_wal,
+            self.staging,
+            self.seals,
+            self.seg_files,
+            self.lag_seals,
+            self.lag_files,
+            self.durable,
+            self.active,
+            self.active_segments,
+            self.torn_shards,
+        )
+    }
+}
+
+fn ingest_stat(
+    fs: &LocalStorage,
+    root: &str,
+    shown: &str,
+    ctx: &mut IoCtx,
+) -> Result<IngestStats, String> {
     let marker = format!("{root}/.boraingest");
     if !fs.exists(&marker, ctx) {
         return Err(format!("{shown}: not a live ingest root (no .boraingest marker)"));
@@ -350,31 +583,24 @@ fn ingest_stat(fs: &LocalStorage, root: &str, shown: &str, ctx: &mut IoCtx) -> R
         }
     }
 
-    println!("ingest root:    {shown}");
-    println!(
-        "config:         {wal_shards} wal shard(s), group commit {group_commit}, \
-         time window {} s",
-        window_ns as f64 / 1e9
-    );
-    println!(
-        "generation:     {generation} (compacted through seal {gen_seal}, wal seq {gen_wal}){}",
-        if staging > 0 { format!("  [{staging} staging debris]") } else { String::new() }
-    );
-    println!(
-        "sealed:         {seals} seal marker(s), {seg_files} segment file(s) on disk; \
-         compaction lag: {lag_seals} seal(s) / {lag_files} segment file(s) pending"
-    );
-    println!(
-        "wal depth:      {durable} durable record(s); {active} unsealed -> \
-         {} active segment(s) on next open{}",
-        active_topics.len(),
-        if torn_shards > 0 {
-            format!("  [{torn_shards} shard(s) with torn tails — truncated on recovery]")
-        } else {
-            String::new()
-        }
-    );
-    Ok(())
+    Ok(IngestStats {
+        root: shown.to_owned(),
+        wal_shards,
+        group_commit,
+        window_ns,
+        generation,
+        gen_seal,
+        gen_wal,
+        staging,
+        seals,
+        seg_files,
+        lag_seals,
+        lag_files,
+        durable,
+        active,
+        active_segments: active_topics.len(),
+        torn_shards,
+    })
 }
 
 fn die<E: std::fmt::Display, T>(e: E) -> T {
@@ -391,7 +617,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: bora-tool <import <src.bag> <dir> | info <dir> | topics <dir> | \
          query <dir> <topic> [start_s end_s] | export <dir> <out.bag> | verify <dir> | \
-         fsck <dir> [--repair [--source <src.bag>]] | ingest-stat <dir>>"
+         fsck <dir> [--repair [--source <src.bag>]] | ingest-stat <dir> [--json] | \
+         top <--nodes <addr,...> | --demo> [--json]>"
     );
     exit(2);
 }

@@ -170,6 +170,73 @@ fn ingest_stat_reports_wal_depth_segments_and_lag() {
 }
 
 #[test]
+fn ingest_stat_json_has_the_schema_ci_depends_on() {
+    use bora_ingest::{IngestConfig, IngestStore};
+
+    let dir = workdir("ingest-json");
+    let fs = LocalStorage::new(&dir).unwrap();
+    let mut ctx = IoCtx::new();
+    let cfg = IngestConfig { wal_shards: 2, group_commit: 4, window_ns: 1_000_000_000 };
+    let store = IngestStore::create(fs, "/live", cfg, &mut ctx).unwrap();
+    for i in 0..4u64 {
+        store.append("/imu", Time::from_nanos(i * 10), &[i as u8; 4], &mut ctx).unwrap();
+    }
+    store.seal(&mut ctx).unwrap().expect("messages to seal");
+    store.append("/imu", Time::from_nanos(1_000), b"tail", &mut ctx).unwrap();
+    store.flush_wal(&mut ctx).unwrap();
+
+    let out = tool().arg("ingest-stat").arg(dir.join("live")).arg("--json").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8_lossy(&out.stdout).trim().to_owned();
+    // One flat object with a stable key set — the schema CI parses.
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    for key in [
+        "\"root\":",
+        "\"wal_shards\":2",
+        "\"group_commit\":4",
+        "\"window_ns\":1000000000",
+        "\"generation\":",
+        "\"compacted_seal\":",
+        "\"compacted_wal_seq\":",
+        "\"staging_debris\":",
+        "\"seal_markers\":1",
+        "\"segment_files\":1",
+        "\"lag_seals\":1",
+        "\"lag_segment_files\":1",
+        "\"wal_durable_records\":1",
+        "\"wal_unsealed_records\":1",
+        "\"active_segments\":1",
+        "\"torn_wal_shards\":0",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    // Flag order must not matter.
+    let out2 = tool().arg("ingest-stat").arg("--json").arg(dir.join("live")).output().unwrap();
+    assert!(out2.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn top_demo_renders_table_and_json() {
+    let out = tool().args(["top", "--demo"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8_lossy(&out.stdout).into_owned();
+    // Per-node rows plus the cluster-wide `*` fold, for ops the demo ran.
+    assert!(table.contains("node"), "{table}");
+    assert!(table.contains("topics"), "{table}");
+    assert!(table.contains("stat"), "{table}");
+    assert!(table.lines().any(|l| l.starts_with("* ")), "no aggregate rows:\n{table}");
+
+    let out = tool().args(["top", "--demo", "--json"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8_lossy(&out.stdout).trim().to_owned();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"aggregate\":"), "{json}");
+    assert!(json.contains("\"serve.op.topics.wall_ns\""), "{json}");
+}
+
+#[test]
 fn import_refuses_garbage() {
     let dir = workdir("garbage");
     std::fs::write(dir.join("junk.bag"), vec![0u8; 9000]).unwrap();
