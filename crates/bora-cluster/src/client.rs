@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 
 use bora_serve::{
     ClientError, ClientResult, Connection, ErrorCode, MetricsReport, PingInfo, ProtoError, Request,
-    Response, ServeClient, StatsSnapshot, Transport, WireMessage,
+    Response, RetryBudget, RetryBudgetConfig, ServeClient, StatsSnapshot, Transport, WireMessage,
 };
 use crossbeam::channel::{self, RecvTimeoutError};
 use ros_msgs::Time;
@@ -69,12 +69,36 @@ impl Default for HedgeConfig {
 }
 
 /// Router configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ClusterClientConfig {
     pub policy: RoutePolicy,
     /// `Some` enables hedged reads (only meaningful with ≥ 2 replicas).
     pub hedge: Option<HedgeConfig>,
     pub breaker: BreakerConfig,
+    /// Per-request deadline budget stamped on every routed request (the
+    /// wire deadline prefix), so servers shed work that expired in their
+    /// queues. `None` sends deadline-free requests.
+    pub deadline: Option<Duration>,
+    /// Token-bucket budget shared by every failover hop and stream
+    /// resume this client performs ([`RetryBudgetConfig`]): when a
+    /// correlated outage empties the bucket, requests fail fast on their
+    /// first error instead of walking the whole replica set. Hedges are
+    /// exempt — a hedge fires because the primary is *slow*, not failed,
+    /// and throttling it would re-create the tail-latency problem
+    /// hedging exists to solve. `None` disables the budget.
+    pub retry_budget: Option<RetryBudgetConfig>,
+}
+
+impl Default for ClusterClientConfig {
+    fn default() -> Self {
+        ClusterClientConfig {
+            policy: RoutePolicy::default(),
+            hedge: None,
+            breaker: BreakerConfig::default(),
+            deadline: None,
+            retry_budget: Some(RetryBudgetConfig::default()),
+        }
+    }
 }
 
 /// One node as the router sees it: a transport, a bounded connection
@@ -85,27 +109,32 @@ pub struct NodeEndpoint<T: Transport> {
     pool: Mutex<Vec<ServeClient<T::Conn>>>,
     breaker: Mutex<CircuitBreaker>,
     inflight: AtomicUsize,
+    /// Deadline budget stamped on every request through this endpoint.
+    deadline: Option<Duration>,
 }
 
 /// Connections kept per node beyond which returned ones are dropped.
 const POOL_MAX: usize = 8;
 
 impl<T: Transport> NodeEndpoint<T> {
-    fn new(id: NodeId, transport: T, breaker: BreakerConfig) -> Self {
+    fn new(id: NodeId, transport: T, breaker: BreakerConfig, deadline: Option<Duration>) -> Self {
         NodeEndpoint {
             id,
             transport,
             pool: Mutex::new(Vec::new()),
             breaker: Mutex::new(CircuitBreaker::new(breaker)),
             inflight: AtomicUsize::new(0),
+            deadline,
         }
     }
 
     fn lease(&self) -> ClientResult<ServeClient<T::Conn>> {
-        if let Some(c) = self.pool.lock().unwrap().pop() {
-            return Ok(c);
-        }
-        Ok(ServeClient::new(self.transport.connect()?))
+        let mut client = match self.pool.lock().unwrap().pop() {
+            Some(c) => c,
+            None => ServeClient::new(self.transport.connect()?),
+        };
+        client.set_deadline(self.deadline);
+        Ok(client)
     }
 
     fn release(&self, client: ServeClient<T::Conn>) {
@@ -179,6 +208,10 @@ pub struct ClusterClient<T: Transport> {
     /// EWMA of successful read wall latency, nanoseconds.
     ewma_ns: Arc<Mutex<f64>>,
     rr: Arc<AtomicUsize>,
+    /// Shared failover/retry token bucket (see
+    /// [`ClusterClientConfig::retry_budget`]); shared across clones so
+    /// every handle onto the cluster draws from one budget.
+    budget: Option<Arc<Mutex<RetryBudget>>>,
 }
 
 impl<T: Transport> Clone for ClusterClient<T> {
@@ -189,6 +222,7 @@ impl<T: Transport> Clone for ClusterClient<T> {
             cfg: self.cfg.clone(),
             ewma_ns: Arc::clone(&self.ewma_ns),
             rr: Arc::clone(&self.rr),
+            budget: self.budget.clone(),
         }
     }
 }
@@ -207,14 +241,40 @@ where
     ) -> Self {
         let nodes = endpoints
             .into_iter()
-            .map(|(id, t)| (id, Arc::new(NodeEndpoint::new(id, t, cfg.breaker))))
+            .map(|(id, t)| (id, Arc::new(NodeEndpoint::new(id, t, cfg.breaker, cfg.deadline))))
             .collect();
+        let budget = cfg.retry_budget.map(|b| Arc::new(Mutex::new(RetryBudget::new(b))));
         ClusterClient {
             ring,
             nodes,
             cfg,
             ewma_ns: Arc::new(Mutex::new(0.0)),
             rr: Arc::new(AtomicUsize::new(0)),
+            budget,
+        }
+    }
+
+    /// `(tokens banked, retries denied)` of the shared retry budget, if
+    /// one is configured.
+    pub fn retry_budget_stats(&self) -> Option<(f64, u64)> {
+        self.budget.as_ref().map(|b| {
+            let b = b.lock().unwrap();
+            (b.tokens(), b.denied())
+        })
+    }
+
+    /// Spend one budget token for a failover hop; `true` when allowed
+    /// (or no budget is configured).
+    fn try_spend_budget(&self) -> bool {
+        match &self.budget {
+            None => true,
+            Some(b) => b.lock().unwrap().try_spend(),
+        }
+    }
+
+    fn budget_on_success(&self) {
+        if let Some(b) = &self.budget {
+            b.lock().unwrap().on_success();
         }
     }
 
@@ -266,6 +326,13 @@ where
                     continue;
                 }
                 if attempted {
+                    // Every hop beyond the first spends a budget token:
+                    // with the bucket empty the first error surfaces
+                    // instead of every caller walking the replica set.
+                    if !self.try_spend_budget() {
+                        bora_obs::counter("cluster.retry_budget_denied").inc();
+                        return Err(last.unwrap_or_else(|| no_nodes(container)));
+                    }
                     bora_obs::counter("cluster.failover").inc();
                 }
                 attempted = true;
@@ -277,6 +344,7 @@ where
                 match ep.attempt(&mut op) {
                     Ok(v) => {
                         sp.end();
+                        self.budget_on_success();
                         return Ok(v);
                     }
                     Err(e) if should_failover(&e) => {
@@ -483,21 +551,31 @@ where
         match first {
             Some((_, lat, Ok(v))) => {
                 self.note_read_latency(lat);
+                self.budget_on_success();
                 Ok(v)
             }
             Some((_, _, Err(e))) if !should_failover(&e) => Err(e),
-            Some((_, _, Err(_))) => {
-                // Primary failed fast: this is a failover, not a hedge.
+            Some((_, _, Err(e))) => {
+                // Primary failed fast: this is a failover, not a hedge,
+                // so it spends a retry-budget token like any other hop.
+                if !self.try_spend_budget() {
+                    bora_obs::counter("cluster.retry_budget_denied").inc();
+                    return Err(e);
+                }
                 bora_obs::counter("cluster.failover").inc();
                 spawn_read(Arc::clone(&eps[1]), 1);
                 let (_, lat, res) = rx.recv().expect("hedge leg sender alive");
                 if res.is_ok() {
                     self.note_read_latency(lat);
+                    self.budget_on_success();
                 }
                 res
             }
             None => {
                 // Primary slow: hedge to the replica, first answer wins.
+                // Deliberately budget-exempt — the primary has not
+                // failed, and throttling hedges would re-create the tail
+                // latency they exist to cut.
                 bora_obs::counter("cluster.hedge.issued").inc();
                 spawn_read(Arc::clone(&eps[1]), 1);
                 let mut errors = 0;
@@ -509,6 +587,7 @@ where
                                 bora_obs::counter("cluster.hedge.wins").inc();
                             }
                             self.note_read_latency(lat);
+                            self.budget_on_success();
                             return Ok(v);
                         }
                         Err(e) => {
@@ -561,6 +640,8 @@ where
             fetched: 0,
             yielded: 0,
             done: false,
+            deadline: self.cfg.deadline,
+            budget: self.budget.clone(),
         };
         stream.connect_next()?;
         Ok(stream)
@@ -610,7 +691,22 @@ where
     /// Every reachable node's `METRICS` scrape; unreachable nodes report
     /// their error (the poller counts them, it does not fail the sweep).
     pub fn metrics_all(&self) -> Vec<(NodeId, ClientResult<MetricsReport>)> {
-        self.nodes.iter().map(|(id, ep)| (*id, ep.attempt(&mut |c| c.metrics()))).collect()
+        self.nodes
+            .iter()
+            .map(|(id, ep)| {
+                let mut res = ep.attempt(&mut |c| c.metrics());
+                // A pooled connection can die while parked: the peer
+                // answers its last request, then begins shutting down and
+                // closes before the next lease. The failed attempt drops
+                // the stale connection, so one retry runs on a fresh one —
+                // METRICS is idempotent control-plane, and a node that is
+                // *actually* unreachable just fails twice.
+                if matches!(res, Err(ClientError::Io(_))) {
+                    res = ep.attempt(&mut |c| c.metrics());
+                }
+                (*id, res)
+            })
+            .collect()
     }
 
     /// Breaker state per node, for observability.
@@ -643,6 +739,12 @@ pub struct ClusterStream<T: Transport> {
     /// Messages handed to the consumer.
     yielded: u64,
     done: bool,
+    /// Deadline budget stamped on each (re-)issued stream request.
+    deadline: Option<Duration>,
+    /// The owning client's shared retry budget: each mid-stream failover
+    /// spends a token, so a flapping network cannot turn one stream into
+    /// an unbounded reconnect storm.
+    budget: Option<Arc<Mutex<RetryBudget>>>,
 }
 
 impl<T: Transport> ClusterStream<T> {
@@ -663,9 +765,13 @@ impl<T: Transport> ClusterStream<T> {
             // Propagate whatever span is open at (re)connect time — for a
             // mid-stream failover that is still the caller's span, so the
             // resumed stream stays in the same trace tree.
+            let deadline_ns =
+                self.deadline.map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
             match ep.transport.connect() {
                 Ok(mut conn) => {
-                    match conn.send_frame(&req.encode_traced(bora_obs::current_context())) {
+                    match conn
+                        .send_frame(&req.encode_framed(bora_obs::current_context(), deadline_ns))
+                    {
                         Ok(()) => {
                             self.skip = self.fetched;
                             self.current = Some((ep, conn));
@@ -687,10 +793,22 @@ impl<T: Transport> ClusterStream<T> {
     }
 
     fn failover(&mut self) -> Option<ClientError> {
-        bora_obs::counter("cluster.failover").inc();
         if let Some((ep, _)) = self.current.take() {
             ep.breaker.lock().unwrap().on_failure();
         }
+        // A stream resume is a retry like any other: it spends from the
+        // client's shared budget, and an empty bucket ends the stream
+        // with an error instead of hammering the surviving replicas.
+        if let Some(b) = &self.budget {
+            if !b.lock().unwrap().try_spend() {
+                bora_obs::counter("cluster.retry_budget_denied").inc();
+                return Some(ClientError::Io(std::io::Error::other(format!(
+                    "retry budget exhausted resuming stream of {}",
+                    self.container
+                ))));
+            }
+        }
+        bora_obs::counter("cluster.failover").inc();
         self.connect_next().err()
     }
 
@@ -727,6 +845,9 @@ impl<T: Transport> ClusterStream<T> {
                 Ok(Response::StreamEnd { .. }) => {
                     if let Some((ep, _)) = self.current.take() {
                         ep.breaker.lock().unwrap().on_success();
+                    }
+                    if let Some(b) = &self.budget {
+                        b.lock().unwrap().on_success();
                     }
                     self.done = true;
                 }

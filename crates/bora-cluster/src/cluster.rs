@@ -72,6 +72,10 @@ pub struct HealReport {
     pub copies: usize,
     /// Copy batches the throttle split the work into.
     pub batches: usize,
+    /// Copies planned but not executed because the source or target was
+    /// outside the control plane's reachability view; a later heal (after
+    /// the partition lifts) picks them up.
+    pub deferred: usize,
 }
 
 /// An in-process multi-node serving tier.
@@ -83,6 +87,11 @@ pub struct LocalCluster<S: Storage + Clone + Send + Sync + 'static> {
     /// sourcing heals; the ring is the *intended* placement).
     holders: Mutex<BTreeMap<String, BTreeSet<NodeId>>>,
     dead: Mutex<BTreeSet<NodeId>>,
+    /// The control plane's network reachability view: `None` = full
+    /// visibility; `Some(set)` = only these nodes are reachable (a
+    /// partition is in effect). Heal consults it so re-replication never
+    /// sources from — or is driven by — a minority side.
+    reachable: Mutex<Option<BTreeSet<NodeId>>>,
     next_id: AtomicU32,
     factory: Mutex<Box<dyn FnMut(NodeId) -> S + Send>>,
 }
@@ -127,6 +136,7 @@ impl<S: Storage + Clone + Send + Sync + 'static> LocalCluster<S> {
             nodes: Mutex::new(nodes),
             holders: Mutex::new(BTreeMap::new()),
             dead: Mutex::new(BTreeSet::new()),
+            reachable: Mutex::new(None),
             factory: Mutex::new(Box::new(factory)),
         }
     }
@@ -251,14 +261,40 @@ impl<S: Storage + Clone + Send + Sync + 'static> LocalCluster<S> {
         Ok(id)
     }
 
+    /// Install (or clear, with `None`) the control plane's reachability
+    /// view. While a partition is in effect, [`LocalCluster::heal`]
+    /// refuses to run from a minority side, only sources copies from
+    /// reachable holders, and defers copies onto unreachable targets.
+    pub fn set_reachable(&self, view: Option<BTreeSet<NodeId>>) {
+        *self.reachable.lock().unwrap() = view;
+    }
+
     /// Drop dead nodes from the ring and re-replicate every container
-    /// the deaths left under-replicated, sourcing from surviving
-    /// holders. Returns what was done.
+    /// left under-replicated, sourcing from surviving holders. Also a
+    /// convergence pass: copies a previous heal deferred behind a
+    /// partition are planned again, so calling `heal()` after the
+    /// partition lifts completes them. Returns what was done.
     pub fn heal(&self) -> BoraResult<HealReport> {
         let removed: Vec<NodeId> = self.dead.lock().unwrap().iter().copied().collect();
-        if removed.is_empty() {
-            return Ok(HealReport::default());
+        // Partition awareness: a control plane that can only see a
+        // minority of the live nodes must not reshape the ring — the
+        // majority side may be healthy, serving, and running its own
+        // heal; acting on minority knowledge would fork the directory
+        // (classic split-brain). Quorum is strictly more than half of
+        // the live nodes.
+        let view = self.reachable.lock().unwrap().clone();
+        if let Some(view) = &view {
+            let live = self.live_nodes();
+            let visible = live.iter().filter(|id| view.contains(id)).count();
+            if 2 * visible <= live.len() {
+                return Err(bora::BoraError::Corrupt(format!(
+                    "heal refused: reachability view covers {visible} of {} live nodes \
+                     (no majority — possible minority side of a partition)",
+                    live.len()
+                )));
+            }
         }
+        let in_view = |id: &NodeId| view.as_ref().is_none_or(|v| v.contains(id));
         let before = self.ring.read().unwrap().clone();
         let mut after = before.clone();
         for id in &removed {
@@ -269,24 +305,45 @@ impl<S: Storage + Clone + Send + Sync + 'static> LocalCluster<S> {
         // been holding data the ring no longer assigns it, and a heal
         // must only source from live replicas.
         let mut moves = Vec::new();
+        let mut deferred = 0usize;
         {
             let mut holders = self.holders.lock().unwrap();
             for (container, holding) in holders.iter_mut() {
                 for id in &removed {
                     holding.remove(id);
                 }
-                let want = after.replicas(container);
-                let Some(source) = holding.iter().find(|n| !removed.contains(n)).copied() else {
+                if holding.is_empty() {
                     return Err(bora::BoraError::Corrupt(format!(
                         "container {container} lost every replica"
                     )));
+                }
+                let missing: Vec<NodeId> = after
+                    .replicas(container)
+                    .into_iter()
+                    .filter(|t| !holding.contains(t))
+                    .collect();
+                if missing.is_empty() {
+                    continue;
+                }
+                // Only a *reachable* holder may source a copy: bytes on
+                // the far side of a partition cannot be read, and a copy
+                // that silently raced the partition could resurrect a
+                // stale replica as ground truth.
+                let Some(source) = holding.iter().find(|n| in_view(n)).copied() else {
+                    deferred += missing.len();
+                    continue;
                 };
-                for target in want {
-                    if !holding.contains(&target) {
-                        moves.push(Move { container: container.clone(), from: source, to: target });
+                for target in missing {
+                    if !in_view(&target) {
+                        deferred += 1;
+                        continue;
                     }
+                    moves.push(Move { container: container.clone(), from: source, to: target });
                 }
             }
+        }
+        if removed.is_empty() && moves.is_empty() && deferred == 0 {
+            return Ok(HealReport::default());
         }
         let batches = moves.len().div_ceil(self.cfg.migrate_batch.max(1));
         self.execute_moves(&moves)?;
@@ -301,7 +358,10 @@ impl<S: Storage + Clone + Send + Sync + 'static> LocalCluster<S> {
         }
         self.refresh_preferred();
         bora_obs::counter("cluster.heal.copies").add(moves.len() as u64);
-        Ok(HealReport { removed, copies: moves.len(), batches })
+        if deferred > 0 {
+            bora_obs::counter("cluster.heal.deferred").add(deferred as u64);
+        }
+        Ok(HealReport { removed, copies: moves.len(), batches, deferred })
     }
 
     /// Run a migration plan, `migrate_batch` copies at a time. Copies in

@@ -10,7 +10,7 @@
 //! container, structural corruption, bad request) surface immediately —
 //! retrying them would only hide a bug.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ros_msgs::Time;
 
@@ -33,6 +33,17 @@ pub enum ClientError {
     /// The server shed the request under load; retrying later is safe
     /// (no side effects happened).
     Overloaded,
+    /// The caller's total wall-clock deadline expired before the request
+    /// succeeded. Terminal: the budget is spent, so no retry layer
+    /// (including failover) should try again on the same budget.
+    DeadlineExceeded {
+        /// The configured total budget.
+        deadline: Duration,
+        /// Wall-clock elapsed when the client gave up.
+        elapsed: Duration,
+        /// Rendering of the last underlying failure, if any attempt ran.
+        last_error: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -44,6 +55,10 @@ impl std::fmt::Display for ClientError {
                 write!(f, "server error ({code:?}): {message}")
             }
             ClientError::Overloaded => write!(f, "server overloaded"),
+            ClientError::DeadlineExceeded { deadline, elapsed, last_error } => write!(
+                f,
+                "deadline {deadline:?} exceeded after {elapsed:?} (last error: {last_error})"
+            ),
         }
     }
 }
@@ -60,6 +75,8 @@ impl ClientError {
         match self {
             ClientError::Io(_) | ClientError::Proto(_) | ClientError::Overloaded => true,
             ClientError::Server { code, .. } => code.is_transient(),
+            // The wall-clock budget is spent; retrying cannot un-spend it.
+            ClientError::DeadlineExceeded { .. } => false,
         }
     }
 }
@@ -77,11 +94,21 @@ pub type ClientResult<T> = Result<T, ClientError>;
 /// A connected bora-serve client.
 pub struct ServeClient<C: Connection> {
     conn: C,
+    /// Budget stamped on each outgoing request ([`Request::encode_framed`]
+    /// deadline prefix); `None` sends deadline-free requests.
+    deadline: Option<Duration>,
+    /// Correlation sequence of the most recent request on this
+    /// connection. Every request is stamped (`proto::wrap_corr`) and the
+    /// server echoes the seq on each frame of its answer, so a stale
+    /// frame — a duplicate or reordered leftover from an earlier
+    /// request — is discarded instead of being mistaken for the current
+    /// response (or worse, an append ack).
+    seq: u32,
 }
 
 impl<C: Connection> ServeClient<C> {
     pub fn new(conn: C) -> Self {
-        ServeClient { conn }
+        ServeClient { conn, deadline: None, seq: 0 }
     }
 
     /// Connect through a transport.
@@ -89,13 +116,57 @@ impl<C: Connection> ServeClient<C> {
         Ok(ServeClient::new(transport.connect()?))
     }
 
+    /// Set the deadline budget stamped on every subsequent request. The
+    /// server sheds a request whose budget was already spent in its
+    /// queue, answering [`ErrorCode::DeadlineExceeded`] instead of doing
+    /// dead work. `None` (the default) sends no deadline header.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// Bound how long transport calls may block
+    /// ([`Connection::set_timeout`]).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.conn.set_timeout(timeout)
+    }
+
+    fn deadline_ns(&self) -> Option<u64> {
+        self.deadline.map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Advance and return the correlation seq for one outgoing request.
+    fn next_seq(&mut self) -> u32 {
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
+    }
+
+    /// Receive the next frame belonging to request `seq`, discarding
+    /// stale frames (leftovers of an earlier request that the network
+    /// duplicated or reordered). Uncorrelated frames are passed through:
+    /// a plain peer never stales by construction (strict one-in-one-out).
+    fn recv_matching(&mut self, seq: u32) -> ClientResult<Vec<u8>> {
+        loop {
+            let payload = self.conn.recv_frame()?;
+            match crate::proto::peel_corr(&payload) {
+                (Some(got), inner) if got == seq => return Ok(inner.to_vec()),
+                (Some(_), _) => continue,
+                (None, _) => return Ok(payload),
+            }
+        }
+    }
+
     fn roundtrip(&mut self, req: &Request) -> ClientResult<Response> {
         // With tracing on, requests carry the caller's span context so
         // server-side spans parent under it; with tracing off,
         // `current_context()` is `None` and the bytes are exactly the
-        // untraced encoding.
-        self.conn.send_frame(&req.encode_traced(bora_obs::current_context()))?;
-        let payload = self.conn.recv_frame()?;
+        // untraced encoding. Likewise the deadline prefix only appears
+        // when a budget is set.
+        let seq = self.next_seq();
+        self.conn.send_frame(&crate::proto::wrap_corr(
+            seq,
+            &req.encode_framed(bora_obs::current_context(), self.deadline_ns()),
+        ))?;
+        let payload = self.recv_matching(seq)?;
         match Response::decode(&payload).map_err(ClientError::Proto)? {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             Response::Overloaded => Err(ClientError::Overloaded),
@@ -197,7 +268,11 @@ impl<C: Connection> ServeClient<C> {
             topics: topics.iter().map(|t| (*t).to_owned()).collect(),
             range,
         };
-        self.conn.send_frame(&req.encode_traced(bora_obs::current_context()))?;
+        let seq = self.next_seq();
+        self.conn.send_frame(&crate::proto::wrap_corr(
+            seq,
+            &req.encode_framed(bora_obs::current_context(), self.deadline_ns()),
+        ))?;
         Ok(ReadStream {
             client: self,
             buffer: std::collections::VecDeque::new(),
@@ -313,11 +388,13 @@ impl<C: Connection> ReadStream<'_, C> {
     /// failure (the connection is desynchronized then — nothing left to
     /// drain).
     fn fetch(&mut self) -> ClientResult<()> {
-        let payload = match self.client.conn.recv_frame() {
+        // Every chunk of this stream echoes the request's seq; stale
+        // frames from earlier requests are discarded inside.
+        let payload = match self.client.recv_matching(self.client.seq) {
             Ok(p) => p,
             Err(e) => {
                 self.done = true;
-                return Err(e.into());
+                return Err(e);
             }
         };
         match Response::decode(&payload) {
@@ -506,9 +583,20 @@ pub struct RetryPolicy {
     pub jitter: f64,
     /// Seed of the deterministic jitter stream.
     pub seed: u64,
-    /// Per-request timeout installed on every connection
+    /// Per-attempt timeout installed on every connection
     /// ([`Connection::set_timeout`]); `None` blocks forever.
     pub timeout: Option<Duration>,
+    /// Total wall-clock budget for one logical request, *all* attempts
+    /// and backoff sleeps included. When set, each attempt's transport
+    /// timeout is clamped to the remaining budget, the remaining budget
+    /// is propagated on the wire (the server sheds queue-expired work),
+    /// and the client fails with [`ClientError::DeadlineExceeded`]
+    /// rather than start an attempt or sleep past the deadline. `None`
+    /// (the default) keeps the historical per-attempt-only bound.
+    pub deadline: Option<Duration>,
+    /// Token-bucket retry budget; `None` disables it, restoring pure
+    /// attempt-capped retries. See [`RetryBudgetConfig`].
+    pub retry_budget: Option<RetryBudgetConfig>,
 }
 
 impl Default for RetryPolicy {
@@ -520,7 +608,77 @@ impl Default for RetryPolicy {
             jitter: 0.5,
             seed: 0x5EED_B07A,
             timeout: Some(Duration::from_secs(30)),
+            deadline: None,
+            retry_budget: Some(RetryBudgetConfig::default()),
         }
+    }
+}
+
+/// Tuning for [`RetryBudget`].
+///
+/// The bucket starts full at `capacity` tokens; every retry spends one
+/// token, every *success* deposits `deposit_per_success` (capped at
+/// `capacity`). At the defaults the steady-state retry rate is bounded
+/// at 10% of the success rate (one banked retry per ten successes) with
+/// bursts of at most `capacity` — so a dying backend costs a bounded
+/// number of extra requests instead of `max_attempts ×` amplification
+/// from every caller at once.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBudgetConfig {
+    /// Maximum banked tokens — the largest retry burst allowed.
+    pub capacity: f64,
+    /// Tokens earned back per successful request.
+    pub deposit_per_success: f64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig { capacity: 10.0, deposit_per_success: 0.1 }
+    }
+}
+
+/// A token-bucket retry budget: retries spend, successes earn. Shared
+/// across every retry site of a client so failover cannot amplify into
+/// a retry storm — once the bucket is empty, failures surface
+/// immediately until real successes refill it.
+#[derive(Debug)]
+pub struct RetryBudget {
+    cfg: RetryBudgetConfig,
+    tokens: f64,
+    denied: u64,
+}
+
+impl RetryBudget {
+    /// A full bucket.
+    pub fn new(cfg: RetryBudgetConfig) -> Self {
+        RetryBudget { tokens: cfg.capacity, cfg, denied: 0 }
+    }
+
+    /// Spend one token for a retry; `false` (and a denial recorded) when
+    /// the bucket cannot cover it.
+    pub fn try_spend(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            self.denied += 1;
+            false
+        }
+    }
+
+    /// Record a success, earning back a fraction of a token.
+    pub fn on_success(&mut self) {
+        self.tokens = (self.tokens + self.cfg.deposit_per_success).min(self.cfg.capacity);
+    }
+
+    /// Tokens currently banked.
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Retries denied because the bucket was empty.
+    pub fn denied(&self) -> u64 {
+        self.denied
     }
 }
 
@@ -566,6 +724,10 @@ pub struct RetryClient<T: Transport> {
     transport: T,
     policy: RetryPolicy,
     client: Option<ServeClient<T::Conn>>,
+    /// Timeout currently installed on the live connection, so deadline
+    /// clamping only re-installs when the bound actually changed.
+    installed_timeout: Option<Duration>,
+    budget: Option<RetryBudget>,
     rng: u64,
     next_retry: u32,
     retries: u64,
@@ -575,7 +737,17 @@ impl<T: Transport> RetryClient<T> {
     /// Wrap `transport`; the first request connects lazily.
     pub fn new(transport: T, policy: RetryPolicy) -> Self {
         let rng = policy.seed;
-        RetryClient { transport, policy, client: None, rng, next_retry: 0, retries: 0 }
+        let budget = policy.retry_budget.map(RetryBudget::new);
+        RetryClient {
+            transport,
+            policy,
+            client: None,
+            installed_timeout: None,
+            budget,
+            rng,
+            next_retry: 0,
+            retries: 0,
+        }
     }
 
     /// Retries performed over this client's lifetime.
@@ -583,11 +755,26 @@ impl<T: Transport> RetryClient<T> {
         self.retries
     }
 
-    fn client(&mut self) -> ClientResult<&mut ServeClient<T::Conn>> {
-        if self.client.is_none() {
+    /// The retry budget, if one is configured.
+    pub fn retry_budget(&self) -> Option<&RetryBudget> {
+        self.budget.as_ref()
+    }
+
+    fn client(&mut self, timeout: Option<Duration>) -> ClientResult<&mut ServeClient<T::Conn>> {
+        if let Some(client) = &mut self.client {
+            if timeout != self.installed_timeout {
+                // A draining deadline shrinks the per-attempt bound between
+                // attempts on the same connection.
+                client.set_timeout(timeout)?;
+                self.installed_timeout = timeout;
+            }
+        } else {
             let mut conn = self.transport.connect()?;
-            conn.set_timeout(self.policy.timeout)?;
+            if timeout.is_some() {
+                conn.set_timeout(timeout)?;
+            }
             self.client = Some(ServeClient::new(conn));
+            self.installed_timeout = timeout;
         }
         Ok(self.client.as_mut().expect("just connected"))
     }
@@ -596,14 +783,41 @@ impl<T: Transport> RetryClient<T> {
         &mut self,
         mut op: impl FnMut(&mut ServeClient<T::Conn>) -> ClientResult<R>,
     ) -> ClientResult<R> {
+        let started = Instant::now();
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            let err = match self.client() {
-                Ok(c) => match op(c) {
-                    Ok(v) => return Ok(v),
-                    Err(e) => e,
-                },
+            // Per-attempt bound: the policy timeout, clamped to whatever
+            // is left of the total deadline. The same bound travels on
+            // the wire so the server can shed queue-expired work.
+            let bound = match self.policy.deadline {
+                None => self.policy.timeout,
+                Some(d) => {
+                    let elapsed = started.elapsed();
+                    if elapsed >= d {
+                        return Err(ClientError::DeadlineExceeded {
+                            deadline: d,
+                            elapsed,
+                            last_error: "deadline expired before attempt".into(),
+                        });
+                    }
+                    let remaining = d - elapsed;
+                    Some(self.policy.timeout.map_or(remaining, |t| t.min(remaining)))
+                }
+            };
+            let err = match self.client(bound) {
+                Ok(c) => {
+                    c.set_deadline(bound);
+                    match op(c) {
+                        Ok(v) => {
+                            if let Some(b) = self.budget.as_mut() {
+                                b.on_success();
+                            }
+                            return Ok(v);
+                        }
+                        Err(e) => e,
+                    }
+                }
                 Err(e) => e,
             };
             // An I/O failure (including a timeout) or an undecodable
@@ -615,12 +829,34 @@ impl<T: Transport> RetryClient<T> {
             if !err.is_transient() || attempt >= self.policy.max_attempts {
                 return Err(err);
             }
-            self.retries += 1;
-            bora_obs::counter("serve.retries").inc();
             // The backoff ladder keeps climbing across requests until a
             // success resets it: a struggling server gets geometrically
             // more breathing room, not a fresh burst per call.
             let delay = self.policy.jittered(self.next_retry, &mut self.rng);
+            // No point sleeping into (or past) the deadline: surface the
+            // miss now, with the real failure attached.
+            if let Some(d) = self.policy.deadline {
+                let elapsed = started.elapsed();
+                if elapsed + Duration::from_millis(delay) >= d {
+                    return Err(ClientError::DeadlineExceeded {
+                        deadline: d,
+                        elapsed,
+                        last_error: err.to_string(),
+                    });
+                }
+            }
+            // An empty retry budget turns a would-be retry into an
+            // immediate failure: under a correlated outage the bucket
+            // drains once, then every caller fails fast instead of
+            // multiplying load by max_attempts.
+            if let Some(b) = self.budget.as_mut() {
+                if !b.try_spend() {
+                    bora_obs::counter("serve.retry_budget_denied").inc();
+                    return Err(err);
+                }
+            }
+            self.retries += 1;
+            bora_obs::counter("serve.retries").inc();
             self.next_retry = (self.next_retry + 1).min(63);
             if delay > 0 {
                 std::thread::sleep(Duration::from_millis(delay));
@@ -723,7 +959,7 @@ impl<T: Transport> RetryClient<T> {
     /// a server that already began shutting down, and re-sending it to a
     /// fresh connection would be a new side effect, not a retry.
     pub fn shutdown(&mut self) -> ClientResult<()> {
-        self.client()?.shutdown()
+        self.client(self.policy.timeout)?.shutdown()
     }
 }
 
@@ -742,6 +978,8 @@ mod tests {
             jitter: 0.0,
             seed: 1,
             timeout: None,
+            deadline: None,
+            retry_budget: None,
         }
     }
 
@@ -755,7 +993,7 @@ mod tests {
             max_delay_ms: 1_000,
             jitter: 0.0,
             seed: 7,
-            timeout: None,
+            ..policy(8)
         };
         assert_eq!(p.schedule(), vec![100, 200, 400, 800, 1_000, 1_000, 1_000]);
         // Huge shift counts saturate instead of overflowing.
@@ -770,7 +1008,7 @@ mod tests {
             max_delay_ms: 4_096,
             jitter: 0.5,
             seed: 42,
-            timeout: None,
+            ..policy(10)
         };
         let a = p.schedule();
         assert_eq!(a, p.schedule(), "same seed, same schedule");
@@ -802,6 +1040,12 @@ mod tests {
     impl Connection for ScriptedConn {
         fn send_frame(&mut self, _payload: &[u8]) -> std::io::Result<()> {
             self.pending = true;
+            Ok(())
+        }
+        // Accepted but unenforced: scripted failures come from the
+        // script, not real waits. Without this, deadline policies (which
+        // install a clamped timeout) could not be scripted at all.
+        fn set_timeout(&mut self, _timeout: Option<Duration>) -> std::io::Result<()> {
             Ok(())
         }
         fn recv_frame(&mut self) -> std::io::Result<Vec<u8>> {
@@ -914,5 +1158,110 @@ mod tests {
         let mut c = RetryClient::new(&t, policy(3));
         assert!(c.topics("/c").is_ok());
         assert_eq!(c.retries(), 1);
+    }
+
+    // ------------------------------------------------------- retry budget
+
+    #[test]
+    fn retry_budget_bounds_total_retries() {
+        // Far more transient failures than the bucket can cover: the
+        // attempt cap would allow 99 retries, the budget allows 3.
+        let t = ScriptedTransport::new(vec![server_err(ErrorCode::Io); 10]);
+        let p = RetryPolicy {
+            retry_budget: Some(RetryBudgetConfig { capacity: 3.0, deposit_per_success: 0.1 }),
+            ..policy(100)
+        };
+        let mut c = RetryClient::new(&t, p);
+        match c.topics("/c") {
+            Err(ClientError::Server { code: ErrorCode::Io, .. }) => {}
+            other => panic!("expected the underlying Io error, got {other:?}"),
+        }
+        assert_eq!(c.retries(), 3, "bucket of 3 tokens = 3 retries");
+        assert_eq!(c.retry_budget().unwrap().denied(), 1);
+        assert_eq!(t.steps.lock().unwrap().len(), 6, "exactly 4 requests sent");
+    }
+
+    #[test]
+    fn retry_budget_refills_on_success() {
+        let t = ScriptedTransport::new(vec![
+            server_err(ErrorCode::Io),
+            Step::Reply(Response::Topics(vec![])),
+            server_err(ErrorCode::Io),
+            Step::Reply(Response::Topics(vec![])), // unreachable: budget empty
+        ]);
+        let p = RetryPolicy {
+            retry_budget: Some(RetryBudgetConfig { capacity: 1.0, deposit_per_success: 0.5 }),
+            ..policy(5)
+        };
+        let mut c = RetryClient::new(&t, p);
+        assert!(c.topics("/c").is_ok(), "first call retries through on the banked token");
+        assert_eq!(c.retry_budget().unwrap().tokens(), 0.5, "success earned half a token back");
+        match c.topics("/c") {
+            Err(ClientError::Server { code: ErrorCode::Io, .. }) => {}
+            other => panic!("expected fail-fast on empty bucket, got {other:?}"),
+        }
+        assert_eq!(c.retries(), 1, "no second retry: bucket below one token");
+        assert_eq!(c.retry_budget().unwrap().denied(), 1);
+    }
+
+    // --------------------------------------------------- total deadline
+
+    #[test]
+    fn deadline_cuts_backoff_short() {
+        // The first retry would sleep 10s; the 50ms total budget makes
+        // the client surface the miss immediately instead.
+        let t = ScriptedTransport::new(vec![Step::Break; 5]);
+        let p = RetryPolicy {
+            base_delay_ms: 10_000,
+            max_delay_ms: 10_000,
+            deadline: Some(Duration::from_millis(50)),
+            ..policy(5)
+        };
+        let start = Instant::now();
+        let mut c = RetryClient::new(&t, p);
+        match c.topics("/c") {
+            Err(ClientError::DeadlineExceeded { deadline, last_error, .. }) => {
+                assert_eq!(deadline, Duration::from_millis(50));
+                assert!(last_error.contains("scripted break"), "carries the real failure");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(5), "did not sleep the 10s backoff");
+        assert_eq!(c.retries(), 0);
+        assert!(!ClientError::DeadlineExceeded {
+            deadline: Duration::ZERO,
+            elapsed: Duration::ZERO,
+            last_error: String::new(),
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_any_attempt() {
+        let t = ScriptedTransport::new(vec![Step::Reply(Response::Topics(vec![]))]);
+        let p = RetryPolicy { deadline: Some(Duration::ZERO), ..policy(3) };
+        let mut c = RetryClient::new(&t, p);
+        assert!(matches!(c.topics("/c"), Err(ClientError::DeadlineExceeded { .. })));
+        assert_eq!(t.steps.lock().unwrap().len(), 1, "no request was sent");
+        assert_eq!(t.connects.load(Ordering::SeqCst), 0, "no connection was made");
+    }
+
+    // -------------------------------------------- set_timeout default
+
+    #[test]
+    fn set_timeout_default_is_loudly_unsupported() {
+        struct NoTimeoutConn;
+        impl Connection for NoTimeoutConn {
+            fn send_frame(&mut self, _payload: &[u8]) -> std::io::Result<()> {
+                Ok(())
+            }
+            fn recv_frame(&mut self) -> std::io::Result<Vec<u8>> {
+                Ok(Vec::new())
+            }
+        }
+        let mut c = NoTimeoutConn;
+        assert!(c.set_timeout(None).is_ok(), "None requests the default and always succeeds");
+        let err = c.set_timeout(Some(Duration::from_secs(1))).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
     }
 }

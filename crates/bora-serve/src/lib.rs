@@ -59,12 +59,13 @@ pub mod transport;
 
 pub use cache::{CacheStats, HandleCache, PinnedBag};
 pub use client::{
-    ClientError, ClientResult, IngestBatching, IngestClient, ReadStream, RetryClient, RetryPolicy,
-    ServeClient,
+    ClientError, ClientResult, IngestBatching, IngestClient, ReadStream, RetryBudget,
+    RetryBudgetConfig, RetryClient, RetryPolicy, ServeClient,
 };
 pub use proto::{
-    ContainerStat, ErrorCode, MetricsReport, OpSummary, PingInfo, ProtoError, Request, Response,
-    SlowOpEntry, StatsSnapshot, WireMessage, METRICS_REPORT_VERSION, TRACE_CTX_LEN,
+    peel_corr, wrap_corr, ContainerStat, ErrorCode, MetricsReport, OpSummary, PingInfo, ProtoError,
+    Request, Response, SlowOpEntry, StatsSnapshot, WireMessage, CORR_LEN, DEADLINE_LEN,
+    METRICS_REPORT_VERSION, OP_CORR, TRACE_CTX_LEN,
 };
 pub use server::{Server, ServerConfig};
 pub use transport::{

@@ -60,6 +60,56 @@ const OP_TRACE_CTX: u8 = 0x0F;
 /// Bytes a trace-context prefix adds to a request payload.
 pub const TRACE_CTX_LEN: usize = 1 + 8 + 8 + 1;
 
+/// Optional deadline prefix on a request payload: a client with a
+/// per-request budget wraps the (possibly trace-wrapped) payload as
+/// `[0x10, budget_ns u64, inner payload…]`. The budget is *relative*
+/// nanoseconds remaining at send time, not an absolute timestamp, so
+/// no clock synchronisation is assumed — the server measures its own
+/// queue wait against it and sheds work whose budget is already spent.
+/// Like the trace prefix, the header is only prepended when a deadline
+/// is actually set, so deadline-free traffic stays byte-identical to
+/// the pre-deadline protocol.
+const OP_DEADLINE: u8 = 0x10;
+
+/// Bytes a deadline prefix adds to a request payload.
+pub const DEADLINE_LEN: usize = 1 + 8;
+
+/// Correlation prefix, outermost on both directions of the wire:
+/// `[0x11, seq u32, inner payload…]`. The client stamps every request
+/// with a per-connection sequence number and the server echoes it on
+/// every frame it sends in answer (all chunks of a stream carry the
+/// request's seq). This is what lets a client *reject* a stale frame —
+/// a duplicated or reordered response surfacing after its request was
+/// lost would otherwise be read as the answer to the *next* request,
+/// and an ack credited to an append the server never saw. Uncorrelated
+/// requests get uncorrelated responses, so plain peers interoperate
+/// unchanged.
+pub const OP_CORR: u8 = 0x11;
+
+/// Bytes a correlation prefix adds to a payload.
+pub const CORR_LEN: usize = 1 + 4;
+
+/// Wrap `inner` in a correlation prefix carrying `seq`.
+pub fn wrap_corr(seq: u32, inner: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(CORR_LEN + inner.len());
+    buf.push(OP_CORR);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(inner);
+    buf
+}
+
+/// Split a payload into its correlation seq (if prefixed) and the inner
+/// bytes. Payloads without the prefix — plain peers, pre-correlation
+/// traffic — come back as `(None, payload)` untouched.
+pub fn peel_corr(payload: &[u8]) -> (Option<u32>, &[u8]) {
+    if payload.len() >= CORR_LEN && payload[0] == OP_CORR {
+        let seq = u32::from_le_bytes(payload[1..CORR_LEN].try_into().unwrap());
+        (Some(seq), &payload[CORR_LEN..])
+    } else {
+        (None, payload)
+    }
+}
+
 // Response opcodes (request opcode | 0x80, errors in 0xE0+).
 const OP_OK_OPEN: u8 = 0x81;
 const OP_OK_TOPICS: u8 = 0x82;
@@ -290,6 +340,12 @@ pub enum ErrorCode {
     /// from the medium — transient read damage heals, persistent damage
     /// keeps answering with this code (then `bora fsck --repair`).
     ChecksumMismatch = 7,
+    /// The request's propagated deadline budget was already spent when
+    /// the server picked the job up, so it shed the work without doing
+    /// it. Permanent by design: the budget is gone, and retrying or
+    /// failing over cannot buy it back — the caller must either accept
+    /// the miss or issue a fresh request with a fresh budget.
+    DeadlineExceeded = 8,
 }
 
 impl ErrorCode {
@@ -302,6 +358,7 @@ impl ErrorCode {
             5 => ErrorCode::BadRequest,
             6 => ErrorCode::ShuttingDown,
             7 => ErrorCode::ChecksumMismatch,
+            8 => ErrorCode::DeadlineExceeded,
             _ => return None,
         })
     }
@@ -318,7 +375,8 @@ impl ErrorCode {
             | ErrorCode::UnknownTopic
             | ErrorCode::Corrupt
             | ErrorCode::BadRequest
-            | ErrorCode::ShuttingDown => false,
+            | ErrorCode::ShuttingDown
+            | ErrorCode::DeadlineExceeded => false,
         }
     }
 }
@@ -740,6 +798,39 @@ impl Request {
         let ctx = TraceContext { trace_id, parent_span, sampled: flags & 1 != 0 };
         Ok((Request::decode(&payload[TRACE_CTX_LEN..])?, Some(ctx)))
     }
+
+    /// Encode with both optional prefixes: the deadline header is the
+    /// *outermost* layer, wrapping the (possibly trace-wrapped) payload.
+    /// With both `None` the output is byte-identical to
+    /// [`Request::encode`].
+    pub fn encode_framed(&self, ctx: Option<TraceContext>, deadline_ns: Option<u64>) -> Vec<u8> {
+        let inner = self.encode_traced(ctx);
+        let Some(budget) = deadline_ns else { return inner };
+        let mut buf = Vec::with_capacity(DEADLINE_LEN + inner.len());
+        buf.push(OP_DEADLINE);
+        buf.extend_from_slice(&budget.to_le_bytes());
+        buf.extend_from_slice(&inner);
+        buf
+    }
+
+    /// Decode a request payload, peeling the optional deadline prefix
+    /// and then the optional trace-context prefix. Plain payloads (old
+    /// clients) decode to `(req, None, None)`.
+    #[allow(clippy::type_complexity)]
+    pub fn decode_framed(
+        payload: &[u8],
+    ) -> ProtoResult<(Request, Option<TraceContext>, Option<u64>)> {
+        if payload.first() != Some(&OP_DEADLINE) {
+            let (req, ctx) = Request::decode_traced(payload)?;
+            return Ok((req, ctx, None));
+        }
+        if payload.len() < DEADLINE_LEN {
+            return Err(ProtoError("truncated deadline header".into()));
+        }
+        let budget_ns = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+        let (req, ctx) = Request::decode_traced(&payload[DEADLINE_LEN..])?;
+        Ok((req, ctx, Some(budget_ns)))
+    }
 }
 
 impl Response {
@@ -1102,6 +1193,52 @@ mod tests {
     }
 
     #[test]
+    fn deadline_prefix_roundtrips() {
+        let req =
+            Request::Read { container: "/c/hs0".into(), topics: vec!["/imu".into()], range: None };
+        let ctx = TraceContext { trace_id: 7, parent_span: 8, sampled: true };
+        // Deadline alone.
+        let framed = req.encode_framed(None, Some(1_500_000));
+        assert_eq!(Request::decode_framed(&framed).unwrap(), (req.clone(), None, Some(1_500_000)));
+        // Deadline wrapping a trace context (deadline is outermost).
+        let both = req.encode_framed(Some(ctx), Some(42));
+        assert_eq!(both[0], 0x10);
+        assert_eq!(both[DEADLINE_LEN], 0x0F);
+        assert_eq!(Request::decode_framed(&both).unwrap(), (req.clone(), Some(ctx), Some(42)));
+        // Trace context alone stays the pure trace encoding.
+        assert_eq!(req.encode_framed(Some(ctx), None), req.encode_traced(Some(ctx)));
+        // Neither prefix → byte-identical to the bare encoding, and
+        // decode_framed accepts old-client payloads.
+        assert_eq!(req.encode_framed(None, None), req.encode());
+        assert_eq!(Request::decode_framed(&req.encode()).unwrap(), (req.clone(), None, None));
+        // Truncated deadline header errors cleanly, as does a deadline
+        // prefix wrapping garbage.
+        assert!(Request::decode_framed(&[0x10, 1, 2]).is_err());
+        assert!(Request::decode_framed(&[0x10, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF]).is_err());
+        // Plain decode rejects the prefixed form (old server behaviour).
+        assert!(Request::decode(&framed).is_err());
+    }
+
+    #[test]
+    fn corr_prefix_roundtrips() {
+        let inner = Request::Ping.encode();
+        let framed = wrap_corr(0xDEAD_BEEF, &inner);
+        assert_eq!(framed[0], OP_CORR);
+        assert_eq!(framed.len(), CORR_LEN + inner.len());
+        assert_eq!(peel_corr(&framed), (Some(0xDEAD_BEEF), &inner[..]));
+        // Unprefixed payloads pass through untouched — plain peers.
+        assert_eq!(peel_corr(&inner), (None, &inner[..]));
+        // A response's opcode space (0x8x/0xEx) can never be mistaken
+        // for the prefix, and a short 0x11 frame is not peeled.
+        assert_eq!(peel_corr(&[OP_CORR, 1]), (None, &[OP_CORR, 1][..]));
+        let resp = Response::Pong(PingInfo::default()).encode();
+        assert_eq!(peel_corr(&resp).0, None);
+        // Seq wraps with the u32 — stamping is cheap and unbounded.
+        let w = wrap_corr(u32::MAX, &inner);
+        assert_eq!(peel_corr(&w).0, Some(u32::MAX));
+    }
+
+    #[test]
     fn metrics_report_roundtrips() {
         let mut hist = HistSummary { count: 3, sum: 1_000_000, min: 120, ..Default::default() };
         hist.buckets[7] = 2;
@@ -1218,6 +1355,7 @@ mod tests {
             ErrorCode::Corrupt,
             ErrorCode::BadRequest,
             ErrorCode::ShuttingDown,
+            ErrorCode::DeadlineExceeded,
         ] {
             assert!(!code.is_transient(), "{code:?} must be permanent");
         }

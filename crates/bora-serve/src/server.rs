@@ -94,6 +94,10 @@ enum Job {
         /// `bora_obs::now_ns()` at submit when tracing is enabled, 0
         /// otherwise — start of the synthesized queue-wait span.
         submitted_ns: u64,
+        /// Deadline budget (relative ns) the client propagated on the
+        /// wire, if any. A worker that picks the job up after the budget
+        /// is spent sheds it unworked.
+        deadline_ns: Option<u64>,
     },
     /// Shutdown sentinel: one per worker.
     Poison,
@@ -172,6 +176,21 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
     /// transport decoded one: the worker adopts it, so every server-side
     /// span of this request parents under the client's span.
     pub fn submit_traced(&self, req: Request, tctx: Option<TraceContext>) -> Response {
+        self.submit_framed(req, tctx, None)
+    }
+
+    /// [`Server::submit_traced`] carrying the client's deadline budget,
+    /// if the transport decoded one. Control-plane ops ignore it (they
+    /// answer inline and must stay reachable under overload); data ops
+    /// carry it to the worker, which sheds the job if its queue wait
+    /// already exceeded the budget — the client has given up or is about
+    /// to, so doing the work would burn a worker on a dead request.
+    pub fn submit_framed(
+        &self,
+        req: Request,
+        tctx: Option<TraceContext>,
+        deadline_ns: Option<u64>,
+    ) -> Response {
         match req {
             Request::Stats => Response::Stats(self.stats()),
             // METRICS is control-plane for the same reason PING is: the
@@ -202,7 +221,7 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
                     code: ErrorCode::ShuttingDown,
                     message: "worker exited before replying".into(),
                 };
-                self.submit_streamed_traced(req, tctx, &mut |resp| {
+                self.submit_streamed_framed(req, tctx, deadline_ns, &mut |resp| {
                     match resp {
                         Response::StreamChunk(mut chunk) => messages.append(&mut chunk),
                         Response::StreamEnd { .. } => {
@@ -238,6 +257,7 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
                     submitted: Instant::now(),
                     tctx,
                     submitted_ns: obs_now(),
+                    deadline_ns,
                 };
                 match self.tx.try_send(job) {
                     Ok(()) => {}
@@ -284,8 +304,20 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
         tctx: Option<TraceContext>,
         emit: &mut dyn FnMut(Response) -> bool,
     ) -> bool {
+        self.submit_streamed_framed(req, tctx, None, emit)
+    }
+
+    /// [`Server::submit_streamed_traced`] carrying the client's deadline
+    /// budget; see [`Server::submit_framed`].
+    pub fn submit_streamed_framed(
+        &self,
+        req: Request,
+        tctx: Option<TraceContext>,
+        deadline_ns: Option<u64>,
+        emit: &mut dyn FnMut(Response) -> bool,
+    ) -> bool {
         if !matches!(req, Request::ReadStream { .. }) {
-            return emit(self.submit_traced(req, tctx));
+            return emit(self.submit_framed(req, tctx, deadline_ns));
         }
         if self.is_shutting_down() {
             return emit(Response::Error {
@@ -300,6 +332,7 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
             submitted: Instant::now(),
             tctx,
             submitted_ns: obs_now(),
+            deadline_ns,
         };
         match self.tx.try_send(job) {
             Ok(()) => {}
@@ -466,10 +499,10 @@ fn worker_loop<S: Storage + Clone>(shared: &Shared<S>, rx: &Receiver<Job>) {
     // Lane convention: pid 0 is the client; servers are `server_id + 1`.
     bora_obs::set_thread_node(shared.server_id + 1);
     while let Ok(job) = rx.recv() {
-        let (req, reply, submitted, tctx, submitted_ns) = match job {
+        let (req, reply, submitted, tctx, submitted_ns, deadline_ns) = match job {
             Job::Poison => return,
-            Job::Work { req, reply, submitted, tctx, submitted_ns } => {
-                (req, reply, submitted, tctx, submitted_ns)
+            Job::Work { req, reply, submitted, tctx, submitted_ns, deadline_ns } => {
+                (req, reply, submitted, tctx, submitted_ns, deadline_ns)
             }
         };
         // Control-plane ops never reach the queue (submit answers them
@@ -495,6 +528,23 @@ fn worker_loop<S: Storage + Clone>(shared: &Shared<S>, rx: &Receiver<Job>) {
             // Synthesized after the fact: the submitting thread cannot
             // open a span that ends on this one.
             bora_obs::record_complete("serve.queue_wait", submitted_ns, queue_wait_ns);
+        }
+        // Deadline shed: if the client's budget was spent while the job
+        // queued, answering with the real result would arrive at a caller
+        // that already timed out — reply with the miss instead of burning
+        // a worker on dead work.
+        if let Some(budget) = deadline_ns {
+            if queue_wait_ns >= budget {
+                shared.metrics.record_shed();
+                bora_obs::counter("serve.deadline_shed").inc();
+                let _ = reply.send(Response::Error {
+                    code: ErrorCode::DeadlineExceeded,
+                    message: format!(
+                        "deadline budget {budget}ns spent in queue ({queue_wait_ns}ns)"
+                    ),
+                });
+                continue;
+            }
         }
         let container = req.container().map(str::to_owned).unwrap_or_default();
         let active = shared.gauge.enter();

@@ -30,10 +30,20 @@ pub trait Connection: Send {
     /// timed-out call fails with `ErrorKind::TimedOut` / `WouldBlock` and
     /// the connection should be considered desynchronized (a late
     /// response would be mistaken for the next request's answer) — the
-    /// retry layer reconnects rather than reuse it. Default: unsupported,
-    /// silently blocking forever.
-    fn set_timeout(&mut self, _timeout: Option<Duration>) -> io::Result<()> {
-        Ok(())
+    /// retry layer reconnects rather than reuse it.
+    ///
+    /// The default errors with `ErrorKind::Unsupported` so a transport
+    /// that cannot honor timeouts fails loudly at configuration time
+    /// instead of silently blocking forever. `None` is accepted
+    /// everywhere — it requests the default behaviour.
+    fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        match timeout {
+            None => Ok(()),
+            Some(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "transport does not support timeouts",
+            )),
+        }
     }
 }
 
@@ -80,21 +90,29 @@ where
             Ok(p) => p,
             Err(_) => return, // peer gone (EOF) or transport failure
         };
-        // Traced decode: a request may carry the client's trace context as
-        // a prefix; plain frames (old clients) decode with `None` and the
-        // server behaves exactly as before.
-        match Request::decode_traced(&payload) {
+        // Correlation first: a stamped request gets its seq echoed on
+        // every frame of the answer, so the client can tell this
+        // response from a stale duplicate of an earlier one.
+        let (corr, framed) = crate::proto::peel_corr(&payload);
+        let respond = |resp: &Response| match corr {
+            Some(seq) => crate::proto::wrap_corr(seq, &resp.encode()),
+            None => resp.encode(),
+        };
+        // Framed decode: a request may carry the client's deadline budget
+        // and/or trace context as prefixes; plain frames (old clients)
+        // decode with `None` and the server behaves exactly as before.
+        match Request::decode_framed(framed) {
             // Streaming-aware dispatch: a single-response op emits exactly
             // one frame; READ_STREAM emits chunk frames as the server's
             // merge yields, with the transport's own send acting as the
             // final backpressure stage. A failed send drops the emit
             // closure's `true`, which tells the server to abort the
             // in-flight stream (releasing its cache pin).
-            Ok((req, tctx)) => {
+            Ok((req, tctx, deadline_ns)) => {
                 let mut final_resp = false;
-                let ok = server.submit_streamed_traced(req, tctx, &mut |resp| {
+                let ok = server.submit_streamed_framed(req, tctx, deadline_ns, &mut |resp| {
                     final_resp = matches!(resp, Response::ShuttingDown);
-                    conn.send_frame(&resp.encode()).is_ok()
+                    conn.send_frame(&respond(&resp)).is_ok()
                 });
                 if !ok || final_resp || server.is_shutting_down() {
                     return;
@@ -108,7 +126,7 @@ where
                     code: crate::proto::ErrorCode::BadRequest,
                     message: e.to_string(),
                 };
-                if conn.send_frame(&resp.encode()).is_err() {
+                if conn.send_frame(&respond(&resp)).is_err() {
                     return;
                 }
             }

@@ -14,6 +14,8 @@
 //! bora-tool ingest-stat <ingest-dir> [--json]    live-ingest root: WAL depth, segments, lag
 //! bora-tool top --nodes <addr,addr,...> [--json] scrape METRICS from running TCP nodes
 //! bora-tool top --demo [--json]                  same, against a built-in 3-node demo cluster
+//! bora-tool chaos [--seed <n>] [--scenario <name>|all] [--replay] [--json]
+//!                                                break an in-process cluster on purpose
 //! ```
 //!
 //! All storage goes through `simfs::LocalStorage`, i.e. real files —
@@ -216,7 +218,114 @@ fn main() {
             }
         }
         ["top", rest @ ..] => top(rest),
+        ["chaos", rest @ ..] => chaos(rest),
         _ => usage(),
+    }
+}
+
+// ------------------------------------------------------------------- chaos
+
+/// `bora-tool chaos` — break an in-process 3-node cluster on purpose.
+/// Runs the named fault scenario (or all of them) under a fixed seed,
+/// prints each report, and exits nonzero on any invariant violation.
+/// `--replay` runs every scenario twice and additionally fails if the
+/// second run's outcome diverges from the first — the determinism check
+/// CI leans on.
+fn chaos(rest: &[&str]) {
+    use bora_chaos::{run_scenario, Scenario};
+
+    let mut seed: u64 = 0xb0ba;
+    let mut json = false;
+    let mut replay = false;
+    let mut scenarios: Vec<Scenario> = Scenario::all().to_vec();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match *a {
+            "--json" => json = true,
+            "--replay" => replay = true,
+            "--seed" => {
+                let s = it.next().copied().unwrap_or_else(|| usage());
+                seed = parse_seed(s).unwrap_or_else(|| {
+                    eprintln!("bad seed: {s}");
+                    exit(2);
+                });
+            }
+            "--scenario" => {
+                let s = it.next().copied().unwrap_or_else(|| usage());
+                scenarios = match Scenario::parse(s) {
+                    Some(sc) => vec![sc],
+                    None if s == "all" => Scenario::all().to_vec(),
+                    None => {
+                        let names: Vec<_> = Scenario::all().iter().map(|sc| sc.name()).collect();
+                        eprintln!("unknown scenario {s:?}; one of: {} | all", names.join(" | "));
+                        exit(2);
+                    }
+                };
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut failed = false;
+    let mut reports = Vec::new();
+    for sc in scenarios {
+        let report = run_scenario(sc, seed);
+        failed |= !report.violations.is_empty();
+        if !json {
+            print_chaos_report(&report, "run");
+        }
+        if replay {
+            let again = run_scenario(sc, seed);
+            failed |= !again.violations.is_empty();
+            if again.replay_key() != report.replay_key() {
+                failed = true;
+                eprintln!(
+                    "REPLAY DIVERGED: {} seed={seed:#x}: {:016x} vs {:016x}",
+                    sc.name(),
+                    report.outcome_digest,
+                    again.outcome_digest
+                );
+            } else if !json {
+                print_chaos_report(&again, "replay");
+            }
+            reports.push(again);
+        }
+        reports.push(report);
+    }
+    if json {
+        let lines: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", lines.join(","));
+    }
+    if failed {
+        exit(1);
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn print_chaos_report(r: &bora_chaos::ScenarioReport, label: &str) {
+    println!(
+        "{:<16} {label:<6} seed={:#x} faults={} events={} ops={}/{} acked={} ambiguous={} \
+         max_wall={:?} digest={:016x} violations={}",
+        r.scenario,
+        r.seed,
+        r.faults_injected,
+        r.events,
+        r.ops_ok,
+        r.ops_attempted,
+        r.acked_batches,
+        r.ambiguous_batches,
+        r.max_op_wall,
+        r.outcome_digest,
+        r.violations.len()
+    );
+    for v in &r.violations {
+        println!("  VIOLATION: {v}");
     }
 }
 
@@ -618,7 +727,8 @@ fn usage() -> ! {
         "usage: bora-tool <import <src.bag> <dir> | info <dir> | topics <dir> | \
          query <dir> <topic> [start_s end_s] | export <dir> <out.bag> | verify <dir> | \
          fsck <dir> [--repair [--source <src.bag>]] | ingest-stat <dir> [--json] | \
-         top <--nodes <addr,...> | --demo> [--json]>"
+         top <--nodes <addr,...> | --demo> [--json] | \
+         chaos [--seed <n>] [--scenario <name>|all] [--replay] [--json]>"
     );
     exit(2);
 }

@@ -202,6 +202,36 @@ impl Drop for ActiveWorker {
     }
 }
 
+/// A shared monotonic event counter — "virtual time" for schedules that
+/// need ordering without wall clocks.
+///
+/// Unlike [`IoCtx`]'s per-session nanosecond clock, a `LogicalClock`
+/// counts *events*: every [`tick`](Self::tick) returns the next value in
+/// one process-wide-shareable sequence. Fault injectors key their rules
+/// off it so a failure schedule is a pure function of (seed, event
+/// window) — identical on every replay, on any machine, at any host
+/// speed. Clones share the counter.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalClock {
+    events: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl LogicalClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume and return the next event number (starting at 0).
+    pub fn tick(&self) -> u64 {
+        self.events.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Events consumed so far (the next `tick` returns this value).
+    pub fn now(&self) -> u64 {
+        self.events.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Stable 64-bit key for a path, used by the sequentiality tracker.
 /// FNV-1a: tiny, deterministic, good enough for distinguishing files.
 #[inline]

@@ -44,7 +44,7 @@ pub mod path;
 pub mod storage;
 pub mod timed;
 
-pub use clock::{ActiveWorker, ConcurrencyGauge, IoCtx, IoStats};
+pub use clock::{ActiveWorker, ConcurrencyGauge, IoCtx, IoStats, LogicalClock};
 pub use cluster::{ClusterConfig, ClusterStorage};
 pub use device::{DeviceModel, NetModel};
 pub use error::{FsError, FsResult};

@@ -317,7 +317,12 @@ fn cluster_telemetry_aggregates_live_nodes_and_tracks_deltas() {
     let victim = cluster.node_ids()[0];
     cluster.kill(victim);
     let after = telemetry.scrape();
-    assert_eq!(after.reports.len(), 3, "shutting-down nodes still answer METRICS");
+    assert_eq!(
+        after.reports.len(),
+        3,
+        "shutting-down nodes still answer METRICS; unreachable: {:?}",
+        after.unreachable
+    );
     cluster.shutdown();
 }
 
