@@ -45,7 +45,12 @@ fn bench_append(c: &mut Criterion) {
             b.iter(|| {
                 let fs = Arc::new(MemStorage::new());
                 let mut ctx = IoCtx::new();
-                let cfg = IngestConfig { wal_shards: 4, group_commit: gc, window_ns: 1 << 30 };
+                let cfg = IngestConfig {
+                    wal_shards: 4,
+                    group_commit: gc,
+                    window_ns: 1 << 30,
+                    block: None,
+                };
                 let store = IngestStore::create(fs, ROOT, cfg, &mut ctx).unwrap();
                 for i in 0..N {
                     let topic = TOPICS[(i % 3) as usize];
@@ -65,7 +70,7 @@ fn bench_append(c: &mut Criterion) {
 fn loaded_store(n: u64) -> (IngestStore<Arc<MemStorage>>, IoCtx) {
     let fs = Arc::new(MemStorage::new());
     let mut ctx = IoCtx::new();
-    let cfg = IngestConfig { wal_shards: 4, group_commit: 64, window_ns: 1 << 30 };
+    let cfg = IngestConfig { wal_shards: 4, group_commit: 64, window_ns: 1 << 30, block: None };
     let store = IngestStore::create(fs, ROOT, cfg, &mut ctx).unwrap();
     for i in 0..n {
         let topic = TOPICS[(i % 3) as usize];

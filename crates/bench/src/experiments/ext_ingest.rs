@@ -32,7 +32,7 @@ const ROOT: &str = "/live/mission";
 const TOPICS: [&str; 3] = ["/imu", "/cam", "/tf"];
 
 fn cfg() -> IngestConfig {
-    IngestConfig { wal_shards: 4, group_commit: 16, window_ns: 1_000_000_000 }
+    IngestConfig { wal_shards: 4, group_commit: 16, window_ns: 1_000_000_000, block: None }
 }
 
 /// Deterministic workload: `n_per_topic` messages per topic, interleaved
@@ -266,7 +266,7 @@ fn run_crash_sweep(scales: &ScaleConfig) -> Table {
     let n_per_topic: u32 = if tiny { 6 } else { 12 };
     // Small group commit so the WAL hits storage often enough for the
     // sweep to land cuts inside append batches, not just seal/compact.
-    let cfg = IngestConfig { wal_shards: 2, group_commit: 2, window_ns: 1_000_000 };
+    let cfg = IngestConfig { wal_shards: 2, group_commit: 2, window_ns: 1_000_000, block: None };
     let work = script(n_per_topic, 48);
 
     // Probe: an uncrashed run sizes the sweep. Only the script's own

@@ -6,6 +6,7 @@ pub mod common;
 pub mod ext_cluster;
 pub mod ext_crash;
 pub mod ext_ingest;
+pub mod ext_pool;
 pub mod ext_stream;
 pub mod extensions;
 pub mod fig10;
@@ -197,6 +198,14 @@ pub fn registry() -> Vec<Experiment> {
                 "Extension: bora-ingest live write path — append throughput, query-during-ingest, \
                  power-cut sweep",
             run: ext_ingest::run,
+        },
+        Experiment {
+            id: "ext_pool",
+            paper_ref: "extension",
+            description:
+                "Extension: global buffer pool + compressed topic blocks — cold/hot scans, \
+                 budget sweep, heal traffic",
+            run: ext_pool::run,
         },
         Experiment {
             id: "open21g",

@@ -217,7 +217,7 @@ fn build_staging() -> NodeStorage {
         IngestStore::create(
             Arc::clone(&staging),
             INGEST_ROOT,
-            IngestConfig { wal_shards: 2, group_commit: 1, window_ns: 1_000 },
+            IngestConfig { wal_shards: 2, group_commit: 1, window_ns: 1_000, block: None },
             &mut ctx,
         )
         .unwrap(),

@@ -73,5 +73,5 @@ pub use ring::{hash_key, MigrationPlan, Move, NodeId, Ring, RingConfig};
 pub use swarm::{swarm_query, ClusterBackend};
 pub use telemetry::{
     aggregate_reports, render_top, scrape_to_json, AggregatedMetrics, ClusterScrape,
-    ClusterTelemetry,
+    ClusterTelemetry, PoolScrape,
 };

@@ -206,8 +206,71 @@ fn op_rows(scrape: &ClusterScrape) -> Vec<(String, String, HistSummary)> {
     rows
 }
 
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// One node's buffer-pool numbers as scraped from its `pool.*` metrics
+/// (`None` when the node reports no pool budget — pre-pool peer or pool
+/// disabled). Ratio/rate math lives here so `top` and `ingest-stat`
+/// render identical numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolScrape {
+    pub budget_bytes: u64,
+    pub resident_bytes: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub uptime_ns: u64,
+}
+
+impl PoolScrape {
+    pub fn from_report(r: &MetricsReport) -> Option<Self> {
+        let gauge =
+            |name: &str| r.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v.max(0) as u64);
+        let counter =
+            |name: &str| r.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0);
+        Some(PoolScrape {
+            budget_bytes: gauge("pool.budget_bytes")?,
+            resident_bytes: gauge("pool.resident_bytes").unwrap_or(0),
+            hits: counter("pool.hit"),
+            misses: counter("pool.miss"),
+            evictions: counter("pool.evict"),
+            uptime_ns: r.uptime_ns,
+        })
+    }
+
+    /// Hit ratio over all lookups so far, 0.0 when the pool is unused.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Evictions per second of uptime.
+    pub fn evictions_per_sec(&self) -> f64 {
+        if self.uptime_ns == 0 {
+            0.0
+        } else {
+            self.evictions as f64 / (self.uptime_ns as f64 / 1e9)
+        }
+    }
+}
+
 /// Render a scrape as the `bora-tool top` table: one row per node per
-/// op (plus cluster-wide `*` rows), then the slow-op tail.
+/// op (plus cluster-wide `*` rows), the buffer-pool section, then the
+/// slow-op tail.
 pub fn render_top(scrape: &ClusterScrape) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -224,6 +287,27 @@ pub fn render_top(scrape: &ClusterScrape) -> String {
             fmt_dur_ns(h.percentile(0.50)),
             fmt_dur_ns(h.percentile(0.99)),
         ));
+    }
+    let pools: Vec<(NodeId, PoolScrape)> = scrape
+        .reports
+        .iter()
+        .filter_map(|(id, r)| PoolScrape::from_report(r).map(|p| (*id, p)))
+        .collect();
+    if !pools.is_empty() {
+        out.push_str(&format!(
+            "\nbuffer pool:\n{:<5} {:>10} {:>10} {:>7} {:>9}\n",
+            "node", "budget", "resident", "hit%", "evict/s"
+        ));
+        for (id, p) in &pools {
+            out.push_str(&format!(
+                "{:<5} {:>10} {:>10} {:>6.1}% {:>9.2}\n",
+                id,
+                fmt_bytes(p.budget_bytes),
+                fmt_bytes(p.resident_bytes),
+                p.hit_ratio() * 100.0,
+                p.evictions_per_sec(),
+            ));
+        }
     }
     for (id, why) in &scrape.unreachable {
         out.push_str(&format!("node {id}: unreachable ({why})\n"));
@@ -419,6 +503,38 @@ mod tests {
         let agg = aggregate_reports(&[a, b]);
         assert_eq!(agg.slow_ops.len(), 2);
         assert_eq!(agg.slow_ops[0].trace_id, 2, "slowest (wall+queue) first");
+    }
+
+    #[test]
+    fn pool_scrape_reads_the_metrics_and_renders() {
+        let mut r = report(0, &[], &[("pool.hit", 300), ("pool.miss", 100), ("pool.evict", 4)]);
+        r.uptime_ns = 2_000_000_000; // 2 s up → 2 evictions/s
+        r.gauges = vec![
+            ("pool.budget_bytes".to_owned(), 64 << 20),
+            ("pool.resident_bytes".to_owned(), 10 << 20),
+        ];
+        let p = PoolScrape::from_report(&r).expect("pool gauges present");
+        assert_eq!(p.budget_bytes, 64 << 20);
+        assert_eq!(p.resident_bytes, 10 << 20);
+        assert!((p.hit_ratio() - 0.75).abs() < 1e-9);
+        assert!((p.evictions_per_sec() - 2.0).abs() < 1e-9);
+
+        let scrape = ClusterScrape {
+            reports: vec![(0, r.clone())],
+            unreachable: vec![],
+            deltas: vec![],
+            aggregate: aggregate_reports(&[r]),
+        };
+        let table = render_top(&scrape);
+        assert!(table.contains("buffer pool"), "missing pool section:\n{table}");
+        assert!(table.contains("64.0MiB"), "missing budget column:\n{table}");
+        assert!(table.contains("75.0%"), "missing hit ratio:\n{table}");
+        let json = scrape_to_json(&scrape);
+        assert!(json.contains("\"pool.hit\":300"), "pool counters must reach the JSON scrape");
+
+        // A pre-pool peer (no pool gauges) contributes no pool row.
+        let old = report(1, &[], &[("serve.shed", 1)]);
+        assert!(PoolScrape::from_report(&old).is_none());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use bora::error::BoraResult;
-use bora::{BoraBag, StreamOptions, TailMessage};
+use bora::{BoraBag, BufferPool, StreamOptions, TailMessage};
 use ros_msgs::Time;
 use rosbag::MessageRecord;
 use simfs::{IoCtx, Storage};
@@ -28,6 +28,10 @@ pub struct Snapshot<S: Storage> {
     sealed: Vec<Arc<SealedBatch>>,
     memtable: BTreeMap<String, Vec<IngestMessage>>,
     epoch: u64,
+    /// Shared page cache for container-lane reads (see `bora::bufpool`);
+    /// snapshots of the same store share one pool, so a hot topic stays
+    /// hot across epochs until compaction invalidates its generation.
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl<S: Storage + Clone> Snapshot<S> {
@@ -37,8 +41,9 @@ impl<S: Storage + Clone> Snapshot<S> {
         sealed: Vec<Arc<SealedBatch>>,
         memtable: BTreeMap<String, Vec<IngestMessage>>,
         epoch: u64,
+        pool: Option<Arc<BufferPool>>,
     ) -> Self {
-        Snapshot { storage, gen, sealed, memtable, epoch }
+        Snapshot { storage, gen, sealed, memtable, epoch, pool }
     }
 
     /// The store epoch this snapshot observes. Messages appended after
@@ -127,7 +132,11 @@ impl<S: Storage + Clone> Snapshot<S> {
     }
 
     fn open_bag(&self, ctx: &mut IoCtx) -> BoraResult<BoraBag<S>> {
-        BoraBag::open(self.storage.clone(), &self.gen.root, ctx)
+        let bag = BoraBag::open(self.storage.clone(), &self.gen.root, ctx)?;
+        Ok(match &self.pool {
+            Some(p) => bag.with_pool(Arc::clone(p)),
+            None => bag,
+        })
     }
 
     /// One tail per requested topic: sealed batches in seal order, then
@@ -167,7 +176,7 @@ mod tests {
         IngestStore::create(
             fs,
             "/live",
-            IngestConfig { wal_shards: 2, group_commit: 4, window_ns: 1_000 },
+            IngestConfig { wal_shards: 2, group_commit: 4, window_ns: 1_000, block: None },
             ctx,
         )
         .unwrap()

@@ -77,7 +77,7 @@ proptest! {
     ) {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
-        let cfg = IngestConfig { wal_shards: 2, group_commit: 3, window_ns: 500 };
+        let cfg = IngestConfig { wal_shards: 2, group_commit: 3, window_ns: 500, block: None };
         let mut st = IngestStore::create(&fs, "/live", cfg, &mut ctx).unwrap();
 
         // One oracle lane per topic, in append order.
@@ -146,7 +146,7 @@ proptest! {
     ) {
         let fs = MemStorage::new();
         let mut ctx = IoCtx::new();
-        let cfg = IngestConfig { wal_shards: 2, group_commit: 2, window_ns: 500 };
+        let cfg = IngestConfig { wal_shards: 2, group_commit: 2, window_ns: 500, block: None };
         let st = IngestStore::create(&fs, "/live", cfg, &mut ctx).unwrap();
 
         let mut lanes: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); TOPICS.len()];

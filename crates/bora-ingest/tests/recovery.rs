@@ -22,7 +22,7 @@ const TOPICS: [&str; 2] = ["/imu", "/cam"];
 fn cfg() -> IngestConfig {
     // group_commit = 1: every acked append is durable, so the durability
     // frontier is exact and the sweep's prefix assertion is strict.
-    IngestConfig { wal_shards: 2, group_commit: 1, window_ns: 1_000 }
+    IngestConfig { wal_shards: 2, group_commit: 1, window_ns: 1_000, block: None }
 }
 
 /// The full workload as (topic, time, payload) in append order.

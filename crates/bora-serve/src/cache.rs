@@ -14,8 +14,9 @@
 //! the *idle* footprint, pins bound the in-flight one.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-use bora::{BoraBag, BoraResult};
+use bora::{BoraBag, BoraResult, BufferPool};
 use parking_lot::Mutex;
 use simfs::{IoCtx, Storage};
 
@@ -58,6 +59,10 @@ struct Inner<S> {
 pub struct HandleCache<S> {
     inner: Mutex<Inner<S>>,
     capacity: usize,
+    /// Shared page cache attached to every handle this cache opens: all
+    /// workers' data reads draw on ONE byte budget (`BORA_POOL_BYTES`)
+    /// instead of per-handle buffers.
+    pool: Option<Arc<BufferPool>>,
 }
 
 /// A cache lease: clones of the bag handle are cheap (`Arc`-backed tag
@@ -106,7 +111,19 @@ impl<S: Storage + Clone> HandleCache<S> {
                 evictions: 0,
             }),
             capacity,
+            pool: None,
         }
+    }
+
+    /// Attach a shared buffer pool; handles opened from now on route
+    /// their data reads through it.
+    pub fn with_pool(mut self, pool: Arc<BufferPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    pub fn pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref()
     }
 
     /// Fetch `root` from the cache, opening it on miss. The returned guard
@@ -142,7 +159,10 @@ impl<S: Storage + Clone> HandleCache<S> {
         // misses for the same root both open; the second insert wins and
         // the first open is simply dropped when its pin releases — wasted
         // work, never a wrong answer.
-        let bag = BoraBag::open(storage.clone(), root, ctx)?;
+        let mut bag = BoraBag::open(storage.clone(), root, ctx)?;
+        if let Some(pool) = &self.pool {
+            bag = bag.with_pool(Arc::clone(pool));
+        }
         let mut inner = self.inner.lock();
         inner.tick += 1;
         inner.next_generation += 1;
@@ -162,8 +182,12 @@ impl<S: Storage + Clone> HandleCache<S> {
 
     /// Drop a container from the cache (e.g. after a backend fault made
     /// its handle suspect). Pinned users keep their clones; future
-    /// requests re-open.
+    /// requests re-open. Also drops the container's pages from the shared
+    /// pool — a suspect handle's cached bytes are equally suspect.
     pub fn invalidate(&self, root: &str) -> bool {
+        if let Some(pool) = &self.pool {
+            pool.invalidate_prefix(root);
+        }
         self.inner.lock().entries.remove(root).is_some()
     }
 

@@ -263,22 +263,34 @@ impl<C: Connection> ServeClient<C> {
         topics: &[&str],
         range: Option<(Time, Time)>,
     ) -> ClientResult<ReadStream<'_, C>> {
-        let req = Request::ReadStream {
-            container: container.into(),
-            topics: topics.iter().map(|t| (*t).to_owned()).collect(),
-            range,
-        };
-        let seq = self.next_seq();
-        self.conn.send_frame(&crate::proto::wrap_corr(
-            seq,
-            &req.encode_framed(bora_obs::current_context(), self.deadline_ns()),
-        ))?;
+        let topics: Vec<String> = topics.iter().map(|t| (*t).to_owned()).collect();
+        // Lead with READ_STREAM2 so the server may ship LZ-compressed
+        // chunks. A server that predates the opcode answers BadRequest,
+        // and `fetch` transparently reissues the plain READ_STREAM — one
+        // wasted round trip per stream against an old peer, compressed
+        // chunks everywhere else.
+        let req =
+            Request::ReadStream2 { container: container.into(), topics: topics.clone(), range };
+        let fallback = Request::ReadStream { container: container.into(), topics, range };
+        self.send_stream_req(&req)?;
         Ok(ReadStream {
             client: self,
             buffer: std::collections::VecDeque::new(),
             done: false,
             received: 0,
+            fallback: Some(fallback),
         })
+    }
+
+    /// Send one streaming request (no response is read here — the
+    /// [`ReadStream`] pulls the answer frames).
+    fn send_stream_req(&mut self, req: &Request) -> ClientResult<()> {
+        let seq = self.next_seq();
+        self.conn.send_frame(&crate::proto::wrap_corr(
+            seq,
+            &req.encode_framed(bora_obs::current_context(), self.deadline_ns()),
+        ))?;
+        Ok(())
     }
 
     /// Append a batch of live messages to an ingest root. The ack means
@@ -375,6 +387,11 @@ pub struct ReadStream<'a, C: Connection> {
     buffer: std::collections::VecDeque<WireMessage>,
     done: bool,
     received: u64,
+    /// Plain `READ_STREAM` to reissue if the server rejects the leading
+    /// `READ_STREAM2` as an unknown opcode (old peer). Cleared on the
+    /// first successful frame so a genuine mid-stream `BadRequest` is
+    /// surfaced, not swallowed by a pointless retry.
+    fallback: Option<Request>,
 }
 
 impl<C: Connection> ReadStream<'_, C> {
@@ -399,14 +416,41 @@ impl<C: Connection> ReadStream<'_, C> {
         };
         match Response::decode(&payload) {
             Ok(Response::StreamChunk(msgs)) => {
+                self.fallback = None;
                 self.buffer.extend(msgs);
                 Ok(())
+            }
+            Ok(Response::StreamChunkLz(frame)) => {
+                self.fallback = None;
+                match crate::proto::decompress_chunk(&frame) {
+                    Ok(msgs) => {
+                        self.buffer.extend(msgs);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        self.done = true;
+                        Err(ClientError::Proto(e))
+                    }
+                }
             }
             Ok(Response::StreamEnd { .. }) => {
                 self.done = true;
                 Ok(())
             }
             Ok(Response::Error { code, message }) => {
+                if code == ErrorCode::BadRequest {
+                    if let Some(req) = self.fallback.take() {
+                        // Old server rejecting READ_STREAM2: downgrade to
+                        // the plain stream and keep iterating.
+                        return match self.client.send_stream_req(&req) {
+                            Ok(()) => Ok(()),
+                            Err(e) => {
+                                self.done = true;
+                                Err(e)
+                            }
+                        };
+                    }
+                }
                 self.done = true;
                 Err(ClientError::Server { code, message })
             }
@@ -1049,8 +1093,9 @@ mod tests {
             Ok(())
         }
         fn recv_frame(&mut self) -> std::io::Result<Vec<u8>> {
+            // One send may be answered by many frames (streams), so
+            // `pending` stays set until the connection breaks.
             assert!(self.pending, "recv without a request in flight");
-            self.pending = false;
             if self.broken {
                 return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "dead conn"));
             }
@@ -1244,6 +1289,89 @@ mod tests {
         assert!(matches!(c.topics("/c"), Err(ClientError::DeadlineExceeded { .. })));
         assert_eq!(t.steps.lock().unwrap().len(), 1, "no request was sent");
         assert_eq!(t.connects.load(Ordering::SeqCst), 0, "no connection was made");
+    }
+
+    // ---------------------------------------------- compressed streaming
+
+    #[test]
+    fn read_stream_decodes_lz_chunks() {
+        let mut ctx = simfs::IoCtx::new();
+        let msgs: Vec<WireMessage> = (0..40)
+            .map(|i| WireMessage { topic: "/imu".into(), time: Time::new(i, 0), data: vec![0; 64] })
+            .collect();
+        let t = ScriptedTransport::new(vec![
+            Step::Reply(crate::proto::compress_chunk(&msgs, &mut ctx)),
+            Step::Reply(Response::StreamEnd { messages: 40 }),
+        ]);
+        let mut c = ServeClient::new(t.connect().unwrap());
+        let got: Vec<WireMessage> =
+            c.read_stream("/c", &["/imu"]).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn read_stream_falls_back_on_old_server() {
+        let msgs =
+            vec![WireMessage { topic: "/imu".into(), time: Time::new(1, 0), data: vec![7; 8] }];
+        // An old server rejects READ_STREAM2 with BadRequest; the client
+        // must reissue the plain READ_STREAM and keep iterating.
+        let t = ScriptedTransport::new(vec![
+            server_err(ErrorCode::BadRequest),
+            Step::Reply(Response::StreamChunk(msgs.clone())),
+            Step::Reply(Response::StreamEnd { messages: 1 }),
+        ]);
+        let mut c = ServeClient::new(t.connect().unwrap());
+        let got: Vec<WireMessage> =
+            c.read_stream("/c", &["/imu"]).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got, msgs);
+
+        // A BadRequest *after* the stream started is a real error, not a
+        // downgrade cue — it must surface, not trigger a blind retry.
+        let t = ScriptedTransport::new(vec![
+            Step::Reply(Response::StreamChunk(msgs.clone())),
+            server_err(ErrorCode::BadRequest),
+        ]);
+        let mut c = ServeClient::new(t.connect().unwrap());
+        let results: Vec<_> = c.read_stream("/c", &["/imu"]).unwrap().collect();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(ClientError::Server { code: ErrorCode::BadRequest, .. })));
+    }
+
+    #[test]
+    fn stream2_matches_buffered_read_end_to_end() {
+        use crate::server::{Server, ServerConfig};
+        use crate::transport::MemTransport;
+        use ros_msgs::sensor_msgs::Imu;
+
+        let fs = Arc::new(simfs::MemStorage::new());
+        let mut ctx = simfs::IoCtx::new();
+        let mut rec = bora::BoraRecorder::create(
+            Arc::clone(&fs),
+            "/c",
+            bora::RecorderOptions::default(),
+            &mut ctx,
+        )
+        .unwrap();
+        for i in 0..200u32 {
+            let mut imu = Imu::default();
+            imu.header.seq = i;
+            rec.record_ros_message("/imu", Time::new(100 + i, 0), &imu, &mut ctx).unwrap();
+        }
+        rec.close(&mut ctx).unwrap();
+
+        let server = Server::start(fs, ServerConfig::default());
+        let t = MemTransport::new(Arc::clone(&server));
+        let mut c = ServeClient::new(t.connect().unwrap());
+        let buffered = c.read("/c", &["/imu"]).unwrap();
+        let streamed: Vec<WireMessage> =
+            c.read_stream("/c", &["/imu"]).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(streamed.len(), 200);
+        assert_eq!(streamed, buffered, "compressed stream must be byte-identical");
+        // The server really did ship LZ chunks to this READ_STREAM2 peer.
+        let report = c.metrics().unwrap();
+        assert!(report.counter("serve.stream_chunk_lz") > 0, "no LZ chunk was sent");
+        server.shutdown();
     }
 
     // -------------------------------------------- set_timeout default

@@ -129,8 +129,20 @@ impl Metrics {
 
     /// Point-in-time copy of the backing registry — the `METRICS`
     /// scrape's payload. Same handles `STATS` reads; see module docs.
+    ///
+    /// The per-op recorders live in this server's private registry, but
+    /// subsystems the server *uses* (buffer pool `pool.*`, stream
+    /// compression `serve.stream_chunk_lz`, shed/evict counters) record
+    /// into the process-wide `bora_obs` registry — one pool, one set of
+    /// numbers. The scrape is the union of both; on a (by-convention
+    /// impossible) name collision, the private registry wins. Multiple
+    /// in-process servers therefore report the same process-wide
+    /// subsystem counters — fine in production (one server per process)
+    /// and documented here for in-process test fleets.
     pub fn registry_snapshot(&self) -> MetricsSnapshot {
-        self.registry.snapshot()
+        let global = bora_obs::snapshot();
+        let private = self.registry.snapshot();
+        merge_snapshots(global, private)
     }
 
     /// Assemble the wire-level snapshot. Queue and cache numbers are the
@@ -160,6 +172,22 @@ impl Metrics {
         base.queue_wait_p99_ns = qw.percentile(0.99);
         base.shed = self.shed();
         base
+    }
+}
+
+/// Union of two sorted snapshots; entries in `wins` shadow same-named
+/// entries in `base`. Both inputs are sorted (registry invariant) and the
+/// output stays sorted, so scrape consumers can keep binary-searching.
+fn merge_snapshots(base: MetricsSnapshot, wins: MetricsSnapshot) -> MetricsSnapshot {
+    fn merge<T>(base: Vec<(String, T)>, wins: Vec<(String, T)>) -> Vec<(String, T)> {
+        let mut out: std::collections::BTreeMap<String, T> = base.into_iter().collect();
+        out.extend(wins);
+        out.into_iter().collect()
+    }
+    MetricsSnapshot {
+        counters: merge(base.counters, wins.counters),
+        gauges: merge(base.gauges, wins.gauges),
+        hists: merge(base.hists, wins.hists),
     }
 }
 

@@ -20,9 +20,12 @@
 //! connections, which the server's bounded queue then sheds explicitly
 //! via [`Response::Overloaded`].
 
+use bora::block::{decode_frame, encode_frame};
+use bora::BlockCodec;
 use bora_obs::{HistSummary, TraceContext, BUCKETS};
 use ros_msgs::Time;
 use rosbag::MessageRecord;
+use simfs::IoCtx;
 
 /// Frame length prefix size (little-endian u32).
 pub const FRAME_HEADER_LEN: usize = 4;
@@ -89,6 +92,14 @@ pub const OP_CORR: u8 = 0x11;
 /// Bytes a correlation prefix adds to a payload.
 pub const CORR_LEN: usize = 1 + 4;
 
+/// `READ_STREAM2`: identical fields to `READ_STREAM`, but the request
+/// opcode doubles as a capability bit — a client that sends it declares
+/// it can decode [`Response::StreamChunkLz`] frames, so the server is
+/// free to ship each chunk LZ-compressed. An old server answers the
+/// unknown opcode with a clean `BadRequest` error, which is the client's
+/// cue to fall back to plain `READ_STREAM` (see `ServeClient`).
+const OP_READ_STREAM2: u8 = 0x12;
+
 /// Wrap `inner` in a correlation prefix carrying `seq`.
 pub fn wrap_corr(seq: u32, inner: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(CORR_LEN + inner.len());
@@ -110,6 +121,40 @@ pub fn peel_corr(payload: &[u8]) -> (Option<u32>, &[u8]) {
     }
 }
 
+/// Build a [`Response::StreamChunkLz`] from a message batch: the plain
+/// chunk body is wrapped in one LZ `bora::block` frame. Frames that do
+/// not shrink are stored raw inside the frame (the codec's built-in
+/// fallback), so this never inflates a batch beyond the 13-byte frame
+/// header. Compression cost is charged to `ctx` like any other
+/// storage-layer compression.
+pub fn compress_chunk(messages: &[WireMessage], ctx: &mut IoCtx) -> Response {
+    let mut w = Writer { buf: Vec::new() };
+    w.msgs(messages);
+    Response::StreamChunkLz(encode_frame(BlockCodec::Lzss, &w.buf, ctx))
+}
+
+/// Decode a [`Response::StreamChunkLz`] frame back into its message
+/// batch. The frame's CRC32C is verified over the stored bytes before
+/// any decompression, so a corrupted chunk surfaces as a [`ProtoError`],
+/// never as silently wrong messages.
+pub fn decompress_chunk(frame: &[u8]) -> ProtoResult<Vec<WireMessage>> {
+    // Client-side wall-clock work: the virtual-cost model meters the
+    // server, so the charge sink here is a throwaway.
+    let mut ctx = IoCtx::new();
+    let (body, used) = decode_frame(frame, "stream-chunk", &mut ctx)
+        .map_err(|e| ProtoError(format!("bad compressed chunk: {e}")))?;
+    if used != frame.len() {
+        return Err(ProtoError(format!(
+            "{} trailing bytes after compressed chunk frame",
+            frame.len() - used
+        )));
+    }
+    let mut r = Reader::new(&body);
+    let messages = r.msgs()?;
+    r.finish()?;
+    Ok(messages)
+}
+
 // Response opcodes (request opcode | 0x80, errors in 0xE0+).
 const OP_OK_OPEN: u8 = 0x81;
 const OP_OK_TOPICS: u8 = 0x82;
@@ -125,6 +170,14 @@ const OP_OK_PONG: u8 = 0x8B;
 const OP_OK_APPENDED: u8 = 0x8C;
 const OP_OK_SEALED: u8 = 0x8D;
 const OP_OK_METRICS: u8 = 0x8E;
+/// A `READ_STREAM2` chunk: one `bora::block` frame (codec tag,
+/// uncompressed length, physical length, CRC32C) whose logical bytes are
+/// the plain `StreamChunk` body. Reusing the storage-layer frame means
+/// wire chunks inherit its per-frame raw fallback (incompressible
+/// batches cost 13 bytes of header, not a blow-up) and its checksum —
+/// a bit-flipped chunk decodes to a typed error, never to garbage
+/// messages.
+const OP_OK_STREAM_CHUNK_LZ: u8 = 0x8F;
 const OP_ERROR: u8 = 0xE0;
 const OP_OVERLOADED: u8 = 0xEE;
 
@@ -144,6 +197,11 @@ pub enum Request {
     /// yields messages, closed by [`Response::StreamEnd`]. The worker's
     /// cache pin is held for the stream's whole lifetime.
     ReadStream { container: String, topics: Vec<String>, range: Option<(Time, Time)> },
+    /// Like `ReadStream`, but announces that this client decodes
+    /// [`Response::StreamChunkLz`] — the server may answer with
+    /// compressed chunk frames (it still may send plain `StreamChunk`s;
+    /// the capability is permission, not obligation).
+    ReadStream2 { container: String, topics: Vec<String>, range: Option<(Time, Time)> },
     /// Append live messages to an ingest root (`bora-ingest`). Messages
     /// must be per-topic chronological; the whole batch is acked as a
     /// unit once its WAL frames are group-committed. Appends are shed
@@ -395,6 +453,10 @@ pub enum Response {
     Read(Vec<WireMessage>),
     /// One batch of a `READ_STREAM` answer; more frames follow.
     StreamChunk(Vec<WireMessage>),
+    /// One batch of a `READ_STREAM2` answer, carried as a
+    /// `bora::block` frame wrapping the plain chunk body. Decode with
+    /// [`decompress_chunk`]; produce with [`compress_chunk`].
+    StreamChunkLz(Vec<u8>),
     /// Terminal frame of a `READ_STREAM` answer: total messages streamed.
     StreamEnd {
         messages: u64,
@@ -487,6 +549,14 @@ impl Writer {
         self.time(s.start);
         self.time(s.end);
     }
+    fn msgs(&mut self, msgs: &[WireMessage]) {
+        self.u32(msgs.len() as u32);
+        for m in msgs {
+            self.str(&m.topic);
+            self.time(m.time);
+            self.bytes(&m.data);
+        }
+    }
     fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -562,6 +632,18 @@ impl<'a> Reader<'a> {
             end: self.time()?,
         })
     }
+    fn msgs(&mut self) -> ProtoResult<Vec<WireMessage>> {
+        let n = self.u32()? as usize;
+        let mut messages = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            messages.push(WireMessage {
+                topic: self.str()?,
+                time: self.time()?,
+                data: self.bytes()?,
+            });
+        }
+        Ok(messages)
+    }
     fn i64(&mut self) -> ProtoResult<i64> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
@@ -600,6 +682,7 @@ impl Request {
             | Request::Meta { container }
             | Request::Read { container, .. }
             | Request::ReadStream { container, .. }
+            | Request::ReadStream2 { container, .. }
             | Request::Append { container, .. }
             | Request::Seal { container, .. }
             | Request::Stat { container } => Some(container),
@@ -618,7 +701,9 @@ impl Request {
             Request::Topics { .. } => "topics",
             Request::Meta { .. } => "meta",
             Request::Read { .. } => "read",
-            Request::ReadStream { .. } => "read_stream",
+            // Same op as ReadStream under a different chunk encoding, so
+            // both share one metrics/SLO key.
+            Request::ReadStream { .. } | Request::ReadStream2 { .. } => "read_stream",
             Request::Append { .. } => "append",
             Request::Seal { .. } => "seal",
             Request::Stat { .. } => "stat",
@@ -645,24 +730,14 @@ impl Request {
                 w = Writer::new(OP_META);
                 w.str(container);
             }
-            Request::Read { container, topics, range } => {
-                w = Writer::new(OP_READ);
-                w.str(container);
-                w.u16(topics.len() as u16);
-                for t in topics {
-                    w.str(t);
-                }
-                match range {
-                    Some((start, end)) => {
-                        w.u8(1);
-                        w.time(*start);
-                        w.time(*end);
-                    }
-                    None => w.u8(0),
-                }
-            }
-            Request::ReadStream { container, topics, range } => {
-                w = Writer::new(OP_READ_STREAM);
+            Request::Read { container, topics, range }
+            | Request::ReadStream { container, topics, range }
+            | Request::ReadStream2 { container, topics, range } => {
+                w = Writer::new(match self {
+                    Request::Read { .. } => OP_READ,
+                    Request::ReadStream { .. } => OP_READ_STREAM,
+                    _ => OP_READ_STREAM2,
+                });
                 w.str(container);
                 w.u16(topics.len() as u16);
                 for t in topics {
@@ -680,12 +755,7 @@ impl Request {
             Request::Append { container, messages } => {
                 w = Writer::new(OP_APPEND);
                 w.str(container);
-                w.u32(messages.len() as u32);
-                for m in messages {
-                    w.str(&m.topic);
-                    w.time(m.time);
-                    w.bytes(&m.data);
-                }
+                w.msgs(messages);
             }
             Request::Seal { container, compact } => {
                 w = Writer::new(OP_SEAL);
@@ -712,7 +782,7 @@ impl Request {
             OP_OPEN => Request::Open { container: r.str()? },
             OP_TOPICS => Request::Topics { container: r.str()? },
             OP_META => Request::Meta { container: r.str()? },
-            OP_READ | OP_READ_STREAM => {
+            OP_READ | OP_READ_STREAM | OP_READ_STREAM2 => {
                 let container = r.str()?;
                 let n = r.u16()? as usize;
                 let mut topics = Vec::with_capacity(n);
@@ -724,24 +794,15 @@ impl Request {
                     1 => Some((r.time()?, r.time()?)),
                     v => return Err(ProtoError(format!("bad range marker {v}"))),
                 };
-                if op == OP_READ {
-                    Request::Read { container, topics, range }
-                } else {
-                    Request::ReadStream { container, topics, range }
+                match op {
+                    OP_READ => Request::Read { container, topics, range },
+                    OP_READ_STREAM => Request::ReadStream { container, topics, range },
+                    _ => Request::ReadStream2 { container, topics, range },
                 }
             }
             OP_APPEND => {
                 let container = r.str()?;
-                let n = r.u32()? as usize;
-                let mut messages = Vec::with_capacity(n.min(1 << 20));
-                for _ in 0..n {
-                    messages.push(WireMessage {
-                        topic: r.str()?,
-                        time: r.time()?,
-                        data: r.bytes()?,
-                    });
-                }
-                Request::Append { container, messages }
+                Request::Append { container, messages: r.msgs()? }
             }
             OP_SEAL => {
                 let container = r.str()?;
@@ -855,21 +916,15 @@ impl Response {
             }
             Response::Read(messages) => {
                 w = Writer::new(OP_OK_READ);
-                w.u32(messages.len() as u32);
-                for m in messages {
-                    w.str(&m.topic);
-                    w.time(m.time);
-                    w.bytes(&m.data);
-                }
+                w.msgs(messages);
             }
             Response::StreamChunk(messages) => {
                 w = Writer::new(OP_OK_STREAM_CHUNK);
-                w.u32(messages.len() as u32);
-                for m in messages {
-                    w.str(&m.topic);
-                    w.time(m.time);
-                    w.bytes(&m.data);
-                }
+                w.msgs(messages);
+            }
+            Response::StreamChunkLz(frame) => {
+                w = Writer::new(OP_OK_STREAM_CHUNK_LZ);
+                w.bytes(frame);
             }
             Response::StreamEnd { messages } => {
                 w = Writer::new(OP_OK_STREAM_END);
@@ -980,30 +1035,9 @@ impl Response {
                 Response::Topics(topics)
             }
             OP_OK_META => Response::Meta(r.bytes()?),
-            OP_OK_READ => {
-                let n = r.u32()? as usize;
-                let mut messages = Vec::with_capacity(n.min(1 << 20));
-                for _ in 0..n {
-                    messages.push(WireMessage {
-                        topic: r.str()?,
-                        time: r.time()?,
-                        data: r.bytes()?,
-                    });
-                }
-                Response::Read(messages)
-            }
-            OP_OK_STREAM_CHUNK => {
-                let n = r.u32()? as usize;
-                let mut messages = Vec::with_capacity(n.min(1 << 20));
-                for _ in 0..n {
-                    messages.push(WireMessage {
-                        topic: r.str()?,
-                        time: r.time()?,
-                        data: r.bytes()?,
-                    });
-                }
-                Response::StreamChunk(messages)
-            }
+            OP_OK_READ => Response::Read(r.msgs()?),
+            OP_OK_STREAM_CHUNK => Response::StreamChunk(r.msgs()?),
+            OP_OK_STREAM_CHUNK_LZ => Response::StreamChunkLz(r.bytes()?),
             OP_OK_STREAM_END => Response::StreamEnd { messages: r.u64()? },
             OP_OK_APPENDED => Response::Appended { appended: r.u64()?, epoch: r.u64()? },
             OP_OK_SEALED => Response::Sealed { epoch: r.u64()?, sealed_segments: r.u32()? },
@@ -1149,6 +1183,12 @@ mod tests {
             range: Some((Time::new(1, 0), Time::new(2, 0))),
         });
         roundtrip_req(Request::ReadStream { container: "/c".into(), topics: vec![], range: None });
+        roundtrip_req(Request::ReadStream2 {
+            container: "/c/hs0".into(),
+            topics: vec!["/imu".into(), "/cam".into()],
+            range: Some((Time::new(1, 0), Time::new(2, 0))),
+        });
+        roundtrip_req(Request::ReadStream2 { container: "/c".into(), topics: vec![], range: None });
         roundtrip_req(Request::Append {
             container: "/live".into(),
             messages: vec![
@@ -1343,6 +1383,58 @@ mod tests {
             message: "t/data".into(),
         });
         roundtrip_resp(Response::Overloaded);
+    }
+
+    #[test]
+    fn compressed_chunk_roundtrips() {
+        let mut ctx = IoCtx::new();
+        // Compressible batch: repetitive payloads shrink on the wire.
+        let msgs: Vec<WireMessage> = (0..64)
+            .map(|i| WireMessage {
+                topic: "/imu".into(),
+                time: Time::new(100 + i, 0),
+                data: vec![0u8; 256],
+            })
+            .collect();
+        let resp = compress_chunk(&msgs, &mut ctx);
+        let Response::StreamChunkLz(frame) = &resp else { panic!("expected lz chunk") };
+        let mut plain = Writer { buf: Vec::new() };
+        plain.msgs(&msgs);
+        assert!(
+            frame.len() < plain.buf.len() / 2,
+            "mostly-zero batch must compress ≥2x: {} vs {}",
+            frame.len(),
+            plain.buf.len()
+        );
+        assert_eq!(decompress_chunk(frame).unwrap(), msgs);
+        roundtrip_resp(resp);
+
+        // Empty batch and incompressible batch still roundtrip (raw
+        // fallback inside the frame).
+        let empty = compress_chunk(&[], &mut ctx);
+        let Response::StreamChunkLz(f) = &empty else { panic!() };
+        assert_eq!(decompress_chunk(f).unwrap(), Vec::<WireMessage>::new());
+        let noise: Vec<WireMessage> = (0..8)
+            .map(|i| WireMessage {
+                topic: format!("/t{i}"),
+                time: Time::new(i, 7),
+                data: (0..97u32)
+                    .map(|j| (j.wrapping_mul(2654435761).wrapping_add(i)) as u8)
+                    .collect(),
+            })
+            .collect();
+        let Response::StreamChunkLz(f) = compress_chunk(&noise, &mut ctx) else { panic!() };
+        assert_eq!(decompress_chunk(&f).unwrap(), noise);
+
+        // A flipped bit fails the frame CRC: typed error, no garbage.
+        let Response::StreamChunkLz(mut bad) = compress_chunk(&msgs, &mut ctx) else { panic!() };
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(decompress_chunk(&bad).is_err());
+        // Trailing bytes after the frame are rejected too.
+        let Response::StreamChunkLz(mut long) = compress_chunk(&msgs, &mut ctx) else { panic!() };
+        long.push(0);
+        assert!(decompress_chunk(&long).is_err());
     }
 
     #[test]

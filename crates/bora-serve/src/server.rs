@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use bora::{BoraError, StreamOptions};
+use bora::{BoraError, BufferPool, StreamOptions};
 use bora_ingest::IngestStore;
 use bora_obs::TraceContext;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
@@ -34,8 +34,8 @@ use simfs::{ConcurrencyGauge, IoCtx, Storage};
 use crate::cache::HandleCache;
 use crate::metrics::Metrics;
 use crate::proto::{
-    ContainerStat, ErrorCode, MetricsReport, PingInfo, Request, Response, SlowOpEntry,
-    StatsSnapshot, WireMessage, METRICS_REPORT_VERSION,
+    compress_chunk, ContainerStat, ErrorCode, MetricsReport, PingInfo, Request, Response,
+    SlowOpEntry, StatsSnapshot, WireMessage, METRICS_REPORT_VERSION,
 };
 
 /// Messages per [`Response::StreamChunk`] frame. Small enough that the
@@ -135,9 +135,13 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
     pub fn start(storage: S, config: ServerConfig) -> Arc<Self> {
         assert!(config.workers > 0, "need at least one worker");
         let (tx, rx) = channel::bounded::<Job>(config.queue_capacity.max(1));
+        // One byte-budgeted pool for the whole process (sized by
+        // `BORA_POOL_BYTES`): every handle the cache opens and every
+        // ingest snapshot shares it, so total page memory has a single
+        // knob regardless of how many containers are hot.
         let shared = Arc::new(Shared {
             storage,
-            cache: HandleCache::new(config.cache_capacity),
+            cache: HandleCache::new(config.cache_capacity).with_pool(BufferPool::from_env()),
             ingests: Mutex::new(HashMap::new()),
             metrics: Metrics::new(),
             gauge: ConcurrencyGauge::new(),
@@ -215,7 +219,7 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
             // to a buffered read: aggregate the chunk frames. Byte-wise
             // the result is identical to `Request::Read` over the same
             // query — the pipeline is the same, only the framing differs.
-            req @ Request::ReadStream { .. } => {
+            req @ (Request::ReadStream { .. } | Request::ReadStream2 { .. }) => {
                 let mut messages: Vec<WireMessage> = Vec::new();
                 let mut out = Response::Error {
                     code: ErrorCode::ShuttingDown,
@@ -224,6 +228,18 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
                 self.submit_streamed_framed(req, tctx, deadline_ns, &mut |resp| {
                     match resp {
                         Response::StreamChunk(mut chunk) => messages.append(&mut chunk),
+                        Response::StreamChunkLz(frame) => {
+                            match crate::proto::decompress_chunk(&frame) {
+                                Ok(mut chunk) => messages.append(&mut chunk),
+                                Err(e) => {
+                                    out = Response::Error {
+                                        code: ErrorCode::Corrupt,
+                                        message: e.to_string(),
+                                    };
+                                    return false;
+                                }
+                            }
+                        }
                         Response::StreamEnd { .. } => {
                             out = Response::Read(std::mem::take(&mut messages));
                         }
@@ -316,7 +332,7 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
         deadline_ns: Option<u64>,
         emit: &mut dyn FnMut(Response) -> bool,
     ) -> bool {
-        if !matches!(req, Request::ReadStream { .. }) {
+        if !matches!(req, Request::ReadStream { .. } | Request::ReadStream2 { .. }) {
             return emit(self.submit_framed(req, tctx, deadline_ns));
         }
         if self.is_shutting_down() {
@@ -358,7 +374,7 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
                     });
                 }
             };
-            let terminal = !matches!(resp, Response::StreamChunk(_));
+            let terminal = !matches!(resp, Response::StreamChunk(_) | Response::StreamChunkLz(_));
             if !emit(resp) {
                 // Client is gone: dropping `reply_rx` makes the worker's
                 // next send fail, aborting the stream and releasing its
@@ -551,15 +567,19 @@ fn worker_loop<S: Storage + Clone>(shared: &Shared<S>, rx: &Receiver<Job>) {
         let mut ctx = active.ctx();
         let op = req.op_name();
         let sp = bora_obs::span(span_name(op));
-        let resp = if let Request::ReadStream { container, topics, range } = &req {
-            // Streaming op: chunk frames go out on `reply` as the merge
-            // yields; the terminal frame (StreamEnd or error) is returned
-            // and sent below, *after* the metrics record — so a client
-            // that has consumed the stream is guaranteed to see the op
-            // counted by a subsequent STATS.
-            handle_stream(shared, container, topics, *range, &reply, &mut ctx)
-        } else {
-            Some(handle(shared, req, &mut ctx))
+        // Streaming ops: chunk frames go out on `reply` as the merge
+        // yields; the terminal frame (StreamEnd or error) is returned
+        // and sent below, *after* the metrics record — so a client
+        // that has consumed the stream is guaranteed to see the op
+        // counted by a subsequent STATS.
+        let resp = match req {
+            Request::ReadStream { ref container, ref topics, range } => {
+                handle_stream(shared, container, topics, range, false, &reply, &mut ctx)
+            }
+            Request::ReadStream2 { ref container, ref topics, range } => {
+                handle_stream(shared, container, topics, range, true, &reply, &mut ctx)
+            }
+            other => Some(handle(shared, other, &mut ctx)),
         };
         sp.end_virt(ctx.elapsed_ns());
         drop(active);
@@ -618,7 +638,13 @@ fn ingest_for<S: Storage + Clone>(
     if !IngestStore::is_ingest_root(&shared.storage, container, ctx) {
         return Ok(None);
     }
-    let opened = Arc::new(IngestStore::open(shared.storage.clone(), container, ctx)?);
+    let mut store = IngestStore::open(shared.storage.clone(), container, ctx)?;
+    if let Some(pool) = shared.cache.pool() {
+        // Ingest snapshot reads draw pages from the same process-wide
+        // pool as plain container handles.
+        store = store.with_pool(Arc::clone(pool));
+    }
+    let opened = Arc::new(store);
     // Two workers may race the first open; the registry keeps whichever
     // inserted first and the loser's store is dropped unused.
     let mut reg = shared.ingests.lock();
@@ -633,6 +659,7 @@ fn stream_snapshot<S: Storage + Clone>(
     store: &IngestStore<S>,
     topics: &[String],
     range: Option<(Time, Time)>,
+    lz: bool,
     reply: &Sender<Response>,
     ctx: &mut IoCtx,
 ) -> Result<Option<Response>, BoraError> {
@@ -647,15 +674,28 @@ fn stream_snapshot<S: Storage + Clone>(
     for rec in records {
         batch.push(WireMessage::from(rec));
         if batch.len() >= STREAM_CHUNK_MSGS
-            && reply.send(Response::StreamChunk(std::mem::take(&mut batch))).is_err()
+            && reply.send(chunk_frame(std::mem::take(&mut batch), lz, ctx)).is_err()
         {
             return Ok(None);
         }
     }
-    if !batch.is_empty() && reply.send(Response::StreamChunk(batch)).is_err() {
+    if !batch.is_empty() && reply.send(chunk_frame(batch, lz, ctx)).is_err() {
         return Ok(None);
     }
     Ok(Some(Response::StreamEnd { messages: total }))
+}
+
+/// Encode one outgoing stream batch in the encoding the client
+/// negotiated: `READ_STREAM2` clients get LZ chunk frames (with the
+/// codec's raw fallback for incompressible batches), plain clients get
+/// the classic chunk.
+fn chunk_frame(batch: Vec<WireMessage>, lz: bool, ctx: &mut IoCtx) -> Response {
+    if lz {
+        bora_obs::counter("serve.stream_chunk_lz").inc();
+        compress_chunk(&batch, ctx)
+    } else {
+        Response::StreamChunk(batch)
+    }
 }
 
 /// Run a [`Request::ReadStream`], sending chunk frames on `reply` as the
@@ -676,12 +716,13 @@ fn handle_stream<S: Storage + Clone>(
     container: &str,
     topics: &[String],
     range: Option<(Time, Time)>,
+    lz: bool,
     reply: &Sender<Response>,
     ctx: &mut IoCtx,
 ) -> Option<Response> {
     let result = (|| -> Result<Option<Response>, BoraError> {
         if let Some(store) = ingest_for(shared, container, ctx)? {
-            return stream_snapshot(&store, topics, range, reply, ctx);
+            return stream_snapshot(&store, topics, range, lz, reply, ctx);
         }
         let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
         let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
@@ -696,13 +737,13 @@ fn handle_stream<S: Storage + Clone>(
             batch.push(WireMessage::from(msg.to_record()));
             total += 1;
             if batch.len() >= STREAM_CHUNK_MSGS
-                && reply.send(Response::StreamChunk(std::mem::take(&mut batch))).is_err()
+                && reply.send(chunk_frame(std::mem::take(&mut batch), lz, ctx)).is_err()
             {
                 stream.charge_into(ctx);
                 return Ok(None);
             }
         }
-        if !batch.is_empty() && reply.send(Response::StreamChunk(batch)).is_err() {
+        if !batch.is_empty() && reply.send(chunk_frame(batch, lz, ctx)).is_err() {
             return Ok(None);
         }
         Ok(Some(Response::StreamEnd { messages: total }))
@@ -791,7 +832,8 @@ fn handle<S: Storage + Clone>(shared: &Shared<S>, req: Request, ctx: &mut IoCtx)
             // Normally routed to `handle_stream` by the worker loop; if
             // one lands here anyway (future transports), serve it as a
             // buffered read — the result bytes are identical.
-            Request::ReadStream { container, topics, range } => {
+            Request::ReadStream { container, topics, range }
+            | Request::ReadStream2 { container, topics, range } => {
                 let refs: Vec<&str> = topics.iter().map(String::as_str).collect();
                 if let Some(store) = ingest_for(shared, container, ctx)? {
                     let snap = store.snapshot(ctx)?;

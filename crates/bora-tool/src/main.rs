@@ -11,7 +11,9 @@
 //! bora-tool verify  <container-dir>              consistency self-check
 //! bora-tool fsck    <container-dir> [--repair [--source <src.bag>]]
 //!                                                classify Clean/Torn/Corrupt, optionally repair
-//! bora-tool ingest-stat <ingest-dir> [--json]    live-ingest root: WAL depth, segments, lag
+//! bora-tool ingest-stat <ingest-dir> [--json] [--node <addr>]
+//!                                                live-ingest root: WAL depth, segments, lag,
+//!                                                block codec; --node adds a pool scrape
 //! bora-tool top --nodes <addr,addr,...> [--json] scrape METRICS from running TCP nodes
 //! bora-tool top --demo [--json]                  same, against a built-in 3-node demo cluster
 //! bora-tool chaos [--seed <n>] [--scenario <name>|all] [--replay] [--json]
@@ -193,13 +195,24 @@ fn main() {
             println!("repair: {outcome:?}");
         }
         ["ingest-stat", rest @ ..] => {
-            let (dir, json) = match rest {
-                [dir] => (*dir, false),
-                [dir, "--json"] | ["--json", dir] => (*dir, true),
-                _ => usage(),
-            };
+            let mut dir: Option<&str> = None;
+            let mut json = false;
+            let mut node: Option<&str> = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match *a {
+                    "--json" => json = true,
+                    "--node" => node = Some(it.next().copied().unwrap_or_else(|| usage())),
+                    d if dir.is_none() => dir = Some(d),
+                    _ => usage(),
+                }
+            }
+            let dir = dir.unwrap_or_else(|| usage());
             let (fs, path) = split(dir);
-            let stats = ingest_stat(&fs, &path, dir, &mut ctx).unwrap_or_else(die);
+            let mut stats = ingest_stat(&fs, &path, dir, &mut ctx).unwrap_or_else(die);
+            if let Some(addr) = node {
+                stats.pool = scrape_pool(addr);
+            }
             if json {
                 println!("{}", stats.to_json());
             } else {
@@ -499,6 +512,12 @@ struct IngestStats {
     active: u64,
     active_segments: usize,
     torn_shards: usize,
+    /// Block framing from the config trailer: `(codec name, block size)`
+    /// when compaction writes block-framed generations, `None` for v1.
+    block: Option<(String, u32)>,
+    /// Buffer-pool numbers scraped from a serving node (`--node <addr>`);
+    /// `None` when the stat ran purely against the on-disk root.
+    pool: Option<bora_cluster::PoolScrape>,
 }
 
 impl IngestStats {
@@ -511,6 +530,10 @@ impl IngestStats {
             self.group_commit,
             self.window_ns as f64 / 1e9
         );
+        match &self.block {
+            Some((codec, bs)) => println!("blocks:         {codec} codec, {bs} B blocks"),
+            None => println!("blocks:         off (v1 data files)"),
+        }
         println!(
             "generation:     {} (compacted through seal {}, wal seq {}){}",
             self.generation,
@@ -539,17 +562,47 @@ impl IngestStats {
                 String::new()
             }
         );
+        if let Some(p) = &self.pool {
+            println!(
+                "buffer pool:    budget {} B, resident {} B, hit ratio {:.1}%, {:.2} evictions/s",
+                p.budget_bytes,
+                p.resident_bytes,
+                p.hit_ratio() * 100.0,
+                p.evictions_per_sec()
+            );
+        }
     }
 
     /// One flat JSON object — stable key set, no derived strings, so CI
     /// can assert on it without parsing the human table.
     fn to_json(&self) -> String {
+        let block_json = match &self.block {
+            Some((codec, bs)) => {
+                format!("{{\"codec\":{},\"block_size\":{}}}", json_string(codec), bs)
+            }
+            None => "null".into(),
+        };
+        let pool_json = match &self.pool {
+            Some(p) => format!(
+                "{{\"budget_bytes\":{},\"resident_bytes\":{},\"hits\":{},\"misses\":{},\
+                 \"hit_ratio\":{:.4},\"evictions\":{},\"evictions_per_sec\":{:.4}}}",
+                p.budget_bytes,
+                p.resident_bytes,
+                p.hits,
+                p.misses,
+                p.hit_ratio(),
+                p.evictions,
+                p.evictions_per_sec()
+            ),
+            None => "null".into(),
+        };
         format!(
             "{{\"root\":{},\"wal_shards\":{},\"group_commit\":{},\"window_ns\":{},\
              \"generation\":{},\"compacted_seal\":{},\"compacted_wal_seq\":{},\
              \"staging_debris\":{},\"seal_markers\":{},\"segment_files\":{},\
              \"lag_seals\":{},\"lag_segment_files\":{},\"wal_durable_records\":{},\
-             \"wal_unsealed_records\":{},\"active_segments\":{},\"torn_wal_shards\":{}}}",
+             \"wal_unsealed_records\":{},\"active_segments\":{},\"torn_wal_shards\":{},\
+             \"block\":{block_json},\"pool\":{pool_json}}}",
             json_string(&self.root),
             self.wal_shards,
             self.group_commit,
@@ -587,6 +640,19 @@ fn ingest_stat(
     let wal_shards = cur.get_u32().map_err(|e| e.to_string())? as usize;
     let group_commit = cur.get_u64().map_err(|e| e.to_string())?;
     let window_ns = cur.get_u64().map_err(|e| e.to_string())?;
+    // Optional block-framing trailer (codec id + block size), mirroring
+    // `bora_ingest::IngestConfig`: absent on pre-block roots.
+    let block = if cur.is_empty() {
+        None
+    } else {
+        let codec = match cur.get_u8().map_err(|e| e.to_string())? {
+            0 => "none",
+            1 => "lzss",
+            other => return Err(format!("{shown}: unknown block codec id {other}")),
+        };
+        let bs = cur.get_u32().map_err(|e| e.to_string())?;
+        Some((codec.to_owned(), bs))
+    };
 
     // Newest committed generation: its marker is the compaction watermark.
     let gdir = format!("{root}/gen");
@@ -709,7 +775,27 @@ fn ingest_stat(
         active,
         active_segments: active_topics.len(),
         torn_shards,
+        block,
+        pool: None,
     })
+}
+
+/// Scrape one serving node's `METRICS` and pull out the pool numbers.
+/// Unreachable node or no pool → `None` (reported as `"pool":null`).
+fn scrape_pool(addr: &str) -> Option<bora_cluster::PoolScrape> {
+    use bora_serve::{ServeClient, TcpTransport};
+    let sock: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| {
+            eprintln!("bad --node address {addr}: {e}");
+            exit(2);
+        })
+        .unwrap();
+    let report = ServeClient::connect(&TcpTransport::new(sock))
+        .and_then(|mut c| c.metrics())
+        .map_err(|e| eprintln!("warning: cannot scrape {addr}: {e}"))
+        .ok()?;
+    bora_cluster::PoolScrape::from_report(&report)
 }
 
 fn die<E: std::fmt::Display, T>(e: E) -> T {
@@ -726,7 +812,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: bora-tool <import <src.bag> <dir> | info <dir> | topics <dir> | \
          query <dir> <topic> [start_s end_s] | export <dir> <out.bag> | verify <dir> | \
-         fsck <dir> [--repair [--source <src.bag>]] | ingest-stat <dir> [--json] | \
+         fsck <dir> [--repair [--source <src.bag>]] | \
+         ingest-stat <dir> [--json] [--node <addr>] | \
          top <--nodes <addr,...> | --demo> [--json] | \
          chaos [--seed <n>] [--scenario <name>|all] [--replay] [--json]>"
     );

@@ -135,7 +135,8 @@ fn ingest_stat_reports_wal_depth_segments_and_lag() {
     // record that only the WAL holds.
     let fs = LocalStorage::new(&dir).unwrap();
     let mut ctx = IoCtx::new();
-    let cfg = IngestConfig { wal_shards: 2, group_commit: 4, window_ns: 1_000_000_000 };
+    let cfg =
+        IngestConfig { wal_shards: 2, group_commit: 4, window_ns: 1_000_000_000, block: None };
     let store = IngestStore::create(fs, "/live", cfg, &mut ctx).unwrap();
     for i in 0..6u64 {
         store.append("/imu", Time::from_nanos(i * 10), &[i as u8; 4], &mut ctx).unwrap();
@@ -176,7 +177,8 @@ fn ingest_stat_json_has_the_schema_ci_depends_on() {
     let dir = workdir("ingest-json");
     let fs = LocalStorage::new(&dir).unwrap();
     let mut ctx = IoCtx::new();
-    let cfg = IngestConfig { wal_shards: 2, group_commit: 4, window_ns: 1_000_000_000 };
+    let cfg =
+        IngestConfig { wal_shards: 2, group_commit: 4, window_ns: 1_000_000_000, block: None };
     let store = IngestStore::create(fs, "/live", cfg, &mut ctx).unwrap();
     for i in 0..4u64 {
         store.append("/imu", Time::from_nanos(i * 10), &[i as u8; 4], &mut ctx).unwrap();

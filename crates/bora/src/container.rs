@@ -19,9 +19,11 @@ use rosbag::reader::MessageRecord;
 use simfs::device::cpu;
 use simfs::{IoCtx, Storage};
 
+use crate::block::{decode_frame, BlockMap, BlockParams};
+use crate::bufpool::BufferPool;
 use crate::checksum::{crc32c, Crc32c};
 use crate::error::{BoraError, BoraResult};
-use crate::layout::{meta_path, rel_path};
+use crate::layout::{meta_path, rel_path, TopicPaths};
 use crate::manifest::Manifest;
 use crate::meta::ContainerMeta;
 use crate::stream::{MessageStream, StreamOptions, TailMessage};
@@ -65,6 +67,13 @@ pub struct BoraBag<S> {
     /// checksum mismatch. Reads of a damaged topic short-circuit with
     /// [`BoraError::TopicDamaged`]; the other topics keep serving.
     damaged: Arc<Mutex<HashSet<String>>>,
+    /// Shared buffer pool, when the embedding layer attached one
+    /// ([`BoraBag::with_pool`]). Block-framed data files page through
+    /// it; v1 files always read storage directly (the classic path,
+    /// bit-for-bit unchanged — see [`DataSource`] for why).
+    pool: Option<Arc<BufferPool>>,
+    /// Lazily loaded per-topic block maps (block-framed containers).
+    block_maps: Arc<Mutex<HashMap<String, Arc<BlockMap>>>>,
 }
 
 impl<S: Clone> Clone for BoraBag<S> {
@@ -77,6 +86,34 @@ impl<S: Clone> Clone for BoraBag<S> {
             manifest: Arc::clone(&self.manifest),
             conn_ids: Arc::clone(&self.conn_ids),
             damaged: Arc::clone(&self.damaged),
+            pool: self.pool.clone(),
+            block_maps: Arc::clone(&self.block_maps),
+        }
+    }
+}
+
+/// How a topic's `data` file is physically read — resolved once per
+/// cursor/bulk read by [`BoraBag::data_source`].
+pub(crate) enum DataSource {
+    /// v1 file: direct `read_at`, exactly the pre-pool path. v1 data
+    /// files are deliberately **never** pooled: their only integrity
+    /// cover is the manifest's whole-file CRC, which the direct paths
+    /// fold over actual storage bytes. Serving cached pages would make
+    /// that check vacuously pass over memory while the medium rots.
+    /// Block-framed files carry a per-frame CRC verified at every fill,
+    /// so they pool safely.
+    RawDirect,
+    /// Block-framed file: frames decode per block, through the pool when
+    /// one is attached.
+    Blocked { map: Arc<BlockMap> },
+}
+
+impl DataSource {
+    /// Total logical bytes the source exposes, when it tracks them.
+    pub(crate) fn logical_len(&self) -> Option<u64> {
+        match self {
+            DataSource::RawDirect => None,
+            DataSource::Blocked { map } => Some(map.logical_len),
         }
     }
 }
@@ -135,7 +172,27 @@ impl<S: Storage> BoraBag<S> {
             manifest: Arc::new(manifest),
             conn_ids: Arc::new(conn_ids),
             damaged: Arc::new(Mutex::new(HashSet::new())),
+            pool: None,
+            block_maps: Arc::new(Mutex::new(HashMap::new())),
         })
+    }
+
+    /// Attach a shared buffer pool: subsequent data-file reads (bulk and
+    /// streaming) page through it, so hot topics are served from memory
+    /// across handles, workers, and connections.
+    pub fn with_pool(mut self, pool: Arc<BufferPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The attached buffer pool, if any.
+    pub fn pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Block parameters of a block-framed container (metadata v2).
+    pub fn block_params(&self) -> Option<BlockParams> {
+        self.meta.block
     }
 
     /// Degraded open: like [`BoraBag::open`], but instead of trusting the
@@ -154,17 +211,18 @@ impl<S: Storage> BoraBag<S> {
         if let Some(manifest) = bag.manifest.as_ref() {
             for topic in bag.topics().into_iter().map(str::to_owned).collect::<Vec<_>>() {
                 let paths = bag.tags.lookup(&topic, ctx)?.clone();
-                let intact = [&paths.data, &paths.index, &paths.tindex].iter().all(|p| {
-                    let rel = match rel_path(&bag.root, p) {
-                        Some(r) => r,
-                        None => return false,
-                    };
-                    match manifest.entry(rel) {
-                        // Unlisted file: nothing to verify against.
-                        None => true,
-                        Some(e) => bag.storage.len(p, ctx).map(|l| l == e.len).unwrap_or(false),
-                    }
-                });
+                let intact =
+                    [&paths.data, &paths.index, &paths.tindex, &paths.blocks].iter().all(|p| {
+                        let rel = match rel_path(&bag.root, p) {
+                            Some(r) => r,
+                            None => return false,
+                        };
+                        match manifest.entry(rel) {
+                            // Unlisted file: nothing to verify against.
+                            None => true,
+                            Some(e) => bag.storage.len(p, ctx).map(|l| l == e.len).unwrap_or(false),
+                        }
+                    });
                 if !intact {
                     damaged_topics.push(topic);
                 }
@@ -254,6 +312,105 @@ impl<S: Storage> BoraBag<S> {
         Ok(bytes)
     }
 
+    /// Load (and cache) one topic's block map.
+    pub(crate) fn block_map(
+        &self,
+        topic: &str,
+        paths: &TopicPaths,
+        ctx: &mut IoCtx,
+    ) -> BoraResult<Arc<BlockMap>> {
+        if let Some(m) = self.block_maps.lock().get(topic) {
+            return Ok(Arc::clone(m));
+        }
+        let bytes = self.verified_read_all(&paths.blocks, Some(topic), ctx)?;
+        let map = Arc::new(BlockMap::decode(&bytes)?);
+        self.block_maps.lock().insert(topic.to_owned(), Arc::clone(&map));
+        Ok(map)
+    }
+
+    /// Resolve how `topic`'s data file is read: direct, pool-paged, or
+    /// block-decoded — see [`DataSource`].
+    pub(crate) fn data_source(
+        &self,
+        topic: &str,
+        paths: &TopicPaths,
+        ctx: &mut IoCtx,
+    ) -> BoraResult<DataSource> {
+        if self.meta.block.is_some() {
+            return Ok(DataSource::Blocked { map: self.block_map(topic, paths, ctx)? });
+        }
+        // v1 stays direct even when a pool is attached — see [`DataSource`].
+        Ok(DataSource::RawDirect)
+    }
+
+    /// One decoded page of a block-framed topic (logical block `page`),
+    /// through the pool when attached: on a pool hit no storage read and
+    /// no decompression runs at all.
+    fn block_page(
+        &self,
+        paths: &TopicPaths,
+        map: &BlockMap,
+        page: usize,
+        ctx: &mut IoCtx,
+    ) -> BoraResult<Arc<[u8]>> {
+        let e = map.entries[page];
+        let rel = rel_path(&self.root, &paths.data).unwrap_or(&paths.data).to_owned();
+        let storage = &self.storage;
+        let data_path = &paths.data;
+        let fill = move |ctx: &mut IoCtx| -> BoraResult<Vec<u8>> {
+            let frame = storage.read_at(data_path, e.phys_off, e.frame_len as usize, ctx)?;
+            let (logical, _) = decode_frame(&frame, &rel, ctx)?;
+            Ok(logical)
+        };
+        match &self.pool {
+            Some(pool) => Ok(pool.get_or_fill(&paths.data, page as u64, || fill(ctx))?.0.bytes()),
+            None => Ok(Arc::from(fill(ctx)?)),
+        }
+    }
+
+    /// Fetch logical range `[start, start+len)` of a topic's data file
+    /// through `src`. Pool hits cost no storage I/O and no decode.
+    pub(crate) fn fetch_logical(
+        &self,
+        paths: &TopicPaths,
+        src: &DataSource,
+        start: u64,
+        len: usize,
+        ctx: &mut IoCtx,
+    ) -> BoraResult<Vec<u8>> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let page_size = match src {
+            DataSource::RawDirect => {
+                return Ok(self.storage.read_at(&paths.data, start, len, ctx)?)
+            }
+            DataSource::Blocked { map } => map.block_size as u64,
+        };
+        let mut out = Vec::with_capacity(len);
+        let end = start + len as u64;
+        let mut off = start;
+        while off < end {
+            let page = off / page_size;
+            let page_start = page * page_size;
+            let bytes = match src {
+                DataSource::Blocked { map } => self.block_page(paths, map, page as usize, ctx)?,
+                DataSource::RawDirect => unreachable!(),
+            };
+            let lo = (off - page_start) as usize;
+            let hi = ((end - page_start) as usize).min(bytes.len());
+            if hi <= lo {
+                return Err(BoraError::Corrupt(format!(
+                    "{}: read past end of page {page}",
+                    paths.data
+                )));
+            }
+            out.extend_from_slice(&bytes[lo..hi]);
+            off = page_start + hi as u64;
+        }
+        Ok(out)
+    }
+
     pub fn root(&self) -> &str {
         &self.root
     }
@@ -310,7 +467,18 @@ impl<S: Storage> BoraBag<S> {
             let bytes = self.verified_read_all(&paths.index, Some(topic), ctx)?;
             decode_entries(&bytes)?
         };
-        let data = self.verified_read_all(&paths.data, Some(topic), ctx)?;
+        let src = self.data_source(topic, &paths, ctx)?;
+        let data = match &src {
+            DataSource::RawDirect => self.verified_read_all(&paths.data, Some(topic), ctx)?,
+            _ => {
+                let total = src.logical_len().unwrap_or(0);
+                self.fetch_logical(&paths, &src, 0, total as usize, ctx).inspect_err(|e| {
+                    if let BoraError::ChecksumMismatch { .. } = e {
+                        self.quarantine(topic);
+                    }
+                })?
+            }
+        };
         Ok((index, data))
     }
 
@@ -421,7 +589,24 @@ impl<S: Storage> BoraBag<S> {
             let paths = self.tags.lookup(&topic, ctx)?.clone();
             let data_len = self.storage.len(&paths.data, ctx)?;
             let covered: u64 = entries.iter().map(|e| e.len as u64).sum();
-            if covered != data_len {
+            if self.meta.block.is_some() {
+                // Block-framed topic: the index tiles the *logical*
+                // stream the map describes; the physical file must match
+                // the map's frame lengths.
+                let map = self.block_map(&topic, &paths, ctx)?;
+                if covered != map.logical_len {
+                    return Err(BoraError::Corrupt(format!(
+                        "{topic}: index covers {covered} bytes, block map logs {}",
+                        map.logical_len
+                    )));
+                }
+                if map.phys_len() != data_len {
+                    return Err(BoraError::Corrupt(format!(
+                        "{topic}: block map frames total {} bytes, data file has {data_len}",
+                        map.phys_len()
+                    )));
+                }
+            } else if covered != data_len {
                 return Err(BoraError::Corrupt(format!(
                     "{topic}: index covers {covered} bytes, data file has {data_len}"
                 )));

@@ -21,6 +21,9 @@ pub const DATA_FILE: &str = "data";
 pub const INDEX_FILE: &str = "index";
 /// Per-topic coarse-grain time index file.
 pub const TINDEX_FILE: &str = "tindex";
+/// Per-topic block map file (present only when the topic's `data` file
+/// is block-framed — see [`crate::block`]).
+pub const BLOCKS_FILE: &str = "blocks";
 
 /// Encode a topic name as a directory component.
 ///
@@ -72,6 +75,7 @@ pub struct TopicPaths {
     pub data: String,
     pub index: String,
     pub tindex: String,
+    pub blocks: String,
 }
 
 impl TopicPaths {
@@ -82,6 +86,7 @@ impl TopicPaths {
             data: format!("{dir}/{DATA_FILE}"),
             index: format!("{dir}/{INDEX_FILE}"),
             tindex: format!("{dir}/{TINDEX_FILE}"),
+            blocks: format!("{dir}/{BLOCKS_FILE}"),
             dir,
         }
     }
@@ -93,6 +98,7 @@ impl TopicPaths {
             data: format!("{dir}/{DATA_FILE}"),
             index: format!("{dir}/{INDEX_FILE}"),
             tindex: format!("{dir}/{TINDEX_FILE}"),
+            blocks: format!("{dir}/{BLOCKS_FILE}"),
             dir,
         }
     }
@@ -157,6 +163,7 @@ mod tests {
         assert_eq!(p.data, "/mnt/bags/bag1/camera%rgb%camera_info/data");
         assert_eq!(p.index, "/mnt/bags/bag1/camera%rgb%camera_info/index");
         assert_eq!(p.tindex, "/mnt/bags/bag1/camera%rgb%camera_info/tindex");
+        assert_eq!(p.blocks, "/mnt/bags/bag1/camera%rgb%camera_info/blocks");
     }
 
     #[test]

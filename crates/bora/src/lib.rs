@@ -65,7 +65,9 @@
 //! assert_eq!(msgs.len(), 10);
 //! ```
 
+pub mod block;
 pub mod borafs;
+pub mod bufpool;
 pub mod checksum;
 pub mod container;
 pub mod error;
@@ -81,7 +83,9 @@ pub mod tag;
 pub mod time_index;
 pub mod topic_index;
 
+pub use block::{BlockCodec, BlockMap, BlockParams, BlockWriter};
 pub use borafs::{BoraFs, BoraFsOptions};
+pub use bufpool::{BufferPool, PageRef, PoolStats};
 pub use checksum::{crc32c, Crc32c};
 pub use container::{merge_streams_heap, merge_streams_linear, BoraBag};
 pub use error::{BoraError, BoraResult};

@@ -8,10 +8,16 @@
 use ros_msgs::wire::{WireRead, WireWrite};
 use ros_msgs::Time;
 
+use crate::block::{BlockCodec, BlockParams};
 use crate::error::{BoraError, BoraResult};
 
 const META_MAGIC: u32 = 0x42_4F_52_41; // "BORA"
+/// v1: raw per-topic `data` files. v2 appends the container's block
+/// parameters (codec + block size); a container without block framing
+/// still encodes as v1, so pre-block readers and byte-identity tests
+/// keep working unchanged.
 const META_VERSION: u32 = 1;
+const META_VERSION_BLOCKS: u32 = 2;
 
 /// Metadata for one topic stored in the container.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +40,10 @@ pub struct ContainerMeta {
     pub window_ns: u64,
     /// Size of the source bag file, for reporting.
     pub source_bag_len: u64,
+    /// Block framing of every topic's `data` file, when the container
+    /// was written with compressed columnar blocks (metadata v2).
+    /// `None` = plain v1 layout, read exactly as before.
+    pub block: Option<BlockParams>,
 }
 
 impl ContainerMeta {
@@ -52,7 +62,7 @@ impl ContainerMeta {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.put_u32(META_MAGIC);
-        out.put_u32(META_VERSION);
+        out.put_u32(if self.block.is_some() { META_VERSION_BLOCKS } else { META_VERSION });
         out.put_time(self.start_time);
         out.put_time(self.end_time);
         out.put_u64(self.window_ns);
@@ -66,6 +76,10 @@ impl ContainerMeta {
             out.put_u64(t.message_count);
             out.put_u64(t.bytes);
         }
+        if let Some(b) = self.block {
+            out.push(b.codec.id());
+            out.put_u32(b.block_size);
+        }
         out
     }
 
@@ -75,7 +89,7 @@ impl ContainerMeta {
             return Err(BoraError::Corrupt("metadata magic mismatch".into()));
         }
         let ver = cur.get_u32()?;
-        if ver != META_VERSION {
+        if ver != META_VERSION && ver != META_VERSION_BLOCKS {
             return Err(BoraError::Corrupt(format!("unsupported metadata version {ver}")));
         }
         let start_time = cur.get_time()?;
@@ -94,10 +108,20 @@ impl ContainerMeta {
                 bytes: cur.get_u64()?,
             });
         }
+        let block = if ver >= META_VERSION_BLOCKS {
+            let codec = BlockCodec::from_id(cur.get_u8()?)?;
+            let block_size = cur.get_u32()?;
+            if block_size == 0 {
+                return Err(BoraError::Corrupt("metadata block size is zero".into()));
+            }
+            Some(BlockParams { codec, block_size })
+        } else {
+            None
+        };
         if cur.remaining() != 0 {
             return Err(BoraError::Corrupt("trailing bytes in metadata".into()));
         }
-        Ok(ContainerMeta { topics, start_time, end_time, window_ns, source_bag_len })
+        Ok(ContainerMeta { topics, start_time, end_time, window_ns, source_bag_len, block })
     }
 }
 
@@ -129,6 +153,7 @@ mod tests {
             end_time: Time::new(187, 500),
             window_ns: 5_000_000_000,
             source_bag_len: 2_900_000_000,
+            block: None,
         }
     }
 
@@ -162,5 +187,20 @@ mod tests {
     fn empty_meta_round_trips() {
         let m = ContainerMeta::default();
         assert_eq!(ContainerMeta::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn v2_block_params_round_trip_and_v1_stays_bit_identical() {
+        let mut m = sample();
+        let v1_bytes = m.encode();
+        m.block = Some(BlockParams { codec: BlockCodec::Lzss, block_size: 64 * 1024 });
+        let v2_bytes = m.encode();
+        assert_eq!(ContainerMeta::decode(&v2_bytes).unwrap(), m);
+        // v2 is v1 plus appended fields and a bumped version word —
+        // nothing in the shared prefix moved.
+        assert_eq!(v2_bytes.len(), v1_bytes.len() + 5);
+        assert_eq!(&v2_bytes[8..v1_bytes.len()], &v1_bytes[8..]);
+        // A truncated v2 (claims blocks, lacks the fields) is rejected.
+        assert!(ContainerMeta::decode(&v2_bytes[..v1_bytes.len()]).is_err());
     }
 }

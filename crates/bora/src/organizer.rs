@@ -31,11 +31,12 @@ use rosbag::BagReader;
 use simfs::device::cpu;
 use simfs::{IoCtx, Storage};
 
+use crate::block::{BlockParams, BlockWriter};
 use crate::checksum::{crc32c, Crc32c};
 use crate::error::{BoraError, BoraResult};
 use crate::layout::{
-    encode_topic, manifest_path, meta_path, staging_path, TopicPaths, DATA_FILE, INDEX_FILE,
-    META_FILE, TINDEX_FILE,
+    encode_topic, manifest_path, meta_path, staging_path, TopicPaths, BLOCKS_FILE, DATA_FILE,
+    INDEX_FILE, META_FILE, TINDEX_FILE,
 };
 use crate::manifest::{Manifest, ManifestEntry};
 use crate::meta::{ContainerMeta, TopicMeta};
@@ -55,6 +56,10 @@ pub struct OrganizerOptions {
     /// this size so the one-time capture stays within the paper's
     /// 10-51% overhead band instead of paying a device op per message.
     pub write_buffer: usize,
+    /// Block-frame every topic's `data` file (delta-timed `blocks` map +
+    /// optional per-block LZSS — see [`crate::block`]). `None` writes
+    /// the classic v1 layout byte-for-byte.
+    pub block: Option<BlockParams>,
 }
 
 impl Default for OrganizerOptions {
@@ -64,6 +69,7 @@ impl Default for OrganizerOptions {
             window_ns: DEFAULT_WINDOW_NS,
             channel_capacity: 256,
             write_buffer: 1024 * 1024,
+            block: None,
         }
     }
 }
@@ -214,6 +220,13 @@ pub fn duplicate<SS: Storage, DS: Storage>(
                 // are buffered, so the MANIFEST costs no extra reads.
                 let mut crcs: HashMap<u32, Crc32c> =
                     my_conns.iter().map(|&c| (c, Crc32c::new())).collect();
+                // Block-framed mode: a BlockWriter per topic turns the
+                // logical payload stream into compressed frames; index
+                // offsets stay logical either way.
+                let mut blockw: HashMap<u32, BlockWriter> = match opts.block {
+                    Some(bp) => my_conns.iter().map(|&c| (c, BlockWriter::new(bp))).collect(),
+                    None => HashMap::new(),
+                };
                 for (conn_id, time, payload) in rx.iter() {
                     let slot = per_conn.get_mut(&conn_id).expect("sharded conn");
                     slot.0.push(TopicIndexEntry {
@@ -223,6 +236,15 @@ pub fn duplicate<SS: Storage, DS: Storage>(
                     });
                     slot.1 += payload.len() as u64;
                     dctx.charge_ns(cpu::INDEX_ENTRY_NS);
+                    if opts.block.is_some() {
+                        let w = blockw.get_mut(&conn_id).expect("sharded conn");
+                        w.push(time, &payload, &mut dctx);
+                        if w.pending_output() >= opts.write_buffer {
+                            let frames = w.take_output();
+                            dst.append(&topic_paths[&conn_id].data, &frames, &mut dctx)?;
+                        }
+                        continue;
+                    }
                     crcs.get_mut(&conn_id).expect("sharded conn").update(&payload);
                     let buf = buffers.get_mut(&conn_id).expect("sharded conn");
                     buf.extend_from_slice(&payload);
@@ -232,16 +254,29 @@ pub fn duplicate<SS: Storage, DS: Storage>(
                     }
                 }
                 // Channel closed: flush remainders, persist indices.
-                for (&conn_id, buf) in &buffers {
-                    if !buf.is_empty() {
-                        dst.append(&topic_paths[&conn_id].data, buf, &mut dctx)?;
+                // conn → (physical data len, physical data crc, map bytes)
+                let mut block_files: HashMap<u32, (u64, u32, Vec<u8>)> = HashMap::new();
+                if opts.block.is_some() {
+                    for &conn_id in &my_conns {
+                        let w = blockw.remove(&conn_id).expect("sharded conn");
+                        let (tail, map, phys_len, phys_crc) = w.finish(&mut dctx);
+                        dst.append(&topic_paths[&conn_id].data, &tail, &mut dctx)?;
+                        let map_bytes = map.encode();
+                        dst.append(&topic_paths[&conn_id].blocks, &map_bytes, &mut dctx)?;
+                        block_files.insert(conn_id, (phys_len, phys_crc, map_bytes));
                     }
-                    // Topics with zero messages still need their files.
-                    if buf.is_empty() && per_conn[&conn_id].1 == 0 {
-                        dst.append(&topic_paths[&conn_id].data, &[], &mut dctx)?;
+                } else {
+                    for (&conn_id, buf) in &buffers {
+                        if !buf.is_empty() {
+                            dst.append(&topic_paths[&conn_id].data, buf, &mut dctx)?;
+                        }
+                        // Topics with zero messages still need their files.
+                        if buf.is_empty() && per_conn[&conn_id].1 == 0 {
+                            dst.append(&topic_paths[&conn_id].data, &[], &mut dctx)?;
+                        }
                     }
                 }
-                let mut files = Vec::with_capacity(my_conns.len() * 3);
+                let mut files = Vec::with_capacity(my_conns.len() * 4);
                 for (&conn_id, (entries, bytes)) in &per_conn {
                     let paths = &topic_paths[&conn_id];
                     let dir = &topic_dirs[&conn_id];
@@ -250,11 +285,25 @@ pub fn duplicate<SS: Storage, DS: Storage>(
                     let tindex = TimeIndex::build(entries, opts.window_ns);
                     let tindex_bytes = tindex.encode();
                     dst.append(&paths.tindex, &tindex_bytes, &mut dctx)?;
-                    files.push(ManifestEntry {
-                        path: format!("{dir}/{DATA_FILE}"),
-                        len: *bytes,
-                        crc32c: crcs[&conn_id].finish(),
-                    });
+                    match block_files.get(&conn_id) {
+                        Some((phys_len, phys_crc, map_bytes)) => {
+                            files.push(ManifestEntry {
+                                path: format!("{dir}/{DATA_FILE}"),
+                                len: *phys_len,
+                                crc32c: *phys_crc,
+                            });
+                            files.push(ManifestEntry {
+                                path: format!("{dir}/{BLOCKS_FILE}"),
+                                len: map_bytes.len() as u64,
+                                crc32c: crc32c(map_bytes),
+                            });
+                        }
+                        None => files.push(ManifestEntry {
+                            path: format!("{dir}/{DATA_FILE}"),
+                            len: *bytes,
+                            crc32c: crcs[&conn_id].finish(),
+                        }),
+                    }
                     files.push(ManifestEntry {
                         path: format!("{dir}/{INDEX_FILE}"),
                         len: index_bytes.len() as u64,
@@ -353,6 +402,7 @@ pub fn duplicate<SS: Storage, DS: Storage>(
         end_time: if messages > 0 { end_time } else { Time::ZERO },
         window_ns: opts.window_ns,
         source_bag_len: src_len,
+        block: opts.block,
     };
     let meta_bytes = meta.encode();
     dst.append(&meta_path(&stage), &meta_bytes, ctx)?;

@@ -201,6 +201,7 @@ impl<S: Storage> BoraRecorder<S> {
             end_time: if self.messages > 0 { self.end } else { Time::ZERO },
             window_ns: self.opts.window_ns,
             source_bag_len: 0, // no source bag: recorded online
+            block: None,       // live recording stays plain v1 layout
         };
         self.storage.append(&meta_path(&self.root), &meta.encode(), ctx)?;
         self.storage.flush(&meta_path(&self.root), ctx)?;

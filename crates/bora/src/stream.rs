@@ -46,7 +46,7 @@ use simfs::device::cpu;
 use simfs::{IoCtx, Storage};
 
 use crate::checksum::Crc32c;
-use crate::container::{BoraBag, FUSE_DELIVERY_NS};
+use crate::container::{BoraBag, DataSource, FUSE_DELIVERY_NS};
 use crate::error::{BoraError, BoraResult};
 use crate::layout::TopicPaths;
 use crate::topic_index::{decode_entries, slice_time_range, TopicIndexEntry, ENTRY_SIZE};
@@ -172,8 +172,13 @@ struct TopicCursor {
     /// (topics not yet compacted into the container) skip index loading
     /// and fills entirely.
     container_backed: bool,
+    /// How the data file is physically read: direct or block-decoded
+    /// (resolved once at prepare).
+    src: DataSource,
     /// Running CRC over the whole data file + manifest expectation, when
-    /// this is a verifying full-file stream.
+    /// this is a verifying full-file direct stream. Block-framed reads
+    /// verify per block at fill time instead (a pool hit must not depend
+    /// on having streamed the whole file).
     verify: Option<(Crc32c, u64, u32, String)>,
     /// This cursor's share of the virtual clock (prefetch I/O).
     ctx: IoCtx,
@@ -197,7 +202,7 @@ impl TopicCursor {
     /// queued (always at least one entry per run, so oversized messages
     /// still stream). Folds verifying streams' chunks into the running
     /// CRC and checks it when the last chunk lands.
-    fn fill<S: Storage>(&mut self, storage: &S, readahead: usize) -> BoraResult<()> {
+    fn fill<S: Storage>(&mut self, bag: &BoraBag<S>, readahead: usize) -> BoraResult<()> {
         while self.fetched < self.entries.len() && self.queued_bytes < readahead {
             let run_start = self.entries[self.fetched].offset;
             let mut end_idx = self.fetched;
@@ -217,7 +222,12 @@ impl TopicCursor {
                 end_idx = self.fetched + 1;
             }
             let len = (run_end - run_start) as usize;
-            let bytes = storage.read_at(&self.paths.data, run_start, len, &mut self.ctx)?;
+            let bytes = match &self.src {
+                DataSource::RawDirect => {
+                    bag.storage.read_at(&self.paths.data, run_start, len, &mut self.ctx)?
+                }
+                src => bag.fetch_logical(&self.paths, src, run_start, len, &mut self.ctx)?,
+            };
             if let Some((crc, expected_len, expected_crc, rel)) = self.verify.as_mut() {
                 crc.update(&bytes);
                 if end_idx == self.entries.len() {
@@ -360,6 +370,7 @@ impl<'a, S: Storage> MessageStream<'a, S> {
                 tail,
                 tail_next: 0,
                 container_backed,
+                src: DataSource::RawDirect,
                 verify: None,
                 ctx: IoCtx::with_concurrency(ctx.concurrency),
                 failed: None,
@@ -598,6 +609,7 @@ fn prepare_and_fill<S: Storage>(
         return Ok(());
     }
     if prepare {
+        cursor.src = bag.data_source(&cursor.topic, &cursor.paths, &mut cursor.ctx)?;
         match range {
             None => {
                 let bytes = bag.verified_read_all(
@@ -608,8 +620,11 @@ fn prepare_and_fill<S: Storage>(
                 cursor.entries = decode_entries(&bytes)?;
                 cursor.ctx.charge_ns(cursor.entries.len() as u64 * cpu::INDEX_ENTRY_NS);
                 // Arm end-to-end verification when the manifest knows the
-                // data file.
-                cursor.verify = bag.manifest_expectation(&cursor.paths.data);
+                // data file and the cursor reads it directly; pooled and
+                // blocked sources verify per page/frame instead.
+                if matches!(cursor.src, DataSource::RawDirect) {
+                    cursor.verify = bag.manifest_expectation(&cursor.paths.data);
+                }
             }
             Some((start, end)) => {
                 let tindex = {
@@ -640,5 +655,5 @@ fn prepare_and_fill<S: Storage>(
             }
         }
     }
-    cursor.fill(&bag.storage, readahead)
+    cursor.fill(bag, readahead)
 }

@@ -165,6 +165,9 @@ pub mod cpu {
     pub const DESERIALIZE_BYTE_NS: u64 = 1;
     /// Decompressing one chunk byte (LZSS-class codecs run at ~GB/s).
     pub const DECOMPRESS_BYTE_NS: u64 = 1;
+    /// Compressing one byte (match search makes encode several times
+    /// slower than decode for LZSS-class codecs).
+    pub const COMPRESS_BYTE_NS: u64 = 4;
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ const ROOT: &str = "/live";
 const TOPICS: [&str; 2] = ["/imu", "/cam"];
 
 fn cfg() -> IngestConfig {
-    IngestConfig { wal_shards: 2, group_commit: 1, window_ns: 1_000 }
+    IngestConfig { wal_shards: 2, group_commit: 1, window_ns: 1_000, block: None }
 }
 
 /// Deterministic workload: (topic, time, payload) in append order,
