@@ -1,0 +1,92 @@
+//! Micro-benchmarks for the query layer's hot paths.
+//!
+//! The load-bearing numbers:
+//! * `prepare` — lex + parse + plan + optimize for a representative
+//!   statement; this is per-query overhead on every wire request, so it
+//!   must stay far below execution cost;
+//! * `exec_scan_project` / `exec_window_agg` — the per-message executor
+//!   cost over in-memory records (field extraction, filter eval,
+//!   aggregate update), isolated from storage;
+//! * `merge_partials` — the router's per-fragment merge cost for a
+//!   distributed aggregate;
+//! * `encode_rows` / `decode_rows` — the wire codec for result rows,
+//!   paid once per row on every served query.
+
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use bora_query::{decode_rows, encode_rows, merge_partials, prepare, Row};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ros_msgs::sensor_msgs::Imu;
+use ros_msgs::{RosMessage, Time};
+use rosbag::reader::MessageRecord;
+
+const SQL: &str = "SELECT window, count(), mean(angular_velocity.x), max(angular_velocity.x) \
+                   FROM '/imu' WHERE time >= 10.0 AND time < 500.0 WINDOW 5s";
+
+fn imu_records(n: u32) -> (Vec<MessageRecord>, HashMap<String, String>) {
+    let mut recs = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let t = Time::from_nanos(1_000_000_000 + i as u64 * 100_000_000);
+        let mut imu = Imu::default();
+        imu.header.seq = i;
+        imu.header.stamp = t;
+        imu.angular_velocity.x = (i % 100) as f64 * 0.01;
+        recs.push(MessageRecord {
+            conn_id: 0,
+            topic: "/imu".into(),
+            time: t,
+            data: imu.to_bytes(),
+        });
+    }
+    (recs, HashMap::from([("/imu".to_owned(), Imu::DATATYPE.to_owned())]))
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    group.sample_size(60);
+
+    group.bench_function("prepare", |b| {
+        b.iter(|| prepare(black_box(SQL)).unwrap());
+    });
+
+    let (recs, dts) = imu_records(4096);
+
+    let run = |sql: &str, recs: &[MessageRecord], dts: &HashMap<String, String>| -> Vec<Row> {
+        let p = prepare(sql).unwrap();
+        let mut cur = p.cursor_records(recs.to_vec(), dts.clone(), false).unwrap();
+        cur.collect_rows().unwrap()
+    };
+
+    group.bench_function("exec_scan_project", |b| {
+        b.iter(|| run(black_box("SELECT time, angular_velocity.x FROM '/imu'"), &recs, &dts));
+    });
+    group.bench_function("exec_window_agg", |b| {
+        b.iter(|| run(black_box(SQL), &recs, &dts));
+    });
+
+    // Partial merge: three fragments' worth of per-window states.
+    let p = prepare(SQL).unwrap();
+    let partial: Vec<Row> = {
+        let mut cur = p.cursor_records(recs.clone(), dts.clone(), true).unwrap();
+        cur.collect_rows().unwrap()
+    };
+    let partials = vec![partial.clone(), partial.clone(), partial];
+    group.bench_function("merge_partials", |b| {
+        b.iter(|| merge_partials(black_box(&p.plan), black_box(&partials)).unwrap());
+    });
+
+    let rows = run(SQL, &recs, &dts);
+    group.bench_function("encode_rows", |b| {
+        b.iter(|| encode_rows(black_box(&rows)));
+    });
+    let blob = encode_rows(&rows);
+    group.bench_function("decode_rows", |b| {
+        b.iter(|| decode_rows(black_box(&blob)).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

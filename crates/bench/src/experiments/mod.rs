@@ -7,6 +7,7 @@ pub mod ext_cluster;
 pub mod ext_crash;
 pub mod ext_ingest;
 pub mod ext_pool;
+pub mod ext_query;
 pub mod ext_stream;
 pub mod extensions;
 pub mod fig10;
@@ -206,6 +207,13 @@ pub fn registry() -> Vec<Experiment> {
                 "Extension: global buffer pool + compressed topic blocks — cold/hot scans, \
                  budget sweep, heal traffic",
             run: ext_pool::run,
+        },
+        Experiment {
+            id: "ext_query",
+            paper_ref: "extension",
+            description: "Extension: bora-query — pushdown selectivity sweep, distributed partial \
+                 aggregation wire cost",
+            run: ext_query::run,
         },
         Experiment {
             id: "open21g",

@@ -168,6 +168,7 @@ fn all_codes() -> Vec<ErrorCode> {
         ErrorCode::ShuttingDown,
         ErrorCode::ChecksumMismatch,
         ErrorCode::DeadlineExceeded,
+        ErrorCode::BadQuery,
     ];
     for c in &codes {
         match c {
@@ -178,7 +179,8 @@ fn all_codes() -> Vec<ErrorCode> {
             | ErrorCode::BadRequest
             | ErrorCode::ShuttingDown
             | ErrorCode::ChecksumMismatch
-            | ErrorCode::DeadlineExceeded => {}
+            | ErrorCode::DeadlineExceeded
+            | ErrorCode::BadQuery => {}
         }
     }
     codes
@@ -215,7 +217,8 @@ fn should_failover_classifies_every_variant() {
             | ErrorCode::UnknownTopic
             | ErrorCode::Corrupt
             | ErrorCode::BadRequest
-            | ErrorCode::DeadlineExceeded => false,
+            | ErrorCode::DeadlineExceeded
+            | ErrorCode::BadQuery => false,
         };
         assert_eq!(
             should_failover(&e),

@@ -30,8 +30,9 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use bora_serve::{
-    ClientError, ClientResult, Connection, ErrorCode, MetricsReport, PingInfo, ProtoError, Request,
-    Response, RetryBudget, RetryBudgetConfig, ServeClient, StatsSnapshot, Transport, WireMessage,
+    ClientError, ClientResult, Connection, ErrorCode, MetricsReport, PingInfo, ProtoError,
+    QueryReply, Request, Response, RetryBudget, RetryBudgetConfig, ServeClient, StatsSnapshot,
+    Transport, WireMessage,
 };
 use crossbeam::channel::{self, RecvTimeoutError};
 use ros_msgs::Time;
@@ -189,6 +190,13 @@ impl<T: Transport> NodeEndpoint<T> {
 /// topic, not a container, corrupt) answer the same everywhere.
 pub fn should_failover(e: &ClientError) -> bool {
     e.is_transient() || matches!(e, ClientError::Server { code: ErrorCode::ShuttingDown, .. })
+}
+
+/// A statement the router itself cannot compile maps to the same wire
+/// error a node would have answered with — callers see one error shape
+/// whether the fault is caught router-side or node-side.
+fn bad_query(e: bora_query::QueryError) -> ClientError {
+    ClientError::Server { code: ErrorCode::BadQuery, message: e.to_string() }
 }
 
 fn no_nodes(container: &str) -> ClientError {
@@ -662,6 +670,98 @@ where
             lanes.push(self.read_stream_inner(c, topics, range)?);
         }
         MergedStream::new(lanes)
+    }
+
+    /// Run a declarative query against one container, routed to a node
+    /// that holds it (with the usual failover/breaker machinery).
+    pub fn query(&self, container: &str, sql: &str) -> ClientResult<QueryReply> {
+        self.query_multi(&[container], sql)
+    }
+
+    /// Run one query across many containers — the distributed plan from
+    /// `bora-query`'s `distrib` module:
+    ///
+    /// * **aggregate** queries ship a partial-aggregate fragment to each
+    ///   container's node and merge the flattened per-window states at
+    ///   the router in container order
+    ///   ([`bora_query::merge_partials`]), then finalize and apply
+    ///   LIMIT — so the result bytes are identical whether one node owns
+    ///   every container or each lives elsewhere;
+    /// * **everything else** ships the statement as-is and concatenates
+    ///   rows in container order, re-applying the global LIMIT.
+    ///
+    /// `EXPLAIN` renders the router's plan without executing anything;
+    /// `EXPLAIN ANALYZE` executes and appends one line per fragment
+    /// (container, rows shipped, wire bytes). The reply's `wire_bytes`
+    /// sums the response payload bytes of every fragment — the number
+    /// the `ext_query` experiment compares against a row-shipping plan.
+    pub fn query_multi(&self, containers: &[&str], sql: &str) -> ClientResult<QueryReply> {
+        let _sp = bora_obs::span("cluster.query");
+        let p = bora_query::prepare(sql).map_err(bad_query)?;
+        if containers.is_empty() {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "query over an empty container list",
+            )));
+        }
+        if p.explain_mode() == bora_query::ExplainMode::Plan {
+            return Ok(QueryReply {
+                columns: p.plan.columns.clone(),
+                explain: bora_query::explain_text(&p, None),
+                ..QueryReply::default()
+            });
+        }
+
+        let agg = p.plan.agg.is_some();
+        let frag = if agg {
+            bora_query::partial_fragment(&p.query)
+        } else {
+            bora_query::rowship_query(&p.query)
+        };
+        let mut wire_bytes = 0u64;
+        let mut frag_lines = String::new();
+        let mut per_container: Vec<Vec<bora_query::Row>> = Vec::with_capacity(containers.len());
+        for c in containers {
+            let reply = self.with_failover(c, |cl| {
+                if agg {
+                    cl.query_partial(c, &frag)
+                } else {
+                    cl.query(c, &frag)
+                }
+            })?;
+            wire_bytes += reply.wire_bytes;
+            if p.explain_mode() == bora_query::ExplainMode::Analyze {
+                frag_lines.push_str(&format!(
+                    "fragment '{c}': rows={} bytes={} {}\n",
+                    reply.rows_total,
+                    reply.wire_bytes,
+                    if agg { "partial-aggregate" } else { "row-ship" },
+                ));
+            }
+            per_container.push(reply.rows);
+        }
+
+        let rows = if agg {
+            bora_query::merge_partials(&p.plan, &per_container).map_err(bad_query)?
+        } else {
+            let mut rows: Vec<bora_query::Row> = per_container.into_iter().flatten().collect();
+            if let Some(n) = p.plan.limit {
+                rows.truncate(n as usize);
+            }
+            rows
+        };
+        let explain = if p.explain_mode() == bora_query::ExplainMode::Analyze {
+            format!("{}{}", bora_query::explain_text(&p, None), frag_lines)
+        } else {
+            String::new()
+        };
+        Ok(QueryReply {
+            columns: p.plan.columns.clone(),
+            rows_total: rows.len() as u64,
+            rows,
+            explain,
+            wire_bytes,
+        })
     }
 
     /// Health-probe one node directly (not routed through the ring).

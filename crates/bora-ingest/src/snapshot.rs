@@ -9,7 +9,7 @@
 //! the same lane as an in-memory tail — so the result is byte-identical
 //! to querying the fully compacted container later.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use bora::error::BoraResult;
@@ -71,6 +71,16 @@ impl<S: Storage + Clone> Snapshot<S> {
         }
         set.extend(self.memtable.keys().cloned());
         Ok(set.into_iter().collect())
+    }
+
+    /// Topic → ROS datatype for every *compacted* topic. A topic that so
+    /// far exists only in the tail (sealed batches / memtable) has no
+    /// recorded datatype yet and is simply absent — the query layer then
+    /// treats its payloads as opaque and field paths read as null until
+    /// the next compaction lands the topic in a generation container.
+    pub fn datatypes(&self, ctx: &mut IoCtx) -> BoraResult<HashMap<String, String>> {
+        let bag = self.open_bag(ctx)?;
+        Ok(bag.meta().topics.iter().map(|t| (t.topic.clone(), t.datatype.clone())).collect())
     }
 
     /// Read whole topics in global time order — the mid-recording

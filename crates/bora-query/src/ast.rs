@@ -1,0 +1,270 @@
+//! Abstract syntax: what the parser produces and the planner consumes.
+//!
+//! The AST renders back to canonical SQL via `Display` — that is how the
+//! cluster router ships plan fragments to owning nodes (the fragment *is*
+//! a query), and how the property tests generate random-but-valid
+//! queries (build AST, render, parse, compare).
+
+use crate::value::{CmpOp, Value};
+
+/// Which side of a join a path refers to. `None` outside joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    None,
+    Left,
+    Right,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Min,
+    Max,
+    Mean,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Mean => "mean",
+        }
+    }
+}
+
+/// An expression. `pos` fields are byte offsets for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Lit(Value),
+    /// Field path: builtins (`time`, `topic`, `size`, `window`) or a
+    /// message field (`angular_velocity.x`), optionally side-prefixed
+    /// (`left.time`) inside a join.
+    Path {
+        side: Side,
+        parts: Vec<String>,
+        pos: usize,
+    },
+    Cmp {
+        op: CmpOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    /// Aggregate call; only legal in the SELECT list.
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+        pos: usize,
+    },
+}
+
+impl Expr {
+    /// Does any aggregate call appear in this expression?
+    pub fn has_agg(&self) -> bool {
+        match self {
+            Expr::Lit(_) | Expr::Path { .. } => false,
+            Expr::Cmp { lhs, rhs, .. } => lhs.has_agg() || rhs.has_agg(),
+            Expr::And(a, b) | Expr::Or(a, b) => a.has_agg() || b.has_agg(),
+            Expr::Not(e) => e.has_agg(),
+            Expr::Agg { .. } => true,
+        }
+    }
+
+    /// Byte position of the leftmost token, best-effort.
+    pub fn pos(&self) -> usize {
+        match self {
+            Expr::Path { pos, .. } | Expr::Agg { pos, .. } => *pos,
+            Expr::Cmp { lhs, .. } => lhs.pos(),
+            Expr::And(a, _) | Expr::Or(a, _) => a.pos(),
+            Expr::Not(e) => e.pos(),
+            Expr::Lit(_) => 0,
+        }
+    }
+
+    /// Visit every path in the expression.
+    pub fn walk_paths(&self, f: &mut impl FnMut(Side, &[String], usize)) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Path { side, parts, pos } => f(*side, parts, *pos),
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.walk_paths(f);
+                rhs.walk_paths(f);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.walk_paths(f);
+                b.walk_paths(f);
+            }
+            Expr::Not(e) => e.walk_paths(f),
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.walk_paths(f);
+                }
+            }
+        }
+    }
+}
+
+/// One SELECT-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+/// The SELECT list: `*` or explicit items.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Items {
+    Star,
+    List(Vec<Item>),
+}
+
+/// `JOIN '<topic>' WITHIN <dur>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSpec {
+    pub topic: String,
+    pub within_ns: u64,
+}
+
+/// A parsed SELECT statement (clauses in grammar order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: Items,
+    /// Topics of the FROM clause (merged chronologically). With `join`
+    /// set this is exactly one topic (the left side).
+    pub from: Vec<String>,
+    pub join: Option<JoinSpec>,
+    pub where_expr: Option<Expr>,
+    /// `SAMPLE EVERY n` — keep every n-th post-filter row.
+    pub sample_every: Option<u64>,
+    /// `WINDOW <dur>` — aggregate per time window of this many ns.
+    pub window_ns: Option<u64>,
+    pub limit: Option<u64>,
+}
+
+/// EXPLAIN wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainMode {
+    /// Execute and return rows.
+    None,
+    /// Plan only; nothing executes.
+    Plan,
+    /// Execute, return rows *and* the annotated plan.
+    Analyze,
+}
+
+/// A full query: optional EXPLAIN prefix plus the statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub explain: ExplainMode,
+    pub stmt: SelectStmt,
+}
+
+// ------------------------------------------------- canonical rendering
+
+fn fmt_dur(ns: u64, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    if ns.is_multiple_of(1_000_000_000) {
+        write!(f, "{}s", ns / 1_000_000_000)
+    } else if ns.is_multiple_of(1_000_000) {
+        write!(f, "{}ms", ns / 1_000_000)
+    } else if ns.is_multiple_of(1_000) {
+        write!(f, "{}us", ns / 1_000)
+    } else {
+        write!(f, "{ns}ns")
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Lit(Value::Null) => write!(f, "null"),
+            Expr::Lit(Value::Bool(b)) => write!(f, "{b}"),
+            Expr::Lit(Value::Int(v)) => write!(f, "{v}"),
+            Expr::Lit(Value::Float(v)) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Lit(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Path { side, parts, .. } => {
+                match side {
+                    Side::None => {}
+                    Side::Left => write!(f, "left.")?,
+                    Side::Right => write!(f, "right.")?,
+                }
+                write!(f, "{}", parts.join("."))
+            }
+            Expr::Cmp { op, lhs, rhs } => write!(f, "{lhs} {} {rhs}", op.symbol()),
+            // Parenthesize operands so precedence survives the round trip.
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::Agg { func, arg, .. } => match arg {
+                Some(a) => write!(f, "{}({a})", func.name()),
+                None => write!(f, "{}()", func.name()),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SELECT ")?;
+        match &self.items {
+            Items::Star => write!(f, "*")?,
+            Items::List(items) => {
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", it.expr)?;
+                    if let Some(a) = &it.alias {
+                        write!(f, " AS {a}")?;
+                    }
+                }
+            }
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "'{t}'")?;
+        }
+        if let Some(j) = &self.join {
+            write!(f, " JOIN '{}' WITHIN ", j.topic)?;
+            fmt_dur(j.within_ns, f)?;
+        }
+        if let Some(w) = &self.where_expr {
+            write!(f, " WHERE {w}")?;
+        }
+        if let Some(n) = self.sample_every {
+            write!(f, " SAMPLE EVERY {n}")?;
+        }
+        if let Some(w) = self.window_ns {
+            write!(f, " WINDOW ")?;
+            fmt_dur(w, f)?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.explain {
+            ExplainMode::None => {}
+            ExplainMode::Plan => write!(f, "EXPLAIN ")?,
+            ExplainMode::Analyze => write!(f, "EXPLAIN ANALYZE ")?,
+        }
+        write!(f, "{}", self.stmt)
+    }
+}

@@ -1,0 +1,207 @@
+//! `EXPLAIN` / `EXPLAIN ANALYZE` rendering.
+//!
+//! The linear plan renders as the operator tree the executor actually
+//! runs, outermost first. Plain `EXPLAIN` shows the shape (what got
+//! pushed down, what stayed residual); `EXPLAIN ANALYZE` appends the
+//! per-operator counters from [`ExecStats`] — row counts, bytes, block
+//! decodes, pool hits, virtual nanoseconds — so a selective predicate's
+//! skipped decodes are visible in the plan itself.
+
+use crate::exec::{ns_to_secs, ExecStats, Prepared};
+use crate::plan::{AggItem, PlanItems};
+
+fn fmt_range(range: Option<(u64, u64)>) -> String {
+    match range {
+        None => "full".to_owned(),
+        Some((lo, hi)) => format!("[{:.3}s, {:.3}s)", ns_to_secs(lo), ns_to_secs(hi)),
+    }
+}
+
+fn fmt_topics(topics: &[String]) -> String {
+    let quoted: Vec<String> = topics.iter().map(|t| format!("'{t}'")).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+/// One node: label plus optional analyze annotation.
+struct Node {
+    label: String,
+    analyzed: Option<String>,
+}
+
+fn nodes(p: &Prepared, stats: Option<&ExecStats>) -> Vec<Node> {
+    let plan = &p.plan;
+    let mut out = Vec::new();
+    if let Some(n) = plan.limit {
+        out.push(Node { label: format!("Limit {n}"), analyzed: None });
+    }
+    match &plan.items {
+        PlanItems::Aggs(items) => {
+            let agg = plan.agg.as_ref().unwrap();
+            let cols: Vec<String> = items
+                .iter()
+                .map(|it| match it {
+                    AggItem::Window => "window".to_owned(),
+                    AggItem::Agg(i) => {
+                        let s = &agg.specs[*i];
+                        match &s.arg {
+                            Some(a) => format!("{}({a})", s.func.name()),
+                            None => format!("{}()", s.func.name()),
+                        }
+                    }
+                })
+                .collect();
+            let window = match agg.window_ns {
+                Some(w) => format!(" window={:.3}s", ns_to_secs(w)),
+                None => String::new(),
+            };
+            out.push(Node {
+                label: format!("Aggregate [{}]{window}", cols.join(", ")),
+                analyzed: stats.map(|s| format!("groups={}", s.groups)),
+            });
+        }
+        _ => {
+            out.push(Node {
+                label: format!("Project [{}]", plan.columns.join(", ")),
+                analyzed: stats.map(|s| format!("rows={}", s.rows_out)),
+            });
+        }
+    }
+    if let Some(n) = plan.sample_every {
+        out.push(Node {
+            label: format!("Sample every {n}"),
+            analyzed: stats.map(|s| format!("dropped={}", s.sampled_out)),
+        });
+    }
+    if let Some(f) = &plan.filter {
+        out.push(Node {
+            label: format!("Filter {f}"),
+            analyzed: stats.map(|s| format!("dropped={}", s.filtered_out)),
+        });
+    }
+    if let Some(j) = &plan.join {
+        out.push(Node {
+            label: format!(
+                "Join '{}' ⨝ '{}' within {:.3}s",
+                j.left,
+                j.right,
+                ns_to_secs(j.within_ns)
+            ),
+            analyzed: stats.map(|s| format!("pairs={}", s.joined)),
+        });
+    }
+    let scan = &plan.scan;
+    let mut label =
+        format!("Scan topics={} range={}", fmt_topics(&scan.topics), fmt_range(scan.range));
+    if let Some(pf) = &scan.pushed_filter {
+        label.push_str(&format!(" pushed=({pf})"));
+    }
+    if !scan.pruned.is_empty() {
+        label.push_str(&format!(" pruned={}", fmt_topics(&scan.pruned)));
+    }
+    out.push(Node {
+        label,
+        analyzed: stats.map(|s| {
+            format!(
+                "rows={} bytes={} pushed_dropped={} block_decodes={} pool_hits={} virt_ms={:.3}",
+                s.scanned,
+                s.scan_bytes,
+                s.pushed_dropped,
+                s.block_decodes,
+                s.pool_hits,
+                s.virt_ns as f64 / 1e6,
+            )
+        }),
+    });
+    out
+}
+
+/// Text rendering: one operator per line, indented inner-to-outer.
+pub fn explain_text(p: &Prepared, stats: Option<&ExecStats>) -> String {
+    let mode = if p.plan.scan.pushdown { "on" } else { "off" };
+    let mut out = format!("Query [pushdown={mode}]\n");
+    for (depth, n) in nodes(p, stats).iter().enumerate() {
+        out.push_str(&"  ".repeat(depth + 1));
+        out.push_str(&n.label);
+        if let Some(a) = &n.analyzed {
+            out.push_str(&format!("  ({a})"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// JSON rendering, for tooling and the CI artifact check. Schema:
+/// `{"pushdown": bool, "columns": [...], "plan": [{"op": ..., "analyze":
+/// ...?}, ...innermost last], "stats": {...}?}`.
+pub fn explain_json(p: &Prepared, stats: Option<&ExecStats>) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"pushdown\": {}", p.plan.scan.pushdown));
+    let cols: Vec<String> = p.plan.columns.iter().map(|c| bora_obs::json_string(c)).collect();
+    out.push_str(&format!(", \"columns\": [{}]", cols.join(", ")));
+    out.push_str(", \"plan\": [");
+    for (i, n) in nodes(p, stats).iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{{\"op\": {}", bora_obs::json_string(&n.label)));
+        if let Some(a) = &n.analyzed {
+            out.push_str(&format!(", \"analyze\": {}", bora_obs::json_string(a)));
+        }
+        out.push('}');
+    }
+    out.push(']');
+    if let Some(s) = stats {
+        out.push_str(&format!(
+            ", \"stats\": {{\"scanned\": {}, \"scan_bytes\": {}, \"pushed_dropped\": {}, \
+             \"joined\": {}, \"filtered_out\": {}, \"sampled_out\": {}, \"groups\": {}, \
+             \"rows_out\": {}, \"block_decodes\": {}, \"pool_hits\": {}, \"virt_ns\": {}, \
+             \"wall_us\": {}}}",
+            s.scanned,
+            s.scan_bytes,
+            s.pushed_dropped,
+            s.joined,
+            s.filtered_out,
+            s.sampled_out,
+            s.groups,
+            s.rows_out,
+            s.block_decodes,
+            s.pool_hits,
+            s.virt_ns,
+            s.wall_us,
+        ));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::prepare;
+
+    #[test]
+    fn text_shows_pushdown_and_operators() {
+        let p = prepare(
+            "EXPLAIN SELECT time FROM '/imu', '/cam' \
+             WHERE time >= 1.0 AND time < 2.0 AND topic != '/cam' LIMIT 5",
+        )
+        .unwrap();
+        let t = explain_text(&p, None);
+        assert!(t.contains("pushdown=on"), "{t}");
+        assert!(t.contains("Limit 5"), "{t}");
+        assert!(t.contains("pruned=['/cam']"), "{t}");
+        assert!(t.contains("range=[0.999s, 2.000s)") || t.contains("range=[1.000s"), "{t}");
+        assert!(!t.contains("Filter "), "filter fully pushed: {t}");
+    }
+
+    #[test]
+    fn json_is_balanced_and_tagged() {
+        let p = prepare("SELECT count() FROM '/imu' WINDOW 1s").unwrap();
+        let s = ExecStats { groups: 3, ..Default::default() };
+        let j = explain_json(&p, Some(&s));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"plan\": ["));
+        assert!(j.contains("\"groups\": 3"));
+        assert!(j.contains("Aggregate [count()] window=1.000s"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Hand-written tokenizer.
+//!
+//! Tokens carry their byte offset so every downstream error can point
+//! into the original text. Keywords are recognized case-insensitively at
+//! the parser level (the lexer only distinguishes token *shapes*).
+//! Duration literals are lexed as one token: a number immediately
+//! followed by a unit (`10ms`, `0.5s`) becomes [`Tok::Dur`] holding
+//! nanoseconds.
+
+use crate::error::{QueryError, QueryResult};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Bare identifier (field path segment or keyword).
+    Ident(String),
+    /// Single-quoted string literal (topic names live here).
+    Str(String),
+    Int(i64),
+    Float(f64),
+    /// Duration literal, in nanoseconds.
+    Dur(u64),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl Tok {
+    /// Human name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Str(s) => format!("string '{s}'"),
+            Tok::Int(v) => format!("number `{v}`"),
+            Tok::Float(v) => format!("number `{v}`"),
+            Tok::Dur(ns) => format!("duration `{ns}ns`"),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Ne => "`!=`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::Eof => "end of query".into(),
+        }
+    }
+}
+
+/// A token plus the byte offset it starts at.
+#[derive(Debug, Clone)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub pos: usize,
+}
+
+/// Tokenize the whole input. Errors carry the byte they stopped at.
+pub fn lex(sql: &str) -> QueryResult<Vec<Spanned>> {
+    let b = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b',' => {
+                out.push(Spanned { tok: Tok::Comma, pos: i });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Spanned { tok: Tok::Dot, pos: i });
+                i += 1;
+            }
+            b'(' => {
+                out.push(Spanned { tok: Tok::LParen, pos: i });
+                i += 1;
+            }
+            b')' => {
+                out.push(Spanned { tok: Tok::RParen, pos: i });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Spanned { tok: Tok::Star, pos: i });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Spanned { tok: Tok::Eq, pos: i });
+                i += 1;
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Ne, pos: i });
+                    i += 2;
+                } else {
+                    return Err(QueryError::lex(i, "`!` is only valid as `!=`"));
+                }
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Le, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Lt, pos: i });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Ge, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Gt, pos: i });
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let lit_start = i;
+                while i < b.len() && b[i] != b'\'' {
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(QueryError::lex(start, "unterminated string literal"));
+                }
+                let s = std::str::from_utf8(&b[lit_start..i])
+                    .map_err(|_| QueryError::lex(start, "non-UTF8 string literal"))?;
+                out.push(Spanned { tok: Tok::Str(s.to_owned()), pos: start });
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let num = &sql[start..i];
+                // A unit glued to the number makes it a duration.
+                let unit_start = i;
+                while i < b.len() && b[i].is_ascii_alphabetic() {
+                    i += 1;
+                }
+                if i > unit_start {
+                    let unit = &sql[unit_start..i];
+                    let scale: f64 = match unit {
+                        "ns" => 1.0,
+                        "us" => 1e3,
+                        "ms" => 1e6,
+                        "s" => 1e9,
+                        _ => {
+                            return Err(QueryError::lex(
+                                unit_start,
+                                format!("unknown duration unit `{unit}` (use ns, us, ms, or s)"),
+                            ))
+                        }
+                    };
+                    let v: f64 = num
+                        .parse()
+                        .map_err(|_| QueryError::lex(start, format!("bad number `{num}`")))?;
+                    let ns = v * scale;
+                    if !ns.is_finite() || ns < 0.0 || ns > u64::MAX as f64 {
+                        return Err(QueryError::lex(start, "duration out of range"));
+                    }
+                    out.push(Spanned { tok: Tok::Dur(ns.round() as u64), pos: start });
+                } else if is_float {
+                    let v: f64 = num
+                        .parse()
+                        .map_err(|_| QueryError::lex(start, format!("bad number `{num}`")))?;
+                    out.push(Spanned { tok: Tok::Float(v), pos: start });
+                } else {
+                    let v: i64 = num.parse().map_err(|_| {
+                        QueryError::lex(start, format!("integer `{num}` out of range"))
+                    })?;
+                    out.push(Spanned { tok: Tok::Int(v), pos: start });
+                }
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Spanned { tok: Tok::Ident(sql[start..i].to_owned()), pos: start });
+            }
+            other => {
+                return Err(QueryError::lex(
+                    i,
+                    format!(
+                        "unexpected byte {:#04x} ({})",
+                        other,
+                        char::from(other).escape_debug()
+                    ),
+                ));
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, pos: sql.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(sql: &str) -> Vec<Tok> {
+        lex(sql).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("SELECT a.b, * FROM '/imu' WHERE x >= 1.5"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("b".into()),
+                Tok::Comma,
+                Tok::Star,
+                Tok::Ident("FROM".into()),
+                Tok::Str("/imu".into()),
+                Tok::Ident("WHERE".into()),
+                Tok::Ident("x".into()),
+                Tok::Ge,
+                Tok::Float(1.5),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(toks("10ms")[0], Tok::Dur(10_000_000));
+        assert_eq!(toks("1s")[0], Tok::Dur(1_000_000_000));
+        assert_eq!(toks("0.5s")[0], Tok::Dur(500_000_000));
+        assert_eq!(toks("250ns")[0], Tok::Dur(250));
+        assert_eq!(toks("3us")[0], Tok::Dur(3_000));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = lex("SELECT 'oops").unwrap_err();
+        assert_eq!(e.pos(), Some(7));
+        let e = lex("a # b").unwrap_err();
+        assert_eq!(e.pos(), Some(2));
+        let e = lex("WINDOW 5weeks").unwrap_err();
+        assert_eq!(e.pos(), Some(8));
+        let e = lex("x ! 3").unwrap_err();
+        assert_eq!(e.pos(), Some(2));
+    }
+
+    #[test]
+    fn huge_integer_is_an_error_not_a_panic() {
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+}

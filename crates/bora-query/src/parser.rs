@@ -1,0 +1,510 @@
+//! Recursive-descent parser.
+//!
+//! Grammar (keywords case-insensitive; clauses in fixed order):
+//!
+//! ```text
+//! query    := [EXPLAIN [ANALYZE]] select EOF
+//! select   := SELECT items FROM source [WHERE or] [SAMPLE EVERY int]
+//!             [WINDOW dur] [LIMIT int]
+//! items    := '*' | item (',' item)*
+//! item     := expr [AS ident]
+//! source   := str (JOIN str WITHIN dur | (',' str)*)
+//! or       := and (OR and)*
+//! and      := not (AND not)*
+//! not      := NOT not | cmp
+//! cmp      := primary [cmpop primary]
+//! primary  := '(' or ')' | literal | agg '(' [expr] ')' | path
+//! path     := [left.|right.] ident ('.' ident)*
+//! literal  := int | float | dur | str | TRUE | FALSE | NULL
+//! ```
+//!
+//! Every rejection is a typed [`QueryError`] with the byte offset of the
+//! offending token — never a panic (the robustness suite feeds this
+//! function truncations and garbage).
+
+use crate::ast::{AggFunc, ExplainMode, Expr, Item, Items, JoinSpec, Query, SelectStmt, Side};
+use crate::error::{QueryError, QueryResult};
+use crate::lexer::{lex, Spanned, Tok};
+use crate::value::{CmpOp, Value};
+
+/// Clause keywords may not start a field path — without this,
+/// `SELECT FROM '/x'` would parse `FROM` as a field named "from" and the
+/// error would land on the wrong token. `window` is deliberately *not*
+/// reserved: it is the builtin that names a window's start time.
+fn is_reserved(word: &str) -> bool {
+    [
+        "select", "from", "where", "and", "or", "not", "as", "sample", "every", "limit", "join",
+        "within", "explain", "analyze",
+    ]
+    .iter()
+    .any(|k| word.eq_ignore_ascii_case(k))
+}
+
+/// Parse one query (with optional EXPLAIN prefix).
+pub fn parse(sql: &str) -> QueryResult<Query> {
+    let toks = lex(sql)?;
+    let mut p = Parser { toks, at: 0 };
+    let explain = if p.eat_kw("EXPLAIN") {
+        if p.eat_kw("ANALYZE") {
+            ExplainMode::Analyze
+        } else {
+            ExplainMode::Plan
+        }
+    } else {
+        ExplainMode::None
+    };
+    let stmt = p.select()?;
+    p.expect_eof()?;
+    Ok(Query { explain, stmt })
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.toks[self.at.min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let t = self.peek().clone();
+        if self.at < self.toks.len() - 1 {
+            self.at += 1;
+        }
+        t
+    }
+
+    /// Is the current token the given keyword (case-insensitive)?
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> QueryResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            let t = self.peek();
+            Err(QueryError::parse(t.pos, format!("expected {kw}, found {}", t.tok.describe())))
+        }
+    }
+
+    fn expect_tok(&mut self, want: Tok, what: &str) -> QueryResult<()> {
+        if self.peek().tok == want {
+            self.bump();
+            Ok(())
+        } else {
+            let t = self.peek();
+            Err(QueryError::parse(t.pos, format!("expected {what}, found {}", t.tok.describe())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> QueryResult<()> {
+        let t = self.peek();
+        if t.tok == Tok::Eof {
+            Ok(())
+        } else {
+            Err(QueryError::parse(
+                t.pos,
+                format!("unexpected {} after end of query", t.tok.describe()),
+            ))
+        }
+    }
+
+    fn string(&mut self, what: &str) -> QueryResult<String> {
+        let t = self.bump();
+        match t.tok {
+            Tok::Str(s) => Ok(s),
+            other => Err(QueryError::parse(
+                t.pos,
+                format!("expected {what} (a quoted string), found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn positive_int(&mut self, what: &str) -> QueryResult<u64> {
+        let t = self.bump();
+        match t.tok {
+            Tok::Int(v) if v > 0 => Ok(v as u64),
+            Tok::Int(v) => {
+                Err(QueryError::parse(t.pos, format!("{what} must be positive, got {v}")))
+            }
+            other => Err(QueryError::parse(
+                t.pos,
+                format!("expected {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn duration(&mut self, what: &str) -> QueryResult<u64> {
+        let t = self.bump();
+        match t.tok {
+            Tok::Dur(ns) if ns > 0 => Ok(ns),
+            Tok::Dur(_) => Err(QueryError::parse(t.pos, format!("{what} must be > 0"))),
+            other => Err(QueryError::parse(
+                t.pos,
+                format!("expected {what} (e.g. 500ms, 1s), found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn select(&mut self) -> QueryResult<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let items = if self.peek().tok == Tok::Star {
+            self.bump();
+            Items::Star
+        } else {
+            let mut list = vec![self.item()?];
+            while self.peek().tok == Tok::Comma {
+                self.bump();
+                list.push(self.item()?);
+            }
+            Items::List(list)
+        };
+        self.expect_kw("FROM")?;
+        let first = self.string("a topic")?;
+        let mut from = vec![first];
+        let mut join = None;
+        if self.is_kw("JOIN") {
+            self.bump();
+            let topic = self.string("a topic to join")?;
+            self.expect_kw("WITHIN")?;
+            let within_ns = self.duration("a join window")?;
+            join = Some(JoinSpec { topic, within_ns });
+        } else {
+            while self.peek().tok == Tok::Comma {
+                self.bump();
+                from.push(self.string("a topic")?);
+            }
+        }
+        let where_expr = if self.eat_kw("WHERE") { Some(self.or()?) } else { None };
+        let sample_every = if self.is_kw("SAMPLE") {
+            self.bump();
+            self.expect_kw("EVERY")?;
+            Some(self.positive_int("a sample stride")?)
+        } else {
+            None
+        };
+        let window_ns =
+            if self.eat_kw("WINDOW") { Some(self.duration("a window size")?) } else { None };
+        let limit = if self.eat_kw("LIMIT") {
+            let t = self.bump();
+            match t.tok {
+                Tok::Int(v) if v >= 0 => Some(v as u64),
+                Tok::Int(v) => {
+                    return Err(QueryError::parse(t.pos, format!("LIMIT must be >= 0, got {v}")))
+                }
+                other => {
+                    return Err(QueryError::parse(
+                        t.pos,
+                        format!("expected a row count after LIMIT, found {}", other.describe()),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { items, from, join, where_expr, sample_every, window_ns, limit })
+    }
+
+    fn item(&mut self) -> QueryResult<Item> {
+        let expr = self.or()?;
+        let alias = if self.eat_kw("AS") {
+            let t = self.bump();
+            match t.tok {
+                Tok::Ident(s) => Some(s),
+                other => {
+                    return Err(QueryError::parse(
+                        t.pos,
+                        format!("expected an alias after AS, found {}", other.describe()),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Item { expr, alias })
+    }
+
+    fn or(&mut self) -> QueryResult<Expr> {
+        let mut lhs = self.and()?;
+        while self.is_kw("OR") {
+            self.bump();
+            let rhs = self.and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> QueryResult<Expr> {
+        let mut lhs = self.not()?;
+        while self.is_kw("AND") {
+            self.bump();
+            let rhs = self.not()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not(&mut self) -> QueryResult<Expr> {
+        if self.is_kw("NOT") {
+            self.bump();
+            let inner = self.not()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.cmp()
+    }
+
+    fn cmp(&mut self) -> QueryResult<Expr> {
+        let lhs = self.primary()?;
+        let op = match self.peek().tok {
+            Tok::Eq => Some(CmpOp::Eq),
+            Tok::Ne => Some(CmpOp::Ne),
+            Tok::Lt => Some(CmpOp::Lt),
+            Tok::Le => Some(CmpOp::Le),
+            Tok::Gt => Some(CmpOp::Gt),
+            Tok::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        match op {
+            None => Ok(lhs),
+            Some(op) => {
+                self.bump();
+                let rhs = self.primary()?;
+                Ok(Expr::Cmp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+            }
+        }
+    }
+
+    fn primary(&mut self) -> QueryResult<Expr> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::LParen => {
+                self.bump();
+                let e = self.or()?;
+                self.expect_tok(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Int(v)))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Float(v)))
+            }
+            // A bare duration in an expression is its seconds value —
+            // `WHERE time < 10s` reads naturally.
+            Tok::Dur(ns) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Float(ns as f64 * 1e-9)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Str(s)))
+            }
+            Tok::Ident(word) => {
+                if is_reserved(&word) {
+                    return Err(QueryError::parse(
+                        t.pos,
+                        format!("expected an expression, found keyword `{word}`"),
+                    ));
+                }
+                if word.eq_ignore_ascii_case("true") {
+                    self.bump();
+                    return Ok(Expr::Lit(Value::Bool(true)));
+                }
+                if word.eq_ignore_ascii_case("false") {
+                    self.bump();
+                    return Ok(Expr::Lit(Value::Bool(false)));
+                }
+                if word.eq_ignore_ascii_case("null") {
+                    self.bump();
+                    return Ok(Expr::Lit(Value::Null));
+                }
+                let agg = [
+                    ("count", AggFunc::Count),
+                    ("min", AggFunc::Min),
+                    ("max", AggFunc::Max),
+                    ("mean", AggFunc::Mean),
+                ]
+                .iter()
+                .find(|(n, _)| word.eq_ignore_ascii_case(n))
+                .map(|&(_, f)| f);
+                // Aggregate call only when a `(` follows; a bare `count`
+                // stays a field path.
+                if let Some(func) = agg {
+                    if self.toks.get(self.at + 1).map(|s| &s.tok) == Some(&Tok::LParen) {
+                        self.bump();
+                        self.bump();
+                        let arg = if self.peek().tok == Tok::RParen || self.peek().tok == Tok::Star
+                        {
+                            if self.peek().tok == Tok::Star {
+                                self.bump(); // count(*) == count()
+                            }
+                            None
+                        } else {
+                            Some(Box::new(self.or()?))
+                        };
+                        self.expect_tok(Tok::RParen, "`)`")?;
+                        if func == AggFunc::Count || arg.is_some() {
+                            return Ok(Expr::Agg { func, arg, pos: t.pos });
+                        }
+                        return Err(QueryError::parse(
+                            t.pos,
+                            format!("{}() needs an argument", func.name()),
+                        ));
+                    }
+                }
+                self.path(t.pos)
+            }
+            other => Err(QueryError::parse(
+                t.pos,
+                format!("expected an expression, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn path(&mut self, pos: usize) -> QueryResult<Expr> {
+        let mut parts = Vec::new();
+        loop {
+            let t = self.bump();
+            match t.tok {
+                Tok::Ident(s) if !is_reserved(&s) => parts.push(s),
+                other => {
+                    return Err(QueryError::parse(
+                        t.pos,
+                        format!("expected a field name, found {}", other.describe()),
+                    ))
+                }
+            }
+            if self.peek().tok == Tok::Dot {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let side = match parts[0].to_ascii_lowercase().as_str() {
+            "left" if parts.len() > 1 => {
+                parts.remove(0);
+                Side::Left
+            }
+            "right" if parts.len() > 1 => {
+                parts.remove(0);
+                Side::Right
+            }
+            _ => Side::None,
+        };
+        Ok(Expr::Path { side, parts, pos })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(sql: &str) {
+        // Canonical form must be a fixed point of parse∘render. (AST
+        // equality would be too strict: token positions shift when the
+        // rendering differs from the input by a byte.)
+        let rendered = parse(sql).unwrap().to_string();
+        let again = parse(&rendered).unwrap().to_string();
+        assert_eq!(rendered, again, "canonical form must re-render identically");
+    }
+
+    #[test]
+    fn parses_the_basics() {
+        let q = parse("SELECT time, angular_velocity.x FROM '/imu' WHERE time >= 2.5 LIMIT 10")
+            .unwrap();
+        assert_eq!(q.explain, ExplainMode::None);
+        assert_eq!(q.stmt.from, vec!["/imu".to_string()]);
+        assert_eq!(q.stmt.limit, Some(10));
+        let Items::List(items) = &q.stmt.items else { panic!() };
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn parses_explain_variants() {
+        assert_eq!(parse("EXPLAIN SELECT * FROM '/a'").unwrap().explain, ExplainMode::Plan);
+        assert_eq!(
+            parse("explain analyze select * from '/a'").unwrap().explain,
+            ExplainMode::Analyze
+        );
+    }
+
+    #[test]
+    fn parses_join_window_sample() {
+        let q = parse(
+            "SELECT left.time, right.time FROM '/cam' JOIN '/det' WITHIN 50ms \
+             WHERE left.time < 9.0 SAMPLE EVERY 3 LIMIT 7",
+        )
+        .unwrap();
+        let j = q.stmt.join.unwrap();
+        assert_eq!(j.topic, "/det");
+        assert_eq!(j.within_ns, 50_000_000);
+        assert_eq!(q.stmt.sample_every, Some(3));
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        let q = parse("SELECT window, count(), mean(angular_velocity.x) FROM '/imu' WINDOW 1s")
+            .unwrap();
+        assert_eq!(q.stmt.window_ns, Some(1_000_000_000));
+        let Items::List(items) = &q.stmt.items else { panic!() };
+        assert!(matches!(items[1].expr, Expr::Agg { func: AggFunc::Count, .. }));
+        // count(*) is count()
+        let q2 = parse("SELECT count(*) FROM '/imu'").unwrap();
+        let Items::List(items) = &q2.stmt.items else { panic!() };
+        assert!(matches!(items[0].expr, Expr::Agg { func: AggFunc::Count, arg: None, .. }));
+    }
+
+    #[test]
+    fn canonical_form_roundtrips() {
+        roundtrip("SELECT * FROM '/imu'");
+        roundtrip("SELECT time AS t, topic FROM '/a', '/b' WHERE size > 100 AND time < 5.0");
+        roundtrip("SELECT left.time FROM '/cam' JOIN '/det' WITHIN 50ms");
+        roundtrip("SELECT window, count(), min(size), mean(size) FROM '/x' WINDOW 2s LIMIT 3");
+        roundtrip("SELECT time FROM '/i' WHERE NOT (topic = '/i' OR size <= 8) SAMPLE EVERY 2");
+    }
+
+    #[test]
+    fn bare_agg_names_are_paths() {
+        // `count` without parens is a field named count.
+        let q = parse("SELECT count FROM '/x'").unwrap();
+        let Items::List(items) = &q.stmt.items else { panic!() };
+        assert!(matches!(&items[0].expr, Expr::Path { parts, .. } if parts[0] == "count"));
+    }
+
+    #[test]
+    fn error_positions_land_on_the_offending_token() {
+        let e = parse("SELECT time FRM '/imu'").unwrap_err();
+        assert_eq!(e.pos(), Some(12));
+        let e = parse("SELECT FROM '/imu'").unwrap_err();
+        assert_eq!(e.pos(), Some(7));
+        let e = parse("SELECT time FROM '/imu' LIMIT x").unwrap_err();
+        assert_eq!(e.pos(), Some(30));
+        let e = parse("SELECT time FROM '/imu' trailing").unwrap_err();
+        assert_eq!(e.pos(), Some(24));
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs_error_cleanly() {
+        assert!(parse("").is_err());
+        assert!(parse("   ").is_err());
+        assert!(parse("WHERE").is_err());
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT min() FROM '/x'").is_err());
+        assert!(parse("SELECT time FROM '/x' SAMPLE EVERY 0").is_err());
+        assert!(parse("SELECT time FROM '/x' WINDOW 0s").is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Runtime values and field extraction.
+//!
+//! A query row is a `Vec<Value>`. Message fields are resolved against
+//! the decoded [`AnyMessage`] for the topic's datatype (carried by the
+//! container metadata); three builtins — `time`, `topic`, `size` — are
+//! always available without decoding the payload. Unknown fields
+//! evaluate to [`Value::Null`] rather than erroring: a fleet query must
+//! be runnable over a mixed bag where only some topics carry the field.
+
+use ros_msgs::msg::AnyMessage;
+use ros_msgs::Time;
+
+/// One cell of a result row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+/// One result row.
+pub type Row = Vec<Value>;
+
+impl Value {
+    /// Numeric view, coercing `Int` to `f64`; `None` for everything else.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Truthiness for WHERE results: only `Bool(true)` passes. `Null`
+    /// (unknown field), numbers, and strings are all falsy — a filter
+    /// either affirms a row or the row is dropped.
+    pub fn truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Render for the CLI / CSV output.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "null".into(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v}")
+                }
+            }
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// Render as a JSON scalar.
+    pub fn render_json(&self) -> String {
+        match self {
+            Value::Null => "null".into(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) if v.is_finite() => format!("{v}"),
+            Value::Float(_) => "null".into(),
+            Value::Str(s) => bora_obs::json_string(s),
+        }
+    }
+}
+
+/// Comparison operators of the language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Evaluate `a op b`. Numbers compare after Int→Float coercion; strings
+/// compare lexicographically; bools support only (in)equality. Any
+/// comparison involving `Null` or mismatched types yields `false` —
+/// never an error, so a filter over heterogeneous topics stays total.
+pub fn compare(op: CmpOp, a: &Value, b: &Value) -> bool {
+    let ord = match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x.partial_cmp(y),
+        (Value::Bool(x), Value::Bool(y)) => match op {
+            CmpOp::Eq => return x == y,
+            CmpOp::Ne => return x != y,
+            _ => None,
+        },
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x.partial_cmp(&y),
+            _ => None,
+        },
+    };
+    match ord {
+        None => false,
+        Some(o) => match op {
+            CmpOp::Eq => o == std::cmp::Ordering::Equal,
+            CmpOp::Ne => o != std::cmp::Ordering::Equal,
+            CmpOp::Lt => o == std::cmp::Ordering::Less,
+            CmpOp::Le => o != std::cmp::Ordering::Greater,
+            CmpOp::Gt => o == std::cmp::Ordering::Greater,
+            CmpOp::Ge => o != std::cmp::Ordering::Less,
+        },
+    }
+}
+
+/// Seconds-as-f64 view of a timestamp — what the `time` builtin yields
+/// and what window starts are reported in.
+pub fn time_to_value(t: Time) -> Value {
+    Value::Float(t.sec as f64 + t.nsec as f64 * 1e-9)
+}
+
+/// Resolve a non-builtin field path against a decoded message. Unknown
+/// paths and opaque messages yield `Null`.
+pub fn extract_field(msg: &AnyMessage, parts: &[String]) -> Value {
+    fn seg(parts: &[String], i: usize) -> &str {
+        parts.get(i).map(String::as_str).unwrap_or("")
+    }
+    let vec3 = |v: &ros_msgs::geometry_msgs::Vector3, c: &str| match c {
+        "x" => Value::Float(v.x),
+        "y" => Value::Float(v.y),
+        "z" => Value::Float(v.z),
+        _ => Value::Null,
+    };
+    let header = |h: &ros_msgs::std_msgs::Header, c: &str| match c {
+        "seq" => Value::Int(h.seq as i64),
+        "frame_id" => Value::Str(h.frame_id.clone()),
+        "stamp" => time_to_value(h.stamp),
+        _ => Value::Null,
+    };
+    match msg {
+        AnyMessage::Imu(imu) => match (seg(parts, 0), parts.len()) {
+            ("angular_velocity", 2) => vec3(&imu.angular_velocity, seg(parts, 1)),
+            ("linear_acceleration", 2) => vec3(&imu.linear_acceleration, seg(parts, 1)),
+            ("orientation", 2) => match seg(parts, 1) {
+                "x" => Value::Float(imu.orientation.x),
+                "y" => Value::Float(imu.orientation.y),
+                "z" => Value::Float(imu.orientation.z),
+                "w" => Value::Float(imu.orientation.w),
+                _ => Value::Null,
+            },
+            ("header", 2) => header(&imu.header, seg(parts, 1)),
+            _ => Value::Null,
+        },
+        AnyMessage::Image(img) => match (seg(parts, 0), parts.len()) {
+            ("width", 1) => Value::Int(img.width as i64),
+            ("height", 1) => Value::Int(img.height as i64),
+            ("step", 1) => Value::Int(img.step as i64),
+            ("encoding", 1) => Value::Str(img.encoding.clone()),
+            ("header", 2) => header(&img.header, seg(parts, 1)),
+            _ => Value::Null,
+        },
+        AnyMessage::CameraInfo(ci) => match (seg(parts, 0), parts.len()) {
+            ("width", 1) => Value::Int(ci.width as i64),
+            ("height", 1) => Value::Int(ci.height as i64),
+            ("distortion_model", 1) => Value::Str(ci.distortion_model.clone()),
+            ("header", 2) => header(&ci.header, seg(parts, 1)),
+            _ => Value::Null,
+        },
+        AnyMessage::TfMessage(tf) => match (seg(parts, 0), parts.len()) {
+            ("transforms", 1) => Value::Int(tf.transforms.len() as i64),
+            _ => Value::Null,
+        },
+        AnyMessage::MarkerArray(ma) => match (seg(parts, 0), parts.len()) {
+            ("markers", 1) => Value::Int(ma.markers.len() as i64),
+            _ => Value::Null,
+        },
+        AnyMessage::Opaque { .. } => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ros_msgs::sensor_msgs::Imu;
+    use ros_msgs::RosMessage;
+
+    #[test]
+    fn comparisons_coerce_numbers() {
+        assert!(compare(CmpOp::Eq, &Value::Int(3), &Value::Float(3.0)));
+        assert!(compare(CmpOp::Lt, &Value::Float(2.5), &Value::Int(3)));
+        assert!(!compare(CmpOp::Eq, &Value::Null, &Value::Null));
+        assert!(!compare(CmpOp::Lt, &Value::Str("a".into()), &Value::Int(1)));
+        assert!(compare(CmpOp::Ne, &Value::Bool(true), &Value::Bool(false)));
+        assert!(!compare(CmpOp::Lt, &Value::Bool(true), &Value::Bool(false)));
+        assert!(compare(CmpOp::Gt, &Value::Str("b".into()), &Value::Str("a".into())));
+    }
+
+    #[test]
+    fn imu_fields_extract() {
+        let mut imu = Imu::default();
+        imu.angular_velocity.x = 0.25;
+        imu.header.seq = 7;
+        let any = AnyMessage::decode(Imu::DATATYPE, &imu.to_bytes()).unwrap();
+        let path = |s: &str| s.split('.').map(str::to_owned).collect::<Vec<_>>();
+        assert_eq!(extract_field(&any, &path("angular_velocity.x")), Value::Float(0.25));
+        assert_eq!(extract_field(&any, &path("header.seq")), Value::Int(7));
+        assert_eq!(extract_field(&any, &path("no.such.field")), Value::Null);
+    }
+}

@@ -1,0 +1,144 @@
+//! Parser robustness: every malformed statement produces a typed
+//! [`QueryError`] with a usable position — never a panic, never a
+//! silent misparse. The serve layer leans on this contract to map any
+//! compile failure to `BadQuery` without tearing down the connection.
+
+use bora_query::{prepare, QueryError, QueryErrorKind};
+
+/// Compile, demanding a typed rejection. Returns the error for
+/// stage/position/message checks.
+fn reject(sql: &str) -> QueryError {
+    match prepare(sql) {
+        Err(e) => e,
+        Ok(_) => panic!("statement should not compile: {sql}"),
+    }
+}
+
+#[test]
+fn lex_errors_carry_positions() {
+    for (sql, needle) in [
+        ("SELECT time FROM '/imu", "unterminated"),
+        ("SELECT time FROM '/imu' WHERE x ~ 1", "~"),
+        ("SELECT time FROM '/imu' LIMIT -3", "unexpected byte"),
+    ] {
+        let e = reject(sql);
+        assert_eq!(e.kind(), QueryErrorKind::Lex, "{sql}: {e}");
+        assert!(e.pos().is_some(), "{sql}: lex error without a position");
+        assert!(
+            e.message().to_lowercase().contains(needle),
+            "{sql}: message {:?} does not mention {:?}",
+            e.message(),
+            needle
+        );
+    }
+}
+
+#[test]
+fn parse_errors_name_what_was_expected() {
+    for (sql, needle) in [
+        ("", "SELECT"),
+        ("garbage", "SELECT"),
+        ("SELECT", "expected"),
+        ("SELECT FROM '/imu'", "expected"),
+        ("SELECT time FRM '/imu'", "FROM"),
+        ("SELECT time FROM", "topic"),
+        ("SELECT time FROM imu", "topic"),
+        ("SELECT time FROM '/a' JOIN '/b'", "WITHIN"),
+        ("SELECT time FROM '/a' JOIN '/b' WITHIN", "join window"),
+        ("SELECT time FROM '/imu' WHERE", "expected"),
+        ("SELECT time FROM '/imu' WHERE time >", "expected"),
+        ("SELECT time FROM '/imu' WHERE (time > 1.0", ")"),
+        ("SELECT count( FROM '/imu'", "expression"),
+        ("SELECT time FROM '/imu' WHERE x = 1.2.3", "unexpected"),
+        ("SELECT count() FROM '/imu' WINDOW 0s", "window size"),
+        ("SELECT time AS 5 FROM '/imu'", "alias"),
+        ("SELECT time FROM '/imu' SAMPLE 2", "EVERY"),
+        ("SELECT time FROM '/imu' SAMPLE EVERY 0", "sample stride"),
+        ("SELECT time FROM '/imu' LIMIT", "LIMIT"),
+        ("SELECT time FROM '/imu' LIMIT 5 trailing", "end of query"),
+        ("EXPLAIN", "SELECT"),
+    ] {
+        let e = reject(sql);
+        assert_eq!(e.kind(), QueryErrorKind::Parse, "{sql}: {e}");
+        assert!(e.pos().is_some(), "{sql}: parse error without a position");
+        assert!(
+            e.message().contains(needle),
+            "{sql}: message {:?} does not mention {:?}",
+            e.message(),
+            needle
+        );
+    }
+}
+
+#[test]
+fn plan_errors_reject_semantic_nonsense() {
+    for sql in [
+        "SELECT time FROM '/imu' WINDOW 5s", // WINDOW without aggregates
+        "SELECT window FROM '/imu'",         // window without WINDOW
+        "SELECT count(), time FROM '/imu'",  // mixed agg / per-message
+        "SELECT count(count()) FROM '/imu'", // nested aggregate
+        "SELECT time FROM '/imu' WHERE count() > 1", // aggregate in WHERE
+        "SELECT left.time FROM '/imu'",      // side prefix without JOIN
+        "SELECT count() FROM '/a' JOIN '/b' WITHIN 1s WINDOW 5s", // window over join
+        "SELECT time FROM '/imu' WHERE window > 1.0", // window in WHERE
+    ] {
+        let e = reject(sql);
+        assert_eq!(e.kind(), QueryErrorKind::Plan, "{sql}: {e}");
+    }
+}
+
+/// Truncating a valid statement at every byte boundary must always
+/// yield a typed error or a valid (shorter) statement — never a panic.
+#[test]
+fn every_truncation_is_handled() {
+    let sql = "EXPLAIN ANALYZE SELECT window, count(), mean(angular_velocity.x) AS m \
+               FROM '/imu', '/gps' WHERE NOT (time >= 1.5 AND size <= 128) \
+               OR topic = '/imu' SAMPLE EVERY 3 WINDOW 2500ms LIMIT 10";
+    assert!(prepare(sql).is_ok(), "the base statement must compile");
+    for cut in 0..sql.len() {
+        if !sql.is_char_boundary(cut) {
+            continue;
+        }
+        let _ = prepare(&sql[..cut]); // must return, never unwind
+    }
+}
+
+/// Random garbage: printable noise, operator soup, unbalanced quotes.
+/// The parser's only obligations are to return and to point somewhere
+/// inside the input.
+#[test]
+fn garbage_never_panics_and_positions_stay_in_bounds() {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let alphabet: Vec<char> =
+        "SELECTFROMWHERE'()*,.<>=!0123456789abcxyz/_- \t\n\"%~`".chars().collect();
+    for _ in 0..500 {
+        let mut sql = String::new();
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let len = (state >> 33) % 60;
+        for k in 0..len {
+            let idx = ((state >> 7).wrapping_add(k.wrapping_mul(0x2545F4914F6CDD1D)) as usize)
+                % alphabet.len();
+            sql.push(alphabet[idx]);
+            state = state.rotate_left(13) ^ k;
+        }
+        if let Err(e) = prepare(&sql) {
+            if let Some(pos) = e.pos() {
+                assert!(pos <= sql.len(), "position {pos} past end of {sql:?}");
+                // The caret rendering must stay two well-formed lines.
+                let rendered = e.render_caret(&sql);
+                assert!(rendered.contains('^'), "no caret for {sql:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn caret_rendering_points_at_the_offending_token() {
+    let sql = "SELECT time FRM '/imu'";
+    let e = reject(sql);
+    let rendered = e.render_caret(sql);
+    let lines: Vec<&str> = rendered.lines().collect();
+    assert_eq!(lines[0], sql);
+    let caret_col = lines[1].find('^').expect("caret line");
+    assert_eq!(caret_col, sql.find("FRM").unwrap(), "caret not under the bad token:\n{rendered}");
+}

@@ -293,6 +293,58 @@ impl<C: Connection> ServeClient<C> {
         Ok(())
     }
 
+    /// Execute a `bora-query` statement server-side and collect the
+    /// streamed answer. Rows arrive in chunk frames as the server's
+    /// cursor yields, so first results do not wait for the full scan;
+    /// `EXPLAIN` / `EXPLAIN ANALYZE` statements return the rendered
+    /// plan in [`QueryReply::explain`]. A malformed statement fails
+    /// with [`ErrorCode::BadQuery`] carrying a caret-annotated message,
+    /// and the connection stays usable.
+    pub fn query(&mut self, container: &str, sql: &str) -> ClientResult<QueryReply> {
+        self.query_inner(container, sql, false)
+    }
+
+    /// Distributed fragment mode: ask for flattened partial-aggregate
+    /// rows (`bora_query::partial_columns` shape) instead of final
+    /// values, for merging router-side with `bora_query::merge_partials`.
+    /// Fails with [`ErrorCode::BadQuery`] for non-aggregate statements.
+    pub fn query_partial(&mut self, container: &str, sql: &str) -> ClientResult<QueryReply> {
+        self.query_inner(container, sql, true)
+    }
+
+    fn query_inner(
+        &mut self,
+        container: &str,
+        sql: &str,
+        partial: bool,
+    ) -> ClientResult<QueryReply> {
+        let req = Request::Query { container: container.into(), sql: sql.into(), partial };
+        self.send_stream_req(&req)?;
+        let mut reply = QueryReply::default();
+        loop {
+            let payload = self.recv_matching(self.seq)?;
+            reply.wire_bytes += payload.len() as u64;
+            match Response::decode(&payload).map_err(ClientError::Proto)? {
+                Response::QuerySchema(cols) => reply.columns = cols,
+                Response::QueryChunk(blob) => {
+                    let rows = bora_query::decode_rows(&blob)
+                        .map_err(|e| ClientError::Proto(ProtoError(e.to_string())))?;
+                    reply.rows.extend(rows);
+                }
+                Response::QueryEnd { rows, explain } => {
+                    reply.rows_total = rows;
+                    reply.explain = explain;
+                    return Ok(reply);
+                }
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                Response::Overloaded => return Err(ClientError::Overloaded),
+                other => return Err(unexpected("QUERY", &other)),
+            }
+        }
+    }
+
     /// Append a batch of live messages to an ingest root. The ack means
     /// every message in the batch is durable (WAL-committed) on the
     /// server; returns `(appended, epoch)`. Not idempotent — a retry
@@ -371,6 +423,24 @@ impl<C: Connection> ServeClient<C> {
 
 fn unexpected(op: &str, resp: &Response) -> ClientError {
     ClientError::Proto(ProtoError(format!("unexpected response to {op}: {resp:?}")))
+}
+
+/// Collected answer to one `QUERY`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryReply {
+    /// Result column names (partial mode has its own `__`-prefixed shape).
+    pub columns: Vec<String>,
+    /// Decoded result rows, in server order.
+    pub rows: Vec<bora_query::Row>,
+    /// Rows the server's cursor produced. Equals `rows.len()` except for
+    /// plain `EXPLAIN`, which executes nothing and reports 0.
+    pub rows_total: u64,
+    /// Rendered plan for `EXPLAIN` / `EXPLAIN ANALYZE`, empty otherwise.
+    pub explain: String,
+    /// Total response payload bytes this query's frames carried — the
+    /// measure the distributed-aggregation experiment compares against a
+    /// row-shipping plan.
+    pub wire_bytes: u64,
 }
 
 // ----------------------------------------------------------------- stream
@@ -979,6 +1049,21 @@ impl<T: Transport> RetryClient<T> {
             }
             Ok(out)
         })
+    }
+
+    /// A query retried as a unit: if the stream breaks mid-flight the
+    /// whole statement is re-issued on a fresh connection (queries are
+    /// idempotent reads). [`ErrorCode::BadQuery`] is permanent and
+    /// surfaces immediately — resending a statement that cannot parse
+    /// would only repeat the failure.
+    pub fn query(&mut self, container: &str, sql: &str) -> ClientResult<QueryReply> {
+        self.run_reset(|c| c.query(container, sql))
+    }
+
+    /// Fragment-mode variant of [`RetryClient::query`]; see
+    /// [`ServeClient::query_partial`].
+    pub fn query_partial(&mut self, container: &str, sql: &str) -> ClientResult<QueryReply> {
+        self.run_reset(|c| c.query_partial(container, sql))
     }
 
     pub fn stat(&mut self, container: &str) -> ClientResult<ContainerStat> {

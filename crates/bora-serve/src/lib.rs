@@ -59,7 +59,7 @@ pub mod transport;
 
 pub use cache::{CacheStats, HandleCache, PinnedBag};
 pub use client::{
-    ClientError, ClientResult, IngestBatching, IngestClient, ReadStream, RetryBudget,
+    ClientError, ClientResult, IngestBatching, IngestClient, QueryReply, ReadStream, RetryBudget,
     RetryBudgetConfig, RetryClient, RetryPolicy, ServeClient,
 };
 pub use proto::{

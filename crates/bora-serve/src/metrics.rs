@@ -32,8 +32,8 @@ use bora_obs::{Counter, Histogram, MetricsSnapshot, Registry, SloStatus, SloTarg
 use crate::proto::{OpSummary, StatsSnapshot};
 
 /// The metric op kinds, in the order `STATS` reports them.
-pub const OP_NAMES: [&str; 8] =
-    ["append", "meta", "open", "read", "read_stream", "seal", "stat", "topics"];
+pub const OP_NAMES: [&str; 9] =
+    ["append", "meta", "open", "query", "read", "read_stream", "seal", "stat", "topics"];
 
 fn op_index(name: &str) -> Option<usize> {
     OP_NAMES.iter().position(|n| *n == name)
@@ -61,7 +61,7 @@ struct OpHandles {
 pub struct Metrics {
     registry: Registry,
     // Resolved once: recording is handle-hot, never a name lookup.
-    ops: [OpHandles; 8],
+    ops: [OpHandles; 9],
     queue_wait: Histogram,
     shed: Counter,
     slo: SloTracker,

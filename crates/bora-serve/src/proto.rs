@@ -100,6 +100,15 @@ pub const CORR_LEN: usize = 1 + 4;
 /// cue to fall back to plain `READ_STREAM` (see `ServeClient`).
 const OP_READ_STREAM2: u8 = 0x12;
 
+/// `QUERY`: execute a `bora-query` statement against a container and
+/// stream the result back. Answered by one [`Response::QuerySchema`]
+/// (column names), zero or more [`Response::QueryChunk`]s (row blobs,
+/// `bora_query::wire` encoding), and a terminal [`Response::QueryEnd`]
+/// carrying the row total and — for `EXPLAIN` / `EXPLAIN ANALYZE` — the
+/// rendered plan. A malformed statement answers with
+/// [`ErrorCode::BadQuery`] and the connection stays usable.
+const OP_QUERY: u8 = 0x13;
+
 /// Wrap `inner` in a correlation prefix carrying `seq`.
 pub fn wrap_corr(seq: u32, inner: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(CORR_LEN + inner.len());
@@ -178,6 +187,9 @@ const OP_OK_METRICS: u8 = 0x8E;
 /// a bit-flipped chunk decodes to a typed error, never to garbage
 /// messages.
 const OP_OK_STREAM_CHUNK_LZ: u8 = 0x8F;
+const OP_OK_QUERY_SCHEMA: u8 = 0x93;
+const OP_OK_QUERY_CHUNK: u8 = 0x94;
+const OP_OK_QUERY_END: u8 = 0x95;
 const OP_ERROR: u8 = 0xE0;
 const OP_OVERLOADED: u8 = 0xEE;
 
@@ -212,6 +224,12 @@ pub enum Request {
     /// `compact`, merge every sealed segment into the next container
     /// generation.
     Seal { container: String, compact: bool },
+    /// Execute a `bora-query` statement against a container (live
+    /// ingest roots included — the server reads an MVCC snapshot).
+    /// `partial: true` asks for flattened partial-aggregate rows
+    /// instead of final values — the distributed fragment mode; it is
+    /// a [`ErrorCode::BadQuery`] error for non-aggregate statements.
+    Query { container: String, sql: String, partial: bool },
     /// Summary numbers for one container.
     Stat { container: String },
     /// Server-wide metrics snapshot.
@@ -404,6 +422,11 @@ pub enum ErrorCode {
     /// failing over cannot buy it back — the caller must either accept
     /// the miss or issue a fresh request with a fresh budget.
     DeadlineExceeded = 8,
+    /// The `QUERY` statement failed to lex, parse, or plan. The message
+    /// carries the position-annotated rendering; the request can never
+    /// succeed as written, so the code is permanent — but the
+    /// *connection* survives, exactly like any other request error.
+    BadQuery = 9,
 }
 
 impl ErrorCode {
@@ -417,6 +440,7 @@ impl ErrorCode {
             6 => ErrorCode::ShuttingDown,
             7 => ErrorCode::ChecksumMismatch,
             8 => ErrorCode::DeadlineExceeded,
+            9 => ErrorCode::BadQuery,
             _ => return None,
         })
     }
@@ -434,7 +458,8 @@ impl ErrorCode {
             | ErrorCode::Corrupt
             | ErrorCode::BadRequest
             | ErrorCode::ShuttingDown
-            | ErrorCode::DeadlineExceeded => false,
+            | ErrorCode::DeadlineExceeded
+            | ErrorCode::BadQuery => false,
         }
     }
 }
@@ -460,6 +485,18 @@ pub enum Response {
     /// Terminal frame of a `READ_STREAM` answer: total messages streamed.
     StreamEnd {
         messages: u64,
+    },
+    /// First frame of a `QUERY` answer: result column names.
+    QuerySchema(Vec<String>),
+    /// One batch of a `QUERY` answer: rows in the `bora_query::wire`
+    /// blob encoding (opaque to this layer).
+    QueryChunk(Vec<u8>),
+    /// Terminal frame of a `QUERY` answer: total rows streamed, plus
+    /// the rendered plan for `EXPLAIN` / `EXPLAIN ANALYZE` (empty
+    /// otherwise).
+    QueryEnd {
+        rows: u64,
+        explain: String,
     },
     /// Reply to [`Request::Append`]: messages durably written and the
     /// store's MVCC epoch after the batch.
@@ -685,6 +722,7 @@ impl Request {
             | Request::ReadStream2 { container, .. }
             | Request::Append { container, .. }
             | Request::Seal { container, .. }
+            | Request::Query { container, .. }
             | Request::Stat { container } => Some(container),
             Request::Stats
             | Request::Metrics
@@ -706,6 +744,7 @@ impl Request {
             Request::ReadStream { .. } | Request::ReadStream2 { .. } => "read_stream",
             Request::Append { .. } => "append",
             Request::Seal { .. } => "seal",
+            Request::Query { .. } => "query",
             Request::Stat { .. } => "stat",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
@@ -762,6 +801,13 @@ impl Request {
                 w.str(container);
                 w.u8(*compact as u8);
             }
+            Request::Query { container, sql, partial } => {
+                w = Writer::new(OP_QUERY);
+                w.str(container);
+                // u32 length: query text has no natural u16 bound.
+                w.bytes(sql.as_bytes());
+                w.u8(*partial as u8);
+            }
             Request::Stat { container } => {
                 w = Writer::new(OP_STAT);
                 w.str(container);
@@ -812,6 +858,17 @@ impl Request {
                     v => return Err(ProtoError(format!("bad compact marker {v}"))),
                 };
                 Request::Seal { container, compact }
+            }
+            OP_QUERY => {
+                let container = r.str()?;
+                let sql = String::from_utf8(r.bytes()?)
+                    .map_err(|_| ProtoError("query text is not UTF-8".into()))?;
+                let partial = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    v => return Err(ProtoError(format!("bad partial marker {v}"))),
+                };
+                Request::Query { container, sql, partial }
             }
             OP_STAT => Request::Stat { container: r.str()? },
             OP_STATS => Request::Stats,
@@ -930,6 +987,22 @@ impl Response {
                 w = Writer::new(OP_OK_STREAM_END);
                 w.u64(*messages);
             }
+            Response::QuerySchema(cols) => {
+                w = Writer::new(OP_OK_QUERY_SCHEMA);
+                w.u16(cols.len() as u16);
+                for c in cols {
+                    w.str(c);
+                }
+            }
+            Response::QueryChunk(blob) => {
+                w = Writer::new(OP_OK_QUERY_CHUNK);
+                w.bytes(blob);
+            }
+            Response::QueryEnd { rows, explain } => {
+                w = Writer::new(OP_OK_QUERY_END);
+                w.u64(*rows);
+                w.bytes(explain.as_bytes());
+            }
             Response::Appended { appended, epoch } => {
                 w = Writer::new(OP_OK_APPENDED);
                 w.u64(*appended);
@@ -1039,6 +1112,21 @@ impl Response {
             OP_OK_STREAM_CHUNK => Response::StreamChunk(r.msgs()?),
             OP_OK_STREAM_CHUNK_LZ => Response::StreamChunkLz(r.bytes()?),
             OP_OK_STREAM_END => Response::StreamEnd { messages: r.u64()? },
+            OP_OK_QUERY_SCHEMA => {
+                let n = r.u16()? as usize;
+                let mut cols = Vec::with_capacity(n);
+                for _ in 0..n {
+                    cols.push(r.str()?);
+                }
+                Response::QuerySchema(cols)
+            }
+            OP_OK_QUERY_CHUNK => Response::QueryChunk(r.bytes()?),
+            OP_OK_QUERY_END => {
+                let rows = r.u64()?;
+                let explain = String::from_utf8(r.bytes()?)
+                    .map_err(|_| ProtoError("explain text is not UTF-8".into()))?;
+                Response::QueryEnd { rows, explain }
+            }
             OP_OK_APPENDED => Response::Appended { appended: r.u64()?, epoch: r.u64()? },
             OP_OK_SEALED => Response::Sealed { epoch: r.u64()?, sealed_segments: r.u32()? },
             OP_OK_STAT => Response::Stat(r.stat()?),
@@ -1199,6 +1287,18 @@ mod tests {
         roundtrip_req(Request::Append { container: "/live".into(), messages: vec![] });
         roundtrip_req(Request::Seal { container: "/live".into(), compact: true });
         roundtrip_req(Request::Seal { container: "/live".into(), compact: false });
+        roundtrip_req(Request::Query {
+            container: "/c/hs0".into(),
+            sql: "SELECT count() FROM '/imu' WHERE time >= 1.0".into(),
+            partial: true,
+        });
+        roundtrip_req(Request::Query { container: "/c".into(), sql: "".into(), partial: false });
+        // Query text is u32-length-prefixed: no u16 ceiling on statements.
+        roundtrip_req(Request::Query {
+            container: "/c".into(),
+            sql: format!("SELECT time FROM '/t' WHERE {}", "x.y > 1 AND ".repeat(10_000)),
+            partial: false,
+        });
         roundtrip_req(Request::Stat { container: "/c".into() });
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Metrics);
@@ -1341,6 +1441,16 @@ mod tests {
         }]));
         roundtrip_resp(Response::StreamChunk(vec![]));
         roundtrip_resp(Response::StreamEnd { messages: 42 });
+        roundtrip_resp(Response::QuerySchema(vec!["time".into(), "__count".into()]));
+        roundtrip_resp(Response::QuerySchema(vec![]));
+        roundtrip_resp(Response::QueryChunk(vec![0, 1, 2, 254, 255]));
+        roundtrip_resp(Response::QueryChunk(vec![]));
+        roundtrip_resp(Response::QueryEnd { rows: 9_000, explain: "Scan topics=[/imu]".into() });
+        roundtrip_resp(Response::QueryEnd { rows: 0, explain: "".into() });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::BadQuery,
+            message: "SELECT\n^ expected an expression".into(),
+        });
         roundtrip_resp(Response::Appended { appended: 17, epoch: 930 });
         roundtrip_resp(Response::Sealed { epoch: 931, sealed_segments: 3 });
         roundtrip_resp(Response::Stat(stat));
@@ -1448,6 +1558,7 @@ mod tests {
             ErrorCode::BadRequest,
             ErrorCode::ShuttingDown,
             ErrorCode::DeadlineExceeded,
+            ErrorCode::BadQuery,
         ] {
             assert!(!code.is_transient(), "{code:?} must be permanent");
         }

@@ -43,6 +43,11 @@ use crate::proto::{
 /// large enough that framing overhead stays negligible.
 const STREAM_CHUNK_MSGS: usize = 32;
 
+/// Rows per [`Response::QueryChunk`] frame. Query rows are a few scalar
+/// cells each — far smaller than raw messages — so the batch can be
+/// larger than [`STREAM_CHUNK_MSGS`] at the same framing overhead.
+const QUERY_CHUNK_ROWS: usize = 64;
+
 /// Bound of a streaming reply channel: how many frames the worker may run
 /// ahead of the transport before it blocks. This is the server-side half
 /// of end-to-end backpressure — a slow client throttles the merge instead
@@ -249,6 +254,18 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
                 });
                 out
             }
+            // A query through the single-response API degrades the same
+            // way: collect the frames, fold them into the one response
+            // that answers what was asked (rows for a plain query, the
+            // plan for EXPLAIN).
+            req @ Request::Query { .. } => {
+                let mut frames = Vec::new();
+                self.submit_streamed_framed(req, tctx, deadline_ns, &mut |resp| {
+                    frames.push(resp);
+                    true
+                });
+                fold_query_frames(frames)
+            }
             req => {
                 if self.is_shutting_down() {
                     return Response::Error {
@@ -332,7 +349,10 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
         deadline_ns: Option<u64>,
         emit: &mut dyn FnMut(Response) -> bool,
     ) -> bool {
-        if !matches!(req, Request::ReadStream { .. } | Request::ReadStream2 { .. }) {
+        if !matches!(
+            req,
+            Request::ReadStream { .. } | Request::ReadStream2 { .. } | Request::Query { .. }
+        ) {
             return emit(self.submit_framed(req, tctx, deadline_ns));
         }
         if self.is_shutting_down() {
@@ -374,7 +394,16 @@ impl<S: Storage + Clone + Send + Sync + 'static> Server<S> {
                     });
                 }
             };
-            let terminal = !matches!(resp, Response::StreamChunk(_) | Response::StreamChunkLz(_));
+            // Query streams interleave schema and row-chunk frames before
+            // their terminal QueryEnd; treating any of them as terminal
+            // would stop the drain with the worker still producing.
+            let terminal = !matches!(
+                resp,
+                Response::StreamChunk(_)
+                    | Response::StreamChunkLz(_)
+                    | Response::QuerySchema(_)
+                    | Response::QueryChunk(_)
+            );
             if !emit(resp) {
                 // Client is gone: dropping `reply_rx` makes the worker's
                 // next send fail, aborting the stream and releasing its
@@ -579,6 +608,9 @@ fn worker_loop<S: Storage + Clone>(shared: &Shared<S>, rx: &Receiver<Job>) {
             Request::ReadStream2 { ref container, ref topics, range } => {
                 handle_stream(shared, container, topics, range, true, &reply, &mut ctx)
             }
+            Request::Query { ref container, ref sql, partial } => {
+                handle_query(shared, container, sql, partial, &reply, &mut ctx)
+            }
             other => Some(handle(shared, other, &mut ctx)),
         };
         sp.end_virt(ctx.elapsed_ns());
@@ -615,6 +647,7 @@ fn span_name(op: &str) -> &'static str {
         "meta" => "serve.meta",
         "read" => "serve.read",
         "read_stream" => "serve.read_stream",
+        "query" => "serve.query",
         "append" => "serve.append",
         "seal" => "serve.seal",
         "stat" => "serve.stat",
@@ -760,6 +793,159 @@ fn handle_stream<S: Storage + Clone>(
     }
 }
 
+/// Run a [`Request::Query`], sending the schema frame and row chunks on
+/// `reply` as the cursor yields; the terminal frame ([`Response::QueryEnd`]
+/// or an error) is *returned*, like [`handle_stream`]. A statement that
+/// fails to compile answers [`ErrorCode::BadQuery`] with the caret
+/// rendering — the client's mistake, the connection stays usable.
+/// Storage failures mid-scan keep their existing wire categories (and
+/// the checksum eviction policy) so retry layers treat a query exactly
+/// like a read of the same container.
+fn handle_query<S: Storage + Clone>(
+    shared: &Shared<S>,
+    container: &str,
+    sql: &str,
+    partial: bool,
+    reply: &Sender<Response>,
+    ctx: &mut IoCtx,
+) -> Option<Response> {
+    // Compile before touching storage.
+    let p = match bora_query::prepare(sql) {
+        Ok(p) => p,
+        Err(e) => {
+            bora_obs::counter("serve.bad_query").inc();
+            return Some(Response::Error {
+                code: ErrorCode::BadQuery,
+                message: e.render_caret(sql),
+            });
+        }
+    };
+    let result = (|| -> Result<Option<Response>, bora_query::QueryError> {
+        if let Some(store) = ingest_for(shared, container, ctx)? {
+            // Live root: execute over an MVCC snapshot, with the plan's
+            // pushed-down time range and topic set shaping the snapshot
+            // read. Datatypes come from the pinned generation's meta; a
+            // topic still tail-only has none yet and its fields read as
+            // null until the next compaction.
+            let snap = store.snapshot(ctx)?;
+            let datatypes = snap.datatypes(ctx)?;
+            let refs: Vec<&str> = p.plan.scan.topics.iter().map(String::as_str).collect();
+            let records = match p.plan.scan.range {
+                Some((lo, hi)) => snap.read_time_range(
+                    &refs,
+                    Time::from_nanos(lo.min(bora_query::MAX_TIME_NS)),
+                    Time::from_nanos(hi.min(bora_query::MAX_TIME_NS)),
+                    ctx,
+                )?,
+                None => snap.read_topics(&refs, ctx)?,
+            };
+            let mut cur = p.cursor_records(records, datatypes, partial)?;
+            drain_query(&p, &mut cur, reply)
+        } else {
+            let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
+            let mut cur = p.cursor_bag(pinned.bag(), partial, ctx)?;
+            drain_query(&p, &mut cur, reply)
+        }
+    })();
+    match result {
+        Ok(terminal) => terminal,
+        Err(e) => Some(match e.into_storage() {
+            Ok(be) => {
+                if matches!(be, BoraError::ChecksumMismatch { .. })
+                    && shared.cache.invalidate(container)
+                {
+                    bora_obs::counter("serve.evict_checksum").inc();
+                }
+                error_response(be)
+            }
+            // Semantic failures surfaced at execution time (partial mode
+            // on a non-aggregate statement, a bad wire blob) are still
+            // the statement's fault.
+            Err(qe) => {
+                bora_obs::counter("serve.bad_query").inc();
+                Response::Error { code: ErrorCode::BadQuery, message: qe.render_caret(sql) }
+            }
+        }),
+    }
+}
+
+/// Stream one prepared query's answer: schema frame, then row chunks.
+/// `EXPLAIN` renders the plan without executing; `EXPLAIN ANALYZE`
+/// executes and streams rows like a plain query, then annotates the
+/// plan with the observed operator counts in the terminal frame. `None`
+/// means the client hung up mid-stream.
+fn drain_query<S: Storage>(
+    p: &bora_query::Prepared,
+    cur: &mut bora_query::Cursor<'_, S>,
+    reply: &Sender<Response>,
+) -> Result<Option<Response>, bora_query::QueryError> {
+    if reply.send(Response::QuerySchema(cur.columns())).is_err() {
+        return Ok(None);
+    }
+    if p.explain_mode() == bora_query::ExplainMode::Plan {
+        return Ok(Some(Response::QueryEnd {
+            rows: 0,
+            explain: bora_query::explain_text(p, None),
+        }));
+    }
+    let mut batch: Vec<bora_query::Row> = Vec::with_capacity(QUERY_CHUNK_ROWS);
+    let mut total = 0u64;
+    while let Some(row) = cur.next_row()? {
+        total += 1;
+        batch.push(row);
+        if batch.len() >= QUERY_CHUNK_ROWS {
+            let frame = Response::QueryChunk(bora_query::encode_rows(&batch));
+            batch.clear();
+            if reply.send(frame).is_err() {
+                return Ok(None);
+            }
+        }
+    }
+    if !batch.is_empty()
+        && reply.send(Response::QueryChunk(bora_query::encode_rows(&batch))).is_err()
+    {
+        return Ok(None);
+    }
+    let explain = match p.explain_mode() {
+        bora_query::ExplainMode::Analyze => bora_query::explain_text(p, Some(&cur.stats())),
+        _ => String::new(),
+    };
+    Ok(Some(Response::QueryEnd { rows: total, explain }))
+}
+
+/// Fold a query's frame stream into the one response the single-frame
+/// API can carry: all row chunks re-encoded as one blob for a plain
+/// query, the terminal [`Response::QueryEnd`] when the statement was an
+/// EXPLAIN variant (the plan is what was asked for). Errors and
+/// overload frames pass through.
+fn fold_query_frames(frames: Vec<Response>) -> Response {
+    let mut rows: Vec<bora_query::Row> = Vec::new();
+    let mut out = Response::Error {
+        code: ErrorCode::ShuttingDown,
+        message: "worker exited before replying".into(),
+    };
+    for resp in frames {
+        match resp {
+            Response::QuerySchema(_) => {}
+            Response::QueryChunk(blob) => match bora_query::decode_rows(&blob) {
+                Ok(mut r) => rows.append(&mut r),
+                Err(e) => {
+                    return Response::Error { code: ErrorCode::Corrupt, message: e.to_string() }
+                }
+            },
+            Response::QueryEnd { rows: n, explain } => {
+                out = if explain.is_empty() {
+                    Response::QueryChunk(bora_query::encode_rows(&rows))
+                } else {
+                    Response::QueryEnd { rows: n, explain }
+                };
+            }
+            other => out = other,
+        }
+    }
+    out
+}
+
 fn handle<S: Storage + Clone>(shared: &Shared<S>, req: Request, ctx: &mut IoCtx) -> Response {
     let container = req.container().map(str::to_owned);
     let result = (|| -> Result<Response, BoraError> {
@@ -857,6 +1043,17 @@ fn handle<S: Storage + Clone>(shared: &Shared<S>, req: Request, ctx: &mut IoCtx)
             Request::Stat { container } => {
                 let pinned = shared.cache.get_or_open(&shared.storage, container, ctx)?;
                 Ok(Response::Stat(stat_of(pinned.bag().meta())))
+            }
+            // Normally routed to `handle_query` by the worker loop; if
+            // one lands here anyway (future transports), drain the frames
+            // into memory and fold them to one response.
+            Request::Query { container, sql, partial } => {
+                let (tx, rx) = channel::unbounded();
+                let terminal = handle_query(shared, container, sql, *partial, &tx, ctx);
+                drop(tx);
+                let mut frames: Vec<Response> = rx.try_iter().collect();
+                frames.extend(terminal);
+                Ok(fold_query_frames(frames))
             }
             // Unreachable: worker_loop filters control-plane ops before
             // dispatching here.

@@ -6,7 +6,8 @@
 //! bora-tool record? (see `rosbag-tool` for bag-side operations)
 //! bora-tool info    <container-dir>              container metadata summary
 //! bora-tool topics  <container-dir>              list topics
-//! bora-tool query   <container-dir> <topic> [start_s end_s]
+//! bora-tool query   <container-dir> <sql> [--explain] [--json] [--no-pushdown]
+//!                                                run a SELECT statement (see bora-query)
 //! bora-tool export  <container-dir> <out.bag>    rebag a container
 //! bora-tool verify  <container-dir>              consistency self-check
 //! bora-tool fsck    <container-dir> [--repair [--source <src.bag>]]
@@ -97,31 +98,21 @@ fn main() {
                 println!("{t}");
             }
         }
-        ["query", dir, topic, rest @ ..] => {
-            let (fs, path) = split(dir);
-            let bag = BoraBag::open(&fs, &path, &mut ctx).unwrap_or_else(die);
-            let msgs = match rest {
-                [] => bag.read_topic(topic, &mut ctx).unwrap_or_else(die),
-                [start, end] => {
-                    let s: f64 = start.parse().unwrap_or_else(|_| badnum(start));
-                    let e: f64 = end.parse().unwrap_or_else(|_| badnum(end));
-                    bag.read_topic_time(
-                        topic,
-                        Time::from_sec_f64(s),
-                        Time::from_sec_f64(e),
-                        &mut ctx,
-                    )
-                    .unwrap_or_else(die)
+        ["query", dir, rest @ ..] => {
+            let mut sql: Option<&str> = None;
+            let mut explain = false;
+            let mut json = false;
+            let mut pushdown = true;
+            for a in rest {
+                match *a {
+                    "--explain" => explain = true,
+                    "--json" => json = true,
+                    "--no-pushdown" => pushdown = false,
+                    s if sql.is_none() => sql = Some(s),
+                    _ => usage(),
                 }
-                _ => usage(),
-            };
-            println!("{} messages", msgs.len());
-            for m in msgs.iter().take(5) {
-                println!("  t={} {} bytes", m.time, m.data.len());
             }
-            if msgs.len() > 5 {
-                println!("  ... ({} more)", msgs.len() - 5);
-            }
+            query_container(dir, sql.unwrap_or_else(|| usage()), explain, json, pushdown, &mut ctx);
         }
         ["export", dir, out] => {
             let (fs, path) = split(dir);
@@ -233,6 +224,84 @@ fn main() {
         ["top", rest @ ..] => top(rest),
         ["chaos", rest @ ..] => chaos(rest),
         _ => usage(),
+    }
+}
+
+// ------------------------------------------------------------------- query
+
+/// `bora-tool query` — compile a SELECT statement with `bora-query` and
+/// run it against a container on local disk. `--explain` acts like an
+/// `EXPLAIN` prefix (plan only, nothing executes); a statement-level
+/// `EXPLAIN [ANALYZE]` works too. `--json` emits one machine-readable
+/// object; `--no-pushdown` plans with pushdown disabled (same rows,
+/// different cost — compare the two EXPLAIN ANALYZE outputs).
+fn query_container(
+    dir: &str,
+    sql: &str,
+    explain: bool,
+    json: bool,
+    pushdown: bool,
+    ctx: &mut IoCtx,
+) {
+    use bora_query::{explain_json, explain_text, prepare_with, ExplainMode, PlanOptions};
+
+    let p = prepare_with(sql, &PlanOptions { pushdown }).unwrap_or_else(|e| {
+        eprintln!("{}", e.render_caret(sql));
+        exit(2);
+    });
+    let mode = match (explain, p.explain_mode()) {
+        (true, ExplainMode::None) => ExplainMode::Plan,
+        (_, m) => m,
+    };
+    if mode == ExplainMode::Plan {
+        if json {
+            println!("{}", explain_json(&p, None));
+        } else {
+            print!("{}", explain_text(&p, None));
+        }
+        return;
+    }
+
+    let (fs, path) = split(dir);
+    let bag = BoraBag::open(&fs, &path, ctx).unwrap_or_else(die);
+    let mut cur = p.cursor_bag(&bag, false, ctx).unwrap_or_else(die);
+    let columns = cur.columns();
+    let rows = cur.collect_rows().unwrap_or_else(|e| {
+        eprintln!("{}", e.render_caret(sql));
+        exit(1);
+    });
+    let stats = cur.stats();
+
+    if json {
+        let cols: Vec<String> = columns.iter().map(|c| json_string(c)).collect();
+        let rendered: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(|v| v.render_json()).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        let explain_field = if mode == ExplainMode::Analyze {
+            explain_json(&p, Some(&stats))
+        } else {
+            "null".into()
+        };
+        println!(
+            "{{\"columns\":[{}],\"rows\":[{}],\"explain\":{explain_field}}}",
+            cols.join(","),
+            rendered.join(","),
+        );
+        return;
+    }
+
+    println!("{}", columns.join("\t"));
+    for r in &rows {
+        let cells: Vec<String> = r.iter().map(|v| v.render()).collect();
+        println!("{}", cells.join("\t"));
+    }
+    eprintln!("({} row(s))", rows.len());
+    if mode == ExplainMode::Analyze {
+        eprint!("{}", explain_text(&p, Some(&stats)));
     }
 }
 
@@ -803,15 +872,11 @@ fn die<E: std::fmt::Display, T>(e: E) -> T {
     exit(1);
 }
 
-fn badnum(s: &str) -> f64 {
-    eprintln!("bad number: {s}");
-    exit(2);
-}
-
 fn usage() -> ! {
     eprintln!(
         "usage: bora-tool <import <src.bag> <dir> | info <dir> | topics <dir> | \
-         query <dir> <topic> [start_s end_s] | export <dir> <out.bag> | verify <dir> | \
+         query <dir> <sql> [--explain] [--json] [--no-pushdown] | \
+         export <dir> <out.bag> | verify <dir> | \
          fsck <dir> [--repair [--source <src.bag>]] | \
          ingest-stat <dir> [--json] [--node <addr>] | \
          top <--nodes <addr,...> | --demo> [--json] | \

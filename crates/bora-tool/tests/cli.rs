@@ -66,14 +66,54 @@ fn full_cli_lifecycle_on_disk() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert_eq!(text.trim().lines().collect::<Vec<_>>(), vec!["/imu", "/tf"]);
 
-    // query all + windowed
-    let out = tool().arg("query").arg(&container).arg("/imu").output().unwrap();
-    assert!(String::from_utf8_lossy(&out.stdout).contains("80 messages"));
-    let out = tool().arg("query").arg(&container).args(["/imu", "110", "120"]).output().unwrap();
+    // query: full count + time-windowed count
+    let out =
+        tool().arg("query").arg(&container).arg("SELECT count() FROM '/imu'").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("80"));
+    let out = tool()
+        .arg("query")
+        .arg(&container)
+        .arg("SELECT count() FROM '/imu' WHERE time >= 110.0 AND time < 120.0")
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.lines().any(|l| l.trim() == "10"), "{text}");
+
+    // --explain renders the plan without executing; --no-pushdown shows up.
+    let out = tool()
+        .arg("query")
+        .arg(&container)
+        .args(["SELECT count() FROM '/imu'", "--explain"])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pushdown=on"));
+    let out = tool()
+        .arg("query")
+        .arg(&container)
+        .args(["SELECT count() FROM '/imu'", "--explain", "--no-pushdown"])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pushdown=off"));
+
+    // --json: one object with columns, rows, and the annotated plan.
+    let out = tool()
+        .arg("query")
+        .arg(&container)
+        .args(["EXPLAIN ANALYZE SELECT count() FROM '/imu' WHERE time < 110.0", "--json"])
+        .output()
+        .unwrap();
+    let json = String::from_utf8_lossy(&out.stdout).trim().to_owned();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"columns\":") && json.contains("\"explain\":{"), "{json}");
+
+    // A malformed statement dies with a caret diagnostic, not a panic.
+    let out = tool().arg("query").arg(&container).arg("SELECT FROM '/imu'").output().unwrap();
+    assert!(!out.status.success());
     assert!(
-        String::from_utf8_lossy(&out.stdout).contains("10 messages"),
+        String::from_utf8_lossy(&out.stderr).contains('^'),
         "{}",
-        String::from_utf8_lossy(&out.stdout)
+        String::from_utf8_lossy(&out.stderr)
     );
 
     // verify

@@ -360,6 +360,11 @@ impl<S: Storage> BoraBag<S> {
         let fill = move |ctx: &mut IoCtx| -> BoraResult<Vec<u8>> {
             let frame = storage.read_at(data_path, e.phys_off, e.frame_len as usize, ctx)?;
             let (logical, _) = decode_frame(&frame, &rel, ctx)?;
+            // Every block decode is counted: `EXPLAIN ANALYZE` and the
+            // pushdown experiments read the delta of this counter to
+            // prove how many decodes a time-range restriction skipped.
+            bora_obs::counter("block.decode").inc();
+            bora_obs::counter("block.decode_bytes").add(logical.len() as u64);
             Ok(logical)
         };
         match &self.pool {

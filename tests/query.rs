@@ -1,0 +1,159 @@
+//! bora-query integration: the declarative query layer driven through
+//! the serve wire protocol and the cluster router, end to end.
+//!
+//! The crate-level tests pin the compiler (parser/planner proptests) and
+//! the executor (plan-vs-naive equivalence); this file covers the seams:
+//! `OP_QUERY` over a running server, error mapping that keeps the
+//! connection alive, and the distributed partial-aggregate protocol
+//! returning byte-identical results whether one node or three execute.
+
+use std::sync::Arc;
+
+use bora_cluster::{ClusterClientConfig, ClusterTierConfig, LocalCluster, RingConfig};
+use bora_query::encode_rows;
+use bora_serve::{ClientError, ErrorCode, MemTransport, ServeClient, Server, ServerConfig};
+use ros_msgs::sensor_msgs::Imu;
+use ros_msgs::Time;
+use rosbag::{BagWriter, BagWriterOptions};
+use simfs::{IoCtx, MemStorage};
+
+/// One container of IMU data with a recognizable signal: 200 messages,
+/// 2 Hz, `angular_velocity.x = tick`, so every window aggregate has a
+/// hand-checkable value.
+fn stage_container(fs: &MemStorage, root: &str, ticks: u32, seq_base: u32) {
+    let mut ctx = IoCtx::new();
+    let bag = format!("/stage{root}.bag");
+    let mut w = BagWriter::create(fs, &bag, BagWriterOptions::default(), &mut ctx).unwrap();
+    for tick in 0..ticks {
+        let t = Time::from_nanos(1_000_000_000 + tick as u64 * 500_000_000);
+        let mut imu = Imu::default();
+        imu.header.seq = seq_base + tick;
+        imu.header.stamp = t;
+        imu.angular_velocity.x = tick as f64;
+        w.write_ros_message("/imu", t, &imu, &mut ctx).unwrap();
+    }
+    w.close(&mut ctx).unwrap();
+    bora::duplicate(fs, &bag, fs, root, &Default::default(), &mut ctx).unwrap();
+}
+
+const AGG_SQL: &str = "SELECT window, count(), mean(angular_velocity.x), \
+                       min(angular_velocity.x), max(angular_velocity.x) \
+                       FROM '/imu' WHERE time < 60.0 WINDOW 5s";
+
+#[test]
+fn serve_query_streams_rows_and_survives_bad_statements() {
+    let fs = Arc::new(MemStorage::new());
+    stage_container(&fs, "/c/m0", 200, 0);
+
+    let server = Server::start(Arc::clone(&fs), ServerConfig::default());
+    let transport = MemTransport::new(Arc::clone(&server));
+    let mut client = ServeClient::connect(&transport).unwrap();
+
+    // The served result equals the local cursor over the same container.
+    let mut ctx = IoCtx::new();
+    let bag = bora::BoraBag::open(Arc::clone(&fs), "/c/m0", &mut ctx).unwrap();
+    let p = bora_query::prepare(AGG_SQL).unwrap();
+    let mut cur = p.cursor_bag(&bag, false, &mut ctx).unwrap();
+    let want_cols = cur.columns();
+    let want_rows = cur.collect_rows().unwrap();
+    assert!(!want_rows.is_empty(), "test container produced no windows");
+
+    let got = client.query("/c/m0", AGG_SQL).unwrap();
+    assert_eq!(got.columns, want_cols);
+    assert_eq!(got.rows, want_rows);
+    assert_eq!(got.rows_total, want_rows.len() as u64);
+    assert!(got.explain.is_empty(), "plain query must not carry a plan");
+    assert!(got.wire_bytes > 0);
+
+    // EXPLAIN: plan only, nothing executes.
+    let plan = client.query("/c/m0", &format!("EXPLAIN {AGG_SQL}")).unwrap();
+    assert!(plan.rows.is_empty() && plan.rows_total == 0);
+    assert!(plan.explain.contains("pushdown=on"), "{}", plan.explain);
+
+    // EXPLAIN ANALYZE: same rows as the plain query plus the annotated
+    // plan, whose reported group count matches what actually arrived.
+    let analyzed = client.query("/c/m0", &format!("EXPLAIN ANALYZE {AGG_SQL}")).unwrap();
+    assert_eq!(analyzed.rows, want_rows);
+    assert!(
+        analyzed.explain.contains(&format!("groups={}", want_rows.len())),
+        "{}",
+        analyzed.explain
+    );
+
+    // A statement fault maps to BadQuery with a caret diagnostic — and
+    // the connection stays usable for the next (valid) statement.
+    for bad in ["SELECT FROM '/imu'", "SELECT count() FROM '/imu' WINDOW 0s", "garbage"] {
+        match client.query("/c/m0", bad) {
+            Err(ClientError::Server { code: ErrorCode::BadQuery, message }) => {
+                assert!(message.contains('^'), "no caret in: {message}");
+            }
+            other => panic!("expected BadQuery for {bad:?}, got {other:?}"),
+        }
+    }
+    let again = client.query("/c/m0", AGG_SQL).unwrap();
+    assert_eq!(again.rows, want_rows, "connection unusable after BadQuery");
+
+    client.shutdown().unwrap();
+}
+
+/// The distributed plan ships partial aggregates and merges at the
+/// router: one node owning everything and three nodes sharding it must
+/// return byte-identical result rows.
+#[test]
+fn distributed_aggregate_is_byte_identical_across_cluster_sizes() {
+    let staging = MemStorage::new();
+    let roots: Vec<String> = (0..4).map(|k| format!("/fleet/m{k}")).collect();
+    for (k, root) in roots.iter().enumerate() {
+        stage_container(&staging, root, 120 + 20 * k as u32, 10_000 * k as u32);
+    }
+    let refs: Vec<&str> = roots.iter().map(String::as_str).collect();
+
+    let run = |nodes: u32| {
+        let cluster = LocalCluster::start(ClusterTierConfig {
+            nodes,
+            ring: RingConfig { vnodes: 64, replication: 2 },
+            ..ClusterTierConfig::default()
+        });
+        cluster.provision(&staging, &refs).unwrap();
+        let client = cluster.client(ClusterClientConfig::default());
+        let agg = client.query_multi(&refs, AGG_SQL).unwrap();
+        let rows = client
+            .query_multi(&refs, "SELECT time, angular_velocity.x FROM '/imu' LIMIT 50")
+            .unwrap();
+        cluster.shutdown();
+        (agg, rows)
+    };
+
+    let (agg1, rows1) = run(1);
+    let (agg3, rows3) = run(3);
+
+    assert!(!agg1.rows.is_empty());
+    assert_eq!(encode_rows(&agg1.rows), encode_rows(&agg3.rows), "aggregate result diverged");
+    assert_eq!(agg1.columns, agg3.columns);
+
+    // Non-aggregate: rows concatenated in container order, global LIMIT
+    // re-applied at the router.
+    assert_eq!(rows1.rows.len(), 50);
+    assert_eq!(encode_rows(&rows1.rows), encode_rows(&rows3.rows), "row-ship result diverged");
+
+    // Independent cross-check: the first container's share recomputed
+    // locally against the staged copy.
+    let mut ctx = IoCtx::new();
+    let bag = bora::BoraBag::open(&staging, &roots[0], &mut ctx).unwrap();
+    let p = bora_query::prepare("SELECT count() FROM '/imu'").unwrap();
+    let want = p.cursor_bag(&bag, false, &mut ctx).unwrap().collect_rows().unwrap();
+
+    let cluster = LocalCluster::start(ClusterTierConfig::default());
+    cluster.provision(&staging, &refs).unwrap();
+    let client = cluster.client(ClusterClientConfig::default());
+    let got = client.query(&roots[0], "SELECT count() FROM '/imu'").unwrap();
+    assert_eq!(got.rows, want);
+
+    // Router-side compile failure: same BadQuery shape a node answers
+    // with, without ever touching the wire.
+    match client.query(&roots[0], "SELECT count( FROM '/imu'") {
+        Err(ClientError::Server { code: ErrorCode::BadQuery, .. }) => {}
+        other => panic!("expected BadQuery from the router, got {other:?}"),
+    }
+    cluster.shutdown();
+}
